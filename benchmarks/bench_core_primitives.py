@@ -1,0 +1,104 @@
+"""Microbenchmarks of the library's hot primitives.
+
+These track the performance of the pieces every experiment leans on: the
+symbolic simulator's box-feed loop, the worst-case profile constructor,
+the vectorized square-profile trace machine, the renewal DP, and the
+Monte-Carlo sampler.  Useful to catch pathological regressions (e.g. the
+cursor accidentally materializing subtrees).
+"""
+
+import numpy as np
+
+from repro.algorithms.library import MM_SCAN
+from repro.algorithms.traces import synthetic_trace
+from repro.analysis.recurrence import expected_scan_boxes, solve_recurrence
+from repro.machine.square_machine import run_trace_on_boxes
+from repro.profiles.distributions import UniformPowers
+from repro.profiles.worst_case import worst_case_profile
+from repro.simulation.symbolic import SymbolicSimulator
+
+
+def test_worst_case_profile_construction(benchmark):
+    profile = benchmark(worst_case_profile, 8, 4, 4**6)
+    assert len(profile) == (8**7 - 1) // 7
+
+
+def test_symbolic_simulator_worst_case_run(benchmark):
+    profile = worst_case_profile(8, 4, 4**5)
+
+    def run():
+        sim = SymbolicSimulator(MM_SCAN, 4**5)
+        return sim.run(profile)
+
+    rec = benchmark(run)
+    assert rec.completed
+
+
+def test_symbolic_simulator_iid_run(benchmark):
+    dist = UniformPowers(4, 1, 6)
+
+    def run():
+        sim = SymbolicSimulator(MM_SCAN, 4**7)
+        return sim.run_to_completion(dist.sampler(rng=0))
+
+    rec = benchmark(run)
+    assert rec.completed
+
+
+def test_square_machine_throughput(benchmark):
+    trace = synthetic_trace(MM_SCAN, 4**4)
+    profile = worst_case_profile(8, 4, 4**4)
+
+    rec = benchmark(run_trace_on_boxes, trace, profile)
+    assert rec.completed
+
+
+def test_renewal_dp(benchmark):
+    dist = UniformPowers(4, 1, 6)
+    value = benchmark(expected_scan_boxes, 4**7, dist)
+    assert value > 0
+
+
+def test_recurrence_solver_deep(benchmark):
+    dist = UniformPowers(4, 1, 6)
+    sol = benchmark(solve_recurrence, MM_SCAN, 4**9, dist)
+    assert sol.cost_ratio > 0
+
+
+def test_iid_sampling_throughput(benchmark):
+    dist = UniformPowers(4, 1, 8)
+
+    def draw():
+        return dist.sample(100_000, rng=0)
+
+    out = benchmark(draw)
+    assert out.size == 100_000
+
+
+def test_mm_scan_kernel_with_trace(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((32, 32))
+    b = rng.standard_normal((32, 32))
+    from repro.algorithms.mm import mm_scan
+
+    run = benchmark(mm_scan, a, b)
+    assert run.trace is not None
+
+
+def test_floyd_warshall_kernel(benchmark):
+    rng = np.random.default_rng(0)
+    d = rng.uniform(1, 10, (32, 32))
+    np.fill_diagonal(d, 0.0)
+    from repro.algorithms.gep import floyd_warshall
+
+    run = benchmark(floyd_warshall, d, 4)
+    assert run.trace is not None
+
+
+def test_squarify_large_profile(benchmark):
+    from repro.profiles.generators import random_walk_profile
+    from repro.profiles.reduction import squarify
+
+    profile = random_walk_profile(64, 50_000, min_size=2, max_size=512, rng=0)
+    boxes = benchmark(squarify, profile)
+    assert boxes.total_time == profile.duration

@@ -1,0 +1,23 @@
+"""Benchmark regenerating experiment ``mmcount``.
+
+Section 3: MM-SCAN completes once, MM-INPLACE log-many times.
+
+Run with ``pytest benchmarks/ --benchmark-only``; the regenerated result
+tables are printed (use ``-s`` to see them) and the reproduction verdict
+is asserted, so this bench doubles as the paper-claim regression gate.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_mm_completion(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("mmcount",),
+        kwargs={"quick": True, "seed": 0},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.render())
+    assert result.metrics.get("reproduced") is True, result.render()

@@ -1,0 +1,23 @@
+"""Benchmark regenerating experiment ``randomized``.
+
+Open question: randomized scan placement defeats the fixed adversary.
+
+Run with ``pytest benchmarks/ --benchmark-only``; the regenerated result
+tables are printed (use ``-s`` to see them) and the reproduction verdict
+is asserted, so this bench doubles as the paper-claim regression gate.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_randomized_algorithm(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("randomized",),
+        kwargs={"quick": True, "seed": 0},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.render())
+    assert result.metrics.get("reproduced") is True, result.render()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Multicore cache-sharing scenario — the introduction's motivation.
+
+The paper's introduction describes the memory reality of shared-cache
+machines: a process's share slowly grows (winner-take-all residency) and
+then crashes when the system flushes the cache or a co-tenant bursts.
+This example builds those *realistic* step profiles, reduces them to
+square profiles with the inscribed-box construction of [5], and measures
+how MM-SCAN, MM-INPLACE, and Strassen fare on them — including how many
+back-to-back multiplies each completes on the same resources.
+
+Run:  python examples/multicore_scheduler.py
+"""
+
+import itertools
+
+from repro import MM_INPLACE, MM_SCAN, STRASSEN, squarify
+from repro.profiles import random_walk_profile, winner_take_all_profile
+from repro.simulation import SymbolicSimulator, run_repeated
+from repro.util.tables import format_table
+
+
+def scenario_profiles(n: int):
+    """Realistic step profiles scaled to a size-``n`` problem."""
+    return {
+        "winner-take-all + flush": winner_take_all_profile(
+            max_size=n, flush_floor=max(4, n // 64), cycles=24
+        ),
+        "noisy co-tenant walk": random_walk_profile(
+            start=n // 4,
+            steps=12 * n,
+            min_size=4,
+            max_size=n,
+            up_probability=0.55,
+            crash_probability=0.002,
+            crash_factor=0.3,
+            rng=7,
+        ),
+    }
+
+
+def main() -> None:
+    n = 4**5
+    specs = [MM_SCAN, MM_INPLACE, STRASSEN]
+
+    for name, step_profile in scenario_profiles(n).items():
+        boxes = squarify(step_profile)
+        print(f"\n=== scenario: {name} ===")
+        print(
+            f"steps: {step_profile.duration}, squarified into {len(boxes)} boxes "
+            f"(sizes {boxes.min_size()}..{boxes.max_size()})"
+        )
+        print(f"shape: {boxes.sparkline(width=64)}")
+
+        rows = []
+        for spec in specs:
+            # one-shot run: ratio over the consumed prefix (cycled if the
+            # scenario is shorter than one multiply needs)
+            sim = SymbolicSimulator(spec, n, model="recursive")
+            stream = itertools.chain(iter(boxes), itertools.cycle(boxes.boxes.tolist()))
+            rec = sim.run_to_completion(stream)
+            # repeated mode: how many multiplies fit in the scenario
+            rep = run_repeated(spec, n, boxes, model="recursive")
+            rows.append(
+                (
+                    spec.name,
+                    spec.regime,
+                    round(rec.adaptivity_ratio, 3),
+                    rec.boxes_used,
+                    rep.completions,
+                )
+            )
+        print()
+        print(
+            format_table(
+                ["algorithm", "regime", "adaptivity ratio", "boxes used",
+                 "multiplies completed"],
+                rows,
+            )
+        )
+
+    print(
+        "\nOn realistic (non-adversarial) fluctuation patterns the gap "
+        "algorithms behave like the adaptive ones — the paper's point that "
+        "worst-case profiles must be tailored to the recursion to bite."
+    )
+
+
+if __name__ == "__main__":
+    main()

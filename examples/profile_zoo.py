@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Profile zoo: every profile family in the library, visualized and scored.
+
+Renders each memory-profile family as a terminal sparkline and scores it
+against MM-SCAN: adaptivity ratio over the consumed prefix, and the ratio
+of progress made to the theoretical maximum the boxes allowed.  A compact
+tour of the profile API for new users.
+
+Run:  python examples/profile_zoo.py
+"""
+
+import itertools
+
+from repro import MM_SCAN
+from repro.profiles import (
+    Empirical,
+    GeometricPowers,
+    ParetoPowers,
+    SquareProfile,
+    UniformPowers,
+    order_perturbed_profile,
+    random_start_shift,
+    random_walk_profile,
+    sawtooth_profile,
+    shuffle,
+    size_perturbation,
+    squarify,
+    uniform_multipliers,
+    worst_case_profile,
+)
+from repro.simulation import SymbolicSimulator
+from repro.util.tables import format_table
+
+
+def zoo(n: int) -> dict[str, SquareProfile]:
+    wc = worst_case_profile(8, 4, n)
+    return {
+        "constant DAM boxes": SquareProfile.constant(n // 16, 4096),
+        "worst-case M_{8,4}(n)": wc,
+        "  .. shuffled": shuffle(wc, rng=0),
+        "  .. size-perturbed": size_perturbation(wc, uniform_multipliers(4.0), rng=1),
+        "  .. start-shifted": random_start_shift(wc, rng=2),
+        "  .. order-perturbed": order_perturbed_profile(8, 4, n, rng=3),
+        "iid uniform-powers": UniformPowers(4, 1, 5).sample_profile(4096, rng=4),
+        "iid geometric (small-biased)": GeometricPowers(4, 1, 5, 0.5).sample_profile(
+            4096, rng=5
+        ),
+        "iid heavy-tailed": ParetoPowers(4, 1, 6, 0.5).sample_profile(4096, rng=6),
+        "iid empirical-of-worst-case": Empirical.of_profile(wc).sample_profile(
+            4096, rng=7
+        ),
+        "squarified sawtooth": squarify(sawtooth_profile(4, n // 2, teeth=6)),
+        "squarified random walk": squarify(
+            random_walk_profile(n // 8, 8 * n, min_size=4, max_size=n, rng=8)
+        ),
+    }
+
+
+def main() -> None:
+    n = 4**5
+    spec = MM_SCAN
+    rows = []
+    print(f"profile zoo scored against {spec.name} at n = {n}\n")
+    for name, profile in zoo(n).items():
+        print(f"{name:32s} {profile.sparkline(width=56)}")
+        sim = SymbolicSimulator(spec, n, model="recursive")
+        stream = itertools.chain(iter(profile), itertools.cycle(profile.boxes.tolist()))
+        rec = sim.run_to_completion(stream)
+        rows.append(
+            (
+                name,
+                len(profile),
+                int(profile.max_size()),
+                rec.boxes_used,
+                round(rec.adaptivity_ratio, 3),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["profile", "boxes", "max box", "boxes used", "adaptivity ratio"],
+            rows,
+        )
+    )
+    print(
+        "\nOnly the profiles that track the recursion (the worst case and "
+        "its weak perturbations) push the ratio up; randomness in the "
+        "*ordering* flattens it."
+    )
+
+
+if __name__ == "__main__":
+    main()

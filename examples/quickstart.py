@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's story in forty lines.
+
+1. Build the adversarial profile M_{8,4}(n) (Figure 1).
+2. Run MM-SCAN on it — the adaptivity ratio is log_4(n) + 1 (Theorem 2's
+   worst-case gap).
+3. Shuffle the *same boxes* and run again — the ratio collapses to a
+   small constant (Theorem 1: random order closes the gap).
+4. Compute the exact expected ratio for the i.i.d. version from the
+   Lemma-3 recurrence and confirm it agrees.
+
+Run:  python examples/quickstart.py
+"""
+
+import itertools
+
+from repro import MM_SCAN, Empirical, shuffle, worst_case_profile
+from repro.analysis import expected_cost_ratio
+from repro.simulation import SymbolicSimulator
+
+
+def main() -> None:
+    n = 4**5  # problem size in blocks (a power of b = 4)
+    spec = MM_SCAN  # the canonical (8, 4, 1)-regular algorithm
+
+    # -- 1. the adversary --------------------------------------------------
+    profile = worst_case_profile(spec.a, spec.b, n)
+    print(f"M_{{8,4}}({n}): {len(profile)} boxes, duration {profile.total_time}")
+    print(f"profile shape: {profile.sparkline(width=64)}")
+
+    # -- 2. adversarial order: the logarithmic gap ------------------------
+    record = SymbolicSimulator(spec, n).run(profile)
+    print(
+        f"\nadversarial order : ratio = {record.adaptivity_ratio:.2f} "
+        f"(= log_4 n + 1 = {record.adaptivity_ratio:.0f}), "
+        f"{record.boxes_used} boxes, completed = {record.completed}"
+    )
+
+    # -- 3. the same boxes, shuffled ---------------------------------------
+    shuffled = shuffle(profile, rng=0)
+    empirical = Empirical.of_profile(profile)
+    stream = itertools.chain(iter(shuffled), empirical.sampler(rng=1))
+    record = SymbolicSimulator(spec, n).run_to_completion(stream)
+    print(
+        f"shuffled order    : ratio = {record.adaptivity_ratio:.2f} "
+        f"({record.boxes_used} boxes)"
+    )
+
+    # -- 4. the exact expectation (no simulation) -------------------------
+    exact = expected_cost_ratio(spec, n, empirical)
+    print(f"i.i.d. exact      : ratio = {exact:.2f} (Lemma-3 recurrence)")
+
+    print(
+        "\nSame resources, different ordering: the log gap is a scheduling "
+        "phenomenon, not a resource one."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e .` works offline (no wheel package,
+no build isolation). All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""``(a,b,c)``-regular algorithm specs, execution cursors, real kernels
+(matrix multiply, GEP/Floyd–Warshall, LCS, merge sort), traces, and the
+scan-hiding transform."""
+
+from repro.algorithms.cursor import BoxOutcome, ExecutionCursor
+from repro.algorithms.gep import (
+    GEPRun,
+    floyd_warshall,
+    floyd_warshall_reference,
+    gep_inplace,
+    gep_scan,
+)
+from repro.algorithms.layouts import Layout, Morton, RowMajor, get_layout
+from repro.algorithms.lcs import LCSRun, lcs_length, lcs_reference
+from repro.algorithms.library import (
+    BINARY_ADAPTIVE,
+    FLOYD_WARSHALL,
+    GEP,
+    LCS,
+    MERGE_SORT,
+    MM_INPLACE,
+    MM_SCAN,
+    NAMED_SPECS,
+    SQRT_SCAN,
+    STRASSEN,
+    get_spec,
+)
+from repro.algorithms.mm import (
+    MMRun,
+    mm_inplace,
+    mm_scan,
+    mm_scan_trace_adversary,
+    strassen,
+)
+from repro.algorithms.randomized import (
+    coin_flip_placement,
+    random_slot_placement,
+    random_split_placement,
+)
+from repro.algorithms.scan_hiding import (
+    hidden_work_per_leaf,
+    overhead_factor,
+    transform as scan_hiding_transform,
+)
+from repro.algorithms.sorting import SortRun, merge_sort
+from repro.algorithms.spec import RegularSpec, ScanPlacement
+from repro.algorithms.traces import Trace, TraceRecorder, synthetic_trace
+
+__all__ = [
+    "BoxOutcome",
+    "ExecutionCursor",
+    "GEPRun",
+    "floyd_warshall",
+    "floyd_warshall_reference",
+    "gep_inplace",
+    "gep_scan",
+    "Layout",
+    "Morton",
+    "RowMajor",
+    "get_layout",
+    "LCSRun",
+    "lcs_length",
+    "lcs_reference",
+    "BINARY_ADAPTIVE",
+    "FLOYD_WARSHALL",
+    "GEP",
+    "LCS",
+    "MERGE_SORT",
+    "MM_INPLACE",
+    "MM_SCAN",
+    "NAMED_SPECS",
+    "SQRT_SCAN",
+    "STRASSEN",
+    "get_spec",
+    "MMRun",
+    "mm_inplace",
+    "mm_scan",
+    "mm_scan_trace_adversary",
+    "strassen",
+    "coin_flip_placement",
+    "random_slot_placement",
+    "random_split_placement",
+    "hidden_work_per_leaf",
+    "overhead_factor",
+    "scan_hiding_transform",
+    "SortRun",
+    "merge_sort",
+    "RegularSpec",
+    "ScanPlacement",
+    "Trace",
+    "TraceRecorder",
+    "synthetic_trace",
+]

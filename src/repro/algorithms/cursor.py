@@ -1,0 +1,522 @@
+"""Execution cursor: a lazy program counter over the recursion tree.
+
+The symbolic simulator never materializes the recursion tree of an
+``(a,b,c)``-regular algorithm (it can have ``a**30`` leaves); instead,
+:class:`ExecutionCursor` tracks the current position as a stack of frames
+from the root to the active node, and answers the aggregate questions the
+cache-adaptive semantics needs in ``O(depth)`` arithmetic:
+
+* "complete execution through the end of the size-``s`` ancestor; how many
+  base-case leaves and scan accesses did that cover?"
+* "advance ``k`` accesses inside the current scan";
+* "how far into the canonical linearization of the execution are we?"
+  (:meth:`access_index` — the total order used by the No-Catch-up lemma).
+
+Node event order is derived from the spec's scan placement: a size-``m``
+node executes ``piece_0, child_0, piece_1, ..., child_{a-1}, piece_a``
+where the pieces partition its scan (all in ``piece_a`` for the canonical
+END placement).  Base-case nodes are atomic leaf events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError, SpecError
+from repro.algorithms.spec import RegularSpec
+
+__all__ = ["BoxOutcome", "ExecutionCursor"]
+
+
+@dataclass(frozen=True)
+class BoxOutcome:
+    """What one box accomplished.
+
+    ``leaves`` — base-case subproblems completed inside the box;
+    ``scan_accesses`` — scan accesses performed inside the box;
+    ``completed_size`` — size of the largest problem whose *end* this box
+    reached by the ancestor-completion rule (None for pure scan boxes);
+    ``done`` — True iff the root problem finished during this box.
+    """
+
+    leaves: int
+    scan_accesses: int
+    completed_size: Optional[int]
+    done: bool
+
+
+class _Frame:
+    """One recursion level: node size, its event list, the index of the
+    current event, and progress within the current event when it is a
+    scan piece.  Events live on the frame (not keyed by size) so that
+    randomized algorithms can lay out each node's scan independently."""
+
+    __slots__ = ("size", "events", "event_idx", "scan_done")
+
+    def __init__(self, size: int, events: list, event_idx: int = 0, scan_done: int = 0):
+        self.size = size
+        self.events = events
+        self.event_idx = event_idx
+        self.scan_done = scan_done
+
+    def clone(self) -> "_Frame":
+        return _Frame(self.size, self.events, self.event_idx, self.scan_done)
+
+
+# Event encodings: ("child", child_index) | ("scan", length) | ("leaf",)
+_CHILD, _SCAN, _LEAF = "child", "scan", "leaf"
+_LEAF_EVENTS: list[tuple] = [(_LEAF,)]
+
+
+class ExecutionCursor:
+    """Position of an ``(a,b,c)``-regular execution on a size-``n`` problem.
+
+    A fresh cursor stands at the first access; :meth:`is_done` becomes
+    True once the root problem (including its trailing scan) completes.
+    The two feed methods implement the box semantics of the simplified
+    caching model (Section 4) and a greedy variant; see
+    :mod:`repro.simulation.symbolic` for the driver.
+    """
+
+    def __init__(self, spec: RegularSpec, n: int, scan_randomizer=None):
+        """``scan_randomizer``, when given, is a callable ``(size) ->
+        pieces`` returning ``a + 1`` non-negative ints summing to
+        ``spec.scan_length(size)``; it is consulted once per node as the
+        execution first enters it, which models *randomized* algorithms
+        that decide at runtime where to run each node's scan (the paper's
+        concluding open question).  Without it, the spec's static
+        placement applies."""
+        spec.validate_problem_size(n)
+        self.spec = spec
+        self.n = n
+        self._randomizer = scan_randomizer
+        self._events_cache: dict[int, list[tuple]] = {}
+        self._stack: list[_Frame] = [self._make_frame(n)]
+        self._normalize()
+
+    # -- structural helpers -------------------------------------------------
+    def _build_events(self, size: int, pieces) -> list[tuple]:
+        ev: list[tuple] = []
+        for i in range(self.spec.a):
+            if pieces[i]:
+                ev.append((_SCAN, pieces[i]))
+            ev.append((_CHILD, i))
+        if pieces[self.spec.a]:
+            ev.append((_SCAN, pieces[self.spec.a]))
+        return ev
+
+    def _events_for(self, size: int) -> list[tuple]:
+        """Event list for a fresh node of ``size`` (cached per size for
+        static placements, freshly drawn for randomized ones)."""
+        if size <= self.spec.base_size:
+            return _LEAF_EVENTS
+        if self._randomizer is not None:
+            pieces = self._randomizer(size)
+            total = self.spec.scan_length(size)
+            if len(pieces) != self.spec.a + 1 or sum(pieces) != total or any(
+                p < 0 for p in pieces
+            ):
+                raise SimulationError(
+                    f"scan randomizer returned invalid pieces {pieces} for "
+                    f"size {size} (need {self.spec.a + 1} non-negative ints "
+                    f"summing to {total})"
+                )
+            return self._build_events(size, pieces)
+        ev = self._events_cache.get(size)
+        if ev is None:
+            ev = self._build_events(size, self.spec.scan_pieces(size))
+            self._events_cache[size] = ev
+        return ev
+
+    def _make_frame(self, size: int) -> _Frame:
+        return _Frame(size, self._events_for(size))
+
+    def _normalize(self) -> None:
+        """Advance past finished events and descend into pending children
+        until the top frame's current event is a pending leaf or scan (or
+        the execution is done)."""
+        stack = self._stack
+        while stack:
+            fr = stack[-1]
+            events = fr.events
+            if fr.event_idx >= len(events):
+                stack.pop()
+                if stack:
+                    stack[-1].event_idx += 1
+                    stack[-1].scan_done = 0
+                continue
+            ev = events[fr.event_idx]
+            kind = ev[0]
+            if kind == _CHILD:
+                stack.append(self._make_frame(self.spec.child_size(fr.size)))
+                continue
+            if kind == _SCAN and fr.scan_done >= ev[1]:
+                fr.event_idx += 1
+                fr.scan_done = 0
+                continue
+            return  # pending leaf or partially-done scan
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def is_done(self) -> bool:
+        return not self._stack
+
+    def depth(self) -> int:
+        """Current stack depth (root = 1); 0 when done."""
+        return len(self._stack)
+
+    def current_node_size(self) -> int:
+        """Size of the innermost active node."""
+        if self.is_done:
+            raise SimulationError("execution already complete")
+        return self._stack[-1].size
+
+    def at_scan(self) -> bool:
+        """True iff the cursor stands inside a scan piece."""
+        if self.is_done:
+            return False
+        fr = self._stack[-1]
+        return fr.events[fr.event_idx][0] == _SCAN
+
+    def scan_remaining(self) -> int:
+        """Accesses left in the current scan piece (0 if not at a scan)."""
+        if self.is_done:
+            return 0
+        fr = self._stack[-1]
+        ev = fr.events[fr.event_idx]
+        return ev[1] - fr.scan_done if ev[0] == _SCAN else 0
+
+    def access_index(self) -> int:
+        """Completed accesses in the canonical linearization (leaves count
+        ``base_size`` accesses, scans their length).  Strictly increases
+        with execution progress; the total length is
+        ``spec.subtree_accesses(n)``."""
+        spec = self.spec
+        if self.is_done:
+            return spec.subtree_accesses(self.n)
+        pos = 0
+        for i, fr in enumerate(self._stack):
+            events = fr.events
+            child_size = fr.size // spec.b if fr.size > spec.base_size else 0
+            for ev in events[: fr.event_idx]:
+                if ev[0] == _CHILD:
+                    pos += spec.subtree_accesses(child_size)
+                elif ev[0] == _SCAN:
+                    pos += ev[1]
+                else:  # completed leaf events never linger (frame pops)
+                    pos += spec.base_size
+            if i == len(self._stack) - 1 and fr.event_idx < len(events):
+                if events[fr.event_idx][0] == _SCAN:
+                    pos += fr.scan_done
+        return pos
+
+    def snapshot(self) -> "ExecutionCursor":
+        """Deep copy of the cursor (shares the immutable spec/cache)."""
+        dup = ExecutionCursor.__new__(ExecutionCursor)
+        dup.spec = self.spec
+        dup.n = self.n
+        dup._randomizer = self._randomizer
+        dup._events_cache = self._events_cache
+        dup._stack = [fr.clone() for fr in self._stack]
+        return dup
+
+    # -- positioning --------------------------------------------------------
+    def seek(self, access_index: int) -> None:
+        """Reposition the cursor at the given linearized access index.
+
+        ``access_index`` must be in ``[0, spec.subtree_accesses(n)]``; the
+        largest value positions the cursor at completion.  Used to sample
+        uniformly random execution positions (Lemma 1's potential is a max
+        over all positions).
+        """
+        spec = self.spec
+        total = spec.subtree_accesses(self.n)
+        if not 0 <= access_index <= total:
+            raise SimulationError(
+                f"access index {access_index} outside [0, {total}]"
+            )
+        if access_index == total:
+            self._stack = []
+            return
+        self._stack = [self._make_frame(self.n)]
+        remaining = access_index
+        while True:
+            fr = self._stack[-1]
+            events = fr.events
+            if events[fr.event_idx][0] == _LEAF:
+                # position inside a leaf: the leaf is atomic; stand at it
+                return
+            advanced = False
+            while fr.event_idx < len(events):
+                ev = events[fr.event_idx]
+                if ev[0] == _CHILD:
+                    child = spec.child_size(fr.size)
+                    cost = spec.subtree_accesses(child)
+                    if remaining >= cost:
+                        remaining -= cost
+                        fr.event_idx += 1
+                        continue
+                    self._stack.append(self._make_frame(child))
+                    advanced = True
+                    break
+                if ev[0] == _SCAN:
+                    if remaining >= ev[1]:
+                        remaining -= ev[1]
+                        fr.event_idx += 1
+                        continue
+                    fr.scan_done = remaining
+                    return
+                # leaf event inside a non-base node cannot occur
+                raise SimulationError("malformed event list")
+            if not advanced:
+                # consumed every event of this frame with remainder 0
+                self._normalize()
+                return
+
+    # -- aggregate completion ----------------------------------------------
+    def _remaining_in_subtree(self, frame_idx: int) -> tuple[int, int]:
+        """Leaves and scan accesses left from the cursor to the end of the
+        node at ``frame_idx`` (inclusive of deeper pending work)."""
+        spec = self.spec
+        leaves = 0
+        scans = 0
+        stack = self._stack
+        for i in range(len(stack) - 1, frame_idx - 1, -1):
+            fr = stack[i]
+            events = fr.events
+            start = fr.event_idx
+            if i == len(stack) - 1:
+                if start < len(events):
+                    ev = events[start]
+                    if ev[0] == _LEAF:
+                        leaves += 1
+                    elif ev[0] == _SCAN:
+                        scans += ev[1] - fr.scan_done
+                    start += 1
+            else:
+                start += 1  # current child event is covered by deeper frames
+            child = fr.size // spec.b if fr.size > spec.base_size else 0
+            for ev in events[start:]:
+                if ev[0] == _CHILD:
+                    leaves += spec.leaves(child)
+                    scans += spec.subtree_scan_total(child)
+                elif ev[0] == _SCAN:
+                    scans += ev[1]
+        return leaves, scans
+
+    def remaining_leaves(self) -> int:
+        """Base cases left before the root completes."""
+        if self.is_done:
+            return 0
+        return self._remaining_in_subtree(0)[0]
+
+    def complete_through(self, frame_idx: int) -> tuple[int, int]:
+        """Finish everything up to the end of the node at ``frame_idx``.
+
+        Returns ``(leaves, scan_accesses)`` covered.  Afterwards the
+        cursor stands at the next event after that node (or is done).
+        """
+        if self.is_done:
+            raise SimulationError("execution already complete")
+        if not 0 <= frame_idx < len(self._stack):
+            raise SimulationError(f"frame index {frame_idx} out of range")
+        leaves, scans = self._remaining_in_subtree(frame_idx)
+        del self._stack[frame_idx:]
+        if self._stack:
+            self._stack[-1].event_idx += 1
+            self._stack[-1].scan_done = 0
+        self._normalize()
+        return leaves, scans
+
+    def advance_scan(self, k: int) -> int:
+        """Advance up to ``k`` accesses in the current scan piece; returns
+        the number actually advanced."""
+        if k < 0:
+            raise SimulationError(f"k must be >= 0, got {k}")
+        if self.is_done or not self.at_scan():
+            raise SimulationError("cursor is not at a scan")
+        fr = self._stack[-1]
+        ev = fr.events[fr.event_idx]
+        step = min(k, ev[1] - fr.scan_done)
+        fr.scan_done += step
+        self._normalize()
+        return step
+
+    def complete_leaf(self) -> None:
+        """Complete the pending base-case leaf under the cursor."""
+        if self.is_done or self.at_scan():
+            raise SimulationError("cursor is not at a leaf")
+        fr = self._stack[-1]
+        fr.event_idx += 1
+        self._normalize()
+
+    # -- box semantics --------------------------------------------------------
+    def _outermost_frame_with_size_at_most(self, s: int) -> Optional[int]:
+        """Index of the outermost stack frame whose node size is <= s
+        (frame sizes strictly decrease root-to-leaf), or None."""
+        for i, fr in enumerate(self._stack):
+            if fr.size <= s:
+                return i
+        return None
+
+    def feed_simplified(self, s: int, completion_divisor: int = 1) -> BoxOutcome:
+        """Apply one box of size ``s`` under the simplified caching model.
+
+        * Box begins inside the scan of a problem it cannot complete:
+          advance ``min(s, rest of that scan piece)`` and stop (any
+          sufficiently large box can stream a scan).
+        * Otherwise: complete to the end of the largest containing
+          problem the box can complete, including its trailing scan, and
+          go no further.
+
+        ``completion_divisor`` (κ >= 1) sets which problems a size-``s``
+        box can complete: those of size at most ``s // κ``.  κ = 1 is the
+        generous normalization Section 4 adopts for the positive results
+        (a size-``s`` box completes the size-``s`` problem containing it).
+        Real caches hide a constant — a problem of size ``m`` touches
+        ``Θ(m)`` distinct blocks with a constant above 1, so per Lemma 1 a
+        box only completes problems *sufficiently small* in ``Θ(s)``; the
+        paper's negative (robustness) results depend on that constant.
+        κ = b is the natural conservative choice for reproducing them.
+        Regardless of κ, a box of at least ``base_size`` completes the
+        pending base-case leaf (boxes are assumed to be sufficiently
+        large constants, so leaves are never a barrier).
+
+        Boxes too small to do any of the above make no progress and yield
+        a zero outcome.
+        """
+        if self.is_done:
+            raise SimulationError("execution already complete")
+        if s < 1:
+            raise SimulationError(f"box size must be >= 1, got {s}")
+        if completion_divisor < 1:
+            raise SimulationError(
+                f"completion_divisor must be >= 1, got {completion_divisor}"
+            )
+        s_eff = s // completion_divisor
+        fr = self._stack[-1]
+        if self.at_scan() and fr.size > s_eff:
+            k = self.advance_scan(s)
+            return BoxOutcome(0, k, None, self.is_done)
+        idx = self._outermost_frame_with_size_at_most(s_eff)
+        if idx is None:
+            if s >= self.spec.base_size and not self.at_scan():
+                # The pending leaf is always completable by a
+                # constant-sized box.
+                self.complete_leaf()
+                return BoxOutcome(1, 0, self.spec.base_size, self.is_done)
+            return BoxOutcome(0, 0, None, False)
+        completed_size = self._stack[idx].size
+        leaves, scans = self.complete_through(idx)
+        return BoxOutcome(leaves, scans, completed_size, self.is_done)
+
+    def feed_recursive(self, s: int, completion_divisor: int = 1) -> BoxOutcome:
+        """Apply one box of size ``s`` under the budgeted-continuation model.
+
+        Like :meth:`feed_simplified`, a box can complete problems of size
+        up to ``s // completion_divisor`` — but instead of "going no
+        further", it carries a *distinct-block budget* of ``s``: completing
+        the remainder of a subproblem of size ``m`` costs
+        ``min(m, remaining accesses in it)`` blocks (the subtree touches at
+        most ``m`` distinct blocks — the reuse that makes divide-and-conquer
+        cache-efficient), scan accesses cost one block each, and the box
+        continues into following siblings while budget remains.
+
+        On the canonical worst-case profile this model behaves identically
+        to the simplified one (every box is exactly consumed), so the
+        ``c = 1`` lower bounds are preserved; unlike the simplified model
+        it does not spuriously strand the leftover capacity of large boxes
+        on small scans, which is what lets ``c < 1`` algorithms show their
+        Theorem-2 adaptivity.
+        """
+        if self.is_done:
+            raise SimulationError("execution already complete")
+        if s < 1:
+            raise SimulationError(f"box size must be >= 1, got {s}")
+        if completion_divisor < 1:
+            raise SimulationError(
+                f"completion_divisor must be >= 1, got {completion_divisor}"
+            )
+        s_eff = s // completion_divisor
+        budget = s
+        leaves = 0
+        scans = 0
+        largest: Optional[int] = None
+        base = self.spec.base_size
+        while budget > 0 and not self.is_done:
+            fr = self._stack[-1]
+            if self.at_scan() and fr.size > s_eff:
+                step = self.advance_scan(min(budget, self.scan_remaining()))
+                scans += step
+                budget -= step
+                continue
+            idx = self._outermost_frame_with_size_at_most(s_eff)
+            progressed = False
+            if idx is not None:
+                # Largest completable ancestor whose remainder fits the
+                # remaining budget (frames shrink root-to-leaf).
+                for j in range(idx, len(self._stack)):
+                    rem_leaves, rem_scans = self._remaining_in_subtree(j)
+                    cost = min(self._stack[j].size, rem_leaves * base + rem_scans)
+                    if cost <= budget:
+                        size_j = self._stack[j].size
+                        got_leaves, got_scans = self.complete_through(j)
+                        leaves += got_leaves
+                        scans += got_scans
+                        budget -= cost
+                        if largest is None or size_j > largest:
+                            largest = size_j
+                        progressed = True
+                        break
+            if progressed:
+                continue
+            # No wholesale completion fits: make fine-grained progress.
+            if self.at_scan():
+                step = self.advance_scan(min(budget, self.scan_remaining()))
+                scans += step
+                budget -= step
+                if step == 0:
+                    break
+                continue
+            if budget >= base:
+                self.complete_leaf()
+                leaves += 1
+                budget -= base
+                if largest is None:
+                    largest = base
+                continue
+            break
+        return BoxOutcome(leaves, scans, largest, self.is_done)
+
+    def feed_greedy(self, s: int) -> BoxOutcome:
+        """Apply one box of size ``s`` under the greedy access-budget model.
+
+        The box performs up to ``s`` accesses (every access assumed to
+        touch a fresh block): leaves cost ``base_size``, scan pieces their
+        remaining length, crossing into the next subproblem is free.  An
+        optimistic sensitivity-analysis variant — not the paper's model.
+        """
+        if self.is_done:
+            raise SimulationError("execution already complete")
+        if s < 1:
+            raise SimulationError(f"box size must be >= 1, got {s}")
+        budget = s
+        leaves = 0
+        scans = 0
+        largest: Optional[int] = None
+        while budget > 0 and not self.is_done:
+            fr = self._stack[-1]
+            if self.at_scan():
+                step = self.advance_scan(budget)
+                scans += step
+                budget -= step
+            else:
+                if budget < self.spec.base_size:
+                    break
+                self.complete_leaf()
+                leaves += 1
+                budget -= self.spec.base_size
+                if largest is None or self.spec.base_size > largest:
+                    largest = self.spec.base_size
+        return BoxOutcome(leaves, scans, largest, self.is_done)

@@ -1,0 +1,154 @@
+"""Cache-oblivious longest common subsequence — the ``a = b`` regime.
+
+The recursive LCS algorithm of Chowdhury–Ramachandran evaluates the
+``n x n`` DP table by quadrants, passing boundary rows/columns between
+them: four subproblems of a quarter of the table plus linear boundary
+scans, i.e. ``T(N) = 4 T(N/4) + Θ(N/B)`` on ``N = n²`` table entries —
+the ``(4, 4, 1)`` shape.  With ``a = b`` this sits in the paper's
+*degenerate* regime (footnote 3): no algorithm with this recurrence can be
+optimally cache-adaptive, because it is already ``Θ(log(M/B))`` from
+optimal in the DAM.  The library includes it precisely to demonstrate that
+regime empirically.
+
+:func:`lcs_length` computes the true LCS length (verified against the
+classic quadratic DP in the tests) and records the block trace: each
+quadrant subproblem is a recursive call; the boundary hand-offs are the
+scans; leaves are small DP tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.algorithms.traces import Trace, TraceRecorder
+from repro.util.intmath import is_power_of
+
+__all__ = ["LCSRun", "lcs_length", "lcs_reference"]
+
+
+@dataclass(frozen=True)
+class LCSRun:
+    """Result of an instrumented LCS computation."""
+
+    length: int
+    trace: Trace | None
+
+
+def _tile_dp(
+    x: np.ndarray,
+    y: np.ndarray,
+    top: np.ndarray,
+    left: np.ndarray,
+    corner: float,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Evaluate one DP tile given its incoming boundary.
+
+    ``top`` has len(y)+... shape (len(y),): DP values of the row above the
+    tile; ``left`` (len(x),): values of the column left of the tile;
+    ``corner``: the value diagonal to the tile's first cell.  Returns the
+    tile's bottom row, right column, and its bottom-right corner's
+    diagonal predecessor for the next tile (= last of bottom row).
+    """
+    m, n = len(x), len(y)
+    prev = np.empty(n + 1, dtype=np.int64)
+    prev[0] = corner
+    prev[1:] = top
+    out_right = np.empty(m, dtype=np.int64)
+    cur = np.empty(n + 1, dtype=np.int64)
+    for i in range(m):
+        cur[0] = left[i]
+        for j in range(n):
+            if x[i] == y[j]:
+                cur[j + 1] = prev[j] + 1
+            else:
+                cur[j + 1] = max(prev[j + 1], cur[j])
+        out_right[i] = cur[n]
+        prev, cur = cur, prev
+    return prev[1:].copy(), out_right, float(prev[n])
+
+
+def lcs_length(
+    x: "np.ndarray | str | list",
+    y: "np.ndarray | str | list",
+    base_n: int = 4,
+    block_size: int = 1,
+    record: bool = True,
+) -> LCSRun:
+    """LCS length of two equal-length sequences via quadrant recursion.
+
+    Sequence length must be a power of two and ``>= base_n``.  The DP
+    table is never materialized: only ``O(n)`` boundaries flow between
+    quadrants, exactly as in the linear-space cache-oblivious algorithm.
+    """
+    xa = np.asarray([ord(ch) for ch in x] if isinstance(x, str) else x)
+    ya = np.asarray([ord(ch) for ch in y] if isinstance(y, str) else y)
+    if xa.ndim != 1 or ya.ndim != 1 or xa.size != ya.size:
+        raise TraceError("sequences must be 1-D and of equal length")
+    n = int(xa.size)
+    if not is_power_of(n, 2):
+        raise TraceError(f"sequence length must be a power of two, got {n}")
+    if not is_power_of(base_n, 2) or base_n < 1 or base_n > n:
+        raise TraceError(f"invalid base_n={base_n} for n={n}")
+    rec = TraceRecorder(block_size=block_size, label=f"lcs-n{n}") if record else None
+
+    # Global word address space: x at [0, n), y at [n, 2n), boundary
+    # buffers at [2n, ...) addressed by table coordinates (row buffer at
+    # 2n + col, column buffer at 3n + row).
+    X_BASE, Y_BASE, ROW_BASE, COL_BASE = 0, n, 2 * n, 3 * n
+
+    def touch_range(base: int, lo: int, hi: int) -> None:
+        if rec is not None and hi > lo:
+            rec.touch_words(np.arange(base + lo, base + hi, dtype=np.int64))
+
+    def solve(ri: int, cj: int, size: int, top: np.ndarray, left: np.ndarray,
+              corner: float) -> tuple[np.ndarray, np.ndarray, float]:
+        """Solve the size x size tile at table offset (ri, cj)."""
+        if size <= base_n:
+            if rec is not None:
+                rec.begin_leaf()
+            touch_range(X_BASE, ri, ri + size)
+            touch_range(Y_BASE, cj, cj + size)
+            touch_range(ROW_BASE, cj, cj + size)
+            touch_range(COL_BASE, ri, ri + size)
+            result = _tile_dp(xa[ri : ri + size], ya[cj : cj + size], top, left, corner)
+            if rec is not None:
+                rec.end_leaf()
+            return result
+        h = size // 2
+        # Boundary hand-off scans between quadrants: each transfers Θ(size)
+        # words of row/column boundary.
+        touch_range(ROW_BASE, cj, cj + size)
+        touch_range(COL_BASE, ri, ri + size)
+        # NW
+        nw_bot, nw_right, nw_diag = solve(ri, cj, h, top[:h], left[:h], corner)
+        # NE: top from top[h:], left from NW's right column
+        ne_bot, ne_right, _ = solve(ri, cj + h, h, top[h:], nw_right, float(top[h - 1]))
+        # SW: top from NW's bottom row, left from left[h:]
+        sw_bot, sw_right, _ = solve(ri + h, cj, h, nw_bot, left[h:], float(left[h - 1]))
+        # SE: top from NE's bottom, left from SW's right, corner from NW
+        se_bot, se_right, _ = solve(ri + h, cj + h, h, ne_bot, sw_right, nw_diag)
+        bottom = np.concatenate([sw_bot, se_bot])
+        right = np.concatenate([ne_right, se_right])
+        return bottom, right, float(bottom[-1])
+
+    top0 = np.zeros(n, dtype=np.int64)
+    left0 = np.zeros(n, dtype=np.int64)
+    bottom, _, _ = solve(0, 0, n, top0, left0, 0.0)
+    run_trace = rec.build() if rec else None
+    return LCSRun(int(bottom[-1]), run_trace)
+
+
+def lcs_reference(x, y) -> int:
+    """Classic O(n·m) DP, for verification."""
+    xa = [ord(ch) for ch in x] if isinstance(x, str) else list(x)
+    ya = [ord(ch) for ch in y] if isinstance(y, str) else list(y)
+    prev = [0] * (len(ya) + 1)
+    for xi in xa:
+        cur = [0]
+        for j, yj in enumerate(ya):
+            cur.append(prev[j] + 1 if xi == yj else max(prev[j + 1], cur[j]))
+        prev = cur
+    return prev[-1]

@@ -1,0 +1,101 @@
+"""Named ``(a,b,c)``-regular algorithm specifications from the paper.
+
+Sizes are in *blocks* with ``B = 1`` (Section 4's simplification), so a
+matrix-multiply problem "of size N words" is a problem of ``N`` blocks.
+
+====================  ===========  =====================================
+spec                  (a, b, c)    role in the paper
+====================  ===========  =====================================
+``MM_SCAN``           (8, 4, 1)    canonical non-adaptive algorithm (§3)
+``MM_INPLACE``        (8, 4, 0)    adaptive sibling of MM-SCAN (§3)
+``STRASSEN``          (7, 4, 1)    sub-cubic MM, in the gap regime (§6)
+``GEP``               (8, 4, 1)    Gaussian elimination paradigm / DP
+``FLOYD_WARSHALL``    (8, 4, 1)    APSP kernel (GEP instance)
+``LCS``               (4, 4, 1)    a = b degenerate regime (footnote 3)
+``MERGE_SORT``        (2, 2, 1)    a = b degenerate regime (footnote 3)
+``BINARY_ADAPTIVE``   (2, 4, 1)    a < b: trivially adaptive at c = 1
+``SQRT_SCAN``         (8, 4, 1/2)  c < 1: adaptive by Theorem 2
+====================  ===========  =====================================
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.spec import RegularSpec, ScanPlacement
+
+__all__ = [
+    "MM_SCAN",
+    "MM_INPLACE",
+    "STRASSEN",
+    "GEP",
+    "FLOYD_WARSHALL",
+    "LCS",
+    "MERGE_SORT",
+    "BINARY_ADAPTIVE",
+    "SQRT_SCAN",
+    "NAMED_SPECS",
+    "get_spec",
+]
+
+#: Divide-and-conquer matrix multiply that merges the eight sub-results
+#: with a linear scan: ``T(N) = 8 T(N/4) + Θ(N/B)``.
+MM_SCAN = RegularSpec(8, 4, 1.0, name="MM-SCAN")
+
+#: Matrix multiply accumulating directly into the output quadrants —
+#: no merging scan, ``(8, 4, 0)``-regular and optimally cache-adaptive.
+MM_INPLACE = RegularSpec(8, 4, 0.0, name="MM-INPLACE")
+
+#: Strassen's algorithm: seven recursive products of quarter-size
+#: subproblems plus linear-scan additions: ``T(N) = 7 T(N/4) + Θ(N/B)``.
+STRASSEN = RegularSpec(7, 4, 1.0, name="STRASSEN")
+
+#: The Gaussian elimination paradigm (Chowdhury–Ramachandran): triply
+#: nested DP updates over an n×n table (N = n² words):
+#: ``T(N) = 8 T(N/4) + Θ(N/B)``.
+GEP = RegularSpec(8, 4, 1.0, name="GEP")
+
+#: Floyd–Warshall APSP is a GEP instance with the same recurrence.
+FLOYD_WARSHALL = RegularSpec(8, 4, 1.0, name="FLOYD-WARSHALL")
+
+#: Cache-oblivious LCS on an n×n DP table: four quadrant subproblems of a
+#: quarter of the table: ``T(N) = 4 T(N/4) + Θ(N/B)`` — the ``a = b``
+#: regime in which no algorithm can be optimally cache-adaptive.
+LCS = RegularSpec(4, 4, 1.0, name="LCS")
+
+#: Two-way merge sort: ``T(N) = 2 T(N/2) + Θ(N/B)`` — also ``a = b``.
+MERGE_SORT = RegularSpec(2, 2, 1.0, name="MERGE-SORT")
+
+#: An ``a < b`` shape (e.g. prune-and-search style): trivially adaptive
+#: even at c = 1 because the scans dominate and are memory-insensitive.
+BINARY_ADAPTIVE = RegularSpec(2, 4, 1.0, name="BINARY-ADAPTIVE")
+
+#: A c < 1 shape: the scans are too small for the adversary to waste
+#: resources on (Theorem 2's adaptive case).
+SQRT_SCAN = RegularSpec(8, 4, 0.5, name="SQRT-SCAN")
+
+NAMED_SPECS: dict[str, RegularSpec] = {
+    s.name: s
+    for s in (
+        MM_SCAN,
+        MM_INPLACE,
+        STRASSEN,
+        GEP,
+        FLOYD_WARSHALL,
+        LCS,
+        MERGE_SORT,
+        BINARY_ADAPTIVE,
+        SQRT_SCAN,
+    )
+}
+
+
+def get_spec(name: str) -> RegularSpec:
+    """Look up a named spec (case-insensitive)."""
+    key = name.upper()
+    for spec_name, spec in NAMED_SPECS.items():
+        if spec_name.upper() == key:
+            return spec
+    from repro.errors import SpecError
+
+    raise SpecError(
+        f"unknown spec {name!r}; known: {sorted(NAMED_SPECS)}"
+    )

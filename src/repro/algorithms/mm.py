@@ -1,0 +1,368 @@
+"""Real divide-and-conquer matrix multiplication with trace recording.
+
+Three kernels from the paper:
+
+* :func:`mm_scan` — the canonical non-adaptive ``(8,4,1)``-regular
+  algorithm of Section 3: each level computes eight half-size products
+  (four into the output, four into a temporary) and merges with a linear
+  scan ``C += T``;
+* :func:`mm_inplace` — the adaptive ``(8,4,0)`` sibling: the eight
+  products accumulate directly into the output quadrants, no merge scan;
+* :func:`strassen` — Strassen's ``(7,4,1)``-regular algorithm, whose
+  additions are the linear scans.
+
+Every kernel both computes the true product (verified against numpy in
+the tests) and, when given a :class:`~repro.algorithms.traces.TraceRecorder`,
+emits the word-accurate reference trace of the DAM-level execution: base
+cases touch the words of their three operand tiles; scans sweep their
+operand regions.  Temporaries use a stack allocator so sibling calls reuse
+addresses, as a real implementation would.
+
+Matrices live in a single global address space: ``A``, ``B``, ``C`` and
+the temporary stack each get a contiguous segment, with coordinates mapped
+through a configurable layout (Morton by default — the layout that makes
+the recursion genuinely cache-oblivious).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.algorithms.layouts import Layout, get_layout
+from repro.algorithms.traces import Trace, TraceRecorder
+from repro.util.intmath import is_power_of
+
+__all__ = ["MMRun", "mm_scan", "mm_inplace", "strassen", "mm_scan_trace_adversary"]
+
+
+@dataclass
+class _Region:
+    """A square view into a matrix plus its global addressing info."""
+
+    data: np.ndarray  # full backing matrix
+    r0: int
+    c0: int
+    size: int
+    base_addr: int  # global word address of the backing matrix
+    layout: Layout
+
+    def view(self) -> np.ndarray:
+        return self.data[self.r0 : self.r0 + self.size, self.c0 : self.c0 + self.size]
+
+    def quad(self, qi: int, qj: int) -> "_Region":
+        h = self.size // 2
+        return _Region(
+            self.data, self.r0 + qi * h, self.c0 + qj * h, h, self.base_addr, self.layout
+        )
+
+    def word_addresses(self) -> np.ndarray:
+        rows, cols = np.meshgrid(
+            np.arange(self.r0, self.r0 + self.size),
+            np.arange(self.c0, self.c0 + self.size),
+            indexing="ij",
+        )
+        addrs = self.layout.addresses(rows.ravel(), cols.ravel())
+        return addrs + self.base_addr
+
+
+class _Scratch:
+    """Stack allocator of temporary matrices in the global address space."""
+
+    def __init__(self, layout_name: str, base_addr: int):
+        self.layout_name = layout_name
+        self.base_addr = base_addr
+        self.offset = 0
+
+    def alloc(self, size: int) -> _Region:
+        data = np.zeros((size, size), dtype=np.float64)
+        region = _Region(
+            data, 0, 0, size, self.base_addr + self.offset,
+            get_layout(self.layout_name, size),
+        )
+        self.offset += size * size
+        return region
+
+    def free(self, region: _Region) -> None:
+        self.offset -= region.size * region.size
+        if self.offset < 0:
+            raise TraceError("scratch stack underflow")
+
+
+@dataclass(frozen=True)
+class MMRun:
+    """Result of an instrumented multiply: the product and its trace."""
+
+    product: np.ndarray
+    trace: Trace | None
+
+
+def _touch_region(rec: TraceRecorder | None, region: _Region) -> None:
+    if rec is not None:
+        rec.touch_words(region.word_addresses())
+
+
+def _base_multiply(
+    rec: TraceRecorder | None, a: _Region, b: _Region, c: _Region, accumulate: bool
+) -> None:
+    """Base case: ``c (+)= a @ b`` on tiles small enough for cache."""
+    if rec is not None:
+        rec.begin_leaf()
+    _touch_region(rec, a)
+    _touch_region(rec, b)
+    _touch_region(rec, c)
+    if accumulate:
+        c.view()[...] += a.view() @ b.view()
+    else:
+        c.view()[...] = a.view() @ b.view()
+    if rec is not None:
+        rec.end_leaf()
+
+
+def _scan_add(rec: TraceRecorder | None, dst: _Region, src: _Region) -> None:
+    """The merging linear scan: ``dst += src`` over both regions."""
+    _touch_region(rec, src)
+    _touch_region(rec, dst)
+    dst.view()[...] += src.view()
+
+
+def _check_square(a: np.ndarray, b: np.ndarray, base_n: int) -> int:
+    if a.ndim != 2 or b.ndim != 2 or a.shape != b.shape or a.shape[0] != a.shape[1]:
+        raise TraceError("operands must be equal square matrices")
+    n = a.shape[0]
+    if not is_power_of(n, 2):
+        raise TraceError(f"matrix dimension must be a power of two, got {n}")
+    if not is_power_of(base_n, 2) or base_n < 1:
+        raise TraceError(f"base_n must be a power of two >= 1, got {base_n}")
+    if base_n > n:
+        raise TraceError(f"base_n={base_n} exceeds matrix dimension {n}")
+    return n
+
+
+def _setup(
+    a: np.ndarray,
+    b: np.ndarray,
+    n: int,
+    layout: str,
+    record: bool,
+    label: str,
+    block_size: int,
+) -> tuple[_Region, _Region, _Region, _Scratch, TraceRecorder | None]:
+    lay = get_layout(layout, n)
+    words = n * n
+    ra = _Region(np.array(a, dtype=np.float64), 0, 0, n, 0, lay)
+    rb = _Region(np.array(b, dtype=np.float64), 0, 0, n, words, lay)
+    rc = _Region(np.zeros((n, n), dtype=np.float64), 0, 0, n, 2 * words, lay)
+    scratch = _Scratch(layout, 3 * words)
+    rec = TraceRecorder(block_size=block_size, label=label) if record else None
+    return ra, rb, rc, scratch, rec
+
+
+# ---------------------------------------------------------------------------
+# MM-SCAN
+# ---------------------------------------------------------------------------
+
+
+def _mm_scan_rec(
+    rec: TraceRecorder | None,
+    scratch: _Scratch,
+    a: _Region,
+    b: _Region,
+    c: _Region,
+    base_n: int,
+) -> None:
+    if a.size <= base_n:
+        _base_multiply(rec, a, b, c, accumulate=False)
+        return
+    t = scratch.alloc(a.size)
+    # Eight half-size products: four into C's quadrants, four into T's.
+    for qi in (0, 1):
+        for qj in (0, 1):
+            _mm_scan_rec(rec, scratch, a.quad(qi, 0), b.quad(0, qj), c.quad(qi, qj), base_n)
+            _mm_scan_rec(rec, scratch, a.quad(qi, 1), b.quad(1, qj), t.quad(qi, qj), base_n)
+    # The merging linear scan of size Θ(N): C += T.
+    _scan_add(rec, c, t)
+    scratch.free(t)
+
+
+def mm_scan(
+    a: np.ndarray,
+    b: np.ndarray,
+    base_n: int = 2,
+    layout: str = "morton",
+    record: bool = True,
+    block_size: int = 1,
+) -> MMRun:
+    """Multiply ``a @ b`` with the (8,4,1)-regular MM-SCAN algorithm."""
+    n = _check_square(a, b, base_n)
+    ra, rb, rc, scratch, rec = _setup(a, b, n, layout, record, f"mm-scan-n{n}", block_size)
+    _mm_scan_rec(rec, scratch, ra, rb, rc, base_n)
+    return MMRun(rc.data, rec.build() if rec else None)
+
+
+# ---------------------------------------------------------------------------
+# MM-INPLACE
+# ---------------------------------------------------------------------------
+
+
+def _mm_inplace_rec(
+    rec: TraceRecorder | None,
+    a: _Region,
+    b: _Region,
+    c: _Region,
+    base_n: int,
+) -> None:
+    if a.size <= base_n:
+        _base_multiply(rec, a, b, c, accumulate=True)
+        return
+    # Eight half-size products accumulated directly into C: no scan.
+    for qi in (0, 1):
+        for qj in (0, 1):
+            for k in (0, 1):
+                _mm_inplace_rec(rec, a.quad(qi, k), b.quad(k, qj), c.quad(qi, qj), base_n)
+
+
+def mm_inplace(
+    a: np.ndarray,
+    b: np.ndarray,
+    base_n: int = 2,
+    layout: str = "morton",
+    record: bool = True,
+    block_size: int = 1,
+) -> MMRun:
+    """Multiply ``a @ b`` with the (8,4,0)-regular MM-INPLACE algorithm."""
+    n = _check_square(a, b, base_n)
+    ra, rb, rc, _, rec = _setup(a, b, n, layout, record, f"mm-inplace-n{n}", block_size)
+    _mm_inplace_rec(rec, ra, rb, rc, base_n)
+    return MMRun(rc.data, rec.build() if rec else None)
+
+
+# ---------------------------------------------------------------------------
+# Strassen
+# ---------------------------------------------------------------------------
+
+
+def _scan_combine(
+    rec: TraceRecorder | None, dst: _Region, srcs: list[tuple[float, _Region]]
+) -> None:
+    """Linear scan computing ``dst = sum coeff * src`` over the regions."""
+    for _, s in srcs:
+        _touch_region(rec, s)
+    _touch_region(rec, dst)
+    acc = np.zeros((dst.size, dst.size), dtype=np.float64)
+    for coeff, s in srcs:
+        acc += coeff * s.view()
+    dst.view()[...] = acc
+
+
+def _strassen_rec(
+    rec: TraceRecorder | None,
+    scratch: _Scratch,
+    a: _Region,
+    b: _Region,
+    c: _Region,
+    base_n: int,
+) -> None:
+    if a.size <= base_n:
+        _base_multiply(rec, a, b, c, accumulate=False)
+        return
+    h = a.size // 2
+    a11, a12, a21, a22 = a.quad(0, 0), a.quad(0, 1), a.quad(1, 0), a.quad(1, 1)
+    b11, b12, b21, b22 = b.quad(0, 0), b.quad(0, 1), b.quad(1, 0), b.quad(1, 1)
+
+    s = scratch.alloc(h)  # left operand temp
+    t = scratch.alloc(h)  # right operand temp
+    m = [scratch.alloc(h) for _ in range(7)]  # the seven products
+
+    def product(idx, left_terms, right_terms):
+        if len(left_terms) == 1 and left_terms[0][0] == 1.0:
+            left = left_terms[0][1]
+        else:
+            _scan_combine(rec, s, left_terms)
+            left = s
+        if len(right_terms) == 1 and right_terms[0][0] == 1.0:
+            right = right_terms[0][1]
+        else:
+            _scan_combine(rec, t, right_terms)
+            right = t
+        _strassen_rec(rec, scratch, left, right, m[idx], base_n)
+
+    product(0, [(1.0, a11), (1.0, a22)], [(1.0, b11), (1.0, b22)])  # M1
+    product(1, [(1.0, a21), (1.0, a22)], [(1.0, b11)])              # M2
+    product(2, [(1.0, a11)], [(1.0, b12), (-1.0, b22)])             # M3
+    product(3, [(1.0, a22)], [(1.0, b21), (-1.0, b11)])             # M4
+    product(4, [(1.0, a11), (1.0, a12)], [(1.0, b22)])              # M5
+    product(5, [(1.0, a21), (-1.0, a11)], [(1.0, b11), (1.0, b12)]) # M6
+    product(6, [(1.0, a12), (-1.0, a22)], [(1.0, b21), (1.0, b22)]) # M7
+
+    _scan_combine(rec, c.quad(0, 0), [(1.0, m[0]), (1.0, m[3]), (-1.0, m[4]), (1.0, m[6])])
+    _scan_combine(rec, c.quad(0, 1), [(1.0, m[2]), (1.0, m[4])])
+    _scan_combine(rec, c.quad(1, 0), [(1.0, m[1]), (1.0, m[3])])
+    _scan_combine(rec, c.quad(1, 1), [(1.0, m[0]), (-1.0, m[1]), (1.0, m[2]), (1.0, m[5])])
+
+    for region in reversed(m):
+        scratch.free(region)
+    scratch.free(t)
+    scratch.free(s)
+
+
+def strassen(
+    a: np.ndarray,
+    b: np.ndarray,
+    base_n: int = 2,
+    layout: str = "morton",
+    record: bool = True,
+    block_size: int = 1,
+) -> MMRun:
+    """Multiply ``a @ b`` with Strassen's (7,4,1)-regular algorithm."""
+    n = _check_square(a, b, base_n)
+    ra, rb, rc, scratch, rec = _setup(a, b, n, layout, record, f"strassen-n{n}", block_size)
+    _strassen_rec(rec, scratch, ra, rb, rc, base_n)
+    return MMRun(rc.data, rec.build() if rec else None)
+
+
+# ---------------------------------------------------------------------------
+# Trace-matched adversary
+# ---------------------------------------------------------------------------
+
+
+def mm_scan_trace_adversary(dim: int, base_n: int = 2, block_size: int = 1):
+    """The Section-3 worst-case profile matched to a *real* MM-SCAN trace.
+
+    The abstract profile ``M_{8,4}(n)`` assumes unit-constant geometry; a
+    genuine ``dim x dim`` MM-SCAN execution has concrete working sets —
+    a base-case multiply of ``base_n x base_n`` tiles touches
+    ``3 * base_n**2`` words (its A, B, C tiles) and the merging scan at
+    recursion dimension ``d`` touches ``2 * d**2`` words (the C and T
+    regions).  This builder emits boxes sized to exactly those working
+    sets (in blocks of ``block_size``), recursively in the same order as
+    the execution, so that on the square-profile trace machine every box
+    is exhausted by exactly one phase of the real algorithm — the literal
+    "memory does the wrong thing at every step" adversary.
+
+    Returns a :class:`~repro.profiles.square.SquareProfile`.
+    """
+    from repro.profiles.square import SquareProfile
+
+    if not is_power_of(dim, 2) or not is_power_of(base_n, 2):
+        raise TraceError("dim and base_n must be powers of two")
+    if base_n > dim:
+        raise TraceError(f"base_n={base_n} exceeds dim={dim}")
+
+    def blocks_for(words: int) -> int:
+        return max(1, -(-words // block_size))
+
+    boxes: list[int] = []
+
+    def rec(d: int) -> None:
+        if d <= base_n:
+            boxes.append(blocks_for(3 * d * d))
+            return
+        for _ in range(8):
+            rec(d // 2)
+        boxes.append(blocks_for(2 * d * d))
+
+    rec(dim)
+    return SquareProfile(np.asarray(boxes, dtype=np.int64))

@@ -1,0 +1,98 @@
+"""Randomized ``(a,b,c)``-regular algorithms — the paper's open question.
+
+The conclusion asks: *"Could randomized algorithms also overcome
+worst-case profiles and result in cache-adaptivity?"*  Definition 2 lets
+an algorithm run parts of its scan before, between, and after the
+recursive calls; a natural randomization is to let each node decide *at
+runtime, randomly* where its scan goes.  The worst-case profile is built
+against one fixed placement (canonically, trailing scans), so a random
+placement breaks the adversary's alignment at every node — but the
+No-Catch-up machinery suggests the profile may re-synchronize anyway.
+The ``randomized`` experiment measures which intuition wins.
+
+This module provides scan-placement randomizers to plug into
+:class:`~repro.algorithms.cursor.ExecutionCursor` (and through
+:class:`~repro.simulation.symbolic.SymbolicSimulator`'s
+``scan_randomizer`` argument):
+
+* :func:`random_slot_placement` — the whole scan runs after a uniformly
+  random one of the ``a + 1`` slots around the children;
+* :func:`random_split_placement` — the scan is split multinomially
+  across all ``a + 1`` slots;
+* :func:`coin_flip_placement` — front or back, by a fair coin (the
+  smallest possible randomization).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.algorithms.spec import RegularSpec
+from repro.util.rng import as_generator
+
+__all__ = [
+    "ScanRandomizer",
+    "random_slot_placement",
+    "random_split_placement",
+    "coin_flip_placement",
+]
+
+# Maps a node size to the a+1 scan-piece lengths for that node.
+ScanRandomizer = Callable[[int], "list[int]"]
+
+
+def _check(spec: RegularSpec) -> None:
+    if float(spec.c) == 0.0:
+        raise SpecError(
+            f"{spec.name} has no scans (c = 0); nothing to randomize"
+        )
+
+
+def random_slot_placement(spec: RegularSpec, rng: object = None) -> ScanRandomizer:
+    """Each node's whole scan runs in one uniformly random slot
+    (before child 0, between children i and i+1, or after child a-1)."""
+    _check(spec)
+    gen = as_generator(rng)
+    slots = spec.a + 1
+
+    def pieces(size: int) -> list[int]:
+        out = [0] * slots
+        out[int(gen.integers(0, slots))] = spec.scan_length(size)
+        return out
+
+    return pieces
+
+
+def random_split_placement(spec: RegularSpec, rng: object = None) -> ScanRandomizer:
+    """Each node's scan is split uniformly-multinomially across all
+    ``a + 1`` slots (every scan access lands in an independent slot)."""
+    _check(spec)
+    gen = as_generator(rng)
+    slots = spec.a + 1
+    probs = np.full(slots, 1.0 / slots)
+
+    def pieces(size: int) -> list[int]:
+        length = spec.scan_length(size)
+        if length == 0:
+            return [0] * slots
+        return [int(x) for x in gen.multinomial(length, probs)]
+
+    return pieces
+
+
+def coin_flip_placement(spec: RegularSpec, rng: object = None) -> ScanRandomizer:
+    """Each node flips a fair coin: scan entirely first or entirely last."""
+    _check(spec)
+    gen = as_generator(rng)
+    slots = spec.a + 1
+
+    def pieces(size: int) -> list[int]:
+        out = [0] * slots
+        idx = 0 if gen.random() < 0.5 else slots - 1
+        out[idx] = spec.scan_length(size)
+        return out
+
+    return pieces

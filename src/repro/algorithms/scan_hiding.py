@@ -1,0 +1,66 @@
+"""Scan-hiding (Lincoln, Liu, Lynch, Xu — SPAA 2018), the prior technique
+the paper positions itself against.
+
+Scan-hiding rewrites certain non-adaptive ``(a, b, 1)``-regular algorithms
+(``a > b``) so that each node's linear scan is interleaved with the
+recursive computation instead of running as one long memory-insensitive
+phase.  After the rewrite the adversary of Section 3 has no scan phase to
+exploit, and the algorithm becomes worst-case cache-adaptive — at the cost
+of extra bookkeeping overhead, and only for algorithms whose scans can be
+decomposed (the paper notes it "introduces too much overhead and also does
+not apply to all" such algorithms).
+
+At the symbolic level of this library, the *effect* of scan-hiding is that
+scans stop being separable events: the hidden scan work rides along with
+the base cases.  :func:`transform` therefore produces a spec with ``c = 0``
+(no scan events), and :func:`overhead_factor` reports exactly how much
+hidden work each leaf absorbs, so experiments can show both sides of the
+trade-off (adaptive ratio vs. inflated constant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import SpecError
+from repro.algorithms.spec import RegularSpec
+
+__all__ = ["transform", "overhead_factor", "hidden_work_per_leaf"]
+
+
+def transform(spec: RegularSpec) -> RegularSpec:
+    """Scan-hidden version of ``spec``.
+
+    Only meaningful (and only allowed) in the gap regime ``a > b, c = 1``;
+    adaptive or degenerate specs are rejected since the transformation
+    would be pointless or impossible.
+    """
+    if spec.regime != "gap":
+        raise SpecError(
+            f"scan-hiding applies to the gap regime (a > b, c = 1); "
+            f"{spec.name} is in regime {spec.regime!r}"
+        )
+    return replace(spec, c=0.0, name=f"{spec.name}+scan-hiding")
+
+
+def hidden_work_per_leaf(spec: RegularSpec, n: int) -> float:
+    """Average hidden scan accesses carried by each base-case leaf.
+
+    The subtree of the root holds ``S(n)`` total scan accesses
+    (``spec.subtree_scan_total``) distributed over ``leaves(n)`` base
+    cases.  Because ``a > b`` implies ``leaves(m) = (m/base)**e`` grows
+    faster than the scans ``m``, the per-leaf burden is a geometric series
+    that converges to a constant as ``n`` grows — which is what makes
+    scan-hiding viable.
+    """
+    spec.validate_problem_size(n)
+    return spec.subtree_scan_total(n) / spec.leaves(n)
+
+
+def overhead_factor(spec: RegularSpec, n: int) -> float:
+    """Work inflation of the scan-hidden algorithm: total accesses of the
+    original algorithm divided by the accesses the transformed spec is
+    charged for (its leaves alone)."""
+    spec.validate_problem_size(n)
+    leaves_work = spec.leaves(n) * spec.base_size
+    return (leaves_work + spec.subtree_scan_total(n)) / leaves_work

@@ -1,0 +1,94 @@
+"""Two-way merge sort — the classical ``a = b = 2, c = 1`` shape.
+
+Footnote 3 of the paper: when ``a = b`` and ``c = 1`` no algorithm can be
+optimally cache-adaptive, because such algorithms are already a
+``Θ(log(M/B))`` factor from DAM-optimal (two-way merge sort is the
+canonical example).  The kernel is included to exercise that regime with a
+real trace: recursion on halves, with the merge as the linear scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.algorithms.traces import Trace, TraceRecorder
+from repro.util.intmath import is_power_of
+
+__all__ = ["SortRun", "merge_sort"]
+
+
+@dataclass(frozen=True)
+class SortRun:
+    """Result of an instrumented merge sort."""
+
+    sorted_values: np.ndarray
+    trace: Trace | None
+
+
+def merge_sort(
+    values: np.ndarray,
+    base_n: int = 4,
+    block_size: int = 1,
+    record: bool = True,
+) -> SortRun:
+    """Sort ``values`` (length a power of two) with traced 2-way merge sort.
+
+    Address space: the working array occupies words ``[0, n)``; the merge
+    buffer words ``[n, 2n)``.  Each merge of a size-``m`` range sweeps both
+    (the ``Θ(m)`` scan); base cases sort tiles of ``base_n`` in place.
+    """
+    arr = np.array(values)
+    if arr.ndim != 1:
+        raise TraceError("values must be 1-D")
+    n = int(arr.size)
+    if not is_power_of(n, 2):
+        raise TraceError(f"length must be a power of two, got {n}")
+    if not is_power_of(base_n, 2) or base_n < 1 or base_n > n:
+        raise TraceError(f"invalid base_n={base_n} for n={n}")
+    rec = TraceRecorder(block_size=block_size, label=f"merge-sort-n{n}") if record else None
+    BUF_BASE = n
+
+    def touch_range(lo: int, hi: int) -> None:
+        if rec is not None and hi > lo:
+            rec.touch_words(np.arange(lo, hi, dtype=np.int64))
+
+    def sort(lo: int, hi: int) -> None:
+        size = hi - lo
+        if size <= base_n:
+            if rec is not None:
+                rec.begin_leaf()
+            touch_range(lo, hi)
+            arr[lo:hi] = np.sort(arr[lo:hi])
+            if rec is not None:
+                rec.end_leaf()
+            return
+        mid = (lo + hi) // 2
+        sort(lo, mid)
+        sort(mid, hi)
+        # Merge scan: read both halves, write through the buffer, copy back.
+        touch_range(lo, hi)
+        touch_range(BUF_BASE + lo, BUF_BASE + hi)
+        merged = np.empty(size, dtype=arr.dtype)
+        i, j, k = lo, mid, 0
+        left, right = arr[lo:mid].copy(), arr[mid:hi].copy()
+        li = ri = 0
+        while li < left.size and ri < right.size:
+            if left[li] <= right[ri]:
+                merged[k] = left[li]
+                li += 1
+            else:
+                merged[k] = right[ri]
+                ri += 1
+            k += 1
+        if li < left.size:
+            merged[k:] = left[li:]
+        if ri < right.size:
+            merged[k:] = right[ri:]
+        arr[lo:hi] = merged
+        touch_range(lo, hi)
+
+    sort(0, n)
+    return SortRun(arr, rec.build() if rec else None)

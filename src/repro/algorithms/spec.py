@@ -1,0 +1,227 @@
+"""Specifications of ``(a, b, c)``-regular algorithms (Definition 2).
+
+An ``(a,b,c)``-regular algorithm on a problem of ``n`` blocks recurses on
+exactly ``a`` subproblems of size ``n/b`` and otherwise performs only a
+linear scan of ``n**c`` blocks (parts of which may run before, between, or
+after the recursive calls), down to a base case of ``Θ(1)`` blocks.  Its
+I/O complexity satisfies ``T(N) = a T(N/b) + Θ(1 + N**c / B)``.
+
+:class:`RegularSpec` captures the parameters plus the two modelling
+choices Definition 2 leaves open — base-case size and scan placement — and
+provides the derived quantities the analysis needs (critical exponent,
+leaf counts, per-subtree scan totals, Theorem-2 regime classification).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import Iterator
+
+from repro.errors import SpecError
+from repro.util.intmath import (
+    critical_exponent,
+    critical_exponent_fraction,
+    ilog,
+    is_power_of,
+)
+
+__all__ = ["ScanPlacement", "RegularSpec"]
+
+
+class ScanPlacement:
+    """Where a node's linear scan runs relative to its recursive calls.
+
+    ``END`` is the canonical form (the paper notes any placement can be
+    converted to a single trailing scan); ``FRONT`` puts it before the
+    children; ``SPLIT`` divides it into ``a+1`` near-equal pieces
+    interleaved around the children.
+    """
+
+    END = "end"
+    FRONT = "front"
+    SPLIT = "split"
+    ALL = (END, FRONT, SPLIT)
+
+
+@dataclass(frozen=True)
+class RegularSpec:
+    """An ``(a, b, c)``-regular algorithm specification.
+
+    Parameters
+    ----------
+    a:
+        Number of recursive subproblems (``a >= 1``).
+    b:
+        Size reduction factor per level (integer ``b >= 2``).
+    c:
+        Scan exponent in ``[0, 1]``.  ``c = 0`` means no merging scan
+        (e.g. in-place matrix multiply); ``c = 1`` means a full linear
+        scan of the problem (the non-adaptive regime when ``a >= b``).
+    base_size:
+        Base-case problem size in blocks (``Θ(1)``; default 1).
+    scan_placement:
+        One of :class:`ScanPlacement`.
+    name:
+        Optional label for reports.
+    """
+
+    a: int
+    b: int
+    c: float
+    base_size: int = 1
+    scan_placement: str = ScanPlacement.END
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.a, int) or self.a < 1:
+            raise SpecError(f"a must be an integer >= 1, got {self.a!r}")
+        if not isinstance(self.b, int) or self.b < 2:
+            raise SpecError(f"b must be an integer >= 2, got {self.b!r}")
+        if not 0.0 <= float(self.c) <= 1.0:
+            raise SpecError(f"c must be in [0, 1], got {self.c!r}")
+        if not isinstance(self.base_size, int) or self.base_size < 1:
+            raise SpecError(f"base_size must be an integer >= 1, got {self.base_size!r}")
+        if self.scan_placement not in ScanPlacement.ALL:
+            raise SpecError(
+                f"scan_placement must be one of {ScanPlacement.ALL}, "
+                f"got {self.scan_placement!r}"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", f"({self.a},{self.b},{self.c:g})-regular")
+
+    # -- derived parameters ------------------------------------------------
+    @property
+    def exponent(self) -> float:
+        """The critical exponent ``e = log_b a`` (Lemma 1's potential
+        exponent; 3/2 for naive matrix multiplication)."""
+        return critical_exponent(self.a, self.b)
+
+    @property
+    def exponent_fraction(self) -> Fraction | None:
+        """``log_b a`` as an exact fraction when rational, else None."""
+        return critical_exponent_fraction(self.a, self.b)
+
+    @property
+    def regime(self) -> str:
+        """Theorem-2 regime classification.
+
+        * ``"adaptive"`` — ``c < 1``, or ``a < b`` (optimal cache-adaptive
+          whenever DAM-optimal);
+        * ``"gap"`` — ``c = 1`` and ``a > b`` (the ``Θ(log_b N)``
+          worst-case gap this paper closes in expectation);
+        * ``"degenerate"`` — ``c = 1`` and ``a = b`` (already
+          ``Θ(log(M/B))`` from optimal in the DAM; out of scope).
+        """
+        if float(self.c) < 1.0 or self.a < self.b:
+            return "adaptive"
+        if self.a == self.b:
+            return "degenerate"
+        return "gap"
+
+    @property
+    def worst_case_adaptive(self) -> bool:
+        """True iff Theorem 2 guarantees worst-case cache-adaptivity."""
+        return self.regime == "adaptive"
+
+    # -- problem geometry ----------------------------------------------------
+    def validate_problem_size(self, n: int) -> int:
+        """Check ``n = base_size * b**k`` and return the depth ``k``."""
+        if n < self.base_size:
+            raise SpecError(f"problem size {n} below base_size {self.base_size}")
+        if n % self.base_size != 0 or not is_power_of(n // self.base_size, self.b):
+            raise SpecError(
+                f"problem size {n} must be base_size*b**k "
+                f"(base_size={self.base_size}, b={self.b})"
+            )
+        return ilog(n // self.base_size, self.b)
+
+    def depth(self, n: int) -> int:
+        """Recursion depth from a size-``n`` problem to the base case."""
+        return self.validate_problem_size(n)
+
+    def problem_sizes(self, n: int) -> list[int]:
+        """All node sizes ``[base_size, ..., n]`` in ascending order."""
+        d = self.validate_problem_size(n)
+        return [self.base_size * self.b**k for k in range(d + 1)]
+
+    def leaves(self, n: int) -> int:
+        """Number of base-case leaves: ``a**depth(n) = (n/base)**e``."""
+        return self.a ** self.validate_problem_size(n)
+
+    def child_size(self, n: int) -> int:
+        if n <= self.base_size:
+            raise SpecError(f"size {n} is a base case; no children")
+        return n // self.b
+
+    def scan_length(self, n: int) -> int:
+        """Scan length (in blocks) at a size-``n`` non-base node.
+
+        ``0`` when ``c == 0`` (pure in-place recursion, e.g. MM-INPLACE),
+        else ``round(n**c)`` — exactly ``n`` when ``c == 1``.
+        Base-case nodes have no scan.
+        """
+        if n <= self.base_size:
+            return 0
+        if float(self.c) == 0.0:
+            return 0
+        if float(self.c) == 1.0:
+            return int(n)
+        return max(1, int(round(float(n) ** float(self.c))))
+
+    def subtree_scan_total(self, n: int) -> int:
+        """Total scan accesses in the whole subtree of a size-``n`` node:
+        ``S(n) = a S(n/b) + scan_length(n)``, ``S(base) = 0``."""
+        d = self.validate_problem_size(n)
+        total = 0
+        size = n
+        mult = 1
+        for _ in range(d):
+            total += mult * self.scan_length(size)
+            mult *= self.a
+            size //= self.b
+        return total
+
+    def subtree_accesses(self, n: int) -> int:
+        """Total accesses in a canonical linearization of the subtree:
+        leaves contribute ``base_size`` each, scans their length.  This is
+        the reference-sequence length used for cursor ordering."""
+        return self.leaves(n) * self.base_size + self.subtree_scan_total(n)
+
+    def scan_pieces(self, n: int) -> list[int]:
+        """Lengths of the scan pieces around the ``a`` children, by
+        placement: ``END -> [0]*a + [L]``; ``FRONT -> [L] + [0]*a``;
+        ``SPLIT`` divides ``L`` into ``a+1`` near-equal integer pieces.
+        The returned list always has ``a + 1`` entries: piece ``i`` runs
+        before child ``i`` (piece ``a`` runs after the last child)."""
+        length = self.scan_length(n)
+        pieces = [0] * (self.a + 1)
+        if length == 0:
+            return pieces
+        if self.scan_placement == ScanPlacement.END:
+            pieces[-1] = length
+        elif self.scan_placement == ScanPlacement.FRONT:
+            pieces[0] = length
+        else:  # SPLIT
+            q, r = divmod(length, self.a + 1)
+            for i in range(self.a + 1):
+                pieces[i] = q + (1 if i < r else 0)
+        return pieces
+
+    # -- convenience ---------------------------------------------------------
+    def with_placement(self, placement: str) -> "RegularSpec":
+        """Copy of this spec with a different scan placement."""
+        return replace(self, scan_placement=placement, name=self.name)
+
+    def with_base_size(self, base_size: int) -> "RegularSpec":
+        """Copy of this spec with a different base-case size."""
+        return replace(self, base_size=base_size, name=self.name)
+
+    def describe(self) -> str:
+        e = self.exponent
+        return (
+            f"{self.name}: a={self.a}, b={self.b}, c={self.c:g}, "
+            f"base={self.base_size}, scans={self.scan_placement}, "
+            f"e=log_{self.b}({self.a})={e:.4g}, regime={self.regime}"
+        )

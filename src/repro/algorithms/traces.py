@@ -1,0 +1,218 @@
+"""Block-reference traces and their recorder.
+
+A :class:`Trace` is the unit of exchange between real algorithm
+implementations (:mod:`repro.algorithms.mm`, :mod:`repro.algorithms.gep`,
+…) and the machine simulators (:mod:`repro.machine`): a flat array of
+block addresses, annotated with the spans of base-case leaves so the
+machines can count *progress* (base cases at least partly executed inside
+a box — the paper's progress measure).
+
+:func:`synthetic_trace` generates a trace directly from a
+:class:`~repro.algorithms.spec.RegularSpec` with the exact distinct-block
+geometry of Definition 2 (a size-``m`` subproblem touches ``m`` distinct
+blocks; the scan sweeps the node's region), which is what lets the
+trace-level machine be cross-checked against the symbolic simulator for
+arbitrary ``(a, b, c)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.algorithms.spec import RegularSpec
+
+__all__ = ["Trace", "TraceRecorder", "synthetic_trace"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An annotated block-reference trace.
+
+    ``blocks``      — int64 array: the i-th entry is the block touched by
+    the i-th memory reference.
+    ``leaf_spans``  — int64 array of shape (k, 2): half-open reference
+    ranges ``[start, end)`` occupied by each base-case leaf, in order.
+    ``block_size``  — the word-to-block divisor ``B`` used when recording.
+    ``label``       — human-readable description.
+    """
+
+    blocks: np.ndarray
+    leaf_spans: np.ndarray
+    block_size: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        blocks = np.ascontiguousarray(self.blocks, dtype=np.int64)
+        spans = np.ascontiguousarray(self.leaf_spans, dtype=np.int64)
+        if blocks.ndim != 1:
+            raise TraceError("blocks must be a 1-D array")
+        if spans.size == 0:
+            spans = spans.reshape(0, 2)
+        if spans.ndim != 2 or spans.shape[1] != 2:
+            raise TraceError("leaf_spans must have shape (k, 2)")
+        if spans.shape[0]:
+            if np.any(spans[:, 0] > spans[:, 1]):
+                raise TraceError("leaf spans must satisfy start <= end")
+            if np.any(spans[:, 1] > blocks.size) or np.any(spans[:, 0] < 0):
+                raise TraceError("leaf spans out of trace range")
+            if np.any(np.diff(spans[:, 0]) < 0):
+                raise TraceError("leaf spans must be sorted by start")
+        if self.block_size < 1:
+            raise TraceError(f"block_size must be >= 1, got {self.block_size}")
+        blocks.setflags(write=False)
+        spans.setflags(write=False)
+        object.__setattr__(self, "blocks", blocks)
+        object.__setattr__(self, "leaf_spans", spans)
+
+    def __len__(self) -> int:
+        return int(self.blocks.size)
+
+    @property
+    def n_leaves(self) -> int:
+        return int(self.leaf_spans.shape[0])
+
+    def distinct_blocks(self) -> int:
+        """Number of distinct blocks touched anywhere in the trace."""
+        return int(np.unique(self.blocks).size) if len(self) else 0
+
+    def working_set_of_range(self, start: int, end: int) -> int:
+        """Distinct blocks touched in references ``[start, end)``."""
+        if not 0 <= start <= end <= len(self):
+            raise TraceError(f"range [{start}, {end}) out of bounds")
+        return int(np.unique(self.blocks[start:end]).size)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(label={self.label!r}, refs={len(self)}, "
+            f"leaves={self.n_leaves}, B={self.block_size})"
+        )
+
+
+class TraceRecorder:
+    """Incremental builder used by instrumented algorithm implementations.
+
+    Word addresses are divided by ``block_size`` on the fly.  Leaf spans
+    are recorded with :meth:`begin_leaf` / :meth:`end_leaf` around each
+    base-case computation.
+    """
+
+    def __init__(self, block_size: int = 1, label: str = ""):
+        if block_size < 1:
+            raise TraceError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = block_size
+        self.label = label
+        self._chunks: list[np.ndarray] = []
+        self._pending: list[int] = []
+        self._spans: list[tuple[int, int]] = []
+        self._count = 0
+        self._leaf_start: int | None = None
+
+    # -- recording ------------------------------------------------------
+    def touch(self, word_addr: int) -> None:
+        """Record one word access."""
+        self._pending.append(word_addr // self.block_size)
+        self._count += 1
+        if len(self._pending) >= 65536:
+            self._flush_pending()
+
+    def touch_words(self, word_addrs: np.ndarray) -> None:
+        """Record a vector of word accesses (order preserved)."""
+        arr = np.asarray(word_addrs, dtype=np.int64) // self.block_size
+        self._flush_pending()
+        self._chunks.append(arr)
+        self._count += arr.size
+
+    def touch_range(self, word_lo: int, word_hi: int) -> None:
+        """Record a sequential sweep of words ``[word_lo, word_hi)``."""
+        if word_hi < word_lo:
+            raise TraceError("word_hi must be >= word_lo")
+        self.touch_words(np.arange(word_lo, word_hi, dtype=np.int64))
+
+    def begin_leaf(self) -> None:
+        if self._leaf_start is not None:
+            raise TraceError("begin_leaf called twice without end_leaf")
+        self._leaf_start = self._count
+
+    def end_leaf(self) -> None:
+        if self._leaf_start is None:
+            raise TraceError("end_leaf without begin_leaf")
+        self._spans.append((self._leaf_start, self._count))
+        self._leaf_start = None
+
+    # -- finalization ------------------------------------------------------
+    def _flush_pending(self) -> None:
+        if self._pending:
+            self._chunks.append(np.asarray(self._pending, dtype=np.int64))
+            self._pending = []
+
+    def build(self) -> Trace:
+        """Finalize into an immutable :class:`Trace`."""
+        if self._leaf_start is not None:
+            raise TraceError("unclosed leaf at build time")
+        self._flush_pending()
+        blocks = (
+            np.concatenate(self._chunks)
+            if self._chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        spans = (
+            np.asarray(self._spans, dtype=np.int64)
+            if self._spans
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        return Trace(blocks, spans, block_size=self.block_size, label=self.label)
+
+
+def synthetic_trace(spec: RegularSpec, n: int, label: str = "") -> Trace:
+    """Generate the canonical trace of an ``(a,b,c)``-regular execution.
+
+    The size-``n`` root owns block region ``[0, n)``.  A size-``m`` node
+    with region ``[lo, lo+m)`` gives child ``i`` the sub-region
+    ``[lo + (i mod b)*(m/b), ...)`` — so the ``a`` children cover all
+    ``b`` sub-regions and (since ``a > b`` revisits some) exhibit the
+    block reuse that real divide-and-conquer kernels have — and sweeps
+    ``scan_length(m)`` blocks of its own region as its scan, placed
+    according to the spec's scan placement.  Leaves touch every block of
+    their region.
+
+    The result satisfies Definition 2 exactly: every size-``m`` subproblem
+    touches precisely ``m`` distinct blocks.
+    """
+    depth = spec.validate_problem_size(n)
+    rec = TraceRecorder(block_size=1, label=label or f"synthetic-{spec.name}-n{n}")
+
+    def emit_scan(lo: int, length: int) -> None:
+        if length:
+            rec.touch_range(lo, lo + length)
+
+    def rec_node(size: int, lo: int) -> None:
+        if size <= spec.base_size:
+            rec.begin_leaf()
+            rec.touch_range(lo, lo + size)
+            rec.end_leaf()
+            return
+        pieces = spec.scan_pieces(size)
+        child = size // spec.b
+        # Scan pieces sweep the node's region cyclically so that a full
+        # scan (c = 1) covers exactly the whole region.
+        swept = 0
+        for i in range(spec.a):
+            if pieces[i]:
+                emit_scan(lo + swept % size, min(pieces[i], size - swept % size))
+                extra = pieces[i] - min(pieces[i], size - swept % size)
+                if extra:
+                    emit_scan(lo, extra)
+                swept += pieces[i]
+            rec_node(child, lo + (i % spec.b) * child)
+        if pieces[spec.a]:
+            start = swept % size
+            first = min(pieces[spec.a], size - start)
+            emit_scan(lo + start, first)
+            if pieces[spec.a] - first:
+                emit_scan(lo, pieces[spec.a] - first)
+    rec_node(n, 0)
+    return rec.build()

@@ -1,0 +1,75 @@
+"""Analysis layer: potentials (Lemma 1), adaptivity ratios and verdicts,
+the exact Lemma-3 recurrence solver (Equations 3–9), the No-Catch-up
+checker (Lemma 2), and the smoothing scenarios of Sections 3–4."""
+
+from repro.analysis.adaptivity import (
+    RatioSeries,
+    adaptivity_ratio,
+    worst_case_ratio,
+    worst_case_ratio_series,
+)
+from repro.analysis.feedback import (
+    FeedbackRecord,
+    feedback_report,
+    feedback_threshold,
+    verify_negative_feedback,
+)
+from repro.analysis.nocatchup import NoCatchupReport, check_no_catchup, finish_positions
+from repro.analysis.potential import max_progress, measured_potential, potential
+from repro.analysis.recurrence import (
+    LevelRecord,
+    RecurrenceSolution,
+    expected_boxes,
+    expected_cost_ratio,
+    expected_scan_boxes,
+    scan_boxes_bounds,
+    solve_recurrence,
+)
+from repro.analysis.theory import (
+    point_mass_limit_ratio,
+    point_mass_ratio_exact,
+    scan_hiding_overhead_limit,
+    split_adversary_slope,
+    worst_case_ratio_exact,
+)
+from repro.analysis.smoothing import (
+    iid_ratio_trials,
+    order_perturbation_trials,
+    shuffled_worst_case_trials,
+    size_perturbation_trials,
+    start_shift_trials,
+)
+
+__all__ = [
+    "RatioSeries",
+    "adaptivity_ratio",
+    "worst_case_ratio",
+    "worst_case_ratio_series",
+    "FeedbackRecord",
+    "feedback_report",
+    "feedback_threshold",
+    "verify_negative_feedback",
+    "NoCatchupReport",
+    "check_no_catchup",
+    "finish_positions",
+    "max_progress",
+    "measured_potential",
+    "potential",
+    "LevelRecord",
+    "RecurrenceSolution",
+    "expected_boxes",
+    "expected_cost_ratio",
+    "expected_scan_boxes",
+    "scan_boxes_bounds",
+    "solve_recurrence",
+    "point_mass_limit_ratio",
+    "point_mass_ratio_exact",
+    "scan_hiding_overhead_limit",
+    "split_adversary_slope",
+    "worst_case_ratio_exact",
+    "iid_ratio_trials",
+    "order_perturbation_trials",
+    "shuffled_worst_case_trials",
+    "size_perturbation_trials",
+    "start_shift_trials",
+]

@@ -1,0 +1,81 @@
+"""Adaptivity accounting and verdicts.
+
+The efficiency criterion (Inequality 2): an execution on boxes
+``(box_1..box_j)`` is efficiently cache-adaptive iff
+``sum_i min(n, |box_i|)**e <= O(n**e)``.  Experiments compute the
+*adaptivity ratio* (that sum divided by ``n**e``) across a sweep of
+problem sizes and classify its growth: bounded (adaptive) versus
+``Theta(log_b n)`` (the gap).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.algorithms.spec import RegularSpec
+from repro.profiles.square import SquareProfile
+from repro.profiles.worst_case import worst_case_bounded_potential
+from repro.util.fitting import fit_log_law, growth_verdict
+
+__all__ = [
+    "adaptivity_ratio",
+    "worst_case_ratio",
+    "worst_case_ratio_series",
+    "RatioSeries",
+]
+
+
+def adaptivity_ratio(profile: SquareProfile, spec: RegularSpec, n: int) -> float:
+    """``sum_i min(n, |box_i|)**e / n**e`` for the given profile."""
+    spec.validate_problem_size(n)
+    return profile.bounded_potential_sum(n, spec.exponent) / float(n) ** spec.exponent
+
+
+def worst_case_ratio(spec: RegularSpec, n: int) -> float:
+    """Closed-form adaptivity ratio of the canonical worst-case profile
+    ``M_{a,b}(n)`` (its boxes exactly complete one execution).
+
+    When ``a = b**e`` exactly this equals ``log_b(n/base) + 1`` — the
+    logarithmic gap of Theorem 2."""
+    return worst_case_bounded_potential(
+        spec.a, spec.b, n, bound=n, base_size=spec.base_size, exponent=spec.exponent
+    ) / float(n) ** spec.exponent
+
+
+def worst_case_ratio_series(spec: RegularSpec, ns: Sequence[int]) -> list[float]:
+    """Worst-case ratios across a size sweep."""
+    return [worst_case_ratio(spec, n) for n in ns]
+
+
+@dataclass(frozen=True)
+class RatioSeries:
+    """A measured adaptivity-ratio series with its growth classification."""
+
+    ns: tuple[int, ...]
+    ratios: tuple[float, ...]
+    base: float
+
+    def __post_init__(self) -> None:
+        if len(self.ns) != len(self.ratios) or len(self.ns) < 2:
+            raise SimulationError("need >= 2 paired (n, ratio) samples")
+
+    @property
+    def verdict(self) -> str:
+        """``"constant"`` (adaptive) or ``"logarithmic"`` (the gap)."""
+        return growth_verdict(self.ns, self.ratios, base=self.base)
+
+    @property
+    def log_slope(self) -> float:
+        """Fitted increase of the ratio per factor-``base`` increase of n
+        (≈ 1.0 for the canonical worst case, ≈ 0 for adaptive runs)."""
+        return fit_log_law(self.ns, self.ratios, base=self.base).slope
+
+    @staticmethod
+    def from_measurements(
+        ns: Sequence[int], ratios: Sequence[float], spec: RegularSpec
+    ) -> "RatioSeries":
+        return RatioSeries(tuple(int(x) for x in ns), tuple(float(r) for r in ratios),
+                           base=float(spec.b))

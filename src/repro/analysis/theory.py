@@ -1,0 +1,107 @@
+"""Closed-form predictions for the quantities the experiments measure.
+
+The simulator and the exact solver produce numbers; for several of them
+the ``(a, b, c)`` algebra gives clean closed forms, derived here and
+verified against the machinery in the test suite.  Having them in code
+turns "the measured constant looks right" into an equality check.
+
+* **Worst-case ratio** (canonical adversary, ``a = b^e`` on the lattice):
+  every level of ``M_{a,b}(n)`` contributes potential exactly ``n^e``, so
+  the ratio is ``log_b(n/base) + 1`` — slope 1, intercept 1.
+* **Point-mass i.i.d. limit**: boxes all of size ``s`` (on the lattice,
+  ``s = b^j``).  For ``n = s·b^t``: ``f(n) = a^t + Σ_{j=1}^t a^{t-j} b^j``
+  (each level's scan costs ``b^j`` boxes), and since ``m_n = s^e`` the
+  normalized cost telescopes to
+
+      ``ratio(t) = 1 + (b/(a-b)) · (1 - (b/a)^t)  →  1 + b/(a-b)``.
+
+  For MM-SCAN this limit is exactly 2 — the value the ``iid`` experiment
+  converges to.
+* **Split-placement adversary slope**: splitting each scan into ``a+1``
+  equal pieces turns one level-box of potential ``m^e`` into ``a+1``
+  boxes of total potential ``(a+1)·(m/(a+1))^e``, so the per-level ratio
+  contribution — and hence the fitted slope — shrinks by exactly
+  ``(a+1)^{1-e}`` (1/3 for MM-SCAN).
+* **Scan-hiding overhead limit**: the hidden work per leaf is the
+  geometric series ``Σ_{j>=1} (b/a)^j`` of scan-to-leaf ratios, so the
+  total-work inflation tends to ``1 + b/(a-b)`` — numerically the same
+  constant as the point-mass limit (both are the scans' aggregate weight
+  relative to the leaves).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SpecError
+from repro.algorithms.spec import RegularSpec
+from repro.util.intmath import ilog, is_power_of
+
+__all__ = [
+    "worst_case_ratio_exact",
+    "point_mass_limit_ratio",
+    "point_mass_ratio_exact",
+    "split_adversary_slope",
+    "scan_hiding_overhead_limit",
+]
+
+
+def _require_gap_lattice(spec: RegularSpec) -> None:
+    if spec.regime != "gap":
+        raise SpecError(f"{spec.name} is not in the gap regime (a > b, c = 1)")
+
+
+def worst_case_ratio_exact(spec: RegularSpec, n: int) -> float:
+    """Predicted adaptivity ratio of the canonical adversary.
+
+    Exactly ``log_b(n/base) + 1`` when ``a`` is a power of ``b`` (every
+    level contributes ``n^e``); in general
+    ``Σ_{k=0..D} (a / b^e)^(D-k)`` which still grows linearly in the
+    number of levels.
+    """
+    depth = spec.validate_problem_size(n)
+    e = spec.exponent
+    ratio_per_level = spec.a / float(spec.b) ** e
+    if math.isclose(ratio_per_level, 1.0, rel_tol=1e-12):
+        return float(depth + 1)
+    # geometric sum of the per-level potential contributions
+    return float(sum(ratio_per_level ** (depth - k) for k in range(depth + 1)))
+
+
+def point_mass_limit_ratio(spec: RegularSpec) -> float:
+    """Limit of the exact expected ratio for lattice point-mass boxes:
+    ``1 + b/(a-b)`` (requires ``a > b``, ``c = 1``, ``a = b^e`` exact)."""
+    _require_gap_lattice(spec)
+    return 1.0 + spec.b / (spec.a - spec.b)
+
+
+def point_mass_ratio_exact(spec: RegularSpec, s: int, n: int) -> float:
+    """Exact expected ratio for boxes all of size ``s`` on a problem of
+    size ``n``, both powers of ``b`` with ``base <= s <= n`` and
+    ``a = b^e`` exact:
+
+        ``ratio(t) = 1 + (b/(a-b)) (1 - (b/a)^t)``,  ``t = log_b(n/s)``.
+    """
+    _require_gap_lattice(spec)
+    spec.validate_problem_size(n)
+    if s < spec.base_size or n % s != 0 or not is_power_of(n // s, spec.b):
+        raise SpecError(f"s={s} must divide n={n} on the b-lattice")
+    t = ilog(n // s, spec.b)
+    a, b = spec.a, spec.b
+    return 1.0 + (b / (a - b)) * (1.0 - (b / a) ** t)
+
+
+def split_adversary_slope(spec: RegularSpec) -> float:
+    """Fitted per-level slope of the matched SPLIT-placement adversary,
+    relative to the END adversary's slope of 1: ``(a+1)^(1-e)``."""
+    _require_gap_lattice(spec)
+    return float(spec.a + 1) ** (1.0 - spec.exponent)
+
+
+def scan_hiding_overhead_limit(spec: RegularSpec) -> float:
+    """Limit of the scan-hidden algorithm's work-inflation factor:
+    ``1 + Σ_{j>=1} (b/a)^j = 1 + b/(a-b)`` (for ``c = 1``, base 1)."""
+    _require_gap_lattice(spec)
+    if spec.base_size != 1:
+        raise SpecError("closed form stated for base_size = 1")
+    return 1.0 + spec.b / (spec.a - spec.b)

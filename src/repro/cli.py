@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands:
+
+* ``list`` — enumerate registered experiments with their claims;
+* ``run <id> [...ids|all]`` — run experiments and print their tables;
+* ``show-profile <n>`` — render the worst-case profile ``M_{8,4}(n)``;
+* ``solve`` — print the exact Lemma-3 recurrence table for a named
+  spec, problem size, and box-size distribution (DSL:
+  ``point:16``, ``uniform:4:1:5``, ``pareto:4:1:6:0.5``,
+  ``worstcase:8:4:256``, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Cache-adaptive analysis toolkit — reproduction of 'Closing the "
+            "Gap Between Cache-oblivious and Cache-adaptive Analysis' "
+            "(SPAA 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run experiments by id (or 'all')")
+    run_p.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    run_p.add_argument(
+        "--full",
+        action="store_true",
+        help="full-size sweeps (slower); default is the quick configuration",
+    )
+    run_p.add_argument("--seed", type=int, default=0, help="random seed")
+    run_p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the rendered reports to this file",
+    )
+
+    prof_p = sub.add_parser(
+        "show-profile", help="render the worst-case profile M_{8,4}(n)"
+    )
+    prof_p.add_argument("n", type=int, help="problem size (a power of 4)")
+
+    solve_p = sub.add_parser(
+        "solve",
+        help="exact expected-cost table from the Lemma-3 recurrence",
+    )
+    solve_p.add_argument("--spec", default="MM-SCAN", help="named algorithm spec")
+    solve_p.add_argument("--n", type=int, required=True, help="problem size (blocks)")
+    solve_p.add_argument(
+        "--dist",
+        required=True,
+        help="box-size distribution (e.g. uniform:4:1:5, point:16, "
+        "pareto:4:1:6:0.5, worstcase:8:4:256)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    width = max(len(eid) for eid in EXPERIMENTS)
+    for eid, exp in EXPERIMENTS.items():
+        print(f"{eid.ljust(width)}  {exp.title}")
+    return 0
+
+
+def _cmd_run(ids: list[str], full: bool, seed: int, output: str | None) -> int:
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+    targets = list(EXPERIMENTS) if ids == ["all"] else ids
+    failures = 0
+    chunks: list[str] = []
+    for i, eid in enumerate(targets):
+        result = run_experiment(eid, quick=not full, seed=seed)
+        text = result.render()
+        if i:
+            print()
+        print(text)
+        chunks.append(text)
+        if not result.metrics.get("reproduced", True):
+            failures += 1
+    if output is not None:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write("\n\n".join(chunks) + "\n")
+    return 1 if failures else 0
+
+
+def _cmd_solve(spec_name: str, n: int, dist_text: str) -> int:
+    from repro.algorithms.library import get_spec
+    from repro.analysis.recurrence import solve_recurrence
+    from repro.profiles.parsing import parse_distribution
+    from repro.util.tables import format_table
+
+    spec = get_spec(spec_name)
+    dist = parse_distribution(dist_text)
+    solution = solve_recurrence(spec, n, dist)
+    print(f"{spec.describe()}")
+    print(f"Sigma = {dist.name}  (mean box {dist.mean():.4g})")
+    rows = [
+        (rec.n, rec.f, rec.f_prime, rec.q, rec.m_n, rec.cost_ratio)
+        for rec in solution.levels
+    ]
+    print(
+        format_table(
+            ["n", "f(n)", "f'(n)", "q", "m_n", "E[ratio]"],
+            rows,
+            title="exact Lemma-3 recurrence (Definition-3 cost = f(n)*m_n/n^e)",
+        )
+    )
+    print(f"Eq-8 product of f/f' over levels: {solution.eq8_product():.6g}")
+    return 0
+
+
+def _cmd_show_profile(n: int) -> int:
+    from repro.profiles.worst_case import worst_case_potential, worst_case_profile
+
+    profile = worst_case_profile(8, 4, n)
+    print(f"M_{{8,4}}({n}): {len(profile)} boxes, duration {profile.total_time}")
+    print(f"total potential / n^1.5 = {worst_case_potential(8, 4, n) / n**1.5:.3f}")
+    print(profile.sparkline(width=100))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args.ids, args.full, args.seed, args.output)
+        if args.command == "show-profile":
+            return _cmd_show_profile(args.n)
+        if args.command == "solve":
+            return _cmd_solve(args.spec, args.n, args.dist)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

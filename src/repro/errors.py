@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch library failures without also
+catching programming errors (``TypeError`` from misuse still propagates
+as-is where Python semantics make that the clearer signal).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SpecError",
+    "ProfileError",
+    "DistributionError",
+    "SimulationError",
+    "TraceError",
+    "MachineError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SpecError(ReproError):
+    """Invalid ``(a, b, c)``-regular algorithm specification."""
+
+
+class ProfileError(ReproError):
+    """Invalid memory profile or profile operation."""
+
+
+class DistributionError(ReproError):
+    """Invalid box-size distribution or distribution parameter."""
+
+
+class SimulationError(ReproError):
+    """A simulation was driven into an invalid state (e.g. a profile ran
+    out of boxes before the algorithm completed in a finite-profile run)."""
+
+
+class TraceError(ReproError):
+    """Invalid block-reference trace or trace annotation."""
+
+
+class MachineError(ReproError):
+    """Invalid machine configuration (cache size, policy, profile)."""
+
+
+class ExperimentError(ReproError):
+    """Unknown experiment id or invalid experiment configuration."""

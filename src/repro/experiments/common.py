@@ -1,0 +1,80 @@
+"""Shared infrastructure for the experiment registry.
+
+Every experiment is a function ``run(quick=True, seed=0) -> ExperimentResult``
+producing one or more printed tables (the paper has no numeric tables, so
+these tables *are* the reproduced artifacts) plus a verdict comparing the
+measured shape against the paper's claim.  ``quick`` trims problem sizes
+and trial counts so the whole suite runs in CI time; the benchmarks run
+the same code under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.util.tables import format_kv, format_table
+
+__all__ = ["ResultTable", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class ResultTable:
+    """One printed table of an experiment."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+
+    def render(self, precision: int = 4) -> str:
+        return format_table(self.headers, self.rows, title=self.title,
+                            precision=precision)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment reports.
+
+    ``verdict`` summarizes whether the measured shape matches the paper's
+    claim (each experiment documents its criterion); ``metrics`` carries
+    machine-checkable scalars that the test suite asserts on.
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    tables: list[ResultTable] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    verdict: str = ""
+    notes: str = ""
+
+    def add_table(self, title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+        self.tables.append(
+            ResultTable(
+                title=title,
+                headers=tuple(headers),
+                rows=tuple(tuple(r) for r in rows),
+            )
+        )
+
+    def render(self, precision: int = 4) -> str:
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"claim: {self.claim}",
+        ]
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.render(precision=precision))
+        if self.metrics:
+            parts.append("")
+            parts.append(format_kv(self.metrics, precision=precision))
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        if self.verdict:
+            parts.append("")
+            parts.append(f"verdict: {self.verdict}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,106 @@
+"""Experiment ``eq8`` — the semi-inductive proof structure (Eqs 7–9).
+
+Equation 8 of the paper: ``prod_{b^k <= n} f(b^k) / f'(b^k) = O(1)`` —
+individual factors (the per-level cost of the trailing scan) can exceed 1,
+but their product over all levels stays bounded; this is what "fills in
+the holes" of the semi-inductive proof.  We compute every factor exactly
+from the recurrence for several distributions, exhibit levels with factor
+> 1, and track the running product as ``n`` grows.  Equation 6's potential
+failure (the motivation for the ``f'`` detour) is reported, and the
+*negative feedback loop* (Equation 7 under the Equation-9 threshold) is
+verified: downward pressure may fail only at levels whose normalized cost
+is below a small universal constant.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.library import MM_SCAN
+from repro.analysis.feedback import feedback_threshold, verify_negative_feedback
+from repro.analysis.recurrence import solve_recurrence
+from repro.experiments.common import ExperimentResult
+from repro.profiles.distributions import (
+    GeometricPowers,
+    ParetoPowers,
+    PointMass,
+    UniformPowers,
+)
+
+EXPERIMENT_ID = "eq8"
+TITLE = "Equation 8: the product of f/f' over all levels is O(1)"
+CLAIM = (
+    "Individual factors f(b^k)/f'(b^k) may exceed 1, but the product over "
+    "all levels is bounded by a constant independent of n"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
+    spec = MM_SCAN
+    n = 4 ** (6 if quick else 9)
+    hi = 5 if quick else 7
+    dists = [
+        PointMass(4**2),
+        UniformPowers(4, 1, hi),
+        GeometricPowers(4, 1, hi, ratio=0.5),
+        ParetoPowers(4, 1, hi, alpha=0.5),
+    ]
+
+    ok = True
+    summary_rows = []
+    for dist in dists:
+        sol = solve_recurrence(spec, n, dist)
+        factor_rows = []
+        product = 1.0
+        max_factor = 0.0
+        for rec in sol.levels[1:]:
+            factor = rec.f / rec.f_prime if rec.f_prime > 0 else float("inf")
+            product *= factor
+            max_factor = max(max_factor, factor)
+            factor_rows.append((rec.n, rec.f, rec.f_prime, factor, product))
+        result.add_table(
+            f"Sigma = {dist.name}: per-level scan factors and running product",
+            ["n (level)", "f", "f'", "f/f'", "running product"],
+            factor_rows,
+        )
+        eq6_bad = sol.eq7_violations()
+        # The product must be bounded; 'bounded' is operationalized as not
+        # exceeding a fixed constant across all sampled levels.
+        bounded = product < 50.0
+        ok &= bounded
+        # Negative feedback loop: Eq 7 may only fail below the Eq-9 cut.
+        threshold = feedback_threshold(sol)
+        feedback_ok = verify_negative_feedback(sol, C=3.0)
+        ok &= feedback_ok
+        summary_rows.append(
+            (
+                dist.name,
+                max_factor,
+                product,
+                bounded,
+                len(eq6_bad),
+                threshold,
+                feedback_ok,
+            )
+        )
+    result.add_table(
+        "summary: Eq-8 products, Eq-6 violations (motivating the f' detour), "
+        "and the Eq-7/9 feedback threshold (largest cost ratio lacking "
+        "downward pressure; must stay below a universal C)",
+        ["Sigma", "max factor", "total product", "bounded", "#Eq6 violations",
+         "feedback threshold", "Eq7 holds above C=3"],
+        summary_rows,
+    )
+    some_factor_above_one = any(row[1] > 1.0 + 1e-9 for row in summary_rows)
+    result.metrics.update(
+        {
+            "reproduced": ok,
+            "some_factor_above_one": some_factor_above_one,
+        }
+    )
+    result.verdict = (
+        "REPRODUCED: products bounded for all Sigma"
+        + (", with individual factors exceeding 1" if some_factor_above_one else "")
+        if ok
+        else "MISMATCH: a product grew beyond the constant envelope"
+    )
+    return result

@@ -1,0 +1,102 @@
+"""Experiment ``gap`` — Theorem 2's worst-case logarithmic gap.
+
+On the adversarial profile ``M_{a,b}(n)``, an ``(a,b,1)``-regular
+algorithm with ``a > b`` (MM-SCAN) pays adaptivity ratio
+``Θ(log_b n)`` — measured here by actually running the symbolic simulator
+(budgeted-continuation semantics, so leftover box capacity is not
+artificially stranded) — while its ``c = 0`` sibling (MM-INPLACE) and a
+``c = 1/2`` variant stay O(1) on the same adversary (Theorem 2's adaptive
+cases).  The
+ratio series are classified by log-law fitting; MM-SCAN's fitted slope
+should be ~1 per factor-``b`` of ``n`` and the adaptive specs' ~0.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.library import MM_INPLACE, MM_SCAN, SQRT_SCAN
+from repro.analysis.adaptivity import RatioSeries
+from repro.experiments.common import ExperimentResult
+from repro.profiles.worst_case import worst_case_profile
+from repro.simulation.symbolic import SymbolicSimulator
+
+EXPERIMENT_ID = "gap"
+TITLE = "Theorem 2: the worst-case gap at c=1, a>b (and its absence otherwise)"
+CLAIM = (
+    "MM-SCAN's adaptivity ratio on M_{8,4}(n) grows as Theta(log_4 n); "
+    "MM-INPLACE (c=0) and SQRT-SCAN (c=1/2) stay O(1) on the same adversary"
+)
+
+
+def _ratio_on_worst_case(spec, n: int) -> float:
+    """Run ``spec`` against the (8,4) adversary's box stream and return
+    the realized adaptivity ratio over the consumed prefix."""
+    from itertools import chain, cycle
+
+    profile = worst_case_profile(8, 4, n, spec.base_size)
+    sim = SymbolicSimulator(spec, n, model="recursive")
+    # Cycle the profile so algorithms that outlast it still finish.
+    rec = sim.run_to_completion(chain(iter(profile), cycle(profile.boxes.tolist())))
+    return rec.adaptivity_ratio
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
+    ks = range(2, 7 if quick else 9)
+    ns = [4**k for k in ks]
+
+    series: dict[str, list[float]] = {}
+    for spec in (MM_SCAN, MM_INPLACE, SQRT_SCAN):
+        series[spec.name] = [_ratio_on_worst_case(spec, n) for n in ns]
+
+    rows = [
+        (
+            f"4^{k}",
+            series["MM-SCAN"][i],
+            k + 1,  # exact log_4(n) + 1
+            series["MM-INPLACE"][i],
+            series["SQRT-SCAN"][i],
+        )
+        for i, k in enumerate(ks)
+    ]
+    result.add_table(
+        "adaptivity ratio on the M_{8,4}(n) adversary",
+        ["n", "MM-SCAN", "log_4(n)+1", "MM-INPLACE", "SQRT-SCAN"],
+        rows,
+    )
+
+    verdicts = {}
+    slopes = {}
+    for name, ratios in series.items():
+        rs = RatioSeries(tuple(ns), tuple(ratios), base=4.0)
+        verdicts[name] = rs.verdict
+        slopes[name] = rs.log_slope
+    result.add_table(
+        "growth classification (fitted slope per 4x of n)",
+        ["spec", "log-slope", "verdict", "paper"],
+        [
+            ("MM-SCAN", slopes["MM-SCAN"], verdicts["MM-SCAN"], "logarithmic"),
+            ("MM-INPLACE", slopes["MM-INPLACE"], verdicts["MM-INPLACE"], "constant"),
+            ("SQRT-SCAN", slopes["SQRT-SCAN"], verdicts["SQRT-SCAN"], "constant"),
+        ],
+    )
+
+    ok = (
+        verdicts["MM-SCAN"] == "logarithmic"
+        and verdicts["MM-INPLACE"] == "constant"
+        and verdicts["SQRT-SCAN"] == "constant"
+        and abs(slopes["MM-SCAN"] - 1.0) < 0.25
+    )
+    result.metrics.update(
+        {
+            "mm_scan_slope": slopes["MM-SCAN"],
+            "mm_inplace_slope": slopes["MM-INPLACE"],
+            "sqrt_scan_slope": slopes["SQRT-SCAN"],
+            "reproduced": ok,
+        }
+    )
+    result.verdict = (
+        "REPRODUCED: log gap for (8,4,1), bounded ratio for c<1"
+        if ok
+        else "MISMATCH: see slopes"
+    )
+    return result

@@ -1,0 +1,114 @@
+"""Experiment ``iid`` — Theorem 1, the main positive result.
+
+For *any* box-size distribution Σ, an ``(a,b,1)``-regular algorithm with
+``a > b`` is cache-adaptive in expectation on i.i.d. boxes: the normalized
+expected cost ``E[sum_{i<=S_n} min(n, σ_i)^e] / n^e`` stays O(1) as ``n``
+grows.  We compute that quantity two independent ways —
+
+* exactly, via the Lemma-3 recurrence and the optional-stopping identity
+  (Equation 3: cost = ``f(n) · m_n``); and
+* by Monte-Carlo simulation of the simplified model —
+
+for a zoo of distributions including the *empirical distribution of the
+adversarial profile's own boxes* (the shuffle connection), sweeping ``n``
+far past each distribution's own scale so the transient (while ``n`` is
+within the support) is visibly followed by convergence to a constant,
+with the worst-case profile's unsmoothed ratio alongside for contrast.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.library import MM_SCAN
+from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
+from repro.analysis.recurrence import solve_recurrence
+from repro.experiments.common import ExperimentResult
+from repro.profiles.distributions import (
+    Empirical,
+    GeometricPowers,
+    ParetoPowers,
+    PointMass,
+    UniformPowers,
+)
+from repro.profiles.worst_case import worst_case_profile
+from repro.simulation.montecarlo import estimate_expected_cost
+
+EXPERIMENT_ID = "iid"
+TITLE = "Theorem 1: i.i.d. box sizes make (a,b,1)-regular algorithms adaptive in expectation"
+CLAIM = (
+    "For any distribution Sigma, E[sum min(n, box)^e] / n^e = O(1) over n "
+    "(vs Theta(log n) on the adversarial ordering of comparable boxes)"
+)
+
+
+def _distributions(quick: bool):
+    hi = 5 if quick else 6
+    wc = worst_case_profile(8, 4, 4**(4 if quick else 6))
+    return [
+        PointMass(4**2),
+        UniformPowers(4, 1, hi),
+        GeometricPowers(4, 1, hi, ratio=0.7),
+        ParetoPowers(4, 1, hi, alpha=0.5),
+        Empirical.of_profile(wc, name="empirical(M_{8,4})"),
+    ]
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
+    spec = MM_SCAN
+    k_lo, k_hi = 2, (10 if quick else 12)
+    ks = range(k_lo, k_hi + 1)
+    ns = [4**k for k in ks]
+    n_max = ns[-1]
+    trials = 60 if quick else 400
+    mc_k = 4  # Monte-Carlo spot check at a size simulation handles fast
+
+    all_bounded = True
+    verdict_rows = []
+    for dist in _distributions(quick):
+        solution = solve_recurrence(spec, n_max, dist)
+        by_n = {rec.n: rec.cost_ratio for rec in solution.levels}
+        exact = [by_n[n] for n in ns]
+        _, mc_ratio = estimate_expected_cost(
+            spec, 4**mc_k, dist, trials=trials, rng=seed
+        )
+        rows = [
+            (f"4^{k}", exact[i], worst_case_ratio(spec, ns[i]))
+            for i, k in enumerate(ks)
+        ]
+        result.add_table(
+            f"Sigma = {dist.name}: exact expected ratio vs worst-case ordering",
+            ["n", "E[ratio] (exact, Eq 3)", "adversarial ratio"],
+            rows,
+        )
+        series = RatioSeries(tuple(ns), tuple(exact), base=4.0)
+        bounded = series.verdict == "constant"
+        all_bounded &= bounded
+        exact_at_mc = by_n[4**mc_k]
+        mc_ok = abs(mc_ratio.mean - exact_at_mc) <= max(
+            3 * mc_ratio.ci_halfwidth, 0.05 * exact_at_mc
+        )
+        all_bounded &= mc_ok
+        verdict_rows.append(
+            (
+                dist.name,
+                series.log_slope,
+                series.verdict,
+                exact_at_mc,
+                f"{mc_ratio.mean:.4f}±{mc_ratio.ci_halfwidth:.4f}",
+                mc_ok,
+            )
+        )
+
+    result.add_table(
+        "per-distribution classification and Monte-Carlo cross-check",
+        ["Sigma", "tail log-slope", "verdict", "exact@4^4", "MC@4^4", "MC agrees"],
+        verdict_rows,
+    )
+    result.metrics["reproduced"] = all_bounded
+    result.verdict = (
+        "REPRODUCED: expected ratio bounded for every Sigma (incl. the "
+        "adversary's own box multiset), exact and MC agree"
+        if all_bounded
+        else "MISMATCH: some distribution shows growth or MC disagrees"
+    )
+    return result

@@ -1,0 +1,100 @@
+"""Experiment ``orderpert`` — box-order perturbations keep the worst case.
+
+The paper's third negative result: in the recursive construction of the
+bad profile, place each node's big box after a *random* (or adversarial)
+one of the ``a`` recursive copies instead of the last — the resulting
+profile remains worst-case *with probability one*.
+
+This claim is constant-sensitive: under the generous κ=1 normalization a
+misplaced big box can complete the entire remainder of its node (skipping
+the other children, whose sub-profiles then carry the algorithm forward
+efficiently), and the measured ratio flattens.  Under the
+constant-faithful semantics (κ=b: a box completes only problems a factor
+``b`` smaller, per Lemma 1's "sufficiently small in Θ(|box|)"), the big
+box completes just one child and the deficit compounds — the ratio grows
+logarithmically as the paper proves.  Both are reported; the κ=b row is
+the reproduction, the κ=1 row documents the model boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.library import MM_SCAN
+from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
+from repro.analysis.smoothing import order_perturbation_trials
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENT_ID = "orderpert"
+TITLE = "Robustness: box-order perturbation does not close the gap"
+CLAIM = (
+    "Placing each node's big box after a random recursive copy leaves the "
+    "profile worst-case (w.p. 1) — reproduced under constant-faithful box "
+    "semantics"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
+    spec = MM_SCAN
+    ks = range(3, 6 if quick else 8)
+    ns = [4**k for k in ks]
+    trials = 8 if quick else 30
+
+    rows = []
+    means_k1, means_kb, mins_kb = [], [], []
+    for n in ns:
+        r1 = order_perturbation_trials(spec, n, trials=trials, rng=seed)
+        rb = order_perturbation_trials(
+            spec, n, trials=trials, rng=seed + 1, completion_divisor=spec.b
+        )
+        means_k1.append(float(r1.mean()))
+        means_kb.append(float(rb.mean()))
+        mins_kb.append(float(rb.min()))
+        rows.append(
+            (n, worst_case_ratio(spec, n), float(r1.mean()), float(rb.mean()),
+             float(rb.min()))
+        )
+    result.add_table(
+        "adaptivity ratio under random big-box placement",
+        ["n", "canonical worst", "mean (κ=1)", "mean (κ=b)", "min (κ=b)"],
+        rows,
+    )
+
+    s1 = RatioSeries(tuple(ns), tuple(means_k1), base=4.0)
+    sb = RatioSeries(tuple(ns), tuple(means_kb), base=4.0)
+    smin = RatioSeries(tuple(ns), tuple(mins_kb), base=4.0)
+    result.add_table(
+        "growth classification",
+        ["model", "series", "log-slope", "verdict", "paper"],
+        [
+            ("κ=b (faithful)", "mean", sb.log_slope, sb.verdict, "logarithmic"),
+            ("κ=b (faithful)", "min (w.p.-1 claim)", smin.log_slope, smin.verdict,
+             "logarithmic"),
+            ("κ=1 (generous)", "mean", s1.log_slope, s1.verdict,
+             "n/a (model boundary)"),
+        ],
+    )
+    ok = sb.verdict == "logarithmic" and smin.verdict == "logarithmic"
+    result.metrics.update(
+        {
+            "slope_kb_mean": sb.log_slope,
+            "slope_kb_min": smin.log_slope,
+            "slope_k1_mean": s1.log_slope,
+            "reproduced": ok,
+        }
+    )
+    result.notes = (
+        "Under κ=1 every size-n box may complete its whole containing node, "
+        "so the perturbed big box can absorb the remaining children — an "
+        "artifact of the positive-result normalization, not of the paper's "
+        "worst-case machinery (Lemma 1 only lets a box complete problems "
+        "*sufficiently small* in Θ(|box|))."
+    )
+    result.verdict = (
+        "REPRODUCED (κ=b): ratio grows ~ log n in mean and min; κ=1 documents "
+        "the simplified-model boundary"
+        if ok
+        else "MISMATCH: κ=b series flattened"
+    )
+    return result

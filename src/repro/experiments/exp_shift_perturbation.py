@@ -1,0 +1,80 @@
+"""Experiment ``shiftpert`` — random start times keep the worst case.
+
+The paper's second negative result: cyclically shift the worst-case
+profile by a uniformly random amount (equivalently, start the algorithm at
+a random time in the cyclic profile) — the profile remains worst-case in
+expectation, because with constant probability the start lands in a prefix
+whose suffix still carries a constant fraction of the total potential
+(Equations 10–11), and by No-Catch-up the algorithm must consume it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.library import MM_SCAN
+from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
+from repro.analysis.smoothing import start_shift_trials
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENT_ID = "shiftpert"
+TITLE = "Robustness: random start-time shifts do not close the gap"
+CLAIM = (
+    "Starting MM-SCAN at a uniformly random time in the cyclic worst-case "
+    "profile leaves the expected ratio Theta(log n)"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
+    spec = MM_SCAN
+    ks = range(3, 6 if quick else 8)
+    ns = [4**k for k in ks]
+    trials = 12 if quick else 50
+
+    rows = []
+    means = []
+    means_kb = []
+    for n in ns:
+        r = start_shift_trials(spec, n, trials=trials, rng=seed)
+        rb = start_shift_trials(
+            spec, n, trials=trials, rng=seed + 1, completion_divisor=spec.b
+        )
+        means.append(float(r.mean()))
+        means_kb.append(float(rb.mean()))
+        rows.append(
+            (
+                n,
+                worst_case_ratio(spec, n),
+                float(r.mean()),
+                float(np.min(r)),
+                float(np.max(r)),
+                float(rb.mean()),
+            )
+        )
+    result.add_table(
+        "adaptivity ratio from a uniformly random start time",
+        ["n", "aligned worst", "mean (κ=1)", "min", "max", "mean (κ=b)"],
+        rows,
+    )
+
+    s1 = RatioSeries(tuple(ns), tuple(means), base=4.0)
+    sb = RatioSeries(tuple(ns), tuple(means_kb), base=4.0)
+    result.add_table(
+        "growth classification",
+        ["model", "log-slope", "verdict", "paper"],
+        [
+            ("κ=1 (generous)", s1.log_slope, s1.verdict, "logarithmic"),
+            ("κ=b (faithful)", sb.log_slope, sb.verdict, "logarithmic"),
+        ],
+    )
+    ok = s1.verdict == "logarithmic" and sb.verdict == "logarithmic"
+    result.metrics.update(
+        {"slope_k1": s1.log_slope, "slope_kb": sb.log_slope, "reproduced": ok}
+    )
+    result.verdict = (
+        "REPRODUCED: expected ratio still grows ~ log n under random start shifts"
+        if ok
+        else "MISMATCH: shifting flattened the ratio"
+    )
+    return result

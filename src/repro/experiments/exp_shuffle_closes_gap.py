@@ -1,0 +1,102 @@
+"""Experiment ``shuffle`` — the headline contrast of the paper.
+
+Take the adversarial profile ``M_{8,4}(n)`` — the exact multiset of boxes
+that forces MM-SCAN a ``Θ(log n)`` factor from optimal — and randomly
+permute *when* those boxes occur.  Theorem 1 (via the empirical
+distribution of the multiset) says the shuffled profile is cache-adaptive
+in expectation: the same resources, in random order, lose all adversarial
+power.  We measure the ratio on the adversarial ordering vs the shuffled
+ordering across ``n`` and classify both growths, and cross-check the
+shuffled mean against the exact i.i.d.-empirical prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.library import MM_SCAN
+from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
+from repro.analysis.recurrence import solve_recurrence
+from repro.analysis.smoothing import shuffled_worst_case_trials
+from repro.experiments.common import ExperimentResult
+from repro.profiles.distributions import Empirical
+from repro.profiles.worst_case import worst_case_profile
+
+EXPERIMENT_ID = "shuffle"
+TITLE = "Random shuffling of the adversary's own boxes closes the gap"
+CLAIM = (
+    "The same box multiset that forces a Theta(log n) ratio in adversarial "
+    "order yields an O(1) expected ratio in random order"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
+    spec = MM_SCAN
+    ks = range(3, 6 if quick else 8)
+    ns = [4**k for k in ks]
+    trials = 12 if quick else 50
+
+    rows = []
+    shuffled_means = []
+    adversarial = []
+    exact_iid = []
+    for n in ns:
+        r = shuffled_worst_case_trials(spec, n, trials=trials, rng=seed)
+        wc = worst_case_ratio(spec, n)
+        dist = Empirical.of_profile(
+            worst_case_profile(spec.a, spec.b, n, spec.base_size)
+        )
+        iid = solve_recurrence(spec, n, dist).cost_ratio
+        shuffled_means.append(float(r.mean()))
+        adversarial.append(wc)
+        exact_iid.append(iid)
+        rows.append(
+            (
+                n,
+                wc,
+                float(r.mean()),
+                float(np.std(r, ddof=1)) if trials > 1 else 0.0,
+                iid,
+                wc / float(r.mean()),
+            )
+        )
+    result.add_table(
+        "adversarial vs shuffled ordering of the same boxes",
+        ["n", "adversarial ratio", "shuffled mean", "std", "iid-empirical exact",
+         "gap factor"],
+        rows,
+    )
+
+    s_adv = RatioSeries(tuple(ns), tuple(adversarial), base=4.0)
+    s_shuf = RatioSeries(tuple(ns), tuple(shuffled_means), base=4.0)
+    s_iid = RatioSeries(tuple(ns), tuple(exact_iid), base=4.0)
+    result.add_table(
+        "growth classification",
+        ["ordering", "log-slope", "verdict", "paper"],
+        [
+            ("adversarial", s_adv.log_slope, s_adv.verdict, "logarithmic"),
+            ("shuffled", s_shuf.log_slope, s_shuf.verdict, "constant"),
+            ("iid empirical (exact)", s_iid.log_slope, s_iid.verdict, "constant"),
+        ],
+    )
+    ok = (
+        s_adv.verdict == "logarithmic"
+        and s_shuf.verdict == "constant"
+        and s_iid.verdict == "constant"
+    )
+    result.metrics.update(
+        {
+            "adversarial_slope": s_adv.log_slope,
+            "shuffled_slope": s_shuf.log_slope,
+            "final_gap_factor": adversarial[-1] / shuffled_means[-1],
+            "reproduced": ok,
+        }
+    )
+    result.verdict = (
+        "REPRODUCED: the log gap is an ordering phenomenon — shuffling the "
+        "adversary's boxes makes MM-SCAN adaptive in expectation"
+        if ok
+        else "MISMATCH: see classification"
+    )
+    return result

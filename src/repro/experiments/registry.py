@@ -1,0 +1,107 @@
+"""Experiment registry: every claim of the paper, runnable by id.
+
+``EXPERIMENTS`` maps ids to modules exposing
+``run(quick=True, seed=0) -> ExperimentResult``; the CLI
+(``python -m repro``) and the benchmark suite drive everything through
+:func:`run_experiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    exp_ablation,
+    exp_degenerate_smoothing,
+    exp_eq8_product,
+    exp_explicit_adaptivity,
+    exp_gap_theorem2,
+    exp_iid_theorem1,
+    exp_mm_completion,
+    exp_nocatchup_lemma2,
+    exp_order_perturbation,
+    exp_potential_lemma1,
+    exp_randomized_algorithm,
+    exp_realistic_profiles,
+    exp_recurrence_lemma3,
+    exp_regime_sweep,
+    exp_scan_hiding,
+    exp_shift_perturbation,
+    exp_shuffle_closes_gap,
+    exp_size_perturbation,
+    exp_trace_crosscheck,
+    fig1_worst_case_profile,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "run_all"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    runner: Callable[..., ExperimentResult]
+
+
+def _register(module: ModuleType) -> Experiment:
+    return Experiment(
+        experiment_id=module.EXPERIMENT_ID,
+        title=module.TITLE,
+        claim=module.CLAIM,
+        runner=module.run,
+    )
+
+
+_MODULES = [
+    fig1_worst_case_profile,
+    exp_gap_theorem2,
+    exp_mm_completion,
+    exp_iid_theorem1,
+    exp_recurrence_lemma3,
+    exp_eq8_product,
+    exp_size_perturbation,
+    exp_shift_perturbation,
+    exp_order_perturbation,
+    exp_shuffle_closes_gap,
+    exp_potential_lemma1,
+    exp_nocatchup_lemma2,
+    exp_regime_sweep,
+    exp_scan_hiding,
+    exp_trace_crosscheck,
+    exp_randomized_algorithm,
+    exp_degenerate_smoothing,
+    exp_ablation,
+    exp_realistic_profiles,
+    exp_explicit_adaptivity,
+]
+
+EXPERIMENTS: dict[str, Experiment] = {
+    mod.EXPERIMENT_ID: _register(mod) for mod in _MODULES
+}
+
+
+def run_experiment(
+    experiment_id: str, quick: bool = True, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        exp = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return exp.runner(quick=quick, seed=seed)
+
+
+def run_all(quick: bool = True, seed: int = 0) -> dict[str, ExperimentResult]:
+    """Run the whole registry (in registration order)."""
+    return {
+        eid: exp.runner(quick=quick, seed=seed) for eid, exp in EXPERIMENTS.items()
+    }

@@ -1,0 +1,35 @@
+"""Trace-level machine simulators: the classic DAM (fixed memory), the
+square-profile machine (the paper's box semantics made literal), and the
+general per-I/O cache-adaptive machine, with LRU/FIFO/OPT replacement."""
+
+from repro.machine.ca_machine import CAResult, simulate_ca
+from repro.machine.dam import DAMResult, simulate_dam
+from repro.machine.replacement import (
+    FIFO,
+    LRU,
+    OPT,
+    ReplacementPolicy,
+    make_policy,
+    next_occurrences,
+)
+from repro.machine.square_machine import (
+    SquareRunRecord,
+    last_occurrence,
+    run_trace_on_boxes,
+)
+
+__all__ = [
+    "CAResult",
+    "simulate_ca",
+    "DAMResult",
+    "simulate_dam",
+    "FIFO",
+    "LRU",
+    "OPT",
+    "ReplacementPolicy",
+    "make_policy",
+    "next_occurrences",
+    "SquareRunRecord",
+    "last_occurrence",
+    "run_trace_on_boxes",
+]

@@ -1,0 +1,199 @@
+"""Page-replacement policies for the trace machines.
+
+The cache-adaptive model builds on the ideal-cache model, whose optimal
+offline policy is Belady's OPT; LRU and FIFO are the classical online
+policies (LRU is constant-competitive with resource augmentation, which is
+how the ideal-cache assumption is justified in practice).  Policies here
+operate on block ids and are driven one access at a time by
+:mod:`repro.machine.dam` and :mod:`repro.machine.ca_machine`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict, deque
+
+import numpy as np
+
+from repro.errors import MachineError
+
+__all__ = ["ReplacementPolicy", "LRU", "FIFO", "OPT", "make_policy", "next_occurrences"]
+
+
+class ReplacementPolicy:
+    """Interface: track resident blocks; choose victims on pressure."""
+
+    name = "abstract"
+
+    def reset(self) -> None:
+        """Empty the cache."""
+        raise NotImplementedError
+
+    def resident(self) -> int:
+        """Number of blocks currently cached."""
+        raise NotImplementedError
+
+    def contains(self, block: int) -> bool:
+        raise NotImplementedError
+
+    def access(self, block: int, time: int) -> bool:
+        """Record an access; returns True on a hit (block resident).
+        On a miss the caller is responsible for calling :meth:`admit`
+        after making room."""
+        raise NotImplementedError
+
+    def admit(self, block: int, time: int) -> None:
+        """Insert a block (caller guarantees capacity)."""
+        raise NotImplementedError
+
+    def evict_one(self) -> int:
+        """Choose and remove one victim; returns its block id."""
+        raise NotImplementedError
+
+
+class LRU(ReplacementPolicy):
+    """Least-recently-used, via an ordered dict (most recent at the end)."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._cache: OrderedDict[int, None] = OrderedDict()
+
+    def reset(self) -> None:
+        self._cache.clear()
+
+    def resident(self) -> int:
+        return len(self._cache)
+
+    def contains(self, block: int) -> bool:
+        return block in self._cache
+
+    def access(self, block: int, time: int) -> bool:
+        if block in self._cache:
+            self._cache.move_to_end(block)
+            return True
+        return False
+
+    def admit(self, block: int, time: int) -> None:
+        self._cache[block] = None
+
+    def evict_one(self) -> int:
+        if not self._cache:
+            raise MachineError("evict from empty cache")
+        block, _ = self._cache.popitem(last=False)
+        return block
+
+
+class FIFO(ReplacementPolicy):
+    """First-in-first-out."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._queue: deque[int] = deque()
+        self._set: set[int] = set()
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self._set.clear()
+
+    def resident(self) -> int:
+        return len(self._set)
+
+    def contains(self, block: int) -> bool:
+        return block in self._set
+
+    def access(self, block: int, time: int) -> bool:
+        return block in self._set
+
+    def admit(self, block: int, time: int) -> None:
+        self._queue.append(block)
+        self._set.add(block)
+
+    def evict_one(self) -> int:
+        if not self._queue:
+            raise MachineError("evict from empty cache")
+        block = self._queue.popleft()
+        self._set.discard(block)
+        return block
+
+
+def next_occurrences(blocks: np.ndarray) -> np.ndarray:
+    """For each reference index ``i``, the index of the next reference to
+    the same block (``len(blocks)`` when none).  O(n)."""
+    n = blocks.size
+    nxt = np.full(n, n, dtype=np.int64)
+    last: dict[int, int] = {}
+    for i in range(n - 1, -1, -1):
+        b = int(blocks[i])
+        nxt[i] = last.get(b, n)
+        last[b] = i
+    return nxt
+
+
+class OPT(ReplacementPolicy):
+    """Belady's offline-optimal policy: evict the resident block whose
+    next use is farthest in the future.
+
+    Requires the full trace up front (pass it to the constructor); the
+    driver must supply the current reference index as ``time``.
+    Implemented with a lazy max-heap keyed by next occurrence.
+    """
+
+    name = "opt"
+
+    def __init__(self, blocks: np.ndarray) -> None:
+        blocks = np.asarray(blocks, dtype=np.int64)
+        self._next = next_occurrences(blocks)
+        self._trace_len = int(blocks.size)
+        self._resident: dict[int, int] = {}  # block -> next use index
+        self._heap: list[tuple[int, int]] = []  # (-next_use, block), lazy
+
+    def reset(self) -> None:
+        self._resident.clear()
+        self._heap.clear()
+
+    def resident(self) -> int:
+        return len(self._resident)
+
+    def contains(self, block: int) -> bool:
+        return block in self._resident
+
+    def _touch(self, block: int, time: int) -> None:
+        nxt = int(self._next[time]) if time < self._trace_len else self._trace_len
+        self._resident[block] = nxt
+        heapq.heappush(self._heap, (-nxt, block))
+
+    def access(self, block: int, time: int) -> bool:
+        if block in self._resident:
+            self._touch(block, time)
+            return True
+        return False
+
+    def admit(self, block: int, time: int) -> None:
+        self._touch(block, time)
+
+    def evict_one(self) -> int:
+        while self._heap:
+            neg_next, block = heapq.heappop(self._heap)
+            if self._resident.get(block) == -neg_next:
+                del self._resident[block]
+                return block
+        raise MachineError("evict from empty cache")
+
+
+def make_policy(name: str, blocks: np.ndarray | None = None) -> ReplacementPolicy:
+    """Construct a policy by name (``"lru"``, ``"fifo"``, ``"opt"``).
+
+    OPT needs the trace's block array for its next-use oracle.
+    """
+    key = name.lower()
+    if key == "lru":
+        return LRU()
+    if key == "fifo":
+        return FIFO()
+    if key == "opt":
+        if blocks is None:
+            raise MachineError("OPT policy requires the trace blocks")
+        return OPT(blocks)
+    raise MachineError(f"unknown policy {name!r}; known: lru, fifo, opt")

@@ -1,0 +1,150 @@
+"""Step-level memory profiles.
+
+A *memory profile* ``m(t)`` gives the cache size, in blocks, after the
+``t``-th I/O (Section 2 of the paper).  :class:`MemoryProfile` stores one
+size per I/O step as a numpy array; it is the general representation used
+by the per-I/O cache-adaptive machine and by the square-profile reduction
+(:mod:`repro.profiles.reduction`).  Most of the library instead works with
+the square-profile abstraction (:class:`repro.profiles.SquareProfile`),
+which prior work shows suffices up to constant-factor resource
+augmentation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ProfileError
+
+__all__ = ["MemoryProfile"]
+
+
+class MemoryProfile:
+    """An explicit per-I/O memory profile ``m(0), m(1), ..., m(T-1)``.
+
+    Sizes are in blocks and must be positive.  Instances are immutable:
+    the backing array is copied on construction and marked read-only.
+    """
+
+    __slots__ = ("_sizes",)
+
+    def __init__(self, sizes: Iterable[int]):
+        arr = np.asarray(list(sizes) if not isinstance(sizes, np.ndarray) else sizes)
+        if arr.ndim != 1:
+            raise ProfileError("memory profile must be one-dimensional")
+        if arr.size and not np.issubdtype(arr.dtype, np.integer):
+            if np.any(arr != np.floor(arr)):
+                raise ProfileError("memory profile sizes must be integers")
+        arr = arr.astype(np.int64, copy=True)
+        if arr.size and arr.min() < 1:
+            raise ProfileError("memory profile sizes must be >= 1 block")
+        arr.setflags(write=False)
+        self._sizes = arr
+
+    # -- basic container protocol ------------------------------------
+    @property
+    def sizes(self) -> np.ndarray:
+        """Read-only array of per-step sizes (blocks)."""
+        return self._sizes
+
+    def __len__(self) -> int:
+        return int(self._sizes.size)
+
+    def __iter__(self):
+        return iter(self._sizes.tolist())
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return MemoryProfile(self._sizes[idx])
+        return int(self._sizes[idx])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryProfile):
+            return NotImplemented
+        return np.array_equal(self._sizes, other._sizes)
+
+    def __hash__(self) -> int:
+        return hash(self._sizes.tobytes())
+
+    def __repr__(self) -> str:
+        n = len(self)
+        head = ", ".join(str(int(s)) for s in self._sizes[:6])
+        tail = ", ..." if n > 6 else ""
+        return f"MemoryProfile([{head}{tail}], steps={n})"
+
+    # -- operations ----------------------------------------------------
+    def concat(self, other: "MemoryProfile") -> "MemoryProfile":
+        """Profile equal to ``self`` followed by ``other``."""
+        return MemoryProfile(np.concatenate([self._sizes, other._sizes]))
+
+    def __add__(self, other: "MemoryProfile") -> "MemoryProfile":
+        if not isinstance(other, MemoryProfile):
+            return NotImplemented
+        return self.concat(other)
+
+    def repeat(self, k: int) -> "MemoryProfile":
+        """Profile equal to ``k`` back-to-back copies of ``self``."""
+        if k < 0:
+            raise ProfileError(f"repeat count must be >= 0, got {k}")
+        return MemoryProfile(np.tile(self._sizes, k))
+
+    def cyclic_shift(self, offset: int) -> "MemoryProfile":
+        """Rotate the profile left by ``offset`` steps (start-time shift)."""
+        if len(self) == 0:
+            return self
+        offset %= len(self)
+        return MemoryProfile(np.roll(self._sizes, -offset))
+
+    def scaled(self, factor: int) -> "MemoryProfile":
+        """Multiply every step's size by a positive integer ``factor``."""
+        if factor < 1:
+            raise ProfileError(f"scale factor must be >= 1, got {factor}")
+        return MemoryProfile(self._sizes * factor)
+
+    @property
+    def duration(self) -> int:
+        """Total number of I/O steps."""
+        return len(self)
+
+    def min_size(self) -> int:
+        if len(self) == 0:
+            raise ProfileError("empty profile has no min size")
+        return int(self._sizes.min())
+
+    def max_size(self) -> int:
+        if len(self) == 0:
+            raise ProfileError("empty profile has no max size")
+        return int(self._sizes.max())
+
+    @staticmethod
+    def constant(size: int, duration: int) -> "MemoryProfile":
+        """The DAM special case: memory fixed at ``size`` for ``duration``."""
+        if size < 1:
+            raise ProfileError(f"size must be >= 1, got {size}")
+        if duration < 0:
+            raise ProfileError(f"duration must be >= 0, got {duration}")
+        return MemoryProfile(np.full(duration, size, dtype=np.int64))
+
+    @staticmethod
+    def from_steps(steps: Sequence[tuple[int, int]]) -> "MemoryProfile":
+        """Build from ``(size, length)`` run-length pairs."""
+        chunks = []
+        for size, length in steps:
+            if length < 0:
+                raise ProfileError(f"step length must be >= 0, got {length}")
+            chunks.append(np.full(length, size, dtype=np.int64))
+        if not chunks:
+            return MemoryProfile(np.empty(0, dtype=np.int64))
+        return MemoryProfile(np.concatenate(chunks))
+
+    def run_lengths(self) -> list[tuple[int, int]]:
+        """Decompose into maximal ``(size, length)`` runs."""
+        if len(self) == 0:
+            return []
+        s = self._sizes
+        boundaries = np.flatnonzero(np.diff(s)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [s.size]])
+        return [(int(s[i]), int(j - i)) for i, j in zip(starts, ends)]

@@ -1,0 +1,300 @@
+"""Box-size distributions Σ and their exact moments.
+
+Theorem 1 of the paper quantifies over *arbitrary* distributions Σ of box
+sizes: if boxes are drawn i.i.d. from Σ, any ``(a,b,1)``-regular algorithm
+with ``a > b`` is cache-adaptive in expectation.  The analysis needs three
+exact functionals of Σ:
+
+* the tail ``P[σ >= n]`` (appears in the identity ``q = P[σ >= n] f(n/b)``
+  of Lemma 3),
+* the truncated mean ``E[min(σ, L)]`` (the renewal/Wald denominator for
+  scans), and
+* the *average n-bounded potential* ``m_n = E[min(σ, n)**e]`` (Equation 3).
+
+All distributions here are discrete with finite support, which keeps every
+moment exactly computable with numpy; continuous distributions can be
+plugged in by discretizing into an :class:`Empirical`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.util.rng import as_generator
+
+__all__ = [
+    "BoxDistribution",
+    "PointMass",
+    "UniformPowers",
+    "GeometricPowers",
+    "ParetoPowers",
+    "UniformRange",
+    "Empirical",
+    "Mixture",
+]
+
+_MAX_SUPPORT = 10**7
+
+
+class BoxDistribution:
+    """A discrete probability distribution over positive box sizes.
+
+    Concrete distributions are built from a support array of distinct
+    sizes and a matching probability vector.  Moments are exact (up to
+    float64 arithmetic) via direct summation over the support.
+    """
+
+    __slots__ = ("_sizes", "_probs", "_cum", "_name")
+
+    def __init__(self, sizes: Iterable[int], probs: Iterable[float], name: str = ""):
+        s = np.asarray(list(sizes) if not isinstance(sizes, np.ndarray) else sizes)
+        p = np.asarray(list(probs) if not isinstance(probs, np.ndarray) else probs,
+                       dtype=np.float64)
+        if s.ndim != 1 or p.ndim != 1 or s.size != p.size or s.size == 0:
+            raise DistributionError("support and probabilities must be matching 1-D")
+        if s.size > _MAX_SUPPORT:
+            raise DistributionError(f"support too large ({s.size} > {_MAX_SUPPORT})")
+        if not np.issubdtype(s.dtype, np.integer):
+            if np.any(s != np.floor(s)):
+                raise DistributionError("box sizes must be integers")
+        s = s.astype(np.int64)
+        if s.min() < 1:
+            raise DistributionError("box sizes must be >= 1")
+        if np.any(p < 0):
+            raise DistributionError("probabilities must be non-negative")
+        total = float(p.sum())
+        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-12):
+            if total <= 0:
+                raise DistributionError("probabilities must sum to a positive value")
+            p = p / total
+        order = np.argsort(s, kind="stable")
+        s, p = s[order], p[order]
+        if np.any(np.diff(s) == 0):
+            # merge duplicate sizes
+            uniq, inverse = np.unique(s, return_inverse=True)
+            merged = np.zeros(uniq.size, dtype=np.float64)
+            np.add.at(merged, inverse, p)
+            s, p = uniq, merged
+        keep = p > 0
+        s, p = s[keep], p[keep]
+        if s.size == 0:
+            raise DistributionError("distribution has empty effective support")
+        s.setflags(write=False)
+        p.setflags(write=False)
+        self._sizes = s
+        self._probs = p
+        self._cum = np.cumsum(p)
+        self._name = name or type(self).__name__
+
+    # -- introspection --------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def support(self) -> np.ndarray:
+        """Sorted distinct box sizes with positive probability."""
+        return self._sizes
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Probabilities aligned with :attr:`support`."""
+        return self._probs
+
+    @property
+    def min_size(self) -> int:
+        return int(self._sizes[0])
+
+    @property
+    def max_size(self) -> int:
+        return int(self._sizes[-1])
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self._name!r}, "
+            f"support=[{self.min_size}..{self.max_size}], "
+            f"atoms={self._sizes.size})"
+        )
+
+    # -- exact moments ----------------------------------------------------
+    def mean(self) -> float:
+        """``E[σ]``."""
+        return float(np.dot(self._sizes.astype(np.float64), self._probs))
+
+    def tail(self, n: int) -> float:
+        """``P[σ >= n]``."""
+        if n <= self.min_size:
+            return 1.0
+        idx = np.searchsorted(self._sizes, n, side="left")
+        return float(self._probs[idx:].sum())
+
+    def expected_min(self, bound: int) -> float:
+        """``E[min(σ, bound)]`` — the scan renewal denominator."""
+        if bound < 1:
+            raise DistributionError(f"bound must be >= 1, got {bound}")
+        clipped = np.minimum(self._sizes, bound).astype(np.float64)
+        return float(np.dot(clipped, self._probs))
+
+    def bounded_potential_moment(self, n: int, exponent: float) -> float:
+        """``m_n = E[min(σ, n)**exponent]`` (average n-bounded potential)."""
+        if n < 1:
+            raise DistributionError(f"n must be >= 1, got {n}")
+        if exponent < 0:
+            raise DistributionError(f"exponent must be >= 0, got {exponent}")
+        clipped = np.minimum(self._sizes, n).astype(np.float64)
+        return float(np.dot(clipped**exponent, self._probs))
+
+    def moment(self, exponent: float) -> float:
+        """``E[σ**exponent]``."""
+        return float(np.dot(self._sizes.astype(np.float64) ** exponent, self._probs))
+
+    # -- sampling -----------------------------------------------------------
+    def sample(self, k: int, rng: object = None) -> np.ndarray:
+        """Draw ``k`` i.i.d. box sizes as an int64 array."""
+        if k < 0:
+            raise DistributionError(f"k must be >= 0, got {k}")
+        gen = as_generator(rng)
+        idx = np.searchsorted(self._cum, gen.random(k), side="right")
+        idx = np.minimum(idx, self._sizes.size - 1)
+        return self._sizes[idx]
+
+    def sampler(self, rng: object = None, batch: int = 4096) -> Iterator[int]:
+        """Infinite iterator of i.i.d. box sizes (batched internally)."""
+        gen = as_generator(rng)
+        while True:
+            for s in self.sample(batch, gen).tolist():
+                yield int(s)
+
+    def sample_profile(self, k: int, rng: object = None):
+        """Draw a finite i.i.d. :class:`~repro.profiles.SquareProfile`."""
+        from repro.profiles.square import SquareProfile
+
+        return SquareProfile(self.sample(k, rng))
+
+
+# ---------------------------------------------------------------------------
+# Concrete distributions
+# ---------------------------------------------------------------------------
+
+
+class PointMass(BoxDistribution):
+    """All boxes have the same size ``s`` (the DAM special case: a constant
+    memory of ``s`` blocks, chopped into squares)."""
+
+    def __init__(self, size: int):
+        super().__init__([size], [1.0], name=f"point({size})")
+
+
+class UniformPowers(BoxDistribution):
+    """Uniform over the powers ``b**lo, b**(lo+1), ..., b**hi``.
+
+    A natural "scale-free" smoothing distribution: every scale of the
+    recursion is equally likely.
+    """
+
+    def __init__(self, b: int, lo: int, hi: int):
+        if lo < 0 or hi < lo:
+            raise DistributionError(f"need 0 <= lo <= hi, got lo={lo}, hi={hi}")
+        sizes = [b**k for k in range(lo, hi + 1)]
+        probs = [1.0 / len(sizes)] * len(sizes)
+        super().__init__(sizes, probs, name=f"uniform-powers({b}^{lo}..{b}^{hi})")
+
+
+class GeometricPowers(BoxDistribution):
+    """``P[σ = b**k] ∝ ratio**k`` for ``k`` in ``[lo, hi]``.
+
+    ``ratio < 1`` biases toward small boxes (memory-starved systems);
+    ``ratio > 1`` biases toward large boxes.
+    """
+
+    def __init__(self, b: int, lo: int, hi: int, ratio: float):
+        if lo < 0 or hi < lo:
+            raise DistributionError(f"need 0 <= lo <= hi, got lo={lo}, hi={hi}")
+        if ratio <= 0:
+            raise DistributionError(f"ratio must be > 0, got {ratio}")
+        sizes = [b**k for k in range(lo, hi + 1)]
+        weights = [ratio ** (k - lo) for k in range(lo, hi + 1)]
+        super().__init__(
+            sizes, weights, name=f"geometric-powers({b}^{lo}..{b}^{hi}, r={ratio:g})"
+        )
+
+
+class ParetoPowers(BoxDistribution):
+    """Heavy-tailed over powers: ``P[σ = b**k] ∝ (b**k)**(-alpha)``.
+
+    With small ``alpha`` this puts non-trivial mass on enormous boxes, the
+    regime where the paper's main theorem is most surprising (a single
+    giant box can complete the whole problem).
+    """
+
+    def __init__(self, b: int, lo: int, hi: int, alpha: float = 0.5):
+        if lo < 0 or hi < lo:
+            raise DistributionError(f"need 0 <= lo <= hi, got lo={lo}, hi={hi}")
+        if alpha <= 0:
+            raise DistributionError(f"alpha must be > 0, got {alpha}")
+        sizes = [b**k for k in range(lo, hi + 1)]
+        weights = [float(s) ** (-alpha) for s in sizes]
+        super().__init__(
+            sizes, weights, name=f"pareto-powers({b}^{lo}..{b}^{hi}, a={alpha:g})"
+        )
+
+
+class UniformRange(BoxDistribution):
+    """Uniform over every integer size in ``[lo, hi]``."""
+
+    def __init__(self, lo: int, hi: int):
+        if lo < 1 or hi < lo:
+            raise DistributionError(f"need 1 <= lo <= hi, got lo={lo}, hi={hi}")
+        if hi - lo + 1 > _MAX_SUPPORT:
+            raise DistributionError("range too large; use power-grid distributions")
+        sizes = np.arange(lo, hi + 1, dtype=np.int64)
+        probs = np.full(sizes.size, 1.0 / sizes.size)
+        super().__init__(sizes, probs, name=f"uniform-range[{lo},{hi}]")
+
+
+class Empirical(BoxDistribution):
+    """The empirical distribution of a multiset of box sizes.
+
+    ``Empirical.of_profile(M)`` is the key construction for the paper's
+    headline contrast: take the *adversarial* worst-case profile, forget
+    the order of its boxes, and draw i.i.d. from the resulting multiset —
+    Theorem 1 says the algorithm becomes adaptive in expectation even
+    though the same boxes in adversarial order force the log gap.
+    """
+
+    def __init__(self, sizes: Sequence[int] | np.ndarray, name: str = ""):
+        arr = np.asarray(sizes, dtype=np.int64)
+        if arr.size == 0:
+            raise DistributionError("empirical distribution needs >= 1 sample")
+        uniq, counts = np.unique(arr, return_counts=True)
+        super().__init__(uniq, counts.astype(np.float64), name=name or "empirical")
+
+    @staticmethod
+    def of_profile(profile, name: str = "") -> "Empirical":
+        """Empirical distribution of a :class:`SquareProfile`'s boxes."""
+        return Empirical(profile.boxes, name=name or "empirical-of-profile")
+
+
+class Mixture(BoxDistribution):
+    """Finite mixture ``sum_i w_i * D_i`` of box distributions."""
+
+    def __init__(self, components: Sequence[BoxDistribution], weights: Sequence[float]):
+        if len(components) == 0 or len(components) != len(weights):
+            raise DistributionError("need matching non-empty components and weights")
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise DistributionError("weights must be non-negative, not all zero")
+        w = w / w.sum()
+        sizes: list[np.ndarray] = []
+        probs: list[np.ndarray] = []
+        for comp, wi in zip(components, w):
+            sizes.append(comp.support)
+            probs.append(comp.probabilities * wi)
+        names = "+".join(c.name for c in components)
+        super().__init__(
+            np.concatenate(sizes), np.concatenate(probs), name=f"mixture({names})"
+        )

@@ -1,0 +1,126 @@
+"""Generators for realistic (non-adversarial) memory profiles.
+
+The paper's introduction motivates cache-size fluctuation with concrete
+system behaviours: winner-take-all cache monopolization followed by a
+periodic flush (a slow ramp up, then a crash to nearly zero), time-shared
+private caches, and multi-tenant phase changes.  These generators produce
+step-level :class:`~repro.profiles.base.MemoryProfile` instances for those
+scenarios; :func:`repro.profiles.reduction.squarify` converts them to the
+square profiles the analysis operates on.
+
+All step profiles respect the cache-adaptive model's growth rule: memory
+may grow by at most one block per I/O but may shrink arbitrarily fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProfileError
+from repro.profiles.base import MemoryProfile
+from repro.profiles.square import SquareProfile
+from repro.util.rng import as_generator
+
+__all__ = [
+    "constant_boxes",
+    "sawtooth_profile",
+    "winner_take_all_profile",
+    "random_walk_profile",
+    "phase_profile",
+]
+
+
+def constant_boxes(size: int, count: int) -> SquareProfile:
+    """``count`` equal boxes — the DAM baseline as a square profile."""
+    return SquareProfile.constant(size, count)
+
+
+def sawtooth_profile(
+    min_size: int, max_size: int, teeth: int, ramp_rate: int = 1
+) -> MemoryProfile:
+    """Repeated ramp-up/crash-down teeth.
+
+    Each tooth ramps from ``min_size`` to ``max_size`` at ``ramp_rate``
+    blocks per step (capped at 1 by the model, but kept as a parameter so
+    the *shape* can be compressed for cheap experimentation when the
+    model's growth rule is not under test) and then crashes instantly back
+    to ``min_size``.
+    """
+    if not (1 <= min_size <= max_size):
+        raise ProfileError(f"need 1 <= min_size <= max_size, got {min_size},{max_size}")
+    if teeth < 1:
+        raise ProfileError(f"teeth must be >= 1, got {teeth}")
+    if ramp_rate < 1:
+        raise ProfileError(f"ramp_rate must be >= 1, got {ramp_rate}")
+    ramp = np.arange(min_size, max_size + 1, ramp_rate, dtype=np.int64)
+    if ramp[-1] != max_size:
+        ramp = np.append(ramp, max_size)
+    return MemoryProfile(np.tile(ramp, teeth))
+
+
+def winner_take_all_profile(
+    max_size: int, flush_floor: int, cycles: int
+) -> MemoryProfile:
+    """The introduction's motivating scenario: a process's cache share
+    slowly grows to the maximum possible size (winner-take-all residency),
+    then a periodic cache flush abruptly crashes it to ``flush_floor``."""
+    if not (1 <= flush_floor <= max_size):
+        raise ProfileError(
+            f"need 1 <= flush_floor <= max_size, got {flush_floor},{max_size}"
+        )
+    return sawtooth_profile(flush_floor, max_size, cycles, ramp_rate=1)
+
+
+def random_walk_profile(
+    start: int,
+    steps: int,
+    min_size: int = 1,
+    max_size: int | None = None,
+    up_probability: float = 0.5,
+    crash_probability: float = 0.0,
+    crash_factor: float = 0.5,
+    rng: object = None,
+) -> MemoryProfile:
+    """A stochastic profile imitating shared-cache contention.
+
+    Each step: with ``crash_probability`` the size multiplies by
+    ``crash_factor`` (another tenant's burst evicting us); otherwise it
+    moves up one block with ``up_probability`` (model-legal growth) or
+    down one block.  Sizes are clamped to ``[min_size, max_size]``.
+    """
+    if steps < 0:
+        raise ProfileError(f"steps must be >= 0, got {steps}")
+    if not 0.0 <= up_probability <= 1.0:
+        raise ProfileError(f"up_probability must be in [0,1], got {up_probability}")
+    if not 0.0 <= crash_probability <= 1.0:
+        raise ProfileError(f"crash_probability must be in [0,1]")
+    if not 0.0 < crash_factor <= 1.0:
+        raise ProfileError(f"crash_factor must be in (0,1], got {crash_factor}")
+    if min_size < 1 or start < min_size:
+        raise ProfileError("need 1 <= min_size <= start")
+    if max_size is not None and start > max_size:
+        raise ProfileError("start exceeds max_size")
+    gen = as_generator(rng)
+    sizes = np.empty(steps, dtype=np.int64)
+    size = start
+    crashes = gen.random(steps) < crash_probability
+    ups = gen.random(steps) < up_probability
+    for t in range(steps):
+        if crashes[t]:
+            size = max(min_size, int(size * crash_factor))
+        elif ups[t]:
+            size = size + 1
+            if max_size is not None:
+                size = min(size, max_size)
+        else:
+            size = max(min_size, size - 1)
+        sizes[t] = size
+    return MemoryProfile(sizes)
+
+
+def phase_profile(phases: list[tuple[int, int]]) -> MemoryProfile:
+    """Piecewise-constant profile from ``(size, duration)`` phases —
+    e.g. a co-tenant job arriving (shrink) and departing (grow)."""
+    if not phases:
+        raise ProfileError("need at least one phase")
+    return MemoryProfile.from_steps(phases)

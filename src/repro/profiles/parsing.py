@@ -1,0 +1,90 @@
+"""Mini-DSL for naming box-size distributions on the command line.
+
+The CLI's ``solve`` subcommand (and scripts) accept distribution specs as
+compact strings:
+
+====================  ==================================================
+``point:16``          all boxes of size 16
+``uniform:4:1:5``     uniform over powers ``4^1 .. 4^5``
+``geometric:4:1:5:0.7``  ``P[4^k] ∝ 0.7^k`` over the same grid
+``pareto:4:1:6:0.5``  heavy tail ``P[4^k] ∝ (4^k)^-0.5``
+``range:8:64``        uniform over every integer in ``[8, 64]``
+``worstcase:8:4:256`` empirical distribution of ``M_{8,4}(256)``'s boxes
+====================  ==================================================
+"""
+
+from __future__ import annotations
+
+from repro.errors import DistributionError
+from repro.profiles.distributions import (
+    BoxDistribution,
+    Empirical,
+    GeometricPowers,
+    ParetoPowers,
+    PointMass,
+    UniformPowers,
+    UniformRange,
+)
+
+__all__ = ["parse_distribution", "DISTRIBUTION_GRAMMAR"]
+
+DISTRIBUTION_GRAMMAR = (
+    "point:<size> | uniform:<b>:<lo>:<hi> | geometric:<b>:<lo>:<hi>:<ratio> | "
+    "pareto:<b>:<lo>:<hi>:<alpha> | range:<lo>:<hi> | worstcase:<a>:<b>:<n>"
+)
+
+
+def _ints(parts: list[str], count: int, name: str) -> list[int]:
+    if len(parts) != count:
+        raise DistributionError(
+            f"{name} needs {count} parameters, got {len(parts)} "
+            f"(grammar: {DISTRIBUTION_GRAMMAR})"
+        )
+    try:
+        return [int(p) for p in parts]
+    except ValueError as exc:
+        raise DistributionError(f"bad integer in {name} spec: {exc}") from None
+
+
+def parse_distribution(text: str) -> BoxDistribution:
+    """Parse a distribution spec string (see module docstring)."""
+    parts = text.strip().lower().split(":")
+    kind, args = parts[0], parts[1:]
+    if kind == "point":
+        (size,) = _ints(args, 1, "point")
+        return PointMass(size)
+    if kind == "uniform":
+        b, lo, hi = _ints(args, 3, "uniform")
+        return UniformPowers(b, lo, hi)
+    if kind == "geometric":
+        if len(args) != 4:
+            raise DistributionError("geometric needs b:lo:hi:ratio")
+        b, lo, hi = _ints(args[:3], 3, "geometric")
+        try:
+            ratio = float(args[3])
+        except ValueError:
+            raise DistributionError(f"bad ratio {args[3]!r}") from None
+        return GeometricPowers(b, lo, hi, ratio=ratio)
+    if kind == "pareto":
+        if len(args) != 4:
+            raise DistributionError("pareto needs b:lo:hi:alpha")
+        b, lo, hi = _ints(args[:3], 3, "pareto")
+        try:
+            alpha = float(args[3])
+        except ValueError:
+            raise DistributionError(f"bad alpha {args[3]!r}") from None
+        return ParetoPowers(b, lo, hi, alpha=alpha)
+    if kind == "range":
+        lo, hi = _ints(args, 2, "range")
+        return UniformRange(lo, hi)
+    if kind == "worstcase":
+        from repro.profiles.worst_case import worst_case_profile
+
+        a, b, n = _ints(args, 3, "worstcase")
+        profile = worst_case_profile(a, b, n)
+        return Empirical.of_profile(
+            profile, name=f"empirical(M_{{{a},{b}}}({n}))"
+        )
+    raise DistributionError(
+        f"unknown distribution kind {kind!r} (grammar: {DISTRIBUTION_GRAMMAR})"
+    )

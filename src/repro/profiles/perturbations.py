@@ -1,0 +1,176 @@
+"""Smoothing perturbations of square profiles.
+
+The paper's negative results show that three natural smoothings of the
+worst-case profile remain worst-case in expectation:
+
+* :func:`size_perturbation` — multiply every box size by an i.i.d. random
+  factor ``X_i`` drawn from a distribution over ``[0, t]`` with
+  ``E[X] = Θ(t)``;
+* :func:`start_time_shift` / :func:`random_start_shift` — run the
+  algorithm from a uniformly random start time in the cyclic profile;
+* box-*order* perturbation — implemented with the construction itself in
+  :func:`repro.profiles.worst_case.order_perturbed_profile`.
+
+By contrast, :func:`shuffle` — the full random reshuffle of when
+significant events happen, i.e. drawing sizes i.i.d. from the profile's
+own box multiset — is exactly the smoothing that Theorem 1 proves *does*
+close the gap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ProfileError
+from repro.profiles.square import SquareProfile
+from repro.util.rng import as_generator
+
+__all__ = [
+    "uniform_multipliers",
+    "discrete_multipliers",
+    "size_perturbation",
+    "start_time_shift",
+    "random_start_shift",
+    "shuffle",
+]
+
+# A multiplier sampler draws k i.i.d. multipliers as a float array.
+MultiplierSampler = Callable[[int, np.random.Generator], np.ndarray]
+
+
+def uniform_multipliers(t: float) -> MultiplierSampler:
+    """Multipliers uniform on ``[0, t]`` (so ``E[X] = t/2 = Θ(t)``).
+
+    This is the paper's canonical perturbation family ``P``.
+    """
+    if t <= 0:
+        raise ProfileError(f"t must be > 0, got {t}")
+
+    def sample(k: int, gen: np.random.Generator) -> np.ndarray:
+        return gen.uniform(0.0, t, size=k)
+
+    return sample
+
+
+def discrete_multipliers(values, weights=None) -> MultiplierSampler:
+    """Multipliers drawn from a finite set ``values`` (optionally weighted)."""
+    vals = np.asarray(values, dtype=np.float64)
+    if vals.ndim != 1 or vals.size == 0:
+        raise ProfileError("values must be a non-empty 1-D sequence")
+    if np.any(vals < 0):
+        raise ProfileError("multipliers must be >= 0")
+    if weights is None:
+        probs = np.full(vals.size, 1.0 / vals.size)
+    else:
+        probs = np.asarray(weights, dtype=np.float64)
+        if probs.shape != vals.shape or np.any(probs < 0) or probs.sum() <= 0:
+            raise ProfileError("weights must match values and be non-negative")
+        probs = probs / probs.sum()
+
+    def sample(k: int, gen: np.random.Generator) -> np.ndarray:
+        return gen.choice(vals, size=k, p=probs)
+
+    return sample
+
+
+def size_perturbation(
+    profile: SquareProfile,
+    multipliers: MultiplierSampler,
+    rng: object = None,
+    drop_empty: bool = True,
+) -> SquareProfile:
+    """Replace each box ``|box_i|`` with ``round(|box_i| * X_i)``.
+
+    ``X_i`` are i.i.d. draws from ``multipliers``.  Boxes rounded to zero
+    are dropped when ``drop_empty`` (a zero-size box provides no memory
+    and no time — the natural reading of the paper's construction); with
+    ``drop_empty=False`` they are clamped to size 1.
+    """
+    gen = as_generator(rng)
+    sizes = profile.boxes.astype(np.float64)
+    factors = np.asarray(multipliers(len(profile), gen), dtype=np.float64)
+    if factors.shape != (len(profile),):
+        raise ProfileError("multiplier sampler returned wrong shape")
+    if np.any(factors < 0):
+        raise ProfileError("multipliers must be >= 0")
+    new_sizes = np.rint(sizes * factors).astype(np.int64)
+    if drop_empty:
+        new_sizes = new_sizes[new_sizes >= 1]
+    else:
+        new_sizes = np.maximum(new_sizes, 1)
+    return SquareProfile(new_sizes)
+
+
+def start_time_shift(
+    profile: SquareProfile, tau: int, partial: str = "shrink"
+) -> SquareProfile:
+    """The cyclic profile started at absolute time ``tau``.
+
+    ``tau`` is an I/O-step offset in ``[0, total_time)``.  One period of
+    the cyclic profile starting at ``tau`` both begins and ends inside
+    the box containing ``tau``; neither partial piece (the remnant of
+    ``d`` steps at the start, the first ``offset`` steps at the end) is
+    itself square, so two canonical squarifications are offered:
+
+    * ``partial="shrink"`` — replace each partial piece by a box of its
+      duration (same time, conservatively less memory); the result has
+      exactly the original period length;
+    * ``partial="skip"`` — drop both partial pieces (start at the next
+      box boundary, end at the previous one).
+
+    Both preserve worst-case-ness up to constants; experiments use
+    ``shrink`` by default.
+    """
+    if len(profile) == 0:
+        raise ProfileError("cannot shift an empty profile")
+    total = profile.total_time
+    tau %= total
+    if partial not in ("shrink", "skip"):
+        raise ProfileError(f"partial must be 'shrink' or 'skip', got {partial!r}")
+    ends = np.cumsum(profile.boxes)
+    # Index of the box containing time tau.
+    idx = int(np.searchsorted(ends, tau, side="right"))
+    start_of_box = int(ends[idx] - profile.boxes[idx])
+    offset_in_box = tau - start_of_box
+    rotated_tail = profile.boxes[idx + 1 :]
+    before = profile.boxes[:idx]
+    if offset_in_box == 0:
+        pieces = [profile.boxes[idx : idx + 1], rotated_tail, before]
+    else:
+        remnant = int(profile.boxes[idx]) - offset_in_box
+        if partial == "shrink":
+            pieces = [
+                np.array([remnant], dtype=np.int64),
+                rotated_tail,
+                before,
+                np.array([offset_in_box], dtype=np.int64),
+            ]
+        else:
+            pieces = [rotated_tail, before]
+    chunks = [p for p in pieces if p.size]
+    if not chunks:
+        return SquareProfile(np.empty(0, dtype=np.int64))
+    return SquareProfile(np.concatenate(chunks))
+
+
+def random_start_shift(
+    profile: SquareProfile, rng: object = None, partial: str = "shrink"
+) -> SquareProfile:
+    """Shift to a uniformly random start time (uniform over I/O steps, so
+    long boxes are proportionally more likely to contain the start)."""
+    gen = as_generator(rng)
+    tau = int(gen.integers(0, profile.total_time))
+    return start_time_shift(profile, tau, partial=partial)
+
+
+def shuffle(profile: SquareProfile, rng: object = None) -> SquareProfile:
+    """Uniformly random permutation of the profile's boxes.
+
+    This is the smoothing the paper's positive result is about: the box
+    *multiset* is unchanged (still adversarially chosen) but the timing of
+    significant events is random.
+    """
+    gen = as_generator(rng)
+    return SquareProfile(gen.permutation(profile.boxes))

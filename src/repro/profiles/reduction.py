@@ -1,0 +1,73 @@
+"""Reduction from arbitrary memory profiles to square profiles.
+
+Prior work [5] shows that any memory profile can be approximated by a
+*square* profile up to constant factors of resource augmentation, which is
+why the paper (and this library) analyses algorithms on square profiles
+only.  This module implements the constructive direction used in practice:
+
+* :func:`squarify` — the *inscribed* square profile: walk the time axis
+  and repeatedly carve the largest box that fits entirely under the
+  profile curve.  The result never offers more memory than the original
+  at any instant, so progress bounds proved on it are valid lower bounds
+  for the original profile.
+* :func:`inscribed_box_at` — the largest box starting at a given time.
+
+The inscribed profile of ``m`` satisfies, at every step of box ``i``,
+``|box_i| <= m(t)``; conversely each box is maximal, which yields the
+constant-factor guarantee of [5] (a box ends only because the profile
+dropped below its height, so doubling speed and memory covers ``m``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProfileError
+from repro.profiles.base import MemoryProfile
+from repro.profiles.square import SquareProfile
+
+__all__ = ["inscribed_box_at", "squarify"]
+
+
+def inscribed_box_at(sizes: np.ndarray, t: int) -> int:
+    """Largest ``x`` with ``min(sizes[t : t+x]) >= x`` (and ``t+x`` within
+    the profile).  ``sizes`` is a per-step size array; ``x >= 1`` always
+    exists because sizes are >= 1."""
+    n = sizes.size
+    if not 0 <= t < n:
+        raise ProfileError(f"t={t} out of range [0, {n})")
+    hi = int(min(sizes[t], n - t))
+    # g(x) = min(sizes[t:t+x]) is non-increasing in x while x is
+    # non-decreasing, so the predicate min >= x flips exactly once:
+    # binary search the largest feasible x.
+    lo = 1
+    best = 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        if int(sizes[t : t + mid].min()) >= mid:
+            best = mid
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return best
+
+
+def squarify(profile: MemoryProfile, greedy_from: int = 0) -> SquareProfile:
+    """Inscribed square profile of an arbitrary step profile.
+
+    Starting at ``greedy_from``, repeatedly take the largest box that fits
+    under the curve and advance by its duration.  Runs in
+    ``O(T log T)`` (binary search per box, each evaluation a windowed
+    min); the total number of boxes is at most ``T``.
+    """
+    sizes = profile.sizes
+    n = sizes.size
+    if not 0 <= greedy_from <= n:
+        raise ProfileError(f"greedy_from={greedy_from} out of range")
+    boxes: list[int] = []
+    t = greedy_from
+    while t < n:
+        x = inscribed_box_at(sizes, t)
+        boxes.append(x)
+        t += x
+    return SquareProfile(np.asarray(boxes, dtype=np.int64))

@@ -1,0 +1,210 @@
+"""Square memory profiles — the canonical profile shape of the paper.
+
+A *square profile* is a step function in which each step is exactly as
+long (in I/Os) as it is tall (in blocks): a *box* (or *square*) of size
+``x`` means memory sits at ``x`` blocks for ``x`` I/O steps (Definition 1).
+Prior work [5, 6] shows that analysing cache-adaptivity on square profiles
+loses only constant factors, and the paper works exclusively with them;
+so does this library.
+
+:class:`SquareProfile` is a finite, immutable sequence of box sizes backed
+by a numpy int64 array, with the potential accounting used by the
+efficiency condition (Inequality 2):
+
+    ``sum_i min(n, |box_i|)**e  <=  O(n**e)``,  ``e = log_b a``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ProfileError
+from repro.profiles.base import MemoryProfile
+
+__all__ = ["SquareProfile", "as_box_iter"]
+
+
+class SquareProfile:
+    """A finite sequence of boxes ``(box_1, ..., box_j)``.
+
+    Box sizes are positive integers (blocks).  The class supports profile
+    algebra (concatenation, repetition, rotation), conversion to a
+    step-level :class:`~repro.profiles.base.MemoryProfile`, and the
+    potential sums that define cache-adaptive efficiency.
+    """
+
+    __slots__ = ("_boxes",)
+
+    def __init__(self, boxes: Iterable[int]):
+        arr = np.asarray(
+            list(boxes) if not isinstance(boxes, np.ndarray) else boxes
+        )
+        if arr.ndim != 1:
+            raise ProfileError("square profile must be one-dimensional")
+        if arr.size and not np.issubdtype(arr.dtype, np.integer):
+            if np.any(arr != np.floor(arr)):
+                raise ProfileError("box sizes must be integers")
+        arr = arr.astype(np.int64, copy=True)
+        if arr.size and arr.min() < 1:
+            raise ProfileError("box sizes must be >= 1 block")
+        arr.setflags(write=False)
+        self._boxes = arr
+
+    # -- container protocol -------------------------------------------
+    @property
+    def boxes(self) -> np.ndarray:
+        """Read-only int64 array of box sizes."""
+        return self._boxes
+
+    def __len__(self) -> int:
+        return int(self._boxes.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._boxes.tolist())
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return SquareProfile(self._boxes[idx])
+        return int(self._boxes[idx])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SquareProfile):
+            return NotImplemented
+        return np.array_equal(self._boxes, other._boxes)
+
+    def __hash__(self) -> int:
+        return hash(self._boxes.tobytes())
+
+    def __repr__(self) -> str:
+        n = len(self)
+        head = ", ".join(str(int(s)) for s in self._boxes[:8])
+        tail = ", ..." if n > 8 else ""
+        return f"SquareProfile([{head}{tail}], boxes={n})"
+
+    # -- algebra ---------------------------------------------------------
+    def concat(self, other: "SquareProfile") -> "SquareProfile":
+        """Profile equal to ``self`` followed by ``other``."""
+        return SquareProfile(np.concatenate([self._boxes, other._boxes]))
+
+    def __add__(self, other: "SquareProfile") -> "SquareProfile":
+        if not isinstance(other, SquareProfile):
+            return NotImplemented
+        return self.concat(other)
+
+    def repeat(self, k: int) -> "SquareProfile":
+        """``k`` back-to-back copies of this profile."""
+        if k < 0:
+            raise ProfileError(f"repeat count must be >= 0, got {k}")
+        return SquareProfile(np.tile(self._boxes, k))
+
+    def rotate(self, offset_boxes: int) -> "SquareProfile":
+        """Cyclically rotate left by ``offset_boxes`` boxes."""
+        if len(self) == 0:
+            return self
+        return SquareProfile(np.roll(self._boxes, -(offset_boxes % len(self))))
+
+    def scaled(self, factor: int) -> "SquareProfile":
+        """Multiply every box size by a positive integer factor.
+
+        (Scaling a square profile by ``T`` yields the profile ``T . M``
+        used in the paper's box-size-perturbation argument.)
+        """
+        if factor < 1:
+            raise ProfileError(f"scale factor must be >= 1, got {factor}")
+        return SquareProfile(self._boxes * factor)
+
+    def filtered_min_size(self, min_size: int) -> "SquareProfile":
+        """Drop all boxes smaller than ``min_size`` (order preserved)."""
+        return SquareProfile(self._boxes[self._boxes >= min_size])
+
+    # -- accounting --------------------------------------------------------
+    @property
+    def total_time(self) -> int:
+        """Total duration in I/O steps (= sum of box sizes)."""
+        return int(self._boxes.sum())
+
+    def min_size(self) -> int:
+        if len(self) == 0:
+            raise ProfileError("empty profile has no min size")
+        return int(self._boxes.min())
+
+    def max_size(self) -> int:
+        if len(self) == 0:
+            raise ProfileError("empty profile has no max size")
+        return int(self._boxes.max())
+
+    def potential_sum(self, exponent: float, rho1: float = 1.0) -> float:
+        """Total potential ``rho1 * sum_i |box_i|**exponent``.
+
+        With ``exponent = log_b a`` this is the left side of Inequality 1
+        (up to the constant hidden in Lemma 1's Theta).
+        """
+        if exponent < 0:
+            raise ProfileError(f"exponent must be >= 0, got {exponent}")
+        return rho1 * float(np.sum(self._boxes.astype(np.float64) ** exponent))
+
+    def bounded_potential_sum(
+        self, n: int, exponent: float, rho1: float = 1.0
+    ) -> float:
+        """``rho1 * sum_i min(n, |box_i|)**exponent`` (Inequality 2).
+
+        This is the form of the efficiency condition that is insensitive
+        to the final square's unused remainder.
+        """
+        if n < 1:
+            raise ProfileError(f"n must be >= 1, got {n}")
+        if exponent < 0:
+            raise ProfileError(f"exponent must be >= 0, got {exponent}")
+        clipped = np.minimum(self._boxes, n).astype(np.float64)
+        return rho1 * float(np.sum(clipped**exponent))
+
+    def size_census(self) -> dict[int, int]:
+        """Histogram ``{box size: count}`` sorted by size ascending."""
+        sizes, counts = np.unique(self._boxes, return_counts=True)
+        return {int(s): int(c) for s, c in zip(sizes, counts)}
+
+    # -- conversions ------------------------------------------------------
+    def to_memory_profile(self) -> MemoryProfile:
+        """Expand into a per-I/O step profile (size x for x steps, per box).
+
+        Raises :class:`ProfileError` if the expansion would be enormous
+        (over ``10**8`` steps), since that indicates the caller should stay
+        at the box level.
+        """
+        total = self.total_time
+        if total > 10**8:
+            raise ProfileError(
+                f"expanding {total} steps would be too large; "
+                "operate on boxes directly instead"
+            )
+        return MemoryProfile(np.repeat(self._boxes, self._boxes))
+
+    @staticmethod
+    def constant(size: int, count: int) -> "SquareProfile":
+        """``count`` boxes all of the same ``size``."""
+        if size < 1:
+            raise ProfileError(f"box size must be >= 1, got {size}")
+        if count < 0:
+            raise ProfileError(f"count must be >= 0, got {count}")
+        return SquareProfile(np.full(count, size, dtype=np.int64))
+
+    def sparkline(self, width: int = 72) -> str:
+        """One-line terminal rendering of the profile's box sizes."""
+        from repro.util.tables import sparkline as _spark
+
+        return _spark(self._boxes.tolist(), width=width)
+
+
+def as_box_iter(profile: "SquareProfile | Sequence[int] | Iterable[int]") -> Iterator[int]:
+    """Normalize any box source into an iterator of int box sizes.
+
+    Accepts a :class:`SquareProfile`, a sequence, or any (possibly
+    infinite) iterable such as the samplers produced by
+    :meth:`repro.profiles.BoxDistribution.sampler`.
+    """
+    if isinstance(profile, SquareProfile):
+        return iter(profile)
+    return (int(s) for s in profile)

@@ -1,0 +1,31 @@
+"""Simulation drivers: the symbolic simulator (simplified caching model),
+run modes (single, repeated), and Monte-Carlo expectation estimation."""
+
+from repro.simulation.adaptive import (
+    AdaptiveExecutor,
+    AdaptiveRunRecord,
+    run_adaptive,
+)
+from repro.simulation.montecarlo import (
+    MCEstimate,
+    estimate,
+    estimate_expected_cost,
+    sample_boxes_to_complete,
+)
+from repro.simulation.runner import RepeatedRunRecord, run_boxes, run_repeated
+from repro.simulation.symbolic import RunRecord, SymbolicSimulator
+
+__all__ = [
+    "AdaptiveExecutor",
+    "AdaptiveRunRecord",
+    "run_adaptive",
+    "MCEstimate",
+    "estimate",
+    "estimate_expected_cost",
+    "sample_boxes_to_complete",
+    "RepeatedRunRecord",
+    "run_boxes",
+    "run_repeated",
+    "RunRecord",
+    "SymbolicSimulator",
+]

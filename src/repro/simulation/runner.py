@@ -1,0 +1,98 @@
+"""Higher-level run modes over the symbolic simulator.
+
+* :func:`run_boxes` — one-shot convenience wrapper.
+* :func:`run_repeated` — the Section-3 experiment shape: run the algorithm
+  back-to-back on a *finite* profile and count how many complete
+  executions fit.  On the worst-case profile ``M_{8,4}(n)``, MM-SCAN fits
+  exactly once while MM-INPLACE fits ``Ω(log n)`` times — the concrete
+  separation the paper uses to prove MM-SCAN non-adaptive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.algorithms.spec import RegularSpec
+from repro.profiles.square import SquareProfile, as_box_iter
+from repro.simulation.symbolic import RunRecord, SymbolicSimulator
+
+__all__ = ["RepeatedRunRecord", "run_boxes", "run_repeated"]
+
+
+def run_boxes(
+    spec: RegularSpec,
+    n: int,
+    boxes: "SquareProfile | Iterable[int]",
+    model: str = "simplified",
+    max_boxes: int | None = None,
+    record_boxes: bool = False,
+) -> RunRecord:
+    """Run one size-``n`` execution of ``spec`` on the given boxes."""
+    sim = SymbolicSimulator(spec, n, model=model)
+    return sim.run(boxes, max_boxes=max_boxes, record_boxes=record_boxes)
+
+
+@dataclass(frozen=True)
+class RepeatedRunRecord:
+    """Result of running executions back-to-back over a finite profile.
+
+    ``completions`` — full executions finished; ``partial_leaves`` —
+    leaves completed in the final unfinished execution; ``boxes_used`` —
+    boxes consumed in total (== profile length when it was exhausted).
+    """
+
+    spec: RegularSpec
+    n: int
+    model: str
+    completions: int
+    partial_leaves: int
+    boxes_used: int
+    time_used: int
+
+    @property
+    def total_leaves(self) -> int:
+        return self.completions * self.spec.leaves(self.n) + self.partial_leaves
+
+
+def run_repeated(
+    spec: RegularSpec,
+    n: int,
+    boxes: "SquareProfile | Iterable[int]",
+    model: str = "simplified",
+    max_completions: int | None = None,
+) -> RepeatedRunRecord:
+    """Run fresh size-``n`` executions back-to-back until the box source
+    is exhausted (or ``max_completions`` is reached).
+
+    A box is consumed entirely by the execution it is fed to; the next
+    execution starts with the next box.  (Under the simplified model a
+    box never crosses the end of the root problem, so no box splitting is
+    needed for faithfulness.)
+    """
+    it = as_box_iter(boxes)
+    completions = 0
+    boxes_used = 0
+    time_used = 0
+    sim = SymbolicSimulator(spec, n, model=model)
+    partial_leaves = 0
+    for s in it:
+        out = sim.feed(s)
+        boxes_used += 1
+        time_used += s
+        partial_leaves += out.leaves
+        if sim.is_done:
+            completions += 1
+            partial_leaves = 0
+            if max_completions is not None and completions >= max_completions:
+                break
+            sim.reset()
+    return RepeatedRunRecord(
+        spec=spec,
+        n=n,
+        model=model,
+        completions=completions,
+        partial_leaves=partial_leaves,
+        boxes_used=boxes_used,
+        time_used=time_used,
+    )

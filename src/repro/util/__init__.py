@@ -1,0 +1,47 @@
+"""Shared utilities: exact integer math, RNG plumbing, table rendering,
+and growth-law fitting."""
+
+from repro.util.intmath import (
+    ceil_power,
+    critical_exponent,
+    critical_exponent_fraction,
+    floor_power,
+    ilog,
+    ilog_floor,
+    iroot,
+    is_power_of,
+    powers_between,
+)
+from repro.util.fitting import (
+    LogLawFit,
+    PowerLawFit,
+    fit_log_law,
+    fit_power_law,
+    growth_verdict,
+)
+from repro.util.rng import as_generator, fixed_seeds, spawn
+from repro.util.tables import format_kv, format_number, format_table, sparkline
+
+__all__ = [
+    "ceil_power",
+    "critical_exponent",
+    "critical_exponent_fraction",
+    "floor_power",
+    "ilog",
+    "ilog_floor",
+    "iroot",
+    "is_power_of",
+    "powers_between",
+    "LogLawFit",
+    "PowerLawFit",
+    "fit_log_law",
+    "fit_power_law",
+    "growth_verdict",
+    "as_generator",
+    "fixed_seeds",
+    "spawn",
+    "format_kv",
+    "format_number",
+    "format_table",
+    "sparkline",
+]

@@ -1,0 +1,117 @@
+"""Growth-law fitting helpers for adaptivity experiments.
+
+The paper's claims are asymptotic ("the ratio is ``Θ(log_b n)``", "the
+ratio is ``O(1)``", "potential is ``Θ(s^e)``").  Experiments verify the
+*shape*: these helpers fit measured series against logarithmic, constant,
+and power-law growth and report which law explains the data, so each
+benchmark can print a verdict instead of raw eyeballing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "LogLawFit", "fit_power_law", "fit_log_law", "growth_verdict"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y ~ coeff * x**exponent`` (log-log linear)."""
+
+    exponent: float
+    coeff: float
+    r2: float
+
+    def predict(self, x: float) -> float:
+        return self.coeff * x**self.exponent
+
+
+@dataclass(frozen=True)
+class LogLawFit:
+    """Least-squares fit of ``y ~ slope * log_base(x) + intercept``."""
+
+    slope: float
+    intercept: float
+    base: float
+    r2: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * math.log(x, self.base) + self.intercept
+
+
+def _r2(y: np.ndarray, yhat: np.ndarray) -> float:
+    ss_res = float(np.sum((y - yhat) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = C * x**e`` by linear regression in log-log space.
+
+    All ``xs`` and ``ys`` must be positive.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.ndim != 1 or x.shape != y.shape or x.size < 2:
+        raise ValueError("need >= 2 paired samples")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires positive data")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    fit = PowerLawFit(exponent=float(slope), coeff=float(math.exp(intercept)), r2=0.0)
+    yhat = fit.coeff * x**fit.exponent
+    return PowerLawFit(fit.exponent, fit.coeff, _r2(ly, np.log(yhat)))
+
+
+def fit_log_law(xs: Sequence[float], ys: Sequence[float], base: float = 2.0) -> LogLawFit:
+    """Fit ``y = s * log_base(x) + c`` by linear regression."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.ndim != 1 or x.shape != y.shape or x.size < 2:
+        raise ValueError("need >= 2 paired samples")
+    if np.any(x <= 0):
+        raise ValueError("log-law fit requires positive x")
+    if base <= 1:
+        raise ValueError("base must exceed 1")
+    lx = np.log(x) / math.log(base)
+    slope, intercept = np.polyfit(lx, y, 1)
+    yhat = slope * lx + intercept
+    return LogLawFit(float(slope), float(intercept), float(base), _r2(y, yhat))
+
+
+def growth_verdict(
+    ns: Sequence[float],
+    ratios: Sequence[float],
+    base: float = 2.0,
+    flat_slope_tol: float = 0.08,
+) -> str:
+    """Classify a ratio series as ``"constant"`` or ``"logarithmic"``.
+
+    A genuinely logarithmic series rises by a fixed amount per
+    factor-``base`` of ``n`` all the way out; an O(1) series either stays
+    flat or rises with *decaying* increments (transient convergence to its
+    constant).  So the classifier fits the log-law slope on the **tail**
+    of the series (the last ``max(3, len/2 + 1)`` points, where transients
+    have died down) and calls the growth logarithmic when that tail slope
+    exceeds ``flat_slope_tol`` times the series' tail level per
+    factor-``base`` step.
+    """
+    if len(ns) != len(ratios) or len(ns) < 2:
+        raise ValueError("need >= 2 paired samples")
+    mean = float(np.mean(np.asarray(ratios, dtype=float)))
+    if mean <= 0:
+        raise ValueError("ratios must be positive")
+    k = max(3, len(ns) // 2 + 1)
+    tail_ns = list(ns)[-k:]
+    tail_rs = list(ratios)[-k:]
+    if len(tail_ns) < 2:
+        tail_ns, tail_rs = list(ns), list(ratios)
+    fit = fit_log_law(tail_ns, tail_rs, base=base)
+    tail_mean = float(np.mean(np.asarray(tail_rs, dtype=float)))
+    return "logarithmic" if fit.slope > flat_slope_tol * tail_mean else "constant"

@@ -1,0 +1,156 @@
+"""Exact integer math helpers used throughout the cache-adaptive toolkit.
+
+The analysis of ``(a, b, c)``-regular algorithms constantly manipulates
+powers of the branching factor ``b`` and the critical exponent
+``e = log_b a``.  Floating-point ``math.log`` is not exact for these, and
+the library frequently needs *exact* predicates ("is ``n`` a power of
+``b``?", "what is the largest power of ``b`` at most ``s``?") on values up
+to ``4**30`` and beyond, so everything here works on Python ints.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterator
+
+__all__ = [
+    "is_power_of",
+    "ilog",
+    "ilog_floor",
+    "floor_power",
+    "ceil_power",
+    "powers_between",
+    "critical_exponent",
+    "critical_exponent_fraction",
+    "iroot",
+]
+
+
+def _check_base(b: int) -> None:
+    if not isinstance(b, int) or b < 2:
+        raise ValueError(f"base must be an integer >= 2, got {b!r}")
+
+
+def is_power_of(n: int, b: int) -> bool:
+    """Return ``True`` iff ``n == b**k`` for some integer ``k >= 0``."""
+    _check_base(b)
+    if n < 1:
+        return False
+    while n % b == 0:
+        n //= b
+    return n == 1
+
+
+def ilog(n: int, b: int) -> int:
+    """Exact integer logarithm: the ``k`` with ``b**k == n``.
+
+    Raises ``ValueError`` if ``n`` is not an exact power of ``b``.
+    """
+    _check_base(b)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    k = 0
+    m = n
+    while m % b == 0:
+        m //= b
+        k += 1
+    if m != 1:
+        raise ValueError(f"{n} is not a power of {b}")
+    return k
+
+
+def ilog_floor(n: int, b: int) -> int:
+    """Largest ``k`` with ``b**k <= n`` (``n >= 1``)."""
+    _check_base(b)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    k = 0
+    p = b
+    while p <= n:
+        p *= b
+        k += 1
+    return k
+
+
+def floor_power(n: int, b: int) -> int:
+    """Largest power of ``b`` that is ``<= n`` (``n >= 1``)."""
+    return b ** ilog_floor(n, b)
+
+
+def ceil_power(n: int, b: int) -> int:
+    """Smallest power of ``b`` that is ``>= n`` (``n >= 1``)."""
+    p = floor_power(n, b)
+    return p if p == n else p * b
+
+
+def powers_between(lo: int, hi: int, b: int) -> Iterator[int]:
+    """Yield all powers of ``b`` in the closed interval ``[lo, hi]``."""
+    _check_base(b)
+    if lo < 1:
+        lo = 1
+    p = ceil_power(lo, b) if lo > 1 else 1
+    while p <= hi:
+        yield p
+        p *= b
+
+
+def iroot(n: int, k: int) -> int:
+    """Exact floor of the ``k``-th root of ``n`` using integer Newton."""
+    if n < 0 or k < 1:
+        raise ValueError("iroot requires n >= 0, k >= 1")
+    if n in (0, 1) or k == 1:
+        return n
+    x = 1 << (-(-n.bit_length() // k))  # upper-bound seed
+    while True:
+        y = ((k - 1) * x + n // x ** (k - 1)) // k
+        if y >= x:
+            return x
+        x = y
+
+
+def critical_exponent(a: int, b: int) -> float:
+    """The critical exponent ``e = log_b a`` as a float.
+
+    This is the Master-theorem exponent of the recursion
+    ``T(n) = a T(n/b) + ...``; the potential of a box of size ``s`` is
+    ``Θ(s**e)`` (Lemma 1 of the paper).
+    """
+    import math
+
+    if a < 1:
+        raise ValueError(f"a must be >= 1, got {a}")
+    _check_base(b)
+    frac = critical_exponent_fraction(a, b)
+    if frac is not None:
+        return float(frac)
+    return math.log(a) / math.log(b)
+
+
+def critical_exponent_fraction(a: int, b: int) -> Fraction | None:
+    """Return ``log_b a`` as an exact :class:`~fractions.Fraction` when it
+    is rational, else ``None``.
+
+    ``log_b a`` is rational iff ``a`` and ``b`` are both integer powers of
+    a common integer base ``g``: ``a = g**p``, ``b = g**q`` gives
+    ``log_b a = p/q``.  For example ``a=8, b=4`` yields ``3/2`` exactly.
+    """
+    if a < 1:
+        raise ValueError(f"a must be >= 1, got {a}")
+    _check_base(b)
+    if a == 1:
+        return Fraction(0)
+    # Search for the smallest common base g: g must satisfy g**p == a and
+    # g**q == b. Any common base is a power of the smallest one, so it
+    # suffices to try g = b**(1/q) for each q | exponent structure of b.
+    # A simple complete search: try every g from 2 up to min(a, b) that is
+    # an exact root of b, i.e. g = iroot(b, q) with g**q == b.
+    max_q = b.bit_length()
+    for q in range(max_q, 0, -1):
+        g = iroot(b, q)
+        if g < 2 or g ** q != b:
+            continue
+        # Is a a power of this g?
+        if is_power_of(a, g):
+            p = ilog(a, g)
+            return Fraction(p, q)
+    return None

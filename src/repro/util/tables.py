@@ -1,0 +1,120 @@
+"""Plain-text table and series rendering for experiment reports.
+
+The benchmark harness reproduces the paper's results as printed tables
+(the paper itself has no numeric tables, so these are the canonical output
+format of each experiment).  Rendering is dependency-free ASCII so results
+display identically in CI logs and terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_kv", "format_number", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def format_number(x: Any, precision: int = 4) -> str:
+    """Format a scalar compactly: ints verbatim, floats to ``precision``
+    significant digits, with scientific notation for extreme magnitudes."""
+    if isinstance(x, bool):
+        return str(x)
+    if isinstance(x, int):
+        return str(x)
+    if isinstance(x, float):
+        if x != x:  # NaN
+            return "nan"
+        if x == 0:
+            return "0"
+        ax = abs(x)
+        if ax >= 1e7 or ax < 1e-4:
+            return f"{x:.{precision - 1}e}"
+        return f"{x:.{precision}g}"
+    return str(x)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Numbers are right-aligned; strings left-aligned.  Returns the table as
+    a single string (no trailing newline).
+    """
+    str_rows: list[list[str]] = []
+    numeric_cols: list[bool] = [True] * len(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        cells = []
+        for j, cell in enumerate(row):
+            if not isinstance(cell, (int, float, bool)):
+                numeric_cols[j] = False
+            cells.append(format_number(cell, precision))
+        str_rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in str_rows:
+        for j, cell in enumerate(cells):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for j, cell in enumerate(cells):
+            if numeric_cols[j]:
+                parts.append(cell.rjust(widths[j]))
+            else:
+                parts.append(cell.ljust(widths[j]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(cells) for cells in str_rows)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict[str, Any], precision: int = 4) -> str:
+    """Render a mapping as aligned ``key: value`` lines."""
+    if not pairs:
+        return ""
+    width = max(len(k) for k in pairs)
+    return "\n".join(
+        f"{k.ljust(width)} : {format_number(v, precision)}" for k, v in pairs.items()
+    )
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """Render a sequence of non-negative values as a unicode sparkline.
+
+    Used to give a one-line visual of memory profiles (Figure 1) in
+    terminal output.  ``width`` downsamples by taking bucket maxima so
+    large profiles still render on one line.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None and width > 0 and len(vals) > width:
+        bucketed = []
+        n = len(vals)
+        for i in range(width):
+            lo = i * n // width
+            hi = max(lo + 1, (i + 1) * n // width)
+            bucketed.append(max(vals[lo:hi]))
+        vals = bucketed
+    top = max(vals)
+    if top <= 0:
+        return _BLOCKS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int(round((len(_BLOCKS) - 1) * max(v, 0.0) / top))
+        out.append(_BLOCKS[idx])
+    return "".join(out)

@@ -1,0 +1,327 @@
+"""Unit tests for the execution cursor — the semantic core of the model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.algorithms.cursor import ExecutionCursor
+from repro.algorithms.library import MM_INPLACE, MM_SCAN
+from repro.algorithms.spec import RegularSpec, ScanPlacement
+
+
+class TestBasics:
+    def test_fresh_cursor_not_done(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        assert not cur.is_done
+        assert cur.access_index() == 0
+
+    def test_fresh_cursor_at_first_leaf(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        assert cur.current_node_size() == 1
+        assert not cur.at_scan()
+
+    def test_remaining_leaves_full(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        assert cur.remaining_leaves() == 64
+
+    def test_invalid_size(self):
+        with pytest.raises(Exception):
+            ExecutionCursor(MM_SCAN, 10)
+
+
+class TestLeafByLeaf:
+    def test_complete_all_leaves_and_scans(self):
+        spec = RegularSpec(2, 2, 1.0)
+        cur = ExecutionCursor(spec, 4)
+        # execution: leaf, leaf, scan(2), leaf, leaf, scan(2), scan(4)
+        seen = []
+        while not cur.is_done:
+            if cur.at_scan():
+                k = cur.advance_scan(10**9)
+                seen.append(("scan", k))
+            else:
+                cur.complete_leaf()
+                seen.append(("leaf", 1))
+        assert seen == [
+            ("leaf", 1),
+            ("leaf", 1),
+            ("scan", 2),
+            ("leaf", 1),
+            ("leaf", 1),
+            ("scan", 2),
+            ("scan", 4),
+        ]
+
+    def test_access_index_monotone(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        prev = cur.access_index()
+        while not cur.is_done:
+            if cur.at_scan():
+                cur.advance_scan(3)
+            else:
+                cur.complete_leaf()
+            now = cur.access_index()
+            assert now > prev
+            prev = now
+        assert prev == MM_SCAN.subtree_accesses(16)
+
+    def test_partial_scan_advance(self):
+        spec = RegularSpec(2, 2, 1.0)
+        cur = ExecutionCursor(spec, 4)
+        cur.complete_leaf()
+        cur.complete_leaf()
+        assert cur.at_scan()
+        assert cur.scan_remaining() == 2
+        assert cur.advance_scan(1) == 1
+        assert cur.scan_remaining() == 1
+
+    def test_advance_scan_requires_scan(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        with pytest.raises(SimulationError):
+            cur.advance_scan(1)
+
+    def test_complete_leaf_requires_leaf(self):
+        spec = RegularSpec(2, 2, 1.0)
+        cur = ExecutionCursor(spec, 4)
+        cur.complete_leaf()
+        cur.complete_leaf()
+        with pytest.raises(SimulationError):
+            cur.complete_leaf()
+
+
+class TestCompleteThrough:
+    def test_complete_root(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        leaves, scans = cur.complete_through(0)
+        assert cur.is_done
+        assert leaves == 64
+        assert scans == MM_SCAN.subtree_scan_total(16)
+
+    def test_complete_child_subtree(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        # stack is [16, 4, 1]; completing frame 1 finishes the first
+        # size-4 child (8 leaves + its scan of 4)
+        leaves, scans = cur.complete_through(1)
+        assert (leaves, scans) == (8, 4)
+        assert cur.access_index() == MM_SCAN.subtree_accesses(4)
+
+    def test_done_cursor_rejects(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        cur.complete_through(0)
+        with pytest.raises(SimulationError):
+            cur.complete_through(0)
+
+
+class TestSeek:
+    @pytest.mark.parametrize("pos", [0, 1, 7, 12, 13, 95, 100])
+    def test_seek_roundtrip(self, pos):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        cur.seek(pos)
+        assert cur.access_index() == pos
+
+    def test_seek_to_end(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        cur.seek(MM_SCAN.subtree_accesses(16))
+        assert cur.is_done
+
+    def test_seek_out_of_range(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        with pytest.raises(SimulationError):
+            cur.seek(-1)
+        with pytest.raises(SimulationError):
+            cur.seek(MM_SCAN.subtree_accesses(16) + 1)
+
+    def test_seek_matches_stepping(self):
+        spec = RegularSpec(3, 2, 1.0)
+        total = spec.subtree_accesses(8)
+        stepped = ExecutionCursor(spec, 8)
+        for pos in range(total):
+            other = ExecutionCursor(spec, 8)
+            other.seek(pos)
+            assert other.access_index() == stepped.access_index() == pos
+            if stepped.at_scan():
+                stepped.advance_scan(1)
+            else:
+                stepped.complete_leaf()
+
+
+class TestSnapshot:
+    def test_snapshot_is_independent(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        snap = cur.snapshot()
+        cur.complete_through(0)
+        assert cur.is_done and not snap.is_done
+        assert snap.access_index() == 0
+
+
+class TestFeedSimplified:
+    def test_box_equal_to_problem_completes_it(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        out = cur.feed_simplified(16)
+        assert out.done and out.leaves == 64
+        assert out.completed_size == 16
+
+    def test_base_box_completes_one_leaf(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        out = cur.feed_simplified(1)
+        assert out.leaves == 1 and not out.done
+
+    def test_intermediate_box_completes_child(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        out = cur.feed_simplified(4)
+        assert out.leaves == 8 and out.completed_size == 4
+        assert out.scan_accesses == 4  # child's trailing scan
+
+    def test_oversized_box_completes_root(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        out = cur.feed_simplified(10**6)
+        assert out.done
+
+    def test_scan_rule_partial_progress(self):
+        spec = RegularSpec(2, 2, 1.0)
+        cur = ExecutionCursor(spec, 8)
+        cur.seek(spec.subtree_accesses(8) - spec.scan_length(8))  # at root scan
+        assert cur.at_scan()
+        out = cur.feed_simplified(2)  # box smaller than node (8)
+        assert out.leaves == 0 and out.scan_accesses == 2
+        assert not cur.is_done
+
+    def test_scan_of_small_node_completed_via_ancestor_rule(self):
+        spec = RegularSpec(2, 2, 1.0)
+        cur = ExecutionCursor(spec, 8)
+        cur.complete_leaf()
+        cur.complete_leaf()  # now at scan of a size-2 node
+        assert cur.at_scan() and cur.current_node_size() == 2
+        out = cur.feed_simplified(4)
+        # completes the size-4 ancestor: its remaining subtree (2 leaves of
+        # the second size-2 child) plus scans (2 + 4)
+        assert out.completed_size == 4
+        assert out.leaves == 2
+        assert out.scan_accesses == 2 + 2 + 4
+
+    def test_completion_divisor_blocks_large_completion(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        out = cur.feed_simplified(4, completion_divisor=4)
+        # s_eff = 1: only the pending leaf ancestor qualifies
+        assert out.completed_size == 1 and out.leaves == 1
+
+    def test_completion_divisor_leaf_fallback(self):
+        spec = RegularSpec(8, 4, 1.0, base_size=4)
+        cur = ExecutionCursor(spec, 64)
+        out = cur.feed_simplified(4, completion_divisor=4)
+        # s_eff = 1 < base, but a box >= base still completes the leaf
+        assert out.leaves == 1
+
+    def test_tiny_box_makes_no_progress(self):
+        spec = RegularSpec(8, 4, 1.0, base_size=4)
+        cur = ExecutionCursor(spec, 64)
+        out = cur.feed_simplified(2)
+        assert out.leaves == 0 and out.scan_accesses == 0
+
+    def test_rejects_done(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        cur.feed_simplified(16)
+        with pytest.raises(SimulationError):
+            cur.feed_simplified(1)
+
+    def test_rejects_bad_size(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        with pytest.raises(SimulationError):
+            cur.feed_simplified(0)
+        with pytest.raises(SimulationError):
+            cur.feed_simplified(4, completion_divisor=0)
+
+
+class TestFeedRecursive:
+    def test_budget_spans_siblings(self):
+        spec = RegularSpec(2, 2, 0.0)  # no scans: pure leaf tree
+        cur = ExecutionCursor(spec, 8)
+        out = cur.feed_recursive(6)
+        # budget 6: completes the first size-4 child (cost 4) then the
+        # first size-2 node of the second child (cost 2)
+        assert out.leaves == 6
+        assert cur.access_index() == 6
+
+    def test_matches_simplified_on_worst_case(self):
+        from repro.profiles.worst_case import worst_case_profile
+
+        prof = worst_case_profile(8, 4, 64)
+        a = ExecutionCursor(MM_SCAN, 64)
+        b = ExecutionCursor(MM_SCAN, 64)
+        for s in prof:
+            out_a = a.feed_simplified(s)
+            out_b = b.feed_recursive(s)
+            assert (out_a.leaves, out_a.scan_accesses) == (
+                out_b.leaves,
+                out_b.scan_accesses,
+            )
+        assert a.is_done and b.is_done
+
+    def test_scan_streaming_with_leftover(self):
+        spec = RegularSpec(2, 2, 1.0)
+        cur = ExecutionCursor(spec, 8)
+        cur.seek(spec.subtree_accesses(8) - spec.scan_length(8))
+        out = cur.feed_recursive(100)
+        assert out.done and out.scan_accesses == 8
+
+    def test_completion_divisor(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        out = cur.feed_recursive(16, completion_divisor=4)
+        # can only complete subproblems of size <= 4, but budget 16 lets it
+        # chain several size-4 children
+        assert out.completed_size == 4
+        assert out.leaves > 8
+
+    def test_rejects_done(self):
+        cur = ExecutionCursor(MM_SCAN, 16)
+        cur.feed_recursive(16)
+        with pytest.raises(SimulationError):
+            cur.feed_recursive(1)
+
+
+class TestFeedGreedy:
+    def test_budget_accounting(self):
+        spec = RegularSpec(2, 2, 1.0)
+        cur = ExecutionCursor(spec, 8)
+        out = cur.feed_greedy(5)
+        # leaves cost 1 each, scans 1 per access; 5 accesses total
+        assert out.leaves + out.scan_accesses == 5
+        assert cur.access_index() == 5
+
+    def test_greedy_completes(self):
+        spec = RegularSpec(2, 2, 1.0)
+        total = spec.subtree_accesses(8)
+        cur = ExecutionCursor(spec, 8)
+        out = cur.feed_greedy(total)
+        assert out.done
+
+
+class TestScanPlacements:
+    @pytest.mark.parametrize(
+        "placement", [ScanPlacement.END, ScanPlacement.FRONT, ScanPlacement.SPLIT]
+    )
+    def test_total_accesses_placement_invariant(self, placement):
+        spec = RegularSpec(8, 4, 1.0, scan_placement=placement)
+        cur = ExecutionCursor(spec, 16)
+        leaves = scans = 0
+        while not cur.is_done:
+            out = cur.feed_simplified(16)
+            leaves += out.leaves
+            scans += out.scan_accesses
+        assert leaves == 64
+        assert scans == spec.subtree_scan_total(16)
+
+    def test_front_placement_starts_at_scan(self):
+        spec = RegularSpec(8, 4, 1.0, scan_placement=ScanPlacement.FRONT)
+        cur = ExecutionCursor(spec, 16)
+        assert cur.at_scan()
+        assert cur.current_node_size() == 16
+
+
+class TestMMInplaceShape:
+    def test_no_scans_anywhere(self):
+        cur = ExecutionCursor(MM_INPLACE, 16)
+        total_scans = 0
+        while not cur.is_done:
+            out = cur.feed_simplified(4)
+            total_scans += out.scan_accesses
+        assert total_scans == 0

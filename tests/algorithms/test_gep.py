@@ -1,0 +1,90 @@
+"""Unit tests for the GEP / Floyd–Warshall kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.algorithms.gep import (
+    floyd_warshall,
+    floyd_warshall_reference,
+    gep_inplace,
+    gep_scan,
+)
+
+
+@pytest.fixture
+def dist_matrix(rng):
+    n = 16
+    d = rng.uniform(1.0, 10.0, (n, n))
+    np.fill_diagonal(d, 0.0)
+    # sprinkle missing edges
+    mask = rng.random((n, n)) < 0.3
+    d[mask & ~np.eye(n, dtype=bool)] = np.inf
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+class TestFloydWarshall:
+    def test_matches_reference(self, dist_matrix):
+        run = floyd_warshall(dist_matrix, record=False)
+        assert np.allclose(run.table, floyd_warshall_reference(dist_matrix))
+
+    def test_scan_variant_same_answer(self, dist_matrix):
+        a = floyd_warshall(dist_matrix, record=False).table
+        b = floyd_warshall(dist_matrix, scan=True, record=False).table
+        assert np.allclose(a, b)
+
+    def test_base_case_sizes_agree(self, dist_matrix):
+        full = floyd_warshall(dist_matrix, base_n=16, record=False).table
+        fine = floyd_warshall(dist_matrix, base_n=2, record=False).table
+        assert np.allclose(full, fine)
+
+    def test_matches_networkx(self, rng):
+        nx = pytest.importorskip("networkx")
+        n = 8
+        d = rng.uniform(1.0, 5.0, (n, n))
+        np.fill_diagonal(d, 0.0)
+        g = nx.from_numpy_array(d, create_using=nx.DiGraph)
+        want = np.zeros((n, n))
+        lengths = dict(nx.all_pairs_dijkstra_path_length(g))
+        for i in range(n):
+            for j in range(n):
+                want[i, j] = lengths[i][j]
+        got = floyd_warshall(d, record=False).table
+        assert np.allclose(got, want)
+
+    def test_triangle_inequality_holds(self, dist_matrix):
+        t = floyd_warshall(dist_matrix, record=False).table
+        n = t.shape[0]
+        finite = np.where(np.isinf(t), 1e18, t)
+        for k in range(n):
+            assert np.all(finite <= finite[:, k : k + 1] + finite[k : k + 1, :] + 1e-9)
+
+
+class TestTraces:
+    def test_leaf_count(self, dist_matrix):
+        run = gep_inplace(dist_matrix, base_n=2)
+        # 8 subcalls per halving, depth log2(16/2) = 3
+        assert run.trace.n_leaves == 8**3
+
+    def test_scan_trace_longer(self, dist_matrix):
+        t_in = gep_inplace(dist_matrix, base_n=4).trace
+        t_scan = gep_scan(dist_matrix, base_n=4).trace
+        assert len(t_scan) > len(t_in)
+
+    def test_no_record(self, dist_matrix):
+        assert gep_inplace(dist_matrix, record=False).trace is None
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(TraceError):
+            gep_inplace(np.ones((2, 3)))
+
+    def test_rejects_non_power(self):
+        with pytest.raises(TraceError):
+            gep_inplace(np.ones((6, 6)))
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(TraceError):
+            gep_inplace(np.ones((8, 8)), base_n=16)

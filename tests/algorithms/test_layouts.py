@@ -1,0 +1,87 @@
+"""Unit tests for memory layouts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.algorithms.layouts import Morton, RowMajor, get_layout
+
+
+class TestRowMajor:
+    def test_addresses(self):
+        lay = RowMajor(4)
+        assert lay.address(0, 0) == 0
+        assert lay.address(1, 0) == 4
+        assert lay.address(2, 3) == 11
+
+    def test_vectorized_matches_scalar(self):
+        lay = RowMajor(8)
+        rows = np.array([0, 3, 7])
+        cols = np.array([1, 2, 7])
+        got = lay.addresses(rows, cols)
+        want = [lay.address(int(r), int(c)) for r, c in zip(rows, cols)]
+        assert got.tolist() == want
+
+    def test_bijective(self):
+        lay = RowMajor(8)
+        rows, cols = np.meshgrid(np.arange(8), np.arange(8), indexing="ij")
+        addrs = lay.addresses(rows.ravel(), cols.ravel())
+        assert sorted(addrs.tolist()) == list(range(64))
+
+
+class TestMorton:
+    def test_bijective(self):
+        lay = Morton(8)
+        rows, cols = np.meshgrid(np.arange(8), np.arange(8), indexing="ij")
+        addrs = lay.addresses(rows.ravel(), cols.ravel())
+        assert sorted(addrs.tolist()) == list(range(64))
+
+    def test_quadrants_contiguous(self):
+        n = 8
+        lay = Morton(n)
+        h = n // 2
+        for qi in (0, 1):
+            for qj in (0, 1):
+                rows, cols = np.meshgrid(
+                    np.arange(qi * h, (qi + 1) * h),
+                    np.arange(qj * h, (qj + 1) * h),
+                    indexing="ij",
+                )
+                addrs = np.sort(lay.addresses(rows.ravel(), cols.ravel()))
+                assert addrs[-1] - addrs[0] == h * h - 1  # contiguous range
+
+    def test_origin(self):
+        assert Morton(4).address(0, 0) == 0
+
+    def test_interleaving(self):
+        lay = Morton(4)
+        # row bits at odd positions: (r, c) = (1, 0) -> 0b10 = 2
+        assert lay.address(1, 0) == 2
+        assert lay.address(0, 1) == 1
+        assert lay.address(1, 1) == 3
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(TraceError):
+            Morton(6)
+
+    def test_vectorized_matches_scalar(self):
+        lay = Morton(16)
+        rows = np.array([0, 5, 15])
+        cols = np.array([7, 2, 15])
+        got = lay.addresses(rows, cols)
+        want = [lay.address(int(r), int(c)) for r, c in zip(rows, cols)]
+        assert got.tolist() == want
+
+
+class TestGetLayout:
+    def test_by_name(self):
+        assert isinstance(get_layout("morton", 4), Morton)
+        assert isinstance(get_layout("row-major", 4), RowMajor)
+
+    def test_unknown(self):
+        with pytest.raises(TraceError):
+            get_layout("hilbert", 4)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(TraceError):
+            RowMajor(0)

@@ -1,0 +1,68 @@
+"""Unit tests for the cache-oblivious LCS kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.algorithms.lcs import lcs_length, lcs_reference
+
+
+class TestCorrectness:
+    def test_identical_strings(self):
+        s = "abcdefgh"
+        assert lcs_length(s, s, record=False).length == 8
+
+    def test_disjoint_alphabets(self):
+        assert lcs_length("aaaaaaaa", "bbbbbbbb", record=False).length == 0
+
+    def test_known_example(self):
+        x, y = "abcbdabXYZWVUTS", "bdcaba0123456789"
+        x, y = x[:16].ljust(16, "#"), y[:16].ljust(16, "$")
+        assert (
+            lcs_length(x, y, record=False).length
+            == lcs_reference(x, y)
+        )
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_random_sequences(self, n, rng):
+        x = rng.integers(0, 4, n)
+        y = rng.integers(0, 4, n)
+        assert lcs_length(x, y, record=False).length == lcs_reference(x, y)
+
+    @pytest.mark.parametrize("base_n", [1, 2, 4, 8])
+    def test_base_size_invariance(self, base_n, rng):
+        x = rng.integers(0, 3, 16)
+        y = rng.integers(0, 3, 16)
+        assert (
+            lcs_length(x, y, base_n=base_n, record=False).length
+            == lcs_reference(x, y)
+        )
+
+    def test_reference_textbook_case(self):
+        assert lcs_reference("ABCBDAB", "BDCABA") == 4
+
+
+class TestTraces:
+    def test_leaf_count(self, rng):
+        x = rng.integers(0, 3, 16)
+        run = lcs_length(x, x, base_n=4)
+        assert run.trace.n_leaves == (16 // 4) ** 2
+
+    def test_block_size_divides_addresses(self, rng):
+        x = rng.integers(0, 3, 8)
+        run = lcs_length(x, x, base_n=4, block_size=4)
+        assert run.trace.blocks.max() < 8 * 4  # 4n words / B=4
+
+
+class TestValidation:
+    def test_rejects_unequal_lengths(self):
+        with pytest.raises(TraceError):
+            lcs_length("abcd", "abc")
+
+    def test_rejects_non_power_length(self):
+        with pytest.raises(TraceError):
+            lcs_length("abcde", "abcde")
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(TraceError):
+            lcs_length("abcd", "abcd", base_n=8)

@@ -1,0 +1,54 @@
+"""Unit tests for the named spec library."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.algorithms.library import (
+    BINARY_ADAPTIVE,
+    LCS,
+    MERGE_SORT,
+    MM_INPLACE,
+    MM_SCAN,
+    NAMED_SPECS,
+    SQRT_SCAN,
+    STRASSEN,
+    get_spec,
+)
+
+
+class TestNamedSpecs:
+    def test_mm_scan_shape(self):
+        assert (MM_SCAN.a, MM_SCAN.b, MM_SCAN.c) == (8, 4, 1.0)
+        assert MM_SCAN.regime == "gap"
+
+    def test_mm_inplace_shape(self):
+        assert (MM_INPLACE.a, MM_INPLACE.b, MM_INPLACE.c) == (8, 4, 0.0)
+        assert MM_INPLACE.regime == "adaptive"
+
+    def test_strassen_shape(self):
+        assert (STRASSEN.a, STRASSEN.b, STRASSEN.c) == (7, 4, 1.0)
+        assert STRASSEN.regime == "gap"
+
+    def test_degenerate_specs(self):
+        assert LCS.regime == "degenerate"
+        assert MERGE_SORT.regime == "degenerate"
+
+    def test_adaptive_specs(self):
+        assert BINARY_ADAPTIVE.regime == "adaptive"
+        assert SQRT_SCAN.regime == "adaptive"
+
+    def test_registry_complete(self):
+        assert len(NAMED_SPECS) == 9
+        assert all(name == spec.name for name, spec in NAMED_SPECS.items())
+
+
+class TestGetSpec:
+    def test_lookup(self):
+        assert get_spec("MM-SCAN") is MM_SCAN
+
+    def test_case_insensitive(self):
+        assert get_spec("mm-scan") is MM_SCAN
+
+    def test_unknown(self):
+        with pytest.raises(SpecError):
+            get_spec("NOPE")

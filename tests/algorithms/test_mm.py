@@ -1,0 +1,161 @@
+"""Unit tests for the instrumented matrix-multiply kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.algorithms.mm import mm_inplace, mm_scan, strassen
+
+KERNELS = [mm_scan, mm_inplace, strassen]
+
+
+@pytest.fixture
+def mats(rng):
+    a = rng.standard_normal((16, 16))
+    b = rng.standard_normal((16, 16))
+    return a, b
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_product_matches_numpy(self, kernel, mats):
+        a, b = mats
+        run = kernel(a, b, record=False)
+        assert np.allclose(run.product, a @ b)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_various_sizes(self, kernel, rng):
+        for n in (2, 4, 8):
+            a = rng.standard_normal((n, n))
+            b = rng.standard_normal((n, n))
+            assert np.allclose(kernel(a, b, base_n=2, record=False).product, a @ b)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_base_case_equals_full(self, kernel, mats):
+        a, b = mats
+        full = kernel(a, b, base_n=16, record=False).product
+        fine = kernel(a, b, base_n=2, record=False).product
+        assert np.allclose(full, fine)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_identity(self, kernel):
+        eye = np.eye(8)
+        m = np.arange(64, dtype=float).reshape(8, 8)
+        assert np.allclose(kernel(eye, m, record=False).product, m)
+
+    @pytest.mark.parametrize("layout", ["morton", "row-major"])
+    def test_layout_does_not_change_result(self, layout, mats):
+        a, b = mats
+        assert np.allclose(
+            mm_scan(a, b, layout=layout, record=False).product, a @ b
+        )
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(TraceError):
+            mm_scan(np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(TraceError):
+            mm_scan(np.ones((6, 6)), np.ones((6, 6)))
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(TraceError):
+            mm_scan(np.ones((4, 4)), np.ones((4, 4)), base_n=3)
+        with pytest.raises(TraceError):
+            mm_scan(np.ones((4, 4)), np.ones((4, 4)), base_n=8)
+
+
+class TestTraces:
+    def test_no_record_no_trace(self, mats):
+        a, b = mats
+        assert mm_scan(a, b, record=False).trace is None
+
+    def test_leaf_count(self, mats):
+        a, b = mats
+        # n=16, base 2: 8 levels^... recursion halves dimension: depth 3,
+        # 8^3 base multiplies
+        t = mm_scan(a, b, base_n=2).trace
+        assert t.n_leaves == 8**3
+
+    def test_inplace_leaf_count_matches(self, mats):
+        a, b = mats
+        assert mm_inplace(a, b, base_n=2).trace.n_leaves == 8**3
+
+    def test_strassen_leaf_count(self, mats):
+        a, b = mats
+        assert strassen(a, b, base_n=2).trace.n_leaves == 7**3
+
+    def test_scan_variant_longer_than_inplace(self, mats):
+        a, b = mats
+        scan_len = len(mm_scan(a, b).trace)
+        inplace_len = len(mm_inplace(a, b).trace)
+        assert scan_len > inplace_len
+
+    def test_distinct_blocks_scaling(self, mats):
+        a, b = mats
+        t = mm_inplace(a, b).trace
+        # three 16x16 matrices = 768 words touched (B = 1)
+        assert t.distinct_blocks() == 3 * 16 * 16
+
+    def test_mm_scan_touches_scratch(self, mats):
+        a, b = mats
+        t = mm_scan(a, b).trace
+        assert t.distinct_blocks() > 3 * 16 * 16  # temporaries beyond A,B,C
+
+    def test_morton_locality_beats_row_major_in_dam(self, rng):
+        # The cache-oblivious layout should not lose to row-major under a
+        # small cache (and typically wins).
+        from repro.machine.dam import simulate_dam
+
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        t_morton = mm_scan(a, b, layout="morton", block_size=8).trace
+        t_row = mm_scan(a, b, layout="row-major", block_size=8).trace
+        m = 12
+        io_morton = simulate_dam(t_morton, m, policy="lru").io_count
+        io_row = simulate_dam(t_row, m, policy="lru").io_count
+        assert io_morton <= io_row
+
+
+class TestTraceAdversary:
+    def test_exactly_consumes_real_trace(self, rng):
+        from repro.algorithms.mm import mm_scan_trace_adversary
+        from repro.machine.square_machine import run_trace_on_boxes
+
+        dim = 16
+        a = rng.standard_normal((dim, dim))
+        b = rng.standard_normal((dim, dim))
+        trace = mm_scan(a, b, base_n=2).trace
+        adversary = mm_scan_trace_adversary(dim, base_n=2)
+        rec = run_trace_on_boxes(trace, adversary)
+        # every box is used and the trace finishes exactly at the last one
+        assert rec.completed
+        assert rec.boxes_used == len(adversary)
+
+    def test_box_census(self):
+        from repro.algorithms.mm import mm_scan_trace_adversary
+
+        adv = mm_scan_trace_adversary(8, base_n=2)
+        census = adv.size_census()
+        # 8^2 leaves of 3*4 words; 8 scans of 2*16; 1 scan of 2*64
+        assert census == {12: 64, 32: 8, 128: 1}
+
+    def test_block_size_scaling(self):
+        from repro.algorithms.mm import mm_scan_trace_adversary
+
+        adv1 = mm_scan_trace_adversary(8, base_n=2, block_size=1)
+        adv4 = mm_scan_trace_adversary(8, base_n=2, block_size=4)
+        assert adv4.total_time * 4 == adv1.total_time
+
+    def test_validation(self):
+        import pytest as _pytest
+
+        from repro.errors import TraceError
+        from repro.algorithms.mm import mm_scan_trace_adversary
+
+        with _pytest.raises(TraceError):
+            mm_scan_trace_adversary(6)
+        with _pytest.raises(TraceError):
+            mm_scan_trace_adversary(4, base_n=8)

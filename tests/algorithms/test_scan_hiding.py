@@ -1,0 +1,57 @@
+"""Unit tests for the scan-hiding transform."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.algorithms.library import LCS, MM_INPLACE, MM_SCAN, STRASSEN
+from repro.algorithms.scan_hiding import (
+    hidden_work_per_leaf,
+    overhead_factor,
+    transform,
+)
+
+
+class TestTransform:
+    def test_removes_scans(self):
+        hidden = transform(MM_SCAN)
+        assert hidden.c == 0.0
+        assert hidden.regime == "adaptive"
+        assert "scan-hiding" in hidden.name
+
+    def test_preserves_shape(self):
+        hidden = transform(MM_SCAN)
+        assert (hidden.a, hidden.b) == (MM_SCAN.a, MM_SCAN.b)
+        assert hidden.base_size == MM_SCAN.base_size
+
+    def test_strassen_transformable(self):
+        assert transform(STRASSEN).regime == "adaptive"
+
+    def test_rejects_adaptive(self):
+        with pytest.raises(SpecError):
+            transform(MM_INPLACE)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(SpecError):
+            transform(LCS)
+
+
+class TestOverhead:
+    def test_per_leaf_burden_converges(self):
+        # a > b: per-leaf scan burden is a geometric series -> constant
+        values = [hidden_work_per_leaf(MM_SCAN, 4**k) for k in range(2, 8)]
+        assert values[-1] - values[-2] < values[1] - values[0]
+        assert values[-1] < 2.0  # limit sum_{k>=1} 4^k/8^k = 1
+
+    def test_per_leaf_exact_small(self):
+        # n=4: one scan of 4 over 8 leaves
+        assert hidden_work_per_leaf(MM_SCAN, 4) == pytest.approx(0.5)
+
+    def test_overhead_factor(self):
+        # total work / leaf work = 1 + per-leaf burden
+        n = 4**5
+        assert overhead_factor(MM_SCAN, n) == pytest.approx(
+            1.0 + hidden_work_per_leaf(MM_SCAN, n)
+        )
+
+    def test_overhead_bounded(self):
+        assert overhead_factor(MM_SCAN, 4**8) < 2.0

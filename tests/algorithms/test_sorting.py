@@ -1,0 +1,68 @@
+"""Unit tests for the traced merge sort."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.algorithms.sorting import merge_sort
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [4, 8, 32, 128])
+    def test_sorts(self, n, rng):
+        v = rng.integers(0, 1000, n)
+        assert np.array_equal(merge_sort(v, record=False).sorted_values, np.sort(v))
+
+    def test_already_sorted(self):
+        v = np.arange(16)
+        assert np.array_equal(merge_sort(v, record=False).sorted_values, v)
+
+    def test_reverse_sorted(self):
+        v = np.arange(16)[::-1].copy()
+        assert np.array_equal(merge_sort(v, record=False).sorted_values, np.arange(16))
+
+    def test_duplicates(self):
+        v = np.array([3, 1, 3, 1, 2, 2, 3, 1])
+        assert np.array_equal(merge_sort(v, record=False).sorted_values, np.sort(v))
+
+    def test_floats(self, rng):
+        v = rng.standard_normal(32)
+        assert np.allclose(merge_sort(v, record=False).sorted_values, np.sort(v))
+
+    @pytest.mark.parametrize("base_n", [1, 2, 4, 16])
+    def test_base_size_invariance(self, base_n, rng):
+        v = rng.integers(0, 50, 16)
+        assert np.array_equal(
+            merge_sort(v, base_n=base_n, record=False).sorted_values, np.sort(v)
+        )
+
+
+class TestTraces:
+    def test_leaf_count(self, rng):
+        v = rng.integers(0, 50, 32)
+        assert merge_sort(v, base_n=4).trace.n_leaves == 8
+
+    def test_input_not_mutated(self, rng):
+        v = rng.integers(0, 50, 16)
+        copy = v.copy()
+        merge_sort(v, record=False)
+        assert np.array_equal(v, copy)
+
+    def test_distinct_blocks(self, rng):
+        v = rng.integers(0, 50, 16)
+        t = merge_sort(v, base_n=4).trace
+        assert t.distinct_blocks() == 32  # array + merge buffer
+
+
+class TestValidation:
+    def test_rejects_non_power(self):
+        with pytest.raises(TraceError):
+            merge_sort(np.arange(6))
+
+    def test_rejects_2d(self):
+        with pytest.raises(TraceError):
+            merge_sort(np.ones((2, 2)))
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(TraceError):
+            merge_sort(np.arange(8), base_n=16)

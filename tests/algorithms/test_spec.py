@@ -1,0 +1,141 @@
+"""Unit tests for (a,b,c)-regular algorithm specs."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.algorithms.spec import RegularSpec, ScanPlacement
+
+
+class TestValidation:
+    def test_basic(self):
+        spec = RegularSpec(8, 4, 1.0)
+        assert spec.a == 8 and spec.b == 4
+
+    def test_rejects_bad_a(self):
+        with pytest.raises(SpecError):
+            RegularSpec(0, 4, 1.0)
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(SpecError):
+            RegularSpec(8, 1, 1.0)
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(SpecError):
+            RegularSpec(8, 4, 1.5)
+        with pytest.raises(SpecError):
+            RegularSpec(8, 4, -0.1)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(SpecError):
+            RegularSpec(8, 4, 1.0, base_size=0)
+
+    def test_rejects_bad_placement(self):
+        with pytest.raises(SpecError):
+            RegularSpec(8, 4, 1.0, scan_placement="middle")
+
+    def test_auto_name(self):
+        assert "(8,4,1)" in RegularSpec(8, 4, 1.0).name
+
+
+class TestDerived:
+    def test_exponent(self):
+        assert RegularSpec(8, 4, 1.0).exponent == pytest.approx(1.5)
+        assert RegularSpec(8, 4, 1.0).exponent_fraction is not None
+
+    def test_regimes(self):
+        assert RegularSpec(8, 4, 1.0).regime == "gap"
+        assert RegularSpec(8, 4, 0.5).regime == "adaptive"
+        assert RegularSpec(2, 4, 1.0).regime == "adaptive"
+        assert RegularSpec(4, 4, 1.0).regime == "degenerate"
+        assert RegularSpec(8, 4, 0.0).regime == "adaptive"
+
+    def test_worst_case_adaptive(self):
+        assert not RegularSpec(8, 4, 1.0).worst_case_adaptive
+        assert RegularSpec(8, 4, 0.0).worst_case_adaptive
+
+
+class TestGeometry:
+    def test_depth_and_leaves(self):
+        spec = RegularSpec(8, 4, 1.0)
+        assert spec.depth(64) == 3
+        assert spec.leaves(64) == 512
+
+    def test_base_size_scaling(self):
+        spec = RegularSpec(8, 4, 1.0, base_size=4)
+        assert spec.depth(64) == 2
+        assert spec.leaves(64) == 64
+
+    def test_validate_rejects_non_power(self):
+        with pytest.raises(SpecError):
+            RegularSpec(8, 4, 1.0).depth(20)
+        with pytest.raises(SpecError):
+            RegularSpec(8, 4, 1.0, base_size=4).depth(2)
+
+    def test_problem_sizes(self):
+        assert RegularSpec(8, 4, 1.0).problem_sizes(64) == [1, 4, 16, 64]
+
+    def test_child_size(self):
+        spec = RegularSpec(8, 4, 1.0)
+        assert spec.child_size(64) == 16
+        with pytest.raises(SpecError):
+            spec.child_size(1)
+
+
+class TestScans:
+    def test_scan_length_c1(self):
+        assert RegularSpec(8, 4, 1.0).scan_length(64) == 64
+
+    def test_scan_length_c0(self):
+        assert RegularSpec(8, 4, 0.0).scan_length(64) == 0
+
+    def test_scan_length_half(self):
+        assert RegularSpec(8, 4, 0.5).scan_length(64) == 8
+
+    def test_scan_length_base_case(self):
+        assert RegularSpec(8, 4, 1.0).scan_length(1) == 0
+
+    def test_subtree_scan_total(self):
+        spec = RegularSpec(8, 4, 1.0)
+        # S(n) = 8 S(n/4) + n; S(1) = 0
+        assert spec.subtree_scan_total(4) == 4
+        assert spec.subtree_scan_total(16) == 8 * 4 + 16
+        assert spec.subtree_scan_total(64) == 8 * (8 * 4 + 16) + 64
+
+    def test_subtree_accesses(self):
+        spec = RegularSpec(8, 4, 1.0)
+        assert spec.subtree_accesses(4) == 8 + 4
+        assert spec.subtree_accesses(1) == 1
+
+    def test_scan_pieces_end(self):
+        pieces = RegularSpec(8, 4, 1.0).scan_pieces(16)
+        assert pieces[:-1] == [0] * 8 and pieces[-1] == 16
+
+    def test_scan_pieces_front(self):
+        pieces = RegularSpec(8, 4, 1.0, scan_placement=ScanPlacement.FRONT).scan_pieces(16)
+        assert pieces[0] == 16 and sum(pieces[1:]) == 0
+
+    def test_scan_pieces_split_sums(self):
+        pieces = RegularSpec(8, 4, 1.0, scan_placement=ScanPlacement.SPLIT).scan_pieces(16)
+        assert sum(pieces) == 16
+        assert max(pieces) - min(pieces) <= 1
+
+    def test_scan_pieces_zero_scan(self):
+        assert RegularSpec(8, 4, 0.0).scan_pieces(16) == [0] * 9
+
+
+class TestConvenience:
+    def test_with_placement(self):
+        spec = RegularSpec(8, 4, 1.0).with_placement(ScanPlacement.SPLIT)
+        assert spec.scan_placement == ScanPlacement.SPLIT
+
+    def test_with_base_size(self):
+        assert RegularSpec(8, 4, 1.0).with_base_size(4).base_size == 4
+
+    def test_describe(self):
+        text = RegularSpec(8, 4, 1.0).describe()
+        assert "a=8" in text and "regime=gap" in text
+
+    def test_frozen(self):
+        spec = RegularSpec(8, 4, 1.0)
+        with pytest.raises(Exception):
+            spec.a = 9

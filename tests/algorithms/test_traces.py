@@ -1,0 +1,147 @@
+"""Unit tests for traces, the recorder, and synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.algorithms.library import MM_INPLACE, MM_SCAN, STRASSEN
+from repro.algorithms.spec import RegularSpec, ScanPlacement
+from repro.algorithms.traces import Trace, TraceRecorder, synthetic_trace
+
+
+class TestTrace:
+    def test_basic(self):
+        t = Trace(np.array([1, 2, 1]), np.array([[0, 2]]))
+        assert len(t) == 3
+        assert t.n_leaves == 1
+        assert t.distinct_blocks() == 2
+
+    def test_working_set(self):
+        t = Trace(np.array([1, 2, 1, 3]), np.empty((0, 2)))
+        assert t.working_set_of_range(0, 3) == 2
+        assert t.working_set_of_range(0, 4) == 3
+        with pytest.raises(TraceError):
+            t.working_set_of_range(2, 1)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            Trace(np.array([[1]]), np.empty((0, 2)))  # 2-D blocks
+        with pytest.raises(TraceError):
+            Trace(np.array([1]), np.array([[0, 2]]))  # span beyond trace
+        with pytest.raises(TraceError):
+            Trace(np.array([1, 2]), np.array([[1, 0]]))  # reversed span
+        with pytest.raises(TraceError):
+            Trace(np.array([1]), np.array([1]))  # bad span shape
+
+    def test_spans_must_be_sorted(self):
+        with pytest.raises(TraceError):
+            Trace(np.array([1, 2, 3]), np.array([[2, 3], [0, 1]]))
+
+    def test_immutability(self):
+        t = Trace(np.array([1]), np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            t.blocks[0] = 9
+
+    def test_empty(self):
+        t = Trace(np.empty(0, dtype=np.int64), np.empty((0, 2)))
+        assert len(t) == 0 and t.distinct_blocks() == 0
+
+
+class TestTraceRecorder:
+    def test_block_division(self):
+        rec = TraceRecorder(block_size=4)
+        rec.touch(0)
+        rec.touch(3)
+        rec.touch(4)
+        t = rec.build()
+        assert t.blocks.tolist() == [0, 0, 1]
+
+    def test_touch_range(self):
+        rec = TraceRecorder()
+        rec.touch_range(2, 5)
+        assert rec.build().blocks.tolist() == [2, 3, 4]
+
+    def test_touch_words_preserves_order_with_pending(self):
+        rec = TraceRecorder()
+        rec.touch(9)
+        rec.touch_words(np.array([1, 2]))
+        rec.touch(8)
+        assert rec.build().blocks.tolist() == [9, 1, 2, 8]
+
+    def test_leaf_spans(self):
+        rec = TraceRecorder()
+        rec.touch(0)
+        rec.begin_leaf()
+        rec.touch(1)
+        rec.touch(2)
+        rec.end_leaf()
+        t = rec.build()
+        assert t.leaf_spans.tolist() == [[1, 3]]
+
+    def test_nested_leaf_rejected(self):
+        rec = TraceRecorder()
+        rec.begin_leaf()
+        with pytest.raises(TraceError):
+            rec.begin_leaf()
+
+    def test_end_without_begin(self):
+        with pytest.raises(TraceError):
+            TraceRecorder().end_leaf()
+
+    def test_unclosed_leaf_at_build(self):
+        rec = TraceRecorder()
+        rec.begin_leaf()
+        with pytest.raises(TraceError):
+            rec.build()
+
+    def test_invalid_range(self):
+        with pytest.raises(TraceError):
+            TraceRecorder().touch_range(5, 2)
+
+    def test_empty_build(self):
+        t = TraceRecorder().build()
+        assert len(t) == 0
+
+
+class TestSyntheticTrace:
+    @pytest.mark.parametrize("spec", [MM_SCAN, MM_INPLACE, STRASSEN])
+    def test_distinct_blocks_equals_problem_size(self, spec):
+        n = spec.b**3
+        t = synthetic_trace(spec, n)
+        assert t.distinct_blocks() == n
+
+    def test_leaf_count(self):
+        t = synthetic_trace(MM_SCAN, 64)
+        assert t.n_leaves == MM_SCAN.leaves(64)
+
+    def test_access_count_matches_spec(self):
+        t = synthetic_trace(MM_SCAN, 64)
+        assert len(t) == MM_SCAN.subtree_accesses(64)
+
+    def test_subproblem_distinct_blocks(self):
+        # Any aligned subproblem's span touches exactly its size in blocks.
+        spec = MM_SCAN
+        t = synthetic_trace(spec, 64)
+        per_child = spec.subtree_accesses(16)
+        # child i of the root occupies accesses [i*per_child, (i+1)*...)
+        for i in range(spec.a):
+            ws = t.working_set_of_range(i * per_child, (i + 1) * per_child)
+            assert ws == 16
+
+    @pytest.mark.parametrize(
+        "placement", [ScanPlacement.END, ScanPlacement.FRONT, ScanPlacement.SPLIT]
+    )
+    def test_placements_preserve_geometry(self, placement):
+        spec = RegularSpec(8, 4, 1.0, scan_placement=placement)
+        t = synthetic_trace(spec, 64)
+        assert t.distinct_blocks() == 64
+        assert len(t) == spec.subtree_accesses(64)
+
+    def test_base_size(self):
+        spec = RegularSpec(8, 4, 1.0, base_size=4)
+        t = synthetic_trace(spec, 64)
+        assert t.distinct_blocks() == 64
+        assert t.n_leaves == spec.leaves(64)
+
+    def test_label(self):
+        assert "custom" in synthetic_trace(MM_SCAN, 16, label="custom").label

@@ -1,0 +1,61 @@
+"""Unit tests for adaptivity ratios and growth classification."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.algorithms.library import MM_SCAN
+from repro.analysis.adaptivity import (
+    RatioSeries,
+    adaptivity_ratio,
+    worst_case_ratio,
+    worst_case_ratio_series,
+)
+from repro.profiles.square import SquareProfile
+from repro.profiles.worst_case import worst_case_profile
+
+
+class TestAdaptivityRatio:
+    def test_single_full_box(self):
+        assert adaptivity_ratio(SquareProfile([64]), MM_SCAN, 64) == pytest.approx(1.0)
+
+    def test_clipping(self):
+        # one huge box clips to n
+        assert adaptivity_ratio(SquareProfile([10**6]), MM_SCAN, 64) == pytest.approx(1.0)
+
+    def test_matches_profile_method(self):
+        p = worst_case_profile(8, 4, 64)
+        assert adaptivity_ratio(p, MM_SCAN, 64) == pytest.approx(
+            p.bounded_potential_sum(64, 1.5) / 64**1.5
+        )
+
+
+class TestWorstCaseRatio:
+    def test_exact_log_formula(self):
+        for k in range(1, 7):
+            assert worst_case_ratio(MM_SCAN, 4**k) == pytest.approx(k + 1)
+
+    def test_series(self):
+        ns = [4**k for k in range(2, 5)]
+        assert worst_case_ratio_series(MM_SCAN, ns) == pytest.approx([3, 4, 5])
+
+
+class TestRatioSeries:
+    def test_log_series(self):
+        ns = tuple(4**k for k in range(2, 8))
+        rs = RatioSeries(ns, tuple(float(k + 1) for k in range(2, 8)), base=4.0)
+        assert rs.verdict == "logarithmic"
+        assert rs.log_slope == pytest.approx(1.0)
+
+    def test_constant_series(self):
+        ns = tuple(4**k for k in range(2, 8))
+        rs = RatioSeries(ns, (2.0,) * 6, base=4.0)
+        assert rs.verdict == "constant"
+        assert abs(rs.log_slope) < 1e-9
+
+    def test_from_measurements(self):
+        rs = RatioSeries.from_measurements([16, 64], [1.0, 2.0], MM_SCAN)
+        assert rs.base == 4.0
+
+    def test_needs_two_points(self):
+        with pytest.raises(SimulationError):
+            RatioSeries((16,), (1.0,), base=4.0)

@@ -1,0 +1,56 @@
+"""Unit tests for the Equation-7/9 feedback diagnostics."""
+
+import pytest
+
+from repro.algorithms.library import MM_INPLACE, MM_SCAN
+from repro.analysis.feedback import (
+    feedback_report,
+    feedback_threshold,
+    verify_negative_feedback,
+)
+from repro.analysis.recurrence import solve_recurrence
+from repro.profiles.distributions import PointMass, UniformPowers
+
+
+class TestFeedbackReport:
+    def test_one_record_per_non_base_level(self):
+        sol = solve_recurrence(MM_SCAN, 4**5, PointMass(16))
+        report = feedback_report(sol)
+        assert len(report) == len(sol.levels) - 1
+        assert [r.n for r in report] == [rec.n for rec in sol.levels[1:]]
+
+    def test_eq7_sides_definition(self):
+        sol = solve_recurrence(MM_SCAN, 4**3, UniformPowers(4, 1, 4))
+        report = feedback_report(sol)
+        for prev, cur, rec in zip(sol.levels, sol.levels[1:], report):
+            assert rec.eq7_lhs == pytest.approx(cur.f_prime / prev.f)
+            assert rec.eq7_rhs == pytest.approx(8 * prev.m_n / cur.m_n)
+            assert rec.cost_ratio == pytest.approx(cur.cost_ratio)
+
+    def test_point_mass_always_holds(self):
+        # boxes exactly one level wide: f'(n) = a f(n/b) and m ratio = a
+        sol = solve_recurrence(MM_SCAN, 4**6, PointMass(16))
+        assert all(r.pressure_holds for r in feedback_report(sol))
+        assert feedback_threshold(sol) == 0.0
+
+
+class TestNegativeFeedback:
+    @pytest.mark.parametrize(
+        "dist",
+        [PointMass(16), UniformPowers(4, 1, 5), UniformPowers(4, 0, 6)],
+        ids=["point", "uniform", "wide-uniform"],
+    )
+    def test_holds_above_small_constant(self, dist):
+        sol = solve_recurrence(MM_SCAN, 4**8, dist)
+        assert verify_negative_feedback(sol, C=3.0)
+        assert feedback_threshold(sol) < 3.0
+
+    def test_c0_spec_trivially_holds(self):
+        sol = solve_recurrence(MM_INPLACE, 4**5, PointMass(16))
+        # no scans: f = f', Eq 7 reduces to f(n)/f(n/b) = a <= a * m-ratio
+        assert verify_negative_feedback(sol, C=0.5)
+
+    def test_rejects_bad_constant(self):
+        sol = solve_recurrence(MM_SCAN, 4**3, PointMass(4))
+        with pytest.raises(ValueError):
+            verify_negative_feedback(sol, C=0.0)

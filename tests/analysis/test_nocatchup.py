@@ -1,0 +1,58 @@
+"""Unit tests for the No-Catch-up (Lemma 2) checker."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.algorithms.library import MM_SCAN
+from repro.analysis.nocatchup import (
+    NoCatchupReport,
+    check_no_catchup,
+    finish_positions,
+)
+from repro.profiles.worst_case import worst_case_profile
+
+
+class TestFinishPositions:
+    def test_start_zero_with_full_profile_finishes(self):
+        boxes = list(worst_case_profile(8, 4, 64))
+        [finish] = finish_positions(MM_SCAN, 64, boxes, [0])
+        assert finish == MM_SCAN.subtree_accesses(64)
+
+    def test_later_start_finishes_weakly_later(self):
+        boxes = [4, 4, 16, 4]
+        finishes = finish_positions(MM_SCAN, 64, boxes, [0, 5, 20, 100])
+        assert finishes == sorted(finishes)
+
+    def test_greedy_model(self):
+        boxes = [8, 8, 8]
+        finishes = finish_positions(MM_SCAN, 64, boxes, [0, 10], model="greedy")
+        assert finishes[0] <= finishes[1]
+
+    def test_unknown_model(self):
+        with pytest.raises(SimulationError):
+            finish_positions(MM_SCAN, 64, [1], [0], model="magic")
+
+
+class TestCheckNoCatchup:
+    def test_holds_on_worst_case_prefix(self):
+        boxes = list(worst_case_profile(8, 4, 64))[:100]
+        report = check_no_catchup(MM_SCAN, 64, boxes, samples=32, rng=0)
+        assert report.holds
+        assert not report.violations
+
+    def test_explicit_starts(self):
+        report = check_no_catchup(MM_SCAN, 64, [16, 16], starts=[0, 7, 33])
+        assert report.starts == (0, 7, 33)
+        assert report.holds
+
+    def test_exhaustive_small_problem(self):
+        total = MM_SCAN.subtree_accesses(16)
+        report = check_no_catchup(
+            MM_SCAN, 16, [4, 4, 16], starts=range(total + 1)
+        )
+        assert report.holds
+
+    def test_report_shape(self):
+        report = check_no_catchup(MM_SCAN, 16, [4], samples=4, rng=1)
+        assert isinstance(report, NoCatchupReport)
+        assert len(report.starts) == len(report.finishes)

@@ -1,0 +1,64 @@
+"""Unit tests for Lemma 1's potential functions."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.algorithms.library import MM_SCAN, STRASSEN
+from repro.algorithms.spec import RegularSpec
+from repro.analysis.potential import max_progress, measured_potential, potential
+
+
+class TestPotential:
+    def test_power_form(self):
+        assert potential(MM_SCAN, 16) == pytest.approx(64.0)
+
+    def test_rho1(self):
+        assert potential(MM_SCAN, 4, rho1=2.0) == pytest.approx(16.0)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(SimulationError):
+            potential(MM_SCAN, 0)
+
+
+class TestMaxProgress:
+    def test_exact_powers(self):
+        assert max_progress(MM_SCAN, 1) == 1
+        assert max_progress(MM_SCAN, 4) == 8
+        assert max_progress(MM_SCAN, 16) == 64
+
+    def test_between_powers_floors(self):
+        assert max_progress(MM_SCAN, 15) == 8
+        assert max_progress(MM_SCAN, 17) == 64
+
+    def test_below_base(self):
+        spec = RegularSpec(8, 4, 1.0, base_size=4)
+        assert max_progress(spec, 2) == 0
+        assert max_progress(spec, 4) == 1
+
+    def test_theta_s_e_envelope(self):
+        # max_progress(s) is within [ (s/b)^e, s^e ] for powers-adjacent s
+        for s in (3, 7, 12, 40, 100):
+            got = max_progress(MM_SCAN, s)
+            assert (s / 4) ** 1.5 <= got <= s**1.5 + 1e-9
+
+
+class TestMeasuredPotential:
+    def test_matches_exact_with_aligned_start(self):
+        for s in (1, 4, 16):
+            got = measured_potential(MM_SCAN, 64, s, samples=8, rng=0)
+            assert got == max_progress(MM_SCAN, s)
+
+    def test_never_exceeds_exact(self, rng):
+        for s in (4, 16, 64):
+            got = measured_potential(
+                MM_SCAN, 256, s, samples=64, rng=rng, include_aligned=False
+            )
+            assert got <= max_progress(MM_SCAN, s)
+
+    def test_strassen(self):
+        got = measured_potential(STRASSEN, 256, 16, samples=8, rng=0)
+        assert got == max_progress(STRASSEN, 16) == 49
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(SimulationError):
+            measured_potential(MM_SCAN, 64, 4, samples=0)

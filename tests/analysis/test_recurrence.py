@@ -1,0 +1,181 @@
+"""Unit tests for the exact Lemma-3 recurrence solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError, SimulationError
+from repro.algorithms.library import MM_INPLACE, MM_SCAN, STRASSEN
+from repro.algorithms.spec import RegularSpec, ScanPlacement
+from repro.analysis.recurrence import (
+    expected_boxes,
+    expected_cost_ratio,
+    expected_scan_boxes,
+    scan_boxes_bounds,
+    solve_recurrence,
+)
+from repro.profiles.distributions import (
+    BoxDistribution,
+    Empirical,
+    PointMass,
+    UniformPowers,
+)
+
+
+class TestScanRenewalDP:
+    def test_zero_length(self):
+        assert expected_scan_boxes(0, PointMass(4)) == 0.0
+
+    def test_point_mass_exact(self):
+        # scan of 16 with boxes of 4: exactly 4 boxes
+        assert expected_scan_boxes(16, PointMass(4)) == pytest.approx(4.0)
+
+    def test_point_mass_rounding_up(self):
+        # scan of 17 with boxes of 4: 5 boxes (last one partial)
+        assert expected_scan_boxes(17, PointMass(4)) == pytest.approx(5.0)
+
+    def test_two_point_brute_force(self):
+        # brute-force expectation by explicit recursion
+        dist = BoxDistribution([1, 3], [0.5, 0.5])
+
+        def brute(r):
+            if r <= 0:
+                return 0.0
+            return 1.0 + 0.5 * brute(r - 1) + 0.5 * brute(r - 3)
+
+        for L in (1, 2, 5, 9):
+            assert expected_scan_boxes(L, dist) == pytest.approx(brute(L))
+
+    def test_monotone_in_length(self):
+        dist = UniformPowers(2, 0, 4)
+        values = [expected_scan_boxes(L, dist) for L in (4, 8, 16, 32)]
+        assert values == sorted(values)
+
+    def test_wald_bounds_contain_exact(self):
+        dist = UniformPowers(4, 1, 4)
+        for L in (7, 64, 500, 4096):
+            lo, hi = scan_boxes_bounds(L, dist)
+            ek = expected_scan_boxes(L, dist)
+            assert lo - 1e-9 <= ek <= hi + 1e-9
+
+    def test_lattice_reduction_consistency(self):
+        # all boxes multiples of 4: K(L) = K at ceil(L/4) granularity
+        dist = BoxDistribution([4, 8], [0.5, 0.5])
+        assert expected_scan_boxes(5, dist) == expected_scan_boxes(8, dist)
+        assert expected_scan_boxes(9, dist) > expected_scan_boxes(8, dist)
+
+    def test_asymptotic_extension_matches_dp(self):
+        # force the asymptotic path by a huge L, then compare the linear
+        # prediction against the DP at a moderate anchor
+        dist = BoxDistribution([2, 3], [0.5, 0.5])
+        mu = dist.mean()
+        big = expected_scan_boxes(10**9, dist)
+        # renewal: K(L) ~ L/mu + C; recover C from a directly-computed L
+        anchor = expected_scan_boxes(50_000, dist)
+        c_anchor = anchor - 50_000 / mu
+        assert big == pytest.approx(10**9 / mu + c_anchor, rel=1e-6)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(SimulationError):
+            expected_scan_boxes(-1, PointMass(1))
+
+
+class TestSolveRecurrence:
+    def test_point_mass_exact_chain(self):
+        # boxes of 16 on MM-SCAN: f(16)=1; f(64) = 8*1 + K(64) = 8+4
+        sol = solve_recurrence(MM_SCAN, 64, PointMass(16))
+        assert sol.level(16).f == pytest.approx(1.0)
+        assert sol.level(64).f == pytest.approx(12.0)
+
+    def test_f_monotone_in_n(self):
+        sol = solve_recurrence(MM_SCAN, 4**5, UniformPowers(4, 1, 4))
+        fs = [rec.f for rec in sol.levels]
+        assert fs == sorted(fs)
+
+    def test_q_identity_definition(self):
+        dist = UniformPowers(4, 1, 5)
+        sol = solve_recurrence(MM_SCAN, 4**4, dist)
+        for prev, cur in zip(sol.levels, sol.levels[1:]):
+            assert cur.q == pytest.approx(min(1.0, dist.tail(cur.n) * prev.f))
+
+    def test_no_scan_term_for_c0(self):
+        sol = solve_recurrence(MM_INPLACE, 64, PointMass(4))
+        for rec in sol.levels:
+            assert rec.scan_boxes == 0.0
+            assert rec.f == rec.f_prime
+
+    def test_base_level_geometric_wait(self):
+        spec = RegularSpec(8, 4, 1.0, base_size=4)
+        dist = BoxDistribution([1, 4], [0.5, 0.5])
+        sol = solve_recurrence(spec, 16, dist)
+        assert sol.level(4).f == pytest.approx(2.0)  # 1/P[sigma >= 4]
+
+    def test_rejects_never_completing_distribution(self):
+        spec = RegularSpec(8, 4, 1.0, base_size=4)
+        with pytest.raises(DistributionError):
+            solve_recurrence(spec, 16, PointMass(1))
+
+    def test_rejects_non_end_placement(self):
+        spec = RegularSpec(8, 4, 1.0, scan_placement=ScanPlacement.SPLIT)
+        with pytest.raises(SimulationError):
+            solve_recurrence(spec, 16, PointMass(4))
+
+    def test_scan_dp_false_within_wald(self):
+        dist = UniformPowers(4, 1, 4)
+        exact = solve_recurrence(MM_SCAN, 4**4, dist, scan_dp=True).f
+        approx = solve_recurrence(MM_SCAN, 4**4, dist, scan_dp=False).f
+        assert approx == pytest.approx(exact, rel=0.5)
+
+    def test_strassen_irrational_exponent(self):
+        sol = solve_recurrence(STRASSEN, 4**3, UniformPowers(4, 1, 4))
+        assert sol.cost_ratio > 0
+
+
+class TestEquationHelpers:
+    def test_eq8_product_bounded(self):
+        for dist in (PointMass(16), UniformPowers(4, 1, 5)):
+            sol = solve_recurrence(MM_SCAN, 4**7, dist)
+            assert sol.eq8_product() < 10.0
+
+    def test_eq8_individual_factors_can_exceed_one(self):
+        sol = solve_recurrence(MM_SCAN, 4**5, PointMass(16))
+        factors = [r.f / r.f_prime for r in sol.levels[1:]]
+        assert max(factors) > 1.0
+
+    def test_eq7_violations_listed(self):
+        sol = solve_recurrence(MM_SCAN, 4**5, PointMass(16))
+        assert isinstance(sol.eq7_violations(), list)
+
+    def test_level_lookup_unknown(self):
+        sol = solve_recurrence(MM_SCAN, 16, PointMass(4))
+        with pytest.raises(SimulationError):
+            sol.level(5)
+
+
+class TestTopLevelHelpers:
+    def test_expected_boxes_matches_solution(self):
+        dist = UniformPowers(4, 1, 4)
+        assert expected_boxes(MM_SCAN, 4**4, dist) == pytest.approx(
+            solve_recurrence(MM_SCAN, 4**4, dist).f
+        )
+
+    def test_cost_ratio_equation3(self):
+        # cost_ratio = f(n) * m_n / n^e exactly
+        dist = PointMass(16)
+        n = 4**3
+        f = expected_boxes(MM_SCAN, n, dist)
+        m_n = dist.bounded_potential_moment(n, 1.5)
+        assert expected_cost_ratio(MM_SCAN, n, dist) == pytest.approx(
+            f * m_n / n**1.5
+        )
+
+    def test_theorem1_boundedness_far_out(self):
+        # the expected ratio converges for n far beyond the support
+        dist = Empirical([1, 4, 4, 16, 64])
+        ratios = [
+            expected_cost_ratio(MM_SCAN, 4**k, dist) for k in range(4, 10)
+        ]
+        increments = np.diff(ratios)
+        assert np.all(increments >= -1e-9)
+        assert increments[-1] < 0.25 * (increments[0] + 1e-12) + 1e-6

@@ -1,0 +1,93 @@
+"""Unit tests for the smoothing scenario runners.
+
+Directional assertions only (the quantitative versions live in the
+experiment suite): worst-case stays log-ish under the three weak
+smoothings, collapses under shuffling/i.i.d.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.algorithms.library import MM_SCAN
+from repro.analysis.adaptivity import worst_case_ratio
+from repro.analysis.smoothing import (
+    iid_ratio_trials,
+    order_perturbation_trials,
+    shuffled_worst_case_trials,
+    size_perturbation_trials,
+    start_shift_trials,
+)
+from repro.profiles.distributions import UniformPowers
+from repro.profiles.perturbations import discrete_multipliers, uniform_multipliers
+
+
+class TestIidTrials:
+    def test_shape_and_positivity(self):
+        out = iid_ratio_trials(MM_SCAN, 64, UniformPowers(4, 1, 4), trials=5, rng=0)
+        assert out.shape == (5,)
+        assert np.all(out >= 1.0 - 1e-9)
+
+    def test_reproducible(self):
+        dist = UniformPowers(4, 1, 4)
+        a = iid_ratio_trials(MM_SCAN, 64, dist, trials=4, rng=7)
+        b = iid_ratio_trials(MM_SCAN, 64, dist, trials=4, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_well_below_worst_case(self):
+        n = 4**4
+        out = iid_ratio_trials(MM_SCAN, n, UniformPowers(4, 1, 5), trials=8, rng=0)
+        assert out.mean() < 0.6 * worst_case_ratio(MM_SCAN, n)
+
+
+class TestShuffledTrials:
+    def test_below_adversarial(self):
+        n = 4**4
+        out = shuffled_worst_case_trials(MM_SCAN, n, trials=6, rng=0)
+        assert out.mean() < 0.7 * worst_case_ratio(MM_SCAN, n)
+
+
+class TestSizePerturbation:
+    def test_identity_multiplier_recovers_worst_case(self):
+        n = 4**3
+        out = size_perturbation_trials(
+            MM_SCAN, n, discrete_multipliers([1.0]), trials=1, rng=0
+        )
+        assert out[0] == pytest.approx(worst_case_ratio(MM_SCAN, n))
+
+    def test_ratio_grows_with_n(self):
+        mult = uniform_multipliers(4.0)
+        small = size_perturbation_trials(MM_SCAN, 4**3, mult, trials=6, rng=1).mean()
+        large = size_perturbation_trials(MM_SCAN, 4**5, mult, trials=6, rng=1).mean()
+        assert large > small
+
+
+class TestStartShift:
+    def test_ratio_grows_with_n(self):
+        small = start_shift_trials(MM_SCAN, 4**3, trials=8, rng=2).mean()
+        large = start_shift_trials(MM_SCAN, 4**5, trials=8, rng=2).mean()
+        assert large > small
+
+
+class TestOrderPerturbation:
+    def test_adversarial_position_a_recovers_worst_case(self):
+        n = 4**3
+        out = order_perturbation_trials(
+            MM_SCAN, n, trials=1, rng=0, adversarial_position=8
+        )
+        assert out[0] == pytest.approx(worst_case_ratio(MM_SCAN, n))
+
+    def test_kappa_b_grows_with_n(self):
+        small = order_perturbation_trials(
+            MM_SCAN, 4**3, trials=6, rng=3, completion_divisor=4
+        ).mean()
+        large = order_perturbation_trials(
+            MM_SCAN, 4**5, trials=6, rng=3, completion_divisor=4
+        ).mean()
+        assert large > small
+
+    def test_invalid_position(self):
+        with pytest.raises(SimulationError):
+            order_perturbation_trials(
+                MM_SCAN, 16, trials=1, adversarial_position=9
+            )

@@ -1,0 +1,106 @@
+"""Closed-form predictions vs the measuring machinery — equality checks."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.algorithms.library import LCS, MM_INPLACE, MM_SCAN, STRASSEN
+from repro.algorithms.scan_hiding import overhead_factor
+from repro.algorithms.spec import RegularSpec, ScanPlacement
+from repro.analysis.recurrence import solve_recurrence
+from repro.analysis.theory import (
+    point_mass_limit_ratio,
+    point_mass_ratio_exact,
+    scan_hiding_overhead_limit,
+    split_adversary_slope,
+    worst_case_ratio_exact,
+)
+from repro.analysis.adaptivity import worst_case_ratio
+from repro.profiles.distributions import PointMass
+
+
+class TestWorstCaseRatio:
+    def test_lattice_case_matches_machinery(self):
+        for k in range(1, 8):
+            assert worst_case_ratio_exact(MM_SCAN, 4**k) == pytest.approx(
+                worst_case_ratio(MM_SCAN, 4**k)
+            )
+
+    def test_strassen_general_case_matches_machinery(self):
+        for k in range(1, 6):
+            assert worst_case_ratio_exact(STRASSEN, 4**k) == pytest.approx(
+                worst_case_ratio(STRASSEN, 4**k)
+            )
+
+    def test_degenerate_is_depth_plus_one(self):
+        assert worst_case_ratio_exact(LCS, 4**5) == pytest.approx(6.0)
+
+
+class TestPointMassClosedForm:
+    def test_limit_is_two_for_mm_scan(self):
+        assert point_mass_limit_ratio(MM_SCAN) == pytest.approx(2.0)
+
+    def test_limit_strassen(self):
+        assert point_mass_limit_ratio(STRASSEN) == pytest.approx(1 + 4 / 3)
+
+    @pytest.mark.parametrize("s_exp", [0, 1, 2])
+    @pytest.mark.parametrize("k", [3, 5, 7])
+    def test_exact_formula_matches_solver(self, s_exp, k):
+        s, n = 4**s_exp, 4**k
+        predicted = point_mass_ratio_exact(MM_SCAN, s, n)
+        solved = solve_recurrence(MM_SCAN, n, PointMass(s)).cost_ratio
+        assert predicted == pytest.approx(solved, rel=1e-12)
+
+    def test_exact_formula_strassen(self):
+        predicted = point_mass_ratio_exact(STRASSEN, 4, 4**5)
+        solved = solve_recurrence(STRASSEN, 4**5, PointMass(4)).cost_ratio
+        assert predicted == pytest.approx(solved, rel=1e-12)
+
+    def test_converges_to_limit(self):
+        far = point_mass_ratio_exact(MM_SCAN, 4, 4**15)
+        assert far == pytest.approx(point_mass_limit_ratio(MM_SCAN), abs=1e-3)
+
+    def test_off_lattice_rejected(self):
+        with pytest.raises(SpecError):
+            point_mass_ratio_exact(MM_SCAN, 3, 4**4)
+
+    def test_non_gap_rejected(self):
+        with pytest.raises(SpecError):
+            point_mass_limit_ratio(MM_INPLACE)
+
+
+class TestSplitSlope:
+    def test_value_for_mm_scan(self):
+        # (a+1)^(1-e) = 9^(-1/2) = 1/3
+        assert split_adversary_slope(MM_SCAN) == pytest.approx(1 / 3)
+
+    def test_matches_measured_adversary(self):
+        from itertools import chain, cycle
+
+        from repro.profiles.worst_case import matched_worst_case_profile
+        from repro.simulation.symbolic import SymbolicSimulator
+        from repro.util.fitting import fit_log_law
+
+        spec = MM_SCAN.with_placement(ScanPlacement.SPLIT)
+        ns, ratios = [], []
+        for k in range(2, 6):
+            n = 4**k
+            profile = matched_worst_case_profile(spec, n)
+            sim = SymbolicSimulator(spec, n, model="recursive")
+            rec = sim.run_to_completion(
+                chain(iter(profile), cycle(profile.boxes.tolist()))
+            )
+            ns.append(n)
+            ratios.append(rec.adaptivity_ratio)
+        slope = fit_log_law(ns, ratios, base=4.0).slope
+        assert slope == pytest.approx(split_adversary_slope(MM_SCAN), rel=0.02)
+
+
+class TestScanHidingOverhead:
+    def test_limit_matches_overhead_factor(self):
+        limit = scan_hiding_overhead_limit(MM_SCAN)
+        assert limit == pytest.approx(2.0)
+        assert overhead_factor(MM_SCAN, 4**10) == pytest.approx(limit, abs=1e-2)
+
+    def test_base_size_guard(self):
+        with pytest.raises(SpecError):
+            scan_hiding_overhead_limit(RegularSpec(8, 4, 1.0, base_size=4))

@@ -1,0 +1,36 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.library import MM_INPLACE, MM_SCAN, STRASSEN
+from repro.algorithms.spec import RegularSpec
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mm_scan():
+    return MM_SCAN
+
+
+@pytest.fixture
+def mm_inplace():
+    return MM_INPLACE
+
+
+@pytest.fixture
+def strassen():
+    return STRASSEN
+
+
+@pytest.fixture
+def small_spec():
+    """A small (3, 2, 1) spec: deep recursion at tiny sizes."""
+    return RegularSpec(3, 2, 1.0, name="small-321")

@@ -1,0 +1,81 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_with_flags(self):
+        args = build_parser().parse_args(["run", "fig1", "gap", "--full", "--seed", "3"])
+        assert args.ids == ["fig1", "gap"]
+        assert args.full and args.seed == 3
+
+    def test_show_profile(self):
+        args = build_parser().parse_args(["show-profile", "64"])
+        assert args.n == 64
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "shuffle" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCED" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_show_profile(self, capsys):
+        assert main(["show-profile", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "boxes" in out
+
+    def test_show_profile_invalid(self, capsys):
+        assert main(["show-profile", "10"]) == 2
+
+
+class TestOutputFile:
+    def test_run_writes_report_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.txt"
+        assert main(["run", "fig1", "-o", str(out)]) == 0
+        text = out.read_text()
+        assert "fig1" in text and "REPRODUCED" in text
+
+
+class TestPackageInit:
+    def test_lazy_simulation_attr(self):
+        import repro
+
+        assert repro.SymbolicSimulator is not None
+
+    def test_lazy_analysis_attr(self):
+        import repro
+
+        assert callable(repro.expected_cost_ratio)
+
+    def test_unknown_attr(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.no_such_thing
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

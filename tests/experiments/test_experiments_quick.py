@@ -1,0 +1,46 @@
+"""Integration: every registered experiment runs in quick mode and
+reports its claim as reproduced.
+
+These are the end-to-end reproduction gates: a regression anywhere in the
+profile constructions, simulators, or solvers shows up here as a
+``reproduced: False`` verdict.  The slowest experiments are marked so
+``-m "not slow"`` keeps iteration fast.
+"""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+FAST = ["fig1", "mmcount", "lemma1", "eq8", "scanhide", "abeq"]
+MEDIUM = ["gap", "regimes", "nocatchup", "xcheck", "shuffle", "realistic"]
+SLOW = ["iid", "lemma3", "sizepert", "shiftpert", "orderpert", "randomized", "ablation", "oracle"]
+
+
+@pytest.mark.parametrize("experiment_id", FAST)
+def test_fast_experiment_reproduces(experiment_id):
+    result = run_experiment(experiment_id, quick=True, seed=0)
+    assert result.metrics.get("reproduced") is True, result.render()
+
+
+@pytest.mark.parametrize("experiment_id", MEDIUM)
+def test_medium_experiment_reproduces(experiment_id):
+    result = run_experiment(experiment_id, quick=True, seed=0)
+    assert result.metrics.get("reproduced") is True, result.render()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("experiment_id", SLOW)
+def test_slow_experiment_reproduces(experiment_id):
+    result = run_experiment(experiment_id, quick=True, seed=0)
+    assert result.metrics.get("reproduced") is True, result.render()
+
+
+def test_partition_covers_registry():
+    assert set(FAST) | set(MEDIUM) | set(SLOW) == set(EXPERIMENTS)
+
+
+def test_every_result_renders():
+    result = run_experiment("fig1", quick=True)
+    text = result.render()
+    assert result.experiment_id in text
+    assert result.tables

@@ -1,0 +1,65 @@
+"""Unit tests for the experiment registry and result rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.common import ExperimentResult, ResultTable
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert len(EXPERIMENTS) == 20
+
+    def test_expected_ids(self):
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "gap",
+            "mmcount",
+            "iid",
+            "lemma3",
+            "eq8",
+            "sizepert",
+            "shiftpert",
+            "orderpert",
+            "shuffle",
+            "lemma1",
+            "nocatchup",
+            "regimes",
+            "scanhide",
+            "xcheck",
+            "randomized",
+            "abeq",
+            "ablation",
+            "realistic",
+            "oracle",
+        }
+
+    def test_metadata_populated(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.title and exp.claim
+            assert callable(exp.runner)
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("nope")
+
+
+class TestResultRendering:
+    def test_render_contains_tables_and_verdict(self):
+        res = ExperimentResult("x", "Title", "Claim")
+        res.add_table("T", ["a", "b"], [(1, 2.5)])
+        res.metrics["reproduced"] = True
+        res.verdict = "REPRODUCED"
+        text = res.render()
+        assert "Title" in text and "T" in text and "REPRODUCED" in text
+
+    def test_add_table_freezes_rows(self):
+        res = ExperimentResult("x", "t", "c")
+        res.add_table("T", ["a"], [[1]])
+        assert isinstance(res.tables[0], ResultTable)
+        assert res.tables[0].rows == ((1,),)
+
+    def test_str_is_render(self):
+        res = ExperimentResult("x", "t", "c")
+        assert str(res) == res.render()

@@ -1,0 +1,106 @@
+"""Cross-model integration: symbolic simulator vs trace machine vs DAM.
+
+The three execution layers (abstract recursion, literal block traces,
+classic fixed-memory machine) must tell the same story on the same
+workloads.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.algorithms.library import MM_INPLACE, MM_SCAN
+from repro.algorithms.mm import mm_inplace, mm_scan
+from repro.algorithms.spec import RegularSpec
+from repro.algorithms.traces import synthetic_trace
+from repro.machine.ca_machine import simulate_ca
+from repro.machine.dam import simulate_dam
+from repro.machine.square_machine import run_trace_on_boxes
+from repro.profiles.base import MemoryProfile
+from repro.profiles.worst_case import worst_case_profile
+from repro.simulation.symbolic import SymbolicSimulator
+
+
+class TestSyntheticTraceVsSymbolic:
+    @pytest.mark.parametrize("spec", [MM_SCAN, RegularSpec(8, 4, 0.0)],
+                             ids=["c1", "c0"])
+    def test_worst_case_box_counts_close(self, spec):
+        n = 64
+        trace = synthetic_trace(spec, n)
+        profile = worst_case_profile(spec.a, spec.b, n)
+        machine = run_trace_on_boxes(trace, profile)
+        symbolic = SymbolicSimulator(spec, n, model="recursive").run(profile)
+        assert machine.completed and symbolic.completed
+        assert machine.boxes_used <= symbolic.boxes_used
+        assert machine.boxes_used >= 0.5 * symbolic.boxes_used
+
+    def test_constant_boxes_agree(self):
+        n = 64
+        spec = MM_SCAN
+        trace = synthetic_trace(spec, n)
+        machine = run_trace_on_boxes(trace, itertools.repeat(16))
+        symbolic = SymbolicSimulator(spec, n, model="recursive").run(
+            itertools.repeat(16)
+        )
+        assert machine.completed and symbolic.completed
+        ratio = machine.boxes_used / symbolic.boxes_used
+        assert 0.3 < ratio <= 1.5
+
+    def test_machine_leaves_cover_everything(self):
+        n = 64
+        trace = synthetic_trace(MM_SCAN, n)
+        rec = run_trace_on_boxes(trace, itertools.repeat(8))
+        assert rec.leaves_touched_per_box(trace).sum() >= trace.n_leaves
+
+
+class TestRealKernelsOnMachines:
+    def test_real_mm_gap_direction(self, rng):
+        """On equal constant boxes, the real MM-SCAN trace needs more
+        boxes relative to its work than MM-INPLACE (the scan overhead)."""
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        t_scan = mm_scan(a, b).trace
+        t_inplace = mm_inplace(a, b).trace
+        box = 96
+        r_scan = run_trace_on_boxes(t_scan, itertools.repeat(box))
+        r_inplace = run_trace_on_boxes(t_inplace, itertools.repeat(box))
+        assert r_scan.completed and r_inplace.completed
+        assert r_scan.boxes_used >= r_inplace.boxes_used
+
+    def test_square_machine_matches_ca_machine_per_box(self, rng):
+        """A square profile expanded to steps with cache cleared at
+        boundaries is exactly what the square machine models; the general
+        CA machine with the same capacities can only do better (no
+        clearing)."""
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        trace = mm_inplace(a, b).trace
+        boxes = [64, 64, 64, 64, 64, 64, 64, 64, 64, 64]
+        sq = run_trace_on_boxes(trace, boxes)
+        steps = MemoryProfile(np.repeat(boxes, boxes))
+        ca = simulate_ca(trace, steps, policy="lru")
+        if sq.completed:
+            assert ca.completed
+
+    def test_dam_io_decreases_with_memory(self, rng):
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        trace = mm_scan(a, b).trace
+        ios = [simulate_dam(trace, m).io_count for m in (16, 64, 256)]
+        assert ios == sorted(ios, reverse=True)
+        assert ios[0] > ios[-1]
+
+
+class TestDamSqrtMLaw:
+    def test_mm_scan_io_scaling(self, rng):
+        """MM-SCAN's DAM I/O is Theta(N^1.5 / sqrt(M)): quadrupling the
+        cache should roughly halve the I/Os (loose envelope for the small
+        sizes a unit test can afford)."""
+        a = rng.standard_normal((32, 32))
+        b = rng.standard_normal((32, 32))
+        trace = mm_scan(a, b, base_n=2).trace
+        io_small = simulate_dam(trace, 64, policy="opt").io_count
+        io_big = simulate_dam(trace, 256, policy="opt").io_count
+        shrink = io_small / io_big
+        assert 1.3 < shrink < 3.5

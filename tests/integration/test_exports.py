@@ -1,0 +1,45 @@
+"""Public-API surface checks: everything advertised in __all__ resolves."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.util",
+    "repro.profiles",
+    "repro.algorithms",
+    "repro.machine",
+    "repro.simulation",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    mod = importlib.import_module(name)
+    for symbol in getattr(mod, "__all__", []):
+        assert getattr(mod, symbol, None) is not None, f"{name}.{symbol}"
+
+
+def test_top_level_getattr_paths():
+    import repro
+
+    assert repro.run_boxes is not None
+    assert repro.adaptivity_ratio is not None
+
+
+def test_error_hierarchy():
+    import repro
+
+    for exc in (
+        repro.SpecError,
+        repro.ProfileError,
+        repro.DistributionError,
+        repro.SimulationError,
+        repro.TraceError,
+        repro.MachineError,
+        repro.ExperimentError,
+    ):
+        assert issubclass(exc, repro.ReproError)
+        assert issubclass(exc, Exception)

@@ -1,0 +1,135 @@
+"""End-to-end assertions of the paper's headline claims.
+
+Each test states one claim from the paper and verifies it quantitatively
+through the library's public API — these are the reproduction's contract.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.algorithms.library import MM_INPLACE, MM_SCAN, STRASSEN
+from repro.analysis.adaptivity import worst_case_ratio
+from repro.analysis.recurrence import expected_cost_ratio, solve_recurrence
+from repro.analysis.smoothing import shuffled_worst_case_trials
+from repro.profiles.distributions import Empirical, ParetoPowers, UniformPowers
+from repro.profiles.worst_case import worst_case_profile
+from repro.simulation.runner import run_repeated
+from repro.simulation.symbolic import SymbolicSimulator
+
+
+class TestTheorem2Gap:
+    """c = 1, a > b: the adversary extracts exactly log_b(n) + 1."""
+
+    def test_gap_is_exactly_logarithmic(self):
+        for k in range(2, 8):
+            assert worst_case_ratio(MM_SCAN, 4**k) == pytest.approx(k + 1)
+
+    def test_gap_realized_by_simulation(self):
+        n = 4**5
+        profile = worst_case_profile(8, 4, n)
+        rec = SymbolicSimulator(MM_SCAN, n).run(profile)
+        assert rec.completed
+        assert rec.adaptivity_ratio == pytest.approx(6.0)
+
+    def test_strassen_also_in_gap(self):
+        n = 4**4
+        profile = worst_case_profile(7, 4, n)
+        rec = SymbolicSimulator(STRASSEN, n).run(profile)
+        assert rec.completed
+        # ratio = sum over levels of a^(D-k) (b^k)^e / n^e with e=log_4 7:
+        # every level contributes n^e exactly, so again D+1
+        assert rec.adaptivity_ratio == pytest.approx(5.0)
+
+
+class TestSection3Separation:
+    """MM-SCAN does 1 multiply; MM-INPLACE does log_4(n)+1 on M(n)."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_counts(self, k):
+        profile = worst_case_profile(8, 4, 4**k)
+        assert run_repeated(MM_SCAN, 4**k, profile).completions == 1
+        assert run_repeated(MM_INPLACE, 4**k, profile).completions == k + 1
+
+
+class TestTheorem1:
+    """i.i.d. boxes from any Sigma: expected ratio O(1)."""
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            UniformPowers(4, 1, 5),
+            ParetoPowers(4, 1, 5, alpha=0.5),
+        ],
+        ids=["uniform", "pareto"],
+    )
+    def test_expected_ratio_converges(self, dist):
+        ratios = [expected_cost_ratio(MM_SCAN, 4**k, dist) for k in range(5, 11)]
+        # increments decay: bounded limit, not logarithmic growth
+        inc = np.diff(ratios)
+        assert inc[-1] < 0.3 * max(inc[0], 1e-9) + 1e-6
+        assert ratios[-1] < 5.0
+
+    def test_adversarial_multiset_becomes_adaptive(self):
+        n = 4**4
+        profile = worst_case_profile(8, 4, n)
+        dist = Empirical.of_profile(profile)
+        # the same boxes in adversarial order cost k+1 = 5; i.i.d. they
+        # cost a constant independent of n
+        iid = expected_cost_ratio(MM_SCAN, n, dist)
+        assert iid < 0.6 * worst_case_ratio(MM_SCAN, n)
+
+    def test_shuffled_profile_monte_carlo(self):
+        n = 4**4
+        ratios = shuffled_worst_case_trials(MM_SCAN, n, trials=10, rng=0)
+        assert ratios.mean() < 0.6 * worst_case_ratio(MM_SCAN, n)
+
+
+class TestLemma3Exactness:
+    """The recurrence is exact: solver == brute-force simulation."""
+
+    def test_f_matches_simulation_mean(self):
+        from repro.simulation.montecarlo import estimate, sample_boxes_to_complete
+
+        dist = UniformPowers(4, 1, 5)
+        n = 4**4
+        sol = solve_recurrence(MM_SCAN, n, dist)
+        mc = estimate(
+            lambda g: sample_boxes_to_complete(MM_SCAN, n, dist, g),
+            trials=800,
+            rng=0,
+        )
+        assert abs(mc.mean - sol.f) < 4 * mc.ci_halfwidth
+
+
+class TestOptionalStopping:
+    """Equation 3: E[cost] = f(n) * m_n exactly (Wald over the stopped sum)."""
+
+    def test_identity_via_simulation(self):
+        from repro.util.rng import spawn
+
+        dist = UniformPowers(4, 1, 4)
+        n = 4**3
+        e = MM_SCAN.exponent
+        costs = []
+        counts = []
+        for gen in spawn(11, 600):
+            sim = SymbolicSimulator(MM_SCAN, n)
+            rec = sim.run_to_completion(dist.sampler(gen))
+            costs.append(rec.bounded_potential)
+            counts.append(rec.boxes_used)
+        lhs = np.mean(costs)
+        rhs = np.mean(counts) * dist.bounded_potential_moment(n, e)
+        assert lhs == pytest.approx(rhs, rel=0.05)
+
+
+class TestRobustnessDirections:
+    """The weak smoothings stay log-ish; full shuffling collapses."""
+
+    def test_ordering_is_everything(self):
+        # identical multisets, opposite outcomes
+        n = 4**5
+        adversarial = worst_case_ratio(MM_SCAN, n)
+        shuffled = shuffled_worst_case_trials(MM_SCAN, n, trials=6, rng=1).mean()
+        assert adversarial / shuffled > 2.0

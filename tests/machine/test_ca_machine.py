@@ -1,0 +1,78 @@
+"""Unit tests for the general per-I/O cache-adaptive machine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.algorithms.traces import Trace
+from repro.machine.ca_machine import simulate_ca
+from repro.machine.dam import simulate_dam
+from repro.profiles.base import MemoryProfile
+
+
+def _trace(blocks):
+    return Trace(np.asarray(blocks, dtype=np.int64), np.empty((0, 2)))
+
+
+class TestBasics:
+    def test_completes_with_ample_profile(self):
+        t = _trace([1, 2, 3, 1])
+        r = simulate_ca(t, MemoryProfile.constant(4, 10))
+        assert r.completed
+        assert r.io_count == 3
+
+    def test_profile_exhaustion_stops_run(self):
+        t = _trace([1, 2, 3, 4, 5])
+        r = simulate_ca(t, MemoryProfile.constant(10, 2))
+        assert not r.completed
+        assert r.io_count == 2
+        assert r.references_completed == 2
+
+    def test_constant_profile_matches_dam(self, rng):
+        blocks = rng.integers(0, 15, 300)
+        t = _trace(blocks)
+        for m in (2, 4, 8):
+            dam = simulate_dam(t, m, policy="lru")
+            ca = simulate_ca(t, MemoryProfile.constant(m, 10_000), policy="lru")
+            assert ca.completed
+            assert ca.io_count == dam.io_count
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(MachineError):
+            simulate_ca(_trace([1]), MemoryProfile([]))
+
+    def test_empty_trace(self):
+        r = simulate_ca(_trace([]), MemoryProfile.constant(2, 2))
+        assert r.completed and r.io_count == 0
+
+
+class TestShrinkingCapacity:
+    def test_shrink_forces_eviction(self):
+        # capacity drops to 1 after 2 I/Os: working set of 2 starts missing
+        t = _trace([1, 2, 1, 2, 1, 2])
+        profile = MemoryProfile([2, 2, 1, 1, 1, 1, 1, 1])
+        r = simulate_ca(t, profile, policy="lru")
+        # I/O 0: miss 1; I/O 1: miss 2; then capacity 1 -> alternating misses
+        assert r.io_count > 2
+
+    def test_generous_profile_beats_stingy(self, rng):
+        blocks = rng.integers(0, 10, 200)
+        t = _trace(blocks)
+        rich = simulate_ca(t, MemoryProfile.constant(10, 1000))
+        poor = simulate_ca(t, MemoryProfile.constant(2, 1000))
+        assert rich.io_count <= poor.io_count
+
+    def test_miss_rate(self):
+        t = _trace([1, 1, 2, 2])
+        r = simulate_ca(t, MemoryProfile.constant(4, 10))
+        assert r.miss_rate == pytest.approx(0.5)
+
+
+class TestPolicies:
+    def test_opt_not_worse(self, rng):
+        blocks = rng.integers(0, 12, 300)
+        t = _trace(blocks)
+        profile = MemoryProfile.constant(4, 10_000)
+        opt = simulate_ca(t, profile, policy="opt")
+        lru = simulate_ca(t, profile, policy="lru")
+        assert opt.io_count <= lru.io_count

@@ -1,0 +1,71 @@
+"""Unit tests for the fixed-memory DAM simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.algorithms.traces import Trace
+from repro.machine.dam import simulate_dam
+
+
+def _trace(blocks):
+    return Trace(np.asarray(blocks, dtype=np.int64), np.empty((0, 2)))
+
+
+class TestBasics:
+    def test_cold_misses_only(self):
+        t = _trace([1, 2, 3, 1, 2, 3])
+        r = simulate_dam(t, cache_size=3)
+        assert r.io_count == 3
+
+    def test_thrash_with_tiny_cache(self):
+        t = _trace([1, 2, 1, 2, 1, 2])
+        r = simulate_dam(t, cache_size=1)
+        assert r.io_count == 6
+
+    def test_single_block(self):
+        t = _trace([7] * 10)
+        assert simulate_dam(t, cache_size=1).io_count == 1
+
+    def test_miss_rate(self):
+        t = _trace([1, 1, 1, 1])
+        assert simulate_dam(t, 1).miss_rate == pytest.approx(0.25)
+
+    def test_rejects_zero_cache(self):
+        with pytest.raises(MachineError):
+            simulate_dam(_trace([1]), 0)
+
+    def test_empty_trace(self):
+        r = simulate_dam(_trace([]), 4)
+        assert r.io_count == 0 and r.miss_rate == 0.0
+
+
+class TestPolicies:
+    def test_opt_at_least_as_good_as_lru(self, rng):
+        blocks = rng.integers(0, 20, 500)
+        t = _trace(blocks)
+        for m in (2, 5, 10):
+            opt = simulate_dam(t, m, policy="opt").io_count
+            lru = simulate_dam(t, m, policy="lru").io_count
+            fifo = simulate_dam(t, m, policy="fifo").io_count
+            assert opt <= lru
+            assert opt <= fifo
+
+    def test_lru_sequential_scan_worst_case(self):
+        # cyclic scan of m+1 blocks through an m-cache: LRU misses always
+        t = _trace(list(range(4)) * 5)
+        r = simulate_dam(t, cache_size=3, policy="lru")
+        assert r.io_count == 20
+
+    def test_monotone_in_cache_size_for_lru(self, rng):
+        # LRU is a stack algorithm: misses never increase with more cache
+        blocks = rng.integers(0, 30, 400)
+        t = _trace(blocks)
+        ios = [simulate_dam(t, m, policy="lru").io_count for m in (2, 4, 8, 16, 32)]
+        assert ios == sorted(ios, reverse=True)
+
+    def test_io_lower_bound_distinct(self, rng):
+        blocks = rng.integers(0, 12, 200)
+        t = _trace(blocks)
+        r = simulate_dam(t, 100, policy="lru")
+        assert r.io_count == t.distinct_blocks()

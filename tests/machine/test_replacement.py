@@ -1,0 +1,105 @@
+"""Unit tests for replacement policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.replacement import FIFO, LRU, OPT, make_policy, next_occurrences
+
+
+class TestLRU:
+    def test_hit_miss(self):
+        p = LRU()
+        assert not p.access(1, 0)
+        p.admit(1, 0)
+        assert p.access(1, 1)
+
+    def test_eviction_order(self):
+        p = LRU()
+        for t, b in enumerate([1, 2, 3]):
+            p.admit(b, t)
+        p.access(1, 3)  # 1 becomes most recent
+        assert p.evict_one() == 2
+
+    def test_reset(self):
+        p = LRU()
+        p.admit(1, 0)
+        p.reset()
+        assert p.resident() == 0
+
+    def test_evict_empty(self):
+        with pytest.raises(MachineError):
+            LRU().evict_one()
+
+
+class TestFIFO:
+    def test_eviction_order_ignores_recency(self):
+        p = FIFO()
+        for t, b in enumerate([1, 2, 3]):
+            p.admit(b, t)
+        p.access(1, 3)
+        assert p.evict_one() == 1
+
+    def test_contains(self):
+        p = FIFO()
+        p.admit(5, 0)
+        assert p.contains(5) and not p.contains(6)
+
+    def test_evict_empty(self):
+        with pytest.raises(MachineError):
+            FIFO().evict_one()
+
+
+class TestNextOccurrences:
+    def test_basic(self):
+        blocks = np.array([1, 2, 1, 3, 2])
+        nxt = next_occurrences(blocks)
+        assert nxt.tolist() == [2, 4, 5, 5, 5]
+
+    def test_empty(self):
+        assert next_occurrences(np.empty(0, dtype=np.int64)).size == 0
+
+
+class TestOPT:
+    def test_evicts_farthest_future(self):
+        blocks = np.array([1, 2, 3, 1, 2, 3])
+        p = OPT(blocks)
+        p.admit(1, 0)
+        p.admit(2, 1)
+        p.admit(3, 2)
+        # next uses: 1 -> 3, 2 -> 4, 3 -> 5; evict 3
+        assert p.evict_one() == 3
+
+    def test_hit_updates_next_use(self):
+        blocks = np.array([1, 2, 1, 2])
+        p = OPT(blocks)
+        p.admit(1, 0)
+        p.admit(2, 1)
+        assert p.access(1, 2)  # 1's next use becomes len (never)
+        assert p.evict_one() == 1
+
+    def test_never_used_again_evicted_first(self):
+        blocks = np.array([9, 1, 1, 1])
+        p = OPT(blocks)
+        p.admit(9, 0)
+        p.admit(1, 1)
+        assert p.evict_one() == 9
+
+    def test_evict_empty(self):
+        with pytest.raises(MachineError):
+            OPT(np.array([1])).evict_one()
+
+
+class TestMakePolicy:
+    def test_lookup(self):
+        assert isinstance(make_policy("lru"), LRU)
+        assert isinstance(make_policy("FIFO"), FIFO)
+        assert isinstance(make_policy("opt", np.array([1])), OPT)
+
+    def test_opt_requires_blocks(self):
+        with pytest.raises(MachineError):
+            make_policy("opt")
+
+    def test_unknown(self):
+        with pytest.raises(MachineError):
+            make_policy("random")

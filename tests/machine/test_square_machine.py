@@ -1,0 +1,132 @@
+"""Unit tests for the square-profile trace machine."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.algorithms.traces import Trace, synthetic_trace
+from repro.algorithms.library import MM_SCAN
+from repro.machine.square_machine import last_occurrence, run_trace_on_boxes
+from repro.profiles.square import SquareProfile
+from repro.profiles.worst_case import worst_case_profile
+
+
+def _trace(blocks, spans=None):
+    spans = np.empty((0, 2)) if spans is None else np.asarray(spans)
+    return Trace(np.asarray(blocks, dtype=np.int64), spans)
+
+
+class TestLastOccurrence:
+    def test_basic(self):
+        assert last_occurrence(np.array([1, 2, 1, 1, 2])).tolist() == [-1, -1, 0, 2, 1]
+
+    def test_all_distinct(self):
+        assert last_occurrence(np.arange(5)).tolist() == [-1] * 5
+
+    def test_empty(self):
+        assert last_occurrence(np.empty(0, dtype=np.int64)).size == 0
+
+
+class TestBoxSemantics:
+    def test_box_admits_exactly_x_distinct(self):
+        # blocks 0..5 all distinct: a box of size 3 covers refs [0, 3)
+        t = _trace([0, 1, 2, 3, 4, 5])
+        rec = run_trace_on_boxes(t, [3, 3])
+        assert rec.box_ends.tolist() == [3, 6]
+        assert rec.completed
+
+    def test_repeats_are_free(self):
+        t = _trace([0, 1, 0, 1, 0, 2])
+        rec = run_trace_on_boxes(t, [2, 1])
+        # box of 2 distinct covers [0, 5): the repeats of 0/1 are hits
+        assert rec.box_ends.tolist() == [5, 6]
+
+    def test_cache_cleared_between_boxes(self):
+        t = _trace([0, 1, 0, 1])
+        rec = run_trace_on_boxes(t, [2, 2])
+        assert rec.box_ends.tolist() == [4]  # single box suffices
+
+        rec2 = run_trace_on_boxes(t, [1, 1, 1, 1])
+        # size-1 boxes: each new distinct since the box start ends it
+        assert rec2.box_ends.tolist() == [1, 2, 3, 4]
+
+    def test_final_box_partial(self):
+        t = _trace([0, 1])
+        rec = run_trace_on_boxes(t, [100])
+        assert rec.completed and rec.boxes_used == 1
+        assert rec.box_sizes.tolist() == [100]
+
+    def test_profile_exhausted(self):
+        t = _trace([0, 1, 2, 3])
+        rec = run_trace_on_boxes(t, SquareProfile([1, 1]))
+        assert not rec.completed
+        assert rec.box_ends.tolist() == [1, 2]
+
+    def test_max_boxes(self):
+        t = _trace([0, 1, 2, 3])
+        rec = run_trace_on_boxes(t, itertools.repeat(1), max_boxes=2)
+        assert not rec.completed and rec.boxes_used == 2
+
+    def test_empty_trace(self):
+        rec = run_trace_on_boxes(_trace([]), [5])
+        assert rec.completed and rec.boxes_used == 0
+
+    def test_rejects_zero_box(self):
+        with pytest.raises(MachineError):
+            run_trace_on_boxes(_trace([1]), [0])
+
+
+class TestProgressAccounting:
+    def test_leaves_touched(self):
+        t = _trace([0, 1, 2, 3], spans=[[0, 2], [2, 4]])
+        rec = run_trace_on_boxes(t, [2, 2])
+        assert rec.leaves_touched_per_box(t).tolist() == [1, 1]
+
+    def test_straddling_leaf_counts_for_both(self):
+        t = _trace([0, 1, 2, 3], spans=[[1, 3]])
+        rec = run_trace_on_boxes(t, [2, 2])
+        assert rec.leaves_touched_per_box(t).tolist() == [1, 1]
+
+    def test_leaves_completed(self):
+        t = _trace([0, 1, 2, 3], spans=[[0, 2], [2, 4]])
+        rec = run_trace_on_boxes(t, [2, 2])
+        assert rec.leaves_completed_per_box(t).tolist() == [1, 1]
+
+    def test_straddling_leaf_completed_by_neither(self):
+        t = _trace([0, 1, 2, 3], spans=[[1, 3]])
+        rec = run_trace_on_boxes(t, [2, 2])
+        assert rec.leaves_completed_per_box(t).tolist() == [0, 0]
+
+    def test_adaptivity_ratio(self):
+        t = _trace([0, 1, 2, 3])
+        rec = run_trace_on_boxes(t, [2, 100])
+        # min(4,2)^1.5 + min(4,100)^1.5 over 4^1.5
+        want = (2**1.5 + 4**1.5) / 4**1.5
+        assert rec.adaptivity_ratio(4, 1.5) == pytest.approx(want)
+
+    def test_box_spans(self):
+        t = _trace([0, 1, 2, 3])
+        rec = run_trace_on_boxes(t, [2, 2])
+        assert rec.box_spans().tolist() == [[0, 2], [2, 4]]
+
+
+class TestAgainstSyntheticTraces:
+    def test_worst_case_profile_completes_mm_scan_trace(self):
+        n = 64
+        trace = synthetic_trace(MM_SCAN, n)
+        profile = worst_case_profile(8, 4, n)
+        rec = run_trace_on_boxes(trace, profile)
+        assert rec.completed
+        # the trace machine can only be faster than the symbolic model
+        # (boxes may cross subproblem boundaries), never slower
+        assert rec.boxes_used <= len(profile)
+
+    def test_total_leaves_touched_covers_all(self):
+        n = 64
+        trace = synthetic_trace(MM_SCAN, n)
+        rec = run_trace_on_boxes(trace, itertools.repeat(16))
+        touched = rec.leaves_touched_per_box(trace)
+        assert rec.completed
+        assert touched.sum() >= trace.n_leaves

@@ -1,0 +1,110 @@
+"""Unit tests for step-level memory profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles.base import MemoryProfile
+
+
+class TestConstruction:
+    def test_from_list(self):
+        p = MemoryProfile([1, 2, 3])
+        assert len(p) == 3
+        assert p[1] == 2
+
+    def test_immutable(self):
+        p = MemoryProfile([1, 2])
+        with pytest.raises(ValueError):
+            p.sizes[0] = 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ProfileError):
+            MemoryProfile([1, 0])
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ProfileError):
+            MemoryProfile([1.5])
+
+    def test_accepts_integral_floats(self):
+        assert MemoryProfile([2.0, 3.0])[0] == 2
+
+    def test_rejects_2d(self):
+        with pytest.raises(ProfileError):
+            MemoryProfile(np.ones((2, 2)))
+
+    def test_empty_ok(self):
+        assert len(MemoryProfile([])) == 0
+
+
+class TestProtocol:
+    def test_iteration(self):
+        assert list(MemoryProfile([3, 1, 4])) == [3, 1, 4]
+
+    def test_slice_returns_profile(self):
+        p = MemoryProfile([1, 2, 3, 4])[1:3]
+        assert isinstance(p, MemoryProfile)
+        assert list(p) == [2, 3]
+
+    def test_equality_and_hash(self):
+        a, b = MemoryProfile([1, 2]), MemoryProfile([1, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != MemoryProfile([2, 1])
+
+    def test_repr_truncates(self):
+        r = repr(MemoryProfile(list(range(1, 20))))
+        assert "steps=19" in r and "..." in r
+
+
+class TestOperations:
+    def test_concat(self):
+        assert list(MemoryProfile([1]) + MemoryProfile([2])) == [1, 2]
+
+    def test_repeat(self):
+        assert list(MemoryProfile([1, 2]).repeat(2)) == [1, 2, 1, 2]
+        assert len(MemoryProfile([1]).repeat(0)) == 0
+
+    def test_repeat_negative(self):
+        with pytest.raises(ProfileError):
+            MemoryProfile([1]).repeat(-1)
+
+    def test_cyclic_shift(self):
+        assert list(MemoryProfile([1, 2, 3]).cyclic_shift(1)) == [2, 3, 1]
+        assert list(MemoryProfile([1, 2, 3]).cyclic_shift(4)) == [2, 3, 1]
+
+    def test_scaled(self):
+        assert list(MemoryProfile([1, 2]).scaled(3)) == [3, 6]
+        with pytest.raises(ProfileError):
+            MemoryProfile([1]).scaled(0)
+
+    def test_min_max(self):
+        p = MemoryProfile([3, 1, 4])
+        assert p.min_size() == 1 and p.max_size() == 4
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ProfileError):
+            MemoryProfile([]).min_size()
+
+
+class TestConstructors:
+    def test_constant(self):
+        p = MemoryProfile.constant(5, 3)
+        assert list(p) == [5, 5, 5]
+
+    def test_constant_invalid(self):
+        with pytest.raises(ProfileError):
+            MemoryProfile.constant(0, 3)
+        with pytest.raises(ProfileError):
+            MemoryProfile.constant(1, -1)
+
+    def test_from_steps_and_run_lengths_roundtrip(self):
+        steps = [(4, 3), (2, 2), (4, 1)]
+        p = MemoryProfile.from_steps(steps)
+        assert p.run_lengths() == steps
+
+    def test_run_lengths_empty(self):
+        assert MemoryProfile([]).run_lengths() == []
+
+    def test_duration(self):
+        assert MemoryProfile.from_steps([(2, 5)]).duration == 5

@@ -1,0 +1,170 @@
+"""Unit tests for box-size distributions and their exact moments."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.profiles.distributions import (
+    BoxDistribution,
+    Empirical,
+    GeometricPowers,
+    Mixture,
+    ParetoPowers,
+    PointMass,
+    UniformPowers,
+    UniformRange,
+)
+from repro.profiles.square import SquareProfile
+
+
+class TestBase:
+    def test_normalizes_probabilities(self):
+        d = BoxDistribution([1, 2], [2.0, 2.0])
+        assert d.probabilities.sum() == pytest.approx(1.0)
+
+    def test_merges_duplicates(self):
+        d = BoxDistribution([2, 2, 3], [0.25, 0.25, 0.5])
+        assert list(d.support) == [2, 3]
+        assert d.probabilities[0] == pytest.approx(0.5)
+
+    def test_drops_zero_probability_atoms(self):
+        d = BoxDistribution([1, 2, 3], [0.5, 0.0, 0.5])
+        assert list(d.support) == [1, 3]
+
+    def test_rejects_empty(self):
+        with pytest.raises(DistributionError):
+            BoxDistribution([], [])
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(DistributionError):
+            BoxDistribution([0], [1.0])
+
+    def test_rejects_negative_probs(self):
+        with pytest.raises(DistributionError):
+            BoxDistribution([1], [-1.0])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(DistributionError):
+            BoxDistribution([1, 2], [1.0])
+
+
+class TestMoments:
+    def test_mean(self):
+        d = BoxDistribution([2, 4], [0.5, 0.5])
+        assert d.mean() == pytest.approx(3.0)
+
+    def test_tail(self):
+        d = BoxDistribution([1, 4, 16], [0.2, 0.3, 0.5])
+        assert d.tail(1) == pytest.approx(1.0)
+        assert d.tail(2) == pytest.approx(0.8)
+        assert d.tail(4) == pytest.approx(0.8)
+        assert d.tail(5) == pytest.approx(0.5)
+        assert d.tail(17) == pytest.approx(0.0)
+
+    def test_expected_min(self):
+        d = BoxDistribution([2, 10], [0.5, 0.5])
+        assert d.expected_min(4) == pytest.approx(0.5 * 2 + 0.5 * 4)
+        assert d.expected_min(100) == pytest.approx(6.0)
+
+    def test_bounded_potential_moment(self):
+        d = BoxDistribution([4, 100], [0.5, 0.5])
+        m = d.bounded_potential_moment(16, 1.5)
+        assert m == pytest.approx(0.5 * 4**1.5 + 0.5 * 16**1.5)
+
+    def test_moment(self):
+        d = PointMass(9)
+        assert d.moment(0.5) == pytest.approx(3.0)
+
+    def test_invalid_args(self):
+        d = PointMass(4)
+        with pytest.raises(DistributionError):
+            d.expected_min(0)
+        with pytest.raises(DistributionError):
+            d.bounded_potential_moment(0, 1.0)
+        with pytest.raises(DistributionError):
+            d.bounded_potential_moment(4, -1.0)
+
+
+class TestSampling:
+    def test_sample_matches_support(self, rng):
+        d = UniformPowers(4, 1, 3)
+        samples = d.sample(1000, rng)
+        assert set(np.unique(samples)) <= {4, 16, 64}
+
+    def test_sample_frequencies(self, rng):
+        d = BoxDistribution([1, 2], [0.9, 0.1])
+        samples = d.sample(20000, rng)
+        assert (samples == 1).mean() == pytest.approx(0.9, abs=0.02)
+
+    def test_sampler_infinite(self, rng):
+        it = PointMass(7).sampler(rng)
+        assert [next(it) for _ in range(5)] == [7] * 5
+
+    def test_sample_profile(self, rng):
+        p = PointMass(3).sample_profile(4, rng)
+        assert isinstance(p, SquareProfile)
+        assert list(p) == [3, 3, 3, 3]
+
+    def test_sample_deterministic_by_seed(self):
+        d = UniformPowers(2, 0, 8)
+        assert np.array_equal(d.sample(32, 5), d.sample(32, 5))
+
+    def test_negative_k(self):
+        with pytest.raises(DistributionError):
+            PointMass(1).sample(-1)
+
+
+class TestConcreteDistributions:
+    def test_point_mass(self):
+        d = PointMass(16)
+        assert d.min_size == d.max_size == 16
+        assert d.mean() == 16
+
+    def test_uniform_powers(self):
+        d = UniformPowers(4, 1, 3)
+        assert list(d.support) == [4, 16, 64]
+        assert np.allclose(d.probabilities, 1 / 3)
+
+    def test_uniform_powers_invalid(self):
+        with pytest.raises(DistributionError):
+            UniformPowers(4, 3, 1)
+
+    def test_geometric_powers_bias(self):
+        small_biased = GeometricPowers(4, 1, 3, ratio=0.5)
+        assert small_biased.probabilities[0] > small_biased.probabilities[-1]
+        big_biased = GeometricPowers(4, 1, 3, ratio=2.0)
+        assert big_biased.probabilities[0] < big_biased.probabilities[-1]
+
+    def test_pareto_powers_tail_weights(self):
+        d = ParetoPowers(4, 1, 3, alpha=0.5)
+        # weights proportional to size^-0.5: 1/2, 1/4, 1/8
+        assert d.probabilities[0] / d.probabilities[1] == pytest.approx(2.0)
+
+    def test_uniform_range(self):
+        d = UniformRange(3, 6)
+        assert list(d.support) == [3, 4, 5, 6]
+        assert d.mean() == pytest.approx(4.5)
+
+    def test_empirical(self):
+        d = Empirical([4, 4, 2])
+        assert d.tail(4) == pytest.approx(2 / 3)
+
+    def test_empirical_of_profile(self):
+        prof = SquareProfile([1, 1, 8])
+        d = Empirical.of_profile(prof)
+        assert d.mean() == pytest.approx(10 / 3)
+
+    def test_empirical_empty(self):
+        with pytest.raises(DistributionError):
+            Empirical([])
+
+    def test_mixture(self):
+        m = Mixture([PointMass(2), PointMass(8)], [1.0, 3.0])
+        assert m.tail(8) == pytest.approx(0.75)
+        assert m.mean() == pytest.approx(0.25 * 2 + 0.75 * 8)
+
+    def test_mixture_invalid(self):
+        with pytest.raises(DistributionError):
+            Mixture([], [])
+        with pytest.raises(DistributionError):
+            Mixture([PointMass(1)], [0.0])

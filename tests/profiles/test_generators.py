@@ -1,0 +1,93 @@
+"""Unit tests for realistic profile generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles.generators import (
+    constant_boxes,
+    phase_profile,
+    random_walk_profile,
+    sawtooth_profile,
+    winner_take_all_profile,
+)
+
+
+class TestConstantBoxes:
+    def test_shape(self):
+        p = constant_boxes(8, 5)
+        assert list(p) == [8] * 5
+
+
+class TestSawtooth:
+    def test_ramp_shape(self):
+        p = sawtooth_profile(1, 4, teeth=2)
+        assert list(p) == [1, 2, 3, 4, 1, 2, 3, 4]
+
+    def test_ramp_rate(self):
+        p = sawtooth_profile(1, 5, teeth=1, ramp_rate=2)
+        assert list(p) == [1, 3, 5]
+
+    def test_ramp_rate_caps_at_max(self):
+        p = sawtooth_profile(1, 4, teeth=1, ramp_rate=2)
+        assert list(p) == [1, 3, 4]
+
+    def test_invalid(self):
+        with pytest.raises(ProfileError):
+            sawtooth_profile(5, 4, 1)
+        with pytest.raises(ProfileError):
+            sawtooth_profile(1, 4, 0)
+
+
+class TestWinnerTakeAll:
+    def test_crash_to_floor(self):
+        p = winner_take_all_profile(8, 2, cycles=2)
+        sizes = list(p)
+        assert max(sizes) == 8
+        assert sizes.count(2) == 2  # one floor start per cycle
+
+    def test_respects_growth_rule(self):
+        p = winner_take_all_profile(16, 1, cycles=1)
+        diffs = np.diff(p.sizes)
+        assert diffs.max() <= 1  # grows at most one block per step
+
+
+class TestRandomWalk:
+    def test_bounds_respected(self, rng):
+        p = random_walk_profile(10, 500, min_size=5, max_size=20, rng=rng)
+        assert p.min_size() >= 5 and p.max_size() <= 20
+
+    def test_growth_rule(self, rng):
+        p = random_walk_profile(10, 500, rng=rng)
+        assert np.diff(p.sizes).max() <= 1
+
+    def test_crash_shrinks_fast(self):
+        p = random_walk_profile(
+            1000, 50, crash_probability=1.0, crash_factor=0.5, rng=1
+        )
+        assert p.sizes[0] == 500
+
+    def test_deterministic(self):
+        a = random_walk_profile(10, 100, rng=7)
+        b = random_walk_profile(10, 100, rng=7)
+        assert a == b
+
+    def test_invalid_params(self):
+        with pytest.raises(ProfileError):
+            random_walk_profile(10, -1)
+        with pytest.raises(ProfileError):
+            random_walk_profile(10, 5, up_probability=2.0)
+        with pytest.raises(ProfileError):
+            random_walk_profile(10, 5, crash_factor=0.0)
+        with pytest.raises(ProfileError):
+            random_walk_profile(0, 5)
+
+
+class TestPhaseProfile:
+    def test_phases(self):
+        p = phase_profile([(4, 2), (2, 3)])
+        assert list(p) == [4, 4, 2, 2, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfileError):
+            phase_profile([])

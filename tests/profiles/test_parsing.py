@@ -1,0 +1,81 @@
+"""Unit tests for the distribution mini-DSL."""
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.profiles.distributions import (
+    Empirical,
+    GeometricPowers,
+    ParetoPowers,
+    PointMass,
+    UniformPowers,
+    UniformRange,
+)
+from repro.profiles.parsing import parse_distribution
+
+
+class TestParsing:
+    def test_point(self):
+        d = parse_distribution("point:16")
+        assert isinstance(d, PointMass)
+        assert d.min_size == 16
+
+    def test_uniform(self):
+        d = parse_distribution("uniform:4:1:3")
+        assert isinstance(d, UniformPowers)
+        assert list(d.support) == [4, 16, 64]
+
+    def test_geometric(self):
+        d = parse_distribution("geometric:4:1:3:0.5")
+        assert isinstance(d, GeometricPowers)
+        assert d.probabilities[0] > d.probabilities[-1]
+
+    def test_pareto(self):
+        d = parse_distribution("pareto:4:1:3:0.5")
+        assert isinstance(d, ParetoPowers)
+
+    def test_range(self):
+        d = parse_distribution("range:3:7")
+        assert isinstance(d, UniformRange)
+        assert d.min_size == 3 and d.max_size == 7
+
+    def test_worstcase(self):
+        d = parse_distribution("worstcase:8:4:64")
+        assert isinstance(d, Empirical)
+        assert d.max_size == 64
+
+    def test_case_insensitive_and_whitespace(self):
+        assert isinstance(parse_distribution("  POINT:4 "), PointMass)
+
+    def test_unknown_kind(self):
+        with pytest.raises(DistributionError):
+            parse_distribution("zipf:2:1:4")
+
+    def test_wrong_arity(self):
+        with pytest.raises(DistributionError):
+            parse_distribution("point:1:2")
+        with pytest.raises(DistributionError):
+            parse_distribution("uniform:4:1")
+        with pytest.raises(DistributionError):
+            parse_distribution("geometric:4:1:3")
+
+    def test_bad_numbers(self):
+        with pytest.raises(DistributionError):
+            parse_distribution("point:abc")
+        with pytest.raises(DistributionError):
+            parse_distribution("pareto:4:1:3:xyz")
+
+
+class TestCliSolve:
+    def test_solve_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["solve", "--spec", "MM-SCAN", "--n", "64",
+                     "--dist", "uniform:4:1:3"]) == 0
+        out = capsys.readouterr().out
+        assert "f(n)" in out and "Eq-8" in out
+
+    def test_solve_bad_dist(self, capsys):
+        from repro.cli import main
+
+        assert main(["solve", "--n", "64", "--dist", "nope:1"]) == 2

@@ -1,0 +1,124 @@
+"""Unit tests for smoothing perturbations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles.perturbations import (
+    discrete_multipliers,
+    random_start_shift,
+    shuffle,
+    size_perturbation,
+    start_time_shift,
+    uniform_multipliers,
+)
+from repro.profiles.square import SquareProfile
+
+
+class TestMultiplierSamplers:
+    def test_uniform_range_and_mean(self, rng):
+        sample = uniform_multipliers(4.0)(10000, rng)
+        assert sample.min() >= 0.0 and sample.max() <= 4.0
+        assert sample.mean() == pytest.approx(2.0, abs=0.1)
+
+    def test_uniform_rejects_nonpositive(self):
+        with pytest.raises(ProfileError):
+            uniform_multipliers(0.0)
+
+    def test_discrete_values(self, rng):
+        sample = discrete_multipliers([1.0, 2.0])(1000, rng)
+        assert set(np.unique(sample)) <= {1.0, 2.0}
+
+    def test_discrete_weights(self, rng):
+        sample = discrete_multipliers([0.0, 1.0], [0.25, 0.75])(20000, rng)
+        assert (sample == 1.0).mean() == pytest.approx(0.75, abs=0.02)
+
+    def test_discrete_rejects_negative(self):
+        with pytest.raises(ProfileError):
+            discrete_multipliers([-1.0])
+
+
+class TestSizePerturbation:
+    def test_identity_multiplier(self, rng):
+        p = SquareProfile([2, 4, 8])
+        out = size_perturbation(p, discrete_multipliers([1.0]), rng)
+        assert out == p
+
+    def test_doubling(self, rng):
+        p = SquareProfile([2, 4])
+        out = size_perturbation(p, discrete_multipliers([2.0]), rng)
+        assert list(out) == [4, 8]
+
+    def test_drop_empty(self, rng):
+        p = SquareProfile([1, 100])
+        out = size_perturbation(p, discrete_multipliers([0.0]), rng, drop_empty=True)
+        assert len(out) == 0
+
+    def test_clamp_when_not_dropping(self, rng):
+        p = SquareProfile([1, 100])
+        out = size_perturbation(p, discrete_multipliers([0.0]), rng, drop_empty=False)
+        assert list(out) == [1, 1]
+
+    def test_deterministic_with_seed(self):
+        p = SquareProfile([3] * 50)
+        a = size_perturbation(p, uniform_multipliers(2.0), rng=9)
+        b = size_perturbation(p, uniform_multipliers(2.0), rng=9)
+        assert a == b
+
+
+class TestStartTimeShift:
+    def test_zero_shift_is_identity(self):
+        p = SquareProfile([2, 3, 4])
+        assert start_time_shift(p, 0) == p
+
+    def test_boundary_shift_rotates(self):
+        p = SquareProfile([2, 3, 4])
+        assert list(start_time_shift(p, 2)) == [3, 4, 2]
+
+    def test_mid_box_shrink(self):
+        p = SquareProfile([4, 3])
+        # tau = 1 lands inside the first box: 3 steps remain at the start
+        # of the period, 1 step of the same box closes it
+        assert list(start_time_shift(p, 1, partial="shrink")) == [3, 3, 1]
+
+    def test_mid_box_skip(self):
+        p = SquareProfile([4, 3])
+        # the split box is dropped entirely in skip mode
+        assert list(start_time_shift(p, 1, partial="skip")) == [3]
+
+    def test_wraps_modulo_total(self):
+        p = SquareProfile([2, 3])
+        assert start_time_shift(p, 5) == start_time_shift(p, 0)
+
+    def test_preserves_total_time_always(self):
+        p = SquareProfile([2, 3, 4])
+        for tau in range(p.total_time):
+            assert start_time_shift(p, tau).total_time == p.total_time
+
+    def test_invalid_mode(self):
+        with pytest.raises(ProfileError):
+            start_time_shift(SquareProfile([1]), 0, partial="weird")
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ProfileError):
+            start_time_shift(SquareProfile([]), 0)
+
+    def test_random_shift_deterministic(self):
+        p = SquareProfile([5, 7, 2, 9])
+        assert random_start_shift(p, rng=4) == random_start_shift(p, rng=4)
+
+
+class TestShuffle:
+    def test_multiset_preserved(self, rng):
+        p = SquareProfile([1, 2, 3, 4, 5])
+        out = shuffle(p, rng)
+        assert sorted(out.boxes.tolist()) == [1, 2, 3, 4, 5]
+
+    def test_actually_permutes(self):
+        p = SquareProfile(list(range(1, 101)))
+        out = shuffle(p, rng=0)
+        assert out != p
+
+    def test_deterministic_with_seed(self):
+        p = SquareProfile(list(range(1, 20)))
+        assert shuffle(p, rng=5) == shuffle(p, rng=5)

@@ -1,0 +1,81 @@
+"""Unit tests for the arbitrary-profile-to-square-profile reduction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles.base import MemoryProfile
+from repro.profiles.generators import sawtooth_profile, winner_take_all_profile
+from repro.profiles.reduction import inscribed_box_at, squarify
+
+
+class TestInscribedBoxAt:
+    def test_flat_profile(self):
+        sizes = np.full(10, 4, dtype=np.int64)
+        assert inscribed_box_at(sizes, 0) == 4
+
+    def test_limited_by_remaining_time(self):
+        sizes = np.full(3, 10, dtype=np.int64)
+        assert inscribed_box_at(sizes, 0) == 3
+        assert inscribed_box_at(sizes, 2) == 1
+
+    def test_limited_by_dip(self):
+        sizes = np.array([5, 5, 1, 5, 5], dtype=np.int64)
+        # a box of height >= 3 would cross the dip at index 2
+        assert inscribed_box_at(sizes, 0) == 2
+
+    def test_single_step(self):
+        assert inscribed_box_at(np.array([7]), 0) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(ProfileError):
+            inscribed_box_at(np.array([1]), 1)
+
+
+class TestSquarify:
+    def test_constant_profile(self):
+        p = MemoryProfile.constant(4, 12)
+        sq = squarify(p)
+        assert list(sq) == [4, 4, 4]
+
+    def test_never_exceeds_profile(self):
+        p = winner_take_all_profile(32, 1, cycles=3)
+        sq = squarify(p)
+        sizes = p.sizes
+        t = 0
+        for box in sq:
+            window = sizes[t : t + box]
+            assert window.min() >= box  # inscribed: never more memory
+            t += box
+        assert t == len(p)  # exact tiling of the time axis
+
+    def test_sawtooth(self):
+        p = sawtooth_profile(1, 4, teeth=1)  # [1,2,3,4]
+        sq = squarify(p)
+        assert sq.total_time == len(p)
+        assert list(sq)[0] == 1
+
+    def test_greedy_from_offset(self):
+        p = MemoryProfile.constant(4, 8)
+        sq = squarify(p, greedy_from=4)
+        assert sq.total_time == 4
+
+    def test_greedy_from_end(self):
+        p = MemoryProfile.constant(4, 4)
+        assert len(squarify(p, greedy_from=4)) == 0
+
+    def test_invalid_offset(self):
+        with pytest.raises(ProfileError):
+            squarify(MemoryProfile([1]), greedy_from=5)
+
+    def test_boxes_are_maximal(self):
+        # each box could not have been one larger
+        p = winner_take_all_profile(16, 2, cycles=2)
+        sizes = p.sizes
+        sq = squarify(p)
+        t = 0
+        for box in sq:
+            if t + box < len(p):  # not truncated by the profile end
+                grown = sizes[t : t + box + 1]
+                assert grown.min() < box + 1
+            t += box

@@ -1,0 +1,108 @@
+"""Unit tests for square profiles and their potential accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles.base import MemoryProfile
+from repro.profiles.square import SquareProfile, as_box_iter
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = SquareProfile([4, 2, 8])
+        assert len(p) == 3
+        assert p[2] == 8
+
+    def test_rejects_zero_box(self):
+        with pytest.raises(ProfileError):
+            SquareProfile([4, 0])
+
+    def test_immutable(self):
+        with pytest.raises(ValueError):
+            SquareProfile([1]).boxes[0] = 2
+
+    def test_equality(self):
+        assert SquareProfile([1, 2]) == SquareProfile([1, 2])
+        assert SquareProfile([1, 2]) != SquareProfile([2, 1])
+
+    def test_slice(self):
+        assert list(SquareProfile([1, 2, 3])[:2]) == [1, 2]
+
+
+class TestAlgebra:
+    def test_concat(self):
+        assert list(SquareProfile([1]) + SquareProfile([2, 3])) == [1, 2, 3]
+
+    def test_repeat(self):
+        assert list(SquareProfile([1, 2]).repeat(3)) == [1, 2] * 3
+
+    def test_rotate(self):
+        assert list(SquareProfile([1, 2, 3]).rotate(2)) == [3, 1, 2]
+
+    def test_rotate_empty(self):
+        assert len(SquareProfile([]).rotate(5)) == 0
+
+    def test_scaled(self):
+        assert list(SquareProfile([2, 3]).scaled(4)) == [8, 12]
+
+    def test_filtered_min_size(self):
+        assert list(SquareProfile([1, 5, 2, 8]).filtered_min_size(3)) == [5, 8]
+
+
+class TestAccounting:
+    def test_total_time(self):
+        assert SquareProfile([3, 4]).total_time == 7
+
+    def test_potential_sum(self):
+        p = SquareProfile([4, 4])
+        assert p.potential_sum(1.5) == pytest.approx(2 * 8.0)
+
+    def test_potential_sum_with_rho1(self):
+        assert SquareProfile([4]).potential_sum(1.0, rho1=2.0) == pytest.approx(8.0)
+
+    def test_bounded_potential_clips(self):
+        p = SquareProfile([2, 100])
+        # min(4, 2)^1 + min(4, 100)^1 = 2 + 4
+        assert p.bounded_potential_sum(4, 1.0) == pytest.approx(6.0)
+
+    def test_bounded_potential_rejects_bad_args(self):
+        with pytest.raises(ProfileError):
+            SquareProfile([1]).bounded_potential_sum(0, 1.0)
+        with pytest.raises(ProfileError):
+            SquareProfile([1]).bounded_potential_sum(1, -1.0)
+
+    def test_size_census(self):
+        assert SquareProfile([4, 2, 4]).size_census() == {2: 1, 4: 2}
+
+
+class TestConversions:
+    def test_to_memory_profile(self):
+        mp = SquareProfile([2, 3]).to_memory_profile()
+        assert isinstance(mp, MemoryProfile)
+        assert list(mp) == [2, 2, 3, 3, 3]
+
+    def test_to_memory_profile_guards_size(self):
+        with pytest.raises(ProfileError):
+            SquareProfile([10**9]).to_memory_profile()
+
+    def test_constant(self):
+        assert list(SquareProfile.constant(4, 3)) == [4, 4, 4]
+
+    def test_sparkline(self):
+        assert len(SquareProfile([1, 2, 3]).sparkline(width=10)) == 3
+
+
+class TestAsBoxIter:
+    def test_profile(self):
+        assert list(as_box_iter(SquareProfile([1, 2]))) == [1, 2]
+
+    def test_list(self):
+        assert list(as_box_iter([3, 4])) == [3, 4]
+
+    def test_generator(self):
+        assert list(as_box_iter(iter([5]))) == [5]
+
+    def test_numpy_values_coerced_to_int(self):
+        out = list(as_box_iter(np.array([1, 2], dtype=np.int64)))
+        assert all(isinstance(x, int) for x in out)

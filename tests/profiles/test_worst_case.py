@@ -1,0 +1,172 @@
+"""Unit tests for the worst-case profile construction (Figure 1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles.worst_case import (
+    limit_profile_boxes,
+    order_perturbed_profile,
+    worst_case_bounded_potential,
+    worst_case_box_count,
+    worst_case_boxes,
+    worst_case_potential,
+    worst_case_profile,
+    worst_case_total_time,
+)
+
+
+class TestConstruction:
+    def test_base_case(self):
+        assert list(worst_case_profile(8, 4, 1)) == [1]
+
+    def test_one_level(self):
+        # 8 copies of M(1) = [1] then a box of size 4
+        assert list(worst_case_profile(8, 4, 4)) == [1] * 8 + [4]
+
+    def test_recursive_structure(self):
+        m16 = list(worst_case_profile(8, 4, 16))
+        m4 = list(worst_case_profile(8, 4, 4))
+        assert m16 == m4 * 8 + [16]
+
+    def test_prefix_property(self):
+        # M(n) is a prefix of M(n*b)
+        m64 = list(worst_case_profile(8, 4, 64))
+        m256 = list(worst_case_profile(8, 4, 256))
+        assert m256[: len(m64)] == m64
+
+    def test_with_base_size(self):
+        p = worst_case_profile(2, 2, 8, base_size=2)
+        assert p.min_size() == 2 and p.max_size() == 8
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ProfileError):
+            worst_case_profile(8, 4, 10)
+        with pytest.raises(ProfileError):
+            worst_case_profile(8, 4, 4, base_size=3)
+
+    def test_rejects_huge(self):
+        with pytest.raises(ProfileError):
+            worst_case_profile(8, 4, 4**12)
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("a,b,k", [(8, 4, 3), (2, 2, 5), (7, 4, 3), (3, 2, 4)])
+    def test_box_count(self, a, b, k):
+        n = b**k
+        assert len(worst_case_profile(a, b, n)) == worst_case_box_count(a, b, n)
+
+    @pytest.mark.parametrize("a,b,k", [(8, 4, 3), (2, 2, 5), (7, 4, 3)])
+    def test_total_time(self, a, b, k):
+        n = b**k
+        p = worst_case_profile(a, b, n)
+        assert p.total_time == worst_case_total_time(a, b, n)
+
+    def test_potential_matches_profile(self):
+        p = worst_case_profile(8, 4, 256)
+        assert p.potential_sum(1.5) == pytest.approx(worst_case_potential(8, 4, 256))
+
+    def test_potential_log_factor(self):
+        # a = b^e exactly: potential = (D+1) n^e
+        for k in range(1, 6):
+            n = 4**k
+            assert worst_case_potential(8, 4, n) == pytest.approx((k + 1) * n**1.5)
+
+    def test_bounded_potential(self):
+        p = worst_case_profile(8, 4, 64)
+        got = worst_case_bounded_potential(8, 4, 64, bound=16)
+        assert got == pytest.approx(p.bounded_potential_sum(16, 1.5))
+
+    def test_box_count_a_equals_one(self):
+        assert worst_case_box_count(1, 2, 8) == 4
+
+
+class TestLazyIterators:
+    def test_lazy_matches_explicit(self):
+        explicit = list(worst_case_profile(8, 4, 64))
+        lazy = list(worst_case_boxes(8, 4, 64))
+        assert lazy == explicit
+
+    def test_limit_profile_prefixes(self):
+        stream = limit_profile_boxes(8, 4)
+        prefix = list(itertools.islice(stream, worst_case_box_count(8, 4, 64)))
+        assert prefix == list(worst_case_profile(8, 4, 64))
+
+    def test_limit_profile_with_base(self):
+        stream = limit_profile_boxes(2, 2, base_size=4)
+        first = list(itertools.islice(stream, 3))
+        assert first == [4, 4, 8]
+
+
+class TestOrderPerturbation:
+    def test_canonical_position_recovers_original(self):
+        p = order_perturbed_profile(
+            8, 4, 64, position_rule=lambda size, path: 8
+        )
+        assert p == worst_case_profile(8, 4, 64)
+
+    def test_multiset_preserved(self, rng):
+        base = worst_case_profile(8, 4, 64)
+        pert = order_perturbed_profile(8, 4, 64, rng=rng)
+        assert sorted(base.boxes.tolist()) == sorted(pert.boxes.tolist())
+
+    def test_first_position(self):
+        p = order_perturbed_profile(2, 2, 4, position_rule=lambda size, path: 1)
+        # node 4: copy1(M'(2)), box 4, copy2(M'(2)); M'(2) = [1, 2, 1]
+        assert list(p) == [1, 2, 1, 4, 1, 2, 1]
+
+    def test_deterministic_with_seed(self):
+        a = order_perturbed_profile(8, 4, 16, rng=3)
+        b = order_perturbed_profile(8, 4, 16, rng=3)
+        assert a == b
+
+    def test_invalid_position_rejected(self):
+        with pytest.raises(ProfileError):
+            order_perturbed_profile(2, 2, 4, position_rule=lambda s, p: 0)
+        with pytest.raises(ProfileError):
+            order_perturbed_profile(2, 2, 4, position_rule=lambda s, p: 3)
+
+
+class TestMatchedWorstCase:
+    def test_end_placement_is_canonical(self):
+        from repro.algorithms.library import MM_SCAN
+        from repro.profiles.worst_case import matched_worst_case_profile
+
+        assert matched_worst_case_profile(MM_SCAN, 256) == worst_case_profile(
+            8, 4, 256
+        )
+
+    def test_front_placement_structure(self):
+        from repro.algorithms.spec import RegularSpec, ScanPlacement
+        from repro.profiles.worst_case import matched_worst_case_profile
+
+        spec = RegularSpec(2, 2, 1.0, scan_placement=ScanPlacement.FRONT)
+        # node 4: [scan-box 4] child child; node 2: [scan-box 2] leaf leaf
+        assert list(matched_worst_case_profile(spec, 4)) == [
+            4, 2, 1, 1, 2, 1, 1
+        ]
+
+    def test_split_placement_total_potential(self):
+        from repro.algorithms.library import MM_SCAN
+        from repro.algorithms.spec import ScanPlacement
+        from repro.profiles.worst_case import matched_worst_case_profile
+
+        spec = MM_SCAN.with_placement(ScanPlacement.SPLIT)
+        p = matched_worst_case_profile(spec, 64)
+        # same total duration as the canonical profile (scans identical)
+        assert p.total_time == worst_case_profile(8, 4, 64).total_time
+
+    def test_completes_algorithm_exactly(self):
+        from repro.algorithms.library import MM_SCAN
+        from repro.algorithms.spec import ScanPlacement
+        from repro.simulation.symbolic import SymbolicSimulator
+        from repro.profiles.worst_case import matched_worst_case_profile
+
+        for placement in (ScanPlacement.END, ScanPlacement.SPLIT):
+            spec = MM_SCAN.with_placement(placement)
+            profile = matched_worst_case_profile(spec, 64)
+            rec = SymbolicSimulator(spec, 64).run(profile)
+            assert rec.completed
+            assert rec.boxes_used == len(profile)

@@ -1,0 +1,170 @@
+"""Property-based tests for the execution cursor's invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.algorithms.cursor import ExecutionCursor
+from repro.algorithms.spec import RegularSpec, ScanPlacement
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+@st.composite
+def spec_and_size(draw, max_depth=4):
+    a = draw(st.integers(min_value=1, max_value=9))
+    b = draw(st.sampled_from([2, 3, 4]))
+    c = draw(st.sampled_from([0.0, 0.5, 1.0]))
+    placement = draw(st.sampled_from(ScanPlacement.ALL))
+    depth = draw(st.integers(min_value=1, max_value=max_depth))
+    spec = RegularSpec(a, b, c, scan_placement=placement)
+    return spec, b**depth
+
+
+@st.composite
+def boxes(draw, min_size=1, max_len=40):
+    return draw(
+        st.lists(
+            st.integers(min_value=min_size, max_value=256),
+            min_size=1,
+            max_size=max_len,
+        )
+    )
+
+
+class TestSeekRoundtrip:
+    @given(data=st.data(), sp=spec_and_size())
+    @settings(**SETTINGS)
+    def test_seek_then_read(self, data, sp):
+        spec, n = sp
+        total = spec.subtree_accesses(n)
+        pos = data.draw(st.integers(min_value=0, max_value=total))
+        cur = ExecutionCursor(spec, n)
+        cur.seek(pos)
+        assert cur.access_index() == pos
+
+    @given(sp=spec_and_size())
+    @settings(**SETTINGS)
+    def test_seek_to_total_is_done(self, sp):
+        spec, n = sp
+        cur = ExecutionCursor(spec, n)
+        cur.seek(spec.subtree_accesses(n))
+        assert cur.is_done
+
+
+class TestConservation:
+    @given(sp=spec_and_size(), bs=boxes())
+    @settings(**SETTINGS)
+    def test_simplified_conserves_leaves_and_scans(self, sp, bs):
+        spec, n = sp
+        cur = ExecutionCursor(spec, n)
+        leaves = scans = 0
+        import itertools
+
+        for s in itertools.cycle(bs):
+            out = cur.feed_simplified(s)
+            leaves += out.leaves
+            scans += out.scan_accesses
+            if cur.is_done:
+                break
+            if leaves + scans > spec.subtree_accesses(n) * 2 + 10_000:
+                break  # safety: should never trip
+        assert cur.is_done
+        assert leaves == spec.leaves(n)
+        assert scans == spec.subtree_scan_total(n)
+
+    @given(sp=spec_and_size(), bs=boxes())
+    @settings(**SETTINGS)
+    def test_models_conserve_identically(self, sp, bs):
+        import itertools
+
+        spec, n = sp
+        for model in ("recursive", "greedy"):
+            cur = ExecutionCursor(spec, n)
+            leaves = scans = 0
+            feed = cur.feed_recursive if model == "recursive" else cur.feed_greedy
+            for s in itertools.cycle(bs):
+                out = feed(s)
+                leaves += out.leaves
+                scans += out.scan_accesses
+                if cur.is_done:
+                    break
+            assert leaves == spec.leaves(n)
+            assert scans == spec.subtree_scan_total(n)
+
+
+class TestMonotonicity:
+    @given(sp=spec_and_size(), bs=boxes())
+    @settings(**SETTINGS)
+    def test_access_index_never_decreases(self, sp, bs):
+        spec, n = sp
+        cur = ExecutionCursor(spec, n)
+        prev = 0
+        for s in bs:
+            if cur.is_done:
+                break
+            cur.feed_simplified(s)
+            now = cur.access_index()
+            assert now >= prev
+            prev = now
+
+    @given(sp=spec_and_size(), bs=boxes())
+    @settings(**SETTINGS)
+    def test_progress_matches_access_delta(self, sp, bs):
+        # leaves*base + scans of each box == advance of the access index
+        spec, n = sp
+        cur = ExecutionCursor(spec, n)
+        for s in bs:
+            if cur.is_done:
+                break
+            before = cur.access_index()
+            out = cur.feed_simplified(s)
+            delta = cur.access_index() - before
+            assert delta == out.leaves * spec.base_size + out.scan_accesses
+
+
+class TestBudgets:
+    @given(sp=spec_and_size(), bs=boxes())
+    @settings(**SETTINGS)
+    def test_greedy_box_never_exceeds_budget(self, sp, bs):
+        spec, n = sp
+        cur = ExecutionCursor(spec, n)
+        for s in bs:
+            if cur.is_done:
+                break
+            out = cur.feed_greedy(s)
+            assert out.leaves * spec.base_size + out.scan_accesses <= s
+
+    @given(sp=spec_and_size(), bs=boxes())
+    @settings(**SETTINGS)
+    def test_simplified_box_progress_bounded_by_potential(self, sp, bs):
+        # Lemma 1: a box of size s completes at most (largest node <= s)
+        # worth of leaves, plus it can never complete more than remaining
+        from repro.analysis.potential import max_progress
+
+        spec, n = sp
+        cur = ExecutionCursor(spec, n)
+        for s in bs:
+            if cur.is_done:
+                break
+            out = cur.feed_simplified(s)
+            bound = max_progress(spec, min(s, n))
+            assert out.leaves <= max(bound, 1 if s >= spec.base_size else 0)
+
+
+class TestSnapshot:
+    @given(sp=spec_and_size(), bs=boxes(max_len=10))
+    @settings(**SETTINGS)
+    def test_snapshot_unaffected_by_future(self, sp, bs):
+        spec, n = sp
+        cur = ExecutionCursor(spec, n)
+        for s in bs[: len(bs) // 2]:
+            if cur.is_done:
+                break
+            cur.feed_simplified(s)
+        snap = cur.snapshot()
+        mark = snap.access_index()
+        for s in bs:
+            if cur.is_done:
+                break
+            cur.feed_simplified(s)
+        assert snap.access_index() == mark

@@ -1,0 +1,103 @@
+"""Property-based tests for the trace machines."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms.traces import Trace
+from repro.machine.dam import simulate_dam
+from repro.machine.square_machine import last_occurrence, run_trace_on_boxes
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+traces = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=1, max_value=300),
+    elements=st.integers(min_value=0, max_value=30),
+)
+box_lists = st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=50)
+
+
+def _mk(blocks):
+    return Trace(blocks, np.empty((0, 2)))
+
+
+class TestLastOccurrence:
+    @given(blocks=traces)
+    @settings(**SETTINGS)
+    def test_matches_bruteforce(self, blocks):
+        got = last_occurrence(blocks)
+        for i in range(blocks.size):
+            prev = [j for j in range(i) if blocks[j] == blocks[i]]
+            assert got[i] == (prev[-1] if prev else -1)
+
+
+class TestSquareMachineInvariants:
+    @given(blocks=traces, boxes=box_lists)
+    @settings(**SETTINGS)
+    def test_each_box_within_distinct_budget(self, blocks, boxes):
+        t = _mk(blocks)
+        rec = run_trace_on_boxes(t, boxes)
+        for (lo, hi), size in zip(rec.box_spans(), rec.box_sizes):
+            assert t.working_set_of_range(int(lo), int(hi)) <= size
+
+    @given(blocks=traces, boxes=box_lists)
+    @settings(**SETTINGS)
+    def test_boxes_are_maximal(self, blocks, boxes):
+        # a box stops exactly when one more reference would exceed its
+        # budget (unless the trace ended)
+        t = _mk(blocks)
+        rec = run_trace_on_boxes(t, boxes)
+        for (lo, hi), size in zip(rec.box_spans(), rec.box_sizes):
+            if hi < len(t):
+                assert t.working_set_of_range(int(lo), int(hi) + 1) == size + 1
+
+    @given(blocks=traces, boxes=box_lists)
+    @settings(**SETTINGS)
+    def test_spans_tile_prefix(self, blocks, boxes):
+        rec = run_trace_on_boxes(_mk(blocks), boxes)
+        spans = rec.box_spans()
+        if spans.size:
+            assert spans[0, 0] == 0
+            assert np.all(spans[1:, 0] == spans[:-1, 1])
+
+    @given(blocks=traces)
+    @settings(**SETTINGS)
+    def test_infinite_unit_boxes_complete(self, blocks):
+        import itertools
+
+        rec = run_trace_on_boxes(_mk(blocks), itertools.repeat(1))
+        assert rec.completed
+
+    @given(blocks=traces)
+    @settings(**SETTINGS)
+    def test_one_giant_box_when_it_fits(self, blocks):
+        t = _mk(blocks)
+        rec = run_trace_on_boxes(t, [t.distinct_blocks() + 1])
+        assert rec.completed and rec.boxes_used == 1
+
+
+class TestDamProperties:
+    @given(blocks=traces, m=st.integers(min_value=1, max_value=40))
+    @settings(**SETTINGS)
+    def test_io_bounds(self, blocks, m):
+        t = _mk(blocks)
+        r = simulate_dam(t, m, policy="lru")
+        assert t.distinct_blocks() <= r.io_count <= len(t)
+
+    @given(blocks=traces, m=st.integers(min_value=1, max_value=20))
+    @settings(**SETTINGS)
+    def test_opt_optimal_among_policies(self, blocks, m):
+        t = _mk(blocks)
+        opt = simulate_dam(t, m, policy="opt").io_count
+        for policy in ("lru", "fifo"):
+            assert opt <= simulate_dam(t, m, policy=policy).io_count
+
+    @given(blocks=traces, m=st.integers(min_value=1, max_value=20))
+    @settings(**SETTINGS)
+    def test_lru_stack_property(self, blocks, m):
+        t = _mk(blocks)
+        small = simulate_dam(t, m, policy="lru").io_count
+        big = simulate_dam(t, m + 5, policy="lru").io_count
+        assert big <= small

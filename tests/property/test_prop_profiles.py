@@ -1,0 +1,121 @@
+"""Property-based tests for profile containers and constructions."""
+
+import numpy as np
+import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.util.intmath import critical_exponent
+
+from repro.profiles.base import MemoryProfile
+from repro.profiles.perturbations import shuffle, start_time_shift
+from repro.profiles.reduction import squarify
+from repro.profiles.square import SquareProfile
+from repro.profiles.worst_case import (
+    worst_case_box_count,
+    worst_case_potential,
+    worst_case_profile,
+    worst_case_total_time,
+)
+
+SETTINGS = dict(max_examples=50, deadline=None)
+
+box_lists = st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=60)
+
+
+class TestSquareProfileAlgebra:
+    @given(a=box_lists, b=box_lists)
+    @settings(**SETTINGS)
+    def test_concat_lengths_and_time(self, a, b):
+        pa, pb = SquareProfile(a), SquareProfile(b)
+        pc = pa + pb
+        assert len(pc) == len(pa) + len(pb)
+        assert pc.total_time == pa.total_time + pb.total_time
+
+    @given(bs=box_lists, k=st.integers(min_value=0, max_value=5))
+    @settings(**SETTINGS)
+    def test_repeat_time(self, bs, k):
+        p = SquareProfile(bs)
+        assert p.repeat(k).total_time == k * p.total_time
+
+    @given(bs=box_lists, r=st.integers(min_value=0, max_value=100))
+    @settings(**SETTINGS)
+    def test_rotate_preserves_multiset(self, bs, r):
+        p = SquareProfile(bs)
+        q = p.rotate(r)
+        assert sorted(q.boxes.tolist()) == sorted(bs)
+
+    @given(bs=box_lists, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(**SETTINGS)
+    def test_shuffle_preserves_multiset(self, bs, seed):
+        p = SquareProfile(bs)
+        q = shuffle(p, rng=seed)
+        assert sorted(q.boxes.tolist()) == sorted(bs)
+
+    @given(bs=box_lists, n=st.integers(min_value=1, max_value=10**6),
+           e=st.floats(min_value=0.0, max_value=3.0))
+    @settings(**SETTINGS)
+    def test_bounded_potential_below_potential(self, bs, n, e):
+        p = SquareProfile(bs)
+        assert p.bounded_potential_sum(n, e) <= p.potential_sum(e) + 1e-6
+
+    @given(bs=box_lists, e=st.floats(min_value=0.0, max_value=3.0))
+    @settings(**SETTINGS)
+    def test_bounded_potential_monotone_in_n(self, bs, e):
+        p = SquareProfile(bs)
+        small = p.bounded_potential_sum(10, e)
+        large = p.bounded_potential_sum(1000, e)
+        assert small <= large + 1e-9
+
+
+class TestStartTimeShift:
+    @given(bs=box_lists, tau=st.integers(min_value=0, max_value=10**7))
+    @settings(**SETTINGS)
+    def test_skip_mode_is_sub_multiset(self, bs, tau):
+        p = SquareProfile(bs)
+        q = start_time_shift(p, tau, partial="skip")
+        # every box of q appears in p (possibly rotated/dropped remnant)
+        from collections import Counter
+
+        assert not Counter(q.boxes.tolist()) - Counter(bs)
+
+    @given(bs=box_lists, tau=st.integers(min_value=0, max_value=10**7))
+    @settings(**SETTINGS)
+    def test_shrink_mode_preserves_period(self, bs, tau):
+        p = SquareProfile(bs)
+        q = start_time_shift(p, tau, partial="shrink")
+        assert q.total_time == p.total_time
+
+
+class TestWorstCaseClosedForms:
+    @given(
+        a=st.integers(min_value=1, max_value=9),
+        b=st.sampled_from([2, 3, 4]),
+        depth=st.integers(min_value=0, max_value=4),
+    )
+    @settings(**SETTINGS)
+    def test_all_closed_forms(self, a, b, depth):
+        n = b**depth
+        if worst_case_box_count(a, b, n) > 200_000:
+            return
+        p = worst_case_profile(a, b, n)
+        e = critical_exponent(a, b)
+        assert len(p) == worst_case_box_count(a, b, n)
+        assert p.total_time == worst_case_total_time(a, b, n)
+        assert p.potential_sum(e) == pytest.approx(worst_case_potential(a, b, n))
+
+
+class TestSquarify:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=120)
+    )
+    @settings(**SETTINGS)
+    def test_inscribed_and_tiling(self, sizes):
+        p = MemoryProfile(sizes)
+        sq = squarify(p)
+        arr = p.sizes
+        t = 0
+        for box in sq:
+            assert arr[t : t + box].min() >= box
+            t += box
+        assert t == len(p)

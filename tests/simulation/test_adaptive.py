@@ -1,0 +1,102 @@
+"""Unit tests for the explicitly adaptive executor."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.algorithms.library import MM_INPLACE, MM_SCAN, STRASSEN
+from repro.algorithms.spec import RegularSpec, ScanPlacement
+from repro.profiles.worst_case import worst_case_profile
+from repro.simulation.adaptive import AdaptiveExecutor, run_adaptive
+from repro.simulation.symbolic import SymbolicSimulator
+
+
+class TestConstruction:
+    def test_rejects_non_end_placement(self):
+        with pytest.raises(SimulationError):
+            AdaptiveExecutor(MM_SCAN.with_placement(ScanPlacement.FRONT), 16)
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(SimulationError):
+            AdaptiveExecutor(MM_SCAN, 16, completion_divisor=0)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(Exception):
+            AdaptiveExecutor(MM_SCAN, 17)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("spec", [MM_SCAN, MM_INPLACE, STRASSEN],
+                             ids=lambda s: s.name)
+    def test_completes_all_work(self, spec):
+        n = spec.b**3
+        rec = run_adaptive(spec, n, itertools.repeat(7))
+        assert rec.completed
+        assert rec.leaves_done == spec.leaves(n)
+        assert rec.scan_accesses == spec.subtree_scan_total(n)
+
+    def test_single_giant_box(self):
+        rec = run_adaptive(MM_SCAN, 64, [10**9])
+        assert rec.completed and rec.boxes_used == 1
+
+    def test_exhaustion_reported(self):
+        rec = run_adaptive(MM_SCAN, 64, [1, 1, 1])
+        assert not rec.completed
+        assert rec.leaves_done == 3
+
+    def test_max_boxes(self):
+        rec = run_adaptive(MM_SCAN, 64, itertools.repeat(1), max_boxes=4)
+        assert rec.boxes_used == 4 and not rec.completed
+
+    def test_feed_after_done_rejected(self):
+        ex = AdaptiveExecutor(MM_SCAN, 16)
+        ex.feed(16)
+        assert ex.is_done
+        with pytest.raises(SimulationError):
+            ex.feed(1)
+
+    def test_useless_boxes_make_no_progress(self):
+        spec = RegularSpec(8, 4, 1.0, base_size=4)
+        rec = run_adaptive(spec, 64, [2, 2, 2])
+        assert rec.leaves_done == 0 and not rec.completed
+
+
+class TestAdaptivity:
+    def test_never_worse_than_oblivious_on_adversary(self):
+        for k in (2, 3, 4):
+            n = 4**k
+            profile = worst_case_profile(8, 4, n)
+            stream = itertools.chain(iter(profile), itertools.cycle(profile.boxes.tolist()))
+            adaptive = run_adaptive(MM_SCAN, n, stream)
+            oblivious = SymbolicSimulator(MM_SCAN, n).run(profile)
+            assert adaptive.completed
+            assert adaptive.adaptivity_ratio <= oblivious.adaptivity_ratio + 1e-9
+
+    def test_flat_ratio_on_adversary(self):
+        ratios = []
+        for k in (2, 3, 4, 5):
+            n = 4**k
+            profile = worst_case_profile(8, 4, n)
+            stream = itertools.chain(iter(profile), itertools.cycle(profile.boxes.tolist()))
+            ratios.append(run_adaptive(MM_SCAN, n, stream).adaptivity_ratio)
+        assert max(ratios) < 2.5
+        assert ratios[-1] <= ratios[0] + 0.5  # no log growth
+
+    def test_big_box_completes_pending_sibling_not_just_scan(self):
+        # after the first child is done, a box of size n/b should complete
+        # a whole pending sibling (cost n/b) rather than idle
+        n = 64
+        ex = AdaptiveExecutor(MM_SCAN, n)
+        leaves = []
+        ex.record_subtree = lambda size: leaves.append(size)  # type: ignore
+        ex.feed(16)  # completes a whole size-16 child in one box
+        assert leaves == [16]
+
+    def test_completion_divisor_respected(self):
+        n = 64
+        ex = AdaptiveExecutor(MM_SCAN, n, completion_divisor=4)
+        done = []
+        ex.record_subtree = lambda size: done.append(size)  # type: ignore
+        ex.feed(16)  # s_eff = 4: only size-4 subtrees completable
+        assert done and max(done) <= 4

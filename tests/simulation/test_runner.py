@@ -1,0 +1,58 @@
+"""Unit tests for run modes (single and repeated)."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.library import MM_INPLACE, MM_SCAN
+from repro.profiles.worst_case import worst_case_profile
+from repro.simulation.runner import run_boxes, run_repeated
+
+
+class TestRunBoxes:
+    def test_wraps_simulator(self):
+        rec = run_boxes(MM_SCAN, 16, [10**6])
+        assert rec.completed and rec.boxes_used == 1
+
+    def test_model_passthrough(self):
+        rec = run_boxes(MM_SCAN, 16, [10**6], model="recursive")
+        assert rec.model == "recursive"
+
+
+class TestRunRepeated:
+    def test_mm_scan_exactly_one_on_worst_case(self):
+        for k in (2, 3, 4):
+            profile = worst_case_profile(8, 4, 4**k)
+            rec = run_repeated(MM_SCAN, 4**k, profile)
+            assert rec.completions == 1
+            assert rec.partial_leaves == 0
+            assert rec.boxes_used == len(profile)
+
+    def test_mm_inplace_log_completions(self):
+        counts = []
+        for k in (2, 3, 4):
+            profile = worst_case_profile(8, 4, 4**k)
+            rec = run_repeated(MM_INPLACE, 4**k, profile)
+            counts.append(rec.completions)
+        # exactly log_4(n) + 1 on this profile
+        assert counts == [3, 4, 5]
+
+    def test_total_leaves_accounting(self):
+        profile = worst_case_profile(8, 4, 16)
+        rec = run_repeated(MM_INPLACE, 16, profile)
+        assert rec.total_leaves == rec.completions * MM_INPLACE.leaves(16)
+
+    def test_max_completions_stops_early(self):
+        rec = run_repeated(MM_SCAN, 16, itertools.repeat(16), max_completions=3)
+        assert rec.completions == 3
+        assert rec.boxes_used == 3
+
+    def test_partial_leaves_of_unfinished_run(self):
+        # 1 box of 16 completes one run; 1 box of 4 starts the next
+        rec = run_repeated(MM_SCAN, 16, [16, 4])
+        assert rec.completions == 1
+        assert rec.partial_leaves == 8
+
+    def test_time_used(self):
+        rec = run_repeated(MM_SCAN, 16, [16, 4])
+        assert rec.time_used == 20

@@ -1,0 +1,137 @@
+"""Unit tests for the symbolic simulator and its run records."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.algorithms.library import MM_INPLACE, MM_SCAN
+from repro.profiles.square import SquareProfile
+from repro.profiles.worst_case import worst_case_profile
+from repro.simulation.symbolic import SymbolicSimulator
+
+
+class TestConstruction:
+    def test_valid_models(self):
+        for model in ("simplified", "recursive", "greedy"):
+            SymbolicSimulator(MM_SCAN, 16, model=model)
+
+    def test_rejects_bad_model(self):
+        with pytest.raises(SimulationError):
+            SymbolicSimulator(MM_SCAN, 16, model="quantum")
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(SimulationError):
+            SymbolicSimulator(MM_SCAN, 16, completion_divisor=0)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(Exception):
+            SymbolicSimulator(MM_SCAN, 17)
+
+
+class TestRun:
+    def test_worst_case_exact_completion(self):
+        profile = worst_case_profile(8, 4, 64)
+        sim = SymbolicSimulator(MM_SCAN, 64)
+        rec = sim.run(profile)
+        assert rec.completed
+        assert rec.boxes_used == len(profile)
+        assert rec.leaves_done == MM_SCAN.leaves(64)
+        assert rec.scan_accesses == MM_SCAN.subtree_scan_total(64)
+        assert rec.time_used == profile.total_time
+
+    def test_worst_case_ratio_formula(self):
+        profile = worst_case_profile(8, 4, 256)
+        rec = SymbolicSimulator(MM_SCAN, 256).run(profile)
+        assert rec.adaptivity_ratio == pytest.approx(5.0)  # log_4 n + 1
+
+    def test_single_huge_box(self):
+        rec = SymbolicSimulator(MM_SCAN, 64).run([10**9])
+        assert rec.completed and rec.boxes_used == 1
+        # bounded potential clips at n
+        assert rec.adaptivity_ratio == pytest.approx(1.0)
+
+    def test_run_exhaustion(self):
+        rec = SymbolicSimulator(MM_SCAN, 64).run([1, 1])
+        assert not rec.completed
+        assert rec.leaves_done == 2
+
+    def test_run_to_completion_raises(self):
+        with pytest.raises(SimulationError):
+            SymbolicSimulator(MM_SCAN, 64).run_to_completion([1, 1])
+
+    def test_max_boxes(self):
+        rec = SymbolicSimulator(MM_SCAN, 64).run(itertools.repeat(1), max_boxes=5)
+        assert rec.boxes_used == 5 and not rec.completed
+
+    def test_record_boxes(self):
+        profile = worst_case_profile(8, 4, 16)
+        rec = SymbolicSimulator(MM_SCAN, 16).run(profile, record_boxes=True)
+        assert rec.box_sizes.tolist() == list(profile)
+        assert rec.progress_per_box.sum() == MM_SCAN.leaves(16)
+
+    def test_reset(self):
+        sim = SymbolicSimulator(MM_SCAN, 16)
+        sim.run([10**6])
+        assert sim.is_done
+        sim.reset()
+        assert not sim.is_done
+
+    def test_normalized_progress(self):
+        sim = SymbolicSimulator(MM_SCAN, 16)
+        rec = sim.run([4])
+        assert rec.normalized_progress == pytest.approx(8 / 64)
+
+    def test_summary_keys(self):
+        rec = SymbolicSimulator(MM_SCAN, 16).run([16])
+        s = rec.summary()
+        assert s["completed"] and s["spec"] == "MM-SCAN"
+
+
+class TestModels:
+    def test_models_agree_on_worst_case(self):
+        profile = worst_case_profile(8, 4, 64)
+        recs = {
+            model: SymbolicSimulator(MM_SCAN, 64, model=model).run(profile)
+            for model in ("simplified", "recursive")
+        }
+        assert recs["simplified"].boxes_used == recs["recursive"].boxes_used
+
+    def test_recursive_outruns_simplified_on_uniform_boxes(self):
+        # constant boxes of size 16 on MM-INPLACE: the recursive model
+        # chains subproblems within a box, the simplified one stops at the
+        # first ancestor
+        sizes = itertools.repeat(16)
+        simp = SymbolicSimulator(MM_INPLACE, 64, model="simplified").run(
+            itertools.islice(sizes, 10_000)
+        )
+        rec = SymbolicSimulator(MM_INPLACE, 64, model="recursive").run(
+            itertools.repeat(16)
+        )
+        assert rec.completed
+        assert rec.boxes_used <= simp.boxes_used
+
+    def test_completion_divisor_slows_completion(self):
+        base = SymbolicSimulator(MM_SCAN, 64).run(itertools.repeat(64))
+        strict = SymbolicSimulator(
+            MM_SCAN, 64, completion_divisor=4
+        ).run(itertools.repeat(64))
+        assert base.completed and strict.completed
+        assert strict.boxes_used > base.boxes_used
+
+
+class TestAccessProgress:
+    def test_footnote4_accounting(self):
+        from repro.algorithms.library import MM_SCAN
+        from repro.profiles.worst_case import worst_case_profile
+
+        n = 64
+        rec = SymbolicSimulator(MM_SCAN, n).run(worst_case_profile(8, 4, n))
+        assert rec.access_progress == MM_SCAN.subtree_accesses(n)
+
+    def test_partial_run(self):
+        from repro.algorithms.library import MM_SCAN
+
+        rec = SymbolicSimulator(MM_SCAN, 64).run([4])
+        # one child of size 4 = 8 leaves + scan of 4
+        assert rec.access_progress == 12

@@ -1,0 +1,83 @@
+"""Unit tests for growth-law fitting and the adaptivity verdict."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.fitting import fit_log_law, fit_power_law, growth_verdict
+
+
+class TestFitPowerLaw:
+    def test_recovers_exponent(self):
+        xs = [2.0**k for k in range(1, 10)]
+        ys = [3.0 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=1e-9)
+        assert fit.coeff == pytest.approx(3.0, rel=1e-9)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4, 8], [2, 4, 8, 16])
+        assert fit.predict(16) == pytest.approx(32, rel=1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+
+class TestFitLogLaw:
+    def test_recovers_slope(self):
+        xs = [4.0**k for k in range(1, 8)]
+        ys = [2.0 * math.log(x, 4) + 5 for x in xs]
+        fit = fit_log_law(xs, ys, base=4.0)
+        assert fit.slope == pytest.approx(2.0, abs=1e-9)
+        assert fit.intercept == pytest.approx(5.0, abs=1e-9)
+
+    def test_predict(self):
+        fit = fit_log_law([2, 4, 8], [1, 2, 3], base=2.0)
+        assert fit.predict(16) == pytest.approx(4.0, abs=1e-9)
+
+    def test_bad_base(self):
+        with pytest.raises(ValueError):
+            fit_log_law([1, 2], [1, 2], base=1.0)
+
+
+class TestGrowthVerdict:
+    def test_perfect_log_series(self):
+        ns = [4**k for k in range(2, 8)]
+        ratios = [k + 1 for k in range(2, 8)]
+        assert growth_verdict(ns, ratios, base=4.0) == "logarithmic"
+
+    def test_flat_series(self):
+        ns = [4**k for k in range(2, 8)]
+        assert growth_verdict(ns, [2.0] * len(ns), base=4.0) == "constant"
+
+    def test_noisy_flat_series(self):
+        rng = np.random.default_rng(0)
+        ns = [4**k for k in range(2, 9)]
+        ratios = 2.0 + rng.normal(0, 0.05, len(ns))
+        assert growth_verdict(ns, ratios.tolist(), base=4.0) == "constant"
+
+    def test_converging_series_is_constant(self):
+        # geometric convergence to 2 (the point-mass transient shape)
+        ns = [4**k for k in range(2, 10)]
+        ratios = [2.0 - 2.0 ** (1 - k) for k in range(2, 10)]
+        assert growth_verdict(ns, ratios, base=4.0) == "constant"
+
+    def test_sublinear_but_sustained_growth(self):
+        ns = [4**k for k in range(2, 9)]
+        ratios = [0.5 * (k + 1) for k in range(2, 9)]
+        assert growth_verdict(ns, ratios, base=4.0) == "logarithmic"
+
+    def test_rejects_nonpositive_ratio_mean(self):
+        with pytest.raises(ValueError):
+            growth_verdict([1, 2], [-1.0, -2.0])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            growth_verdict([1, 2, 3], [1.0, 2.0])

@@ -1,0 +1,154 @@
+"""Unit tests for exact integer math helpers."""
+
+from fractions import Fraction
+
+import math
+import pytest
+
+from repro.util.intmath import (
+    ceil_power,
+    critical_exponent,
+    critical_exponent_fraction,
+    floor_power,
+    ilog,
+    ilog_floor,
+    iroot,
+    is_power_of,
+    powers_between,
+)
+
+
+class TestIsPowerOf:
+    def test_powers_of_two(self):
+        for k in range(0, 40):
+            assert is_power_of(2**k, 2)
+
+    def test_powers_of_four(self):
+        assert is_power_of(1, 4)
+        assert is_power_of(4, 4)
+        assert is_power_of(4**10, 4)
+
+    def test_non_powers(self):
+        assert not is_power_of(3, 2)
+        assert not is_power_of(12, 4)
+        assert not is_power_of(0, 2)
+        assert not is_power_of(-4, 2)
+
+    def test_two_is_not_power_of_four(self):
+        assert not is_power_of(2, 4)
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            is_power_of(8, 1)
+        with pytest.raises(ValueError):
+            is_power_of(8, 0)
+
+
+class TestIlog:
+    def test_exact(self):
+        assert ilog(1, 4) == 0
+        assert ilog(4, 4) == 1
+        assert ilog(4**7, 4) == 7
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ilog(10, 4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ilog(0, 2)
+
+    def test_big_values(self):
+        assert ilog(3**50, 3) == 50
+
+
+class TestIlogFloor:
+    def test_values(self):
+        assert ilog_floor(1, 2) == 0
+        assert ilog_floor(2, 2) == 1
+        assert ilog_floor(3, 2) == 1
+        assert ilog_floor(4, 2) == 2
+        assert ilog_floor(4**5 + 1, 4) == 5
+
+    def test_matches_float_log(self):
+        for n in range(1, 2000):
+            assert ilog_floor(n, 3) == int(math.floor(math.log(n, 3) + 1e-12))
+
+
+class TestFloorCeilPower:
+    def test_floor(self):
+        assert floor_power(1, 4) == 1
+        assert floor_power(17, 4) == 16
+        assert floor_power(16, 4) == 16
+
+    def test_ceil(self):
+        assert ceil_power(1, 4) == 1
+        assert ceil_power(17, 4) == 64
+        assert ceil_power(16, 4) == 16
+
+    def test_floor_le_ceil(self):
+        for n in range(1, 500):
+            assert floor_power(n, 2) <= n <= ceil_power(n, 2)
+
+
+class TestPowersBetween:
+    def test_range(self):
+        assert list(powers_between(1, 64, 4)) == [1, 4, 16, 64]
+
+    def test_open_interval(self):
+        assert list(powers_between(5, 63, 4)) == [16]
+
+    def test_empty(self):
+        assert list(powers_between(5, 15, 4)) == [16][:0] or list(
+            powers_between(5, 15, 4)
+        ) == []
+
+    def test_lo_clamped(self):
+        assert list(powers_between(-10, 4, 2)) == [1, 2, 4]
+
+
+class TestIroot:
+    def test_exact_roots(self):
+        assert iroot(27, 3) == 3
+        assert iroot(16, 4) == 2
+        assert iroot(1, 5) == 1
+
+    def test_floor_behaviour(self):
+        assert iroot(26, 3) == 2
+        assert iroot(28, 3) == 3
+
+    def test_large(self):
+        assert iroot(10**30, 3) == 10**10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            iroot(-1, 2)
+        with pytest.raises(ValueError):
+            iroot(4, 0)
+
+
+class TestCriticalExponent:
+    def test_mm_scan(self):
+        assert critical_exponent(8, 4) == pytest.approx(1.5)
+        assert critical_exponent_fraction(8, 4) == Fraction(3, 2)
+
+    def test_strassen_irrational(self):
+        assert critical_exponent_fraction(7, 4) is None
+        assert critical_exponent(7, 4) == pytest.approx(math.log(7) / math.log(4))
+
+    def test_equal(self):
+        assert critical_exponent(4, 4) == pytest.approx(1.0)
+        assert critical_exponent_fraction(4, 4) == Fraction(1)
+
+    def test_a_one(self):
+        assert critical_exponent(1, 2) == 0.0
+        assert critical_exponent_fraction(1, 2) == Fraction(0)
+
+    def test_rational_cases(self):
+        assert critical_exponent_fraction(16, 8) == Fraction(4, 3)
+        assert critical_exponent_fraction(27, 9) == Fraction(3, 2)
+        assert critical_exponent_fraction(2, 4) == Fraction(1, 2)
+
+    def test_invalid_a(self):
+        with pytest.raises(ValueError):
+            critical_exponent(0, 2)

@@ -1,0 +1,62 @@
+"""Unit tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, fixed_seeds, spawn
+
+
+class TestAsGenerator:
+    def test_from_int_is_deterministic(self):
+        a = as_generator(7).random(4)
+        b = as_generator(7).random(4)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(3)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_generator("not a seed")
+
+
+class TestSpawn:
+    def test_children_are_independent_and_deterministic(self):
+        a = [g.random() for g in spawn(42, 3)]
+        b = [g.random() for g in spawn(42, 3)]
+        assert a == b
+        assert len(set(a)) == 3
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(0)
+        kids = spawn(gen, 2)
+        assert len(kids) == 2
+        assert kids[0].random() != kids[1].random()
+
+    def test_zero_children(self):
+        assert spawn(1, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(1, -1)
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(TypeError):
+            spawn(3.14, 2)
+
+
+class TestFixedSeeds:
+    def test_deterministic(self):
+        assert fixed_seeds(9, 5) == fixed_seeds(9, 5)
+
+    def test_distinct(self):
+        seeds = fixed_seeds(9, 16)
+        assert len(set(seeds)) == 16

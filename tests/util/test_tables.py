@@ -1,0 +1,81 @@
+"""Unit tests for table/sparkline rendering."""
+
+import pytest
+
+from repro.util.tables import format_kv, format_number, format_table, sparkline
+
+
+class TestFormatNumber:
+    def test_int(self):
+        assert format_number(42) == "42"
+
+    def test_bool(self):
+        assert format_number(True) == "True"
+
+    def test_float_normal(self):
+        assert format_number(1.5) == "1.5"
+
+    def test_float_scientific(self):
+        assert "e" in format_number(1.23e12)
+        assert "e" in format_number(1.23e-9)
+
+    def test_zero_and_nan(self):
+        assert format_number(0.0) == "0"
+        assert format_number(float("nan")) == "nan"
+
+    def test_string_passthrough(self):
+        assert format_number("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "x"], [("a", 1), ("bb", 22)])
+        lines = out.split("\n")
+        assert lines[0].startswith("name")
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_title(self):
+        out = format_table(["c"], [(1,)], title="T")
+        assert out.split("\n")[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_numeric_right_alignment(self):
+        out = format_table(["v"], [(1,), (100,)])
+        rows = out.split("\n")[1:]
+        assert rows[-1].endswith("100")
+        assert rows[-2].endswith("  1")
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        out = format_kv({"x": 1, "long_key": 2.5})
+        lines = out.split("\n")
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert format_kv({}) == ""
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_heights(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s == "".join(sorted(s))
+
+    def test_downsampling(self):
+        assert len(sparkline(list(range(1000)), width=50)) == 50
+
+    def test_all_zero(self):
+        assert sparkline([0, 0, 0]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -16,6 +16,7 @@ from repro.machine.square_machine import run_trace_on_boxes
 from repro.profiles.distributions import UniformPowers
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.symbolic import SymbolicSimulator
+from repro.util.rng import as_generator
 
 
 def test_worst_case_profile_construction(benchmark):
@@ -76,9 +77,9 @@ def test_iid_sampling_throughput(benchmark):
 
 
 def test_mm_scan_kernel_with_trace(benchmark):
-    rng = np.random.default_rng(0)
-    a = rng.standard_normal((32, 32))
-    b = rng.standard_normal((32, 32))
+    gen = as_generator(0)
+    a = gen.standard_normal((32, 32))
+    b = gen.standard_normal((32, 32))
     from repro.algorithms.mm import mm_scan
 
     run = benchmark(mm_scan, a, b)
@@ -86,8 +87,8 @@ def test_mm_scan_kernel_with_trace(benchmark):
 
 
 def test_floyd_warshall_kernel(benchmark):
-    rng = np.random.default_rng(0)
-    d = rng.uniform(1, 10, (32, 32))
+    gen = as_generator(0)
+    d = gen.uniform(1, 10, (32, 32))
     np.fill_diagonal(d, 0.0)
     from repro.algorithms.gep import floyd_warshall
 

@@ -20,14 +20,15 @@ from repro.algorithms import mm_inplace, mm_scan
 from repro.algorithms.mm import mm_scan_trace_adversary
 from repro.machine import run_trace_on_boxes, simulate_dam
 from repro.profiles import shuffle
+from repro.util.rng import as_generator
 from repro.util.tables import format_table
 
 
 def main() -> None:
-    rng = np.random.default_rng(0)
+    gen = as_generator(0)
     dim = 32
-    a = rng.standard_normal((dim, dim))
-    b = rng.standard_normal((dim, dim))
+    a = gen.standard_normal((dim, dim))
+    b = gen.standard_normal((dim, dim))
 
     print(f"multiplying two {dim}x{dim} matrices with instrumented kernels...")
     scan_run = mm_scan(a, b, base_n=2)

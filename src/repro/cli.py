@@ -8,7 +8,10 @@ Subcommands:
 * ``solve`` — print the exact Lemma-3 recurrence table for a named
   spec, problem size, and box-size distribution (DSL:
   ``point:16``, ``uniform:4:1:5``, ``pareto:4:1:6:0.5``,
-  ``worstcase:8:4:256``, ...).
+  ``worstcase:8:4:256``, ...);
+* ``lint`` — run the repo's AST-based invariant linter (RNG/units/
+  float-equality/frozen-artifact/exports discipline) over source trees;
+  exit 1 on findings, for CI.  See ``docs/DEVTOOLS.md``.
 """
 
 from __future__ import annotations
@@ -65,6 +68,34 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         help="box-size distribution (e.g. uniform:4:1:5, point:16, "
         "pareto:4:1:6:0.5, worstcase:8:4:256)",
+    )
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="run the repro invariant linter (exit 1 on findings)",
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks", "examples"],
+        help="files or directories to lint (default: src benchmarks examples)",
+    )
+    lint_p.add_argument(
+        "--include-tests",
+        action="store_true",
+        help="also lint test files (exempt by default)",
+    )
+    lint_p.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE",
+        help="run only this rule (repeatable)",
+    )
+    lint_p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
     )
     return parser
 
@@ -135,6 +166,32 @@ def _cmd_show_profile(n: int) -> int:
     return 0
 
 
+def _cmd_lint(
+    paths: list[str],
+    include_tests: bool,
+    rules: list[str] | None,
+    list_rules: bool,
+) -> int:
+    from repro.devtools import all_rules, lint_paths
+
+    if list_rules:
+        width = max(len(rule.rule_id) for rule in all_rules())
+        for rule in all_rules():
+            print(f"{rule.rule_id.ljust(width)}  {rule.summary}")
+        return 0
+    diagnostics = lint_paths(paths, include_tests=include_tests, rule_ids=rules)
+    for diag in diagnostics:
+        print(diag.format())
+    if diagnostics:
+        print(
+            f"repro lint: {len(diagnostics)} finding(s)"
+            " — see docs/DEVTOOLS.md for rules and suppressions",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -146,6 +203,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_show_profile(args.n)
         if args.command == "solve":
             return _cmd_solve(args.spec, args.n, args.dist)
+        if args.command == "lint":
+            return _cmd_lint(
+                args.paths, args.include_tests, args.rules, args.list_rules
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

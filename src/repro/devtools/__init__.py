@@ -1,0 +1,44 @@
+"""repro.devtools — the ``repro lint`` invariant linter.
+
+An AST-based static-analysis pass enforcing the repository's
+paper-faithfulness invariants: RNG discipline (bit-for-bit Monte-Carlo
+replay), units discipline (blocks, never bytes, in capacity arithmetic),
+tolerance-explicit float comparison in ``analysis/``, frozen measurement
+artifacts, no mutable defaults, and a complete ``__all__`` on every
+library module.
+
+Programmatic use::
+
+    from repro.devtools import lint_paths
+
+    for diag in lint_paths(["src", "benchmarks", "examples"]):
+        print(diag.format())
+
+CLI use: ``python -m repro lint [paths...]`` (exit 1 on findings, the
+CI gate).  Suppress a finding with ``# repro-lint: disable=<rule>`` on
+the offending line, or ``# repro-lint: disable-file=<rule>`` for a
+module-wide waiver; see ``docs/DEVTOOLS.md``.
+"""
+
+from repro.devtools import rules as _rules  # noqa: F401  (registers built-ins)
+from repro.devtools.context import ModuleContext, classify_role
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.engine import iter_python_files, lint_file, lint_paths, lint_source
+from repro.devtools.registry import LintRule, all_rules, get_rules, register_rule
+from repro.devtools.suppressions import SuppressionIndex, scan_suppressions
+
+__all__ = [
+    "Diagnostic",
+    "LintRule",
+    "ModuleContext",
+    "SuppressionIndex",
+    "all_rules",
+    "classify_role",
+    "get_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "scan_suppressions",
+]

@@ -1,0 +1,34 @@
+"""Diagnostic records emitted by the ``repro lint`` pass.
+
+A diagnostic pins one rule violation to a source location.  The rendered
+form follows the conventional compiler format
+``file:line:col: rule: message`` so editors, CI annotations, and humans
+can all parse it the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule violation at one source location.
+
+    Ordering is lexicographic on ``(path, line, col, rule)`` so a sorted
+    diagnostic list reads like a compiler's output.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,117 @@
+"""The ``repro lint`` engine: walk files, parse, run rules, filter.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) so the
+invariant checks run anywhere the library runs — CI, a contributor
+laptop, or a notebook.  Tests are exempt by default: they intentionally
+construct generators directly, compare floats exactly, and poke at
+internals; pass ``include_tests=True`` to lint them anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.devtools.context import ModuleContext, classify_role
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import LintRule, get_rules
+from repro.devtools.suppressions import scan_suppressions
+from repro.errors import LintError
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+_EXCLUDED_DIRS = {".git", "__pycache__", ".venv", "venv", "build", "dist", ".eggs"}
+
+
+def _is_test_path(path: Path) -> bool:
+    from pathlib import PurePosixPath
+
+    return classify_role(PurePosixPath(path.as_posix())) == "test"
+
+
+def iter_python_files(
+    paths: Sequence[str | os.PathLike],
+    include_tests: bool = False,
+) -> Iterator[Path]:
+    """Yield the ``.py`` files under ``paths`` in sorted order.
+
+    Files named explicitly are always yielded (even tests); directories
+    are walked recursively with tests and tool caches skipped.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.is_dir():
+            raise LintError(f"no such file or directory: {raw}")
+        for candidate in sorted(path.rglob("*.py")):
+            if _EXCLUDED_DIRS.intersection(candidate.parts):
+                continue
+            if not include_tests and _is_test_path(candidate):
+                continue
+            yield candidate
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rule_ids: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint one module given as text; ``path`` steers path-scoped rules."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                rule="parse-error",
+                message=f"could not parse module: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext.build(path, source, tree)
+    suppressions = scan_suppressions(source)
+    diagnostics: list[Diagnostic] = []
+    for rule in get_rules(rule_ids):
+        for diag in rule.check(ctx):
+            if not suppressions.is_suppressed(diag):
+                diagnostics.append(diag)
+    return sorted(diagnostics)
+
+
+def lint_file(
+    path: str | os.PathLike,
+    rule_ids: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint one file from disk."""
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {p}: {exc}") from exc
+    display = p.as_posix()
+    cwd = Path.cwd()
+    if p.is_absolute():
+        try:
+            display = p.relative_to(cwd).as_posix()
+        except ValueError:
+            pass
+    return lint_source(source, path=display, rule_ids=rule_ids)
+
+
+def lint_paths(
+    paths: Sequence[str | os.PathLike],
+    include_tests: bool = False,
+    rule_ids: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint every python file under ``paths`` and return sorted diagnostics."""
+    get_rules(rule_ids)  # validate rule ids up front
+    diagnostics: list[Diagnostic] = []
+    for path in iter_python_files(paths, include_tests=include_tests):
+        diagnostics.extend(lint_file(path, rule_ids=rule_ids))
+    return sorted(diagnostics)

@@ -1,0 +1,75 @@
+"""Pluggable rule registry for ``repro lint``.
+
+A rule is a class with a unique kebab-case ``rule_id``, a one-line
+``summary``, and a ``check(ctx)`` generator yielding
+:class:`~repro.devtools.diagnostics.Diagnostic` objects.  Registering is
+one decorator; the engine runs every registered rule (or a caller-chosen
+subset) over each module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Type
+
+from repro.devtools.context import ModuleContext
+from repro.devtools.diagnostics import Diagnostic
+from repro.errors import LintError
+
+__all__ = ["LintRule", "register_rule", "get_rules", "all_rules"]
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` and ``summary`` and implement
+    :meth:`check`.  ``diag`` is a convenience for emitting a diagnostic
+    anchored at an AST node.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, ctx: ModuleContext, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator: instantiate ``cls`` and add it to the registry."""
+    if not cls.rule_id:
+        raise LintError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise LintError(f"duplicate rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls()
+    return cls
+
+
+def all_rules() -> list[LintRule]:
+    """Every registered rule, sorted by id."""
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def get_rules(rule_ids: Iterable[str] | None = None) -> list[LintRule]:
+    """Resolve ``rule_ids`` (or all rules when ``None``)."""
+    if rule_ids is None:
+        return all_rules()
+    rules = []
+    for rid in rule_ids:
+        try:
+            rules.append(_REGISTRY[rid])
+        except KeyError:
+            known = ", ".join(sorted(_REGISTRY))
+            raise LintError(f"unknown lint rule {rid!r}; known rules: {known}") from None
+    return rules

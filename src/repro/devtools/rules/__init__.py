@@ -1,0 +1,25 @@
+"""Built-in ``repro lint`` rules.
+
+Importing this package registers every rule with
+:mod:`repro.devtools.registry`.  Third-party or experiment-local rules
+can register the same way: subclass
+:class:`~repro.devtools.registry.LintRule` and decorate with
+:func:`~repro.devtools.registry.register_rule` before calling the
+engine.
+"""
+
+from repro.devtools.rules.dataclass_rules import FrozenResultRule, MutableDefaultRule
+from repro.devtools.rules.export_rules import ModuleExportsRule
+from repro.devtools.rules.float_rules import FloatEqualityRule
+from repro.devtools.rules.rng_rules import RngCoerceRule, RngFactoryRule
+from repro.devtools.rules.units_rules import UnitsMixingRule
+
+__all__ = [
+    "FrozenResultRule",
+    "MutableDefaultRule",
+    "ModuleExportsRule",
+    "FloatEqualityRule",
+    "RngCoerceRule",
+    "RngFactoryRule",
+    "UnitsMixingRule",
+]

@@ -1,0 +1,113 @@
+"""Value-type and default-argument rules.
+
+``*Result``/``*Record`` dataclasses are the library's measurement
+artifacts: a :class:`RunRecord` is evidence for a theorem, and evidence
+must not drift after it is produced.  Freezing them makes every
+downstream consumer (tables, metrics, cross-checks) safe by
+construction.  Mutable default arguments are the classic Python
+footgun version of the same disease: state shared across calls that
+should have been per-call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.context import ModuleContext
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import LintRule, register_rule
+
+__all__ = ["FrozenResultRule", "MutableDefaultRule"]
+
+_VALUE_TYPE_SUFFIXES = ("Result", "Record")
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> Optional[ast.expr]:
+    """The ``@dataclass`` / ``@dataclass(...)`` decorator node, if any."""
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name == "dataclass":
+            return deco
+    return None
+
+
+@register_rule
+class FrozenResultRule(LintRule):
+    """``*Result``/``*Record`` dataclasses must be ``frozen=True``."""
+
+    rule_id = "frozen-dataclass"
+    summary = "*Result/*Record dataclasses must declare frozen=True"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith(_VALUE_TYPE_SUFFIXES):
+                continue
+            deco = _dataclass_decorator(node)
+            if deco is None:
+                continue  # not a dataclass: a behaviour-carrying class
+            frozen = False
+            if isinstance(deco, ast.Call):
+                for kw in deco.keywords:
+                    if (
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        frozen = True
+            if not frozen:
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"dataclass {node.name!r} is a measurement artifact "
+                    "(*Result/*Record) and must be @dataclass(frozen=True); "
+                    "accumulate in locals and construct it once, complete",
+                )
+
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    ):
+        return True
+    return False
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    """Ban mutable default arguments."""
+
+    rule_id = "mutable-default"
+    summary = "no list/dict/set literals (or constructors) as parameter defaults"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [*fn.args.defaults, *fn.args.kw_defaults]
+            for default in defaults:
+                if default is not None and _is_mutable_default(default):
+                    label = (
+                        "<lambda>" if isinstance(fn, ast.Lambda) else fn.name
+                    )
+                    yield self.diag(
+                        ctx,
+                        default,
+                        f"mutable default argument in {label!r} is shared "
+                        "across calls; default to None and create it inside",
+                    )

@@ -1,0 +1,130 @@
+"""``__all__`` discipline for library modules.
+
+The integration suite (``tests/integration/test_exports.py``) and the
+API docs treat ``__all__`` as the source of truth for the public
+surface.  That only works if every library module declares one, every
+listed name exists, and every public class/function is listed — an
+unlisted public helper is an API leak waiting to be depended on.
+Modules with a PEP 562 ``__getattr__`` are exempt from the existence
+check (their exports are computed), and scripts/benchmarks/examples
+only get checked if they opt in by defining ``__all__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.context import ModuleContext
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import LintRule, register_rule
+
+__all__ = ["ModuleExportsRule"]
+
+
+def _find_all_assignment(tree: ast.Module) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return node
+    return None
+
+
+def _literal_entries(node: ast.Assign) -> Optional[list[tuple[str, ast.AST]]]:
+    """``__all__`` entries as (name, node) pairs; None if not a literal."""
+    value = node.value
+    if not isinstance(value, (ast.List, ast.Tuple)):
+        return None
+    entries = []
+    for elt in value.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        entries.append((elt.value, elt))
+    return entries
+
+
+def _top_level_names(tree: ast.Module) -> set[str]:
+    """Every name bound at module top level (defs, classes, assigns, imports)."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # names bound under TYPE_CHECKING / try-import guards
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        names.add(alias.asname or alias.name.split(".")[0])
+                elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    names.add(sub.name)
+    return names
+
+
+@register_rule
+class ModuleExportsRule(LintRule):
+    """Library modules declare a complete, dangling-free ``__all__``."""
+
+    rule_id = "module-exports"
+    summary = "library modules need __all__; entries must exist and cover public defs"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if ctx.role == "test" or ctx.is_dunder_main:
+            return
+        assignment = _find_all_assignment(ctx.tree)
+        if assignment is None:
+            if ctx.role == "library":
+                yield Diagnostic(
+                    path=ctx.path,
+                    line=1,
+                    col=1,
+                    rule=self.rule_id,
+                    message="library module defines no __all__; declare its "
+                    "public surface explicitly",
+                )
+            return
+        entries = _literal_entries(assignment)
+        if entries is None:
+            return  # computed __all__: out of static reach
+        defined = _top_level_names(ctx.tree)
+        has_getattr = "__getattr__" in defined
+        seen: set[str] = set()
+        for name, node in entries:
+            if name in seen:
+                yield self.diag(ctx, node, f"duplicate __all__ entry {name!r}")
+            seen.add(name)
+            if name == "__version__":
+                continue
+            if name not in defined and not has_getattr:
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"__all__ lists {name!r} but the module never binds it",
+                )
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if node.name not in seen:
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"public {'class' if isinstance(node, ast.ClassDef) else 'function'} "
+                    f"{node.name!r} is missing from __all__ (or rename it _{node.name})",
+                )

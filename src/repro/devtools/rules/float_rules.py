@@ -1,0 +1,62 @@
+"""Float-equality ban for the ``analysis`` package.
+
+The analysis layer checks the paper's *equalities*: Eq 6–9, the Lemma-3
+recurrence invariants, potential identities.  A reproduction that
+asserts ``ratio == 1.5`` passes or fails on rounding noise, not on the
+theorem — every such check must state its tolerance (``math.isclose``,
+``abs(x - y) <= eps``, ``pytest.approx`` in tests).  Exact comparison
+against float literals (or ``float(...)`` coercions) is therefore banned
+in ``analysis/``; integer and symbolic comparisons are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.context import ModuleContext
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import LintRule, register_rule
+
+__all__ = ["FloatEqualityRule"]
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    return False
+
+
+@register_rule
+class FloatEqualityRule(LintRule):
+    """Ban ``==``/``!=`` against float values inside ``analysis/``."""
+
+    rule_id = "float-equality"
+    summary = "analysis/ must compare floats with explicit tolerances, not ==/!="
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if not ctx.in_analysis:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floatish(left) or _is_floatish(right):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        "exact float equality in analysis/ asserts on rounding "
+                        "noise; use math.isclose or an explicit tolerance",
+                    )
+                    break

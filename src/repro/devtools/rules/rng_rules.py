@@ -1,0 +1,193 @@
+"""RNG-discipline rules.
+
+Every Monte-Carlo estimate behind Theorems 1–3 must be bit-for-bit
+reproducible from one integer seed.  That holds only if *all* randomness
+flows through :mod:`repro.util.rng`: ``as_generator`` coerces seeds,
+``spawn``/``fixed_seeds`` derive independent sub-streams.  Ad-hoc
+``np.random.default_rng(...)`` calls (or stdlib ``random``) create
+untracked entropy streams that silently break replay, so they are banned
+everywhere except ``util/rng.py`` itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.context import ModuleContext
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import LintRule, register_rule
+
+__all__ = ["RngFactoryRule", "RngCoerceRule"]
+
+# numpy.random attributes that are types/utilities, not entropy sources;
+# referencing them (annotations, isinstance) is fine anywhere.
+_ALLOWED_NP_RANDOM_ATTRS = {"Generator", "BitGenerator", "SeedSequence"}
+
+_ROUTE_HINT = "route randomness through repro.util.rng (as_generator/spawn/fixed_seeds)"
+
+
+def _dotted_chain(node: ast.AST) -> tuple[str, ...] | None:
+    """``a.b.c`` -> ("a", "b", "c"); None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def _collect_numpy_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names bound to the ``numpy`` module and to ``numpy.random``."""
+    numpy_aliases: set[str] = set()
+    random_aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    numpy_aliases.add(alias.asname or "numpy")
+                elif alias.name == "numpy.random" and alias.asname:
+                    random_aliases.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+    return numpy_aliases, random_aliases
+
+
+@register_rule
+class RngFactoryRule(LintRule):
+    """Ban direct RNG construction outside ``repro/util/rng.py``."""
+
+    rule_id = "rng-factory"
+    summary = (
+        "no direct np.random.* entropy sources or stdlib random outside util/rng.py"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if ctx.is_rng_module:
+            return
+        numpy_aliases, random_aliases = _collect_numpy_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.diag(
+                            ctx,
+                            node,
+                            f"stdlib 'random' is banned for reproducibility; {_ROUTE_HINT}",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"stdlib 'random' is banned for reproducibility; {_ROUTE_HINT}",
+                    )
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in _ALLOWED_NP_RANDOM_ATTRS:
+                            yield self.diag(
+                                ctx,
+                                node,
+                                f"direct import of numpy.random.{alias.name}; {_ROUTE_HINT}",
+                            )
+            elif isinstance(node, ast.Call):
+                chain = _dotted_chain(node.func)
+                if chain is None:
+                    continue
+                attr = None
+                if (
+                    len(chain) == 3
+                    and chain[0] in numpy_aliases
+                    and chain[1] == "random"
+                ):
+                    attr = chain[2]
+                elif len(chain) == 2 and chain[0] in random_aliases:
+                    attr = chain[1]
+                if attr is not None and attr not in _ALLOWED_NP_RANDOM_ATTRS:
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"direct call to numpy.random.{attr}; {_ROUTE_HINT}",
+                    )
+
+
+def _annotation_is_generator(annotation: ast.AST | None) -> bool:
+    if annotation is None:
+        return False
+    try:
+        text = ast.unparse(annotation)
+    except Exception:  # pragma: no cover - malformed annotation
+        return False
+    return "Generator" in text
+
+
+def _rng_like_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Loosely-typed rng/seed parameters of ``fn`` that still need coercion."""
+    params = set()
+    args = fn.args
+    for arg in [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *( [args.vararg] if args.vararg else [] ),
+        *( [args.kwarg] if args.kwarg else [] ),
+    ]:
+        if arg.arg in ("rng", "seed") and not _annotation_is_generator(arg.annotation):
+            params.add(arg.arg)
+    return params
+
+
+@register_rule
+class RngCoerceRule(LintRule):
+    """Randomized functions must coerce their ``rng``/``seed`` parameter
+    through ``as_generator`` before drawing from it."""
+
+    rule_id = "rng-coerce"
+    summary = "coerce rng/seed parameters via as_generator before drawing"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if ctx.is_rng_module:
+            return
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = _rng_like_params(fn)
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                # as_generator() with no seed draws fresh OS entropy:
+                # irreproducible by construction.
+                chain = _dotted_chain(node.func)
+                if (
+                    chain is not None
+                    and chain[-1] == "as_generator"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        "as_generator() with no argument draws fresh OS entropy; "
+                        "thread an explicit seed or rng parameter through",
+                    )
+                    continue
+                if not params:
+                    continue
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in params
+                ):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"drawing from raw parameter {func.value.id!r}; coerce it "
+                        f"first (gen = as_generator({func.value.id})) so int seeds, "
+                        "SeedSequences, and Generators are all accepted",
+                    )

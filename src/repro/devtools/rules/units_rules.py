@@ -1,0 +1,83 @@
+"""Units-discipline rule.
+
+The paper's model counts cache capacity in *blocks* (``m(t)`` is the
+number of size-``B`` blocks after the ``t``-th I/O, Section 2).  The
+simulators, profiles, and the DAM baseline all follow that convention:
+capacities flow through ``*_blocks`` variables, ``MemoryProfile``, or
+``SquareProfile``.  Mixing a byte-denominated quantity (``*_bytes``,
+``*_B``) into block arithmetic without an explicit conversion is exactly
+the class of bug that corrupts every downstream I/O count while keeping
+the code runnable — so the linter refuses the arithmetic outright.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.context import ModuleContext
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import LintRule, register_rule
+
+__all__ = ["UnitsMixingRule"]
+
+_BYTE_SUFFIXES = ("_bytes", "_byte", "_nbytes", "_B")
+_BLOCK_SUFFIXES = ("_blocks", "_block")
+
+# +/- and ordering/equality demand like units; * / // are how conversions
+# are written (bytes // block_size_bytes) and stay legal.
+_CHECKED_BINOPS = (ast.Add, ast.Sub)
+_CHECKED_CMPOPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _unit_of(node: ast.AST) -> Optional[str]:
+    name = _terminal_name(node)
+    if name is None:
+        return None
+    if name.endswith(_BYTE_SUFFIXES):
+        return "bytes"
+    if name.endswith(_BLOCK_SUFFIXES):
+        return "blocks"
+    return None
+
+
+@register_rule
+class UnitsMixingRule(LintRule):
+    """Flag arithmetic/comparison mixing byte- and block-denominated names."""
+
+    rule_id = "units-mixing"
+    summary = "no +,-,comparison between *_bytes/*_B and *_blocks quantities"
+
+    def _report(self, ctx: ModuleContext, node: ast.AST,
+                left: ast.AST, right: ast.AST) -> Diagnostic:
+        lname = _terminal_name(left)
+        rname = _terminal_name(right)
+        return self.diag(
+            ctx,
+            node,
+            f"{lname!r} and {rname!r} carry different units (bytes vs blocks); "
+            "convert explicitly (e.g. n_bytes // block_size_bytes) before combining",
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _CHECKED_BINOPS):
+                lu, ru = _unit_of(node.left), _unit_of(node.right)
+                if lu and ru and lu != ru:
+                    yield self._report(ctx, node, node.left, node.right)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    if not isinstance(op, _CHECKED_CMPOPS):
+                        continue
+                    lu, ru = _unit_of(left), _unit_of(right)
+                    if lu and ru and lu != ru:
+                        yield self._report(ctx, node, left, right)

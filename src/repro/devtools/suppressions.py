@@ -1,0 +1,59 @@
+"""Suppression comments for ``repro lint``.
+
+Two forms are recognized:
+
+* line-level — ``# repro-lint: disable=rule-a,rule-b`` silences the
+  named rules on the line carrying the comment (trailing form) or on the
+  line immediately below (standalone-comment form);
+* file-level — ``# repro-lint: disable-file=rule-a`` anywhere in the
+  file silences the named rules for the whole module.
+
+The keyword ``all`` silences every rule at that scope.  Suppressions are
+deliberately loud in review diffs: grepping for ``repro-lint:`` is the
+audit trail for every waived invariant.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.devtools.diagnostics import Diagnostic
+
+__all__ = ["SuppressionIndex", "scan_suppressions"]
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<filewide>-file)?=(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+@dataclass
+class SuppressionIndex:
+    """Which rules are silenced where, for one module."""
+
+    file_rules: set[str] = field(default_factory=set)
+    line_rules: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, diag: Diagnostic) -> bool:
+        if "all" in self.file_rules or diag.rule in self.file_rules:
+            return True
+        rules = self.line_rules.get(diag.line, ())
+        return "all" in rules or diag.rule in rules
+
+
+def scan_suppressions(source: str) -> SuppressionIndex:
+    """Build the suppression index for ``source``."""
+    index = SuppressionIndex()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+        if match.group("filewide"):
+            index.file_rules |= rules
+            continue
+        # A standalone comment guards the next line; a trailing comment
+        # guards its own line.
+        target = lineno + 1 if line.lstrip().startswith("#") else lineno
+        index.line_rules.setdefault(target, set()).update(rules)
+    return index

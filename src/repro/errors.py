@@ -17,6 +17,7 @@ __all__ = [
     "TraceError",
     "MachineError",
     "ExperimentError",
+    "LintError",
 ]
 
 
@@ -51,3 +52,7 @@ class MachineError(ReproError):
 
 class ExperimentError(ReproError):
     """Unknown experiment id or invalid experiment configuration."""
+
+
+class LintError(ReproError):
+    """Invalid ``repro lint`` invocation (unknown rule, unreadable path)."""

@@ -32,7 +32,10 @@ class ResultTable:
 
 
 @dataclass
-class ExperimentResult:
+# ExperimentResult is the one deliberately mutable *Result type: it is a
+# builder that experiments fill table-by-table before rendering, not a
+# measurement artifact.
+class ExperimentResult:  # repro-lint: disable=frozen-dataclass
     """Everything an experiment reports.
 
     ``verdict`` summarizes whether the measured shape matches the paper's

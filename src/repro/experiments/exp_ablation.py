@@ -39,6 +39,8 @@ from repro.profiles.worst_case import matched_worst_case_profile
 from repro.simulation.symbolic import SymbolicSimulator
 from repro.util.rng import spawn
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "ablation"
 TITLE = "Ablations: scan placement, box semantics, completion divisor"
 CLAIM = (

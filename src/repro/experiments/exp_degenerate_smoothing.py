@@ -24,6 +24,8 @@ from repro.experiments.common import ExperimentResult
 from repro.profiles.distributions import PointMass, UniformPowers
 from repro.util.fitting import fit_log_law
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "abeq"
 TITLE = "Future work probed: i.i.d. smoothing does not help when a = b"
 CLAIM = (

@@ -25,6 +25,8 @@ from repro.profiles.distributions import (
     UniformPowers,
 )
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "eq8"
 TITLE = "Equation 8: the product of f/f' over all levels is O(1)"
 CLAIM = (

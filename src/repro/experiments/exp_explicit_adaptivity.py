@@ -32,6 +32,8 @@ from repro.experiments.common import ExperimentResult
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.adaptive import run_adaptive
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "oracle"
 TITLE = "Explicit adaptation (Barve–Vitter style) vs smoothed obliviousness"
 CLAIM = (

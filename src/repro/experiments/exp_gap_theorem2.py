@@ -19,6 +19,8 @@ from repro.experiments.common import ExperimentResult
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.symbolic import SymbolicSimulator
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "gap"
 TITLE = "Theorem 2: the worst-case gap at c=1, a>b (and its absence otherwise)"
 CLAIM = (

@@ -32,6 +32,8 @@ from repro.profiles.distributions import (
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.montecarlo import estimate_expected_cost
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "iid"
 TITLE = "Theorem 1: i.i.d. box sizes make (a,b,1)-regular algorithms adaptive in expectation"
 CLAIM = (

@@ -17,6 +17,8 @@ from repro.simulation.runner import run_repeated
 from repro.util.fitting import fit_log_law
 from repro.util.intmath import ilog
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "mmcount"
 TITLE = "Section 3: completions of MM-SCAN vs MM-INPLACE on M_{8,4}(n)"
 CLAIM = (

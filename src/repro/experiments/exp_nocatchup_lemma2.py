@@ -19,6 +19,8 @@ from repro.profiles.distributions import UniformPowers
 from repro.profiles.worst_case import worst_case_profile
 from repro.util.rng import as_generator
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "nocatchup"
 TITLE = "Lemma 2 (No-Catch-up): a delayed start never finishes earlier"
 CLAIM = (

@@ -25,6 +25,8 @@ from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
 from repro.analysis.smoothing import order_perturbation_trials
 from repro.experiments.common import ExperimentResult
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "orderpert"
 TITLE = "Robustness: box-order perturbation does not close the gap"
 CLAIM = (

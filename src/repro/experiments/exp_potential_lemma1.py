@@ -15,6 +15,8 @@ from repro.analysis.potential import max_progress, measured_potential
 from repro.experiments.common import ExperimentResult
 from repro.util.fitting import fit_power_law
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "lemma1"
 TITLE = "Lemma 1: box potential rho(s) = Theta(s^{log_b a})"
 CLAIM = (

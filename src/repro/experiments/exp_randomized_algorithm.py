@@ -35,6 +35,8 @@ from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.symbolic import SymbolicSimulator
 from repro.util.rng import fixed_seeds
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "randomized"
 TITLE = "Open question: randomized scan placement vs the worst-case profile"
 CLAIM = (

@@ -25,6 +25,8 @@ from repro.profiles.reduction import squarify
 from repro.simulation.symbolic import SymbolicSimulator
 from repro.util.rng import fixed_seeds
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "realistic"
 TITLE = "Introduction's scenarios: realistic fluctuation patterns stay adaptive"
 CLAIM = (

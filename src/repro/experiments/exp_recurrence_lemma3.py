@@ -27,6 +27,8 @@ from repro.simulation.montecarlo import estimate, sample_boxes_to_complete
 from repro.simulation.symbolic import SymbolicSimulator
 from repro.util.rng import spawn
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "lemma3"
 TITLE = "Lemma 3: exact recurrence for f(n), the q-identity, and the scan Wald bound"
 CLAIM = (

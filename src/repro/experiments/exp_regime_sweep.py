@@ -26,6 +26,8 @@ from repro.experiments.common import ExperimentResult
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.symbolic import SymbolicSimulator
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "regimes"
 TITLE = "Theorem 2 regime map across (a, b, c)"
 CLAIM = (

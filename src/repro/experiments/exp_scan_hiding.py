@@ -25,6 +25,8 @@ from repro.experiments.common import ExperimentResult
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.symbolic import SymbolicSimulator
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "scanhide"
 TITLE = "Scan-hiding (Lincoln et al.) makes MM-SCAN worst-case adaptive, at a cost"
 CLAIM = (

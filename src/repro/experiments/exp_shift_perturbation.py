@@ -17,6 +17,8 @@ from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
 from repro.analysis.smoothing import start_shift_trials
 from repro.experiments.common import ExperimentResult
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "shiftpert"
 TITLE = "Robustness: random start-time shifts do not close the gap"
 CLAIM = (

@@ -22,6 +22,8 @@ from repro.experiments.common import ExperimentResult
 from repro.profiles.distributions import Empirical
 from repro.profiles.worst_case import worst_case_profile
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "shuffle"
 TITLE = "Random shuffling of the adversary's own boxes closes the gap"
 CLAIM = (

@@ -19,6 +19,8 @@ from repro.analysis.smoothing import size_perturbation_trials
 from repro.experiments.common import ExperimentResult
 from repro.profiles.perturbations import uniform_multipliers
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "sizepert"
 TITLE = "Robustness: i.i.d. box-size perturbation does not close the gap"
 CLAIM = (

@@ -17,8 +17,6 @@ through both:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.algorithms.library import MM_SCAN
 from repro.algorithms.mm import mm_inplace, mm_scan
 from repro.algorithms.spec import RegularSpec
@@ -28,6 +26,9 @@ from repro.machine.dam import simulate_dam
 from repro.machine.square_machine import run_trace_on_boxes
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.symbolic import SymbolicSimulator
+from repro.util.rng import as_generator
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
 
 EXPERIMENT_ID = "xcheck"
 TITLE = "Cross-check: symbolic model vs real-trace square machine vs DAM"
@@ -79,9 +80,9 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
 
     # --- real MM kernels on box streams ---------------------------------
-    rng = np.random.default_rng(seed)
+    gen = as_generator(seed)
     dim = 16 if quick else 32
-    A, B = rng.random((dim, dim)), rng.random((dim, dim))
+    A, B = gen.random((dim, dim)), gen.random((dim, dim))
     scan_trace = mm_scan(A, B, base_n=2).trace
     inplace_trace = mm_inplace(A, B, base_n=2).trace
     box = 64

@@ -22,6 +22,8 @@ from repro.profiles.worst_case import (
 from repro.simulation.symbolic import SymbolicSimulator
 from repro.util.intmath import ilog
 
+__all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
+
 EXPERIMENT_ID = "fig1"
 TITLE = "Figure 1: the recursive worst-case profile M_{8,4}(n) for MM-SCAN"
 CLAIM = (

@@ -52,10 +52,11 @@ class _OpenNode:
         self.parent = parent
 
 
-@dataclass
+@dataclass(frozen=True)
 class AdaptiveRunRecord:
     """Accounting of an adaptive run (same fields as the oblivious
-    :class:`~repro.simulation.symbolic.RunRecord` where they overlap)."""
+    :class:`~repro.simulation.symbolic.RunRecord` where they overlap).
+    Frozen like every measurement record: built once, after the run."""
 
     spec: RegularSpec
     n: int
@@ -250,14 +251,20 @@ def run_adaptive(
 ) -> AdaptiveRunRecord:
     """Run the explicitly adaptive executor over a box source."""
     executor = AdaptiveExecutor(spec, n, completion_divisor=completion_divisor)
-    rec = AdaptiveRunRecord(spec=spec, n=n)
+    boxes_used = 0
+    leaves_done = 0
+    scan_accesses = 0
+    time_used = 0
+    bounded_potential = 0.0
 
     def record_subtree(size: int) -> None:
-        rec.leaves_done += spec.leaves(size)
-        rec.scan_accesses += spec.subtree_scan_total(size)
+        nonlocal leaves_done, scan_accesses
+        leaves_done += spec.leaves(size)
+        scan_accesses += spec.subtree_scan_total(size)
 
     def record_scan(accesses: int) -> None:
-        rec.scan_accesses += accesses
+        nonlocal scan_accesses
+        scan_accesses += accesses
 
     executor.record_subtree = record_subtree  # type: ignore[method-assign]
     executor.record_scan = record_scan  # type: ignore[method-assign]
@@ -265,15 +272,23 @@ def run_adaptive(
     exponent = spec.exponent
     it = as_box_iter(boxes)
     while not executor.is_done:
-        if max_boxes is not None and rec.boxes_used >= max_boxes:
+        if max_boxes is not None and boxes_used >= max_boxes:
             break
         try:
             s = next(it)
         except StopIteration:
             break
         executor.feed(s)
-        rec.boxes_used += 1
-        rec.time_used += s
-        rec.bounded_potential += float(min(s, n)) ** exponent
-    rec.completed = executor.is_done
-    return rec
+        boxes_used += 1
+        time_used += s
+        bounded_potential += float(min(s, n)) ** exponent
+    return AdaptiveRunRecord(
+        spec=spec,
+        n=n,
+        boxes_used=boxes_used,
+        leaves_done=leaves_done,
+        scan_accesses=scan_accesses,
+        time_used=time_used,
+        bounded_potential=bounded_potential,
+        completed=executor.is_done,
+    )

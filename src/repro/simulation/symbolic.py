@@ -34,7 +34,7 @@ __all__ = ["RunRecord", "SymbolicSimulator"]
 MODELS = ("simplified", "recursive", "greedy")
 
 
-@dataclass
+@dataclass(frozen=True)
 class RunRecord:
     """Accounting of one symbolic run.
 
@@ -42,6 +42,8 @@ class RunRecord:
     boxes (Inequality 2's left side, final box not rounded down);
     ``adaptivity_ratio`` divides by ``n**e``.  ``box_sizes`` and
     ``progress_per_box`` are populated only when the run recorded them.
+    Frozen: a record is evidence for a measurement and never changes
+    after the run that produced it.
     """
 
     spec: RegularSpec
@@ -154,33 +156,47 @@ class SymbolicSimulator:
     ) -> RunRecord:
         """Consume boxes until the execution completes (or the source or
         ``max_boxes`` runs out) and return the accounting record."""
-        rec = RunRecord(spec=self.spec, n=self.n, model=self.model)
         exponent = self._exponent
         n = self.n
+        boxes_used = 0
+        leaves_done = 0
+        scan_accesses = 0
+        time_used = 0
+        bounded_potential = 0.0
         sizes: list[int] = []
         progress: list[int] = []
         it = as_box_iter(boxes)
         while not self.cursor.is_done:
-            if max_boxes is not None and rec.boxes_used >= max_boxes:
+            if max_boxes is not None and boxes_used >= max_boxes:
                 break
             try:
                 s = next(it)
             except StopIteration:
                 break
             out = self.feed(s)
-            rec.boxes_used += 1
-            rec.leaves_done += out.leaves
-            rec.scan_accesses += out.scan_accesses
-            rec.time_used += s
-            rec.bounded_potential += float(min(s, n)) ** exponent
+            boxes_used += 1
+            leaves_done += out.leaves
+            scan_accesses += out.scan_accesses
+            time_used += s
+            bounded_potential += float(min(s, n)) ** exponent
             if record_boxes:
                 sizes.append(s)
                 progress.append(out.leaves)
-        rec.completed = self.cursor.is_done
-        if record_boxes:
-            rec.box_sizes = np.asarray(sizes, dtype=np.int64)
-            rec.progress_per_box = np.asarray(progress, dtype=np.int64)
-        return rec
+        return RunRecord(
+            spec=self.spec,
+            n=n,
+            model=self.model,
+            boxes_used=boxes_used,
+            leaves_done=leaves_done,
+            scan_accesses=scan_accesses,
+            time_used=time_used,
+            bounded_potential=bounded_potential,
+            completed=self.cursor.is_done,
+            box_sizes=np.asarray(sizes, dtype=np.int64) if record_boxes else None,
+            progress_per_box=(
+                np.asarray(progress, dtype=np.int64) if record_boxes else None
+            ),
+        )
 
     def run_to_completion(
         self,

@@ -1,0 +1,147 @@
+"""Engine behaviour: suppressions, file walking, CLI wiring, and the
+self-lint smoke test (the repo must be lint-clean)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.devtools import (
+    Diagnostic,
+    all_rules,
+    lint_paths,
+    lint_source,
+    scan_suppressions,
+)
+from repro.errors import LintError
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_LIB = "import numpy as np\n\ngen = np.random.default_rng(0)\n"
+
+
+class TestSuppressions:
+    def test_trailing_comment_silences_own_line(self):
+        source = (
+            "import numpy as np\n\n"
+            "gen = np.random.default_rng(0)  # repro-lint: disable=rng-factory\n"
+        )
+        assert lint_source(source, path="benchmarks/x.py") == []
+
+    def test_standalone_comment_silences_next_line(self):
+        source = (
+            "import numpy as np\n\n"
+            "# repro-lint: disable=rng-factory\n"
+            "gen = np.random.default_rng(0)\n"
+        )
+        assert lint_source(source, path="benchmarks/x.py") == []
+
+    def test_file_level_disable(self):
+        source = "# repro-lint: disable-file=rng-factory\n" + BAD_LIB
+        assert lint_source(source, path="benchmarks/x.py") == []
+
+    def test_disable_all_keyword(self):
+        source = "# repro-lint: disable-file=all\n" + BAD_LIB
+        assert lint_source(source, path="benchmarks/x.py") == []
+
+    def test_unrelated_rule_does_not_silence(self):
+        source = (
+            "import numpy as np\n\n"
+            "gen = np.random.default_rng(0)  # repro-lint: disable=units-mixing\n"
+        )
+        diags = lint_source(source, path="benchmarks/x.py")
+        assert [d.rule for d in diags] == ["rng-factory"]
+
+    def test_scan_parses_multiple_rules(self):
+        index = scan_suppressions("x = 1  # repro-lint: disable=a-rule, b-rule\n")
+        hit = Diagnostic("f.py", 1, 1, "a-rule", "m")
+        miss = Diagnostic("f.py", 1, 1, "c-rule", "m")
+        assert index.is_suppressed(hit)
+        assert not index.is_suppressed(miss)
+
+
+class TestEngine:
+    def test_syntax_error_becomes_parse_error_diag(self):
+        diags = lint_source("def broken(:\n", path="benchmarks/x.py")
+        assert [d.rule for d in diags] == ["parse-error"]
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(LintError, match="unknown lint rule"):
+            lint_source("x = 1\n", rule_ids=["no-such-rule"])
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(LintError, match="no such file"):
+            lint_paths([tmp_path / "nowhere"])
+
+    def test_directory_walk_skips_tests_by_default(self, tmp_path):
+        pkg = tmp_path / "src" / "pkg"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(BAD_LIB + "__all__ = []\n")
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "test_bad.py").write_text(BAD_LIB)
+        diags = lint_paths([tmp_path])
+        assert {d.rule for d in diags} == {"rng-factory"}
+        assert all("test_bad" not in d.path for d in diags)
+        with_tests = lint_paths([tmp_path], include_tests=True)
+        assert any("test_bad" in d.path for d in with_tests)
+
+    def test_explicit_file_always_linted(self, tmp_path):
+        bad = tmp_path / "script.py"
+        bad.write_text(BAD_LIB)
+        diags = lint_paths([bad])
+        assert [d.rule for d in diags] == ["rng-factory"]
+
+    def test_rule_registry_has_the_documented_rules(self):
+        ids = {rule.rule_id for rule in all_rules()}
+        assert {
+            "rng-factory",
+            "rng-coerce",
+            "units-mixing",
+            "float-equality",
+            "frozen-dataclass",
+            "mutable-default",
+            "module-exports",
+        } <= ids
+
+
+class TestCli:
+    def test_lint_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("def main():\n    return 0\n")
+        assert main(["lint", str(good)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_lint_bad_file_exits_one_and_reports(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_LIB)
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "rng-factory" in out and "bad.py" in out
+
+    def test_lint_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "rng-factory" in out and "module-exports" in out
+
+    def test_rule_filter(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_LIB)
+        assert main(["lint", "--rule", "units-mixing", str(bad)]) == 0
+
+
+class TestSelfLint:
+    """The acceptance gate: the repository's own trees are lint-clean."""
+
+    @pytest.mark.parametrize("tree", ["src", "benchmarks", "examples"])
+    def test_tree_is_clean(self, tree):
+        root = REPO_ROOT / tree
+        assert root.is_dir(), f"expected {root} to exist"
+        diags = lint_paths([root])
+        assert diags == [], "\n".join(d.format() for d in diags)

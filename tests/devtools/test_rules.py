@@ -1,0 +1,416 @@
+"""Per-rule fixtures: each rule fires on a minimal bad snippet and stays
+quiet on the idiomatic good one."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.devtools import lint_source
+
+LIB = "src/repro/somepkg/mod.py"  # classified as library code
+SCRIPT = "benchmarks/bench_fake.py"  # classified as script
+
+
+def lint(source: str, path: str = LIB, rules=None):
+    return lint_source(textwrap.dedent(source), path=path, rule_ids=rules)
+
+
+def rule_ids(diags):
+    return [d.rule for d in diags]
+
+
+# ---------------------------------------------------------------- rng-factory
+class TestRngFactory:
+    def test_direct_default_rng_fires(self):
+        diags = lint(
+            """
+            import numpy as np
+            gen = np.random.default_rng(0)
+            """,
+            rules=["rng-factory"],
+        )
+        assert rule_ids(diags) == ["rng-factory"]
+        assert diags[0].line == 3
+
+    def test_stdlib_random_import_fires(self):
+        diags = lint("import random\n", rules=["rng-factory"])
+        assert rule_ids(diags) == ["rng-factory"]
+
+    def test_from_random_import_fires(self):
+        diags = lint("from random import shuffle\n", rules=["rng-factory"])
+        assert rule_ids(diags) == ["rng-factory"]
+
+    def test_from_numpy_random_import_fires(self):
+        diags = lint(
+            "from numpy.random import default_rng\n", rules=["rng-factory"]
+        )
+        assert rule_ids(diags) == ["rng-factory"]
+
+    def test_numpy_alias_tracked(self):
+        diags = lint(
+            """
+            import numpy
+            x = numpy.random.standard_normal(3)
+            """,
+            rules=["rng-factory"],
+        )
+        assert rule_ids(diags) == ["rng-factory"]
+
+    def test_good_as_generator_quiet(self):
+        diags = lint(
+            """
+            from repro.util.rng import as_generator
+            gen = as_generator(0)
+            x = gen.random(3)
+            """,
+            rules=["rng-factory"],
+        )
+        assert diags == []
+
+    def test_type_references_allowed(self):
+        diags = lint(
+            """
+            import numpy as np
+
+            def f(gen: np.random.Generator) -> np.random.Generator:
+                assert isinstance(gen, np.random.Generator)
+                return gen
+            """,
+            rules=["rng-factory"],
+        )
+        assert diags == []
+
+    def test_rng_module_itself_exempt(self):
+        diags = lint(
+            """
+            import numpy as np
+            gen = np.random.default_rng(0)
+            """,
+            path="src/repro/util/rng.py",
+            rules=["rng-factory"],
+        )
+        assert diags == []
+
+
+# ---------------------------------------------------------------- rng-coerce
+class TestRngCoerce:
+    def test_drawing_from_raw_rng_param_fires(self):
+        diags = lint(
+            """
+            def sample(k, rng=None):
+                return rng.random(k)
+            """,
+            rules=["rng-coerce"],
+        )
+        assert rule_ids(diags) == ["rng-coerce"]
+
+    def test_coerced_param_quiet(self):
+        diags = lint(
+            """
+            from repro.util.rng import as_generator
+
+            def sample(k, rng=None):
+                gen = as_generator(rng)
+                return gen.random(k)
+            """,
+            rules=["rng-coerce"],
+        )
+        assert diags == []
+
+    def test_generator_annotated_param_quiet(self):
+        diags = lint(
+            """
+            import numpy as np
+
+            def sample(k, rng: np.random.Generator):
+                return rng.random(k)
+            """,
+            rules=["rng-coerce"],
+        )
+        assert diags == []
+
+    def test_no_arg_as_generator_fires(self):
+        diags = lint(
+            """
+            from repro.util.rng import as_generator
+
+            def sample(k):
+                gen = as_generator()
+                return gen.random(k)
+            """,
+            rules=["rng-coerce"],
+        )
+        assert rule_ids(diags) == ["rng-coerce"]
+
+
+# -------------------------------------------------------------- units-mixing
+class TestUnitsMixing:
+    def test_adding_bytes_to_blocks_fires(self):
+        diags = lint(
+            "total = cache_bytes + cache_blocks\n", rules=["units-mixing"]
+        )
+        assert rule_ids(diags) == ["units-mixing"]
+
+    def test_comparing_bytes_to_blocks_fires(self):
+        diags = lint(
+            "ok = size_B < capacity_blocks\n", rules=["units-mixing"]
+        )
+        assert rule_ids(diags) == ["units-mixing"]
+
+    def test_explicit_conversion_quiet(self):
+        diags = lint(
+            """
+            capacity_blocks = cache_bytes // block_size_bytes
+            total_blocks = capacity_blocks + spare_blocks
+            """,
+            rules=["units-mixing"],
+        )
+        assert diags == []
+
+    def test_attribute_suffixes_checked(self):
+        diags = lint(
+            "x = profile.total_bytes - machine.cache_blocks\n",
+            rules=["units-mixing"],
+        )
+        assert rule_ids(diags) == ["units-mixing"]
+
+
+# ------------------------------------------------------------ float-equality
+class TestFloatEquality:
+    def test_float_literal_eq_in_analysis_fires(self):
+        diags = lint(
+            "ok = ratio == 1.5\n",
+            path="src/repro/analysis/mod.py",
+            rules=["float-equality"],
+        )
+        assert rule_ids(diags) == ["float-equality"]
+
+    def test_float_call_neq_in_analysis_fires(self):
+        diags = lint(
+            "ok = float(x) != y\n",
+            path="src/repro/analysis/mod.py",
+            rules=["float-equality"],
+        )
+        assert rule_ids(diags) == ["float-equality"]
+
+    def test_isclose_in_analysis_quiet(self):
+        diags = lint(
+            """
+            import math
+            ok = math.isclose(ratio, 1.5, rel_tol=1e-9)
+            """,
+            path="src/repro/analysis/mod.py",
+            rules=["float-equality"],
+        )
+        assert diags == []
+
+    def test_int_equality_in_analysis_quiet(self):
+        diags = lint(
+            "ok = boxes == 8\n",
+            path="src/repro/analysis/mod.py",
+            rules=["float-equality"],
+        )
+        assert diags == []
+
+    def test_outside_analysis_not_checked(self):
+        diags = lint("ok = ratio == 1.5\n", rules=["float-equality"])
+        assert diags == []
+
+
+# ---------------------------------------------------------- frozen-dataclass
+class TestFrozenDataclass:
+    def test_unfrozen_result_fires(self):
+        diags = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class SweepResult:
+                value: float
+            """,
+            rules=["frozen-dataclass"],
+        )
+        assert rule_ids(diags) == ["frozen-dataclass"]
+
+    def test_unfrozen_record_call_form_fires(self):
+        diags = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(slots=True)
+            class TrialRecord:
+                value: float
+            """,
+            rules=["frozen-dataclass"],
+        )
+        assert rule_ids(diags) == ["frozen-dataclass"]
+
+    def test_frozen_result_quiet(self):
+        diags = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class SweepResult:
+                value: float
+            """,
+            rules=["frozen-dataclass"],
+        )
+        assert diags == []
+
+    def test_non_dataclass_record_quiet(self):
+        diags = lint(
+            """
+            class TraceRecorder:
+                def __init__(self):
+                    self.events = []
+            """,
+            rules=["frozen-dataclass"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------- mutable-default
+class TestMutableDefault:
+    def test_list_literal_default_fires(self):
+        diags = lint(
+            """
+            def collect(items=[]):
+                return items
+            """,
+            rules=["mutable-default"],
+        )
+        assert rule_ids(diags) == ["mutable-default"]
+
+    def test_dict_constructor_kwonly_default_fires(self):
+        diags = lint(
+            """
+            def collect(*, cache=dict()):
+                return cache
+            """,
+            rules=["mutable-default"],
+        )
+        assert rule_ids(diags) == ["mutable-default"]
+
+    def test_none_default_quiet(self):
+        diags = lint(
+            """
+            def collect(items=None):
+                return list(items or ())
+            """,
+            rules=["mutable-default"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------- module-exports
+class TestModuleExports:
+    def test_library_module_without_all_fires(self):
+        diags = lint("def run():\n    pass\n", rules=["module-exports"])
+        assert rule_ids(diags) == ["module-exports"]
+
+    def test_script_without_all_quiet(self):
+        diags = lint(
+            "def main():\n    pass\n", path=SCRIPT, rules=["module-exports"]
+        )
+        assert diags == []
+
+    def test_dangling_entry_fires(self):
+        diags = lint(
+            '__all__ = ["missing"]\n', rules=["module-exports"]
+        )
+        assert rule_ids(diags) == ["module-exports"]
+        assert "never binds" in diags[0].message
+
+    def test_duplicate_entry_fires(self):
+        diags = lint(
+            """
+            __all__ = ["run", "run"]
+
+            def run():
+                pass
+            """,
+            rules=["module-exports"],
+        )
+        assert rule_ids(diags) == ["module-exports"]
+        assert "duplicate" in diags[0].message
+
+    def test_unlisted_public_def_fires(self):
+        diags = lint(
+            """
+            __all__ = ["run"]
+
+            def run():
+                pass
+
+            def helper():
+                pass
+            """,
+            rules=["module-exports"],
+        )
+        assert rule_ids(diags) == ["module-exports"]
+        assert "helper" in diags[0].message
+
+    def test_complete_module_quiet(self):
+        diags = lint(
+            """
+            __all__ = ["CONSTANT", "run"]
+
+            CONSTANT = 3
+
+            def run():
+                pass
+
+            def _private_helper():
+                pass
+            """,
+            rules=["module-exports"],
+        )
+        assert diags == []
+
+    def test_pep562_getattr_exempts_dangling(self):
+        diags = lint(
+            """
+            __all__ = ["lazy_thing"]
+
+            def __getattr__(name):
+                raise AttributeError(name)
+            """,
+            rules=["module-exports"],
+        )
+        assert diags == []
+
+    def test_tests_and_dunder_main_exempt(self):
+        source = "def run():\n    pass\n"
+        assert lint(source, path="tests/test_mod.py", rules=["module-exports"]) == []
+        assert (
+            lint(source, path="src/repro/__main__.py", rules=["module-exports"])
+            == []
+        )
+
+
+# ------------------------------------------------- each bad fixture, exactly
+# one rule: running the FULL rule set over each snippet must produce only the
+# intended rule id (the acceptance criterion for deliberately-seeded bugs).
+SEEDED_VIOLATIONS = {
+    "rng-factory": (SCRIPT, "import numpy as np\n\ngen = np.random.default_rng(0)\n"),
+    "rng-coerce": (SCRIPT, "def sample(k, rng=None):\n    return rng.random(k)\n"),
+    "units-mixing": (SCRIPT, "total = cache_bytes + cache_blocks\n"),
+    "float-equality": ("src/repro/analysis/mod.py", "__all__ = []\nok = ratio == 1.5\n"),
+    "frozen-dataclass": (
+        SCRIPT,
+        "from dataclasses import dataclass\n\n\n"
+        "@dataclass\nclass SweepResult:\n    value: float\n",
+    ),
+    "mutable-default": (SCRIPT, "def collect(items=[]):\n    return items\n"),
+    "module-exports": (LIB, '__all__ = ["missing"]\n'),
+}
+
+
+@pytest.mark.parametrize("expected_rule", sorted(SEEDED_VIOLATIONS))
+def test_seeded_violation_detected_by_exactly_the_intended_rule(expected_rule):
+    path, source = SEEDED_VIOLATIONS[expected_rule]
+    diags = lint_source(source, path=path)
+    assert [d.rule for d in diags] == [expected_rule]

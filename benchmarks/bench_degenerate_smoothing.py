@@ -7,12 +7,12 @@ tables are printed (use ``-s`` to see them) and the reproduction verdict
 is asserted, so this bench doubles as the paper-claim regression gate.
 """
 
-from repro.experiments.registry import run_experiment
+from repro.runtime import run_one
 
 
 def test_degenerate_smoothing(benchmark):
     result = benchmark.pedantic(
-        run_experiment,
+        run_one,
         args=("abeq",),
         kwargs={"quick": True, "seed": 0},
         iterations=1,

@@ -118,6 +118,11 @@ __all__ = [
     "shuffle",
     "squarify",
     "uniform_multipliers",
+    # runtime (lazy)
+    "RunArtifact",
+    "RunManifest",
+    "ExperimentRunner",
+    "run_one",
 ]
 
 
@@ -132,4 +137,8 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         from repro import analysis
 
         return getattr(analysis, name)
+    if name in ("RunArtifact", "RunManifest", "ExperimentRunner", "run_one"):
+        from repro import runtime
+
+        return getattr(runtime, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -3,7 +3,12 @@
 Subcommands:
 
 * ``list`` — enumerate registered experiments with their claims;
-* ``run <id> [...ids|all]`` — run experiments and print their tables;
+* ``run <id> [...ids|all]`` — run experiments through the
+  :mod:`repro.runtime` layer and print their tables; ``--jobs N`` fans
+  experiments over a process pool (bit-identical results at any worker
+  count), ``-o FILE`` writes the rendered text, ``--json DIR`` writes
+  one schema-versioned ``RunArtifact`` per experiment plus a
+  ``manifest.json`` with timings and counters (``docs/ARTIFACTS.md``);
 * ``show-profile <n>`` — render the worst-case profile ``M_{8,4}(n)``;
 * ``solve`` — print the exact Lemma-3 recurrence table for a named
   spec, problem size, and box-size distribution (DSL:
@@ -50,6 +55,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="also write the rendered reports to this file",
+    )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments across N worker processes (default 1); "
+        "results are bit-identical at any worker count",
+    )
+    run_p.add_argument(
+        "--json",
+        dest="json_dir",
+        default=None,
+        metavar="DIR",
+        help="write one RunArtifact JSON per experiment plus manifest.json "
+        "into DIR (created if missing)",
     )
 
     prof_p = sub.add_parser(
@@ -109,25 +130,82 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(ids: list[str], full: bool, seed: int, output: str | None) -> int:
-    from repro.experiments.registry import EXPERIMENTS, run_experiment
+def _cmd_run(
+    ids: list[str],
+    full: bool,
+    seed: int,
+    output: str | None,
+    jobs: int = 1,
+    json_dir: str | None = None,
+) -> int:
+    from time import perf_counter
+
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.runtime.runner import ExperimentRunner
 
     targets = list(EXPERIMENTS) if ids == ["all"] else ids
+    runner = ExperimentRunner(jobs=jobs)
     failures = 0
     chunks: list[str] = []
-    for i, eid in enumerate(targets):
-        result = run_experiment(eid, quick=not full, seed=seed)
-        text = result.render()
+    artifacts = []
+    start = perf_counter()
+    for i, artifact in enumerate(
+        runner.run_iter(targets, quick=not full, seed=seed)
+    ):
+        text = artifact.render()
         if i:
             print()
         print(text)
         chunks.append(text)
-        if not result.metrics.get("reproduced", True):
+        artifacts.append(artifact)
+        if not artifact.reproduced:
             failures += 1
+    total_wall_time_s = perf_counter() - start
     if output is not None:
         with open(output, "w", encoding="utf-8") as fh:
             fh.write("\n\n".join(chunks) + "\n")
+    if json_dir is not None:
+        _write_artifact_dir(
+            json_dir,
+            artifacts,
+            seed=seed,
+            quick=not full,
+            jobs=jobs,
+            total_wall_time_s=total_wall_time_s,
+        )
     return 1 if failures else 0
+
+
+def _write_artifact_dir(
+    json_dir: str,
+    artifacts: list,
+    seed: int,
+    quick: bool,
+    jobs: int,
+    total_wall_time_s: float,
+) -> None:
+    """Write one ``<id>.json`` per artifact plus ``manifest.json``."""
+    import os
+
+    from repro.runtime.manifest import RunManifest
+
+    os.makedirs(json_dir, exist_ok=True)
+    names = {}
+    for artifact in artifacts:
+        name = f"{artifact.experiment_id}.json"
+        names[artifact.experiment_id] = name
+        with open(os.path.join(json_dir, name), "w", encoding="utf-8") as fh:
+            fh.write(artifact.to_json() + "\n")
+    manifest = RunManifest.build(
+        artifacts,
+        seed=seed,
+        quick=quick,
+        jobs=jobs,
+        total_wall_time_s=total_wall_time_s,
+        artifact_names=names,
+    )
+    with open(os.path.join(json_dir, "manifest.json"), "w", encoding="utf-8") as fh:
+        fh.write(manifest.to_json() + "\n")
 
 
 def _cmd_solve(spec_name: str, n: int, dist_text: str) -> int:
@@ -198,7 +276,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":
-            return _cmd_run(args.ids, args.full, args.seed, args.output)
+            return _cmd_run(
+                args.ids,
+                args.full,
+                args.seed,
+                args.output,
+                jobs=args.jobs,
+                json_dir=args.json_dir,
+            )
         if args.command == "show-profile":
             return _cmd_show_profile(args.n)
         if args.command == "solve":

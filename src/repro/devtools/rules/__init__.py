@@ -12,6 +12,7 @@ from repro.devtools.rules.dataclass_rules import FrozenResultRule, MutableDefaul
 from repro.devtools.rules.export_rules import ModuleExportsRule
 from repro.devtools.rules.float_rules import FloatEqualityRule
 from repro.devtools.rules.rng_rules import RngCoerceRule, RngFactoryRule
+from repro.devtools.rules.time_rules import WallclockDisciplineRule
 from repro.devtools.rules.units_rules import UnitsMixingRule
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "RngCoerceRule",
     "RngFactoryRule",
     "UnitsMixingRule",
+    "WallclockDisciplineRule",
 ]

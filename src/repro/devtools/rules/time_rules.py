@@ -1,0 +1,66 @@
+"""Wall-clock discipline rule.
+
+Every timing in the runtime layer (per-experiment ``wall_time_s``, the
+run manifest's totals) must come from ``time.perf_counter()``:
+``time.time()`` is civil wall-clock time, subject to NTP slews and
+backwards jumps, so durations measured with it are not trustworthy
+evidence.  The rule bans referencing ``time.time`` (through any import
+alias) and importing it via ``from time import time`` in library and
+script code; monotonic clocks (``perf_counter``, ``monotonic``,
+``process_time``) and civil-time *formatting* (``datetime``) stay legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.context import ModuleContext
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import LintRule, register_rule
+
+__all__ = ["WallclockDisciplineRule"]
+
+_HINT = (
+    "time.time() is civil wall-clock (NTP can slew it backwards); "
+    "measure durations with time.perf_counter()"
+)
+
+
+def _time_module_aliases(tree: ast.Module) -> set[str]:
+    """Names bound to the ``time`` module (``import time [as t]``)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    aliases.add(alias.asname or "time")
+    return aliases
+
+
+@register_rule
+class WallclockDisciplineRule(LintRule):
+    """Ban ``time.time()`` in measurement paths; use ``perf_counter``."""
+
+    rule_id = "wallclock-discipline"
+    summary = "no time.time() in measurement paths; use time.perf_counter()"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        aliases = _time_module_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        yield self.diag(
+                            ctx,
+                            node,
+                            f"'from time import time' imports the civil "
+                            f"wall clock; {_HINT}",
+                        )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "time"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in aliases
+            ):
+                yield self.diag(ctx, node, _HINT)

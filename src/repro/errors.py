@@ -17,6 +17,7 @@ __all__ = [
     "TraceError",
     "MachineError",
     "ExperimentError",
+    "ArtifactError",
     "LintError",
 ]
 
@@ -52,6 +53,11 @@ class MachineError(ReproError):
 
 class ExperimentError(ReproError):
     """Unknown experiment id or invalid experiment configuration."""
+
+
+class ArtifactError(ReproError):
+    """Invalid run artifact: unserializable payload, unknown schema
+    version, or a malformed artifact/manifest file."""
 
 
 class LintError(ReproError):

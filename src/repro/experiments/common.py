@@ -1,11 +1,18 @@
 """Shared infrastructure for the experiment registry.
 
-Every experiment is a function ``run(quick=True, seed=0) -> ExperimentResult``
+Every experiment is a function ``run(quick=True, seed=0) -> RunArtifact``
 producing one or more printed tables (the paper has no numeric tables, so
 these tables *are* the reproduced artifacts) plus a verdict comparing the
 measured shape against the paper's claim.  ``quick`` trims problem sizes
 and trial counts so the whole suite runs in CI time; the benchmarks run
 the same code under pytest-benchmark.
+
+:class:`ExperimentResult` is the *builder* half of that contract: an
+experiment fills it table-by-table, then :meth:`ExperimentResult.finalize`
+freezes everything into an immutable, schema-versioned
+:class:`~repro.runtime.artifact.RunArtifact` — the only object that
+leaves an experiment.  Rendering lives on the artifact; the builder's
+``render`` delegates so text output is identical either way.
 """
 
 from __future__ import annotations
@@ -13,34 +20,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from repro.util.tables import format_kv, format_table
+from repro.runtime.artifact import ResultTable, RunArtifact
+from repro.runtime.provenance import git_revision, repro_version
 
-__all__ = ["ResultTable", "ExperimentResult"]
-
-
-@dataclass(frozen=True)
-class ResultTable:
-    """One printed table of an experiment."""
-
-    title: str
-    headers: tuple[str, ...]
-    rows: tuple[tuple, ...]
-
-    def render(self, precision: int = 4) -> str:
-        return format_table(self.headers, self.rows, title=self.title,
-                            precision=precision)
+__all__ = ["ResultTable", "ExperimentResult", "RunArtifact"]
 
 
 @dataclass
 # ExperimentResult is the one deliberately mutable *Result type: it is a
-# builder that experiments fill table-by-table before rendering, not a
+# builder that experiments fill table-by-table before finalizing, not a
 # measurement artifact.
 class ExperimentResult:  # repro-lint: disable=frozen-dataclass
-    """Everything an experiment reports.
+    """Everything an experiment reports, in builder form.
 
     ``verdict`` summarizes whether the measured shape matches the paper's
     claim (each experiment documents its criterion); ``metrics`` carries
-    machine-checkable scalars that the test suite asserts on.
+    machine-checkable scalars that the test suite asserts on.  Call
+    :meth:`finalize` to freeze the accumulated state into a
+    :class:`RunArtifact`.
     """
 
     experiment_id: str
@@ -60,24 +57,32 @@ class ExperimentResult:  # repro-lint: disable=frozen-dataclass
             )
         )
 
+    def finalize(
+        self, quick: bool | None = None, seed: int | None = None
+    ) -> RunArtifact:
+        """Freeze the builder into an immutable, provenance-stamped
+        :class:`RunArtifact`.
+
+        ``wall_time_s`` and ``counters`` stay empty here: they belong to
+        the runtime layer (:func:`repro.runtime.run_one`), which wraps
+        the experiment call and attaches them to the finalized artifact.
+        """
+        return RunArtifact(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            claim=self.claim,
+            tables=tuple(self.tables),
+            metrics=dict(self.metrics),
+            verdict=self.verdict,
+            notes=self.notes,
+            seed=seed,
+            quick=quick,
+            repro_version=repro_version(),
+            git_revision=git_revision(),
+        )
+
     def render(self, precision: int = 4) -> str:
-        parts = [
-            f"== {self.experiment_id}: {self.title} ==",
-            f"claim: {self.claim}",
-        ]
-        for table in self.tables:
-            parts.append("")
-            parts.append(table.render(precision=precision))
-        if self.metrics:
-            parts.append("")
-            parts.append(format_kv(self.metrics, precision=precision))
-        if self.notes:
-            parts.append("")
-            parts.append(self.notes)
-        if self.verdict:
-            parts.append("")
-            parts.append(f"verdict: {self.verdict}")
-        return "\n".join(parts)
+        return self.finalize().render(precision=precision)
 
     def __str__(self) -> str:
         return self.render()

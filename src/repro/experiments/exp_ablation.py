@@ -33,7 +33,7 @@ from repro.algorithms.library import MM_SCAN
 from repro.algorithms.spec import ScanPlacement
 from repro.analysis.adaptivity import RatioSeries
 from repro.analysis.smoothing import iid_ratio_trials
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.distributions import UniformPowers
 from repro.profiles.worst_case import matched_worst_case_profile
 from repro.simulation.symbolic import SymbolicSimulator
@@ -57,7 +57,7 @@ def _adversary_ratio(spec, n, model, kappa):
     return rec.adaptivity_ratio
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     ks = range(2, 6 if quick else 8)
     ns = [4**k for k in ks]
@@ -160,4 +160,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "SENSITIVE: see tables"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.algorithms.library import LCS, MERGE_SORT, MM_SCAN
 from repro.analysis.recurrence import solve_recurrence
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.distributions import PointMass, UniformPowers
 from repro.util.fitting import fit_log_law
 
@@ -35,7 +35,7 @@ CLAIM = (
 )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     k_hi = 9 if quick else 12
     ks = list(range(2, k_hi + 1))
@@ -97,4 +97,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MIXED: see table"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

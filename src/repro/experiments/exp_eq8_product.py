@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.algorithms.library import MM_SCAN
 from repro.analysis.feedback import feedback_threshold, verify_negative_feedback
 from repro.analysis.recurrence import solve_recurrence
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.distributions import (
     GeometricPowers,
     ParetoPowers,
@@ -35,7 +35,7 @@ CLAIM = (
 )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     spec = MM_SCAN
     n = 4 ** (6 if quick else 9)
@@ -105,4 +105,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MISMATCH: a product grew beyond the constant envelope"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

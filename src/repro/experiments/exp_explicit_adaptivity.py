@@ -28,7 +28,7 @@ import numpy as np
 from repro.algorithms.library import MM_SCAN
 from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
 from repro.analysis.smoothing import shuffled_worst_case_trials
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.adaptive import run_adaptive
 
@@ -43,7 +43,7 @@ CLAIM = (
 )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     spec = MM_SCAN
     ks = range(2, 6 if quick else 8)
@@ -139,4 +139,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MIXED: see tables"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.algorithms.library import MM_INPLACE, MM_SCAN, SQRT_SCAN
 from repro.analysis.adaptivity import RatioSeries
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.symbolic import SymbolicSimulator
 
@@ -41,7 +41,7 @@ def _ratio_on_worst_case(spec, n: int) -> float:
     return rec.adaptivity_ratio
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     ks = range(2, 7 if quick else 9)
     ns = [4**k for k in ks]
@@ -101,4 +101,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MISMATCH: see slopes"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

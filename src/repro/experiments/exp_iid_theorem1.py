@@ -21,7 +21,7 @@ from __future__ import annotations
 from repro.algorithms.library import MM_SCAN
 from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
 from repro.analysis.recurrence import solve_recurrence
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.distributions import (
     Empirical,
     GeometricPowers,
@@ -54,7 +54,7 @@ def _distributions(quick: bool):
     ]
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     spec = MM_SCAN
     k_lo, k_hi = 2, (10 if quick else 12)
@@ -113,4 +113,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if all_bounded
         else "MISMATCH: some distribution shows growth or MC disagrees"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

@@ -11,7 +11,7 @@ in ``log_4 n``.
 from __future__ import annotations
 
 from repro.algorithms.library import MM_INPLACE, MM_SCAN
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.runner import run_repeated
 from repro.util.fitting import fit_log_law
@@ -27,7 +27,7 @@ CLAIM = (
 )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     ks = range(2, 7 if quick else 9)
     ns = [4**k for k in ks]
@@ -73,4 +73,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if scan_always_one and inplace_log
         else "MISMATCH: see counts"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

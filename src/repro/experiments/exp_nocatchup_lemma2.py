@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.algorithms.library import MM_SCAN, STRASSEN
 from repro.analysis.nocatchup import check_no_catchup
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.distributions import UniformPowers
 from repro.profiles.worst_case import worst_case_profile
 from repro.util.rng import as_generator
@@ -29,7 +29,7 @@ CLAIM = (
 )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     samples = 48 if quick else 256
     n = 4**4 if quick else 4**6
@@ -75,4 +75,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if all_hold
         else "MISMATCH: violations found"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.algorithms.library import MM_SCAN, STRASSEN
 from repro.analysis.potential import max_progress, measured_potential
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.util.fitting import fit_power_law
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
@@ -25,7 +25,7 @@ CLAIM = (
 )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     samples = 128 if quick else 1024
     n_k = 6 if quick else 8
@@ -66,4 +66,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MISMATCH: see tables"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

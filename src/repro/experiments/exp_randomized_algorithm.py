@@ -30,7 +30,7 @@ from repro.algorithms.randomized import (
     random_split_placement,
 )
 from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.symbolic import SymbolicSimulator
 from repro.util.rng import fixed_seeds
@@ -70,7 +70,7 @@ def _mean_ratio(spec, n, factory, trials, seed, completion_divisor):
     return float(np.mean(vals)), float(np.max(vals))
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     spec = MM_SCAN
     ks = range(2, 6 if quick else 8)
@@ -123,4 +123,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MIXED: some randomizer still shows growth"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.algorithms.library import MM_SCAN
 from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.generators import random_walk_profile, winner_take_all_profile
 from repro.profiles.reduction import squarify
 from repro.simulation.symbolic import SymbolicSimulator
@@ -58,7 +58,7 @@ def _profiles_for(n: int, seed: int):
         )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     spec = MM_SCAN
     ks = range(3, 7 if quick else 9)
@@ -100,4 +100,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MISMATCH: a natural pattern shows growth"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

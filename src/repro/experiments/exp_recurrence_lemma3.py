@@ -21,7 +21,7 @@ from repro.analysis.recurrence import (
     scan_boxes_bounds,
     solve_recurrence,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.distributions import GeometricPowers, ParetoPowers, UniformPowers
 from repro.simulation.montecarlo import estimate, sample_boxes_to_complete
 from repro.simulation.symbolic import SymbolicSimulator
@@ -55,7 +55,7 @@ def _empirical_q(spec, n, dist, trials, rng) -> float:
     return hits / trials
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     trials = 400 if quick else 3000
     hi = 5 if quick else 6
@@ -121,4 +121,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MISMATCH: see tables"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

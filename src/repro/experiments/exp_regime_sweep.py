@@ -22,7 +22,7 @@ from repro.algorithms.library import (
 )
 from repro.algorithms.spec import RegularSpec
 from repro.analysis.adaptivity import RatioSeries
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.symbolic import SymbolicSimulator
 
@@ -47,7 +47,7 @@ def _adversary_ratio(spec: RegularSpec, n: int) -> float:
     return rec.adaptivity_ratio
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     specs = [
         MM_SCAN,
@@ -107,4 +107,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MISMATCH: see table"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

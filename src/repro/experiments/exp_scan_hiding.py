@@ -21,7 +21,7 @@ from repro.algorithms.scan_hiding import (
     transform,
 )
 from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.symbolic import SymbolicSimulator
 
@@ -35,7 +35,7 @@ CLAIM = (
 )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     spec = MM_SCAN
     hidden = transform(spec)
@@ -84,4 +84,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MISMATCH: see series"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

@@ -15,7 +15,7 @@ import numpy as np
 from repro.algorithms.library import MM_SCAN
 from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
 from repro.analysis.smoothing import start_shift_trials
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
 
@@ -27,7 +27,7 @@ CLAIM = (
 )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     spec = MM_SCAN
     ks = range(3, 6 if quick else 8)
@@ -79,4 +79,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MISMATCH: shifting flattened the ratio"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

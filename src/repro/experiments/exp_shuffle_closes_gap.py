@@ -18,7 +18,7 @@ from repro.algorithms.library import MM_SCAN
 from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
 from repro.analysis.recurrence import solve_recurrence
 from repro.analysis.smoothing import shuffled_worst_case_trials
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.distributions import Empirical
 from repro.profiles.worst_case import worst_case_profile
 
@@ -32,7 +32,7 @@ CLAIM = (
 )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     spec = MM_SCAN
     ks = range(3, 6 if quick else 8)
@@ -101,4 +101,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MISMATCH: see classification"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

@@ -16,7 +16,7 @@ import numpy as np
 from repro.algorithms.library import MM_SCAN
 from repro.analysis.adaptivity import RatioSeries, worst_case_ratio
 from repro.analysis.smoothing import size_perturbation_trials
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.perturbations import uniform_multipliers
 
 __all__ = ["EXPERIMENT_ID", "TITLE", "CLAIM", "run"]
@@ -29,7 +29,7 @@ CLAIM = (
 )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     spec = MM_SCAN
     ks = range(3, 6 if quick else 8)
@@ -84,4 +84,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MISMATCH: perturbation flattened the ratio"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

@@ -21,7 +21,7 @@ from repro.algorithms.library import MM_SCAN
 from repro.algorithms.mm import mm_inplace, mm_scan
 from repro.algorithms.spec import RegularSpec
 from repro.algorithms.traces import synthetic_trace
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.machine.dam import simulate_dam
 from repro.machine.square_machine import run_trace_on_boxes
 from repro.profiles.worst_case import worst_case_profile
@@ -38,7 +38,7 @@ CLAIM = (
 )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     ok = True
 
@@ -135,4 +135,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         if ok
         else "MISMATCH: see tables"
     )
-    return result
+    return result.finalize(quick=quick, seed=seed)

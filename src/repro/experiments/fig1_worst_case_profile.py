@@ -12,7 +12,7 @@ and renders the profile's shape as a terminal sparkline.
 from __future__ import annotations
 
 from repro.algorithms.library import MM_SCAN
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunArtifact
 from repro.profiles.worst_case import (
     worst_case_box_count,
     worst_case_potential,
@@ -32,7 +32,7 @@ CLAIM = (
 )
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0) -> RunArtifact:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, CLAIM)
     spec = MM_SCAN
     ns = [4**k for k in range(2, 6 if quick else 8)]
@@ -105,4 +105,4 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         else "MISMATCH: see table"
     )
     result.metrics["reproduced"] = ok
-    return result
+    return result.finalize(quick=quick, seed=seed)

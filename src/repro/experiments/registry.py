@@ -1,9 +1,10 @@
 """Experiment registry: every claim of the paper, runnable by id.
 
 ``EXPERIMENTS`` maps ids to modules exposing
-``run(quick=True, seed=0) -> ExperimentResult``; the CLI
-(``python -m repro``) and the benchmark suite drive everything through
-:func:`run_experiment`.
+``run(quick=True, seed=0) -> RunArtifact``.  The registry itself is pure
+dispatch; timing, instrumentation, and parallel execution live in
+:mod:`repro.runtime.runner`, which the CLI (``python -m repro``), the
+benchmark suite, and :func:`run_all` all share.
 """
 
 from __future__ import annotations
@@ -35,7 +36,7 @@ from repro.experiments import (
     exp_trace_crosscheck,
     fig1_worst_case_profile,
 )
-from repro.experiments.common import ExperimentResult
+from repro.runtime.artifact import RunArtifact
 
 __all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "run_all"]
 
@@ -47,7 +48,7 @@ class Experiment:
     experiment_id: str
     title: str
     claim: str
-    runner: Callable[..., ExperimentResult]
+    runner: Callable[..., RunArtifact]
 
 
 def _register(module: ModuleType) -> Experiment:
@@ -89,8 +90,13 @@ EXPERIMENTS: dict[str, Experiment] = {
 
 def run_experiment(
     experiment_id: str, quick: bool = True, seed: int = 0
-) -> ExperimentResult:
-    """Run one experiment by id."""
+) -> RunArtifact:
+    """Run one experiment by id (plain dispatch, no instrumentation).
+
+    Prefer :func:`repro.runtime.run_one` when timings and counters
+    matter; this entry point exists for callers that only need the
+    artifact's tables/metrics/verdict.
+    """
     try:
         exp = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -100,8 +106,16 @@ def run_experiment(
     return exp.runner(quick=quick, seed=seed)
 
 
-def run_all(quick: bool = True, seed: int = 0) -> dict[str, ExperimentResult]:
-    """Run the whole registry (in registration order)."""
+def run_all(
+    quick: bool = True, seed: int = 0, jobs: int = 1
+) -> dict[str, RunArtifact]:
+    """Run the whole registry (in registration order) through the runtime
+    runner; ``jobs > 1`` fans experiments over a process pool with
+    bit-identical results at any worker count."""
+    from repro.runtime.runner import ExperimentRunner
+
+    runner = ExperimentRunner(jobs=jobs)
     return {
-        eid: exp.runner(quick=quick, seed=seed) for eid, exp in EXPERIMENTS.items()
+        artifact.experiment_id: artifact
+        for artifact in runner.run_iter(quick=quick, seed=seed)
     }

@@ -1,0 +1,222 @@
+"""Schema-versioned, immutable experiment artifacts.
+
+A :class:`RunArtifact` is the machine-readable record of one experiment
+run: the claim it tested, the tables it printed, the machine-checkable
+metrics, the verdict, and the run's provenance (seed, configuration,
+wall time, instrumentation counters, package version, git revision).
+Artifacts are frozen — they are evidence for a theorem and never change
+after the run that produced them — and round-trip losslessly through
+JSON (``to_json``/``from_json``), so a run can be archived, diffed, and
+re-verified without re-executing anything.
+
+``SCHEMA_VERSION`` is bumped whenever the serialized layout changes;
+``from_dict`` refuses versions it does not understand rather than
+guessing.  The rendered text (:meth:`RunArtifact.render`) is the
+canonical human-readable report and is kept byte-compatible with the
+historical ``ExperimentResult`` rendering.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ArtifactError
+from repro.util.tables import format_kv, format_table
+
+__all__ = ["SCHEMA_VERSION", "ResultTable", "RunArtifact"]
+
+SCHEMA_VERSION = 1
+
+
+def _jsonify(value: Any, where: str) -> Any:
+    """Coerce ``value`` to plain JSON-serializable Python, or raise.
+
+    Numpy scalars become their Python equivalents; tuples become lists
+    (JSON has no tuple).  Anything else non-primitive is refused loudly:
+    an artifact that cannot round-trip is not an artifact.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v, where) for v in value]
+    if isinstance(value, Mapping):
+        out = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise ArtifactError(
+                    f"non-string key {k!r} in {where} cannot be serialized"
+                )
+            out[k] = _jsonify(v, f"{where}[{k!r}]")
+        return out
+    raise ArtifactError(
+        f"value of type {type(value).__name__} in {where} is not "
+        "JSON-serializable; artifacts carry only scalars, strings, lists, "
+        "and string-keyed mappings"
+    )
+
+
+@dataclass(frozen=True)
+class ResultTable:
+    """One printed table of an experiment."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+
+    def render(self, precision: int = 4) -> str:
+        return format_table(self.headers, self.rows, title=self.title,
+                            precision=precision)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": _jsonify(self.rows, f"table {self.title!r}"),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ResultTable":
+        try:
+            return cls(
+                title=payload["title"],
+                headers=tuple(payload["headers"]),
+                rows=tuple(tuple(row) for row in payload["rows"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ArtifactError(f"malformed table payload: {exc}") from None
+
+
+@dataclass(frozen=True)
+class RunArtifact:
+    """The immutable, serializable record of one experiment run.
+
+    ``metrics`` carries the machine-checkable scalars the test suite
+    asserts on (``reproduced`` above all); ``tables`` are the printed
+    reproduction evidence; ``verdict`` is the one-line judgement.
+    ``wall_time_s`` and ``counters`` are filled by the runtime layer
+    (``None``/empty when the artifact was finalized outside a runner);
+    ``repro_version``/``git_revision`` stamp provenance.
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    tables: tuple[ResultTable, ...] = ()
+    metrics: dict[str, Any] = field(default_factory=dict)
+    verdict: str = ""
+    notes: str = ""
+    seed: int | None = None
+    quick: bool | None = None
+    wall_time_s: float | None = None
+    counters: dict[str, int | float] = field(default_factory=dict)
+    repro_version: str = ""
+    git_revision: str | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    # -- rendering (byte-compatible with the pre-runtime text reports) --
+    def render(self, precision: int = 4) -> str:
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"claim: {self.claim}",
+        ]
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.render(precision=precision))
+        if self.metrics:
+            parts.append("")
+            parts.append(format_kv(self.metrics, precision=precision))
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        if self.verdict:
+            parts.append("")
+            parts.append(f"verdict: {self.verdict}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    @property
+    def reproduced(self) -> bool:
+        """The headline pass/fail: absent metric counts as reproduced,
+        matching the CLI's historical failure accounting."""
+        return bool(self.metrics.get("reproduced", True))
+
+    def without_timing(self) -> "RunArtifact":
+        """A copy with the non-deterministic field (wall time) cleared —
+        the payload that must be identical across worker counts."""
+        return replace(self, wall_time_s=None)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "claim": self.claim,
+            "tables": [table.to_dict() for table in self.tables],
+            "metrics": _jsonify(self.metrics, "metrics"),
+            "verdict": self.verdict,
+            "notes": self.notes,
+            "seed": self.seed,
+            "quick": self.quick,
+            "wall_time_s": self.wall_time_s,
+            "counters": _jsonify(self.counters, "counters"),
+            "repro_version": self.repro_version,
+            "git_revision": self.git_revision,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunArtifact":
+        version = payload.get("schema_version")
+        if not isinstance(version, int) or not 1 <= version <= SCHEMA_VERSION:
+            raise ArtifactError(
+                f"unsupported artifact schema_version {version!r}; "
+                f"this build reads versions 1..{SCHEMA_VERSION}"
+            )
+        try:
+            return cls(
+                experiment_id=payload["experiment_id"],
+                title=payload["title"],
+                claim=payload["claim"],
+                tables=tuple(
+                    ResultTable.from_dict(t) for t in payload.get("tables", [])
+                ),
+                metrics=dict(payload.get("metrics", {})),
+                verdict=payload.get("verdict", ""),
+                notes=payload.get("notes", ""),
+                seed=payload.get("seed"),
+                quick=payload.get("quick"),
+                wall_time_s=payload.get("wall_time_s"),
+                counters=dict(payload.get("counters", {})),
+                repro_version=payload.get("repro_version", ""),
+                git_revision=payload.get("git_revision"),
+                schema_version=version,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ArtifactError(f"malformed artifact payload: {exc}") from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunArtifact":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"artifact is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ArtifactError(
+                f"artifact JSON must be an object, got {type(payload).__name__}"
+            )
+        return cls.from_dict(payload)

@@ -1,0 +1,82 @@
+"""Lightweight per-run instrumentation counters.
+
+The runtime layer wants to report *how much work* an experiment did —
+simulator runs, boxes consumed, Monte-Carlo estimates and trials — next
+to its wall time, without threading an accounting object through every
+call signature.  This module provides the minimal alternative: a stack
+of active :class:`Counters` collectors and a module-level :func:`record`
+that the measurement substrates (``simulation.symbolic``,
+``simulation.montecarlo``) call at the point where a ``RunRecord`` or
+``MCEstimate`` is produced.  When no collector is active, :func:`record`
+is a no-op costing one truthiness check, so library users outside the
+experiment runner pay nothing.
+
+Counters are per-process: trials that an experiment itself fans out to a
+nested process pool (``estimate_expected_cost(..., n_jobs>1)``) are
+counted in the child processes and not surfaced here.  The experiment
+runner collects inside the worker process that executes the experiment,
+so the registry path always sees accurate counts for the default
+in-process configuration.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Counters", "collect", "record"]
+
+
+class Counters:
+    """A bag of named, monotonically accumulating counters."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data: dict[str, int | float] = {}
+
+    def add(self, name: str, amount: int | float = 1) -> None:
+        self._data[name] = self._data.get(name, 0) + amount
+
+    def get(self, name: str) -> int | float:
+        return self._data.get(name, 0)
+
+    def as_dict(self) -> dict[str, int | float]:
+        """Snapshot, sorted by counter name for stable serialization."""
+        return {name: self._data[name] for name in sorted(self._data)}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({self.as_dict()!r})"
+
+
+# The active collectors, innermost last.  A plain module-level list (not
+# a contextvar): collection is per-process and the runner collects around
+# a synchronous call, so re-entrancy is the only shape that matters.
+_STACK: list[Counters] = []
+
+
+def record(name: str, amount: int | float = 1) -> None:
+    """Add ``amount`` to counter ``name`` in every active collector.
+
+    No-op when no :func:`collect` context is active.  Recording into all
+    stacked collectors lets an outer aggregate (e.g. a whole-suite
+    collector) see work counted by inner per-experiment collectors too.
+    """
+    if not _STACK:
+        return
+    for counters in _STACK:
+        counters.add(name, amount)
+
+
+@contextmanager
+def collect() -> Iterator[Counters]:
+    """Activate a fresh :class:`Counters` for the duration of the block."""
+    counters = Counters()
+    _STACK.append(counters)
+    try:
+        yield counters
+    finally:
+        _STACK.remove(counters)

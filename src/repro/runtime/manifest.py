@@ -1,0 +1,175 @@
+"""The run manifest: one JSON summary of a whole registry run.
+
+Where :class:`~repro.runtime.artifact.RunArtifact` records one
+experiment, the manifest records the *run*: which experiments executed
+under which configuration (seed, quick/full, worker count), how long
+each took, the instrumentation counters each accumulated, and the
+aggregate timing that makes parallel speedup visible —
+``experiment_wall_time_s`` is the sum of per-experiment wall times while
+``total_wall_time_s`` is the elapsed wall time of the whole run, so
+``speedup = experiment_wall_time_s / total_wall_time_s`` exceeds 1 when
+``jobs > 1`` buys real overlap.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ArtifactError
+from repro.runtime.artifact import SCHEMA_VERSION, RunArtifact, _jsonify
+
+__all__ = ["ManifestEntry", "RunManifest"]
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """Per-experiment line of the manifest."""
+
+    experiment_id: str
+    verdict: str
+    reproduced: bool
+    wall_time_s: float | None
+    counters: dict[str, int | float] = field(default_factory=dict)
+    artifact: str | None = None  # file name of the sibling artifact JSON
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "verdict": self.verdict,
+            "reproduced": self.reproduced,
+            "wall_time_s": self.wall_time_s,
+            "counters": _jsonify(self.counters, "counters"),
+            "artifact": self.artifact,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ManifestEntry":
+        try:
+            return cls(
+                experiment_id=payload["experiment_id"],
+                verdict=payload.get("verdict", ""),
+                reproduced=payload.get("reproduced", True),
+                wall_time_s=payload.get("wall_time_s"),
+                counters=dict(payload.get("counters", {})),
+                artifact=payload.get("artifact"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ArtifactError(f"malformed manifest entry: {exc}") from None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Summary of one runner invocation over a set of experiments."""
+
+    seed: int
+    quick: bool
+    jobs: int
+    total_wall_time_s: float | None
+    entries: tuple[ManifestEntry, ...] = ()
+    repro_version: str = ""
+    git_revision: str | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def build(
+        cls,
+        artifacts: Sequence[RunArtifact],
+        seed: int,
+        quick: bool,
+        jobs: int,
+        total_wall_time_s: float | None = None,
+        artifact_names: Mapping[str, str] | None = None,
+    ) -> "RunManifest":
+        names = artifact_names or {}
+        entries = tuple(
+            ManifestEntry(
+                experiment_id=a.experiment_id,
+                verdict=a.verdict,
+                reproduced=a.reproduced,
+                wall_time_s=a.wall_time_s,
+                counters=dict(a.counters),
+                artifact=names.get(a.experiment_id),
+            )
+            for a in artifacts
+        )
+        version = artifacts[0].repro_version if artifacts else ""
+        revision = artifacts[0].git_revision if artifacts else None
+        return cls(
+            seed=seed,
+            quick=quick,
+            jobs=jobs,
+            total_wall_time_s=total_wall_time_s,
+            entries=entries,
+            repro_version=version,
+            git_revision=revision,
+        )
+
+    @property
+    def experiment_wall_time_s(self) -> float:
+        """Sum of per-experiment wall times (the serial-equivalent cost)."""
+        return sum(e.wall_time_s or 0.0 for e in self.entries)
+
+    @property
+    def speedup(self) -> float | None:
+        """Serial-equivalent time over elapsed time; >1 means the worker
+        pool overlapped real work.  ``None`` until timings exist."""
+        if not self.total_wall_time_s or self.total_wall_time_s <= 0:
+            return None
+        return self.experiment_wall_time_s / self.total_wall_time_s
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "seed": self.seed,
+            "quick": self.quick,
+            "jobs": self.jobs,
+            "total_wall_time_s": self.total_wall_time_s,
+            "experiment_wall_time_s": self.experiment_wall_time_s,
+            "speedup": self.speedup,
+            "repro_version": self.repro_version,
+            "git_revision": self.git_revision,
+            "experiments": [entry.to_dict() for entry in self.entries],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunManifest":
+        version = payload.get("schema_version")
+        if not isinstance(version, int) or not 1 <= version <= SCHEMA_VERSION:
+            raise ArtifactError(
+                f"unsupported manifest schema_version {version!r}; "
+                f"this build reads versions 1..{SCHEMA_VERSION}"
+            )
+        try:
+            return cls(
+                seed=payload["seed"],
+                quick=payload["quick"],
+                jobs=payload["jobs"],
+                total_wall_time_s=payload.get("total_wall_time_s"),
+                entries=tuple(
+                    ManifestEntry.from_dict(e)
+                    for e in payload.get("experiments", [])
+                ),
+                repro_version=payload.get("repro_version", ""),
+                git_revision=payload.get("git_revision"),
+                schema_version=version,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ArtifactError(f"malformed manifest payload: {exc}") from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"manifest is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ArtifactError(
+                f"manifest JSON must be an object, got {type(payload).__name__}"
+            )
+        return cls.from_dict(payload)

@@ -1,0 +1,40 @@
+"""Provenance stamps for run artifacts: package version and git revision.
+
+Artifacts are only evidence if they say what produced them.  Both lookups
+are cached per process: the version never changes within a run and the
+``git`` subprocess call is too slow to repeat per experiment.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = ["repro_version", "git_revision"]
+
+
+def repro_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+@lru_cache(maxsize=1)
+def git_revision() -> str | None:
+    """Short git revision of the source tree, or ``None`` when the
+    package runs outside a git checkout (installed wheel, sdist)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    revision = proc.stdout.strip()
+    return revision or None

@@ -1,0 +1,121 @@
+"""The experiment runner: one instrumented path for every execution.
+
+All three consumers of the registry — the CLI, the test suite, and the
+pytest-benchmark suite — drive experiments through this module, so
+timing, instrumentation, and artifact finalization can never drift
+between them.  :func:`run_one` executes a single experiment under a
+``perf_counter`` timer and a :mod:`~repro.runtime.instrumentation`
+collector; :class:`ExperimentRunner` fans a list of experiments over a
+``ProcessPoolExecutor`` (``jobs > 1``) while preserving registration
+order in the results.
+
+Determinism across worker counts is by construction: every experiment is
+a pure function of ``(quick, seed)`` with its own RNG stream derived
+from the seed (the ``util.rng`` discipline), so no state is shared
+between experiments and scheduling cannot influence results — only
+``wall_time_s`` differs between ``jobs=1`` and ``jobs=N`` runs (compare
+with :meth:`RunArtifact.without_timing`).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+from repro.errors import ExperimentError
+from repro.runtime import instrumentation
+from repro.runtime.artifact import RunArtifact
+
+__all__ = ["run_one", "ExperimentRunner"]
+
+
+def _resolve_ids(ids: Sequence[str] | None) -> list[str]:
+    """Expand ``None``/``["all"]`` to the full registry, validating early
+    so a parallel run fails before any worker is spawned."""
+    from repro.experiments.registry import EXPERIMENTS
+
+    if ids is None or list(ids) == ["all"]:
+        return list(EXPERIMENTS)
+    unknown = [eid for eid in ids if eid not in EXPERIMENTS]
+    if unknown:
+        raise ExperimentError(
+            f"unknown experiment {unknown[0]!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return list(ids)
+
+
+def run_one(experiment_id: str, quick: bool = True, seed: int = 0) -> RunArtifact:
+    """Run one experiment with timing and instrumentation attached.
+
+    This is the single execution path: it dispatches through the
+    registry, measures wall time with ``perf_counter``, collects the
+    box/trial counters the simulation layer records, and returns the
+    finalized :class:`RunArtifact`.  Top-level (picklable) so process
+    pools can call it directly.
+    """
+    from repro.experiments.registry import EXPERIMENTS
+
+    try:
+        exp = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    with instrumentation.collect() as counters:
+        start = time.perf_counter()
+        artifact = exp.runner(quick=quick, seed=seed)
+        elapsed = time.perf_counter() - start
+    if not isinstance(artifact, RunArtifact):
+        raise ExperimentError(
+            f"experiment {experiment_id!r} returned "
+            f"{type(artifact).__name__}; experiments must finalize into a "
+            "RunArtifact (ExperimentResult.finalize)"
+        )
+    return replace(artifact, wall_time_s=elapsed, counters=counters.as_dict())
+
+
+@dataclass(frozen=True)
+class ExperimentRunner:
+    """Run registry experiments, optionally across a process pool.
+
+    ``jobs=1`` executes in-process; ``jobs>1`` submits each experiment to
+    a ``ProcessPoolExecutor`` and yields results in submission order, so
+    rendered output is byte-identical at any worker count.
+    """
+
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {self.jobs}")
+
+    def run_iter(
+        self,
+        ids: Sequence[str] | None = None,
+        quick: bool = True,
+        seed: int = 0,
+    ) -> Iterator[RunArtifact]:
+        """Yield one finalized artifact per experiment, in request order."""
+        targets = _resolve_ids(ids)
+        if self.jobs == 1 or len(targets) <= 1:
+            for eid in targets:
+                yield run_one(eid, quick=quick, seed=seed)
+            return
+        workers = min(self.jobs, len(targets))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(run_one, eid, quick, seed) for eid in targets
+            ]
+            for future in futures:
+                yield future.result()
+
+    def run(
+        self,
+        ids: Sequence[str] | None = None,
+        quick: bool = True,
+        seed: int = 0,
+    ) -> list[RunArtifact]:
+        """Like :meth:`run_iter`, collected into a list."""
+        return list(self.run_iter(ids, quick=quick, seed=seed))

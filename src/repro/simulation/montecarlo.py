@@ -26,6 +26,7 @@ from concurrent.futures import ProcessPoolExecutor
 from repro.errors import SimulationError
 from repro.algorithms.spec import RegularSpec
 from repro.profiles.distributions import BoxDistribution
+from repro.runtime.instrumentation import record as _record
 from repro.simulation.symbolic import SymbolicSimulator
 from repro.util.rng import fixed_seeds, spawn
 
@@ -78,6 +79,8 @@ def estimate(
         raise SimulationError(f"confidence must be in (0,1), got {confidence}")
     gens = spawn(rng, trials)
     values = np.asarray([float(sample_fn(g)) for g in gens], dtype=np.float64)
+    _record("mc.estimates")
+    _record("mc.trials", trials)
     return MCEstimate(
         mean=float(values.mean()),
         std=float(values.std(ddof=1)) if trials > 1 else 0.0,
@@ -155,6 +158,7 @@ def estimate_expected_cost(
             ratios[i] = rec.adaptivity_ratio
 
     def mk(values: np.ndarray) -> MCEstimate:
+        _record("mc.estimates")
         return MCEstimate(
             mean=float(values.mean()),
             std=float(values.std(ddof=1)) if trials > 1 else 0.0,
@@ -162,4 +166,5 @@ def estimate_expected_cost(
             confidence=confidence,
         )
 
+    _record("mc.trials", trials)
     return mk(boxes), mk(ratios)

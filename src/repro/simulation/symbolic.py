@@ -28,6 +28,7 @@ from repro.errors import SimulationError
 from repro.algorithms.cursor import BoxOutcome, ExecutionCursor
 from repro.algorithms.spec import RegularSpec
 from repro.profiles.square import SquareProfile, as_box_iter
+from repro.runtime.instrumentation import record as _record
 
 __all__ = ["RunRecord", "SymbolicSimulator"]
 
@@ -182,6 +183,8 @@ class SymbolicSimulator:
             if record_boxes:
                 sizes.append(s)
                 progress.append(out.leaves)
+        _record("sim.runs")
+        _record("sim.boxes", boxes_used)
         return RunRecord(
             spec=self.spec,
             n=n,

@@ -391,6 +391,89 @@ class TestModuleExports:
         )
 
 
+# ---------------------------------------------------- wallclock-discipline
+class TestWallclockDiscipline:
+    def test_time_time_call_fires(self):
+        diags = lint(
+            """
+            import time
+
+            t0 = time.time()
+            """,
+            rules=["wallclock-discipline"],
+        )
+        assert rule_ids(diags) == ["wallclock-discipline"]
+        assert diags[0].line == 4
+
+    def test_from_time_import_time_fires(self):
+        diags = lint("from time import time\n", rules=["wallclock-discipline"])
+        assert rule_ids(diags) == ["wallclock-discipline"]
+
+    def test_aliased_module_tracked(self):
+        diags = lint(
+            """
+            import time as clock
+
+            start = clock.time()
+            """,
+            rules=["wallclock-discipline"],
+        )
+        assert rule_ids(diags) == ["wallclock-discipline"]
+
+    def test_bare_reference_fires_without_call(self):
+        diags = lint(
+            """
+            import time
+
+            timer = time.time
+            """,
+            rules=["wallclock-discipline"],
+        )
+        assert rule_ids(diags) == ["wallclock-discipline"]
+
+    def test_good_perf_counter_quiet(self):
+        diags = lint(
+            """
+            import time
+
+            t0 = time.perf_counter()
+            dt = time.perf_counter() - t0
+            m = time.monotonic()
+            """,
+            rules=["wallclock-discipline"],
+        )
+        assert diags == []
+
+    def test_from_time_import_perf_counter_quiet(self):
+        diags = lint(
+            "from time import monotonic, perf_counter\n",
+            rules=["wallclock-discipline"],
+        )
+        assert diags == []
+
+    def test_unrelated_time_attribute_quiet(self):
+        diags = lint(
+            """
+            class Clock:
+                def time(self):
+                    return 0
+
+            value = Clock().time()
+            total_time = profile.total_time
+            """,
+            rules=["wallclock-discipline"],
+        )
+        assert diags == []
+
+    def test_applies_to_scripts_too(self):
+        diags = lint(
+            "import time\n\nt = time.time()\n",
+            path=SCRIPT,
+            rules=["wallclock-discipline"],
+        )
+        assert rule_ids(diags) == ["wallclock-discipline"]
+
+
 # ------------------------------------------------- each bad fixture, exactly
 # one rule: running the FULL rule set over each snippet must produce only the
 # intended rule id (the acceptance criterion for deliberately-seeded bugs).
@@ -406,6 +489,7 @@ SEEDED_VIOLATIONS = {
     ),
     "mutable-default": (SCRIPT, "def collect(items=[]):\n    return items\n"),
     "module-exports": (LIB, '__all__ = ["missing"]\n'),
+    "wallclock-discipline": (SCRIPT, "import time\n\nt0 = time.time()\n"),
 }
 
 

@@ -15,6 +15,16 @@ class TestParser:
         assert args.ids == ["fig1", "gap"]
         assert args.full and args.seed == 3
 
+    def test_run_defaults_jobs_and_json(self):
+        args = build_parser().parse_args(["run", "fig1"])
+        assert args.jobs == 1 and args.json_dir is None
+
+    def test_run_jobs_and_json_flags(self):
+        args = build_parser().parse_args(
+            ["run", "all", "--jobs", "4", "--json", "artifacts"]
+        )
+        assert args.jobs == 4 and args.json_dir == "artifacts"
+
     def test_show_profile(self):
         args = build_parser().parse_args(["show-profile", "64"])
         assert args.n == 64
@@ -56,6 +66,47 @@ class TestOutputFile:
         assert main(["run", "fig1", "-o", str(out)]) == 0
         text = out.read_text()
         assert "fig1" in text and "REPRODUCED" in text
+
+    def test_report_file_matches_stdout(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main(["run", "fig1", "mmcount", "-o", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert out.read_text() == printed
+
+
+class TestJsonArtifacts:
+    def test_json_dir_written(self, tmp_path, capsys):
+        from repro.runtime import RunArtifact, RunManifest
+
+        art_dir = tmp_path / "artifacts"
+        assert main(["run", "fig1", "--json", str(art_dir)]) == 0
+        artifact = RunArtifact.from_json((art_dir / "fig1.json").read_text())
+        assert artifact.experiment_id == "fig1"
+        assert artifact.reproduced and artifact.wall_time_s > 0
+        manifest = RunManifest.from_json((art_dir / "manifest.json").read_text())
+        assert manifest.jobs == 1 and manifest.seed == 0 and manifest.quick
+        assert [e.experiment_id for e in manifest.entries] == ["fig1"]
+        assert manifest.entries[0].artifact == "fig1.json"
+        assert manifest.total_wall_time_s > 0
+
+    def test_json_with_jobs(self, tmp_path, capsys):
+        from repro.runtime import RunManifest
+
+        art_dir = tmp_path / "artifacts"
+        assert main(
+            ["run", "fig1", "mmcount", "--jobs", "2", "--json", str(art_dir)]
+        ) == 0
+        manifest = RunManifest.from_json((art_dir / "manifest.json").read_text())
+        assert manifest.jobs == 2
+        assert {e.experiment_id for e in manifest.entries} == {"fig1", "mmcount"}
+        assert (art_dir / "mmcount.json").exists()
+
+    def test_text_output_independent_of_jobs(self, tmp_path, capsys):
+        assert main(["run", "fig1", "mmcount"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "fig1", "mmcount", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
 
 
 class TestPackageInit:

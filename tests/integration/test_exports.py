@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.machine",
     "repro.simulation",
     "repro.analysis",
+    "repro.runtime",
 ]
 
 

@@ -1,0 +1,65 @@
+"""Unit tests for the per-run instrumentation counters."""
+
+from repro.runtime.instrumentation import Counters, collect, record
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        c = Counters()
+        c.add("a")
+        c.add("a", 2)
+        c.add("b", 0.5)
+        assert c.get("a") == 3
+        assert c.get("b") == 0.5
+        assert c.get("missing") == 0
+
+    def test_as_dict_sorted(self):
+        c = Counters()
+        c.add("z")
+        c.add("a")
+        assert list(c.as_dict()) == ["a", "z"]
+
+
+class TestCollect:
+    def test_record_outside_collect_is_noop(self):
+        record("orphan", 5)  # must not raise or leak anywhere
+
+    def test_collect_captures_records(self):
+        with collect() as counters:
+            record("sim.runs")
+            record("sim.boxes", 40)
+        assert counters.as_dict() == {"sim.boxes": 40, "sim.runs": 1}
+
+    def test_nested_collectors_both_see_records(self):
+        with collect() as outer:
+            record("a")
+            with collect() as inner:
+                record("a", 2)
+        assert inner.get("a") == 2
+        assert outer.get("a") == 3
+
+    def test_collector_deactivated_after_exit(self):
+        with collect() as counters:
+            record("a")
+        record("a")
+        assert counters.get("a") == 1
+
+    def test_simulation_layer_records(self):
+        from repro.algorithms.library import MM_SCAN
+        from repro.profiles.worst_case import worst_case_profile
+        from repro.simulation.symbolic import SymbolicSimulator
+
+        n = 4**4
+        profile = worst_case_profile(8, 4, n)
+        with collect() as counters:
+            SymbolicSimulator(MM_SCAN, n).run(profile)
+        assert counters.get("sim.runs") == 1
+        assert counters.get("sim.boxes") > 0
+
+    def test_montecarlo_layer_records(self):
+        from repro.simulation.montecarlo import estimate
+
+        with collect() as counters:
+            estimate(lambda gen: float(gen.random()), trials=5, rng=0)
+        assert counters.get("mc.estimates") == 1
+        assert counters.get("mc.trials") == 5

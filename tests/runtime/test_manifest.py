@@ -1,0 +1,84 @@
+"""Unit tests for the run manifest."""
+
+import pytest
+
+from repro.errors import ArtifactError
+from repro.runtime.artifact import RunArtifact
+from repro.runtime.manifest import ManifestEntry, RunManifest
+
+
+def artifact(eid: str, wall: float, reproduced: bool = True) -> RunArtifact:
+    return RunArtifact(
+        experiment_id=eid,
+        title=f"title {eid}",
+        claim="claim",
+        metrics={"reproduced": reproduced},
+        verdict="REPRODUCED" if reproduced else "MISMATCH",
+        seed=0,
+        quick=True,
+        wall_time_s=wall,
+        counters={"sim.runs": 2},
+        repro_version="1.0.0",
+        git_revision="abc1234",
+    )
+
+
+class TestBuild:
+    def test_entries_follow_artifacts(self):
+        manifest = RunManifest.build(
+            [artifact("a", 1.0), artifact("b", 3.0, reproduced=False)],
+            seed=0,
+            quick=True,
+            jobs=2,
+            total_wall_time_s=2.5,
+            artifact_names={"a": "a.json", "b": "b.json"},
+        )
+        assert [e.experiment_id for e in manifest.entries] == ["a", "b"]
+        assert manifest.entries[0].artifact == "a.json"
+        assert manifest.entries[1].reproduced is False
+        assert manifest.entries[0].counters == {"sim.runs": 2}
+        assert manifest.repro_version == "1.0.0"
+
+    def test_speedup_is_serial_equivalent_over_elapsed(self):
+        manifest = RunManifest.build(
+            [artifact("a", 1.0), artifact("b", 3.0)],
+            seed=0,
+            quick=True,
+            jobs=2,
+            total_wall_time_s=2.0,
+        )
+        assert manifest.experiment_wall_time_s == pytest.approx(4.0)
+        assert manifest.speedup == pytest.approx(2.0)
+
+    def test_speedup_none_without_total(self):
+        manifest = RunManifest.build(
+            [artifact("a", 1.0)], seed=0, quick=True, jobs=1
+        )
+        assert manifest.speedup is None
+
+
+class TestRoundTrip:
+    def test_lossless(self):
+        manifest = RunManifest.build(
+            [artifact("a", 1.0), artifact("b", 3.0)],
+            seed=7,
+            quick=False,
+            jobs=4,
+            total_wall_time_s=2.0,
+            artifact_names={"a": "a.json"},
+        )
+        loaded = RunManifest.from_json(manifest.to_json())
+        assert loaded == manifest
+        assert loaded.to_json() == manifest.to_json()
+
+    def test_unknown_schema_refused(self):
+        payload = RunManifest.build(
+            [artifact("a", 1.0)], seed=0, quick=True, jobs=1
+        ).to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ArtifactError):
+            RunManifest.from_dict(payload)
+
+    def test_malformed_entry_refused(self):
+        with pytest.raises(ArtifactError):
+            ManifestEntry.from_dict({"verdict": "x"})

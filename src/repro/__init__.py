@@ -122,13 +122,18 @@ __all__ = [
     "RunArtifact",
     "RunManifest",
     "ExperimentRunner",
-    "run_one",
+    # blessed façade (lazy; see docs/API.md)
+    "api",
 ]
 
 
 def __getattr__(name):  # pragma: no cover - thin lazy-import shim
     """Lazily expose the simulation/analysis layers to avoid import cycles
     during package initialization."""
+    if name == "api":
+        import importlib
+
+        return importlib.import_module("repro.api")
     if name in ("SymbolicSimulator", "RunRecord", "run_boxes", "run_repeated"):
         from repro import simulation
 
@@ -137,8 +142,20 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         from repro import analysis
 
         return getattr(analysis, name)
-    if name in ("RunArtifact", "RunManifest", "ExperimentRunner", "run_one"):
+    if name in ("RunArtifact", "RunManifest", "ExperimentRunner"):
         from repro import runtime
 
         return getattr(runtime, name)
+    if name == "run_one":
+        import warnings
+
+        from repro import runtime
+
+        warnings.warn(
+            "top-level repro.run_one is deprecated; use repro.api.run "
+            "(or repro.runtime.run_one for the low-level path)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return runtime.run_one
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

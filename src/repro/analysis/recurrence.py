@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import DistributionError, SimulationError
 from repro.algorithms.spec import RegularSpec, ScanPlacement
+from repro.cache.memo import distribution_key, memoized
 from repro.profiles.distributions import BoxDistribution
 
 __all__ = [
@@ -247,6 +248,16 @@ class RecurrenceSolution:
         return bad
 
 
+def _solve_key(
+    spec: RegularSpec,
+    n: int,
+    dist: BoxDistribution,
+    scan_dp: bool = True,
+):
+    return (spec, n, distribution_key(dist), scan_dp)
+
+
+@memoized(maxsize=256, key=_solve_key)
 def solve_recurrence(
     spec: RegularSpec,
     n: int,
@@ -259,6 +270,12 @@ def solve_recurrence(
     Wald midpoint instead of the exact renewal DP for each scan (needed
     when scans are too long for the DP guard); the result is then an
     approximation within the Wald bounds rather than exact.
+
+    Memoized (keyed LRU over the exact spec, size, distribution support,
+    and ``scan_dp``): the solver is pure and its
+    :class:`RecurrenceSolution` frozen, and experiments re-solve the same
+    ``(spec, Σ)`` ladders constantly.  ``solve_recurrence.cache_info()``
+    exposes the hit counters; ``cache_clear()`` resets.
     """
     if spec.scan_placement != ScanPlacement.END:
         raise SimulationError(

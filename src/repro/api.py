@@ -1,0 +1,127 @@
+"""``repro.api`` — the blessed programmatic surface.
+
+One import site for the operations every consumer (notebooks, CI
+harnesses, downstream scripts) actually performs, so callers stop
+reaching into submodule internals that are free to move:
+
+* :func:`run` / :func:`run_all` — execute registry experiments through
+  the instrumented, cache-aware runtime path (``docs/CACHE.md``);
+* :func:`solve` — the exact Lemma-3 recurrence solver, accepting spec
+  names and distribution DSL strings as well as the typed objects;
+* :func:`load_artifact` — read a schema-versioned ``RunArtifact`` JSON
+  back into the typed form;
+* :class:`Cache` — the content-addressed artifact store.
+
+These five names are the stability contract (``docs/API.md``); the
+legacy entry points they replace (``repro.experiments.registry.
+run_experiment``, ``repro.experiments.registry.run_all``, top-level
+``repro.run_one``) still work but emit :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cache.store import Cache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.spec import RegularSpec
+    from repro.analysis.recurrence import RecurrenceSolution
+    from repro.profiles.distributions import BoxDistribution
+    from repro.runtime.artifact import RunArtifact
+
+__all__ = ["run", "run_all", "solve", "load_artifact", "Cache"]
+
+
+def run(
+    experiment_id: str,
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    cache: str = "auto",
+    cache_dir: "str | None" = None,
+) -> "RunArtifact":
+    """Run one registry experiment through the instrumented runtime path.
+
+    Identical semantics to the CLI's ``repro run``: wall time and
+    instrumentation counters attached, artifact store consulted under
+    ``cache="auto"`` (pass ``"off"`` to always compute, ``"refresh"`` to
+    recompute and overwrite).
+    """
+    from repro.runtime.runner import run_one
+
+    return run_one(
+        experiment_id, quick=quick, seed=seed, cache=cache, cache_dir=cache_dir
+    )
+
+
+def run_all(
+    ids: "list[str] | None" = None,
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: str = "auto",
+    cache_dir: "str | None" = None,
+) -> "dict[str, RunArtifact]":
+    """Run experiments (default: the whole registry, in registration
+    order) and return ``{experiment_id: artifact}``.
+
+    ``jobs > 1`` fans experiments over a process pool with bit-identical
+    results at any worker count; ``cache`` is forwarded to every run.
+    """
+    from repro.runtime.runner import ExperimentRunner
+
+    runner = ExperimentRunner(jobs=jobs, cache=cache, cache_dir=cache_dir)
+    return {
+        artifact.experiment_id: artifact
+        for artifact in runner.run_iter(ids, quick=quick, seed=seed)
+    }
+
+
+def solve(
+    spec: "RegularSpec | str",
+    n: int,
+    dist: "BoxDistribution | str",
+    *,
+    scan_dp: bool = True,
+) -> "RecurrenceSolution":
+    """Solve the exact Lemma-3 recurrence for ``spec`` at size ``n``
+    under box-size distribution ``dist``.
+
+    ``spec`` may be a :class:`RegularSpec` or a named spec
+    (``"MM-SCAN"``); ``dist`` may be a :class:`BoxDistribution` or the
+    CLI's distribution DSL (``"uniform:4:1:5"``, ``"point:16"``, ...).
+    Results are memoized (see :mod:`repro.cache.memo`).
+    """
+    from repro.analysis.recurrence import solve_recurrence
+
+    if isinstance(spec, str):
+        from repro.algorithms.library import get_spec
+
+        spec = get_spec(spec)
+    if isinstance(dist, str):
+        from repro.profiles.parsing import parse_distribution
+
+        dist = parse_distribution(dist)
+    return solve_recurrence(spec, n, dist, scan_dp=scan_dp)
+
+
+def load_artifact(path: str) -> "RunArtifact":
+    """Read a ``RunArtifact`` JSON file (as written by ``repro run
+    --json`` or stored by the cache) back into the typed artifact."""
+    import json
+
+    from repro.errors import ArtifactError
+    from repro.runtime.artifact import RunArtifact
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"artifact {path!r} is not valid JSON: {exc}") from None
+    if isinstance(payload, dict) and "artifact" in payload and "key" in payload:
+        payload = payload["artifact"]  # a raw cache store entry
+    return RunArtifact.from_dict(payload)

@@ -1,0 +1,70 @@
+"""``repro.cache`` — content-addressed incremental execution.
+
+Every experiment is a pure function of ``(quick, seed)`` that freezes
+into a schema-versioned :class:`~repro.runtime.artifact.RunArtifact`
+(the PR-2 contract); this package makes that purity pay rent.  Three
+layers:
+
+* :mod:`~repro.cache.fingerprint` — AST-normalized hashing of an
+  experiment module plus its transitive first-party imports, so a cache
+  entry survives comments and reformatting but not semantic edits;
+* :mod:`~repro.cache.store` — the on-disk, content-addressed
+  :class:`Cache` of artifacts keyed by ``(experiment id, quick, seed,
+  code fingerprint, environment)``, consumed by
+  ``run_one(..., cache="auto")``;
+* :mod:`~repro.cache.memo` — in-process keyed-LRU memoization (with
+  ``cache_info()``) for hot pure kernels
+  (:func:`~repro.analysis.recurrence.solve_recurrence`,
+  :func:`~repro.profiles.worst_case.worst_case_profile`).
+
+:mod:`~repro.cache.verify` proves stored artifacts bit-identical (modulo
+timing) to live recomputation; :mod:`~repro.cache.bench` measures the
+cold-vs-warm payoff (``BENCH_cache.json``).  See ``docs/CACHE.md``.
+"""
+
+from repro.cache.bench import BENCH_SCHEMA_VERSION, run_cache_bench
+from repro.cache.fingerprint import (
+    Fingerprint,
+    FingerprintError,
+    clear_fingerprint_caches,
+    fingerprint_module,
+    module_path,
+    normalized_source_digest,
+)
+from repro.cache.memo import MemoInfo, distribution_key, memoized
+from repro.cache.store import (
+    CACHE_ENTRY_VERSION,
+    Cache,
+    CacheEntry,
+    CacheKey,
+    CacheStats,
+    cache_key_for,
+    default_cache_dir,
+    environment_tag,
+)
+from repro.cache.verify import VerifyRecord, VerifyReport, verify_store
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "run_cache_bench",
+    "Fingerprint",
+    "FingerprintError",
+    "clear_fingerprint_caches",
+    "fingerprint_module",
+    "module_path",
+    "normalized_source_digest",
+    "MemoInfo",
+    "distribution_key",
+    "memoized",
+    "CACHE_ENTRY_VERSION",
+    "Cache",
+    "CacheEntry",
+    "CacheKey",
+    "CacheStats",
+    "cache_key_for",
+    "default_cache_dir",
+    "environment_tag",
+    "VerifyRecord",
+    "VerifyReport",
+    "verify_store",
+]

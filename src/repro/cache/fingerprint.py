@@ -1,0 +1,244 @@
+"""AST-normalized code fingerprints for cache invalidation.
+
+A cached :class:`~repro.runtime.artifact.RunArtifact` is only reusable
+while the code that produced it is unchanged.  "Unchanged" here is
+*semantic*, not textual: editing a comment or re-wrapping a line must not
+invalidate anything, while editing an expression anywhere in the
+experiment's transitive first-party import closure must.  The fingerprint
+therefore hashes ``ast.dump(ast.parse(source))`` — the parsed tree, which
+comments and whitespace never reach — for the experiment module *and*
+every first-party module it transitively imports (including the package
+``__init__`` modules that execute along the import chain).
+
+The closure walk is purely static (no module is imported), so it is safe
+to fingerprint code that is expensive or side-effectful to load, and it
+works on synthetic package trees in tests via the ``root``/``prefix``
+parameters.  Per-file digests are memoized on ``(path, mtime, size)`` so
+fingerprinting all twenty experiments re-parses each source file once per
+process.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import CacheError
+
+__all__ = [
+    "FingerprintError",
+    "Fingerprint",
+    "normalized_source_digest",
+    "module_path",
+    "first_party_imports",
+    "fingerprint_module",
+    "clear_fingerprint_caches",
+]
+
+
+class FingerprintError(CacheError):
+    """A module in the fingerprint closure cannot be read or parsed."""
+
+
+def _default_root() -> Path:
+    """Directory containing the top-level ``repro`` package (i.e. ``src``)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def normalized_source_digest(source: str, *, path: str = "<string>") -> str:
+    """SHA-256 of the AST-normalized ``source``.
+
+    Normalization is ``ast.dump`` of the parse tree: comments, whitespace,
+    and formatting vanish; every token that can influence execution
+    (including docstrings, which are runtime values) survives.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise FingerprintError(f"cannot parse {path}: {exc}") from None
+    normalized = ast.dump(tree, include_attributes=False)
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()
+
+
+def module_path(module: str, root: Path) -> Path | None:
+    """Resolve dotted ``module`` to its source file under ``root``.
+
+    Returns the ``<module>.py`` file, the package's ``__init__.py``, or
+    ``None`` when neither exists (not first-party, or namespace junk).
+    """
+    base = root.joinpath(*module.split("."))
+    candidate = base.with_suffix(".py")
+    if candidate.is_file():
+        return candidate
+    init = base / "__init__.py"
+    if init.is_file():
+        return init
+    return None
+
+
+def _resolve_relative(module: str, importing: str, level: int, is_package: bool) -> str | None:
+    """Absolute module named by a ``from . import``-style statement issued
+    inside ``importing`` (``level`` leading dots)."""
+    parts = importing.split(".")
+    # Level 1 inside a package __init__ refers to the package itself;
+    # inside a plain module it refers to the containing package.
+    drop = level - 1 if is_package else level
+    if drop >= len(parts):
+        return None
+    base = parts[: len(parts) - drop]
+    if module:
+        base = base + module.split(".")
+    return ".".join(base)
+
+
+def first_party_imports(
+    tree: ast.Module, importing: str, prefix: str, root: Path
+) -> Iterator[str]:
+    """Yield the first-party modules statically imported by ``tree``.
+
+    ``import p.q`` yields ``p.q``; ``from p.q import r`` yields ``p.q``
+    plus ``p.q.r`` when that resolves to a real submodule file (a
+    ``from``-import of a symbol and of a submodule are indistinguishable
+    without resolving); relative imports resolve against ``importing``.
+    """
+    is_package = module_path(importing, root) is not None and (
+        module_path(importing, root).name == "__init__.py"  # type: ignore[union-attr]
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.name
+                if name == prefix or name.startswith(prefix + "."):
+                    yield name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                resolved = _resolve_relative(
+                    node.module or "", importing, node.level, is_package
+                )
+                if resolved is None:
+                    continue
+                base = resolved
+            else:
+                base = node.module or ""
+            if not (base == prefix or base.startswith(prefix + ".")):
+                continue
+            yield base
+            for alias in node.names:
+                sub = f"{base}.{alias.name}"
+                if module_path(sub, root) is not None:
+                    yield sub
+
+
+def _ancestor_packages(module: str) -> Iterator[str]:
+    """Every package whose ``__init__`` executes when ``module`` is
+    imported (``a.b.c`` -> ``a``, ``a.b``)."""
+    parts = module.split(".")
+    for i in range(1, len(parts)):
+        yield ".".join(parts[:i])
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """Digest of a module's transitive first-party closure.
+
+    ``digest`` hashes the sorted ``(module, file digest)`` pairs;
+    ``modules`` records which modules contributed, for observability
+    (``repro cache stats``) and tests.
+    """
+
+    module: str
+    digest: str
+    modules: tuple[str, ...]
+
+
+# Per-process digest memo: path -> ((mtime_ns, size), digest).  Keyed on
+# the stat signature so an edited file re-parses but an unchanged one is
+# hashed once per process no matter how many closures include it.
+_FILE_DIGESTS: dict[Path, tuple[tuple[int, int], str]] = {}
+_CLOSURE_CACHE: dict[tuple[str, str, str], Fingerprint] = {}
+
+
+def clear_fingerprint_caches() -> None:
+    """Drop the per-process digest and closure memos (tests)."""
+    _FILE_DIGESTS.clear()
+    _CLOSURE_CACHE.clear()
+
+
+def _file_digest(path: Path) -> str:
+    stat = path.stat()
+    signature = (stat.st_mtime_ns, stat.st_size)
+    cached = _FILE_DIGESTS.get(path)
+    if cached is not None and cached[0] == signature:
+        return cached[1]
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise FingerprintError(f"cannot read {path}: {exc}") from None
+    digest = normalized_source_digest(source, path=str(path))
+    _FILE_DIGESTS[path] = (signature, digest)
+    return digest
+
+
+def fingerprint_module(
+    module: str, *, root: Path | None = None, prefix: str | None = None
+) -> Fingerprint:
+    """Fingerprint ``module`` and its transitive first-party imports.
+
+    ``root`` is the directory containing the top-level package (defaults
+    to the installed ``repro`` tree); ``prefix`` is the first-party
+    package name (defaults to the first component of ``module``).  The
+    walk is static: files are parsed, never imported.
+    """
+    root = _default_root() if root is None else Path(root)
+    if prefix is None:
+        prefix = module.split(".")[0]
+    # The closure cache is keyed per (module, root, prefix); it is NOT
+    # stat-validated, so mutate-and-refingerprint flows (tests, long
+    # sessions) must clear_fingerprint_caches() after editing sources.
+    # The disk store's correctness does not depend on this cache: it only
+    # amortizes repeated fingerprints within one run.
+    cache_key = (module, str(root), prefix)
+    cached = _CLOSURE_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+
+    seen: dict[str, str] = {}
+    stack = [module]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        path = module_path(current, root)
+        if path is None:
+            if current == module:
+                raise FingerprintError(
+                    f"module {current!r} not found under {root}"
+                )
+            continue  # first-party prefix but no file: nothing to hash
+        seen[current] = _file_digest(path)
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError) as exc:
+            raise FingerprintError(f"cannot parse {path}: {exc}") from None
+        for anc in _ancestor_packages(current):
+            if anc == prefix or anc.startswith(prefix + "."):
+                stack.append(anc)
+        for imported in first_party_imports(tree, current, prefix, root):
+            stack.append(imported)
+
+    combined = hashlib.sha256()
+    for name in sorted(seen):
+        combined.update(name.encode("utf-8"))
+        combined.update(b"\x00")
+        combined.update(seen[name].encode("utf-8"))
+        combined.update(b"\x00")
+    fp = Fingerprint(
+        module=module, digest=combined.hexdigest(), modules=tuple(sorted(seen))
+    )
+    _CLOSURE_CACHE[cache_key] = fp
+    return fp

@@ -1,0 +1,105 @@
+"""Keyed LRU memoization for hot pure kernels.
+
+``functools.lru_cache`` keys on the raw argument tuple, which fails for
+the kernels worth memoizing here: :func:`repro.analysis.recurrence.
+solve_recurrence` takes a :class:`~repro.profiles.distributions.
+BoxDistribution` (unhashable numpy support arrays) and
+:func:`repro.profiles.worst_case.worst_case_profile` returns large
+immutable profiles worth sharing.  :func:`memoized` accepts an explicit
+``key`` function instead, and exposes the same observability surface as
+``lru_cache`` — ``cache_info()`` / ``cache_clear()`` — so ``repro cache
+stats`` and the tests can watch hit rates.
+
+Only memoize *pure* functions returning *immutable* values: the cached
+object is returned by reference, never copied.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, NamedTuple, TypeVar
+
+__all__ = ["MemoInfo", "memoized", "distribution_key"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class MemoInfo(NamedTuple):
+    """Snapshot of one memoized kernel's counters (``cache_info()``)."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+def memoized(
+    maxsize: int = 128,
+    key: Callable[..., Hashable] | None = None,
+) -> Callable[[F], F]:
+    """Decorate a pure function with a keyed LRU memo.
+
+    ``key(*args, **kwargs)`` must map the call to a hashable value that
+    fully determines the result; when omitted, the positional/keyword
+    tuple itself is used (all arguments must then be hashable).  The
+    wrapper gains ``cache_info()`` and ``cache_clear()``.
+    """
+    if maxsize < 1:
+        raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+
+    def decorate(func: F) -> F:
+        import functools
+
+        table: OrderedDict[Hashable, Any] = OrderedDict()
+        lock = threading.Lock()
+        hits = misses = 0
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            nonlocal hits, misses
+            k = key(*args, **kwargs) if key is not None else (
+                args, tuple(sorted(kwargs.items()))
+            )
+            with lock:
+                if k in table:
+                    hits += 1
+                    table.move_to_end(k)
+                    return table[k]
+            value = func(*args, **kwargs)
+            with lock:
+                misses += 1
+                table[k] = value
+                table.move_to_end(k)
+                while len(table) > maxsize:
+                    table.popitem(last=False)
+            return value
+
+        def cache_info() -> MemoInfo:
+            with lock:
+                return MemoInfo(hits, misses, maxsize, len(table))
+
+        def cache_clear() -> None:
+            nonlocal hits, misses
+            with lock:
+                table.clear()
+                hits = misses = 0
+
+        wrapper.cache_info = cache_info  # type: ignore[attr-defined]
+        wrapper.cache_clear = cache_clear  # type: ignore[attr-defined]
+        wrapper.__wrapped__ = func
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def distribution_key(dist: Any) -> tuple[Hashable, ...]:
+    """Hashable identity of a :class:`BoxDistribution`: the exact support
+    and probability vectors (``name`` alone is not unique — two
+    ``Empirical`` instances can share a label)."""
+    return (
+        type(dist).__name__,
+        dist.name,
+        dist.support.tobytes(),
+        dist.probabilities.tobytes(),
+    )

@@ -1,0 +1,297 @@
+"""Content-addressed on-disk store of experiment artifacts.
+
+The store maps a :class:`CacheKey` — the *complete* identity of a run:
+experiment id, ``quick``/``seed`` configuration, the AST-normalized code
+fingerprint of the experiment's transitive first-party import closure,
+the artifact schema version, and the interpreter/numpy/scipy versions —
+to the finalized :class:`~repro.runtime.artifact.RunArtifact` that run
+produced.  Because every experiment is a pure function of ``(quick,
+seed)`` (the PR-2 determinism contract), two runs with equal keys are
+bit-identical modulo timing, so a warm hit can stand in for live
+recomputation and ``repro cache verify`` can check the substitution.
+
+Layout: ``<root>/<digest[:2]>/<digest>.json``, one JSON document per
+entry, written atomically (temp file + ``os.replace``).  Corrupt or
+unreadable entries are treated as misses, never as errors: a cache must
+degrade to recomputation, not take the run down with it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.errors import ArtifactError, CacheError
+from repro.runtime.artifact import SCHEMA_VERSION, RunArtifact
+
+__all__ = [
+    "CACHE_ENTRY_VERSION",
+    "default_cache_dir",
+    "environment_tag",
+    "CacheKey",
+    "CacheEntry",
+    "CacheStats",
+    "Cache",
+    "cache_key_for",
+]
+
+CACHE_ENTRY_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the artifact store location: ``$REPRO_CACHE_DIR``, else
+    ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg) / "repro"
+    return Path.home() / ".cache" / "repro"
+
+
+def environment_tag() -> str:
+    """The numeric-environment part of the key: interpreter and the two
+    numeric libraries whose versions can move float results."""
+    import numpy
+    import scipy
+
+    py = ".".join(str(v) for v in sys.version_info[:2])
+    return f"py{py}-numpy{numpy.__version__}-scipy{scipy.__version__}"
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Complete identity of one experiment run for caching purposes."""
+
+    experiment_id: str
+    quick: bool
+    seed: int
+    fingerprint: str
+    schema_version: int = SCHEMA_VERSION
+    environment: str = field(default_factory=environment_tag)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "quick": self.quick,
+            "seed": self.seed,
+            "fingerprint": self.fingerprint,
+            "schema_version": self.schema_version,
+            "environment": self.environment,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CacheKey":
+        try:
+            return cls(
+                experiment_id=payload["experiment_id"],
+                quick=payload["quick"],
+                seed=payload["seed"],
+                fingerprint=payload["fingerprint"],
+                schema_version=payload["schema_version"],
+                environment=payload["environment"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise CacheError(f"malformed cache key payload: {exc}") from None
+
+    @property
+    def digest(self) -> str:
+        """Content address: SHA-256 of the canonical key JSON."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored artifact plus the key it was stored under."""
+
+    key: CacheKey
+    artifact: RunArtifact
+    path: Path
+
+    @property
+    def stored_wall_time_s(self) -> float:
+        """The compute time a hit on this entry saves."""
+        return self.artifact.wall_time_s or 0.0
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """On-disk accounting for ``repro cache stats``."""
+
+    root: Path
+    entries: int
+    total_bytes: int
+    by_experiment: dict[str, int]
+    stored_wall_time_s: float
+
+
+def cache_key_for(
+    experiment_id: str, quick: bool, seed: int
+) -> CacheKey:
+    """Build the cache key for a registry experiment as the code stands
+    now: fingerprints the experiment's module closure on the fly."""
+    from repro.cache.fingerprint import fingerprint_module
+    from repro.experiments.registry import EXPERIMENTS
+
+    try:
+        exp = EXPERIMENTS[experiment_id]
+    except KeyError:
+        from repro.errors import ExperimentError
+
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    fp = fingerprint_module(exp.runner.__module__)
+    return CacheKey(
+        experiment_id=experiment_id, quick=quick, seed=seed, fingerprint=fp.digest
+    )
+
+
+class Cache:
+    """The content-addressed artifact store (``repro.api.Cache``).
+
+    ``root=None`` resolves via :func:`default_cache_dir`.  All methods
+    are safe on a store that does not exist yet; ``put`` creates it.
+    """
+
+    def __init__(self, root: "str | os.PathLike[str] | None" = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def __repr__(self) -> str:
+        return f"Cache(root={str(self.root)!r})"
+
+    def path_for(self, key: CacheKey) -> Path:
+        digest = key.digest
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- read ----------------------------------------------------------
+    def get(self, key: CacheKey) -> CacheEntry | None:
+        """The stored entry for ``key``, or ``None`` on miss.
+
+        A corrupt, unparsable, or mismatched entry is a miss (and is
+        unlinked so it cannot shadow a future put)."""
+        path = self.path_for(key)
+        entry = self._load(path)
+        if entry is None:
+            return None
+        if entry.key != key:  # hash collision or tampering: distrust it
+            self._discard(path)
+            return None
+        return entry
+
+    def _load(self, path: Path) -> CacheEntry | None:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            self._discard(path)
+            return None
+        if payload.get("cache_entry_version") != CACHE_ENTRY_VERSION:
+            self._discard(path)
+            return None
+        try:
+            key = CacheKey.from_dict(payload["key"])
+            artifact = RunArtifact.from_dict(payload["artifact"])
+        except (KeyError, CacheError, ArtifactError):
+            self._discard(path)
+            return None
+        return CacheEntry(key=key, artifact=artifact, path=path)
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- write ---------------------------------------------------------
+    def put(self, key: CacheKey, artifact: RunArtifact) -> Path:
+        """Store ``artifact`` under ``key`` (atomic, last writer wins).
+
+        The artifact is stored in canonical live form — cache bookkeeping
+        fields cleared — so a future hit compares bit-identically against
+        live recomputation."""
+        canonical = artifact.without_cache_stamp()
+        payload = {
+            "cache_entry_version": CACHE_ENTRY_VERSION,
+            "key": key.to_dict(),
+            "artifact": canonical.to_dict(),
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise CacheError(f"cannot write cache entry {path}: {exc}") from None
+        return path
+
+    # -- maintenance ---------------------------------------------------
+    def iter_entries(self) -> Iterator[CacheEntry]:
+        """Every readable entry in the store, in stable (digest) order."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            entry = self._load(path)
+            if entry is not None:
+                yield entry
+
+    def stats(self) -> CacheStats:
+        entries = 0
+        total_bytes = 0
+        by_experiment: dict[str, int] = {}
+        stored_wall = 0.0
+        for entry in self.iter_entries():
+            entries += 1
+            try:
+                total_bytes += entry.path.stat().st_size
+            except OSError:
+                pass
+            eid = entry.key.experiment_id
+            by_experiment[eid] = by_experiment.get(eid, 0) + 1
+            stored_wall += entry.stored_wall_time_s
+        return CacheStats(
+            root=self.root,
+            entries=entries,
+            total_bytes=total_bytes,
+            by_experiment=dict(sorted(by_experiment.items())),
+            stored_wall_time_s=stored_wall,
+        )
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed.  Leaves the
+        root directory (and any foreign files in it) alone."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for shard in sorted(self.root.glob("*")):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
+        return removed

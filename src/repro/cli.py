@@ -1,6 +1,8 @@
 """Command-line interface: ``python -m repro`` / the ``repro`` script.
 
-Subcommands:
+Subcommands (a shared flag vocabulary — ``--quick/--full``, ``--seed``,
+``--json DIR``, ``--cache-dir`` — means the same thing everywhere it
+appears):
 
 * ``list`` — enumerate registered experiments with their claims;
 * ``run <id> [...ids|all]`` — run experiments through the
@@ -8,15 +10,26 @@ Subcommands:
   experiments over a process pool (bit-identical results at any worker
   count), ``-o FILE`` writes the rendered text, ``--json DIR`` writes
   one schema-versioned ``RunArtifact`` per experiment plus a
-  ``manifest.json`` with timings and counters (``docs/ARTIFACTS.md``);
-* ``show-profile <n>`` — render the worst-case profile ``M_{8,4}(n)``;
+  ``manifest.json`` with timings and counters (``docs/ARTIFACTS.md``).
+  Runs consult the content-addressed artifact store by default
+  (``docs/CACHE.md``); ``--no-cache`` disables it, ``--refresh``
+  recomputes and overwrites, ``--cache-dir DIR`` relocates it;
+* ``show-profile`` — render the worst-case profile ``M_{8,4}(n)``;
+  ``--full`` adds the exact box census, ``--json DIR`` writes
+  ``profile.json``;
 * ``solve`` — print the exact Lemma-3 recurrence table for a named
   spec, problem size, and box-size distribution (DSL:
   ``point:16``, ``uniform:4:1:5``, ``pareto:4:1:6:0.5``,
-  ``worstcase:8:4:256``, ...);
+  ``worstcase:8:4:256``, ...); ``--quick`` swaps the exact renewal DP
+  for the Wald midpoint, ``--json DIR`` writes ``solve.json``;
+* ``cache stats|clear|verify`` — inspect, empty, or spot-check the
+  artifact store (``verify`` re-runs sampled entries live and diffs
+  against the stored artifacts);
+* ``bench`` — cold-vs-warm cache benchmark over the registry; writes
+  ``BENCH_cache.json``;
 * ``lint`` — run the repo's AST-based invariant linter (RNG/units/
-  float-equality/frozen-artifact/exports discipline) over source trees;
-  exit 1 on findings, for CI.  See ``docs/DEVTOOLS.md``.
+  float-equality/frozen-artifact/exports/profile discipline) over
+  source trees; exit 1 on findings, for CI.  See ``docs/DEVTOOLS.md``.
 """
 
 from __future__ import annotations
@@ -27,6 +40,57 @@ import sys
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_quick_full(
+    parser: argparse.ArgumentParser, default_quick: bool, what: str
+) -> None:
+    """The shared ``--quick/--full`` paired toggle (``args.quick``)."""
+    group = parser.add_mutually_exclusive_group()
+    default_note = "the default" if default_quick else "default is --full"
+    group.add_argument(
+        "--quick",
+        dest="quick",
+        action="store_true",
+        default=default_quick,
+        help=f"quick configuration: {what} ({default_note})",
+    )
+    group.add_argument(
+        "--full",
+        dest="quick",
+        action="store_false",
+        help="full configuration (slower, exhaustive)"
+        + ("" if default_quick else " — the default"),
+    )
+
+
+def _add_seed(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="random seed (stamped into JSON artifacts; default 0)",
+    )
+
+
+def _add_json_dir(parser: argparse.ArgumentParser, what: str) -> None:
+    parser.add_argument(
+        "--json",
+        dest="json_dir",
+        default=None,
+        metavar="DIR",
+        help=f"write {what} into DIR (created if missing)",
+    )
+
+
+def _add_cache_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact store location (default: $REPRO_CACHE_DIR, else "
+        "$XDG_CACHE_HOME/repro, else ~/.cache/repro)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,12 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run experiments by id (or 'all')")
     run_p.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
-    run_p.add_argument(
-        "--full",
-        action="store_true",
-        help="full-size sweeps (slower); default is the quick configuration",
-    )
-    run_p.add_argument("--seed", type=int, default=0, help="random seed")
+    _add_quick_full(run_p, default_quick=True, what="small sweeps")
+    _add_seed(run_p)
     run_p.add_argument(
         "-o",
         "--output",
@@ -64,19 +124,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="run experiments across N worker processes (default 1); "
         "results are bit-identical at any worker count",
     )
-    run_p.add_argument(
-        "--json",
-        dest="json_dir",
-        default=None,
-        metavar="DIR",
-        help="write one RunArtifact JSON per experiment plus manifest.json "
-        "into DIR (created if missing)",
+    _add_json_dir(
+        run_p, "one RunArtifact JSON per experiment plus manifest.json"
+    )
+    _add_cache_dir(run_p)
+    cache_group = run_p.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_const",
+        const="off",
+        default="auto",
+        help="always compute; no artifact-store reads or writes",
+    )
+    cache_group.add_argument(
+        "--refresh",
+        dest="cache",
+        action="store_const",
+        const="refresh",
+        help="recompute and overwrite the artifact store unconditionally",
     )
 
     prof_p = sub.add_parser(
         "show-profile", help="render the worst-case profile M_{8,4}(n)"
     )
-    prof_p.add_argument("n", type=int, help="problem size (a power of 4)")
+    prof_p.add_argument(
+        "pos_n",
+        type=int,
+        nargs="?",
+        default=None,
+        metavar="n",
+        help="problem size (a power of 4); alternative to --n",
+    )
+    prof_p.add_argument(
+        "--n", type=int, default=None, help="problem size (a power of 4)"
+    )
+    _add_quick_full(
+        prof_p, default_quick=True, what="sparkline + summary only"
+    )
+    _add_seed(prof_p)
+    _add_json_dir(prof_p, "profile.json (box census, potential, duration)")
 
     solve_p = sub.add_parser(
         "solve",
@@ -90,6 +177,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="box-size distribution (e.g. uniform:4:1:5, point:16, "
         "pareto:4:1:6:0.5, worstcase:8:4:256)",
     )
+    _add_quick_full(
+        solve_p,
+        default_quick=False,
+        what="Wald-midpoint scans instead of the exact renewal DP",
+    )
+    _add_seed(solve_p)
+    _add_json_dir(solve_p, "solve.json (the recurrence table)")
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or manage the content-addressed artifact store"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    stats_p = cache_sub.add_parser(
+        "stats", help="entry counts, size on disk, stored compute time"
+    )
+    _add_cache_dir(stats_p)
+    _add_json_dir(stats_p, "cache_stats.json")
+    clear_p = cache_sub.add_parser("clear", help="remove every cache entry")
+    _add_cache_dir(clear_p)
+    verify_p = cache_sub.add_parser(
+        "verify",
+        help="re-run sampled entries live and diff against the store "
+        "(exit 1 on mismatch)",
+    )
+    _add_cache_dir(verify_p)
+    _add_seed(verify_p)
+    verify_p.add_argument(
+        "--sample",
+        type=int,
+        default=3,
+        metavar="N",
+        help="how many fresh entries to re-run (0 = every entry; default 3)",
+    )
+    verify_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan live re-runs over N worker processes (default 1)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="cold-vs-warm cache benchmark over the registry "
+        "(writes BENCH_cache.json)",
+    )
+    bench_p.add_argument(
+        "ids",
+        nargs="*",
+        default=None,
+        help="experiment ids to benchmark (default: the full registry)",
+    )
+    _add_quick_full(bench_p, default_quick=True, what="small sweeps")
+    _add_seed(bench_p)
+    bench_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for both passes (default 1)",
+    )
+    bench_p.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_cache.json",
+        help="where to write the benchmark report (default BENCH_cache.json)",
+    )
+    _add_cache_dir(bench_p)
 
     lint_p = sub.add_parser(
         "lint",
@@ -121,6 +276,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_json(json_dir: str, name: str, payload: dict) -> str:
+    import json
+    import os
+
+    os.makedirs(json_dir, exist_ok=True)
+    path = os.path.join(json_dir, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
 def _cmd_list() -> int:
     from repro.experiments.registry import EXPERIMENTS
 
@@ -132,11 +299,13 @@ def _cmd_list() -> int:
 
 def _cmd_run(
     ids: list[str],
-    full: bool,
+    quick: bool,
     seed: int,
     output: str | None,
     jobs: int = 1,
     json_dir: str | None = None,
+    cache: str = "auto",
+    cache_dir: str | None = None,
 ) -> int:
     from time import perf_counter
 
@@ -144,13 +313,13 @@ def _cmd_run(
     from repro.runtime.runner import ExperimentRunner
 
     targets = list(EXPERIMENTS) if ids == ["all"] else ids
-    runner = ExperimentRunner(jobs=jobs)
+    runner = ExperimentRunner(jobs=jobs, cache=cache, cache_dir=cache_dir)
     failures = 0
     chunks: list[str] = []
     artifacts = []
     start = perf_counter()
     for i, artifact in enumerate(
-        runner.run_iter(targets, quick=not full, seed=seed)
+        runner.run_iter(targets, quick=quick, seed=seed)
     ):
         text = artifact.render()
         if i:
@@ -161,6 +330,14 @@ def _cmd_run(
         if not artifact.reproduced:
             failures += 1
     total_wall_time_s = perf_counter() - start
+    hits = sum(1 for a in artifacts if a.cache_hit)
+    if cache != "off" and hits:
+        saved = sum(a.saved_wall_time_s or 0.0 for a in artifacts)
+        print(
+            f"cache: {hits}/{len(artifacts)} hit(s), "
+            f"saved {saved:.2f}s of compute",
+            file=sys.stderr,
+        )
     if output is not None:
         with open(output, "w", encoding="utf-8") as fh:
             fh.write("\n\n".join(chunks) + "\n")
@@ -169,7 +346,7 @@ def _cmd_run(
             json_dir,
             artifacts,
             seed=seed,
-            quick=not full,
+            quick=quick,
             jobs=jobs,
             total_wall_time_s=total_wall_time_s,
         )
@@ -208,7 +385,14 @@ def _write_artifact_dir(
         fh.write(manifest.to_json() + "\n")
 
 
-def _cmd_solve(spec_name: str, n: int, dist_text: str) -> int:
+def _cmd_solve(
+    spec_name: str,
+    n: int,
+    dist_text: str,
+    quick: bool = False,
+    seed: int = 0,
+    json_dir: str | None = None,
+) -> int:
     from repro.algorithms.library import get_spec
     from repro.analysis.recurrence import solve_recurrence
     from repro.profiles.parsing import parse_distribution
@@ -216,9 +400,11 @@ def _cmd_solve(spec_name: str, n: int, dist_text: str) -> int:
 
     spec = get_spec(spec_name)
     dist = parse_distribution(dist_text)
-    solution = solve_recurrence(spec, n, dist)
+    solution = solve_recurrence(spec, n, dist, scan_dp=not quick)
     print(f"{spec.describe()}")
     print(f"Sigma = {dist.name}  (mean box {dist.mean():.4g})")
+    if quick:
+        print("quick mode: Wald-midpoint scans (approximate, not exact DP)")
     rows = [
         (rec.n, rec.f, rec.f_prime, rec.q, rec.m_n, rec.cost_ratio)
         for rec in solution.levels
@@ -231,17 +417,180 @@ def _cmd_solve(spec_name: str, n: int, dist_text: str) -> int:
         )
     )
     print(f"Eq-8 product of f/f' over levels: {solution.eq8_product():.6g}")
+    if json_dir is not None:
+        payload = {
+            "command": "solve",
+            "spec": spec_name,
+            "spec_description": spec.describe(),
+            "n": n,
+            "dist": dist_text,
+            "dist_name": dist.name,
+            "dist_mean": float(dist.mean()),
+            "quick": quick,
+            "seed": seed,
+            "levels": [
+                {
+                    "n": int(rec.n),
+                    "f": float(rec.f),
+                    "f_prime": float(rec.f_prime),
+                    "q": float(rec.q),
+                    "m_n": float(rec.m_n),
+                    "cost_ratio": float(rec.cost_ratio),
+                }
+                for rec in solution.levels
+            ],
+            "eq8_product": float(solution.eq8_product()),
+        }
+        path = _write_json(json_dir, "solve.json", payload)
+        print(f"wrote {path}", file=sys.stderr)
     return 0
 
 
-def _cmd_show_profile(n: int) -> int:
+def _cmd_show_profile(
+    n: int | None,
+    pos_n: int | None = None,
+    quick: bool = True,
+    seed: int = 0,
+    json_dir: str | None = None,
+) -> int:
+    from repro.errors import ProfileError
     from repro.profiles.worst_case import worst_case_potential, worst_case_profile
 
+    if n is None:
+        n = pos_n
+    elif pos_n is not None and pos_n != n:
+        raise ProfileError(
+            f"conflicting problem sizes: positional {pos_n} vs --n {n}"
+        )
+    if n is None:
+        raise ProfileError("show-profile needs a problem size (positional or --n)")
     profile = worst_case_profile(8, 4, n)
+    potential_ratio = worst_case_potential(8, 4, n) / n**1.5
     print(f"M_{{8,4}}({n}): {len(profile)} boxes, duration {profile.total_time}")
-    print(f"total potential / n^1.5 = {worst_case_potential(8, 4, n) / n**1.5:.3f}")
+    print(f"total potential / n^1.5 = {potential_ratio:.3f}")
     print(profile.sparkline(width=100))
+    if not quick:
+        census = profile.size_census()
+        print("box census (size: count):")
+        for size, count in census.items():
+            print(f"  {size}: {count}")
+    if json_dir is not None:
+        payload = {
+            "command": "show-profile",
+            "a": 8,
+            "b": 4,
+            "n": n,
+            "quick": quick,
+            "seed": seed,
+            "boxes": len(profile),
+            "duration": profile.total_time,
+            "potential_over_n_1_5": potential_ratio,
+            "size_census": {
+                str(size): count for size, count in profile.size_census().items()
+            },
+        }
+        path = _write_json(json_dir, "profile.json", payload)
+        print(f"wrote {path}", file=sys.stderr)
     return 0
+
+
+def _cmd_cache_stats(
+    cache_dir: str | None, json_dir: str | None = None
+) -> int:
+    from repro.cache.store import Cache
+
+    store = Cache(cache_dir)
+    stats = store.stats()
+    print(f"cache root: {stats.root}")
+    print(f"entries: {stats.entries}")
+    print(f"size on disk: {stats.total_bytes} bytes")
+    print(f"stored compute time: {stats.stored_wall_time_s:.2f}s")
+    if stats.by_experiment:
+        width = max(len(eid) for eid in stats.by_experiment)
+        for eid, count in stats.by_experiment.items():
+            print(f"  {eid.ljust(width)}  {count}")
+    if json_dir is not None:
+        payload = {
+            "command": "cache-stats",
+            "root": str(stats.root),
+            "entries": stats.entries,
+            "total_bytes": stats.total_bytes,
+            "stored_wall_time_s": stats.stored_wall_time_s,
+            "by_experiment": stats.by_experiment,
+        }
+        path = _write_json(json_dir, "cache_stats.json", payload)
+        print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache_clear(cache_dir: str | None) -> int:
+    from repro.cache.store import Cache
+
+    removed = Cache(cache_dir).clear()
+    print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
+def _cmd_cache_verify(
+    cache_dir: str | None, sample: int, seed: int, jobs: int
+) -> int:
+    from repro.cache.store import Cache
+    from repro.cache.verify import verify_store
+
+    store = Cache(cache_dir)
+    report = verify_store(
+        store, sample=None if sample <= 0 else sample, seed=seed, jobs=jobs
+    )
+    for record in report.records:
+        line = (
+            f"{record.status:<8}  {record.experiment_id} "
+            f"(quick={record.quick}, seed={record.seed})"
+        )
+        if record.detail:
+            line += f" — {record.detail}"
+        print(line)
+    print(
+        f"cache verify: {report.checked} checked, "
+        f"{report.mismatches} mismatch(es), {report.stale} stale "
+        f"(jobs={report.jobs})"
+    )
+    return 0 if report.ok else 1
+
+
+def _cmd_bench(
+    ids: list[str] | None,
+    quick: bool,
+    seed: int,
+    jobs: int,
+    output: str,
+    cache_dir: str | None,
+) -> int:
+    import json
+
+    from repro.cache.bench import run_cache_bench
+
+    payload = run_cache_bench(
+        quick=quick,
+        seed=seed,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        ids=ids or None,
+    )
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    speedup = payload["speedup"]
+    print(
+        f"cache bench: cold {payload['cold_wall_time_s']:.2f}s, "
+        f"warm {payload['warm_wall_time_s']:.2f}s"
+        + (f", speedup {speedup:.1f}x" if speedup else "")
+    )
+    print(
+        f"warm hits: {payload['warm_hits']}/{len(payload['experiments'])}, "
+        f"bit-identical: {payload['bit_identical']}"
+    )
+    print(f"wrote {output}", file=sys.stderr)
+    return 0 if payload["bit_identical"] else 1
 
 
 def _cmd_lint(
@@ -278,16 +627,49 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "run":
             return _cmd_run(
                 args.ids,
-                args.full,
+                args.quick,
                 args.seed,
                 args.output,
                 jobs=args.jobs,
                 json_dir=args.json_dir,
+                cache=args.cache,
+                cache_dir=args.cache_dir,
             )
         if args.command == "show-profile":
-            return _cmd_show_profile(args.n)
+            return _cmd_show_profile(
+                args.n,
+                pos_n=args.pos_n,
+                quick=args.quick,
+                seed=args.seed,
+                json_dir=args.json_dir,
+            )
         if args.command == "solve":
-            return _cmd_solve(args.spec, args.n, args.dist)
+            return _cmd_solve(
+                args.spec,
+                args.n,
+                args.dist,
+                quick=args.quick,
+                seed=args.seed,
+                json_dir=args.json_dir,
+            )
+        if args.command == "cache":
+            if args.cache_command == "stats":
+                return _cmd_cache_stats(args.cache_dir, json_dir=args.json_dir)
+            if args.cache_command == "clear":
+                return _cmd_cache_clear(args.cache_dir)
+            if args.cache_command == "verify":
+                return _cmd_cache_verify(
+                    args.cache_dir, args.sample, args.seed, args.jobs
+                )
+        if args.command == "bench":
+            return _cmd_bench(
+                args.ids,
+                args.quick,
+                args.seed,
+                args.jobs,
+                args.output,
+                args.cache_dir,
+            )
         if args.command == "lint":
             return _cmd_lint(
                 args.paths, args.include_tests, args.rules, args.list_rules

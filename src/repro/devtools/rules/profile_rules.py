@@ -1,0 +1,134 @@
+"""Profile-discipline rule.
+
+Simulator entry points (``run_boxes``, ``run_repeated``,
+``run_adaptive``, ``SymbolicSimulator.run`` / ``run_to_completion``)
+accept ``SquareProfile | Iterable[int]`` for historical reasons, but the
+*profile* form is the contract the analysis layer relies on: a
+``SquareProfile`` is immutable, hashable (memo-shareable), and carries
+the census/potential accessors the artifact tables are built from.
+Feeding a raw inline box container — a list/tuple/set literal, a
+comprehension, or an ``iter(...)``/``range(...)``-style builtin — at the
+call site bypasses the profile validation (positive sizes, int64
+canonicalization) and silently pins the run to a one-shot consumable
+source.
+
+The rule flags only *syntactically obvious* raw sources at the call
+site.  Deliberately lazy streams stay legal: generator *functions* like
+``worst_case_boxes(...)`` (profiles too large to materialize) and
+``itertools.repeat(...)`` are indistinguishable from profile builders at
+the AST level and are exactly the cases the escape hatch exists for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.context import ModuleContext
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import LintRule, register_rule
+
+__all__ = ["ProfileDisciplineRule"]
+
+# entry point name -> index of the boxes argument in the positional list
+_FUNCTION_ENTRY_POINTS = {
+    "run_boxes": 2,
+    "run_repeated": 2,
+    "run_adaptive": 2,
+}
+# method names checked on simulator-looking receivers (``sim.run(...)``);
+# ``run_to_completion`` is distinctive enough to check on any receiver.
+_METHOD_ENTRY_POINTS = {
+    "run": 0,
+    "run_to_completion": 0,
+}
+
+# builtins that produce one-shot/unvalidated box sources inline
+_RAW_SOURCE_CALLS = frozenset(
+    {"iter", "range", "map", "filter", "zip", "reversed", "sorted", "list", "tuple"}
+)
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _looks_like_simulator(receiver: ast.AST) -> bool:
+    name = _terminal_name(receiver)
+    return name is not None and "sim" in name.lower()
+
+
+def _raw_source_kind(node: ast.AST) -> Optional[str]:
+    """A human-readable label when ``node`` is an inline raw box source."""
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        return f"a {type(node).__name__.lower()} literal"
+    if isinstance(node, (ast.ListComp, ast.SetComp)):
+        return "a comprehension"
+    if isinstance(node, ast.GeneratorExp):
+        return "a generator expression"
+    if isinstance(node, ast.Call):
+        name = _terminal_name(node.func)
+        if name in _RAW_SOURCE_CALLS:
+            return f"a {name}(...) call"
+    return None
+
+
+def _boxes_argument(node: ast.Call, index: int) -> Optional[ast.AST]:
+    for kw in node.keywords:
+        if kw.arg == "boxes":
+            return kw.value
+    if len(node.args) > index:
+        arg = node.args[index]
+        if isinstance(arg, ast.Starred):
+            return None
+        return arg
+    return None
+
+
+@register_rule
+class ProfileDisciplineRule(LintRule):
+    """Simulator entry points take a SquareProfile, not an inline raw
+    box container."""
+
+    rule_id = "profile-discipline"
+    summary = (
+        "pass SquareProfile to simulator entry points, not inline "
+        "list/comprehension/iter() box sources"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            entry: Optional[str] = None
+            index = 0
+            name = _terminal_name(func)
+            if name in _FUNCTION_ENTRY_POINTS and (
+                isinstance(func, ast.Name)
+                or (isinstance(func, ast.Attribute) and name is not None)
+            ):
+                entry, index = name, _FUNCTION_ENTRY_POINTS[name]
+            elif isinstance(func, ast.Attribute) and func.attr in _METHOD_ENTRY_POINTS:
+                if func.attr == "run_to_completion" or _looks_like_simulator(
+                    func.value
+                ):
+                    entry, index = func.attr, _METHOD_ENTRY_POINTS[func.attr]
+            if entry is None:
+                continue
+            boxes = _boxes_argument(node, index)
+            if boxes is None:
+                continue
+            kind = _raw_source_kind(boxes)
+            if kind is not None:
+                yield self.diag(
+                    ctx,
+                    boxes,
+                    f"{entry}() receives {kind} as its box source; wrap "
+                    "finite box sequences in SquareProfile(...) so the "
+                    "simulator sees a validated, reusable profile",
+                )

@@ -18,6 +18,7 @@ __all__ = [
     "MachineError",
     "ExperimentError",
     "ArtifactError",
+    "CacheError",
     "LintError",
 ]
 
@@ -58,6 +59,11 @@ class ExperimentError(ReproError):
 class ArtifactError(ReproError):
     """Invalid run artifact: unserializable payload, unknown schema
     version, or a malformed artifact/manifest file."""
+
+
+class CacheError(ReproError):
+    """Invalid cache operation: unreadable store, unfingerprintable
+    module, or a corrupt cache entry that cannot be trusted."""
 
 
 class LintError(ReproError):

@@ -2,9 +2,11 @@
 
 ``EXPERIMENTS`` maps ids to modules exposing
 ``run(quick=True, seed=0) -> RunArtifact``.  The registry itself is pure
-dispatch; timing, instrumentation, and parallel execution live in
-:mod:`repro.runtime.runner`, which the CLI (``python -m repro``), the
-benchmark suite, and :func:`run_all` all share.
+dispatch; timing, instrumentation, parallel execution, and caching live
+in :mod:`repro.runtime.runner`, which the CLI (``python -m repro``), the
+benchmark suite, and the :mod:`repro.api` façade all share.  The old
+``run_experiment``/``run_all`` entry points here are deprecated shims
+for :func:`repro.api.run` / :func:`repro.api.run_all`.
 """
 
 from __future__ import annotations
@@ -13,7 +15,6 @@ from dataclasses import dataclass
 from types import ModuleType
 from typing import Callable
 
-from repro.errors import ExperimentError
 from repro.experiments import (
     exp_ablation,
     exp_degenerate_smoothing,
@@ -88,34 +89,47 @@ EXPERIMENTS: dict[str, Experiment] = {
 }
 
 
-def run_experiment(
+def _deprecated_run_experiment(
     experiment_id: str, quick: bool = True, seed: int = 0
 ) -> RunArtifact:
-    """Run one experiment by id (plain dispatch, no instrumentation).
+    """Deprecated alias for :func:`repro.api.run` (kept importable so old
+    call sites keep working; runs uncached to preserve the original
+    plain-dispatch semantics)."""
+    from repro.api import run
 
-    Prefer :func:`repro.runtime.run_one` when timings and counters
-    matter; this entry point exists for callers that only need the
-    artifact's tables/metrics/verdict.
-    """
-    try:
-        exp = EXPERIMENTS[experiment_id]
-    except KeyError:
-        raise ExperimentError(
-            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
-        ) from None
-    return exp.runner(quick=quick, seed=seed)
+    return run(experiment_id, quick=quick, seed=seed, cache="off")
 
 
-def run_all(
+def _deprecated_run_all(
     quick: bool = True, seed: int = 0, jobs: int = 1
 ) -> dict[str, RunArtifact]:
-    """Run the whole registry (in registration order) through the runtime
-    runner; ``jobs > 1`` fans experiments over a process pool with
-    bit-identical results at any worker count."""
-    from repro.runtime.runner import ExperimentRunner
+    """Deprecated alias for :func:`repro.api.run_all` (uncached)."""
+    from repro.api import run_all
 
-    runner = ExperimentRunner(jobs=jobs)
-    return {
-        artifact.experiment_id: artifact
-        for artifact in runner.run_iter(quick=quick, seed=seed)
-    }
+    return run_all(quick=quick, seed=seed, jobs=jobs, cache="off")
+
+
+_DEPRECATED = {
+    "run_experiment": (_deprecated_run_experiment, "repro.api.run"),
+    "run_all": (_deprecated_run_all, "repro.api.run_all"),
+}
+
+
+def __getattr__(name: str):
+    """PEP 562 shims: the registry's execution entry points moved to the
+    :mod:`repro.api` façade; importing them from here still works but
+    warns."""
+    if name in _DEPRECATED:
+        import warnings
+
+        func, replacement = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.experiments.registry.{name} is deprecated; "
+            f"use {replacement} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return func
+    raise AttributeError(
+        f"module 'repro.experiments.registry' has no attribute {name!r}"
+    )

@@ -29,6 +29,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from repro.cache.memo import memoized
 from repro.errors import ProfileError
 from repro.profiles.square import SquareProfile
 from repro.util.intmath import critical_exponent, ilog, is_power_of
@@ -66,6 +67,11 @@ def _check_params(a: int, b: int, n: int, base_size: int) -> int:
     return ilog(n // base_size, b)
 
 
+def _profile_key(a: int, b: int, n: int, base_size: int = 1):
+    return (a, b, n, base_size)
+
+
+@memoized(maxsize=16, key=_profile_key)
 def worst_case_profile(
     a: int, b: int, n: int, base_size: int = 1
 ) -> SquareProfile:
@@ -74,6 +80,11 @@ def worst_case_profile(
     ``n`` must be ``base_size * b**k``.  Raises :class:`ProfileError` for
     profiles that would exceed ~``3*10**7`` boxes; use
     :func:`worst_case_boxes` (lazy) beyond that.
+
+    Memoized (small keyed LRU — profiles can run to hundreds of MB):
+    :class:`SquareProfile` is immutable, so callers share one instance
+    per ``(a, b, n, base_size)``.  ``worst_case_profile.cache_info()``
+    exposes the counters.
     """
     depth = _check_params(a, b, n, base_size)
     count = worst_case_box_count(a, b, n, base_size)

@@ -11,9 +11,12 @@ re-verified without re-executing anything.
 
 ``SCHEMA_VERSION`` is bumped whenever the serialized layout changes;
 ``from_dict`` refuses versions it does not understand rather than
-guessing.  The rendered text (:meth:`RunArtifact.render`) is the
-canonical human-readable report and is kept byte-compatible with the
-historical ``ExperimentResult`` rendering.
+guessing.  Version 2 added the cache bookkeeping fields (``cache_hit``,
+``saved_wall_time_s``) stamped by the :mod:`repro.cache` layer; version-1
+payloads still load (the fields default to ``None``).  The rendered text
+(:meth:`RunArtifact.render`) is the canonical human-readable report and
+is kept byte-compatible with the historical ``ExperimentResult``
+rendering — cache bookkeeping never reaches it.
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ from repro.util.tables import format_kv, format_table
 
 __all__ = ["SCHEMA_VERSION", "ResultTable", "RunArtifact"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _jsonify(value: Any, where: str) -> Any:
@@ -105,7 +108,11 @@ class RunArtifact:
     reproduction evidence; ``verdict`` is the one-line judgement.
     ``wall_time_s`` and ``counters`` are filled by the runtime layer
     (``None``/empty when the artifact was finalized outside a runner);
-    ``repro_version``/``git_revision`` stamp provenance.
+    ``repro_version``/``git_revision`` stamp provenance.  ``cache_hit``
+    and ``saved_wall_time_s`` are stamped by the cache-aware runner:
+    ``None`` means the run never consulted a cache, ``True`` means this
+    artifact came out of the store (``wall_time_s`` is then 0.0 and
+    ``saved_wall_time_s`` the stored run's compute time).
     """
 
     experiment_id: str
@@ -119,6 +126,8 @@ class RunArtifact:
     quick: bool | None = None
     wall_time_s: float | None = None
     counters: dict[str, int | float] = field(default_factory=dict)
+    cache_hit: bool | None = None
+    saved_wall_time_s: float | None = None
     repro_version: str = ""
     git_revision: str | None = None
     schema_version: int = SCHEMA_VERSION
@@ -153,9 +162,19 @@ class RunArtifact:
         return bool(self.metrics.get("reproduced", True))
 
     def without_timing(self) -> "RunArtifact":
-        """A copy with the non-deterministic field (wall time) cleared —
-        the payload that must be identical across worker counts."""
-        return replace(self, wall_time_s=None)
+        """A copy with the non-deterministic fields (wall time, cache
+        bookkeeping) cleared — the payload that must be identical across
+        worker counts *and* across cached vs live execution."""
+        return replace(
+            self, wall_time_s=None, cache_hit=None, saved_wall_time_s=None
+        )
+
+    def without_cache_stamp(self) -> "RunArtifact":
+        """A copy with only the cache bookkeeping cleared (wall time
+        kept) — the canonical form the artifact store persists, so a
+        stored entry remembers its compute cost but not how it was
+        produced."""
+        return replace(self, cache_hit=None, saved_wall_time_s=None)
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -172,6 +191,8 @@ class RunArtifact:
             "quick": self.quick,
             "wall_time_s": self.wall_time_s,
             "counters": _jsonify(self.counters, "counters"),
+            "cache_hit": self.cache_hit,
+            "saved_wall_time_s": self.saved_wall_time_s,
             "repro_version": self.repro_version,
             "git_revision": self.git_revision,
         }
@@ -202,6 +223,8 @@ class RunArtifact:
                 quick=payload.get("quick"),
                 wall_time_s=payload.get("wall_time_s"),
                 counters=dict(payload.get("counters", {})),
+                cache_hit=payload.get("cache_hit"),
+                saved_wall_time_s=payload.get("saved_wall_time_s"),
                 repro_version=payload.get("repro_version", ""),
                 git_revision=payload.get("git_revision"),
                 schema_version=version,

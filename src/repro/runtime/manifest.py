@@ -4,11 +4,15 @@ Where :class:`~repro.runtime.artifact.RunArtifact` records one
 experiment, the manifest records the *run*: which experiments executed
 under which configuration (seed, quick/full, worker count), how long
 each took, the instrumentation counters each accumulated, and the
-aggregate timing that makes parallel speedup visible —
-``experiment_wall_time_s`` is the sum of per-experiment wall times while
-``total_wall_time_s`` is the elapsed wall time of the whole run, so
-``speedup = experiment_wall_time_s / total_wall_time_s`` exceeds 1 when
-``jobs > 1`` buys real overlap.
+aggregate timing that makes parallel *and* cache speedup visible —
+``experiment_wall_time_s`` is the sum of per-experiment live compute
+times (a warm cache hit contributes 0.0), ``saved_wall_time_s`` is the
+compute the cache hits avoided, and ``total_wall_time_s`` is the elapsed
+wall time of the whole run.  ``speedup`` compares the serial-equivalent
+cost (live + saved) against elapsed time; ``cache_speedup`` compares it
+against live compute alone and is ``float("inf")`` when every entry was
+a hit — a fully warm run does no live compute, so dividing by
+``experiment_wall_time_s == 0.0`` would otherwise blow up.
 """
 
 from __future__ import annotations
@@ -33,6 +37,8 @@ class ManifestEntry:
     wall_time_s: float | None
     counters: dict[str, int | float] = field(default_factory=dict)
     artifact: str | None = None  # file name of the sibling artifact JSON
+    cache_hit: bool | None = None  # None: run never consulted a cache
+    saved_wall_time_s: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -42,6 +48,8 @@ class ManifestEntry:
             "wall_time_s": self.wall_time_s,
             "counters": _jsonify(self.counters, "counters"),
             "artifact": self.artifact,
+            "cache_hit": self.cache_hit,
+            "saved_wall_time_s": self.saved_wall_time_s,
         }
 
     @classmethod
@@ -54,6 +62,8 @@ class ManifestEntry:
                 wall_time_s=payload.get("wall_time_s"),
                 counters=dict(payload.get("counters", {})),
                 artifact=payload.get("artifact"),
+                cache_hit=payload.get("cache_hit"),
+                saved_wall_time_s=payload.get("saved_wall_time_s"),
             )
         except (KeyError, TypeError) as exc:
             raise ArtifactError(f"malformed manifest entry: {exc}") from None
@@ -91,6 +101,8 @@ class RunManifest:
                 wall_time_s=a.wall_time_s,
                 counters=dict(a.counters),
                 artifact=names.get(a.experiment_id),
+                cache_hit=a.cache_hit,
+                saved_wall_time_s=a.saved_wall_time_s,
             )
             for a in artifacts
         )
@@ -108,16 +120,48 @@ class RunManifest:
 
     @property
     def experiment_wall_time_s(self) -> float:
-        """Sum of per-experiment wall times (the serial-equivalent cost)."""
+        """Sum of per-experiment *live compute* wall times.  A warm cache
+        hit recomputes nothing, so it contributes 0.0 here."""
         return sum(e.wall_time_s or 0.0 for e in self.entries)
+
+    @property
+    def saved_wall_time_s(self) -> float:
+        """Compute time the cache hits avoided (sum of the stored runs'
+        wall times over all hit entries)."""
+        return sum(e.saved_wall_time_s or 0.0 for e in self.entries)
+
+    @property
+    def cache_hits(self) -> int:
+        """How many entries were served from the artifact store."""
+        return sum(1 for e in self.entries if e.cache_hit)
+
+    @property
+    def serial_equivalent_wall_time_s(self) -> float:
+        """What the run would have cost computed serially with a cold
+        cache: live compute plus the compute the hits avoided."""
+        return self.experiment_wall_time_s + self.saved_wall_time_s
 
     @property
     def speedup(self) -> float | None:
         """Serial-equivalent time over elapsed time; >1 means the worker
-        pool overlapped real work.  ``None`` until timings exist."""
+        pool overlapped real work and/or the cache skipped it.  ``None``
+        until timings exist."""
         if not self.total_wall_time_s or self.total_wall_time_s <= 0:
             return None
-        return self.experiment_wall_time_s / self.total_wall_time_s
+        return self.serial_equivalent_wall_time_s / self.total_wall_time_s
+
+    @property
+    def cache_speedup(self) -> float | None:
+        """Serial-equivalent time over *live compute* time: how much the
+        artifact store amortized, independent of parallelism.  When every
+        entry is a cache hit, ``experiment_wall_time_s`` is exactly 0.0 —
+        the guard returns ``float("inf")`` instead of dividing by zero.
+        ``None`` when nothing was saved and nothing ran (no timings)."""
+        live = self.experiment_wall_time_s
+        serial = self.serial_equivalent_wall_time_s
+        if live <= 0.0:
+            return float("inf") if serial > 0.0 else None
+        return serial / live
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -128,6 +172,8 @@ class RunManifest:
             "jobs": self.jobs,
             "total_wall_time_s": self.total_wall_time_s,
             "experiment_wall_time_s": self.experiment_wall_time_s,
+            "saved_wall_time_s": self.saved_wall_time_s,
+            "cache_hits": self.cache_hits,
             "speedup": self.speedup,
             "repro_version": self.repro_version,
             "git_revision": self.git_revision,

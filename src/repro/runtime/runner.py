@@ -15,6 +15,15 @@ from the seed (the ``util.rng`` discipline), so no state is shared
 between experiments and scheduling cannot influence results — only
 ``wall_time_s`` differs between ``jobs=1`` and ``jobs=N`` runs (compare
 with :meth:`RunArtifact.without_timing`).
+
+That same purity makes runs *cacheable*: ``cache="auto"`` consults the
+content-addressed artifact store (:mod:`repro.cache`) keyed by
+``(experiment id, quick, seed, code fingerprint)`` before computing — a
+warm hit returns the stored artifact (stamped ``cache_hit=True``,
+``wall_time_s=0.0``, ``saved_wall_time_s=<stored compute time>``), a
+miss computes and stores.  ``cache="refresh"`` recomputes and overwrites
+unconditionally; ``cache="off"`` (the default) is the PR-2 behavior,
+byte for byte.
 """
 
 from __future__ import annotations
@@ -28,7 +37,16 @@ from repro.errors import ExperimentError
 from repro.runtime import instrumentation
 from repro.runtime.artifact import RunArtifact
 
-__all__ = ["run_one", "ExperimentRunner"]
+__all__ = ["CACHE_MODES", "run_one", "ExperimentRunner"]
+
+CACHE_MODES = ("off", "auto", "refresh")
+
+
+def _check_cache_mode(cache: str) -> None:
+    if cache not in CACHE_MODES:
+        raise ExperimentError(
+            f"cache mode must be one of {CACHE_MODES}, got {cache!r}"
+        )
 
 
 def _resolve_ids(ids: Sequence[str] | None) -> list[str]:
@@ -46,7 +64,13 @@ def _resolve_ids(ids: Sequence[str] | None) -> list[str]:
     return list(ids)
 
 
-def run_one(experiment_id: str, quick: bool = True, seed: int = 0) -> RunArtifact:
+def run_one(
+    experiment_id: str,
+    quick: bool = True,
+    seed: int = 0,
+    cache: str = "off",
+    cache_dir: "str | None" = None,
+) -> RunArtifact:
     """Run one experiment with timing and instrumentation attached.
 
     This is the single execution path: it dispatches through the
@@ -54,7 +78,14 @@ def run_one(experiment_id: str, quick: bool = True, seed: int = 0) -> RunArtifac
     box/trial counters the simulation layer records, and returns the
     finalized :class:`RunArtifact`.  Top-level (picklable) so process
     pools can call it directly.
+
+    ``cache`` is ``"off"`` (always compute, no store I/O), ``"auto"``
+    (return the stored artifact on a fingerprint-valid hit, else compute
+    and store), or ``"refresh"`` (compute and overwrite the store).
+    ``cache_dir`` overrides the store location (default: see
+    :func:`repro.cache.default_cache_dir`).
     """
+    _check_cache_mode(cache)
     from repro.experiments.registry import EXPERIMENTS
 
     try:
@@ -63,6 +94,23 @@ def run_one(experiment_id: str, quick: bool = True, seed: int = 0) -> RunArtifac
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
+
+    store = key = None
+    if cache != "off":
+        from repro.cache.store import Cache, cache_key_for
+
+        store = Cache(cache_dir)
+        key = cache_key_for(experiment_id, quick, seed)
+        if cache == "auto":
+            entry = store.get(key)
+            if entry is not None:
+                return replace(
+                    entry.artifact,
+                    wall_time_s=0.0,
+                    cache_hit=True,
+                    saved_wall_time_s=entry.stored_wall_time_s,
+                )
+
     with instrumentation.collect() as counters:
         start = time.perf_counter()
         artifact = exp.runner(quick=quick, seed=seed)
@@ -73,7 +121,11 @@ def run_one(experiment_id: str, quick: bool = True, seed: int = 0) -> RunArtifac
             f"{type(artifact).__name__}; experiments must finalize into a "
             "RunArtifact (ExperimentResult.finalize)"
         )
-    return replace(artifact, wall_time_s=elapsed, counters=counters.as_dict())
+    artifact = replace(artifact, wall_time_s=elapsed, counters=counters.as_dict())
+    if store is not None and key is not None:
+        store.put(key, artifact)
+        artifact = replace(artifact, cache_hit=False)
+    return artifact
 
 
 @dataclass(frozen=True)
@@ -82,14 +134,20 @@ class ExperimentRunner:
 
     ``jobs=1`` executes in-process; ``jobs>1`` submits each experiment to
     a ``ProcessPoolExecutor`` and yields results in submission order, so
-    rendered output is byte-identical at any worker count.
+    rendered output is byte-identical at any worker count.  ``cache`` and
+    ``cache_dir`` are forwarded to every :func:`run_one` call (each
+    worker opens the store independently; puts are atomic so concurrent
+    writers are safe).
     """
 
     jobs: int = 1
+    cache: str = "off"
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {self.jobs}")
+        _check_cache_mode(self.cache)
 
     def run_iter(
         self,
@@ -101,12 +159,18 @@ class ExperimentRunner:
         targets = _resolve_ids(ids)
         if self.jobs == 1 or len(targets) <= 1:
             for eid in targets:
-                yield run_one(eid, quick=quick, seed=seed)
+                yield run_one(
+                    eid, quick=quick, seed=seed,
+                    cache=self.cache, cache_dir=self.cache_dir,
+                )
             return
         workers = min(self.jobs, len(targets))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(run_one, eid, quick, seed) for eid in targets
+                pool.submit(
+                    run_one, eid, quick, seed, self.cache, self.cache_dir
+                )
+                for eid in targets
             ]
             for future in futures:
                 yield future.result()

@@ -1,0 +1,141 @@
+"""Unit tests for the keyed-LRU memoizer and the memoized kernels."""
+
+import numpy as np
+import pytest
+
+from repro.cache.memo import MemoInfo, distribution_key, memoized
+
+
+class TestMemoized:
+    def test_hit_and_miss_counters(self):
+        calls = []
+
+        @memoized(maxsize=4)
+        def f(x):
+            calls.append(x)
+            return x * 2
+
+        assert f(1) == 2 and f(1) == 2 and f(2) == 4
+        assert calls == [1, 2]
+        info = f.cache_info()
+        assert info == MemoInfo(hits=1, misses=2, maxsize=4, currsize=2)
+
+    def test_lru_eviction_order(self):
+        @memoized(maxsize=2)
+        def f(x):
+            return object()
+
+        a, b = f(1), f(2)
+        assert f(1) is a  # refresh 1 -> 2 is now least-recent
+        f(3)  # evicts 2
+        assert f(1) is a
+        assert f(2) is not b
+
+    def test_cache_clear_resets(self):
+        @memoized(maxsize=2)
+        def f(x):
+            return x
+
+        f(1), f(1)
+        f.cache_clear()
+        assert f.cache_info() == MemoInfo(0, 0, 2, 0)
+
+    def test_explicit_key_unifies_spellings(self):
+        calls = []
+
+        def key(a, b=0):
+            return (a, b)
+
+        @memoized(maxsize=4, key=key)
+        def f(a, b=0):
+            calls.append((a, b))
+            return a + b
+
+        assert f(1) == f(1, 0) == f(1, b=0) == f(a=1) == 1
+        assert len(calls) == 1
+
+    def test_exceptions_not_cached(self):
+        calls = []
+
+        @memoized(maxsize=4)
+        def f(x):
+            calls.append(x)
+            raise ValueError("boom")
+
+        for _ in range(2):
+            with pytest.raises(ValueError):
+                f(1)
+        assert len(calls) == 2
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            memoized(maxsize=0)
+
+    def test_wrapped_preserved(self):
+        @memoized()
+        def f(x):
+            """doc"""
+            return x
+
+        assert f.__name__ == "f" and f.__doc__ == "doc"
+        assert f.__wrapped__(3) == 3
+
+
+class TestDistributionKey:
+    def test_same_name_different_support_distinguished(self):
+        from repro.profiles.distributions import Empirical
+
+        a = Empirical([1, 2], name="same")
+        b = Empirical([1, 4], name="same")
+        assert distribution_key(a) != distribution_key(b)
+
+    def test_equal_distributions_share_key(self):
+        from repro.profiles.distributions import PointMass
+
+        assert distribution_key(PointMass(8)) == distribution_key(PointMass(8))
+        assert distribution_key(PointMass(8)) != distribution_key(PointMass(16))
+
+    def test_key_is_hashable(self):
+        from repro.profiles.distributions import UniformPowers
+
+        hash(distribution_key(UniformPowers(4, 1, 5)))
+
+
+class TestMemoizedKernels:
+    def test_solve_recurrence_returns_shared_solution(self):
+        from repro.algorithms.library import MM_SCAN
+        from repro.analysis.recurrence import solve_recurrence
+        from repro.profiles.distributions import PointMass
+
+        solve_recurrence.cache_clear()
+        first = solve_recurrence(MM_SCAN, 64, PointMass(16))
+        second = solve_recurrence(MM_SCAN, 64, PointMass(16), scan_dp=True)
+        assert second is first
+        info = solve_recurrence.cache_info()
+        assert info.hits >= 1 and info.misses >= 1
+
+    def test_solve_recurrence_distinguishes_scan_dp(self):
+        from repro.algorithms.library import MM_SCAN
+        from repro.analysis.recurrence import solve_recurrence
+        from repro.profiles.distributions import PointMass
+
+        exact = solve_recurrence(MM_SCAN, 64, PointMass(6))
+        wald = solve_recurrence(MM_SCAN, 64, PointMass(6), scan_dp=False)
+        assert exact is not wald
+
+    def test_worst_case_profile_shared_instance(self):
+        from repro.profiles.worst_case import worst_case_profile
+
+        worst_case_profile.cache_clear()
+        first = worst_case_profile(8, 4, 256)
+        second = worst_case_profile(8, 4, 256, base_size=1)
+        assert second is first
+        assert np.array_equal(first.boxes, second.boxes)
+        assert worst_case_profile.cache_info().hits >= 1
+
+    def test_worst_case_profile_bad_params_still_raise(self):
+        from repro.errors import ProfileError
+        from repro.profiles.worst_case import worst_case_profile
+
+        with pytest.raises(ProfileError):
+            worst_case_profile(8, 4, 10)

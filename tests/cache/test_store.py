@@ -1,0 +1,156 @@
+"""Unit tests for the content-addressed artifact store."""
+
+import json
+
+import pytest
+
+from repro.cache.store import (
+    CACHE_ENTRY_VERSION,
+    Cache,
+    CacheKey,
+    cache_key_for,
+    default_cache_dir,
+    environment_tag,
+)
+from repro.errors import ExperimentError
+from repro.runtime.artifact import RunArtifact
+
+
+def make_artifact(**overrides) -> RunArtifact:
+    base = dict(
+        experiment_id="x",
+        title="T",
+        claim="C",
+        metrics={"reproduced": True},
+        verdict="REPRODUCED",
+        seed=0,
+        quick=True,
+        wall_time_s=0.25,
+        counters={"sim.runs": 1},
+        repro_version="1.0.0",
+        git_revision="abc1234",
+    )
+    base.update(overrides)
+    return RunArtifact(**base)
+
+
+def make_key(**overrides) -> CacheKey:
+    base = dict(experiment_id="x", quick=True, seed=0, fingerprint="f" * 64)
+    base.update(overrides)
+    return CacheKey(**base)
+
+
+class TestCacheKey:
+    def test_digest_is_stable(self):
+        assert make_key().digest == make_key().digest
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("experiment_id", "y"),
+            ("quick", False),
+            ("seed", 1),
+            ("fingerprint", "e" * 64),
+            ("schema_version", 99),
+            ("environment", "py0.0-numpy0-scipy0"),
+        ],
+    )
+    def test_any_field_changes_digest(self, field, value):
+        assert make_key(**{field: value}).digest != make_key().digest
+
+    def test_environment_defaults_to_current(self):
+        assert make_key().environment == environment_tag()
+
+    def test_cache_key_for_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            cache_key_for("nope", True, 0)
+
+
+class TestDefaultCacheDir:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "here"))
+        assert default_cache_dir() == tmp_path / "here"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro"
+
+
+class TestPutGet:
+    def test_roundtrip(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        path = store.put(key, make_artifact())
+        assert path.is_file()
+        entry = store.get(key)
+        assert entry is not None
+        assert entry.key == key
+        assert entry.artifact == make_artifact()
+        assert entry.stored_wall_time_s == pytest.approx(0.25)
+
+    def test_miss_returns_none(self, tmp_path):
+        assert Cache(tmp_path / "store").get(make_key()) is None
+
+    def test_put_strips_cache_stamp(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        stamped = make_artifact(cache_hit=True, saved_wall_time_s=9.0)
+        store.put(key, stamped)
+        entry = store.get(key)
+        assert entry.artifact.cache_hit is None
+        assert entry.artifact.saved_wall_time_s is None
+        assert entry.artifact.wall_time_s == pytest.approx(0.25)
+
+    def test_corrupt_entry_is_miss_and_removed(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        path = store.put(key, make_artifact())
+        path.write_text("{not json", encoding="utf-8")
+        assert store.get(key) is None
+
+    def test_wrong_entry_version_discarded(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        path = store.put(key, make_artifact())
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["cache_entry_version"] = CACHE_ENTRY_VERSION + 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.get(key) is None
+        assert not path.exists()
+
+    def test_last_writer_wins(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        store.put(key, make_artifact(wall_time_s=1.0))
+        store.put(key, make_artifact(wall_time_s=2.0))
+        assert store.get(key).stored_wall_time_s == pytest.approx(2.0)
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        store.put(make_key(seed=0), make_artifact(wall_time_s=1.0))
+        store.put(make_key(seed=1), make_artifact(wall_time_s=2.0))
+        store.put(
+            make_key(experiment_id="y"), make_artifact(experiment_id="y")
+        )
+        stats = store.stats()
+        assert stats.entries == 3
+        assert stats.by_experiment == {"x": 2, "y": 1}
+        assert stats.total_bytes > 0
+        assert stats.stored_wall_time_s == pytest.approx(3.25)
+        assert store.clear() == 3
+        assert store.stats().entries == 0
+
+    def test_iter_entries_in_digest_order(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        for seed in range(4):
+            store.put(make_key(seed=seed), make_artifact(seed=seed))
+        digests = [e.key.digest for e in store.iter_entries()]
+        assert digests == sorted(digests)
+
+    def test_stats_on_missing_root(self, tmp_path):
+        stats = Cache(tmp_path / "ghost").stats()
+        assert stats.entries == 0 and stats.total_bytes == 0
+        assert Cache(tmp_path / "ghost").clear() == 0

@@ -9,6 +9,15 @@ from repro.algorithms.library import MM_INPLACE, MM_SCAN, STRASSEN
 from repro.algorithms.spec import RegularSpec
 
 
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(tmp_path, monkeypatch):
+    """Point the artifact store at a per-test directory so tests never
+    read or pollute the developer's real cache (~/.cache/repro).  The
+    env var is inherited by ProcessPoolExecutor workers, so parallel
+    runner tests stay isolated too."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifact-cache"))
+
+
 @pytest.fixture
 def rng():
     """A deterministic generator, fresh per test."""

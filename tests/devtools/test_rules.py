@@ -474,6 +474,91 @@ class TestWallclockDiscipline:
         assert rule_ids(diags) == ["wallclock-discipline"]
 
 
+# ------------------------------------------------------- profile-discipline
+class TestProfileDiscipline:
+    def test_list_literal_boxes_fires(self):
+        diags = lint(
+            "run_boxes(spec, 64, [4, 4, 4])\n",
+            rules=["profile-discipline"],
+        )
+        assert rule_ids(diags) == ["profile-discipline"]
+        assert "SquareProfile" in diags[0].message
+
+    def test_comprehension_boxes_keyword_fires(self):
+        diags = lint(
+            "run_repeated(spec, 64, boxes=[m for m in sizes])\n",
+            rules=["profile-discipline"],
+        )
+        assert rule_ids(diags) == ["profile-discipline"]
+
+    def test_generator_expression_fires(self):
+        diags = lint(
+            "run_adaptive(spec, 64, (m for m in sizes))\n",
+            rules=["profile-discipline"],
+        )
+        assert rule_ids(diags) == ["profile-discipline"]
+
+    def test_iter_call_on_simulator_method_fires(self):
+        diags = lint(
+            "sim.run(iter([1, 2, 4]))\n",
+            rules=["profile-discipline"],
+        )
+        assert rule_ids(diags) == ["profile-discipline"]
+
+    def test_run_to_completion_range_fires_any_receiver(self):
+        diags = lint(
+            "machine.run_to_completion(range(8))\n",
+            rules=["profile-discipline"],
+        )
+        assert rule_ids(diags) == ["profile-discipline"]
+
+    def test_profile_variable_quiet(self):
+        diags = lint(
+            """
+            profile = worst_case_profile(2, 2, 64)
+            run_boxes(spec, 64, profile)
+            """,
+            rules=["profile-discipline"],
+        )
+        assert diags == []
+
+    def test_constructor_calls_quiet(self):
+        diags = lint(
+            """
+            run_boxes(spec, 64, SquareProfile([1, 2, 4]))
+            run_repeated(spec, 64, worst_case_boxes(2, 2, 64))
+            """,
+            rules=["profile-discipline"],
+        )
+        assert diags == []
+
+    def test_itertools_repeat_quiet(self):
+        diags = lint(
+            """
+            import itertools
+
+            sim.run(itertools.repeat(box))
+            """,
+            rules=["profile-discipline"],
+        )
+        assert diags == []
+
+    def test_non_simulator_run_method_quiet(self):
+        diags = lint(
+            "runner.run([\"fig1\", \"mmcount\"])\n",
+            rules=["profile-discipline"],
+        )
+        assert diags == []
+
+    def test_applies_to_library_code_too(self):
+        diags = lint(
+            "run_boxes(spec, 64, [4, 4, 4])\n",
+            path=LIB.replace("mod.py", "sweep.py"),
+            rules=["profile-discipline"],
+        )
+        assert rule_ids(diags) == ["profile-discipline"]
+
+
 # ------------------------------------------------- each bad fixture, exactly
 # one rule: running the FULL rule set over each snippet must produce only the
 # intended rule id (the acceptance criterion for deliberately-seeded bugs).
@@ -490,6 +575,7 @@ SEEDED_VIOLATIONS = {
     "mutable-default": (SCRIPT, "def collect(items=[]):\n    return items\n"),
     "module-exports": (LIB, '__all__ = ["missing"]\n'),
     "wallclock-discipline": (SCRIPT, "import time\n\nt0 = time.time()\n"),
+    "profile-discipline": (SCRIPT, "run_boxes(spec, 64, [4, 4, 4])\n"),
 }
 
 

@@ -13,11 +13,13 @@ class TestParser:
     def test_run_with_flags(self):
         args = build_parser().parse_args(["run", "fig1", "gap", "--full", "--seed", "3"])
         assert args.ids == ["fig1", "gap"]
-        assert args.full and args.seed == 3
+        assert not args.quick and args.seed == 3
 
-    def test_run_defaults_jobs_and_json(self):
+    def test_run_defaults(self):
         args = build_parser().parse_args(["run", "fig1"])
         assert args.jobs == 1 and args.json_dir is None
+        assert args.quick  # quick is the default for run
+        assert args.cache == "auto" and args.cache_dir is None
 
     def test_run_jobs_and_json_flags(self):
         args = build_parser().parse_args(
@@ -25,9 +27,58 @@ class TestParser:
         )
         assert args.jobs == 4 and args.json_dir == "artifacts"
 
+    def test_run_cache_flags(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "fig1", "--no-cache"]).cache == "off"
+        assert parser.parse_args(["run", "fig1", "--refresh"]).cache == "refresh"
+        args = parser.parse_args(["run", "fig1", "--cache-dir", "/tmp/c"])
+        assert args.cache_dir == "/tmp/c"
+
+    def test_no_cache_and_refresh_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig1", "--no-cache", "--refresh"])
+
+    def test_quick_full_mutually_exclusive_everywhere(self):
+        parser = build_parser()
+        for sub in (
+            ["run", "fig1"],
+            ["show-profile", "64"],
+            ["solve", "--n", "64", "--dist", "point:16"],
+            ["bench"],
+        ):
+            with pytest.raises(SystemExit):
+                parser.parse_args([*sub, "--quick", "--full"])
+
     def test_show_profile(self):
         args = build_parser().parse_args(["show-profile", "64"])
-        assert args.n == 64
+        assert args.pos_n == 64 and args.n is None
+        flagged = build_parser().parse_args(["show-profile", "--n", "64"])
+        assert flagged.n == 64
+        assert flagged.quick and flagged.seed == 0
+
+    def test_solve_defaults_to_full(self):
+        args = build_parser().parse_args(
+            ["solve", "--n", "64", "--dist", "point:16"]
+        )
+        assert not args.quick  # exact DP is the default for solve
+        assert args.seed == 0 and args.json_dir is None
+
+    def test_cache_subcommands(self):
+        parser = build_parser()
+        assert parser.parse_args(["cache", "stats"]).cache_command == "stats"
+        assert parser.parse_args(["cache", "clear"]).cache_command == "clear"
+        verify = parser.parse_args(
+            ["cache", "verify", "--sample", "0", "--jobs", "4", "--seed", "2"]
+        )
+        assert verify.cache_command == "verify"
+        assert verify.sample == 0 and verify.jobs == 4 and verify.seed == 2
+        with pytest.raises(SystemExit):
+            parser.parse_args(["cache"])
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.ids == [] and args.output == "BENCH_cache.json"
+        assert args.quick and args.jobs == 1
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -56,6 +107,105 @@ class TestMain:
 
     def test_show_profile_invalid(self, capsys):
         assert main(["show-profile", "10"]) == 2
+
+    def test_show_profile_needs_a_size(self, capsys):
+        assert main(["show-profile"]) == 2
+        assert "problem size" in capsys.readouterr().err
+
+    def test_show_profile_conflicting_sizes(self, capsys):
+        assert main(["show-profile", "64", "--n", "256"]) == 2
+
+    def test_show_profile_full_prints_census(self, capsys):
+        assert main(["show-profile", "256", "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "box census" in out and "1: 4096" in out
+
+    def test_show_profile_json(self, tmp_path, capsys):
+        import json
+
+        assert main(["show-profile", "256", "--json", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "profile.json").read_text())
+        assert payload["n"] == 256 and payload["boxes"] == 4681
+        assert payload["size_census"]["1"] == 4096
+
+    def test_solve_json(self, tmp_path, capsys):
+        import json
+
+        assert main(
+            [
+                "solve", "--n", "64", "--dist", "point:16",
+                "--json", str(tmp_path), "--seed", "5",
+            ]
+        ) == 0
+        payload = json.loads((tmp_path / "solve.json").read_text())
+        assert payload["seed"] == 5 and payload["quick"] is False
+        assert payload["levels"] and "eq8_product" in payload
+
+    def test_solve_quick_announces_approximation(self, capsys):
+        assert main(["solve", "--n", "64", "--dist", "point:16", "--quick"]) == 0
+        assert "Wald-midpoint" in capsys.readouterr().out
+
+
+class TestCacheCommands:
+    def test_warm_run_reports_hits(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        capsys.readouterr()
+        assert main(["run", "fig1"]) == 0
+        captured = capsys.readouterr()
+        assert "REPRODUCED" in captured.out
+        assert "cache: 1/1 hit(s)" in captured.err
+
+    def test_no_cache_never_hits(self, capsys):
+        assert main(["run", "fig1", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["run", "fig1", "--no-cache"]) == 0
+        assert "cache:" not in capsys.readouterr().err
+
+    def test_warm_output_matches_cold(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        cold = capsys.readouterr().out
+        assert main(["run", "fig1"]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_stats_clear_roundtrip(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out and "fig1" in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_verify_ok(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "verify", "--sample", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "1 checked, 0 mismatch(es)" in out
+
+    def test_bench_writes_report(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "BENCH_cache.json"
+        assert main(["bench", "fig1", "-o", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["bit_identical"] is True
+        assert payload["warm_hits"] == 1
+        assert "speedup" in capsys.readouterr().out
+
+    def test_json_manifest_records_warm_hits(self, tmp_path, capsys):
+        from repro.runtime import RunManifest
+
+        assert main(["run", "fig1"]) == 0
+        art_dir = tmp_path / "artifacts"
+        assert main(["run", "fig1", "--json", str(art_dir)]) == 0
+        manifest = RunManifest.from_json((art_dir / "manifest.json").read_text())
+        assert manifest.cache_hits == 1
+        assert manifest.entries[0].cache_hit is True
+        assert manifest.saved_wall_time_s > 0
 
 
 class TestOutputFile:

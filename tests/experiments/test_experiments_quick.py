@@ -9,7 +9,8 @@ profile constructions, simulators, or solvers shows up here as a
 
 import pytest
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.api import run
+from repro.experiments.registry import EXPERIMENTS
 
 FAST = ["fig1", "mmcount", "lemma1", "eq8", "scanhide", "abeq"]
 MEDIUM = ["gap", "regimes", "nocatchup", "xcheck", "shuffle", "realistic"]
@@ -18,20 +19,20 @@ SLOW = ["iid", "lemma3", "sizepert", "shiftpert", "orderpert", "randomized", "ab
 
 @pytest.mark.parametrize("experiment_id", FAST)
 def test_fast_experiment_reproduces(experiment_id):
-    result = run_experiment(experiment_id, quick=True, seed=0)
+    result = run(experiment_id, quick=True, seed=0, cache="off")
     assert result.metrics.get("reproduced") is True, result.render()
 
 
 @pytest.mark.parametrize("experiment_id", MEDIUM)
 def test_medium_experiment_reproduces(experiment_id):
-    result = run_experiment(experiment_id, quick=True, seed=0)
+    result = run(experiment_id, quick=True, seed=0, cache="off")
     assert result.metrics.get("reproduced") is True, result.render()
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("experiment_id", SLOW)
 def test_slow_experiment_reproduces(experiment_id):
-    result = run_experiment(experiment_id, quick=True, seed=0)
+    result = run(experiment_id, quick=True, seed=0, cache="off")
     assert result.metrics.get("reproduced") is True, result.render()
 
 
@@ -40,7 +41,7 @@ def test_partition_covers_registry():
 
 
 def test_every_result_renders():
-    result = run_experiment("fig1", quick=True)
+    result = run("fig1", quick=True, cache="off")
     text = result.render()
     assert result.experiment_id in text
     assert result.tables

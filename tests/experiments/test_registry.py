@@ -2,9 +2,10 @@
 
 import pytest
 
+from repro.api import run
 from repro.errors import ExperimentError
 from repro.experiments.common import ExperimentResult, ResultTable
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS
 
 
 class TestRegistry:
@@ -42,7 +43,7 @@ class TestRegistry:
 
     def test_unknown_id(self):
         with pytest.raises(ExperimentError):
-            run_experiment("nope")
+            run("nope")
 
 
 class TestResultRendering:

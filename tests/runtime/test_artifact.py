@@ -78,6 +78,16 @@ class TestSchemaVersion:
         with pytest.raises(ArtifactError):
             RunArtifact.from_json("not json")
 
+    def test_v1_payload_still_reads(self):
+        payload = make_artifact().to_dict()
+        payload["schema_version"] = 1
+        payload.pop("cache_hit", None)
+        payload.pop("saved_wall_time_s", None)
+        loaded = RunArtifact.from_dict(payload)
+        assert loaded.schema_version == 1
+        assert loaded.cache_hit is None
+        assert loaded.saved_wall_time_s is None
+
 
 class TestImmutability:
     def test_frozen(self):
@@ -85,12 +95,28 @@ class TestImmutability:
         with pytest.raises(dataclasses.FrozenInstanceError):
             artifact.verdict = "changed"
 
-    def test_without_timing_clears_only_wall_time(self):
-        artifact = make_artifact()
+    def test_without_timing_clears_timing_and_cache_stamp(self):
+        artifact = make_artifact(cache_hit=True, saved_wall_time_s=2.5)
         stripped = artifact.without_timing()
         assert stripped.wall_time_s is None
+        assert stripped.cache_hit is None
+        assert stripped.saved_wall_time_s is None
         assert stripped.counters == artifact.counters
         assert stripped.metrics == artifact.metrics
+
+    def test_without_cache_stamp_keeps_wall_time(self):
+        artifact = make_artifact(cache_hit=False, saved_wall_time_s=2.5)
+        canonical = artifact.without_cache_stamp()
+        assert canonical.wall_time_s == pytest.approx(0.125)
+        assert canonical.cache_hit is None
+        assert canonical.saved_wall_time_s is None
+
+    def test_cached_and_live_agree_modulo_timing(self):
+        live = make_artifact()
+        cached = make_artifact(
+            wall_time_s=0.0, cache_hit=True, saved_wall_time_s=0.125
+        )
+        assert live.without_timing().to_json() == cached.without_timing().to_json()
 
 
 class TestJsonifyRefusals:

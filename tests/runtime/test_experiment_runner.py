@@ -8,8 +8,9 @@ metrics, verdicts, counters) — only wall times may differ.
 
 import pytest
 
+from repro.api import run_all
 from repro.errors import ExperimentError
-from repro.experiments.registry import EXPERIMENTS, run_all
+from repro.experiments.registry import EXPERIMENTS
 from repro.runtime import RunArtifact
 from repro.runtime.runner import ExperimentRunner, run_one
 
@@ -76,8 +77,9 @@ class TestDeterminismAcrossWorkers:
 
     @pytest.mark.slow
     def test_run_all_jobs1_equals_jobs4(self):
-        serial = run_all(quick=True, seed=0, jobs=1)
-        parallel = run_all(quick=True, seed=0, jobs=4)
+        # cache="off": a warm hit would make the comparison vacuous
+        serial = run_all(quick=True, seed=0, jobs=1, cache="off")
+        parallel = run_all(quick=True, seed=0, jobs=4, cache="off")
         assert list(serial) == list(parallel) == list(EXPERIMENTS)
         for eid in serial:
             a, b = serial[eid], parallel[eid]

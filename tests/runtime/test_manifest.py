@@ -7,7 +7,13 @@ from repro.runtime.artifact import RunArtifact
 from repro.runtime.manifest import ManifestEntry, RunManifest
 
 
-def artifact(eid: str, wall: float, reproduced: bool = True) -> RunArtifact:
+def artifact(
+    eid: str,
+    wall: float,
+    reproduced: bool = True,
+    cache_hit: "bool | None" = None,
+    saved: "float | None" = None,
+) -> RunArtifact:
     return RunArtifact(
         experiment_id=eid,
         title=f"title {eid}",
@@ -18,9 +24,16 @@ def artifact(eid: str, wall: float, reproduced: bool = True) -> RunArtifact:
         quick=True,
         wall_time_s=wall,
         counters={"sim.runs": 2},
+        cache_hit=cache_hit,
+        saved_wall_time_s=saved,
         repro_version="1.0.0",
         git_revision="abc1234",
     )
+
+
+def hit(eid: str, saved: float) -> RunArtifact:
+    """An all-cache-hit artifact: zero live compute, ``saved`` banked."""
+    return artifact(eid, 0.0, cache_hit=True, saved=saved)
 
 
 class TestBuild:
@@ -55,6 +68,76 @@ class TestBuild:
             [artifact("a", 1.0)], seed=0, quick=True, jobs=1
         )
         assert manifest.speedup is None
+
+
+class TestCacheAccounting:
+    def test_entries_carry_cache_fields(self):
+        manifest = RunManifest.build(
+            [hit("a", 2.0), artifact("b", 1.0, cache_hit=False)],
+            seed=0,
+            quick=True,
+            jobs=1,
+            total_wall_time_s=1.0,
+        )
+        assert manifest.entries[0].cache_hit is True
+        assert manifest.entries[0].saved_wall_time_s == pytest.approx(2.0)
+        assert manifest.entries[1].cache_hit is False
+        assert manifest.cache_hits == 1
+        assert manifest.saved_wall_time_s == pytest.approx(2.0)
+        assert manifest.serial_equivalent_wall_time_s == pytest.approx(3.0)
+
+    def test_all_hits_speedup_does_not_divide_by_zero(self):
+        # Regression: with every entry a cache hit, live compute time is
+        # exactly 0.0; cache_speedup must guard the division.
+        manifest = RunManifest.build(
+            [hit("a", 2.0), hit("b", 3.0)],
+            seed=0,
+            quick=True,
+            jobs=1,
+            total_wall_time_s=0.01,
+        )
+        assert manifest.experiment_wall_time_s == 0.0
+        assert manifest.cache_speedup == float("inf")
+        assert manifest.speedup == pytest.approx(5.0 / 0.01)
+
+    def test_no_hits_no_time_cache_speedup_is_none(self):
+        manifest = RunManifest.build(
+            [artifact("a", 0.0)], seed=0, quick=True, jobs=1,
+            total_wall_time_s=0.01,
+        )
+        assert manifest.cache_speedup is None
+
+    def test_live_run_cache_speedup(self):
+        manifest = RunManifest.build(
+            [artifact("a", 1.0), hit("b", 3.0)],
+            seed=0,
+            quick=True,
+            jobs=1,
+            total_wall_time_s=1.0,
+        )
+        assert manifest.cache_speedup == pytest.approx(4.0)
+
+    def test_to_dict_serializes_cache_summary(self):
+        payload = RunManifest.build(
+            [hit("a", 2.0)], seed=0, quick=True, jobs=1,
+            total_wall_time_s=0.01,
+        ).to_dict()
+        assert payload["cache_hits"] == 1
+        assert payload["saved_wall_time_s"] == pytest.approx(2.0)
+        # cache_speedup can be inf (not JSON-representable): never serialized
+        assert "cache_speedup" not in payload
+
+    def test_cache_fields_round_trip(self):
+        manifest = RunManifest.build(
+            [hit("a", 2.0), artifact("b", 1.0, cache_hit=False)],
+            seed=0,
+            quick=True,
+            jobs=1,
+            total_wall_time_s=1.0,
+        )
+        loaded = RunManifest.from_json(manifest.to_json())
+        assert loaded == manifest
+        assert loaded.cache_hits == 1
 
 
 class TestRoundTrip:

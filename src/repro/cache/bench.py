@@ -29,6 +29,7 @@ def run_cache_bench(
 ) -> dict[str, Any]:
     """Run the cold/warm benchmark and return the BENCH_cache payload."""
     from repro.cache.store import Cache, environment_tag
+    from repro.errors import CacheError
     from repro.runtime.provenance import git_revision, repro_version
     from repro.runtime.runner import ExperimentRunner
 
@@ -36,16 +37,28 @@ def run_cache_bench(
     start = time.perf_counter()
     cold = cold_runner.run(ids, quick=quick, seed=seed)
     cold_wall = time.perf_counter() - start
+    if not cold:
+        # all() over zero experiments would report bit_identical=True —
+        # a vacuous pass the benchmark must not emit as evidence.
+        raise CacheError(
+            "cache bench ran zero experiments; pass ids=None for the "
+            "full registry or a non-empty id list"
+        )
 
     warm_runner = ExperimentRunner(jobs=jobs, cache="auto", cache_dir=cache_dir)
     start = time.perf_counter()
     warm = warm_runner.run(ids, quick=quick, seed=seed)
     warm_wall = time.perf_counter() - start
 
+    if len(warm) != len(cold):
+        raise CacheError(
+            f"cold/warm passes disagree: {len(cold)} cold vs "
+            f"{len(warm)} warm artifacts — the registry changed mid-bench"
+        )
     warm_hits = sum(1 for a in warm if a.cache_hit)
     bit_identical = all(
         c.without_timing().to_json() == w.without_timing().to_json()
-        for c, w in zip(cold, warm)
+        for c, w in zip(cold, warm, strict=True)
     )
     store = Cache(cache_dir)
     return {

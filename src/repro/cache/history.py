@@ -1,0 +1,235 @@
+"""Longitudinal bench history: ``BENCH_cache.json`` as a trend line.
+
+A single cold-vs-warm measurement (:mod:`repro.cache.bench`) proves the
+store works *today*; it says nothing about drift.  The empirical cache
+literature this repro leans on (Barratt & Zhang 2019; Iacono et al.
+2019) is blunt about that: cache claims are only credible as
+*longitudinal* measurements.  This module turns ``BENCH_cache.json``
+from a single point into an append-only history — one record per
+``repro bench --history`` invocation, keyed by git revision and
+environment tag — plus a trend renderer and a cold/warm-speedup
+regression check comparing the newest record against the median of its
+comparable predecessors (same environment, quick flag, and worker
+count; wall times from different configurations are not comparable).
+
+File layout (schema-versioned like every artifact in this repo)::
+
+    {
+      "history_schema_version": 1,
+      "benchmark": "cache-cold-vs-warm",
+      "records": [ <bench payload>, ... ]   # oldest first
+    }
+
+A legacy single-record ``BENCH_cache.json`` (the PR-3 layout, spotted
+by its top-level ``bench_schema_version``) is migrated in place on the
+first append, so the trend starts from the measurement that already
+exists.  See ``docs/ARTIFACTS.md`` for the record schema.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from statistics import median
+from typing import Any
+
+from repro.errors import CacheError
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "empty_history",
+    "load_history",
+    "append_record",
+    "render_trend",
+    "check_regression",
+]
+
+HISTORY_SCHEMA_VERSION = 1
+
+#: Latest speedup below this fraction of the comparable-median flags a
+#: regression.  Generous on purpose: CI wall times are noisy, and a
+#: false alarm per commit would train everyone to ignore the check.
+DEFAULT_REGRESSION_THRESHOLD = 0.5
+
+
+def empty_history() -> dict[str, Any]:
+    """A fresh, record-less history document."""
+    return {
+        "history_schema_version": HISTORY_SCHEMA_VERSION,
+        "benchmark": "cache-cold-vs-warm",
+        "records": [],
+    }
+
+
+def load_history(path: "str | os.PathLike[str]") -> dict[str, Any]:
+    """Read a history file; a missing file is an empty history.
+
+    A legacy single-record ``BENCH_cache.json`` is wrapped as the first
+    record.  Corruption is *loud* (:class:`CacheError`): silently
+    restarting the trend would erase exactly the longitudinal evidence
+    this file exists to keep.
+    """
+    p = Path(path)
+    try:
+        text = p.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return empty_history()
+    except OSError as exc:
+        raise CacheError(f"cannot read bench history {p}: {exc}") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CacheError(
+            f"bench history {p} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise CacheError(
+            f"bench history {p} must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    if "bench_schema_version" in payload and "records" not in payload:
+        # PR-3 layout: one bare bench payload.  Adopt it as record 0.
+        history = empty_history()
+        history["records"] = [payload]
+        return history
+    version = payload.get("history_schema_version")
+    if version != HISTORY_SCHEMA_VERSION:
+        raise CacheError(
+            f"unsupported bench history schema_version {version!r} in {p}; "
+            f"this build reads version {HISTORY_SCHEMA_VERSION}"
+        )
+    records = payload.get("records")
+    if not isinstance(records, list):
+        raise CacheError(f"bench history {p} has no records list")
+    return payload
+
+
+def append_record(
+    path: "str | os.PathLike[str]", record: dict[str, Any]
+) -> dict[str, Any]:
+    """Append ``record`` to the history at ``path`` (atomic write) and
+    return the updated history.  Reruns at the same revision append —
+    they are new measurements, not corrections."""
+    p = Path(path)
+    history = load_history(p)
+    history["records"] = list(history["records"]) + [dict(record)]
+    p.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=p.parent, prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(history, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, p)
+    except Exception as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        if isinstance(exc, OSError):
+            raise CacheError(
+                f"cannot write bench history {p}: {exc}"
+            ) from None
+        raise
+    return history
+
+
+def _config_key(record: dict[str, Any]) -> tuple[Any, Any, Any]:
+    """Comparability class of one record: only same-environment,
+    same-quick, same-jobs measurements share a baseline."""
+    return (
+        record.get("environment"),
+        record.get("quick"),
+        record.get("jobs"),
+    )
+
+
+def render_trend(history: dict[str, Any]) -> str:
+    """The history as a text table, oldest record first."""
+    from repro.util.tables import format_table
+
+    rows = []
+    for index, record in enumerate(history.get("records", []), start=1):
+        speedup = record.get("speedup")
+        rows.append(
+            (
+                index,
+                record.get("git_revision") or "-",
+                record.get("quick"),
+                record.get("jobs"),
+                record.get("cold_wall_time_s"),
+                record.get("warm_wall_time_s"),
+                f"{speedup:.1f}x" if isinstance(speedup, (int, float)) else "-",
+                record.get("warm_hits"),
+                "yes" if record.get("bit_identical") else "NO",
+            )
+        )
+    if not rows:
+        return "bench history: no records yet"
+    return format_table(
+        [
+            "#",
+            "revision",
+            "quick",
+            "jobs",
+            "cold(s)",
+            "warm(s)",
+            "speedup",
+            "hits",
+            "identical",
+        ],
+        rows,
+        title="cache bench history (cold vs warm)",
+    )
+
+
+def check_regression(
+    history: dict[str, Any],
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> dict[str, Any]:
+    """Compare the newest record's speedup to its comparable history.
+
+    Baseline = median speedup of earlier records in the same
+    comparability class (environment, quick, jobs).  ``status`` is
+    ``"ok"``, ``"regression"`` (latest < ``threshold`` x baseline), or
+    ``"no-baseline"`` (fewer than two comparable measurements — the
+    first run of a new environment cannot regress against anything).
+    """
+    records = [
+        r
+        for r in history.get("records", [])
+        if isinstance(r.get("speedup"), (int, float))
+    ]
+    verdict: dict[str, Any] = {
+        "status": "no-baseline",
+        "threshold": threshold,
+        "latest_speedup": None,
+        "baseline_speedup": None,
+        "ratio": None,
+        "baseline_records": 0,
+    }
+    if not records:
+        return verdict
+    latest = records[-1]
+    latest_speedup = float(latest["speedup"])
+    verdict["latest_speedup"] = latest_speedup
+    prior = [
+        float(r["speedup"])
+        for r in records[:-1]
+        if _config_key(r) == _config_key(latest)
+    ]
+    verdict["baseline_records"] = len(prior)
+    if not prior:
+        return verdict
+    baseline = float(median(prior))
+    ratio = latest_speedup / baseline if baseline > 0 else None
+    verdict["baseline_speedup"] = baseline
+    verdict["ratio"] = ratio
+    verdict["status"] = (
+        "regression" if ratio is not None and ratio < threshold else "ok"
+    )
+    return verdict

@@ -14,6 +14,11 @@ Layout: ``<root>/<digest[:2]>/<digest>.json``, one JSON document per
 entry, written atomically (temp file + ``os.replace``).  Corrupt or
 unreadable entries are treated as misses, never as errors: a cache must
 degrade to recomputation, not take the run down with it.
+
+The store is *bounded*: every entry carries a hidden sidecar access
+record (``.meta-<digest>.json``, maintained by :meth:`Cache.get` /
+:meth:`Cache.put`) and :meth:`Cache.gc` evicts under byte/entry/age
+budgets in LRU order — see :mod:`repro.cache.gc` and ``docs/CACHE.md``.
 """
 
 from __future__ import annotations
@@ -25,10 +30,13 @@ import sys
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.errors import ArtifactError, CacheError
 from repro.runtime.artifact import SCHEMA_VERSION, RunArtifact
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.gc import GCBudget, GCReport
 
 __all__ = [
     "CACHE_ENTRY_VERSION",
@@ -124,13 +132,21 @@ class CacheEntry:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """On-disk accounting for ``repro cache stats``."""
+    """On-disk accounting for ``repro cache stats``.
+
+    ``tmp_files``/``tmp_bytes`` count orphaned ``.tmp-*`` write debris
+    (invisible to the entry globs, reaped by :meth:`Cache.gc`); ``gc``
+    carries the cumulative collection counters from ``.gc-state.json``,
+    or ``None`` when no collection has ever run on this store."""
 
     root: Path
     entries: int
     total_bytes: int
     by_experiment: dict[str, int]
     stored_wall_time_s: float
+    tmp_files: int = 0
+    tmp_bytes: int = 0
+    gc: dict[str, Any] | None = None
 
 
 def cache_key_for(
@@ -185,12 +201,23 @@ class Cache:
         if entry.key != key:  # hash collision or tampering: distrust it
             self._discard(path)
             return None
+        from repro.cache.gc import record_hit
+
+        record_hit(path)
         return entry
 
     def _load(self, path: Path) -> CacheEntry | None:
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None  # plain miss: nothing (readable) there
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            # A file that exists but does not parse is a dead entry: it
+            # can never hit, so leaving it would make it uncounted and
+            # unevictable.  Discard, per get()'s contract.
+            self._discard(path)
             return None
         if not isinstance(payload, dict):
             self._discard(path)
@@ -208,10 +235,13 @@ class Cache:
 
     @staticmethod
     def _discard(path: Path) -> None:
-        try:
-            path.unlink()
-        except OSError:
-            pass
+        from repro.cache.gc import sidecar_path
+
+        for stale in (path, sidecar_path(path)):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
 
     # -- write ---------------------------------------------------------
     def put(self, key: CacheKey, artifact: RunArtifact) -> Path:
@@ -236,25 +266,48 @@ class Cache:
                 json.dump(payload, fh, indent=2)
                 fh.write("\n")
             os.replace(tmp, path)
-        except OSError as exc:
+        except Exception as exc:
+            # Cleanup must cover *every* failure: json.dump raising a
+            # non-OSError (e.g. TypeError on an unserializable value)
+            # would otherwise strand the mkstemp file as .tmp-* debris.
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise CacheError(f"cannot write cache entry {path}: {exc}") from None
+            if isinstance(exc, OSError):
+                raise CacheError(
+                    f"cannot write cache entry {path}: {exc}"
+                ) from None
+            raise
+        from repro.cache.gc import record_put
+
+        record_put(path)
         return path
 
     # -- maintenance ---------------------------------------------------
-    def iter_entries(self) -> Iterator[CacheEntry]:
-        """Every readable entry in the store, in stable (digest) order."""
+    def iter_entry_paths(self) -> Iterator[Path]:
+        """Every entry *file* (``<shard>/<digest>.json``), in stable
+        order, without parsing.  The hidden-file filter is load-bearing:
+        pathlib's ``*``-glob matches dotfiles (unlike the ``glob``
+        module), so without it ``.tmp-*`` write debris and ``.meta-*``
+        sidecars would be picked up and mis-discarded as corrupt
+        entries."""
         if not self.root.is_dir():
             return
         for path in sorted(self.root.glob("*/*.json")):
+            if not path.name.startswith("."):
+                yield path
+
+    def iter_entries(self) -> Iterator[CacheEntry]:
+        """Every readable entry in the store, in stable (digest) order."""
+        for path in self.iter_entry_paths():
             entry = self._load(path)
             if entry is not None:
                 yield entry
 
     def stats(self) -> CacheStats:
+        from repro.cache.gc import iter_debris, read_gc_state
+
         entries = 0
         total_bytes = 0
         by_experiment: dict[str, int] = {}
@@ -268,24 +321,64 @@ class Cache:
             eid = entry.key.experiment_id
             by_experiment[eid] = by_experiment.get(eid, 0) + 1
             stored_wall += entry.stored_wall_time_s
+        tmp_files = 0
+        tmp_bytes = 0
+        for debris in iter_debris(self.root):
+            try:
+                tmp_bytes += debris.stat().st_size
+            except OSError:
+                continue
+            tmp_files += 1
         return CacheStats(
             root=self.root,
             entries=entries,
             total_bytes=total_bytes,
             by_experiment=dict(sorted(by_experiment.items())),
             stored_wall_time_s=stored_wall,
+            tmp_files=tmp_files,
+            tmp_bytes=tmp_bytes,
+            gc=read_gc_state(self.root),
+        )
+
+    def gc(
+        self,
+        budget: "GCBudget | None" = None,
+        dry_run: bool = False,
+    ) -> "GCReport":
+        """Collect garbage under ``budget`` (default: the environment
+        budgets — see :class:`repro.cache.gc.GCBudget`).  Reaps orphaned
+        ``.tmp-*`` debris, then evicts LRU-first under the byte/entry/
+        age limits.  ``dry_run`` reports without deleting."""
+        from repro.cache.gc import GCBudget, collect
+
+        return collect(
+            self,
+            budget if budget is not None else GCBudget.from_env(),
+            dry_run=dry_run,
         )
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were removed.  Leaves the
+        """Remove every entry (plus sidecars and ``.tmp-*`` write
+        debris); returns how many *entries* were removed.  Leaves the
         root directory (and any foreign files in it) alone."""
+        from repro.cache.gc import iter_debris, sidecar_path
+
         removed = 0
         if not self.root.is_dir():
             return removed
-        for path in sorted(self.root.glob("*/*.json")):
+        for path in self.iter_entry_paths():
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+            try:
+                sidecar_path(path).unlink()
+            except OSError:
+                pass
+        for debris in iter_debris(self.root):
+            try:
+                debris.unlink()
             except OSError:
                 pass
         for shard in sorted(self.root.glob("*")):

@@ -22,11 +22,15 @@ appears):
   ``point:16``, ``uniform:4:1:5``, ``pareto:4:1:6:0.5``,
   ``worstcase:8:4:256``, ...); ``--quick`` swaps the exact renewal DP
   for the Wald midpoint, ``--json DIR`` writes ``solve.json``;
-* ``cache stats|clear|verify`` — inspect, empty, or spot-check the
-  artifact store (``verify`` re-runs sampled entries live and diffs
-  against the stored artifacts);
+* ``cache stats|clear|verify|gc`` — inspect, empty, spot-check, or
+  garbage-collect the artifact store (``verify`` re-runs sampled
+  entries live and diffs against the stored artifacts; ``gc`` reaps
+  ``.tmp-*`` write debris and evicts LRU-first under
+  ``--max-bytes/--max-entries/--max-age-days`` budgets, ``--dry-run``
+  to preview);
 * ``bench`` — cold-vs-warm cache benchmark over the registry; writes
-  ``BENCH_cache.json``;
+  ``BENCH_cache.json`` (with ``--history``, appends a record to the
+  longitudinal trend line and runs the speedup regression check);
 * ``lint`` — run the repo's AST-based invariant linter (RNG/units/
   float-equality/frozen-artifact/exports/profile discipline) over
   source trees; exit 1 on findings, for CI.  See ``docs/DEVTOOLS.md``.
@@ -196,6 +200,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_dir(stats_p, "cache_stats.json")
     clear_p = cache_sub.add_parser("clear", help="remove every cache entry")
     _add_cache_dir(clear_p)
+    gc_p = cache_sub.add_parser(
+        "gc",
+        help="reap .tmp-* write debris and evict LRU-first under "
+        "byte/entry/age budgets (defaults from REPRO_CACHE_MAX_*)",
+    )
+    _add_cache_dir(gc_p)
+    gc_p.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="byte budget for surviving entries (default: "
+        "$REPRO_CACHE_MAX_BYTES, else 1 GiB; <= 0 disables)",
+    )
+    gc_p.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="entry-count budget (default: $REPRO_CACHE_MAX_ENTRIES, "
+        "else unlimited; <= 0 disables)",
+    )
+    gc_p.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="evict entries not accessed for D days (default: "
+        "$REPRO_CACHE_MAX_AGE_DAYS, else unlimited; <= 0 disables)",
+    )
+    gc_p.add_argument(
+        "--tmp-grace-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help=".tmp-* files younger than S seconds are left alone as "
+        "possible writes in flight (default 3600; 0 reaps everything "
+        "— for CI debris checks on a quiesced store)",
+    )
+    gc_p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted/reaped without deleting",
+    )
+    gc_p.add_argument(
+        "--fail-on-debris",
+        action="store_true",
+        help="exit 1 if any orphaned .tmp-* debris was found (CI guard)",
+    )
+    _add_json_dir(gc_p, "cache_gc.json")
     verify_p = cache_sub.add_parser(
         "verify",
         help="re-run sampled entries live and diff against the store "
@@ -243,6 +297,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default="BENCH_cache.json",
         help="where to write the benchmark report (default BENCH_cache.json)",
+    )
+    bench_p.add_argument(
+        "--history",
+        action="store_true",
+        help="append this run as a record to the bench-history file at "
+        "OUTPUT (migrating a legacy single-record file), print the "
+        "trend line, and run the speedup regression check",
     )
     _add_cache_dir(bench_p)
 
@@ -349,8 +410,25 @@ def _cmd_run(
             quick=quick,
             jobs=jobs,
             total_wall_time_s=total_wall_time_s,
+            gc=_last_gc_counters(cache, cache_dir),
         )
     return 1 if failures else 0
+
+
+def _last_gc_counters(cache: str, cache_dir: str | None) -> dict | None:
+    """Counters of the auto-GC pass that followed this run (from the
+    store's ``.gc-state.json``), for the manifest.  ``None`` when the
+    run never touched a store or no collection has run."""
+    if cache == "off":
+        return None
+    from repro.cache.gc import read_gc_state
+    from repro.cache.store import Cache
+
+    state = read_gc_state(Cache(cache_dir).root)
+    if state is None:
+        return None
+    last = state.get("last")
+    return dict(last) if isinstance(last, dict) else None
 
 
 def _write_artifact_dir(
@@ -360,6 +438,7 @@ def _write_artifact_dir(
     quick: bool,
     jobs: int,
     total_wall_time_s: float,
+    gc: dict | None = None,
 ) -> None:
     """Write one ``<id>.json`` per artifact plus ``manifest.json``."""
     import os
@@ -380,6 +459,7 @@ def _write_artifact_dir(
         jobs=jobs,
         total_wall_time_s=total_wall_time_s,
         artifact_names=names,
+        gc=gc,
     )
     with open(os.path.join(json_dir, "manifest.json"), "w", encoding="utf-8") as fh:
         fh.write(manifest.to_json() + "\n")
@@ -505,6 +585,15 @@ def _cmd_cache_stats(
     print(f"entries: {stats.entries}")
     print(f"size on disk: {stats.total_bytes} bytes")
     print(f"stored compute time: {stats.stored_wall_time_s:.2f}s")
+    print(f"temp debris: {stats.tmp_files} file(s), {stats.tmp_bytes} bytes")
+    if stats.gc is not None:
+        print(
+            f"gc: {stats.gc.get('collections', 0)} collection(s), "
+            f"evicted {stats.gc.get('evicted_entries', 0)} entr"
+            f"{'y' if stats.gc.get('evicted_entries', 0) == 1 else 'ies'} / "
+            f"{stats.gc.get('evicted_bytes', 0)} bytes, "
+            f"reaped {stats.gc.get('reaped_tmp_files', 0)} temp file(s)"
+        )
     if stats.by_experiment:
         width = max(len(eid) for eid in stats.by_experiment)
         for eid, count in stats.by_experiment.items():
@@ -516,6 +605,9 @@ def _cmd_cache_stats(
             "entries": stats.entries,
             "total_bytes": stats.total_bytes,
             "stored_wall_time_s": stats.stored_wall_time_s,
+            "tmp_files": stats.tmp_files,
+            "tmp_bytes": stats.tmp_bytes,
+            "gc": stats.gc,
             "by_experiment": stats.by_experiment,
         }
         path = _write_json(json_dir, "cache_stats.json", payload)
@@ -528,6 +620,77 @@ def _cmd_cache_clear(cache_dir: str | None) -> int:
 
     removed = Cache(cache_dir).clear()
     print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
+def _cmd_cache_gc(
+    cache_dir: str | None,
+    max_bytes: int | None,
+    max_entries: int | None,
+    max_age_days: float | None,
+    tmp_grace_s: float | None,
+    dry_run: bool,
+    fail_on_debris: bool,
+    json_dir: str | None = None,
+) -> int:
+    import dataclasses
+
+    from repro.cache.gc import GCBudget
+    from repro.cache.store import Cache
+
+    budget = GCBudget.from_env()
+    if max_bytes is not None:
+        budget = dataclasses.replace(
+            budget, max_bytes=max_bytes if max_bytes > 0 else None
+        )
+    if max_entries is not None:
+        budget = dataclasses.replace(
+            budget, max_entries=max_entries if max_entries > 0 else None
+        )
+    if max_age_days is not None:
+        budget = dataclasses.replace(
+            budget, max_age_days=max_age_days if max_age_days > 0 else None
+        )
+    if tmp_grace_s is not None:
+        budget = dataclasses.replace(budget, tmp_grace_s=max(tmp_grace_s, 0.0))
+    store = Cache(cache_dir)
+    report = store.gc(budget, dry_run=dry_run)
+    verb = "would reap" if dry_run else "reaped"
+    print(f"cache root: {report.root}")
+    print(
+        f"{verb} {report.reaped_tmp_files} temp file(s) "
+        f"({report.reaped_tmp_bytes} bytes of write debris)"
+    )
+    verb = "would evict" if dry_run else "evicted"
+    print(
+        f"{verb} {report.evicted_entries}/{report.examined_entries} "
+        f"entr{'y' if report.evicted_entries == 1 else 'ies'} "
+        f"({report.evicted_bytes} bytes)"
+    )
+    shown = report.evictions[:20]
+    for eviction in shown:
+        print(
+            f"  {eviction.digest[:16]}  {eviction.size_bytes} bytes  "
+            f"({eviction.reason})"
+        )
+    if len(report.evictions) > len(shown):
+        print(f"  ... and {len(report.evictions) - len(shown)} more")
+    print(
+        f"surviving: {report.surviving_entries} entr"
+        f"{'y' if report.surviving_entries == 1 else 'ies'}, "
+        f"{report.surviving_bytes} bytes"
+    )
+    if json_dir is not None:
+        payload = dict(report.to_dict(), command="cache-gc", root=str(report.root))
+        path = _write_json(json_dir, "cache_gc.json", payload)
+        print(f"wrote {path}", file=sys.stderr)
+    if fail_on_debris and report.reaped_tmp_files:
+        print(
+            f"error: {report.reaped_tmp_files} orphaned .tmp-* file(s) in "
+            "the store (--fail-on-debris)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -564,6 +727,7 @@ def _cmd_bench(
     jobs: int,
     output: str,
     cache_dir: str | None,
+    history: bool = False,
 ) -> int:
     import json
 
@@ -576,9 +740,33 @@ def _cmd_bench(
         cache_dir=cache_dir,
         ids=ids or None,
     )
-    with open(output, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    if history:
+        from repro.cache.history import (
+            append_record,
+            check_regression,
+            render_trend,
+        )
+
+        doc = append_record(output, payload)
+        print(render_trend(doc))
+        check = check_regression(doc)
+        if check["status"] == "no-baseline":
+            print(
+                f"regression check: no baseline yet "
+                f"({len(doc['records'])} record(s) on file)"
+            )
+        else:
+            print(
+                f"regression check: {check['status']} — latest "
+                f"{check['latest_speedup']:.1f}x vs baseline median "
+                f"{check['baseline_speedup']:.1f}x over "
+                f"{check['baseline_records']} comparable record(s) "
+                f"(threshold {check['threshold']:.2f})"
+            )
+    else:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     speedup = payload["speedup"]
     print(
         f"cache bench: cold {payload['cold_wall_time_s']:.2f}s, "
@@ -657,6 +845,17 @@ def main(argv: list[str] | None = None) -> int:
                 return _cmd_cache_stats(args.cache_dir, json_dir=args.json_dir)
             if args.cache_command == "clear":
                 return _cmd_cache_clear(args.cache_dir)
+            if args.cache_command == "gc":
+                return _cmd_cache_gc(
+                    args.cache_dir,
+                    args.max_bytes,
+                    args.max_entries,
+                    args.max_age_days,
+                    args.tmp_grace_s,
+                    args.dry_run,
+                    args.fail_on_debris,
+                    json_dir=args.json_dir,
+                )
             if args.cache_command == "verify":
                 return _cmd_cache_verify(
                     args.cache_dir, args.sample, args.seed, args.jobs
@@ -669,6 +868,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.jobs,
                 args.output,
                 args.cache_dir,
+                history=args.history,
             )
         if args.command == "lint":
             return _cmd_lint(

@@ -81,6 +81,9 @@ class RunManifest:
     repro_version: str = ""
     git_revision: str | None = None
     schema_version: int = SCHEMA_VERSION
+    #: Counters of the auto-GC pass that followed this run (see
+    #: repro.cache.gc.GCReport.to_dict), or None when no GC ran.
+    gc: dict[str, Any] | None = None
 
     @classmethod
     def build(
@@ -91,6 +94,7 @@ class RunManifest:
         jobs: int,
         total_wall_time_s: float | None = None,
         artifact_names: Mapping[str, str] | None = None,
+        gc: "dict[str, Any] | None" = None,
     ) -> "RunManifest":
         names = artifact_names or {}
         entries = tuple(
@@ -116,6 +120,7 @@ class RunManifest:
             entries=entries,
             repro_version=version,
             git_revision=revision,
+            gc=gc,
         )
 
     @property
@@ -173,8 +178,12 @@ class RunManifest:
             "total_wall_time_s": self.total_wall_time_s,
             "experiment_wall_time_s": self.experiment_wall_time_s,
             "saved_wall_time_s": self.saved_wall_time_s,
+            # serial_equivalent_wall_time_s is what speedup is derived
+            # from; a round-tripped manifest must not lose it.
+            "serial_equivalent_wall_time_s": self.serial_equivalent_wall_time_s,
             "cache_hits": self.cache_hits,
             "speedup": self.speedup,
+            "gc": self.gc,
             "repro_version": self.repro_version,
             "git_revision": self.git_revision,
             "experiments": [entry.to_dict() for entry in self.entries],
@@ -204,6 +213,7 @@ class RunManifest:
                 repro_version=payload.get("repro_version", ""),
                 git_revision=payload.get("git_revision"),
                 schema_version=version,
+                gc=payload.get("gc"),
             )
         except (KeyError, TypeError) as exc:
             raise ArtifactError(f"malformed manifest payload: {exc}") from None

@@ -137,7 +137,10 @@ class ExperimentRunner:
     rendered output is byte-identical at any worker count.  ``cache`` and
     ``cache_dir`` are forwarded to every :func:`run_one` call (each
     worker opens the store independently; puts are atomic so concurrent
-    writers are safe).
+    writers are safe).  After a cache-touching pass the store is
+    garbage-collected under the environment budgets (see
+    :meth:`_auto_gc` and ``docs/CACHE.md``), so it stays bounded
+    without manual ``repro cache clear`` runs.
     """
 
     jobs: int = 1
@@ -163,17 +166,34 @@ class ExperimentRunner:
                     eid, quick=quick, seed=seed,
                     cache=self.cache, cache_dir=self.cache_dir,
                 )
+        else:
+            workers = min(self.jobs, len(targets))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        run_one, eid, quick, seed, self.cache, self.cache_dir
+                    )
+                    for eid in targets
+                ]
+                for future in futures:
+                    yield future.result()
+        self._auto_gc()
+
+    def _auto_gc(self) -> None:
+        """Bound the artifact store after a run that touched it.
+
+        Runs once per completed :meth:`run_iter` pass (never per
+        experiment, never when ``cache="off"``) under the environment
+        budgets — ``REPRO_CACHE_MAX_BYTES`` (default 1 GiB),
+        ``REPRO_CACHE_MAX_ENTRIES``, ``REPRO_CACHE_MAX_AGE_DAYS`` —
+        and is disabled entirely by ``REPRO_CACHE_GC=off``.  The
+        report's counters persist in the store's ``.gc-state.json``
+        (surfaced by ``repro cache stats`` and the run manifest)."""
+        if self.cache == "off":
             return
-        workers = min(self.jobs, len(targets))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    run_one, eid, quick, seed, self.cache, self.cache_dir
-                )
-                for eid in targets
-            ]
-            for future in futures:
-                yield future.result()
+        from repro.cache.gc import auto_collect
+
+        auto_collect(self.cache_dir)
 
     def run(
         self,

@@ -1,0 +1,441 @@
+"""Unit tests for the budgeted artifact-store GC (repro.cache.gc)."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.cache.gc import (
+    DEFAULT_MAX_BYTES,
+    AccessRecord,
+    GCBudget,
+    auto_collect,
+    collect,
+    iter_debris,
+    read_access_record,
+    read_gc_state,
+    sidecar_path,
+    write_access_record,
+)
+from repro.cache.store import Cache, CacheKey
+from repro.errors import CacheError
+from repro.runtime.artifact import RunArtifact
+
+NOW = 1_000_000.0  # fixed "current time" handed to collect()
+
+
+def make_artifact(**overrides) -> RunArtifact:
+    base = dict(
+        experiment_id="x",
+        title="T",
+        claim="C",
+        metrics={"reproduced": True},
+        verdict="REPRODUCED",
+        seed=0,
+        quick=True,
+        wall_time_s=0.25,
+        counters={"sim.runs": 1},
+        repro_version="1.0.0",
+        git_revision="abc1234",
+    )
+    base.update(overrides)
+    return RunArtifact(**base)
+
+
+def make_key(**overrides) -> CacheKey:
+    base = dict(experiment_id="x", quick=True, seed=0, fingerprint="f" * 64)
+    base.update(overrides)
+    return CacheKey(**base)
+
+
+def put_aged(store, seed, last_access, size_bytes=None):
+    """Put one entry and pin its sidecar to an explicit access record,
+    so eviction order is deterministic regardless of real clock time."""
+    key = make_key(seed=seed)
+    path = store.put(key, make_artifact(seed=seed))
+    if size_bytes is None:
+        size_bytes = path.stat().st_size
+    write_access_record(
+        path,
+        AccessRecord(
+            created=last_access,
+            last_access=last_access,
+            hits=0,
+            size_bytes=size_bytes,
+        ),
+    )
+    return key, path
+
+
+class TestSidecars:
+    def test_put_writes_hidden_sidecar(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        path = store.put(make_key(), make_artifact())
+        meta = sidecar_path(path)
+        assert meta.name.startswith(".")
+        record = read_access_record(path)
+        assert record is not None
+        assert record.hits == 0
+        assert record.size_bytes == path.stat().st_size
+        assert record.created == record.last_access
+
+    def test_get_bumps_hits_and_last_access(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        path = store.put(key, make_artifact())
+        before = read_access_record(path)
+        assert store.get(key) is not None
+        assert store.get(key) is not None
+        after = read_access_record(path)
+        assert after.hits == before.hits + 2
+        assert after.last_access >= before.last_access
+        assert after.created == before.created
+
+    def test_sidecar_invisible_to_entry_iteration(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        store.put(make_key(), make_artifact())
+        paths = list(store.iter_entry_paths())
+        assert len(paths) == 1
+        assert not paths[0].name.startswith(".")
+        # and iterating entries must not destroy the sidecar
+        assert len(list(store.iter_entries())) == 1
+        assert read_access_record(paths[0]) is not None
+
+    def test_corrupt_sidecar_tolerated(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        path = store.put(key, make_artifact())
+        sidecar_path(path).write_text("{broken", encoding="utf-8")
+        assert read_access_record(path) is None
+        # get still hits and re-synthesizes the record
+        assert store.get(key) is not None
+        assert read_access_record(path) is not None
+
+    def test_unknown_sidecar_version_ignored(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        path = store.put(make_key(), make_artifact())
+        payload = json.loads(sidecar_path(path).read_text(encoding="utf-8"))
+        payload["sidecar_version"] = 99
+        sidecar_path(path).write_text(json.dumps(payload), encoding="utf-8")
+        assert read_access_record(path) is None
+
+    def test_missing_sidecar_synthesized_by_gc(self, tmp_path):
+        # a pre-GC store has entries but no sidecars; collect must still
+        # inventory them (from mtime) instead of skipping or crashing
+        store = Cache(tmp_path / "store")
+        path = store.put(make_key(), make_artifact())
+        sidecar_path(path).unlink()
+        report = collect(store, GCBudget(max_bytes=None), now=NOW)
+        assert report.examined_entries == 1
+        assert report.surviving_entries == 1
+
+
+class TestEvictionOrder:
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        keys = {}
+        for seed, age in [(0, NOW - 300), (1, NOW - 100), (2, NOW - 200)]:
+            keys[seed], _ = put_aged(store, seed, age)
+        report = collect(
+            store, GCBudget(max_bytes=None, max_entries=2), now=NOW
+        )
+        assert report.evicted_entries == 1
+        assert report.evictions[0].reason == "entries"
+        assert report.evictions[0].digest == keys[0].digest  # the oldest
+        assert store.get(keys[0]) is None
+        assert store.get(keys[1]) is not None
+        assert store.get(keys[2]) is not None
+
+    def test_max_bytes_evicts_oldest_until_under_budget(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        keys = {}
+        for seed, age in [(0, NOW - 300), (1, NOW - 200), (2, NOW - 100)]:
+            keys[seed], _ = put_aged(store, seed, age, size_bytes=100)
+        report = collect(store, GCBudget(max_bytes=150), now=NOW)
+        assert [e.digest for e in report.evictions] == [
+            keys[0].digest,
+            keys[1].digest,
+        ]
+        assert {e.reason for e in report.evictions} == {"bytes"}
+        assert report.surviving_entries == 1
+        assert report.surviving_bytes == 100
+        assert store.get(keys[2]) is not None
+
+    def test_max_age_evicts_only_expired(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        stale, _ = put_aged(store, 0, NOW - 3 * 86400.0)
+        fresh, _ = put_aged(store, 1, NOW - 600.0)
+        report = collect(
+            store, GCBudget(max_bytes=None, max_age_days=1.0), now=NOW
+        )
+        assert report.evicted_entries == 1
+        assert report.evictions[0].reason == "age"
+        assert store.get(stale) is None
+        assert store.get(fresh) is not None
+
+    def test_equal_age_evicts_larger_first(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        small, _ = put_aged(store, 0, NOW - 100, size_bytes=10)
+        big, _ = put_aged(store, 1, NOW - 100, size_bytes=5000)
+        report = collect(
+            store, GCBudget(max_bytes=None, max_entries=1), now=NOW
+        )
+        assert report.evicted_entries == 1
+        assert report.evictions[0].digest == big.digest
+        assert store.get(small) is not None
+
+    def test_eviction_removes_sidecar_and_empty_shard(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key, path = put_aged(store, 0, NOW - 100)
+        collect(store, GCBudget(max_bytes=None, max_entries=0), now=NOW)
+        assert not path.exists()
+        assert not sidecar_path(path).exists()
+        assert not path.parent.exists()  # empty shard dir pruned
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key, path = put_aged(store, 0, NOW - 100)
+        report = collect(
+            store, GCBudget(max_bytes=None, max_entries=0), dry_run=True,
+            now=NOW,
+        )
+        assert report.dry_run
+        assert report.evicted_entries == 1
+        assert path.exists()
+        assert store.get(key) is not None
+        # dry runs must not pollute the persistent counters either
+        assert read_gc_state(store.root) is None
+
+    def test_unlimited_budget_keeps_everything(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        for seed in range(3):
+            put_aged(store, seed, NOW - seed * 100)
+        report = collect(store, GCBudget(max_bytes=None), now=NOW)
+        assert report.evicted_entries == 0
+        assert report.surviving_entries == 3
+
+    def test_missing_store_is_empty_report(self, tmp_path):
+        report = collect(Cache(tmp_path / "ghost"), GCBudget(), now=NOW)
+        assert report.examined_entries == 0
+        assert report.evicted_entries == 0
+
+
+class TestDebris:
+    def test_orphaned_tmp_reaped_past_grace(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        store.put(make_key(), make_artifact())
+        shard = next(store.iter_entry_paths()).parent
+        old = shard / ".tmp-orphan.json"
+        old.write_text("partial", encoding="utf-8")
+        os.utime(old, (NOW - 7200, NOW - 7200))
+        young = store.root / ".tmp-inflight.json"
+        young.write_text("partial", encoding="utf-8")
+        os.utime(young, (NOW - 10, NOW - 10))
+        report = collect(store, GCBudget(max_bytes=None), now=NOW)
+        assert report.reaped_tmp_files == 1
+        assert not old.exists()
+        assert young.exists()  # within the grace window: maybe in flight
+
+    def test_zero_grace_reaps_fresh_debris(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        store.root.mkdir(parents=True)
+        debris = store.root / ".tmp-now.json"
+        debris.write_text("x", encoding="utf-8")
+        os.utime(debris, (NOW, NOW))
+        report = collect(
+            store, GCBudget(max_bytes=None, tmp_grace_s=0.0), now=NOW + 10
+        )
+        assert report.reaped_tmp_files == 1
+        assert not debris.exists()
+
+    def test_orphan_sidecar_reaped(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        path = store.put(key, make_artifact())
+        path.unlink()  # entry gone, sidecar left behind
+        meta = sidecar_path(path)
+        assert meta.exists()
+        report = collect(store, GCBudget(max_bytes=None), now=NOW)
+        assert report.reaped_tmp_files == 1
+        assert not meta.exists()
+
+    def test_iter_debris_sees_root_and_shard_levels(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        store.put(make_key(), make_artifact())
+        shard = next(store.iter_entry_paths()).parent
+        (store.root / ".tmp-a").write_text("x", encoding="utf-8")
+        (shard / ".tmp-b").write_text("x", encoding="utf-8")
+        assert len(list(iter_debris(store.root))) == 2
+
+    def test_stats_counts_debris_without_reaping(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        store.put(make_key(), make_artifact())
+        debris = store.root / ".tmp-a"
+        debris.write_text("xyz", encoding="utf-8")
+        stats = store.stats()
+        assert stats.entries == 1
+        assert stats.tmp_files == 1
+        assert stats.tmp_bytes == 3
+        assert debris.exists()
+
+
+class TestGCState:
+    def test_counters_accumulate_across_collections(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        put_aged(store, 0, NOW - 200)
+        put_aged(store, 1, NOW - 100)
+        collect(store, GCBudget(max_bytes=None, max_entries=1), now=NOW)
+        collect(store, GCBudget(max_bytes=None, max_entries=0), now=NOW)
+        state = read_gc_state(store.root)
+        assert state["collections"] == 2
+        assert state["evicted_entries"] == 2
+        assert state["last"]["evicted_entries"] == 1
+        assert state["last"]["timestamp"] == NOW
+
+    def test_stats_surfaces_gc_state(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        put_aged(store, 0, NOW - 100)
+        assert store.stats().gc is None
+        collect(store, GCBudget(max_bytes=None, max_entries=0), now=NOW)
+        stats = store.stats()
+        assert stats.gc["collections"] == 1
+        assert stats.gc["evicted_entries"] == 1
+
+    def test_corrupt_state_treated_as_absent(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        store.root.mkdir(parents=True)
+        (store.root / ".gc-state.json").write_text("{oops", encoding="utf-8")
+        assert read_gc_state(store.root) is None
+
+
+class TestBudgetFromEnv:
+    def test_defaults(self, monkeypatch):
+        for name in (
+            "REPRO_CACHE_MAX_BYTES",
+            "REPRO_CACHE_MAX_ENTRIES",
+            "REPRO_CACHE_MAX_AGE_DAYS",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        budget = GCBudget.from_env()
+        assert budget.max_bytes == DEFAULT_MAX_BYTES
+        assert budget.max_entries is None
+        assert budget.max_age_days is None
+
+    def test_values_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1234")
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "7")
+        monkeypatch.setenv("REPRO_CACHE_MAX_AGE_DAYS", "2.5")
+        budget = GCBudget.from_env()
+        assert budget.max_bytes == 1234
+        assert budget.max_entries == 7
+        assert budget.max_age_days == 2.5
+
+    def test_nonpositive_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "0")
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "-1")
+        monkeypatch.setenv("REPRO_CACHE_MAX_AGE_DAYS", "0")
+        budget = GCBudget.from_env()
+        assert budget.max_bytes is None
+        assert budget.max_entries is None
+        assert budget.max_age_days is None
+
+    def test_garbage_is_loud(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "a lot")
+        with pytest.raises(CacheError):
+            GCBudget.from_env()
+
+
+class TestAutoCollect:
+    def test_disabled_by_env(self, tmp_path, monkeypatch):
+        store = Cache(tmp_path / "store")
+        store.put(make_key(), make_artifact())
+        monkeypatch.setenv("REPRO_CACHE_GC", "off")
+        assert auto_collect(store.root) is None
+        assert read_gc_state(store.root) is None
+
+    def test_missing_store_is_noop(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_GC", raising=False)
+        assert auto_collect(tmp_path / "ghost") is None
+
+    def test_collects_under_env_budget(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_GC", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "1")
+        store = Cache(tmp_path / "store")
+        put_aged(store, 0, NOW - 200)
+        put_aged(store, 1, NOW - 100)
+        report = auto_collect(store.root)
+        assert report is not None
+        assert report.evicted_entries == 1
+        assert store.stats().entries == 1
+
+
+class TestRunnerAutoGC:
+    def test_run_triggers_auto_gc(self, tmp_path, monkeypatch):
+        from repro.runtime.runner import ExperimentRunner
+
+        root = tmp_path / "store"
+        monkeypatch.delenv("REPRO_CACHE_GC", raising=False)
+        ExperimentRunner(cache="auto", cache_dir=str(root)).run(["fig1"])
+        state = read_gc_state(Cache(root).root)
+        assert state is not None
+        assert state["collections"] == 1
+        assert state["evicted_entries"] == 0  # fresh store, under budget
+
+    def test_run_respects_gc_off(self, tmp_path, monkeypatch):
+        from repro.runtime.runner import ExperimentRunner
+
+        root = tmp_path / "store"
+        monkeypatch.setenv("REPRO_CACHE_GC", "off")
+        ExperimentRunner(cache="auto", cache_dir=str(root)).run(["fig1"])
+        assert read_gc_state(Cache(root).root) is None
+
+    def test_cache_off_never_collects(self, tmp_path, monkeypatch):
+        from repro.runtime.runner import ExperimentRunner
+
+        root = tmp_path / "store"
+        monkeypatch.delenv("REPRO_CACHE_GC", raising=False)
+        ExperimentRunner(cache="off", cache_dir=str(root)).run(["fig1"])
+        assert not root.exists()
+
+    def test_run_enforces_entry_budget(self, tmp_path, monkeypatch):
+        from repro.runtime.runner import ExperimentRunner
+
+        root = tmp_path / "store"
+        monkeypatch.delenv("REPRO_CACHE_GC", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "1")
+        runner = ExperimentRunner(cache="auto", cache_dir=str(root))
+        runner.run(["fig1", "mmcount"])
+        assert Cache(root).stats().entries == 1
+
+
+class TestConcurrency:
+    def test_get_during_gc_is_a_clean_miss_or_hit(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        keys = [put_aged(store, seed, NOW - 100 - seed)[0] for seed in range(6)]
+        errors = []
+
+        def reader():
+            try:
+                for _ in range(50):
+                    for key in keys:
+                        entry = store.get(key)
+                        assert entry is None or entry.key == key
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        # evict everything while the readers hammer get()
+        collect(store, GCBudget(max_bytes=None, max_entries=0), now=NOW)
+        for t in threads:
+            t.join()
+        assert errors == []
+        # a racing record_hit may have resurrected a sidecar after its
+        # entry died; a follow-up collection must reap it as an orphan
+        report = collect(
+            store, GCBudget(max_bytes=None, tmp_grace_s=0.0), now=NOW
+        )
+        assert report.surviving_entries == 0
+        assert list(iter_debris(store.root)) == []

@@ -1,0 +1,208 @@
+"""Unit tests for the longitudinal bench history (repro.cache.history)."""
+
+import json
+
+import pytest
+
+from repro.cache.history import (
+    HISTORY_SCHEMA_VERSION,
+    append_record,
+    check_regression,
+    empty_history,
+    load_history,
+    render_trend,
+)
+from repro.errors import CacheError
+
+
+def record(
+    speedup=10.0,
+    environment="py3.11-numpy1-scipy1",
+    quick=True,
+    jobs=1,
+    revision="abc1234",
+) -> dict:
+    """One bench payload shaped like run_cache_bench's output."""
+    return {
+        "bench_schema_version": 1,
+        "benchmark": "cache-cold-vs-warm",
+        "quick": quick,
+        "seed": 0,
+        "jobs": jobs,
+        "experiments": ["fig1"],
+        "cold_wall_time_s": 1.0,
+        "warm_wall_time_s": 1.0 / speedup,
+        "speedup": speedup,
+        "warm_hits": 1,
+        "bit_identical": True,
+        "cache_root": "/tmp/x",
+        "environment": environment,
+        "repro_version": "1.0.0",
+        "git_revision": revision,
+    }
+
+
+class TestLoadAppend:
+    def test_missing_file_is_empty_history(self, tmp_path):
+        history = load_history(tmp_path / "BENCH_cache.json")
+        assert history == empty_history()
+        assert history["records"] == []
+
+    def test_appends_accumulate_in_order(self, tmp_path):
+        path = tmp_path / "BENCH_cache.json"
+        append_record(path, record(speedup=10.0, revision="aaa"))
+        history = append_record(path, record(speedup=12.0, revision="bbb"))
+        assert [r["git_revision"] for r in history["records"]] == [
+            "aaa",
+            "bbb",
+        ]
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk["history_schema_version"] == HISTORY_SCHEMA_VERSION
+        assert len(on_disk["records"]) == 2
+
+    def test_legacy_single_record_migrated(self, tmp_path):
+        # PR-3 wrote one bare bench payload; it must become record 0
+        path = tmp_path / "BENCH_cache.json"
+        path.write_text(
+            json.dumps(record(speedup=8.0, revision="legacy")),
+            encoding="utf-8",
+        )
+        history = load_history(path)
+        assert len(history["records"]) == 1
+        assert history["records"][0]["git_revision"] == "legacy"
+        appended = append_record(path, record(speedup=9.0, revision="new"))
+        assert [r["git_revision"] for r in appended["records"]] == [
+            "legacy",
+            "new",
+        ]
+
+    def test_corrupt_history_is_loud(self, tmp_path):
+        path = tmp_path / "BENCH_cache.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CacheError):
+            load_history(path)
+
+    def test_unknown_schema_version_refused(self, tmp_path):
+        path = tmp_path / "BENCH_cache.json"
+        payload = empty_history()
+        payload["history_schema_version"] = 99
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(CacheError):
+            load_history(path)
+
+    def test_non_object_payload_refused(self, tmp_path):
+        path = tmp_path / "BENCH_cache.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(CacheError):
+            load_history(path)
+
+    def test_missing_records_list_refused(self, tmp_path):
+        path = tmp_path / "BENCH_cache.json"
+        payload = empty_history()
+        payload["records"] = "nope"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(CacheError):
+            load_history(path)
+
+    def test_append_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "BENCH_cache.json"
+        append_record(path, record())
+        assert path.is_file()
+
+
+class TestRegressionCheck:
+    def test_empty_history_has_no_baseline(self):
+        verdict = check_regression(empty_history())
+        assert verdict["status"] == "no-baseline"
+        assert verdict["latest_speedup"] is None
+
+    def test_first_record_has_no_baseline(self, tmp_path):
+        history = empty_history()
+        history["records"] = [record(speedup=10.0)]
+        verdict = check_regression(history)
+        assert verdict["status"] == "no-baseline"
+        assert verdict["latest_speedup"] == 10.0
+        assert verdict["baseline_records"] == 0
+
+    def test_steady_speedup_is_ok(self):
+        history = empty_history()
+        history["records"] = [
+            record(speedup=10.0),
+            record(speedup=9.0),
+            record(speedup=9.5),
+        ]
+        verdict = check_regression(history)
+        assert verdict["status"] == "ok"
+        assert verdict["baseline_speedup"] == pytest.approx(9.5)
+        assert verdict["baseline_records"] == 2
+
+    def test_collapsed_speedup_flags_regression(self):
+        history = empty_history()
+        history["records"] = [
+            record(speedup=10.0),
+            record(speedup=12.0),
+            record(speedup=2.0),  # < 0.5 x median(10, 12)
+        ]
+        verdict = check_regression(history)
+        assert verdict["status"] == "regression"
+        assert verdict["baseline_speedup"] == pytest.approx(11.0)
+        assert verdict["ratio"] == pytest.approx(2.0 / 11.0)
+
+    def test_threshold_is_configurable(self):
+        history = empty_history()
+        history["records"] = [record(speedup=10.0), record(speedup=8.0)]
+        assert check_regression(history, threshold=0.5)["status"] == "ok"
+        assert (
+            check_regression(history, threshold=0.9)["status"] == "regression"
+        )
+
+    def test_different_config_is_not_comparable(self):
+        # a jobs=4 run must not be judged against jobs=1 baselines
+        history = empty_history()
+        history["records"] = [
+            record(speedup=10.0, jobs=1),
+            record(speedup=10.0, jobs=1),
+            record(speedup=1.1, jobs=4),
+        ]
+        verdict = check_regression(history)
+        assert verdict["status"] == "no-baseline"
+        assert verdict["baseline_records"] == 0
+
+    def test_different_environment_is_not_comparable(self):
+        history = empty_history()
+        history["records"] = [
+            record(speedup=10.0, environment="py3.10-numpy1-scipy1"),
+            record(speedup=1.0, environment="py3.11-numpy2-scipy1"),
+        ]
+        assert check_regression(history)["status"] == "no-baseline"
+
+    def test_records_without_speedup_ignored(self):
+        history = empty_history()
+        broken = record()
+        broken["speedup"] = None  # warm pass took 0s on a broken clock
+        history["records"] = [record(speedup=10.0), broken, record(speedup=9.0)]
+        verdict = check_regression(history)
+        assert verdict["status"] == "ok"
+        assert verdict["baseline_records"] == 1
+
+
+class TestRenderTrend:
+    def test_empty_history_renders_placeholder(self):
+        assert "no records" in render_trend(empty_history())
+
+    def test_rows_in_chronological_order(self):
+        history = empty_history()
+        history["records"] = [
+            record(speedup=10.0, revision="older12"),
+            record(speedup=11.0, revision="newer34"),
+        ]
+        text = render_trend(history)
+        assert text.index("older12") < text.index("newer34")
+        assert "10.0x" in text and "11.0x" in text
+
+    def test_non_identical_record_flagged(self):
+        history = empty_history()
+        bad = record()
+        bad["bit_identical"] = False
+        history["records"] = [bad]
+        assert "NO" in render_trend(history)

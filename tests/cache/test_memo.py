@@ -1,5 +1,7 @@
 """Unit tests for the keyed-LRU memoizer and the memoized kernels."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -65,6 +67,38 @@ class TestMemoized:
         for _ in range(2):
             with pytest.raises(ValueError):
                 f(1)
+        assert len(calls) == 2
+
+    def test_concurrent_miss_window_duplicates_compute(self):
+        # memoized() computes OUTSIDE the lock on purpose (holding it
+        # through a slow kernel would serialize every caller), so two
+        # threads that both miss the same key each run the function once.
+        # This pins that documented window: duplicate compute, double
+        # miss count, but a single consistent entry afterwards.
+        in_the_window = threading.Barrier(2)
+        calls = []
+
+        @memoized(maxsize=4)
+        def f(x):
+            in_the_window.wait(timeout=10)  # both threads missed
+            calls.append(x)
+            return x * 2
+
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(f(7)))
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == [14, 14]
+        assert len(calls) == 2  # the window: both threads computed
+        info = f.cache_info()
+        assert info.misses == 2 and info.hits == 0 and info.currsize == 1
+        assert f(7) == 14  # later callers hit the surviving entry
+        assert f.cache_info().hits == 1
         assert len(calls) == 2
 
     def test_maxsize_must_be_positive(self):

@@ -152,6 +152,20 @@ class TestCacheBench:
         assert payload["cold_wall_time_s"] > payload["warm_wall_time_s"]
         assert payload["speedup"] > 1
 
+    def test_zero_experiments_is_loud(self, tmp_path):
+        # all() over zero cold/warm pairs would report bit_identical=True
+        # vacuously; the bench must refuse to emit that as evidence
+        from repro.cache.bench import run_cache_bench
+        from repro.errors import CacheError
+
+        with pytest.raises(CacheError):
+            run_cache_bench(
+                quick=True,
+                seed=0,
+                cache_dir=str(tmp_path / "store"),
+                ids=[],
+            )
+
 
 class TestManifestCacheAccounting:
     def test_manifest_records_hits_and_saved_time(self, tmp_path):

@@ -108,6 +108,16 @@ class TestPutGet:
         path = store.put(key, make_artifact())
         path.write_text("{not json", encoding="utf-8")
         assert store.get(key) is None
+        # a dead entry must be unlinked, not left uncounted and
+        # unevictable (it can never hit again)
+        assert not path.exists()
+
+    def test_missing_entry_is_silent_miss(self, tmp_path):
+        # plain OSError (nothing there) stays a quiet miss — only
+        # *corrupt* files are discarded
+        store = Cache(tmp_path / "store")
+        assert store.get(make_key()) is None
+        assert not store.root.exists() or not list(store.iter_entry_paths())
 
     def test_wrong_entry_version_discarded(self, tmp_path):
         store = Cache(tmp_path / "store")
@@ -125,6 +135,48 @@ class TestPutGet:
         store.put(key, make_artifact(wall_time_s=1.0))
         store.put(key, make_artifact(wall_time_s=2.0))
         assert store.get(key).stored_wall_time_s == pytest.approx(2.0)
+
+
+class TestPutCleanup:
+    def test_failed_serialization_leaves_no_tmp_debris(
+        self, tmp_path, monkeypatch
+    ):
+        # json.dump raising a non-OSError (a TypeError on an
+        # unserializable value) must still unlink the mkstemp file —
+        # the old `except OSError` cleanup missed exactly this case
+        store = Cache(tmp_path / "store")
+
+        def boom(*args, **kwargs):
+            raise TypeError("not serializable")
+
+        monkeypatch.setattr("repro.cache.store.json.dump", boom)
+        with pytest.raises(TypeError):
+            store.put(make_key(), make_artifact())
+        shards = [p for p in store.root.glob("*") if p.is_dir()]
+        leftovers = [
+            p for shard in shards for p in shard.iterdir()
+        ] if shards else []
+        assert leftovers == []
+
+    def test_os_failure_raises_cache_error_and_cleans_up(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.errors import CacheError
+
+        store = Cache(tmp_path / "store")
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.cache.store.os.replace", boom)
+        with pytest.raises(CacheError):
+            store.put(make_key(), make_artifact())
+        monkeypatch.undo()
+        shards = [p for p in store.root.glob("*") if p.is_dir()]
+        leftovers = [
+            p for shard in shards for p in shard.iterdir()
+        ] if shards else []
+        assert leftovers == []
 
 
 class TestMaintenance:
@@ -153,4 +205,19 @@ class TestMaintenance:
     def test_stats_on_missing_root(self, tmp_path):
         stats = Cache(tmp_path / "ghost").stats()
         assert stats.entries == 0 and stats.total_bytes == 0
+        assert stats.tmp_files == 0 and stats.gc is None
         assert Cache(tmp_path / "ghost").clear() == 0
+
+    def test_clear_sweeps_sidecars_and_debris(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        path = store.put(make_key(), make_artifact())
+        (path.parent / ".tmp-orphan.json").write_text("x", encoding="utf-8")
+        (store.root / ".tmp-root.json").write_text("x", encoding="utf-8")
+        assert store.clear() == 1  # counts entries, not bookkeeping files
+        leftovers = [
+            p for p in store.root.rglob("*")
+            if p.name.startswith((".tmp-", ".meta-"))
+        ]
+        assert leftovers == []
+        assert store.stats().entries == 0
+        assert store.stats().tmp_files == 0

@@ -79,6 +79,29 @@ class TestParser:
         args = build_parser().parse_args(["bench"])
         assert args.ids == [] and args.output == "BENCH_cache.json"
         assert args.quick and args.jobs == 1
+        assert args.history is False
+
+    def test_bench_history_flag(self):
+        args = build_parser().parse_args(["bench", "fig1", "--history"])
+        assert args.history is True
+
+    def test_cache_gc_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["cache", "gc"])
+        assert args.cache_command == "gc"
+        assert args.max_bytes is None and args.max_entries is None
+        assert args.max_age_days is None and args.tmp_grace_s is None
+        assert not args.dry_run and not args.fail_on_debris
+        args = parser.parse_args(
+            [
+                "cache", "gc", "--max-bytes", "1024", "--max-entries", "5",
+                "--max-age-days", "30", "--tmp-grace-s", "0",
+                "--dry-run", "--fail-on-debris",
+            ]
+        )
+        assert args.max_bytes == 1024 and args.max_entries == 5
+        assert args.max_age_days == 30.0 and args.tmp_grace_s == 0.0
+        assert args.dry_run and args.fail_on_debris
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -195,6 +218,114 @@ class TestCacheCommands:
         assert payload["bit_identical"] is True
         assert payload["warm_hits"] == 1
         assert "speedup" in capsys.readouterr().out
+
+    def test_bench_history_accumulates_and_checks_regression(
+        self, tmp_path, capsys
+    ):
+        # the acceptance scenario: two consecutive --history invocations
+        # append two records, and the second is checked against the first
+        import json
+
+        out_file = tmp_path / "BENCH_cache.json"
+        assert main(["bench", "fig1", "-o", str(out_file), "--history"]) == 0
+        first = capsys.readouterr().out
+        assert "no baseline yet (1 record(s) on file)" in first
+        assert main(["bench", "fig1", "-o", str(out_file), "--history"]) == 0
+        second = capsys.readouterr().out
+        payload = json.loads(out_file.read_text())
+        assert len(payload["records"]) == 2
+        assert "regression check:" in second
+        assert "1 comparable record(s)" in second
+        assert "cache bench history" in second  # the trend table
+
+    def test_bench_history_migrates_legacy_file(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "BENCH_cache.json"
+        # a PR-3 single-record file already on disk
+        assert main(["bench", "fig1", "-o", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "fig1", "-o", str(out_file), "--history"]) == 0
+        payload = json.loads(out_file.read_text())
+        assert len(payload["records"]) == 2  # legacy record adopted
+        assert "regression check:" in capsys.readouterr().out
+
+    def test_json_manifest_records_gc_counters(self, tmp_path, capsys):
+        from repro.runtime import RunManifest
+
+        art_dir = tmp_path / "artifacts"
+        assert main(["run", "fig1", "--json", str(art_dir)]) == 0
+        manifest = RunManifest.from_json(
+            (art_dir / "manifest.json").read_text()
+        )
+        assert manifest.gc is not None
+        assert manifest.gc["evicted_entries"] == 0
+
+    def test_stats_reports_debris_and_gc(self, capsys):
+        from repro.cache.store import default_cache_dir
+
+        assert main(["run", "fig1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        # a `run` auto-GCs afterwards, so stats already shows counters
+        assert "temp debris: 0 file(s)" in out
+        assert "gc: 1 collection(s)" in out
+        debris = default_cache_dir() / ".tmp-orphan.json"
+        debris.write_text("x", encoding="utf-8")
+        assert main(["cache", "stats"]) == 0
+        assert "temp debris: 1 file(s)" in capsys.readouterr().out
+
+    def test_gc_dry_run_deletes_nothing(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would evict 0/1" in out
+        assert main(["cache", "stats"]) == 0
+        assert "entries: 1" in capsys.readouterr().out
+
+    def test_gc_evicts_under_entry_budget(self, capsys):
+        assert main(["run", "fig1", "--seed", "0"]) == 0
+        assert main(["run", "fig1", "--seed", "1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--max-entries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 1/2" in out
+        assert main(["cache", "stats"]) == 0
+        assert "entries: 1" in capsys.readouterr().out
+
+    def test_gc_fail_on_debris(self, capsys):
+        from repro.cache.store import default_cache_dir
+
+        assert main(["run", "fig1"]) == 0
+        capsys.readouterr()
+        # quiesced store, zero grace: the CI guard passes when clean...
+        assert main(
+            ["cache", "gc", "--dry-run", "--fail-on-debris",
+             "--tmp-grace-s", "0"]
+        ) == 0
+        capsys.readouterr()
+        # ...and fails once orphaned write debris shows up
+        (default_cache_dir() / ".tmp-orphan.json").write_text(
+            "x", encoding="utf-8"
+        )
+        assert main(
+            ["cache", "gc", "--dry-run", "--fail-on-debris",
+             "--tmp-grace-s", "0"]
+        ) == 1
+        assert "orphaned .tmp-*" in capsys.readouterr().err
+
+    def test_gc_json_payload(self, tmp_path, capsys):
+        import json
+
+        assert main(["run", "fig1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--json", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "cache_gc.json").read_text())
+        assert payload["command"] == "cache-gc"
+        assert payload["examined_entries"] == 1
+        assert payload["dry_run"] is False
 
     def test_json_manifest_records_warm_hits(self, tmp_path, capsys):
         from repro.runtime import RunManifest

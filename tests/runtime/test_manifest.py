@@ -127,6 +127,18 @@ class TestCacheAccounting:
         # cache_speedup can be inf (not JSON-representable): never serialized
         assert "cache_speedup" not in payload
 
+    def test_to_dict_serializes_serial_equivalent_time(self):
+        # speedup is derived from this number; a serialized manifest
+        # that lost it could not be audited
+        payload = RunManifest.build(
+            [hit("a", 2.0), artifact("b", 1.0, cache_hit=False)],
+            seed=0,
+            quick=True,
+            jobs=1,
+            total_wall_time_s=1.0,
+        ).to_dict()
+        assert payload["serial_equivalent_wall_time_s"] == pytest.approx(3.0)
+
     def test_cache_fields_round_trip(self):
         manifest = RunManifest.build(
             [hit("a", 2.0), artifact("b", 1.0, cache_hit=False)],
@@ -165,3 +177,43 @@ class TestRoundTrip:
     def test_malformed_entry_refused(self):
         with pytest.raises(ArtifactError):
             ManifestEntry.from_dict({"verdict": "x"})
+
+
+class TestGCCounters:
+    GC = {
+        "dry_run": False,
+        "examined_entries": 4,
+        "evicted_entries": 1,
+        "evicted_bytes": 2048,
+        "reaped_tmp_files": 0,
+    }
+
+    def test_gc_counters_round_trip(self):
+        manifest = RunManifest.build(
+            [artifact("a", 1.0)], seed=0, quick=True, jobs=1, gc=dict(self.GC)
+        )
+        assert manifest.to_dict()["gc"] == self.GC
+        loaded = RunManifest.from_json(manifest.to_json())
+        assert loaded.gc == self.GC
+        assert loaded == manifest
+
+    def test_gc_defaults_to_none(self):
+        manifest = RunManifest.build(
+            [artifact("a", 1.0)], seed=0, quick=True, jobs=1
+        )
+        assert manifest.gc is None
+        assert manifest.to_dict()["gc"] is None
+
+    def test_old_payload_without_new_fields_still_loads(self):
+        # manifests written before this PR had neither gc nor
+        # serial_equivalent_wall_time_s; from_dict must stay tolerant
+        payload = RunManifest.build(
+            [artifact("a", 1.0)], seed=0, quick=True, jobs=1,
+            total_wall_time_s=2.0,
+        ).to_dict()
+        del payload["gc"]
+        del payload["serial_equivalent_wall_time_s"]
+        loaded = RunManifest.from_dict(payload)
+        assert loaded.gc is None
+        # the derived quantity is recomputed, not lost
+        assert loaded.serial_equivalent_wall_time_s == pytest.approx(1.0)

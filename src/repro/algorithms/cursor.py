@@ -92,6 +92,12 @@ class ExecutionCursor:
         self.n = n
         self._randomizer = scan_randomizer
         self._events_cache: dict[int, list[tuple]] = {}
+        # Closed-form (feed_*_run) lookup tables; see _outermost_depth,
+        # _child_run_end and _subtree_totals.
+        self._depth_cache: dict[int, Optional[int]] = {}
+        self._child_run_cache: dict[int, list[int]] = {}
+        self._subtree_cache: dict[int, tuple[int, int]] = {}
+        self._suffix_cache: dict[int, tuple[list[int], list[int]]] = {}
         self._stack: list[_Frame] = [self._make_frame(n)]
         self._normalize()
 
@@ -218,6 +224,10 @@ class ExecutionCursor:
         dup.n = self.n
         dup._randomizer = self._randomizer
         dup._events_cache = self._events_cache
+        dup._depth_cache = self._depth_cache
+        dup._child_run_cache = self._child_run_cache
+        dup._subtree_cache = self._subtree_cache
+        dup._suffix_cache = self._suffix_cache
         dup._stack = [fr.clone() for fr in self._stack]
         return dup
 
@@ -410,6 +420,284 @@ class ExecutionCursor:
         completed_size = self._stack[idx].size
         leaves, scans = self.complete_through(idx)
         return BoxOutcome(leaves, scans, completed_size, self.is_done)
+
+    # -- closed-form lookup tables (static placements only) ---------------
+    def _outermost_depth(self, s: int) -> Optional[int]:
+        """Index of the outermost stack frame whose size is <= ``s``, as a
+        cached table lookup.
+
+        Equivalent to :meth:`_outermost_frame_with_size_at_most` because
+        stack sizes are always the fixed chain ``n, n//b, n//b//b, ...``
+        (every frame's child has size ``child_size(parent)``), so the
+        answer depends only on ``s`` and the current depth — not on which
+        nodes the frames happen to be.
+        """
+        d = self._depth_cache.get(s, -1)
+        if d == -1:
+            size = self.n
+            b = self.spec.b
+            base = self.spec.base_size
+            i = 0
+            while True:
+                if size <= s:
+                    d: Optional[int] = i
+                    break
+                if size <= base:  # deepest possible frame still too big
+                    d = None
+                    break
+                size //= b
+                i += 1
+            self._depth_cache[s] = d
+        if d is None or d >= len(self._stack):
+            return None
+        return d
+
+    def _child_run_end(self, frame: _Frame) -> int:
+        """First event index at or after the frame's current event that is
+        not a ``child`` event (cached per node size — event lists are
+        shared per size for static placements)."""
+        tbl = self._child_run_cache.get(frame.size)
+        if tbl is None:
+            events = frame.events
+            end = len(events)
+            tbl = [0] * (end + 1)
+            tbl[end] = end
+            for j in range(end - 1, -1, -1):
+                tbl[j] = tbl[j + 1] if events[j][0] == _CHILD else j
+            self._child_run_cache[frame.size] = tbl
+        return tbl[frame.event_idx]
+
+    def _subtree_totals(self, size: int) -> tuple[int, int]:
+        """``(leaves, scan_accesses)`` of a whole fresh subtree — the
+        placement-independent totals a sibling-completing box covers."""
+        totals = self._subtree_cache.get(size)
+        if totals is None:
+            totals = (self.spec.leaves(size), self.spec.subtree_scan_total(size))
+            self._subtree_cache[size] = totals
+        return totals
+
+    def _event_suffix_totals(self, frame: _Frame) -> tuple[list[int], list[int]]:
+        """Per-size tables ``(leaves, scans)`` of everything from event
+        ``j`` on in a node of this size: ``tables[0][j]``/``tables[1][j]``
+        cover ``events[j:]`` with child events counted as whole fresh
+        subtrees.  Valid because static placements share one event list
+        per size, and all frame sizes come from the chain ``n, n//b, ...``
+        so a size identifies its event list."""
+        tbl = self._suffix_cache.get(frame.size)
+        if tbl is None:
+            spec = self.spec
+            events = frame.events
+            if frame.size > spec.base_size:
+                child_leaves, child_scans = self._subtree_totals(
+                    frame.size // spec.b
+                )
+            else:
+                child_leaves = child_scans = 0
+            m = len(events)
+            suf_leaves = [0] * (m + 1)
+            suf_scans = [0] * (m + 1)
+            for j in range(m - 1, -1, -1):
+                ev = events[j]
+                kind = ev[0]
+                if kind == _CHILD:
+                    suf_leaves[j] = suf_leaves[j + 1] + child_leaves
+                    suf_scans[j] = suf_scans[j + 1] + child_scans
+                elif kind == _SCAN:
+                    suf_leaves[j] = suf_leaves[j + 1]
+                    suf_scans[j] = suf_scans[j + 1] + ev[1]
+                else:
+                    suf_leaves[j] = suf_leaves[j + 1] + 1
+                    suf_scans[j] = suf_scans[j + 1]
+            tbl = (suf_leaves, suf_scans)
+            self._suffix_cache[frame.size] = tbl
+        return tbl
+
+    def _complete_through_cached(self, frame_idx: int) -> tuple[int, int]:
+        """:meth:`complete_through` computed with the suffix tables —
+        O(depth) instead of O(depth * events), same result and state."""
+        stack = self._stack
+        leaves = 0
+        scans = 0
+        top = len(stack) - 1
+        for i in range(frame_idx, top + 1):
+            fr = stack[i]
+            start = fr.event_idx
+            if i == top:
+                if start < len(fr.events):
+                    ev = fr.events[start]
+                    if ev[0] == _LEAF:
+                        leaves += 1
+                    elif ev[0] == _SCAN:
+                        scans += ev[1] - fr.scan_done
+                    start += 1
+            else:
+                start += 1  # current child event is covered by deeper frames
+            suf_leaves, suf_scans = self._event_suffix_totals(fr)
+            leaves += suf_leaves[start]
+            scans += suf_scans[start]
+        del stack[frame_idx:]
+        if stack:
+            stack[-1].event_idx += 1
+            stack[-1].scan_done = 0
+        self._normalize()
+        return leaves, scans
+
+    def feed_simplified_run(
+        self, s: int, count: int, completion_divisor: int = 1
+    ) -> tuple[int, int, int]:
+        """Consume up to ``count`` boxes of identical size ``s`` in closed
+        form under the simplified model; returns ``(consumed, leaves,
+        scan_accesses)``.
+
+        Exactly equivalent to ``consumed`` sequential
+        :meth:`feed_simplified` calls — the batched aggregate and the
+        final cursor state are identical (asserted differentially in
+        ``tests/simulation/test_fastpath.py``) — but a run streaming a
+        scan becomes one division, ``k`` boxes each completing one fresh
+        size-``<= s//κ`` sibling become one multiply, and ``k`` boxes
+        each completing one pending leaf become one addition.  Consumes
+        a maximal closed-form prefix: call again with the remaining
+        count while the cursor is not done.
+
+        Requires a static scan placement: skipping whole sibling
+        subtrees must not change how many times a randomizer is
+        consulted, so randomized placements stay on the scalar path.
+        """
+        if self._randomizer is not None:
+            raise SimulationError(
+                "feed_simplified_run requires a static scan placement; "
+                "randomized placements must step box by box"
+            )
+        if not self._stack:
+            raise SimulationError("execution already complete")
+        if s < 1:
+            raise SimulationError(f"box size must be >= 1, got {s}")
+        if count < 1:
+            raise SimulationError(f"count must be >= 1, got {count}")
+        if completion_divisor < 1:
+            raise SimulationError(
+                f"completion_divisor must be >= 1, got {completion_divisor}"
+            )
+        spec = self.spec
+        s_eff = s // completion_divisor
+        stack = self._stack
+        fr = stack[-1]
+        ev = fr.events[fr.event_idx]
+        # a run streaming a scan it cannot complete: one division
+        if ev[0] == _SCAN and fr.size > s_eff:
+            rem = ev[1] - fr.scan_done
+            need = -(-rem // s)  # boxes to fill the piece (ceil)
+            q = need if count >= need else count
+            step = min(q * s, rem)
+            fr.scan_done += step
+            if fr.scan_done >= ev[1]:
+                fr.event_idx += 1
+                fr.scan_done = 0
+                self._normalize()
+            return q, 0, step
+        idx = self._outermost_depth(s_eff)
+        if idx is None:
+            if s >= spec.base_size and ev[0] == _LEAF:
+                # leaf batch: boxes too small to complete any ancestor
+                # still complete pending base cases, one each
+                if len(stack) == 1:
+                    self.complete_leaf()
+                    return 1, 1, 0
+                parent = stack[-2]
+                q = min(count, self._child_run_end(parent) - parent.event_idx)
+                del stack[-1]
+                parent.event_idx += q
+                parent.scan_done = 0
+                self._normalize()
+                return q, q, 0
+            # zero-progress boxes: the cursor does not move, so the
+            # whole run is consumed at once
+            return count, 0, 0
+        # subtree completion: each box completes (the remainder of) the
+        # outermost problem of size <= s_eff containing the cursor
+        leaves = 0
+        scans = 0
+        consumed = 0
+        while True:
+            top = len(stack) - 1
+            if idx == top:
+                fr = stack[top]
+                fresh = fr.event_idx == 0 and fr.scan_done == 0
+            else:
+                fresh = all(
+                    f.event_idx == 0 and f.scan_done == 0 for f in stack[idx:]
+                )
+            if fresh and idx > 0:
+                # batch consecutive fresh siblings: one multiply
+                parent = stack[idx - 1]
+                q = min(
+                    count - consumed,
+                    self._child_run_end(parent) - parent.event_idx,
+                )
+                sub_leaves, sub_scans = self._subtree_totals(stack[idx].size)
+                leaves += q * sub_leaves
+                scans += q * sub_scans
+                del stack[idx:]
+                parent.event_idx += q
+                parent.scan_done = 0
+                self._normalize()
+                consumed += q
+            else:
+                # partially progressed (the run's first box) or the root
+                got_leaves, got_scans = self._complete_through_cached(idx)
+                leaves += got_leaves
+                scans += got_scans
+                consumed += 1
+            if consumed >= count or not stack:
+                break
+            fr = stack[-1]
+            if fr.events[fr.event_idx][0] == _SCAN and fr.size > s_eff:
+                break  # next box streams a scan: separate closed form
+            idx = self._outermost_depth(s_eff)
+            if idx is None:
+                break  # next box behaves as a leaf/zero-progress box
+        return consumed, leaves, scans
+
+    def feed_greedy_run(self, s: int, count: int) -> tuple[int, int, int]:
+        """Consume up to ``count`` identical greedy boxes in closed form;
+        returns ``(consumed, leaves, scan_accesses)``.
+
+        Batches the two regimes that dominate long runs — boxes fully
+        absorbed by the current scan piece (one division) and boxes too
+        small to complete a leaf (consumed without progress) — and
+        falls back to a single :meth:`feed_greedy` step otherwise.
+        Equivalent to ``consumed`` sequential :meth:`feed_greedy` calls.
+        """
+        if self._randomizer is not None:
+            raise SimulationError(
+                "feed_greedy_run requires a static scan placement; "
+                "randomized placements must step box by box"
+            )
+        if not self._stack:
+            raise SimulationError("execution already complete")
+        if s < 1:
+            raise SimulationError(f"box size must be >= 1, got {s}")
+        if count < 1:
+            raise SimulationError(f"count must be >= 1, got {count}")
+        fr = self._stack[-1]
+        ev = fr.events[fr.event_idx]
+        if ev[0] == _SCAN:
+            rem = ev[1] - fr.scan_done
+            whole = rem // s  # boxes the piece absorbs entirely
+            if whole >= 1:
+                q = whole if count >= whole else count
+                step = q * s
+                fr.scan_done += step
+                if fr.scan_done >= ev[1]:
+                    fr.event_idx += 1
+                    fr.scan_done = 0
+                    self._normalize()
+                return q, 0, step
+        elif s < self.spec.base_size:
+            # cannot afford a leaf and is not at a scan: no progress
+            return count, 0, 0
+        out = self.feed_greedy(s)
+        return 1, out.leaves, out.scan_accesses
 
     def feed_recursive(self, s: int, completion_divisor: int = 1) -> BoxOutcome:
         """Apply one box of size ``s`` under the budgeted-continuation model.

@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from datetime import datetime, timezone
 from itertools import chain
@@ -63,6 +64,7 @@ __all__ = [
     "write_access_record",
     "record_put",
     "record_hit",
+    "buffered_access_records",
     "iter_debris",
     "collect",
     "auto_collect",
@@ -191,8 +193,15 @@ def _synthesized_record(entry_path: Path) -> AccessRecord | None:
 
 def record_put(entry_path: Path, now: float | None = None) -> None:
     """Stamp a fresh sidecar after a ``put`` (best-effort: a failed
-    sidecar write must never fail the put that succeeded)."""
+    sidecar write must never fail the put that succeeded).
+
+    Inside :func:`buffered_access_records` the write is deferred: the
+    pending state for the entry is *replaced* (a put starts a fresh
+    record), and one coalesced sidecar lands at flush time."""
     now = _utcnow_s() if now is None else now
+    if _BUFFER is not None:
+        _BUFFER.note_put(entry_path, now)
+        return
     try:
         size = entry_path.stat().st_size
         write_access_record(
@@ -207,8 +216,14 @@ def record_put(entry_path: Path, now: float | None = None) -> None:
 
 def record_hit(entry_path: Path, now: float | None = None) -> None:
     """Bump the sidecar on a ``get`` hit (best-effort, like
-    :func:`record_put`); a missing/corrupt sidecar is re-synthesized."""
+    :func:`record_put`); a missing/corrupt sidecar is re-synthesized.
+
+    Inside :func:`buffered_access_records` hits accumulate in memory and
+    one coalesced sidecar write happens at flush time."""
     now = _utcnow_s() if now is None else now
+    if _BUFFER is not None:
+        _BUFFER.note_hit(entry_path, now)
+        return
     record = read_access_record(entry_path) or _synthesized_record(entry_path)
     if record is None:  # entry vanished under us (concurrent gc/clear)
         return
@@ -219,6 +234,88 @@ def record_hit(entry_path: Path, now: float | None = None) -> None:
         )
     except OSError:
         pass
+
+
+class _AccessBuffer:
+    """In-process pending sidecar updates: at most one disk write per
+    touched entry at flush, regardless of how many puts/hits landed."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self) -> None:
+        # entry path -> [put timestamp or None, buffered hits, last access]
+        self._pending: dict[Path, list[Any]] = {}
+
+    def note_put(self, entry_path: Path, now: float) -> None:
+        self._pending[entry_path] = [now, 0, now]
+
+    def note_hit(self, entry_path: Path, now: float) -> None:
+        state = self._pending.get(entry_path)
+        if state is None:
+            self._pending[entry_path] = [None, 1, now]
+        else:
+            state[1] += 1
+            state[2] = now
+
+    def flush(self) -> int:
+        """Write the coalesced sidecars; the number actually written.
+        Entries that vanished under the buffer (concurrent gc/clear)
+        are skipped, matching the unbuffered best-effort contract."""
+        written = 0
+        for entry_path, (put_now, hits, last) in self._pending.items():
+            if put_now is not None:
+                try:
+                    size = entry_path.stat().st_size
+                except OSError:
+                    continue  # entry vanished: nothing to describe
+                record = AccessRecord(
+                    created=put_now,
+                    last_access=last,
+                    hits=hits,
+                    size_bytes=size,
+                )
+            else:
+                base = read_access_record(entry_path) or _synthesized_record(
+                    entry_path
+                )
+                if base is None:
+                    continue
+                record = replace(
+                    base, last_access=last, hits=base.hits + hits
+                )
+            try:
+                write_access_record(entry_path, record)
+            except OSError:
+                continue
+            written += 1
+        self._pending.clear()
+        return written
+
+
+_BUFFER: _AccessBuffer | None = None
+
+
+@contextmanager
+def buffered_access_records() -> Iterator[None]:
+    """Defer sidecar writes for the duration of the block.
+
+    ``Cache.get``/``Cache.put`` inside the block update an in-memory
+    buffer instead of rewriting ``.meta-*.json`` per access; the block's
+    exit flushes one coalesced write per touched entry (even on error —
+    accesses that happened, happened).  Re-entrant: an inner block joins
+    the outer buffer, whose exit does the flush.  Per-process only — a
+    worker pool's processes each write immediately as before.
+    """
+    global _BUFFER
+    if _BUFFER is not None:
+        yield
+        return
+    _BUFFER = _AccessBuffer()
+    try:
+        yield
+    finally:
+        buffer, _BUFFER = _BUFFER, None
+        buffer.flush()
 
 
 # -- budgets ---------------------------------------------------------------

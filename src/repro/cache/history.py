@@ -40,6 +40,7 @@ from repro.errors import CacheError
 __all__ = [
     "HISTORY_SCHEMA_VERSION",
     "DEFAULT_REGRESSION_THRESHOLD",
+    "DEFAULT_MIN_BASELINE_RECORDS",
     "empty_history",
     "load_history",
     "append_record",
@@ -54,18 +55,30 @@ HISTORY_SCHEMA_VERSION = 1
 #: false alarm per commit would train everyone to ignore the check.
 DEFAULT_REGRESSION_THRESHOLD = 0.5
 
+#: Comparable prior records required before the check enforces.  One
+#: lone predecessor is not a baseline: every environment-tag change
+#: (interpreter or numpy upgrade) restarts the comparability class, and
+#: judging the second-ever measurement against the first would flag —
+#: or mask — plain noise.  Until the class has this much history the
+#: verdict stays ``"no-baseline"``.
+DEFAULT_MIN_BASELINE_RECORDS = 2
 
-def empty_history() -> dict[str, Any]:
-    """A fresh, record-less history document."""
+
+def empty_history(benchmark: str = "cache-cold-vs-warm") -> dict[str, Any]:
+    """A fresh, record-less history document for ``benchmark``."""
     return {
         "history_schema_version": HISTORY_SCHEMA_VERSION,
-        "benchmark": "cache-cold-vs-warm",
+        "benchmark": benchmark,
         "records": [],
     }
 
 
-def load_history(path: "str | os.PathLike[str]") -> dict[str, Any]:
-    """Read a history file; a missing file is an empty history.
+def load_history(
+    path: "str | os.PathLike[str]",
+    benchmark: str = "cache-cold-vs-warm",
+) -> dict[str, Any]:
+    """Read a history file; a missing file is an empty ``benchmark``
+    history.
 
     A legacy single-record ``BENCH_cache.json`` is wrapped as the first
     record.  Corruption is *loud* (:class:`CacheError`): silently
@@ -76,7 +89,7 @@ def load_history(path: "str | os.PathLike[str]") -> dict[str, Any]:
     try:
         text = p.read_text(encoding="utf-8")
     except FileNotFoundError:
-        return empty_history()
+        return empty_history(benchmark)
     except OSError as exc:
         raise CacheError(f"cannot read bench history {p}: {exc}") from None
     try:
@@ -108,13 +121,15 @@ def load_history(path: "str | os.PathLike[str]") -> dict[str, Any]:
 
 
 def append_record(
-    path: "str | os.PathLike[str]", record: dict[str, Any]
+    path: "str | os.PathLike[str]",
+    record: dict[str, Any],
+    benchmark: str = "cache-cold-vs-warm",
 ) -> dict[str, Any]:
     """Append ``record`` to the history at ``path`` (atomic write) and
     return the updated history.  Reruns at the same revision append —
     they are new measurements, not corrections."""
     p = Path(path)
-    history = load_history(p)
+    history = load_history(p, benchmark)
     history["records"] = list(history["records"]) + [dict(record)]
     p.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(
@@ -148,10 +163,27 @@ def _config_key(record: dict[str, Any]) -> tuple[Any, Any, Any]:
     )
 
 
+#: Per-benchmark ``(slow key, fast key, slow header, fast header)`` for
+#: the trend table; the cache columns double as the fallback so any
+#: future benchmark renders (with dashes) before it gets a row here.
+_TREND_COLUMNS = {
+    "cache-cold-vs-warm": (
+        "cold_wall_time_s", "warm_wall_time_s", "cold(s)", "warm(s)"
+    ),
+    "sim-scalar-vs-chunked": (
+        "scalar_wall_time_s", "chunked_wall_time_s", "scalar(s)", "chunked(s)"
+    ),
+}
+
+
 def render_trend(history: dict[str, Any]) -> str:
     """The history as a text table, oldest record first."""
     from repro.util.tables import format_table
 
+    benchmark = str(history.get("benchmark") or "cache-cold-vs-warm")
+    slow_key, fast_key, slow_header, fast_header = _TREND_COLUMNS.get(
+        benchmark, _TREND_COLUMNS["cache-cold-vs-warm"]
+    )
     rows = []
     for index, record in enumerate(history.get("records", []), start=1):
         speedup = record.get("speedup")
@@ -160,11 +192,11 @@ def render_trend(history: dict[str, Any]) -> str:
                 index,
                 record.get("git_revision") or "-",
                 record.get("quick"),
-                record.get("jobs"),
-                record.get("cold_wall_time_s"),
-                record.get("warm_wall_time_s"),
+                record.get("jobs", "-"),
+                record.get(slow_key),
+                record.get(fast_key),
                 f"{speedup:.1f}x" if isinstance(speedup, (int, float)) else "-",
-                record.get("warm_hits"),
+                record.get("warm_hits", "-"),
                 "yes" if record.get("bit_identical") else "NO",
             )
         )
@@ -176,29 +208,34 @@ def render_trend(history: dict[str, Any]) -> str:
             "revision",
             "quick",
             "jobs",
-            "cold(s)",
-            "warm(s)",
+            slow_header,
+            fast_header,
             "speedup",
             "hits",
             "identical",
         ],
         rows,
-        title="cache bench history (cold vs warm)",
+        title=f"bench history ({benchmark})",
     )
 
 
 def check_regression(
     history: dict[str, Any],
     threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    min_records: int = DEFAULT_MIN_BASELINE_RECORDS,
 ) -> dict[str, Any]:
     """Compare the newest record's speedup to its comparable history.
 
     Baseline = median speedup of earlier records in the same
     comparability class (environment, quick, jobs).  ``status`` is
     ``"ok"``, ``"regression"`` (latest < ``threshold`` x baseline), or
-    ``"no-baseline"`` (fewer than two comparable measurements — the
-    first run of a new environment cannot regress against anything).
+    ``"no-baseline"`` — fewer than ``min_records`` comparable prior
+    measurements.  The floor keeps an environment-tag change (which
+    restarts the comparability class) from silently re-baselining the
+    check on a single noisy point.
     """
+    if min_records < 1:
+        raise CacheError(f"min_records must be >= 1, got {min_records}")
     records = [
         r
         for r in history.get("records", [])
@@ -207,6 +244,7 @@ def check_regression(
     verdict: dict[str, Any] = {
         "status": "no-baseline",
         "threshold": threshold,
+        "min_records": min_records,
         "latest_speedup": None,
         "baseline_speedup": None,
         "ratio": None,
@@ -223,7 +261,7 @@ def check_regression(
         if _config_key(r) == _config_key(latest)
     ]
     verdict["baseline_records"] = len(prior)
-    if not prior:
+    if len(prior) < min_records:
         return verdict
     baseline = float(median(prior))
     ratio = latest_speedup / baseline if baseline > 0 else None

@@ -28,9 +28,11 @@ appears):
   ``.tmp-*`` write debris and evicts LRU-first under
   ``--max-bytes/--max-entries/--max-age-days`` budgets, ``--dry-run``
   to preview);
-* ``bench`` — cold-vs-warm cache benchmark over the registry; writes
-  ``BENCH_cache.json`` (with ``--history``, appends a record to the
-  longitudinal trend line and runs the speedup regression check);
+* ``bench`` — benchmark suites: ``--suite cache`` (cold-vs-warm over
+  the registry; writes ``BENCH_cache.json``) or ``--suite sim``
+  (scalar-vs-chunked simulator workloads; writes ``BENCH_sim.json``).
+  With ``--history``, appends a record to the suite's longitudinal
+  trend line and runs (and fails on) the speedup regression check;
 * ``lint`` — run the repo's AST-based invariant linter (RNG/units/
   float-equality/frozen-artifact/exports/profile discipline) over
   source trees; exit 1 on findings, for CI.  See ``docs/DEVTOOLS.md``.
@@ -274,14 +276,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_p = sub.add_parser(
         "bench",
-        help="cold-vs-warm cache benchmark over the registry "
-        "(writes BENCH_cache.json)",
+        help="benchmark suites: cache (cold-vs-warm over the registry, "
+        "writes BENCH_cache.json) or sim (scalar-vs-chunked simulator, "
+        "writes BENCH_sim.json)",
     )
     bench_p.add_argument(
         "ids",
         nargs="*",
         default=None,
-        help="experiment ids to benchmark (default: the full registry)",
+        help="experiment ids to benchmark (cache suite only; "
+        "default: the full registry)",
+    )
+    bench_p.add_argument(
+        "--suite",
+        choices=("cache", "sim"),
+        default="cache",
+        help="which benchmark to run: the cache cold-vs-warm suite or "
+        "the simulator scalar-vs-chunked suite (default cache)",
     )
     _add_quick_full(bench_p, default_quick=True, what="small sweeps")
     _add_seed(bench_p)
@@ -290,13 +301,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="worker processes for both passes (default 1)",
+        help="worker processes for both passes (cache suite only; default 1)",
     )
     bench_p.add_argument(
         "-o",
         "--output",
-        default="BENCH_cache.json",
-        help="where to write the benchmark report (default BENCH_cache.json)",
+        default=None,
+        help="where to write the benchmark report "
+        "(default BENCH_cache.json / BENCH_sim.json per suite)",
     )
     bench_p.add_argument(
         "--history",
@@ -725,21 +737,39 @@ def _cmd_bench(
     quick: bool,
     seed: int,
     jobs: int,
-    output: str,
+    output: str | None,
     cache_dir: str | None,
     history: bool = False,
+    suite: str = "cache",
 ) -> int:
     import json
 
-    from repro.cache.bench import run_cache_bench
+    if suite == "sim":
+        from repro.simulation.bench import SIM_BENCHMARK_NAME, run_sim_bench
 
-    payload = run_cache_bench(
-        quick=quick,
-        seed=seed,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        ids=ids or None,
-    )
+        if ids:
+            print(
+                "error: the sim suite benchmarks fixed simulator "
+                "workloads, not registry ids",
+                file=sys.stderr,
+            )
+            return 2
+        payload = run_sim_bench(quick=quick, seed=seed)
+        benchmark = SIM_BENCHMARK_NAME
+        output = output or "BENCH_sim.json"
+    else:
+        from repro.cache.bench import run_cache_bench
+
+        payload = run_cache_bench(
+            quick=quick,
+            seed=seed,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            ids=ids or None,
+        )
+        benchmark = "cache-cold-vs-warm"
+        output = output or "BENCH_cache.json"
+    regressed = False
     if history:
         from repro.cache.history import (
             append_record,
@@ -747,13 +777,14 @@ def _cmd_bench(
             render_trend,
         )
 
-        doc = append_record(output, payload)
+        doc = append_record(output, payload, benchmark=benchmark)
         print(render_trend(doc))
         check = check_regression(doc)
         if check["status"] == "no-baseline":
             print(
                 f"regression check: no baseline yet "
-                f"({len(doc['records'])} record(s) on file)"
+                f"({check['baseline_records']} of {check['min_records']} "
+                f"comparable prior record(s) on file)"
             )
         else:
             print(
@@ -763,22 +794,40 @@ def _cmd_bench(
                 f"{check['baseline_records']} comparable record(s) "
                 f"(threshold {check['threshold']:.2f})"
             )
+        regressed = check["status"] == "regression"
     else:
         with open(output, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
     speedup = payload["speedup"]
-    print(
-        f"cache bench: cold {payload['cold_wall_time_s']:.2f}s, "
-        f"warm {payload['warm_wall_time_s']:.2f}s"
-        + (f", speedup {speedup:.1f}x" if speedup else "")
-    )
-    print(
-        f"warm hits: {payload['warm_hits']}/{len(payload['experiments'])}, "
-        f"bit-identical: {payload['bit_identical']}"
-    )
+    if suite == "sim":
+        print(
+            f"sim bench: scalar {payload['scalar_wall_time_s']:.2f}s, "
+            f"chunked {payload['chunked_wall_time_s']:.2f}s"
+            + (f", min speedup {speedup:.1f}x" if speedup else "")
+        )
+        for workload in payload["workloads"]:
+            wsp = workload["speedup"]
+            print(
+                f"  {workload['name']}: "
+                f"{workload['scalar_wall_time_s']:.2f}s -> "
+                f"{workload['chunked_wall_time_s']:.2f}s"
+                + (f" ({wsp:.1f}x)" if wsp else "")
+            )
+        print(f"bit-identical: {payload['bit_identical']}")
+    else:
+        print(
+            f"cache bench: cold {payload['cold_wall_time_s']:.2f}s, "
+            f"warm {payload['warm_wall_time_s']:.2f}s"
+            + (f", speedup {speedup:.1f}x" if speedup else "")
+        )
+        print(
+            f"warm hits: "
+            f"{payload['warm_hits']}/{len(payload['experiments'])}, "
+            f"bit-identical: {payload['bit_identical']}"
+        )
     print(f"wrote {output}", file=sys.stderr)
-    return 0 if payload["bit_identical"] else 1
+    return 0 if payload["bit_identical"] and not regressed else 1
 
 
 def _cmd_lint(
@@ -869,6 +918,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.output,
                 args.cache_dir,
                 history=args.history,
+                suite=args.suite,
             )
         if args.command == "lint":
             return _cmd_lint(

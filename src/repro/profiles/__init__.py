@@ -32,6 +32,7 @@ from repro.profiles.perturbations import (
     uniform_multipliers,
 )
 from repro.profiles.reduction import inscribed_box_at, squarify
+from repro.profiles.runs import BoxRuns
 from repro.profiles.square import SquareProfile, as_box_iter
 from repro.profiles.worst_case import (
     limit_profile_boxes,
@@ -42,11 +43,13 @@ from repro.profiles.worst_case import (
     worst_case_boxes,
     worst_case_potential,
     worst_case_profile,
+    worst_case_runs,
     worst_case_total_time,
 )
 
 __all__ = [
     "MemoryProfile",
+    "BoxRuns",
     "SquareProfile",
     "as_box_iter",
     "BoxDistribution",
@@ -78,5 +81,6 @@ __all__ = [
     "worst_case_boxes",
     "worst_case_potential",
     "worst_case_profile",
+    "worst_case_runs",
     "worst_case_total_time",
 ]

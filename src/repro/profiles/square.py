@@ -167,6 +167,17 @@ class SquareProfile:
         return {int(s): int(c) for s, c in zip(sizes, counts)}
 
     # -- conversions ------------------------------------------------------
+    def runs(self):
+        """Run-length view: this profile as maximal ``(size, count)`` runs.
+
+        Returns a :class:`~repro.profiles.runs.BoxRuns` encoding exactly
+        this box sequence — the chunked representation the simulation
+        fast path consumes (see :mod:`repro.simulation.fastpath`).
+        """
+        from repro.profiles.runs import BoxRuns
+
+        return BoxRuns.from_boxes(self._boxes)
+
     def to_memory_profile(self) -> MemoryProfile:
         """Expand into a per-I/O step profile (size x for x steps, per box).
 

@@ -39,6 +39,7 @@ __all__ = [
     "matched_worst_case_profile",
     "worst_case_profile",
     "worst_case_boxes",
+    "worst_case_runs",
     "limit_profile_boxes",
     "worst_case_box_count",
     "worst_case_total_time",
@@ -119,6 +120,37 @@ def worst_case_boxes(
         for _ in range(a):
             yield from rec(level - 1)
         yield base_size * b**level
+
+    yield from rec(depth)
+
+
+def worst_case_runs(
+    a: int, b: int, n: int, base_size: int = 1
+) -> Iterator[tuple[int, int]]:
+    """Lazily yield ``M_{a,b}(n)`` as maximal ``(size, count)`` runs.
+
+    Native run emission for the chunked fast path: the only repeated
+    adjacency in the recursive construction is the block of ``a``
+    base-size boxes at the bottom of each depth-1 node (adjacent
+    recursive copies never merge across their boundary because every
+    copy ends with its own big box), so with the depth-1 block emitted
+    as one run the flat output *is* the maximal RLE of the profile —
+    identical to ``worst_case_profile(...).runs()`` but in O(depth)
+    memory and without materializing the ``Θ(a^D)`` boxes.
+    """
+    depth = _check_params(a, b, n, base_size)
+
+    def rec(level: int) -> Iterator[tuple[int, int]]:
+        if level == 0:
+            yield base_size, 1
+            return
+        if level == 1:
+            yield base_size, a
+            yield base_size * b, 1
+            return
+        for _ in range(a):
+            yield from rec(level - 1)
+        yield base_size * b**level, 1
 
     yield from rec(depth)
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Iterator, Sequence
 
@@ -161,11 +162,12 @@ class ExperimentRunner:
         """Yield one finalized artifact per experiment, in request order."""
         targets = _resolve_ids(ids)
         if self.jobs == 1 or len(targets) <= 1:
-            for eid in targets:
-                yield run_one(
-                    eid, quick=quick, seed=seed,
-                    cache=self.cache, cache_dir=self.cache_dir,
-                )
+            with self._sidecar_buffer():
+                for eid in targets:
+                    yield run_one(
+                        eid, quick=quick, seed=seed,
+                        cache=self.cache, cache_dir=self.cache_dir,
+                    )
         else:
             workers = min(self.jobs, len(targets))
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -178,6 +180,20 @@ class ExperimentRunner:
                 for future in futures:
                     yield future.result()
         self._auto_gc()
+
+    def _sidecar_buffer(self):
+        """Coalesce per-access sidecar rewrites into one flush per pass.
+
+        In-process runs buffer the ``.meta-*.json`` access records and
+        write each touched entry's sidecar once when the pass ends
+        (before :meth:`_auto_gc`, which reads them).  Pool workers
+        (``jobs > 1``) keep the immediate per-access writes — the buffer
+        is process-local and cannot see their accesses."""
+        if self.cache == "off":
+            return nullcontext()
+        from repro.cache.gc import buffered_access_records
+
+        return buffered_access_records()
 
     def _auto_gc(self) -> None:
         """Bound the artifact store after a run that touched it.

@@ -6,6 +6,12 @@ from repro.simulation.adaptive import (
     AdaptiveRunRecord,
     run_adaptive,
 )
+from repro.simulation.fastpath import (
+    is_chunkable,
+    run_chunked,
+    run_repeated_chunked,
+    run_sampled,
+)
 from repro.simulation.montecarlo import (
     MCEstimate,
     estimate,
@@ -19,6 +25,10 @@ __all__ = [
     "AdaptiveExecutor",
     "AdaptiveRunRecord",
     "run_adaptive",
+    "is_chunkable",
+    "run_chunked",
+    "run_repeated_chunked",
+    "run_sampled",
     "MCEstimate",
     "estimate",
     "estimate_expected_cost",

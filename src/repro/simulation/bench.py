@@ -1,0 +1,127 @@
+"""Scalar-vs-chunked simulator benchmark: the ``BENCH_sim.json`` producer.
+
+``repro bench --suite sim`` measures what the chunked fast path
+(:mod:`repro.simulation.fastpath`) buys on the two workload shapes that
+dominate the registry, and proves the speedup legitimate by asserting
+bit-identical results in the same breath:
+
+* **adversarial** — the Figure-1 worst-case profile ``M_{8,4}(n)``
+  simulated to completion, scalar loop vs run-length stream.  This is
+  the fig1/gap/mmcount shape: Θ(a^D) identical boxes the fast path
+  consumes in Θ(D·a) run operations.
+* **mc-iid** — :func:`~repro.simulation.montecarlo.estimate_expected_cost`
+  over i.i.d. uniform boxes, per-box sampler loop vs batched
+  :func:`~repro.simulation.fastpath.run_sampled`.  Same generator, same
+  draws, identical estimates.
+
+The payload mirrors ``BENCH_cache.json`` (schema-versioned, environment
+tagged) and feeds the same history machinery
+(:mod:`repro.cache.history`), so ``--history`` gives the simulator a
+longitudinal trend line and a regression check.  The top-level
+``speedup`` is the *minimum* across workloads: the trend tracks the
+weakest link, not the flattering one.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+__all__ = ["SIM_BENCH_SCHEMA_VERSION", "SIM_BENCHMARK_NAME", "run_sim_bench"]
+
+SIM_BENCH_SCHEMA_VERSION = 1
+SIM_BENCHMARK_NAME = "sim-scalar-vs-chunked"
+
+
+def _bench_adversarial(quick: bool, spec, n: int) -> dict[str, Any]:
+    """One completed worst-case run, scalar loop vs run-length stream."""
+    from repro.profiles import worst_case_profile
+    from repro.simulation.symbolic import SymbolicSimulator
+
+    profile = worst_case_profile(spec.a, spec.b, n)
+    runs = profile.runs()
+    start = time.perf_counter()
+    scalar = SymbolicSimulator(spec, n).run(profile, fastpath=False)
+    scalar_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    chunked = SymbolicSimulator(spec, n).run(runs)
+    chunked_wall = time.perf_counter() - start
+    return {
+        "name": "adversarial-worst-case",
+        "spec": repr(spec),
+        "n": n,
+        "boxes": scalar.boxes_used,
+        "scalar_wall_time_s": scalar_wall,
+        "chunked_wall_time_s": chunked_wall,
+        "speedup": (scalar_wall / chunked_wall) if chunked_wall > 0 else None,
+        "bit_identical": scalar == chunked,
+    }
+
+
+def _bench_mc(quick: bool, spec, n: int, trials: int) -> dict[str, Any]:
+    """Expected-cost estimation, per-box sampler vs batched sampling."""
+    from repro.profiles.distributions import UniformRange
+    from repro.simulation.montecarlo import estimate_expected_cost
+
+    dist = UniformRange(1, 256)
+    start = time.perf_counter()
+    scalar = estimate_expected_cost(
+        spec, n, dist, trials=trials, rng=0, fastpath=False
+    )
+    scalar_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    chunked = estimate_expected_cost(
+        spec, n, dist, trials=trials, rng=0, fastpath=True
+    )
+    chunked_wall = time.perf_counter() - start
+    return {
+        "name": "mc-iid-uniform",
+        "spec": repr(spec),
+        "n": n,
+        "trials": trials,
+        "dist": repr(dist),
+        "scalar_wall_time_s": scalar_wall,
+        "chunked_wall_time_s": chunked_wall,
+        "speedup": (scalar_wall / chunked_wall) if chunked_wall > 0 else None,
+        "bit_identical": scalar == chunked,
+    }
+
+
+def run_sim_bench(quick: bool = True, seed: int = 0) -> dict[str, Any]:
+    """Run both workloads and return the BENCH_sim payload.
+
+    ``quick`` picks CI-sized problems (a few seconds of scalar time);
+    ``--full`` is the acceptance configuration the speedup claims in
+    ``docs/PERF.md`` are quoted from.  ``seed`` is recorded for
+    provenance; both workloads are internally seeded (the worst-case
+    profile is deterministic, the MC workload derives its trial streams
+    from a fixed root seed) so the *results* — and the bit-identity
+    verdicts — do not depend on it.
+    """
+    from repro.algorithms.spec import RegularSpec
+    from repro.cache.store import environment_tag
+    from repro.runtime.provenance import git_revision, repro_version
+
+    spec = RegularSpec(8, 4, 1.0)
+    adversarial = _bench_adversarial(quick, spec, 4**5 if quick else 4**7)
+    mc = _bench_mc(quick, spec, 4**6 if quick else 4**7, 40)
+    workloads = [adversarial, mc]
+    speedups = [
+        w["speedup"] for w in workloads if isinstance(w["speedup"], float)
+    ]
+    return {
+        "bench_schema_version": SIM_BENCH_SCHEMA_VERSION,
+        "benchmark": SIM_BENCHMARK_NAME,
+        "quick": quick,
+        "seed": seed,
+        "workloads": workloads,
+        "scalar_wall_time_s": sum(w["scalar_wall_time_s"] for w in workloads),
+        "chunked_wall_time_s": sum(
+            w["chunked_wall_time_s"] for w in workloads
+        ),
+        "speedup": min(speedups) if speedups else None,
+        "bit_identical": all(w["bit_identical"] for w in workloads),
+        "environment": environment_tag(),
+        "repro_version": repro_version(),
+        "git_revision": git_revision(),
+    }

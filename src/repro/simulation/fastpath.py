@@ -1,0 +1,488 @@
+"""Chunked simulation fast path: consume box streams in closed form.
+
+The scalar driver in :class:`~repro.simulation.symbolic.SymbolicSimulator`
+pays one Python iteration per box, and the paper's canonical inputs make
+that the bottleneck: the worst-case profile ``M_{8,4}(4**8)`` has ~1.9e7
+boxes, and a Monte-Carlo estimate runs thousands of i.i.d. boxes per
+trial.  Those inputs are massively repetitive — ``M_{a,b}`` emits long
+runs of identical boxes, and a size-``n`` scan absorbs thousands of
+boxes in a row — so this module consumes them *chunked*:
+
+* run-length sources (:class:`~repro.profiles.runs.BoxRuns`, or a
+  :class:`~repro.profiles.square.SquareProfile` whose RLE is short)
+  are fed run by run through the closed-form cursor methods
+  :meth:`~repro.algorithms.cursor.ExecutionCursor.feed_simplified_run` /
+  :meth:`~repro.algorithms.cursor.ExecutionCursor.feed_greedy_run`;
+* array sources (sampled boxes, low-repetition profiles) stream scans
+  vectorized: one ``cumsum`` + ``searchsorted`` decides how many of the
+  next boxes the current scan piece absorbs, instead of one Python
+  ``feed`` per box.
+
+The fast path is *bit-identical* to the scalar loop — same
+:class:`~repro.simulation.symbolic.RunRecord` field by field, including
+``bounded_potential``, which is re-accumulated box-sequentially with
+``np.add.accumulate`` (a strict left fold, same float rounding as the
+scalar ``+=``; ``np.sum``'s pairwise reduction would differ in the last
+ulps).  Equivalence is enforced differentially across specs, models, κ,
+and sources in ``tests/simulation/test_fastpath.py``.
+
+Exactness requires box semantics that depend only on the current cursor
+state, so eligibility (:func:`is_chunkable`) is: the ``simplified`` or
+``greedy`` model (the ``recursive`` model's budget can complete many
+subproblems per box and has no per-run closed form), a static scan
+placement (closed forms skip whole sibling subtrees without entering
+them, which must not change how often a randomizer is consulted), and an
+indexable box source (generators may be stateful and must be pulled one
+box at a time).  Everything else falls back to the scalar path; see
+``docs/PERF.md`` for the selection rules and measured speedups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.profiles.distributions import BoxDistribution
+from repro.profiles.runs import BoxRuns
+from repro.profiles.square import SquareProfile
+from repro.runtime.instrumentation import record as _record
+from repro.simulation.symbolic import RunRecord, SymbolicSimulator
+
+__all__ = [
+    "CHUNK",
+    "is_chunkable",
+    "run_chunked",
+    "run_repeated_chunked",
+    "run_sampled",
+]
+
+# Window for vectorized scan streaming; run_sampled draws in the same
+# batches as BoxDistribution.sampler so the RNG stream is identical.
+CHUNK = 4096
+
+_FAST_MODELS = ("simplified", "greedy")
+
+
+def is_chunkable(sim: SymbolicSimulator, boxes: object = None) -> bool:
+    """True iff the chunked engine reproduces ``sim.run(boxes)`` exactly.
+
+    With ``boxes=None`` only the simulator is checked (the source is the
+    caller's problem, e.g. :func:`run_sampled` draws its own arrays).
+    """
+    if sim.model not in _FAST_MODELS or sim.scan_randomizer is not None:
+        return False
+    if boxes is None or isinstance(boxes, (SquareProfile, BoxRuns)):
+        return True
+    if isinstance(boxes, np.ndarray):
+        return boxes.ndim == 1 and bool(np.issubdtype(boxes.dtype, np.integer))
+    return False
+
+
+def _as_box_array(boxes: object) -> np.ndarray:
+    arr = np.asarray(boxes)
+    if arr.ndim != 1:
+        raise SimulationError("box array must be one-dimensional")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise SimulationError("box array must have an integer dtype")
+    return arr.astype(np.int64, copy=False)
+
+
+def _prefers_runs(arr: np.ndarray) -> bool:
+    """Run path when the RLE is at least 2x shorter than the flat array
+    (below that, the vectorized scan streaming of the array path wins)."""
+    if arr.size < 2:
+        return True
+    nruns = 1 + int(np.count_nonzero(arr[1:] != arr[:-1]))
+    return 2 * nruns <= int(arr.size)
+
+
+class _ChunkEngine:
+    """Shared accumulator behind the chunked drivers.
+
+    Mirrors the aggregate accounting of the scalar loop in
+    ``SymbolicSimulator.run`` exactly; ``bounded_potential`` is
+    reconstructed from the consumed boxes in :meth:`finish` with the same
+    box-sequential float accumulation the scalar loop performs.
+    """
+
+    __slots__ = (
+        "sim",
+        "greedy",
+        "kappa",
+        "max_boxes",
+        "need_potential",
+        "boxes_used",
+        "leaves",
+        "scans",
+        "time_used",
+        "_run_sizes",
+        "_run_counts",
+        "_chunks",
+    )
+
+    def __init__(
+        self,
+        sim: SymbolicSimulator,
+        max_boxes: Optional[int] = None,
+        need_potential: bool = True,
+    ):
+        self.sim = sim
+        self.greedy = sim.model == "greedy"
+        self.kappa = sim.completion_divisor
+        self.max_boxes = max_boxes
+        self.need_potential = need_potential
+        self.boxes_used = 0
+        self.leaves = 0
+        self.scans = 0
+        self.time_used = 0
+        self._run_sizes: list[int] = []
+        self._run_counts: list[int] = []
+        self._chunks: list[np.ndarray] = []
+
+    # -- feeding -------------------------------------------------------
+    def feed_run(self, s: int, count: int) -> int:
+        """Feed up to ``count`` boxes of size ``s``; returns the number
+        consumed (less than ``count`` only when the execution completed
+        or the box budget ran out)."""
+        cursor = self.sim.cursor
+        if cursor.is_done:
+            return 0
+        if self.max_boxes is not None:
+            count = min(count, self.max_boxes - self.boxes_used)
+        if count <= 0:
+            return 0
+        consumed = 0
+        if self.greedy:
+            while consumed < count and not cursor.is_done:
+                got, lv, sc = cursor.feed_greedy_run(s, count - consumed)
+                consumed += got
+                self.leaves += lv
+                self.scans += sc
+        else:
+            kappa = self.kappa
+            while consumed < count and not cursor.is_done:
+                got, lv, sc = cursor.feed_simplified_run(
+                    s, count - consumed, kappa
+                )
+                consumed += got
+                self.leaves += lv
+                self.scans += sc
+        self.boxes_used += consumed
+        self.time_used += s * consumed
+        if self.need_potential and consumed:
+            self._run_sizes.append(s)
+            self._run_counts.append(consumed)
+        return consumed
+
+    def feed_array(self, arr: np.ndarray) -> int:
+        """Feed boxes from an int64 array; returns how many were consumed
+        (always a prefix — stops at completion or the box budget).
+
+        While the cursor stands in a scan it cannot complete, whole
+        windows of boxes are absorbed with one ``cumsum`` +
+        ``searchsorted``; any other box goes through the scalar ``feed``.
+        """
+        sim = self.sim
+        cursor = sim.cursor
+        greedy = self.greedy
+        kappa = self.kappa
+        max_boxes = self.max_boxes
+        size = int(arr.size)
+        i = 0
+        while not cursor.is_done and i < size:
+            if max_boxes is not None and self.boxes_used >= max_boxes:
+                break
+            if cursor.at_scan():
+                rem = cursor.scan_remaining()
+                # boxes are >= 1 block, so a scan with rem left absorbs at
+                # most rem boxes — keep windows tight for short scans
+                window = arr[i : i + (CHUNK if rem >= CHUNK else rem)]
+                if max_boxes is not None:
+                    window = window[: max_boxes - self.boxes_used]
+                if greedy:
+                    # greedy: a box of size s <= (scan left) is absorbed
+                    # entirely; consume the longest such prefix at once
+                    csum = np.cumsum(window)
+                    k = int(np.searchsorted(csum, rem, side="right"))
+                    if k:
+                        total = int(csum[k - 1])
+                        self.scans += cursor.advance_scan(total)
+                        self.boxes_used += k
+                        self.time_used += total
+                        i += k
+                        continue
+                else:
+                    # simplified: a box streams this scan iff it cannot
+                    # complete the scanning node: s // kappa < F, i.e.
+                    # s < F * kappa
+                    limit = cursor.current_node_size() * kappa
+                    big = np.flatnonzero(window >= limit)
+                    stop = int(big[0]) if big.size else int(window.size)
+                    if stop:
+                        csum = np.cumsum(window[:stop])
+                        total = int(csum[-1])
+                        if total < rem:
+                            self.scans += cursor.advance_scan(total)
+                            self.boxes_used += stop
+                            self.time_used += total
+                            i += stop
+                            continue
+                        # the scan completes within the prefix: boxes
+                        # 0..j-1 advance fully, box j its remainder
+                        j = int(np.searchsorted(csum, rem, side="left"))
+                        self.scans += cursor.advance_scan(rem)
+                        self.boxes_used += j + 1
+                        self.time_used += int(csum[j])
+                        i += j + 1
+                        continue
+            # single box through the closed-form methods: same semantics
+            # as sim.feed, but fresh-subtree completions hit the cursor's
+            # cached subtree totals instead of walking the stack
+            s = int(arr[i])
+            if greedy:
+                _, lv, sc = cursor.feed_greedy_run(s, 1)
+            else:
+                _, lv, sc = cursor.feed_simplified_run(s, 1, kappa)
+            self.leaves += lv
+            self.scans += sc
+            self.boxes_used += 1
+            self.time_used += s
+            i += 1
+        if self.need_potential and i:
+            self._chunks.append(arr[:i])
+        return i
+
+    # -- accounting ----------------------------------------------------
+    def _bounded_potential(self) -> float:
+        if self._run_sizes and self._chunks:
+            raise SimulationError(
+                "engine consumed both run and array sources; potential "
+                "order is ambiguous"
+            )
+        n = self.sim.n
+        exponent = self.sim.spec.exponent
+        if self._run_sizes:
+            run_sizes = np.asarray(self._run_sizes, dtype=np.int64)
+            run_counts = np.asarray(self._run_counts, dtype=np.int64)
+            uniq, inv = np.unique(run_sizes, return_inverse=True)
+            pows = np.asarray(
+                [float(min(u, n)) ** exponent for u in uniq.tolist()],
+                dtype=np.float64,
+            )
+            per_box = np.repeat(pows[inv], run_counts)
+        elif self._chunks:
+            consumed = (
+                self._chunks[0]
+                if len(self._chunks) == 1
+                else np.concatenate(self._chunks)
+            )
+            clipped = np.minimum(consumed, n)
+            uniq, inv = np.unique(clipped, return_inverse=True)
+            pows = np.asarray(
+                [float(u) ** exponent for u in uniq.tolist()],
+                dtype=np.float64,
+            )
+            per_box = pows[inv]
+        else:
+            return 0.0
+        if per_box.size == 0:
+            return 0.0
+        # np.add.accumulate folds strictly left to right, reproducing the
+        # scalar loop's per-box `bp += float(min(s, n)) ** exponent`
+        # rounding; np.sum's pairwise reduction would not.
+        return float(np.add.accumulate(per_box)[-1])
+
+    def finish(self) -> RunRecord:
+        """Close the run: record the same instrumentation counters as the
+        scalar loop (logical boxes, not chunks) and build the record."""
+        if not self.need_potential:
+            raise SimulationError(
+                "engine was created without potential tracking"
+            )
+        sim = self.sim
+        _record("sim.runs")
+        _record("sim.boxes", self.boxes_used)
+        return RunRecord(
+            spec=sim.spec,
+            n=sim.n,
+            model=sim.model,
+            boxes_used=self.boxes_used,
+            leaves_done=self.leaves,
+            scan_accesses=self.scans,
+            time_used=self.time_used,
+            bounded_potential=self._bounded_potential(),
+            completed=sim.cursor.is_done,
+        )
+
+
+def _drive_runs(eng: _ChunkEngine, runs: Iterable[tuple[int, int]]) -> None:
+    for s, count in runs:
+        if eng.feed_run(s, count) < count:
+            break
+
+
+def run_chunked(
+    sim: SymbolicSimulator,
+    boxes: "SquareProfile | BoxRuns | np.ndarray",
+    max_boxes: Optional[int] = None,
+) -> RunRecord:
+    """Chunked equivalent of ``sim.run(boxes, max_boxes=...)``.
+
+    Selects the run path (closed-form ``feed_*_run``) for
+    :class:`BoxRuns` and highly repetitive profiles, the array path
+    (vectorized scan streaming) otherwise.  Raises
+    :class:`SimulationError` when the combination is not eligible
+    (:func:`is_chunkable`); :meth:`SymbolicSimulator.run` only routes
+    here when it is, so the scalar fallback stays transparent.
+    """
+    if not is_chunkable(sim, boxes):
+        raise SimulationError(
+            "chunked fast path requires the simplified or greedy model, "
+            "a static scan placement, and an indexable box source "
+            "(SquareProfile, BoxRuns, or 1-d integer ndarray); got "
+            f"model={sim.model!r}, source={type(boxes).__name__}"
+        )
+    eng = _ChunkEngine(sim, max_boxes=max_boxes)
+    if isinstance(boxes, BoxRuns):
+        _drive_runs(eng, boxes.iter_runs())
+    elif isinstance(boxes, SquareProfile):
+        arr = boxes.boxes
+        if _prefers_runs(arr):
+            _drive_runs(eng, boxes.runs().iter_runs())
+        else:
+            eng.feed_array(arr)
+    else:
+        eng.feed_array(_as_box_array(boxes))
+    return eng.finish()
+
+
+def run_sampled(
+    sim: SymbolicSimulator,
+    dist: BoxDistribution,
+    gen: np.random.Generator,
+    max_boxes: Optional[int] = None,
+    chunk: int = CHUNK,
+) -> RunRecord:
+    """Batched equivalent of ``sim.run(dist.sampler(gen))``.
+
+    Draws ``chunk``-sized sample arrays — the same batches, in the same
+    order, as :meth:`BoxDistribution.sampler` draws internally — so the
+    RNG stream and every consumed box are bit-identical to the scalar
+    path; the unread tail of the final batch is discarded exactly as an
+    abandoned sampler generator would discard it.
+    """
+    if not is_chunkable(sim):
+        raise SimulationError(
+            "sampled fast path requires the simplified or greedy model "
+            f"and a static scan placement; got model={sim.model!r}"
+        )
+    eng = _ChunkEngine(sim, max_boxes=max_boxes)
+    cursor = sim.cursor
+    while not cursor.is_done:
+        if max_boxes is not None and eng.boxes_used >= max_boxes:
+            break
+        eng.feed_array(dist.sample(chunk, gen))
+    return eng.finish()
+
+
+def run_repeated_chunked(
+    spec,
+    n: int,
+    boxes: "SquareProfile | BoxRuns | np.ndarray",
+    model: str = "simplified",
+    max_completions: Optional[int] = None,
+):
+    """Chunked equivalent of :func:`repro.simulation.runner.run_repeated`.
+
+    Same back-to-back semantics: a box is consumed entirely by the
+    execution it is fed to, and a fresh execution starts on the next box.
+    The closed forms stop exactly at a completion boundary, so the batch
+    driver resets and resumes mid-run without splitting any box.
+    """
+    from repro.simulation.runner import RepeatedRunRecord
+
+    sim = SymbolicSimulator(spec, n, model=model)
+    if not is_chunkable(sim, boxes):
+        raise SimulationError(
+            "chunked repeated runs require the simplified or greedy "
+            "model and an indexable box source; got "
+            f"model={model!r}, source={type(boxes).__name__}"
+        )
+    completions = 0
+    partial_leaves = 0
+    boxes_used = 0
+    time_used = 0
+    stopped = False
+
+    use_runs = isinstance(boxes, BoxRuns) or (
+        isinstance(boxes, SquareProfile) and _prefers_runs(boxes.boxes)
+    )
+    if use_runs:
+        runs = (
+            boxes.iter_runs()
+            if isinstance(boxes, BoxRuns)
+            else boxes.runs().iter_runs()
+        )
+        greedy = model == "greedy"
+        for s, count in runs:
+            remaining = count
+            while remaining:
+                if greedy:
+                    got, lv, _ = sim.cursor.feed_greedy_run(s, remaining)
+                else:
+                    got, lv, _ = sim.cursor.feed_simplified_run(
+                        s, remaining, sim.completion_divisor
+                    )
+                remaining -= got
+                boxes_used += got
+                time_used += s * got
+                partial_leaves += lv
+                if sim.is_done:
+                    completions += 1
+                    partial_leaves = 0
+                    if (
+                        max_completions is not None
+                        and completions >= max_completions
+                    ):
+                        stopped = True
+                        break
+                    sim.reset()
+            if stopped:
+                break
+    else:
+        arr = (
+            boxes.boxes
+            if isinstance(boxes, SquareProfile)
+            else _as_box_array(boxes)
+        )
+        size = int(arr.size)
+        i = 0
+        while i < size:
+            eng = _ChunkEngine(sim, need_potential=False)
+            got = eng.feed_array(arr[i:])
+            i += got
+            boxes_used += got
+            time_used += eng.time_used
+            partial_leaves += eng.leaves
+            if sim.is_done:
+                completions += 1
+                partial_leaves = 0
+                if (
+                    max_completions is not None
+                    and completions >= max_completions
+                ):
+                    break
+                sim.reset()
+            elif got == 0:
+                break  # defensive: empty tail cannot make progress
+    return RepeatedRunRecord(
+        spec=spec,
+        n=n,
+        model=model,
+        completions=completions,
+        partial_leaves=partial_leaves,
+        boxes_used=boxes_used,
+        time_used=time_used,
+    )

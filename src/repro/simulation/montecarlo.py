@@ -27,8 +27,9 @@ from repro.errors import SimulationError
 from repro.algorithms.spec import RegularSpec
 from repro.profiles.distributions import BoxDistribution
 from repro.runtime.instrumentation import record as _record
+from repro.simulation.fastpath import is_chunkable, run_sampled
 from repro.simulation.symbolic import SymbolicSimulator
-from repro.util.rng import fixed_seeds, spawn
+from repro.util.rng import as_generator, fixed_seeds, spawn
 
 __all__ = ["MCEstimate", "estimate", "sample_boxes_to_complete", "estimate_expected_cost"]
 
@@ -89,25 +90,51 @@ def estimate(
     )
 
 
+def _trial_record(
+    spec: RegularSpec,
+    n: int,
+    dist: BoxDistribution,
+    model: str,
+    rng: object,
+    fastpath: bool | None,
+):
+    """One completed run on i.i.d. boxes from ``dist``.
+
+    Routes through :func:`repro.simulation.fastpath.run_sampled` when it
+    is bit-identical to the scalar sampler loop (it draws the same
+    sample batches from the same generator, so the consumed boxes — and
+    therefore the record — are unchanged); ``fastpath=False`` forces the
+    scalar loop, ``True`` requires the batched one.
+    """
+    sim = SymbolicSimulator(spec, n, model=model)
+    if fastpath is None:
+        fastpath = is_chunkable(sim)
+    if fastpath:
+        rec = run_sampled(sim, dist, as_generator(rng))
+        if not rec.completed:
+            raise SimulationError("sampled run did not complete")
+        return rec
+    return sim.run_to_completion(dist.sampler(rng))
+
+
 def sample_boxes_to_complete(
     spec: RegularSpec,
     n: int,
     dist: BoxDistribution,
     gen: np.random.Generator,
     model: str = "simplified",
+    fastpath: bool | None = None,
 ) -> int:
     """One sample of ``S_n``: the number of i.i.d. boxes from ``dist``
     needed to complete a size-``n`` execution."""
-    sim = SymbolicSimulator(spec, n, model=model)
-    rec = sim.run_to_completion(dist.sampler(gen))
+    rec = _trial_record(spec, n, dist, model, gen, fastpath)
     return rec.boxes_used
 
 
 def _one_cost_trial(args) -> tuple[float, float]:
     """Top-level worker (picklable) for one expected-cost trial."""
-    spec, n, dist, model, seed = args
-    sim = SymbolicSimulator(spec, n, model=model)
-    rec = sim.run_to_completion(dist.sampler(seed))
+    spec, n, dist, model, seed, fastpath = args
+    rec = _trial_record(spec, n, dist, model, seed, fastpath)
     return float(rec.boxes_used), float(rec.adaptivity_ratio)
 
 
@@ -120,6 +147,7 @@ def estimate_expected_cost(
     model: str = "simplified",
     confidence: float = 0.95,
     n_jobs: int = 1,
+    fastpath: bool | None = None,
 ) -> tuple[MCEstimate, MCEstimate]:
     """Estimate Definition 3's expectation by simulation.
 
@@ -131,6 +159,11 @@ def estimate_expected_cost(
 
     ``n_jobs > 1`` runs trials in a process pool; requires an int (or
     None) ``rng`` so per-trial seeds can be derived deterministically.
+
+    Trials consume sampled boxes through the chunked fast path whenever
+    it is bit-identical to the per-box sampler loop (see
+    :func:`repro.simulation.fastpath.run_sampled`); ``fastpath=False``
+    forces the scalar loop.  Estimates are identical either way.
     """
     if trials < 1:
         raise SimulationError(f"trials must be >= 1, got {trials}")
@@ -144,7 +177,7 @@ def estimate_expected_cost(
                 "parallel estimation needs an int seed (or None) for rng"
             )
         seeds = fixed_seeds(0 if rng is None else int(rng), trials)
-        work = [(spec, n, dist, model, s) for s in seeds]
+        work = [(spec, n, dist, model, s, fastpath) for s in seeds]
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
             for i, (b, r) in enumerate(pool.map(_one_cost_trial, work, chunksize=8)):
                 boxes[i] = b
@@ -152,13 +185,11 @@ def estimate_expected_cost(
     else:
         gens = spawn(rng, trials)
         for i, gen in enumerate(gens):
-            sim = SymbolicSimulator(spec, n, model=model)
-            rec = sim.run_to_completion(dist.sampler(gen))
+            rec = _trial_record(spec, n, dist, model, gen, fastpath)
             boxes[i] = rec.boxes_used
             ratios[i] = rec.adaptivity_ratio
 
     def mk(values: np.ndarray) -> MCEstimate:
-        _record("mc.estimates")
         return MCEstimate(
             mean=float(values.mean()),
             std=float(values.std(ddof=1)) if trials > 1 else 0.0,
@@ -166,5 +197,8 @@ def estimate_expected_cost(
             confidence=confidence,
         )
 
+    # One estimation = one counter tick, matching estimate(); the two
+    # MCEstimates come from the same trial set.
+    _record("mc.estimates")
     _record("mc.trials", trials)
     return mk(boxes), mk(ratios)

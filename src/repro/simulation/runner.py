@@ -61,6 +61,7 @@ def run_repeated(
     boxes: "SquareProfile | Iterable[int]",
     model: str = "simplified",
     max_completions: int | None = None,
+    fastpath: bool | None = None,
 ) -> RepeatedRunRecord:
     """Run fresh size-``n`` executions back-to-back until the box source
     is exhausted (or ``max_completions`` is reached).
@@ -69,7 +70,19 @@ def run_repeated(
     execution starts with the next box.  (Under the simplified model a
     box never crosses the end of the root problem, so no box splitting is
     needed for faithfulness.)
+
+    ``fastpath`` selects the chunked engine exactly as in
+    :meth:`SymbolicSimulator.run`: automatic when ``None`` and the
+    combination is bit-identical, forced scalar with ``False``.
     """
+    if fastpath is None or fastpath:
+        from repro.simulation.fastpath import is_chunkable, run_repeated_chunked
+
+        probe = SymbolicSimulator(spec, n, model=model)
+        if fastpath or is_chunkable(probe, boxes):
+            return run_repeated_chunked(
+                spec, n, boxes, model=model, max_completions=max_completions
+            )
     it = as_box_iter(boxes)
     completions = 0
     boxes_used = 0

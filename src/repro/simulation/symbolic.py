@@ -154,9 +154,29 @@ class SymbolicSimulator:
         boxes: "SquareProfile | Iterable[int]",
         max_boxes: Optional[int] = None,
         record_boxes: bool = False,
+        fastpath: Optional[bool] = None,
     ) -> RunRecord:
         """Consume boxes until the execution completes (or the source or
-        ``max_boxes`` runs out) and return the accounting record."""
+        ``max_boxes`` runs out) and return the accounting record.
+
+        ``fastpath`` selects the chunked engine of
+        :mod:`repro.simulation.fastpath`: ``None`` (default) uses it
+        automatically whenever it is bit-identical to the scalar loop
+        (simplified/greedy model, static scan placement, indexable box
+        source, no per-box recording), ``False`` forces the scalar loop,
+        and ``True`` requires the fast path (raising if ineligible).
+        Either way the returned record is the same field for field.
+        """
+        if fastpath is None or fastpath:
+            from repro.simulation.fastpath import is_chunkable, run_chunked
+
+            if fastpath or (not record_boxes and is_chunkable(self, boxes)):
+                if record_boxes:
+                    raise SimulationError(
+                        "record_boxes is incompatible with the chunked "
+                        "fast path (it needs per-box outcomes)"
+                    )
+                return run_chunked(self, boxes, max_boxes=max_boxes)
         exponent = self._exponent
         n = self.n
         boxes_used = 0
@@ -206,9 +226,15 @@ class SymbolicSimulator:
         boxes: "SquareProfile | Iterable[int]",
         max_boxes: Optional[int] = None,
         record_boxes: bool = False,
+        fastpath: Optional[bool] = None,
     ) -> RunRecord:
         """Like :meth:`run` but raises if the execution did not finish."""
-        rec = self.run(boxes, max_boxes=max_boxes, record_boxes=record_boxes)
+        rec = self.run(
+            boxes,
+            max_boxes=max_boxes,
+            record_boxes=record_boxes,
+            fastpath=fastpath,
+        )
         if not rec.completed:
             raise SimulationError(
                 f"boxes exhausted after {rec.boxes_used} boxes with "

@@ -11,6 +11,7 @@ from repro.cache.gc import (
     AccessRecord,
     GCBudget,
     auto_collect,
+    buffered_access_records,
     collect,
     iter_debris,
     read_access_record,
@@ -129,6 +130,90 @@ class TestSidecars:
         report = collect(store, GCBudget(max_bytes=None), now=NOW)
         assert report.examined_entries == 1
         assert report.surviving_entries == 1
+
+
+class TestBufferedAccessRecords:
+    def test_writes_deferred_until_flush(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        with buffered_access_records():
+            path = store.put(key, make_artifact())
+            assert read_access_record(path) is None  # nothing on disk yet
+            assert store.get(key) is not None
+            assert store.get(key) is not None
+            assert read_access_record(path) is None
+        record = read_access_record(path)
+        assert record is not None
+        assert record.hits == 2
+        assert record.size_bytes == path.stat().st_size
+
+    def test_one_sidecar_write_per_entry(self, tmp_path, monkeypatch):
+        from repro.cache import gc as gc_mod
+
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        writes = []
+        real_write = gc_mod.write_access_record
+
+        def counting_write(entry_path, record):
+            writes.append(entry_path)
+            real_write(entry_path, record)
+
+        monkeypatch.setattr(gc_mod, "write_access_record", counting_write)
+        with buffered_access_records():
+            store.put(key, make_artifact())
+            for _ in range(5):
+                assert store.get(key) is not None
+        assert len(writes) == 1  # 1 put + 5 hits coalesced into one write
+
+    def test_hits_without_put_fold_into_existing_sidecar(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        path = store.put(key, make_artifact())
+        before = read_access_record(path)
+        with buffered_access_records():
+            assert store.get(key) is not None
+            assert store.get(key) is not None
+        after = read_access_record(path)
+        assert after.hits == before.hits + 2
+        assert after.created == before.created
+
+    def test_vanished_entry_skipped_at_flush(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        with buffered_access_records():
+            path = store.put(key, make_artifact())
+            path.unlink()  # concurrent clear/gc between access and flush
+        assert read_access_record(path) is None
+
+    def test_nested_blocks_flush_once_at_outermost_exit(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        with buffered_access_records():
+            path = store.put(key, make_artifact())
+            with buffered_access_records():
+                assert store.get(key) is not None
+            # the inner exit must NOT flush: the outer buffer owns it
+            assert read_access_record(path) is None
+        record = read_access_record(path)
+        assert record is not None and record.hits == 1
+
+    def test_flush_happens_even_on_error(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        with pytest.raises(RuntimeError):
+            with buffered_access_records():
+                path = store.put(key, make_artifact())
+                raise RuntimeError("boom")
+        assert read_access_record(path) is not None
+
+    def test_immediate_writes_resume_after_block(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        with buffered_access_records():
+            path = store.put(key, make_artifact())
+        assert store.get(key) is not None  # outside: immediate write
+        assert read_access_record(path).hits == 1
 
 
 class TestEvictionOrder:

@@ -150,11 +150,39 @@ class TestRegressionCheck:
 
     def test_threshold_is_configurable(self):
         history = empty_history()
-        history["records"] = [record(speedup=10.0), record(speedup=8.0)]
+        history["records"] = [
+            record(speedup=10.0),
+            record(speedup=10.0),
+            record(speedup=8.0),
+        ]
         assert check_regression(history, threshold=0.5)["status"] == "ok"
         assert (
             check_regression(history, threshold=0.9)["status"] == "regression"
         )
+
+    def test_single_prior_record_is_not_a_baseline(self):
+        # min_records=2 by default: one predecessor is noise, not a
+        # baseline (an environment-tag change restarts the class)
+        history = empty_history()
+        history["records"] = [record(speedup=10.0), record(speedup=1.0)]
+        verdict = check_regression(history)
+        assert verdict["status"] == "no-baseline"
+        assert verdict["baseline_records"] == 1
+        assert verdict["min_records"] == 2
+
+    def test_min_records_is_configurable(self):
+        history = empty_history()
+        history["records"] = [record(speedup=10.0), record(speedup=1.0)]
+        assert (
+            check_regression(history, min_records=1)["status"] == "regression"
+        )
+        assert (
+            check_regression(history, min_records=3)["status"] == "no-baseline"
+        )
+
+    def test_min_records_must_be_positive(self):
+        with pytest.raises(CacheError):
+            check_regression(empty_history(), min_records=0)
 
     def test_different_config_is_not_comparable(self):
         # a jobs=4 run must not be judged against jobs=1 baselines
@@ -180,10 +208,15 @@ class TestRegressionCheck:
         history = empty_history()
         broken = record()
         broken["speedup"] = None  # warm pass took 0s on a broken clock
-        history["records"] = [record(speedup=10.0), broken, record(speedup=9.0)]
+        history["records"] = [
+            record(speedup=10.0),
+            record(speedup=10.0),
+            broken,
+            record(speedup=9.0),
+        ]
         verdict = check_regression(history)
         assert verdict["status"] == "ok"
-        assert verdict["baseline_records"] == 1
+        assert verdict["baseline_records"] == 2
 
 
 class TestRenderTrend:
@@ -206,3 +239,45 @@ class TestRenderTrend:
         bad["bit_identical"] = False
         history["records"] = [bad]
         assert "NO" in render_trend(history)
+
+    def test_sim_history_gets_sim_columns(self):
+        history = empty_history(benchmark="sim-scalar-vs-chunked")
+        history["records"] = [
+            {
+                "benchmark": "sim-scalar-vs-chunked",
+                "quick": True,
+                "scalar_wall_time_s": 2.0,
+                "chunked_wall_time_s": 0.4,
+                "speedup": 5.0,
+                "bit_identical": True,
+                "git_revision": "sim1234",
+            }
+        ]
+        text = render_trend(history)
+        assert "sim-scalar-vs-chunked" in text
+        assert "scalar(s)" in text and "chunked(s)" in text
+        assert "5.0x" in text and "sim1234" in text
+
+
+class TestBenchmarkParameter:
+    def test_empty_history_takes_benchmark_name(self):
+        doc = empty_history(benchmark="sim-scalar-vs-chunked")
+        assert doc["benchmark"] == "sim-scalar-vs-chunked"
+        assert empty_history()["benchmark"] == "cache-cold-vs-warm"
+
+    def test_missing_file_adopts_requested_benchmark(self, tmp_path):
+        doc = load_history(
+            tmp_path / "BENCH_sim.json", benchmark="sim-scalar-vs-chunked"
+        )
+        assert doc["benchmark"] == "sim-scalar-vs-chunked"
+
+    def test_append_record_seeds_benchmark(self, tmp_path):
+        path = tmp_path / "BENCH_sim.json"
+        doc = append_record(
+            path,
+            {"speedup": 5.0, "quick": True},
+            benchmark="sim-scalar-vs-chunked",
+        )
+        assert doc["benchmark"] == "sim-scalar-vs-chunked"
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk["benchmark"] == "sim-scalar-vs-chunked"

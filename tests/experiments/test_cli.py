@@ -77,9 +77,14 @@ class TestParser:
 
     def test_bench_defaults(self):
         args = build_parser().parse_args(["bench"])
-        assert args.ids == [] and args.output == "BENCH_cache.json"
+        assert args.ids == [] and args.output is None
+        assert args.suite == "cache"
         assert args.quick and args.jobs == 1
         assert args.history is False
+
+    def test_bench_suite_flag(self):
+        args = build_parser().parse_args(["bench", "--suite", "sim"])
+        assert args.suite == "sim"
 
     def test_bench_history_flag(self):
         args = build_parser().parse_args(["bench", "fig1", "--history"])
@@ -229,14 +234,15 @@ class TestCacheCommands:
         out_file = tmp_path / "BENCH_cache.json"
         assert main(["bench", "fig1", "-o", str(out_file), "--history"]) == 0
         first = capsys.readouterr().out
-        assert "no baseline yet (1 record(s) on file)" in first
+        assert "no baseline yet (0 of 2 comparable prior record(s)" in first
         assert main(["bench", "fig1", "-o", str(out_file), "--history"]) == 0
         second = capsys.readouterr().out
         payload = json.loads(out_file.read_text())
         assert len(payload["records"]) == 2
         assert "regression check:" in second
-        assert "1 comparable record(s)" in second
-        assert "cache bench history" in second  # the trend table
+        # one comparable predecessor is still below the min_records floor
+        assert "1 of 2 comparable prior record(s)" in second
+        assert "bench history (cache-cold-vs-warm)" in second  # trend table
 
     def test_bench_history_migrates_legacy_file(self, tmp_path, capsys):
         import json

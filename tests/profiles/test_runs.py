@@ -1,0 +1,139 @@
+"""Unit tests for run-length box streams (repro.profiles.runs)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles import (
+    BoxRuns,
+    SquareProfile,
+    constant_boxes,
+    phase_profile,
+    random_walk_profile,
+    sawtooth_profile,
+    squarify,
+    winner_take_all_profile,
+    worst_case_profile,
+    worst_case_runs,
+)
+
+
+class TestConstruction:
+    def test_adjacent_equal_runs_merge(self):
+        runs = BoxRuns([(4, 2), (4, 3), (2, 1)])
+        assert list(runs.iter_runs()) == [(4, 5), (2, 1)]
+        assert len(runs) == 2
+        assert runs.total_boxes == 6
+
+    def test_zero_count_runs_dropped(self):
+        runs = BoxRuns([(4, 2), (8, 0), (2, 1)])
+        assert list(runs.iter_runs()) == [(4, 2), (2, 1)]
+
+    def test_zero_count_between_equal_sizes_still_merges(self):
+        # dropping the empty run makes its neighbours adjacent
+        runs = BoxRuns([(4, 2), (8, 0), (4, 3)])
+        assert list(runs.iter_runs()) == [(4, 5)]
+
+    def test_empty_runs(self):
+        runs = BoxRuns([])
+        assert len(runs) == 0
+        assert runs.total_boxes == 0
+        assert list(runs) == []
+        assert runs == BoxRuns.from_boxes([])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ProfileError):
+            BoxRuns([(4, -1)])
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ProfileError):
+            BoxRuns([(0, 3)])
+        with pytest.raises(ProfileError):
+            BoxRuns.from_boxes([1, 0, 1])
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ProfileError):
+            BoxRuns([(4.5, 2)])
+
+    def test_arrays_are_read_only(self):
+        runs = BoxRuns([(4, 2)])
+        with pytest.raises(ValueError):
+            runs.sizes[0] = 9
+        with pytest.raises(ValueError):
+            runs.counts[0] = 9
+
+
+class TestRoundTrip:
+    def test_from_boxes_round_trips(self):
+        boxes = [5, 5, 5, 2, 7, 7, 1]
+        runs = BoxRuns.from_boxes(boxes)
+        assert list(runs.iter_runs()) == [(5, 3), (2, 1), (7, 2), (1, 1)]
+        assert list(runs.iter_boxes()) == boxes
+        assert np.array_equal(runs.to_boxes(), np.asarray(boxes))
+
+    def test_to_profile_round_trips(self):
+        profile = SquareProfile([3, 3, 9, 1, 1, 1])
+        assert profile.runs().to_profile() == profile
+
+    def test_equality_is_by_flat_sequence(self):
+        assert BoxRuns([(4, 2), (4, 1)]) == BoxRuns([(4, 3)])
+        assert BoxRuns([(4, 3)]) != BoxRuns([(4, 2)])
+        assert hash(BoxRuns([(4, 2), (4, 1)])) == hash(BoxRuns([(4, 3)]))
+
+    @pytest.mark.parametrize(
+        "profile",
+        [
+            pytest.param(constant_boxes(8, 20), id="constant"),
+            pytest.param(worst_case_profile(8, 4, 256), id="worst-case"),
+            pytest.param(worst_case_profile(2, 2, 64), id="worst-case-2,2"),
+            pytest.param(
+                squarify(sawtooth_profile(1, 16, 3)), id="sawtooth"
+            ),
+            pytest.param(
+                squarify(winner_take_all_profile(32, 2, 2)),
+                id="winner-take-all",
+            ),
+            pytest.param(
+                squarify(random_walk_profile(8, 200, rng=0)),
+                id="random-walk",
+            ),
+            pytest.param(
+                squarify(phase_profile([(16, 64), (2, 10), (8, 24)])),
+                id="phase",
+            ),
+        ],
+    )
+    def test_rle_round_trip_on_every_profile_family(self, profile):
+        runs = profile.runs()
+        # the flat sequences match exactly ...
+        assert list(runs.iter_boxes()) == list(profile)
+        assert runs.to_profile() == profile
+        # ... and the encoding is maximal: adjacent runs are distinct
+        sizes = runs.sizes
+        assert np.all(sizes[1:] != sizes[:-1])
+        assert runs.total_boxes == len(profile)
+        assert runs.total_time == profile.total_time
+
+
+class TestWorstCaseRuns:
+    @pytest.mark.parametrize(
+        "a,b,n", [(8, 4, 1024), (4, 4, 256), (2, 4, 256), (2, 2, 64)]
+    )
+    def test_matches_profile_rle(self, a, b, n):
+        # native emission must be exactly the maximal RLE of M_{a,b}(n)
+        native = BoxRuns(worst_case_runs(a, b, n))
+        assert native == worst_case_profile(a, b, n).runs()
+        # and already maximal as emitted: constructing it merged nothing
+        assert list(worst_case_runs(a, b, n)) == list(native.iter_runs())
+
+    def test_run_count_is_far_below_box_count(self):
+        runs = BoxRuns(worst_case_runs(8, 4, 4**6))
+        assert runs.total_boxes == worst_case_profile(8, 4, 4**6).runs().total_boxes
+        # R(D) = a R(D-1) + 1 vs boxes = (a^(D+1)-1)/(a-1): ~4.27x fewer
+        assert len(runs) * 4 < runs.total_boxes
+
+    def test_base_size_scales_runs(self):
+        scaled = BoxRuns(worst_case_runs(2, 2, 64, base_size=4))
+        plain = BoxRuns(worst_case_runs(2, 2, 16))
+        assert np.array_equal(scaled.sizes, plain.sizes * 4)
+        assert np.array_equal(scaled.counts, plain.counts)

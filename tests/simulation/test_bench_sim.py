@@ -1,0 +1,62 @@
+"""Unit tests for the simulator bench suite (repro.simulation.bench)."""
+
+import json
+
+from repro.cli import main
+from repro.simulation.bench import (
+    SIM_BENCH_SCHEMA_VERSION,
+    SIM_BENCHMARK_NAME,
+    run_sim_bench,
+)
+
+
+class TestRunSimBench:
+    def test_quick_payload_shape_and_identity(self):
+        payload = run_sim_bench(quick=True, seed=0)
+        assert payload["bench_schema_version"] == SIM_BENCH_SCHEMA_VERSION
+        assert payload["benchmark"] == SIM_BENCHMARK_NAME
+        assert payload["quick"] is True
+        names = [w["name"] for w in payload["workloads"]]
+        assert names == ["adversarial-worst-case", "mc-iid-uniform"]
+        # the speedup is only evidence because the results are identical
+        assert payload["bit_identical"] is True
+        for workload in payload["workloads"]:
+            assert workload["bit_identical"] is True
+            assert workload["scalar_wall_time_s"] > 0
+            assert workload["chunked_wall_time_s"] > 0
+        # top-level speedup = the weakest workload, not the flattering one
+        per_workload = [w["speedup"] for w in payload["workloads"]]
+        assert payload["speedup"] == min(per_workload)
+
+    def test_payload_is_json_serializable_and_tagged(self):
+        payload = run_sim_bench(quick=True, seed=3)
+        text = json.dumps(payload)
+        assert "environment" in payload and "git_revision" in payload
+        assert json.loads(text)["seed"] == 3
+
+
+class TestCliSuite:
+    def test_bench_suite_sim_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sim.json"
+        code = main(["bench", "--suite", "sim", "-o", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["benchmark"] == SIM_BENCHMARK_NAME
+        assert "sim bench:" in capsys.readouterr().out
+
+    def test_bench_suite_sim_history_appends(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sim.json"
+        assert main(["bench", "--suite", "sim", "-o", str(out), "--history"]) == 0
+        assert main(["bench", "--suite", "sim", "-o", str(out), "--history"]) == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["benchmark"] == SIM_BENCHMARK_NAME
+        assert len(doc["records"]) == 2
+        captured = capsys.readouterr().out
+        assert "sim-scalar-vs-chunked" in captured
+        assert "regression check" in captured
+
+    def test_bench_suite_sim_rejects_ids(self, tmp_path, capsys):
+        code = main(
+            ["bench", "--suite", "sim", "fig1", "-o", str(tmp_path / "b.json")]
+        )
+        assert code == 2

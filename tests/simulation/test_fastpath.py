@@ -1,0 +1,200 @@
+"""Differential tests: the chunked fast path vs the scalar simulator.
+
+The fast path's contract (repro.simulation.fastpath) is *bit-identity*:
+for every eligible workload it must produce exactly the RunRecord the
+scalar per-box loop produces — same boxes_used, same leaves/scans, same
+float potential, same counters.  These tests sweep specs x models x
+completion divisors x box sources and assert record equality, then pin
+the selection rules (when the fast path engages, when it falls back,
+when forcing it raises).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.randomized import random_slot_placement
+from repro.algorithms.spec import RegularSpec
+from repro.errors import SimulationError
+from repro.profiles import BoxRuns, worst_case_profile
+from repro.profiles.distributions import UniformPowers, UniformRange
+from repro.runtime import instrumentation
+from repro.simulation.fastpath import is_chunkable, run_chunked, run_sampled
+from repro.simulation.montecarlo import (
+    estimate_expected_cost,
+    sample_boxes_to_complete,
+)
+from repro.simulation.runner import run_repeated
+from repro.simulation.symbolic import SymbolicSimulator
+
+SPECS = [
+    RegularSpec(8, 4, 1.0),
+    RegularSpec(8, 4, 0.0),
+    RegularSpec(4, 4, 1.0),
+    RegularSpec(2, 4, 1.0),
+]
+
+
+def both_records(spec, n, source, model="simplified", kappa=1, max_boxes=None):
+    """(scalar record, fast record) for one workload."""
+    kwargs = {"completion_divisor": kappa} if model == "simplified" else {}
+    scalar = SymbolicSimulator(spec, n, model=model, **kwargs).run(
+        source, max_boxes=max_boxes, fastpath=False
+    )
+    fast = SymbolicSimulator(spec, n, model=model, **kwargs).run(
+        source, max_boxes=max_boxes
+    )
+    return scalar, fast
+
+
+def sources_for(spec, n, rng):
+    profile = worst_case_profile(spec.a, spec.b, n)
+    arr = profile.boxes
+    shuffled = arr.copy()
+    rng.shuffle(shuffled)
+    iid = rng.integers(1, 4 * n, size=500).astype(np.int64)
+    return {
+        "profile": profile,
+        "runs": profile.runs(),
+        "array": arr,
+        "shuffled": shuffled,
+        "iid": iid,
+        "iid_runs": BoxRuns.from_boxes(iid),
+        "tiny": np.ones(40, dtype=np.int64),
+        "empty": np.empty(0, dtype=np.int64),
+    }
+
+
+class TestEquivalenceSweep:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("model", ["simplified", "greedy"])
+    def test_identical_records_across_sources(self, spec, model):
+        rng = np.random.default_rng(0)
+        for n in (64, 256):
+            for name, source in sources_for(spec, n, rng).items():
+                scalar, fast = both_records(spec, n, source, model=model)
+                assert scalar == fast, f"{name} n={n}"
+
+    @pytest.mark.parametrize("kappa", [1, 2, 4])  # 4 = b for these specs
+    def test_identical_records_across_completion_divisors(self, kappa):
+        spec = SPECS[0]
+        rng = np.random.default_rng(1)
+        for name, source in sources_for(spec, 256, rng).items():
+            scalar, fast = both_records(spec, 256, source, kappa=kappa)
+            assert scalar == fast, name
+
+    def test_identical_records_under_max_boxes(self):
+        spec = SPECS[0]
+        n = 256
+        profile = worst_case_profile(spec.a, spec.b, n)
+        for mb in (0, 1, 7, 100, len(profile) // 3, len(profile) + 10):
+            scalar, fast = both_records(spec, n, profile, max_boxes=mb)
+            assert scalar == fast, f"max_boxes={mb}"
+            assert fast.boxes_used <= mb
+
+    def test_seeded_property_sweep(self):
+        # randomized workloads: i.i.d. sizes, random lengths, both models
+        rng = np.random.default_rng(1234)
+        for trial in range(20):
+            spec = SPECS[trial % len(SPECS)]
+            n = int(4 ** rng.integers(2, 5))
+            length = int(rng.integers(0, 300))
+            boxes = rng.integers(1, 2 * n, size=length).astype(np.int64)
+            model = "simplified" if trial % 2 == 0 else "greedy"
+            kappa = int(rng.integers(1, 5)) if model == "simplified" else 1
+            scalar, fast = both_records(
+                spec, n, boxes, model=model, kappa=kappa
+            )
+            assert scalar == fast, f"trial {trial}"
+
+    def test_logical_box_counters_preserved(self):
+        spec = SPECS[0]
+        profile = worst_case_profile(spec.a, spec.b, 256)
+        with instrumentation.collect() as scalar_counters:
+            SymbolicSimulator(spec, 256).run(profile, fastpath=False)
+        with instrumentation.collect() as fast_counters:
+            SymbolicSimulator(spec, 256).run(profile.runs())
+        assert scalar_counters.as_dict() == fast_counters.as_dict()
+        assert fast_counters.as_dict()["sim.boxes"] == len(profile)
+
+
+class TestRepeatedAndSampled:
+    def test_run_repeated_equivalent(self):
+        spec = SPECS[0]
+        n = 256
+        profile = worst_case_profile(spec.a, spec.b, n)
+        for source in (profile, profile.runs(), profile.boxes):
+            for mc in (None, 1, 3):
+                scalar = run_repeated(
+                    spec, n, source, max_completions=mc, fastpath=False
+                )
+                fast = run_repeated(spec, n, source, max_completions=mc)
+                assert scalar == fast
+
+    @pytest.mark.parametrize("dist", [UniformPowers(4, 0, 4), UniformRange(1, 64)])
+    def test_run_sampled_bitwise_equal(self, dist):
+        spec = SPECS[0]
+        for seed in (0, 1, 2):
+            scalar = sample_boxes_to_complete(
+                spec, 256, dist, np.random.default_rng(seed), fastpath=False
+            )
+            fast = sample_boxes_to_complete(
+                spec, 256, dist, np.random.default_rng(seed), fastpath=True
+            )
+            assert scalar == fast
+
+    def test_estimate_expected_cost_identical(self):
+        spec = SPECS[0]
+        scalar = estimate_expected_cost(
+            spec, 256, UniformPowers(4, 0, 4), trials=10, rng=7, fastpath=False
+        )
+        fast = estimate_expected_cost(
+            spec, 256, UniformPowers(4, 0, 4), trials=10, rng=7, fastpath=True
+        )
+        assert scalar == fast
+
+
+class TestSelection:
+    def test_eligible_simulator_is_chunkable(self):
+        assert is_chunkable(SymbolicSimulator(SPECS[0], 64))
+        assert is_chunkable(SymbolicSimulator(SPECS[0], 64, model="greedy"))
+
+    def test_recursive_model_falls_back_to_scalar(self):
+        sim = SymbolicSimulator(SPECS[0], 64, model="recursive")
+        assert not is_chunkable(sim)
+        record = sim.run(worst_case_profile(8, 4, 64))  # auto-select: scalar
+        assert record.completed
+
+    def test_randomized_placement_falls_back_to_scalar(self):
+        sim = SymbolicSimulator(
+            SPECS[0], 64, scan_randomizer=random_slot_placement(SPECS[0], 0)
+        )
+        assert not is_chunkable(sim)
+        record = sim.run(worst_case_profile(8, 4, 64))
+        assert record.completed
+
+    def test_forcing_fastpath_on_ineligible_raises(self):
+        sim = SymbolicSimulator(SPECS[0], 64, model="recursive")
+        with pytest.raises(SimulationError):
+            sim.run(worst_case_profile(8, 4, 64), fastpath=True)
+
+    def test_run_chunked_rejects_ineligible_simulator(self):
+        sim = SymbolicSimulator(
+            SPECS[0], 64, scan_randomizer=random_slot_placement(SPECS[0], 0)
+        )
+        with pytest.raises(SimulationError):
+            run_chunked(sim, worst_case_profile(8, 4, 64))
+
+    def test_record_boxes_is_scalar_only(self):
+        sim = SymbolicSimulator(SPECS[0], 64)
+        profile = worst_case_profile(8, 4, 64)
+        record = sim.run(profile, record_boxes=True)  # auto: falls back
+        assert record.completed and record.box_sizes is not None
+        with pytest.raises(SimulationError):
+            SymbolicSimulator(SPECS[0], 64).run(
+                profile, record_boxes=True, fastpath=True
+            )
+
+    def test_run_sampled_requires_chunkable(self):
+        sim = SymbolicSimulator(SPECS[0], 64, model="recursive")
+        with pytest.raises(SimulationError):
+            run_sampled(sim, UniformPowers(4, 0, 4), np.random.default_rng(0))

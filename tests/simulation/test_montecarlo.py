@@ -83,6 +83,28 @@ class TestSampling:
             estimate_expected_cost(MM_SCAN, 16, PointMass(4), trials=0)
 
 
+class TestInstrumentationConvention:
+    def test_one_estimates_tick_per_call(self):
+        # pinned convention: estimate() and estimate_expected_cost()
+        # each record mc.estimates exactly once per call — the latter's
+        # two returned MCEstimates come from one estimation over one
+        # trial set, not two
+        from repro.runtime import instrumentation
+
+        with instrumentation.collect() as counters:
+            estimate(lambda g: 1.0, trials=3, rng=0)
+        assert counters.as_dict()["mc.estimates"] == 1
+        assert counters.as_dict()["mc.trials"] == 3
+        with instrumentation.collect() as counters:
+            estimate_expected_cost(MM_SCAN, 16, PointMass(4), trials=3, rng=0)
+        assert counters.as_dict()["mc.estimates"] == 1
+        assert counters.as_dict()["mc.trials"] == 3
+        with instrumentation.collect() as counters:
+            estimate_expected_cost(MM_SCAN, 16, PointMass(4), trials=2, rng=0)
+            estimate_expected_cost(MM_SCAN, 16, PointMass(4), trials=2, rng=1)
+        assert counters.as_dict()["mc.estimates"] == 2
+
+
 class TestParallelEstimation:
     def test_parallel_matches_statistics(self):
         # parallel and serial use different seed derivations, so compare

@@ -14,7 +14,12 @@ from repro.analysis.feedback import (
     feedback_threshold,
     verify_negative_feedback,
 )
-from repro.analysis.nocatchup import NoCatchupReport, check_no_catchup, finish_positions
+from repro.analysis.nocatchup import (
+    NoCatchupReport,
+    check_no_catchup,
+    finish_positions,
+    require_monotone_starts,
+)
 from repro.analysis.potential import max_progress, measured_potential, potential
 from repro.analysis.recurrence import (
     LevelRecord,
@@ -52,6 +57,7 @@ __all__ = [
     "NoCatchupReport",
     "check_no_catchup",
     "finish_positions",
+    "require_monotone_starts",
     "max_progress",
     "measured_potential",
     "potential",

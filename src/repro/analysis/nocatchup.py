@@ -23,7 +23,40 @@ from repro.algorithms.cursor import ExecutionCursor
 from repro.algorithms.spec import RegularSpec
 from repro.util.rng import as_generator
 
-__all__ = ["NoCatchupReport", "finish_positions", "check_no_catchup"]
+__all__ = [
+    "NoCatchupReport",
+    "finish_positions",
+    "check_no_catchup",
+    "require_monotone_starts",
+]
+
+
+def require_monotone_starts(
+    starts: Sequence[int], what: str = "start positions"
+) -> tuple[int, ...]:
+    """Runtime contract behind the ``nocatchup-monotonicity`` lint rule.
+
+    Lemma 2 statements ("an earlier start can never finish later") are
+    comparisons *along a monotone axis*: ``finish(starts[i])`` vs
+    ``finish(starts[i+1])`` is only evidence about the lemma when
+    ``starts[i] <= starts[i+1]``.  Call this on the start sequence
+    immediately before any such adjacent-pair comparison; it returns the
+    verified tuple so the guarded sequence is the compared sequence.
+
+    Raises :class:`~repro.errors.SimulationError` on the first inversion
+    (an ``assert`` would vanish under ``python -O``; the contract must
+    not).
+    """
+    out = tuple(int(s) for s in starts)
+    for i in range(len(out) - 1):
+        if out[i] > out[i + 1]:
+            raise SimulationError(
+                f"{what} must be monotone nondecreasing for No-Catch-up "
+                f"comparisons: index {i} holds {out[i]} but index "
+                f"{i + 1} holds {out[i + 1]}; sort the starts (and keep "
+                "finish positions paired with them) before comparing"
+            )
+    return out
 
 
 def finish_positions(
@@ -91,6 +124,11 @@ def check_no_catchup(
         starts = sorted({0, *map(int, gen.integers(0, total, size=samples))})
     else:
         starts = sorted(int(s) for s in starts)
+    # Contract guard directly in front of the adjacent-pair comparison:
+    # the sort above establishes monotonicity today, but the lemma check
+    # below is only sound because of it, so the guarded tuple is the
+    # compared tuple.
+    starts = require_monotone_starts(starts)
     finishes = finish_positions(spec, n, boxes, starts, model=model)
     violations = [
         (starts[i], starts[i + 1])
@@ -98,7 +136,7 @@ def check_no_catchup(
         if finishes[i] > finishes[i + 1]
     ]
     return NoCatchupReport(
-        starts=tuple(starts),
+        starts=starts,
         finishes=tuple(finishes),
         violations=tuple(violations),
     )

@@ -10,6 +10,10 @@ its cold twin — the correctness claim that makes the speedup legitimate
 evidence rather than a cut corner.
 """
 
+# repro-lint: disable-file=nondet-wallclock -- a benchmark measures wall
+# time by design; timings are reported as evidence, never cached or
+# digested.
+
 from __future__ import annotations
 
 import time

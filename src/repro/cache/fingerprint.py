@@ -35,6 +35,8 @@ __all__ = [
     "module_path",
     "first_party_imports",
     "fingerprint_module",
+    "fingerprint_symbols",
+    "fingerprint_mode",
     "clear_fingerprint_caches",
 ]
 
@@ -161,12 +163,19 @@ class Fingerprint:
 # hashed once per process no matter how many closures include it.
 _FILE_DIGESTS: dict[Path, tuple[tuple[int, int], str]] = {}
 _CLOSURE_CACHE: dict[tuple[str, str, str], Fingerprint] = {}
+_SYMBOL_CACHE: dict[tuple[str, str, str, str], Fingerprint] = {}
+# (root, prefix) -> shared incremental GraphBuilder: all experiments of
+# one tree extend the same graph instead of re-parsing it 20 times.
+_GRAPH_BUILDERS: dict[tuple[str, str], object] = {}
 
 
 def clear_fingerprint_caches() -> None:
     """Drop the per-process digest and closure memos (tests)."""
-    _FILE_DIGESTS.clear()
-    _CLOSURE_CACHE.clear()
+    # Test-only reset of idempotent memos; see waivers below.
+    _FILE_DIGESTS.clear()  # repro-lint: disable=effect-global-mutation
+    _CLOSURE_CACHE.clear()  # repro-lint: disable=effect-global-mutation
+    _SYMBOL_CACHE.clear()  # repro-lint: disable=effect-global-mutation
+    _GRAPH_BUILDERS.clear()  # repro-lint: disable=effect-global-mutation
 
 
 def _file_digest(path: Path) -> str:
@@ -180,7 +189,9 @@ def _file_digest(path: Path) -> str:
     except OSError as exc:
         raise FingerprintError(f"cannot read {path}: {exc}") from None
     digest = normalized_source_digest(source, path=str(path))
-    _FILE_DIGESTS[path] = (signature, digest)
+    # Content-keyed memo: same (path, stat) always maps to the same
+    # digest, so the write is idempotent and call-order-free.
+    _FILE_DIGESTS[path] = (signature, digest)  # repro-lint: disable=effect-global-mutation
     return digest
 
 
@@ -240,5 +251,127 @@ def fingerprint_module(
     fp = Fingerprint(
         module=module, digest=combined.hexdigest(), modules=tuple(sorted(seen))
     )
-    _CLOSURE_CACHE[cache_key] = fp
+    # Content-keyed memo: idempotent, call-order-free (see _FILE_DIGESTS).
+    _CLOSURE_CACHE[cache_key] = fp  # repro-lint: disable=effect-global-mutation
+    return fp
+
+
+def fingerprint_mode() -> str:
+    """Which closure granularity cache keys use.
+
+    ``symbol`` (the default) fingerprints only the code *reachable* from
+    the experiment's entry point through the analyzer's reference graph,
+    so editing one experiment's private helper invalidates only that
+    experiment's entries.  ``module`` is the PR-3 behavior: hash every
+    transitively imported file whole.  Set ``REPRO_CACHE_FINGERPRINT``
+    to choose; unknown values raise so a typo cannot silently flip the
+    invalidation semantics of the whole store.
+    """
+    import os
+
+    # Granularity knob: changes *which key* a run looks up, never what
+    # any cached entry contains — both modes are sound, symbol mode is
+    # merely finer.
+    raw = os.environ.get("REPRO_CACHE_FINGERPRINT", "symbol")  # repro-lint: disable=nondet-env
+    mode = raw.strip().lower() or "symbol"
+    if mode not in ("symbol", "module"):
+        raise FingerprintError(
+            f"REPRO_CACHE_FINGERPRINT must be 'symbol' or 'module', got {raw!r}"
+        )
+    return mode
+
+
+def fingerprint_symbols(
+    module: str,
+    *,
+    entry: str = "run",
+    root: Path | None = None,
+    prefix: str | None = None,
+) -> Fingerprint:
+    """Fingerprint the code *reachable* from ``module``'s entry point.
+
+    Builds (lazily, memoized per process) the analyzer's project-wide
+    reference graph (:mod:`repro.devtools.analyze`), walks forward from
+    ``module.entry`` and from ``module``'s import-time body, and hashes
+    one digest per reachable symbol: the full ``def``/``class`` node for
+    named symbols, the body-stripped import-time surface for each
+    module's ``<module>`` pseudo-symbol.  A comment-only edit anywhere
+    changes nothing; editing a helper only changes keys whose entry can
+    reach it.
+
+    Falls back to every symbol of ``module`` as the entry set when
+    ``entry`` is not a top-level symbol there (a dynamically-built
+    runner): over-approximating keeps the key sound.
+
+    Same caveat as :func:`fingerprint_module`: the memo is not
+    stat-validated — call :func:`clear_fingerprint_caches` after editing
+    sources mid-process.
+    """
+    # Imported lazily: repro.devtools.analyze.project imports
+    # module_path from this module at its top level.
+    from repro.devtools.analyze.callgraph import GraphBuilder, reachable_from
+    from repro.devtools.analyze.symbols import (
+        MODULE_SYMBOL,
+        import_time_digest,
+        symbol_digest,
+    )
+    from repro.devtools.analyze.project import Project
+    from repro.errors import AnalysisError
+
+    root = _default_root() if root is None else Path(root)
+    if prefix is None:
+        prefix = module.split(".")[0]
+    cache_key = (module, entry, str(root), prefix)
+    cached = _SYMBOL_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+
+    if module_path(module, root) is None:
+        raise FingerprintError(f"module {module!r} not found under {root}")
+    builder_key = (str(root), prefix)
+    shared = _GRAPH_BUILDERS.get(builder_key)
+    if isinstance(shared, tuple) and isinstance(shared[0], GraphBuilder):
+        builder, digests = shared
+    else:
+        builder = GraphBuilder(Project([root], prefixes=[prefix]))
+        digests = {}
+        # Shared content-keyed memo, same contract as _FILE_DIGESTS.
+        _GRAPH_BUILDERS[builder_key] = (builder, digests)  # repro-lint: disable=effect-global-mutation
+    try:
+        graph = builder.build([module])
+    except AnalysisError as exc:
+        raise FingerprintError(str(exc)) from None
+
+    entries = {(module, MODULE_SYMBOL)}
+    if (module, entry) in graph.symbols:
+        entries.add((module, entry))
+    else:
+        entries.update(
+            key for key in graph.symbols if key[0] == module
+        )
+    reachable = reachable_from(graph, entries)
+
+    combined = hashlib.sha256()
+    modules: set[str] = set()
+    for mod, name in sorted(reachable):
+        table = graph.tables[mod]
+        digest = digests.get((mod, name))
+        if digest is None:
+            if name == MODULE_SYMBOL:
+                digest = import_time_digest(table.info)
+            else:
+                digest = symbol_digest(table.nodes[name])
+            digests[mod, name] = digest
+        modules.add(mod)
+        combined.update(f"{mod}::{name}".encode("utf-8"))
+        combined.update(b"\x00")
+        combined.update(digest.encode("utf-8"))
+        combined.update(b"\x00")
+    fp = Fingerprint(
+        module=module,
+        digest=combined.hexdigest(),
+        modules=tuple(sorted(modules)),
+    )
+    # Content-keyed memo: idempotent, call-order-free (see _FILE_DIGESTS).
+    _SYMBOL_CACHE[cache_key] = fp  # repro-lint: disable=effect-global-mutation
     return fp

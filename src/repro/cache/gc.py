@@ -12,7 +12,8 @@ this PR stay readable (a missing sidecar is synthesized from the entry
 file's mtime).
 
 :func:`collect` evicts under a :class:`GCBudget` (``max_bytes`` /
-``max_entries`` / ``max_age_days``) in LRU order with size awareness
+``max_entries`` / ``max_age_days`` / ``max_lifetime_days``) in LRU
+order with size awareness
 (among equally-stale entries the larger one goes first), always reaping
 orphaned ``.tmp-*`` write debris and orphaned sidecars before counting
 live entries against the budget.  Cumulative counters persist in a
@@ -22,9 +23,16 @@ and the run manifest can report what GC has done.
 Auto-GC: :func:`auto_collect` runs after every
 :class:`~repro.runtime.runner.ExperimentRunner` pass that touched the
 store, with budgets from ``REPRO_CACHE_MAX_BYTES`` (default 1 GiB; 0 or
-negative disables the byte budget), ``REPRO_CACHE_MAX_ENTRIES``, and
-``REPRO_CACHE_MAX_AGE_DAYS``.  Set ``REPRO_CACHE_GC=off`` to disable
-auto-GC entirely (explicit ``repro cache gc`` still works).
+negative disables the byte budget), ``REPRO_CACHE_MAX_ENTRIES``,
+``REPRO_CACHE_MAX_AGE_DAYS``, and ``REPRO_CACHE_MAX_LIFETIME_DAYS``.
+Set ``REPRO_CACHE_GC=off`` to disable auto-GC entirely (explicit
+``repro cache gc`` still works).
+
+``max_age_days`` and ``max_lifetime_days`` differ in which timestamp
+they read: age is *last access* (idle entries expire; a warm hit
+resets the clock), lifetime is *creation* (an entry expires D days
+after its ``put`` no matter how often it keeps hitting — a hard
+freshness ceiling for long-lived CI caches).
 
 Timestamps here are *civil* wall-clock time on purpose: they order
 events across processes and machine reboots, which monotonic clocks
@@ -87,7 +95,9 @@ _GC_OFF_VALUES = frozenset({"off", "0", "false", "no"})
 
 def _utcnow_s() -> float:
     """Current civil time as a UTC epoch timestamp (ordering only)."""
-    return datetime.now(timezone.utc).timestamp()
+    # GC age/lifetime policy is wall-clock by definition; timestamps
+    # steer eviction only and never reach cached payloads.
+    return datetime.now(timezone.utc).timestamp()  # repro-lint: disable=nondet-wallclock
 
 
 # -- sidecar access records ------------------------------------------------
@@ -310,11 +320,13 @@ def buffered_access_records() -> Iterator[None]:
     if _BUFFER is not None:
         yield
         return
-    _BUFFER = _AccessBuffer()
+    # Scoped swap of the process-wide buffer slot: set on entry, always
+    # restored to None on exit — bookkeeping, not cached state.
+    _BUFFER = _AccessBuffer()  # repro-lint: disable=effect-global-mutation
     try:
         yield
     finally:
-        buffer, _BUFFER = _BUFFER, None
+        buffer, _BUFFER = _BUFFER, None  # repro-lint: disable=effect-global-mutation
         buffer.flush()
 
 
@@ -322,7 +334,9 @@ def buffered_access_records() -> Iterator[None]:
 
 
 def _env_int(name: str) -> int | None:
-    raw = os.environ.get(name)
+    # Operator budget knob: read once per collection, steers eviction
+    # only — never influences cached payloads.
+    raw = os.environ.get(name)  # repro-lint: disable=nondet-env
     if raw is None or not raw.strip():
         return None
     try:
@@ -334,7 +348,8 @@ def _env_int(name: str) -> int | None:
 
 
 def _env_float(name: str) -> float | None:
-    raw = os.environ.get(name)
+    # Operator budget knob, same contract as _env_int.
+    raw = os.environ.get(name)  # repro-lint: disable=nondet-env
     if raw is None or not raw.strip():
         return None
     try:
@@ -350,13 +365,15 @@ class GCBudget:
     max_bytes: int | None = DEFAULT_MAX_BYTES
     max_entries: int | None = None
     max_age_days: float | None = None
+    max_lifetime_days: float | None = None
     tmp_grace_s: float = DEFAULT_TMP_GRACE_S
 
     @classmethod
     def from_env(cls) -> "GCBudget":
         """Budgets from ``REPRO_CACHE_MAX_BYTES`` (default 1 GiB; <= 0
-        disables), ``REPRO_CACHE_MAX_ENTRIES``, and
-        ``REPRO_CACHE_MAX_AGE_DAYS`` (unset/<= 0 disables either)."""
+        disables), ``REPRO_CACHE_MAX_ENTRIES``,
+        ``REPRO_CACHE_MAX_AGE_DAYS``, and
+        ``REPRO_CACHE_MAX_LIFETIME_DAYS`` (unset/<= 0 disables each)."""
         max_bytes: int | None = _env_int("REPRO_CACHE_MAX_BYTES")
         if max_bytes is None:
             max_bytes = DEFAULT_MAX_BYTES
@@ -368,10 +385,14 @@ class GCBudget:
         max_age_days = _env_float("REPRO_CACHE_MAX_AGE_DAYS")
         if max_age_days is not None and max_age_days <= 0:
             max_age_days = None
+        max_lifetime_days = _env_float("REPRO_CACHE_MAX_LIFETIME_DAYS")
+        if max_lifetime_days is not None and max_lifetime_days <= 0:
+            max_lifetime_days = None
         return cls(
             max_bytes=max_bytes,
             max_entries=max_entries,
             max_age_days=max_age_days,
+            max_lifetime_days=max_lifetime_days,
         )
 
 
@@ -384,7 +405,7 @@ class Eviction:
 
     digest: str
     size_bytes: int
-    reason: str  # "age" | "entries" | "bytes"
+    reason: str  # "lifetime" | "age" | "entries" | "bytes"
 
 
 @dataclass(frozen=True)
@@ -469,9 +490,11 @@ def collect(
 
     Eviction order is LRU with size awareness: candidates sort by last
     access (oldest first), then by size (largest first) among equal
-    timestamps, then by digest for determinism.  ``max_age_days``
-    evictions happen first, then ``max_entries``, then ``max_bytes``
-    (each over the survivors of the previous step).  ``dry_run`` counts
+    timestamps, then by digest for determinism.
+    ``max_lifetime_days`` evictions (creation-time ceiling — hits do
+    not extend it) happen first, then ``max_age_days`` (last-access
+    staleness), then ``max_entries``, then ``max_bytes`` (each over
+    the survivors of the previous step).  ``dry_run`` counts
     everything and deletes nothing.  Concurrent readers are safe: a
     ``get`` racing an eviction sees an ordinary miss and recomputes.
     """
@@ -549,6 +572,11 @@ def collect(
     )
     victims: list[tuple[_Inventory, str]] = []
     survivors = items
+    if budget.max_lifetime_days is not None:
+        cutoff = now - budget.max_lifetime_days * 86400.0
+        expired = [it for it in survivors if it.record.created < cutoff]
+        victims.extend((it, "lifetime") for it in expired)
+        survivors = [it for it in survivors if it.record.created >= cutoff]
     if budget.max_age_days is not None:
         cutoff = now - budget.max_age_days * 86400.0
         expired = [it for it in survivors if it.record.last_access < cutoff]
@@ -683,7 +711,8 @@ def auto_collect(cache_dir: "str | os.PathLike[str] | None") -> GCReport | None:
     ``off``/``0``/``false``/``no`` or when the store does not exist.  A
     misconfigured budget env var still raises :class:`CacheError` —
     silent misconfiguration would unbound the store again."""
-    if os.environ.get("REPRO_CACHE_GC", "").strip().lower() in _GC_OFF_VALUES:
+    # Operator kill switch for the post-run hook; eviction policy only.
+    if os.environ.get("REPRO_CACHE_GC", "").strip().lower() in _GC_OFF_VALUES:  # repro-lint: disable=nondet-env
         return None
     from repro.cache.store import Cache
 

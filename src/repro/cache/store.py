@@ -55,10 +55,12 @@ CACHE_ENTRY_VERSION = 1
 def default_cache_dir() -> Path:
     """Resolve the artifact store location: ``$REPRO_CACHE_DIR``, else
     ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
-    env = os.environ.get("REPRO_CACHE_DIR")
+    # Store *location* knobs: they decide where entries live, never
+    # what any entry contains.
+    env = os.environ.get("REPRO_CACHE_DIR")  # repro-lint: disable=nondet-env
     if env:
         return Path(env)
-    xdg = os.environ.get("XDG_CACHE_HOME")
+    xdg = os.environ.get("XDG_CACHE_HOME")  # repro-lint: disable=nondet-env
     if xdg:
         return Path(xdg) / "repro"
     return Path.home() / ".cache" / "repro"
@@ -153,8 +155,16 @@ def cache_key_for(
     experiment_id: str, quick: bool, seed: int
 ) -> CacheKey:
     """Build the cache key for a registry experiment as the code stands
-    now: fingerprints the experiment's module closure on the fly."""
-    from repro.cache.fingerprint import fingerprint_module
+    now: fingerprints the experiment's closure on the fly.
+
+    Granularity follows :func:`~repro.cache.fingerprint.fingerprint_mode`
+    (``REPRO_CACHE_FINGERPRINT``): per-symbol reachability by default,
+    whole-module closure as the conservative fallback."""
+    from repro.cache.fingerprint import (
+        fingerprint_mode,
+        fingerprint_module,
+        fingerprint_symbols,
+    )
     from repro.experiments.registry import EXPERIMENTS
 
     try:
@@ -165,7 +175,12 @@ def cache_key_for(
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    fp = fingerprint_module(exp.runner.__module__)
+    if fingerprint_mode() == "symbol":
+        fp = fingerprint_symbols(
+            exp.runner.__module__, entry=exp.runner.__name__
+        )
+    else:
+        fp = fingerprint_module(exp.runner.__module__)
     return CacheKey(
         experiment_id=experiment_id, quick=quick, seed=seed, fingerprint=fp.digest
     )

@@ -233,6 +233,15 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_CACHE_MAX_AGE_DAYS, else unlimited; <= 0 disables)",
     )
     gc_p.add_argument(
+        "--max-lifetime-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="evict entries created more than D days ago, hits "
+        "notwithstanding (default: $REPRO_CACHE_MAX_LIFETIME_DAYS, "
+        "else unlimited; <= 0 disables)",
+    )
+    gc_p.add_argument(
         "--tmp-grace-s",
         type=float,
         default=None,
@@ -346,6 +355,50 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered rules and exit",
     )
+    lint_p.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the interprocedural determinism analysis "
+        "(repro analyze) over the same paths and merge its findings",
+    )
+    lint_p.add_argument(
+        "--stale",
+        action="store_true",
+        help="also report repro-lint suppression pragmas that no longer "
+        "match any diagnostic (stale waivers)",
+    )
+
+    analyze_p = sub.add_parser(
+        "analyze",
+        help="whole-program determinism analysis: call graph, taint "
+        "propagation from nondeterminism sources, per-experiment "
+        "impurity chains (exit 1 on findings)",
+    )
+    analyze_p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories whose first-party import closure "
+        "to analyze (default: src)",
+    )
+    analyze_p.add_argument(
+        "--include-tests",
+        action="store_true",
+        help="also analyze test files (exempt by default)",
+    )
+    analyze_p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the full report (symbols, classifications, chains) "
+        "as JSON on stdout",
+    )
+    analyze_p.add_argument(
+        "--graph",
+        metavar="DOT",
+        default=None,
+        help="write the classified call graph as Graphviz DOT to this path",
+    )
     return parser
 
 
@@ -390,7 +443,8 @@ def _cmd_run(
     failures = 0
     chunks: list[str] = []
     artifacts = []
-    start = perf_counter()
+    # Display-only timing for the cache-savings summary line.
+    start = perf_counter()  # repro-lint: disable=nondet-wallclock
     for i, artifact in enumerate(
         runner.run_iter(targets, quick=quick, seed=seed)
     ):
@@ -402,7 +456,7 @@ def _cmd_run(
         artifacts.append(artifact)
         if not artifact.reproduced:
             failures += 1
-    total_wall_time_s = perf_counter() - start
+    total_wall_time_s = perf_counter() - start  # repro-lint: disable=nondet-wallclock
     hits = sum(1 for a in artifacts if a.cache_hit)
     if cache != "off" and hits:
         saved = sum(a.saved_wall_time_s or 0.0 for a in artifacts)
@@ -644,6 +698,7 @@ def _cmd_cache_gc(
     dry_run: bool,
     fail_on_debris: bool,
     json_dir: str | None = None,
+    max_lifetime_days: float | None = None,
 ) -> int:
     import dataclasses
 
@@ -662,6 +717,13 @@ def _cmd_cache_gc(
     if max_age_days is not None:
         budget = dataclasses.replace(
             budget, max_age_days=max_age_days if max_age_days > 0 else None
+        )
+    if max_lifetime_days is not None:
+        budget = dataclasses.replace(
+            budget,
+            max_lifetime_days=(
+                max_lifetime_days if max_lifetime_days > 0 else None
+            ),
         )
     if tmp_grace_s is not None:
         budget = dataclasses.replace(budget, tmp_grace_s=max(tmp_grace_s, 0.0))
@@ -835,6 +897,8 @@ def _cmd_lint(
     include_tests: bool,
     rules: list[str] | None,
     list_rules: bool,
+    deep: bool = False,
+    stale: bool = False,
 ) -> int:
     from repro.devtools import all_rules, lint_paths
 
@@ -843,13 +907,66 @@ def _cmd_lint(
         for rule in all_rules():
             print(f"{rule.rule_id.ljust(width)}  {rule.summary}")
         return 0
-    diagnostics = lint_paths(paths, include_tests=include_tests, rule_ids=rules)
+    diagnostics = list(
+        lint_paths(
+            paths,
+            include_tests=include_tests,
+            rule_ids=rules,
+            report_stale=stale,
+        )
+    )
+    if deep:
+        from repro.devtools.analyze import analyze_paths
+
+        report = analyze_paths(paths, include_tests=include_tests)
+        diagnostics.extend(report.diagnostics)
+        diagnostics.sort()
     for diag in diagnostics:
         print(diag.format())
     if diagnostics:
         print(
             f"repro lint: {len(diagnostics)} finding(s)"
             " — see docs/DEVTOOLS.md for rules and suppressions",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_analyze(
+    paths: list[str],
+    include_tests: bool,
+    as_json: bool,
+    graph: str | None,
+) -> int:
+    from repro.devtools.analyze import analyze_paths, render_dot, render_json
+
+    report = analyze_paths(paths, include_tests=include_tests)
+    if graph is not None:
+        with open(graph, "w", encoding="utf-8") as fh:
+            fh.write(render_dot(report))
+        print(f"wrote {graph}", file=sys.stderr)
+    if as_json:
+        print(render_json(report))
+        return 0 if report.ok else 1
+    for diag in report.diagnostics:
+        print(diag.format())
+    impure = sum(
+        1 for verdict in report.classifications.values() if verdict == "impure"
+    )
+    chains = sum(len(exp.chains) for exp in report.experiments)
+    print(
+        f"repro analyze: {len(report.graph.tables)} module(s), "
+        f"{len(report.graph.symbols)} symbol(s), {impure} impure, "
+        f"{len(report.experiments)} experiment(s) with {chains} tainted "
+        f"chain(s), {report.waived} waived finding(s)",
+        file=sys.stderr,
+    )
+    if report.diagnostics:
+        print(
+            f"repro analyze: {len(report.diagnostics)} finding(s)"
+            " — see docs/DEVTOOLS.md ('Deep analysis') for rules, chains, "
+            "and suppressions",
             file=sys.stderr,
         )
         return 1
@@ -904,6 +1021,7 @@ def main(argv: list[str] | None = None) -> int:
                     args.dry_run,
                     args.fail_on_debris,
                     json_dir=args.json_dir,
+                    max_lifetime_days=args.max_lifetime_days,
                 )
             if args.cache_command == "verify":
                 return _cmd_cache_verify(
@@ -922,7 +1040,19 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.command == "lint":
             return _cmd_lint(
-                args.paths, args.include_tests, args.rules, args.list_rules
+                args.paths,
+                args.include_tests,
+                args.rules,
+                args.list_rules,
+                deep=args.deep,
+                stale=args.stale,
+            )
+        if args.command == "analyze":
+            return _cmd_analyze(
+                args.paths,
+                args.include_tests,
+                args.as_json,
+                args.graph,
             )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,72 @@
+"""Whole-program determinism analysis (``repro analyze``).
+
+Public surface:
+
+* :func:`analyze_paths` — run the full pipeline, get an
+  :class:`AnalysisReport`;
+* :func:`build_graph` / :class:`CallGraph` — the reference graph shared
+  with the per-symbol cache fingerprints;
+* :func:`render_json` / :func:`render_dot` — serializers for
+  ``repro analyze --json`` / ``--graph``.
+"""
+
+from repro.devtools.analyze.callgraph import (
+    CallGraph,
+    SymbolKey,
+    build_graph,
+    reachable_from,
+)
+from repro.devtools.analyze.effects import EFFECT_RULES, scan_effects
+from repro.devtools.analyze.project import ModuleInfo, Project, module_name_for
+from repro.devtools.analyze.report import (
+    AnalysisReport,
+    ExperimentReport,
+    SourceFinding,
+    TaintChain,
+    analyze_paths,
+    find_experiments,
+    render_dot,
+    render_json,
+)
+from repro.devtools.analyze.symbols import (
+    MODULE_SYMBOL,
+    Binding,
+    ModuleSymbols,
+    Symbol,
+    build_module_symbols,
+    import_time_digest,
+    symbol_digest,
+    symbol_scan_nodes,
+)
+from repro.devtools.analyze.taint import TAINT_RULES, collect_aliases, scan_taints
+
+__all__ = [
+    "AnalysisReport",
+    "Binding",
+    "CallGraph",
+    "EFFECT_RULES",
+    "ExperimentReport",
+    "MODULE_SYMBOL",
+    "ModuleInfo",
+    "ModuleSymbols",
+    "Project",
+    "SourceFinding",
+    "Symbol",
+    "SymbolKey",
+    "TAINT_RULES",
+    "TaintChain",
+    "analyze_paths",
+    "build_graph",
+    "build_module_symbols",
+    "collect_aliases",
+    "find_experiments",
+    "import_time_digest",
+    "module_name_for",
+    "reachable_from",
+    "render_dot",
+    "render_json",
+    "scan_effects",
+    "scan_taints",
+    "symbol_digest",
+    "symbol_scan_nodes",
+]

@@ -1,0 +1,196 @@
+"""Effect inference: observable state a symbol leaks between calls.
+
+Two effects, one rule id each:
+
+* ``effect-global-mutation`` — a function (or method) rebinding a
+  module-level name via ``global``, or mutating a module-level container
+  in place (``CACHE.append``, ``TABLE[k] = v``, ``STATS += ...``).  Such
+  state makes a function's output depend on call *order*, which the
+  cache's pure-function-of-``(id, quick, seed)`` contract forbids.
+  Module bodies are exempt: initializing a global at import time is how
+  globals are born.
+* ``effect-mutable-default`` — a ``def`` whose default value is a
+  mutable literal (``[]``, ``{}``, ``set()``…).  The default is created
+  once at import and shared across calls, so any mutation leaks between
+  invocations.
+
+Both are *intra*-symbol checks; reachability (does an experiment hit
+this function?) is layered on by the report pass, same as the taint
+seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.analyze.symbols import ModuleSymbols
+from repro.devtools.analyze.taint import Finding
+
+__all__ = ["EFFECT_RULES", "scan_effects"]
+
+EFFECT_RULES = {
+    "effect-global-mutation": "mutates module-level state from a function",
+    "effect-mutable-default": "mutable default value shared across calls",
+}
+
+#: In-place container mutators worth flagging on a module-level name.
+_MUTATORS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "discard",
+    "remove",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "clear",
+    "appendleft",
+    "popleft",
+}
+
+
+def _scope_walk(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func``'s own scope: a nested def/class is yielded (it
+    binds a name here) but not descended into (its body is a different
+    scope, scanned in its own pass)."""
+    stack: list[ast.AST] = [func]
+    while stack:
+        node = stack.pop()
+        yield node
+        if node is not func and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _local_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound in ``func``'s own scope: params plus plain
+    assignments.  A bare-name Store anywhere in the body shadows the
+    module global for the whole function (Python scoping), so mutations
+    through it are local, not global."""
+    args = func.args
+    names = {
+        a.arg
+        for a in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]
+    }
+    for node in _scope_walk(func):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            if node is not func:
+                names.add(node.name)
+    return names
+
+
+def _subscript_root(node: ast.AST) -> str | None:
+    """Root name of ``X[...]...`` / ``X.attr...`` assignment targets."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"list", "dict", "set", "bytearray", "deque"}
+    )
+
+
+def _scan_function(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    module_globals: set[str],
+    findings: list[Finding],
+) -> None:
+    declared_global: set[str] = set()
+    for node in _scope_walk(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    locals_ = _local_names(func) - declared_global
+
+    def emit(node: ast.AST, what: str) -> None:
+        findings.append(
+            Finding(
+                rule="effect-global-mutation",
+                lineno=getattr(node, "lineno", func.lineno),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=(
+                    f"{what} in {func.name}() — "
+                    f"{EFFECT_RULES['effect-global-mutation']}"
+                ),
+            )
+        )
+
+    for node in _scope_walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if node.id in declared_global:
+                emit(node, f"rebinds global {node.id!r}")
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if not isinstance(target, (ast.Subscript, ast.Attribute)):
+                    continue
+                root = _subscript_root(target)
+                if (
+                    root is not None
+                    and root in module_globals
+                    and root not in locals_
+                ):
+                    emit(node, f"writes into module-level {root!r}")
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr not in _MUTATORS:
+                continue
+            root = _subscript_root(node.func.value)
+            if (
+                root is not None
+                and root in module_globals
+                and root not in locals_
+            ):
+                emit(node, f"{root}.{node.func.attr}()")
+
+
+def scan_effects(node: ast.stmt, table: ModuleSymbols) -> list[Finding]:
+    """Effect findings for one top-level def/class symbol."""
+    findings: list[Finding] = []
+    module_globals = table.module_assigns
+    for func in ast.walk(node):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        _scan_function(func, module_globals, findings)
+        for default in [
+            *func.args.defaults,
+            *[d for d in func.args.kw_defaults if d is not None],
+        ]:
+            if _mutable_default(default):
+                findings.append(
+                    Finding(
+                        rule="effect-mutable-default",
+                        lineno=default.lineno,
+                        col=default.col_offset + 1,
+                        message=(
+                            f"mutable default in {func.name}() — "
+                            f"{EFFECT_RULES['effect-mutable-default']}"
+                        ),
+                    )
+                )
+    return findings

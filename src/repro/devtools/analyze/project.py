@@ -1,0 +1,145 @@
+"""Module discovery and lazy first-party resolution for deep analysis.
+
+A :class:`Project` is the static mirror of an import graph: it maps
+dotted module names to parsed source files under one or more package
+roots, without ever importing anything.  The seed modules come from the
+paths handed to ``repro analyze``; everything they transitively import
+is resolved *lazily* against the same roots, so analyzing
+``src/repro/experiments`` still sees taint sources three layers down in
+``repro.simulation`` even though only the experiments were named.
+
+The resolution machinery (``module_path``, relative-import math) is
+shared with :mod:`repro.cache.fingerprint` — the analyzer and the cache
+fingerprints must agree on what "the first-party closure" means, or a
+symbol the analyzer reasons about could be missing from the fingerprint
+that caches its output.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.cache.fingerprint import module_path
+from repro.errors import AnalysisError
+
+__all__ = ["ModuleInfo", "Project", "module_name_for"]
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed first-party module."""
+
+    name: str
+    path: Path
+    source: str
+    tree: ast.Module
+
+
+def module_name_for(path: Path) -> tuple[str, Path] | None:
+    """Dotted module name of ``path`` plus the package root above it.
+
+    Climbs parent directories while they carry ``__init__.py``; the
+    first directory without one is the root (``src`` for
+    ``src/repro/cli.py`` -> ``("repro.cli", .../src)``).  Returns
+    ``None`` for files outside any package (no containing
+    ``__init__.py``, and not a plain top-level module).
+    """
+    path = path.resolve()
+    if path.name == "__init__.py":
+        parts: list[str] = []
+        current = path.parent
+    else:
+        parts = [path.stem]
+        current = path.parent
+    while (current / "__init__.py").is_file():
+        parts.append(current.name)
+        current = current.parent
+    if not parts:
+        return None
+    return ".".join(reversed(parts)), current
+
+
+class Project:
+    """Lazy, parse-only view of the first-party module tree.
+
+    ``roots`` are directories containing top-level packages;
+    ``prefixes`` optionally restricts which top-level package names
+    count as first-party (``None`` = anything resolvable under a root).
+    Modules parse once and memoize; a module that exists but does not
+    parse raises :class:`~repro.errors.AnalysisError` — a broken file
+    must fail the analysis, not silently shrink the closure.
+    """
+
+    def __init__(
+        self,
+        roots: Sequence[Path | str],
+        prefixes: Iterable[str] | None = None,
+    ) -> None:
+        self.roots = [Path(r).resolve() for r in roots]
+        self.prefixes = None if prefixes is None else frozenset(prefixes)
+        self._cache: dict[str, ModuleInfo | None] = {}
+
+    @classmethod
+    def from_paths(
+        cls,
+        paths: Sequence[Path | str],
+        include_tests: bool = False,
+    ) -> tuple["Project", list[str]]:
+        """Build a project from CLI-style paths; returns it plus the
+        seed module names (sorted, deduplicated) the paths name."""
+        from repro.devtools.engine import iter_python_files
+
+        roots: list[Path] = []
+        seeds: list[str] = []
+        for file in iter_python_files(paths, include_tests=include_tests):
+            named = module_name_for(Path(file))
+            if named is None:
+                continue
+            name, root = named
+            if root not in roots:
+                roots.append(root)
+            if name not in seeds:
+                seeds.append(name)
+        if not roots:
+            raise AnalysisError(
+                f"no python modules found under {[str(p) for p in paths]}"
+            )
+        return cls(roots), sorted(seeds)
+
+    def resolve_path(self, module: str) -> Path | None:
+        """Source file for dotted ``module`` under the roots, if any."""
+        for root in self.roots:
+            found = module_path(module, root)
+            if found is not None:
+                return found
+        return None
+
+    def is_first_party(self, module: str) -> bool:
+        """Whether ``module`` belongs to the analyzed tree."""
+        top = module.split(".", 1)[0]
+        if self.prefixes is not None and top not in self.prefixes:
+            return False
+        return self.resolve_path(top) is not None
+
+    def get(self, module: str) -> ModuleInfo | None:
+        """The parsed module, or ``None`` when no file resolves (a
+        namespace fragment, or genuinely not first-party)."""
+        if module in self._cache:
+            return self._cache[module]
+        path = self.resolve_path(module)
+        info: ModuleInfo | None = None
+        if path is not None:
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise AnalysisError(f"cannot read {path}: {exc}") from None
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                raise AnalysisError(f"cannot parse {path}: {exc}") from None
+            info = ModuleInfo(name=module, path=path, source=source, tree=tree)
+        self._cache[module] = info
+        return info

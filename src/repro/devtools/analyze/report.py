@@ -1,0 +1,379 @@
+"""The deep-analysis driver: classify, propagate, report.
+
+Pipeline (one call to :func:`analyze_paths`):
+
+1. discover modules under the given paths, build the project-wide
+   reference graph (:mod:`callgraph`);
+2. run the intrinsic passes per symbol — taint seeds (:mod:`taint`) and
+   effects (:mod:`effects`) — dropping findings waived by
+   ``# repro-lint: disable=...`` comments *before* propagation (a waiver
+   is a reviewed claim of determinism, so it must stop the taint at the
+   source, not just hide the message);
+3. propagate over reverse edges: a symbol that can reach a source is
+   ``impure`` (lattice ``impure > unknown > pure``; ``unknown`` comes
+   from unresolved references such as PEP 562 dynamic exports);
+4. for every registered experiment entry (a module with a top-level
+   ``EXPERIMENT_ID = "..."`` constant and a ``run`` symbol), reconstruct
+   the shortest call chain from ``run`` (or the module body) to each
+   reachable source;
+5. emit one :class:`~repro.devtools.diagnostics.Diagnostic` per
+   unsuppressed source site, annotated with the experiments it poisons.
+
+``repro analyze`` exits non-zero iff step 5 produced diagnostics.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.analyze.callgraph import (
+    CallGraph,
+    SymbolKey,
+    build_graph,
+    reachable_from,
+)
+from repro.devtools.analyze.effects import scan_effects
+from repro.devtools.analyze.project import Project
+from repro.devtools.analyze.symbols import (
+    MODULE_SYMBOL,
+    symbol_scan_nodes,
+)
+from repro.devtools.analyze.taint import (
+    Finding,
+    collect_aliases,
+    scan_taints,
+)
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.suppressions import scan_suppressions
+
+__all__ = [
+    "SourceFinding",
+    "TaintChain",
+    "ExperimentReport",
+    "AnalysisReport",
+    "analyze_paths",
+    "find_experiments",
+    "render_json",
+    "render_dot",
+]
+
+PURE = "pure"
+IMPURE = "impure"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class SourceFinding:
+    """One unwaived intrinsic source site, pinned to its symbol."""
+
+    symbol: SymbolKey
+    rule: str
+    path: str
+    lineno: int
+    col: int
+    message: str
+
+
+@dataclass(frozen=True)
+class TaintChain:
+    """Shortest path from an experiment entry down to one source."""
+
+    rule: str
+    source: SymbolKey
+    chain: tuple[str, ...]  # display names, entry first
+
+    def render(self) -> str:
+        return " -> ".join(self.chain)
+
+
+@dataclass
+class ExperimentReport:
+    experiment_id: str
+    module: str
+    chains: list[TaintChain] = field(default_factory=list)
+
+
+@dataclass
+class AnalysisReport:
+    graph: CallGraph
+    findings: list[SourceFinding]
+    waived: int
+    classifications: dict[SymbolKey, str]
+    #: symbol -> nearest source symbol justifying an ``impure`` verdict.
+    impure_via: dict[SymbolKey, SymbolKey]
+    experiments: list[ExperimentReport]
+    diagnostics: list[Diagnostic]
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+
+def _display_path(path: Path) -> str:
+    display = path.as_posix()
+    if path.is_absolute():
+        try:
+            display = path.relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            pass
+    return display
+
+
+def find_experiments(graph: CallGraph) -> list[tuple[str, str]]:
+    """``(experiment_id, module)`` pairs among the analyzed modules.
+
+    The static mirror of the runtime registry contract: an experiment
+    module exposes a top-level ``EXPERIMENT_ID = "<str>"`` constant and
+    a ``run`` callable."""
+    found: list[tuple[str, str]] = []
+    for module, table in sorted(graph.tables.items()):
+        if "run" not in table.symbols:
+            continue
+        for stmt in table.info.tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "EXPERIMENT_ID"
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                ):
+                    found.append((stmt.value.value, module))
+    return found
+
+
+def _collect_intrinsic(
+    graph: CallGraph,
+) -> tuple[dict[SymbolKey, list[SourceFinding]], int]:
+    """Per-symbol unwaived findings plus the waived count."""
+    intrinsic: dict[SymbolKey, list[SourceFinding]] = {}
+    waived = 0
+    for module, table in graph.tables.items():
+        info = table.info
+        display = _display_path(info.path)
+        aliases = collect_aliases(info.tree)
+        suppressions = scan_suppressions(info.source, info.tree)
+        per_symbol: dict[str, list[Finding]] = {}
+        for name, nodes in symbol_scan_nodes(table).items():
+            per_symbol[name] = scan_taints(nodes, aliases)
+        for name, node in table.nodes.items():
+            per_symbol.setdefault(name, []).extend(scan_effects(node, table))
+        for name, raw in per_symbol.items():
+            for finding in raw:
+                diag = Diagnostic(
+                    path=display,
+                    line=finding.lineno,
+                    col=finding.col,
+                    rule=finding.rule,
+                    message=finding.message,
+                )
+                if suppressions.is_suppressed(diag):
+                    waived += 1
+                    continue
+                intrinsic.setdefault((module, name), []).append(
+                    SourceFinding(
+                        symbol=(module, name),
+                        rule=finding.rule,
+                        path=display,
+                        lineno=finding.lineno,
+                        col=finding.col,
+                        message=finding.message,
+                    )
+                )
+    return intrinsic, waived
+
+
+def _propagate(
+    graph: CallGraph, seeds: set[SymbolKey]
+) -> dict[SymbolKey, SymbolKey]:
+    """Reverse-BFS: symbol -> nearest seed it can reach."""
+    reverse = graph.reverse_edges()
+    via: dict[SymbolKey, SymbolKey] = {seed: seed for seed in seeds}
+    frontier = sorted(seeds)
+    while frontier:
+        nxt: list[SymbolKey] = []
+        for key in frontier:
+            for pred in sorted(reverse.get(key, ())):
+                if pred in via:
+                    continue
+                via[pred] = via[key]
+                nxt.append(pred)
+        frontier = nxt
+    return via
+
+
+def analyze_paths(
+    paths: Sequence[str], include_tests: bool = False
+) -> AnalysisReport:
+    """Run the whole pipeline over the files/directories in ``paths``."""
+    project, seeds = Project.from_paths(paths, include_tests=include_tests)
+    graph = build_graph(project, seeds)
+
+    intrinsic, waived = _collect_intrinsic(graph)
+    findings = sorted(
+        (f for group in intrinsic.values() for f in group),
+        key=lambda f: (f.path, f.lineno, f.col, f.rule),
+    )
+
+    impure_via = _propagate(graph, set(intrinsic))
+    unknown_via = _propagate(graph, set(graph.unresolved))
+    classifications: dict[SymbolKey, str] = {}
+    for key in graph.symbols:
+        if key in impure_via:
+            classifications[key] = IMPURE
+        elif key in unknown_via:
+            classifications[key] = UNKNOWN
+        else:
+            classifications[key] = PURE
+
+    # Per-experiment chains: forward-BFS from the entry, then backtrack
+    # parents from each reachable source.
+    experiments: list[ExperimentReport] = []
+    poisoned_by: dict[SymbolKey, list[str]] = {}
+    for experiment_id, module in find_experiments(graph):
+        entries = {(module, "run"), (module, MODULE_SYMBOL)}
+        parents = reachable_from(graph, entries)
+        report = ExperimentReport(experiment_id=experiment_id, module=module)
+        for source in sorted(intrinsic):
+            if source not in parents:
+                continue
+            chain: list[SymbolKey] = [source]
+            while parents[chain[-1]] is not None:
+                nxt = parents[chain[-1]]
+                assert nxt is not None
+                chain.append(nxt)
+            chain.reverse()
+            display = tuple(graph.symbols[k].display() for k in chain)
+            for f in intrinsic[source]:
+                report.chains.append(
+                    TaintChain(rule=f.rule, source=source, chain=display)
+                )
+            poisoned_by.setdefault(source, []).append(experiment_id)
+        experiments.append(report)
+
+    diagnostics: list[Diagnostic] = []
+    for f in findings:
+        message = f.message
+        affected = poisoned_by.get(f.symbol)
+        if affected:
+            chain = next(
+                (
+                    c
+                    for exp in experiments
+                    for c in exp.chains
+                    if c.source == f.symbol and c.rule == f.rule
+                ),
+                None,
+            )
+            message += f" [poisons: {', '.join(sorted(set(affected)))}"
+            if chain is not None:
+                message += f"; chain: {chain.render()}"
+            message += "]"
+        diagnostics.append(
+            Diagnostic(
+                path=f.path,
+                line=f.lineno,
+                col=f.col,
+                rule=f.rule,
+                message=message,
+            )
+        )
+
+    return AnalysisReport(
+        graph=graph,
+        findings=findings,
+        waived=waived,
+        classifications=classifications,
+        impure_via=impure_via,
+        experiments=experiments,
+        diagnostics=sorted(diagnostics),
+    )
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Machine-readable summary (stable key order)."""
+    counts = {PURE: 0, IMPURE: 0, UNKNOWN: 0}
+    for verdict in report.classifications.values():
+        counts[verdict] += 1
+    payload = {
+        "modules": sorted(report.graph.tables),
+        "symbols": {
+            f"{m}::{n}": report.classifications[(m, n)]
+            for (m, n) in sorted(report.classifications)
+        },
+        "summary": {
+            "modules": len(report.graph.tables),
+            "symbols": len(report.graph.symbols),
+            "pure": counts[PURE],
+            "impure": counts[IMPURE],
+            "unknown": counts[UNKNOWN],
+            "findings": len(report.findings),
+            "waived": report.waived,
+        },
+        "findings": [
+            {
+                "rule": f.rule,
+                "symbol": f"{f.symbol[0]}::{f.symbol[1]}",
+                "path": f.path,
+                "line": f.lineno,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in report.findings
+        ],
+        "experiments": [
+            {
+                "experiment_id": exp.experiment_id,
+                "module": exp.module,
+                "tainted": [
+                    {
+                        "rule": c.rule,
+                        "source": f"{c.source[0]}::{c.source[1]}",
+                        "chain": list(c.chain),
+                    }
+                    for c in exp.chains
+                ],
+            }
+            for exp in report.experiments
+        ],
+        "unresolved": {
+            f"{m}::{n}": sorted(refs)
+            for (m, n), refs in sorted(report.graph.unresolved.items())
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+_DOT_COLORS = {PURE: "white", IMPURE: "lightsalmon", UNKNOWN: "lightgray"}
+
+
+def render_dot(report: AnalysisReport) -> str:
+    """Graphviz dump of the reference graph, colored by verdict."""
+    lines = [
+        "digraph repro_analyze {",
+        "  rankdir=LR;",
+        '  node [shape=box, style=filled, fontname="monospace"];',
+    ]
+    ids: dict[SymbolKey, str] = {}
+    for i, key in enumerate(sorted(report.graph.symbols)):
+        ids[key] = f"n{i}"
+        sym = report.graph.symbols[key]
+        verdict = report.classifications.get(key, UNKNOWN)
+        color = _DOT_COLORS[verdict]
+        label = sym.display().replace('"', r"\"")
+        lines.append(
+            f'  {ids[key]} [label="{label}", fillcolor={color}];'
+        )
+    for src in sorted(report.graph.edges):
+        if src not in ids:
+            continue
+        for dst in sorted(report.graph.edges[src]):
+            if dst in ids:
+                lines.append(f"  {ids[src]} -> {ids[dst]};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -60,8 +60,14 @@ def lint_source(
     source: str,
     path: str = "<string>",
     rule_ids: Iterable[str] | None = None,
+    report_stale: bool = False,
 ) -> list[Diagnostic]:
-    """Lint one module given as text; ``path`` steers path-scoped rules."""
+    """Lint one module given as text; ``path`` steers path-scoped rules.
+
+    ``report_stale`` adds a ``stale-suppression`` diagnostic for every
+    pragma naming a rule that ran here yet matched nothing (see
+    :meth:`~repro.devtools.suppressions.SuppressionIndex.iter_stale`).
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -75,18 +81,39 @@ def lint_source(
             )
         ]
     ctx = ModuleContext.build(path, source, tree)
-    suppressions = scan_suppressions(source)
+    suppressions = scan_suppressions(source, tree)
     diagnostics: list[Diagnostic] = []
-    for rule in get_rules(rule_ids):
+    rules = get_rules(rule_ids)
+    for rule in rules:
         for diag in rule.check(ctx):
             if not suppressions.is_suppressed(diag):
                 diagnostics.append(diag)
+    if report_stale:
+        known = {rule.rule_id for rule in rules}
+        for lineno, rule_id in suppressions.iter_stale(known):
+            what = (
+                "blanket 'all' suppression"
+                if rule_id == "all"
+                else f"suppression for {rule_id!r}"
+            )
+            diagnostics.append(
+                Diagnostic(
+                    path=path,
+                    line=lineno,
+                    col=1,
+                    rule="stale-suppression",
+                    message=f"{what} never matched a diagnostic — "
+                    "remove the pragma (or the rule name) so the audit "
+                    "trail only lists live waivers",
+                )
+            )
     return sorted(diagnostics)
 
 
 def lint_file(
     path: str | os.PathLike,
     rule_ids: Iterable[str] | None = None,
+    report_stale: bool = False,
 ) -> list[Diagnostic]:
     """Lint one file from disk."""
     p = Path(path)
@@ -101,17 +128,22 @@ def lint_file(
             display = p.relative_to(cwd).as_posix()
         except ValueError:
             pass
-    return lint_source(source, path=display, rule_ids=rule_ids)
+    return lint_source(
+        source, path=display, rule_ids=rule_ids, report_stale=report_stale
+    )
 
 
 def lint_paths(
     paths: Sequence[str | os.PathLike],
     include_tests: bool = False,
     rule_ids: Iterable[str] | None = None,
+    report_stale: bool = False,
 ) -> list[Diagnostic]:
     """Lint every python file under ``paths`` and return sorted diagnostics."""
     get_rules(rule_ids)  # validate rule ids up front
     diagnostics: list[Diagnostic] = []
     for path in iter_python_files(paths, include_tests=include_tests):
-        diagnostics.extend(lint_file(path, rule_ids=rule_ids))
+        diagnostics.extend(
+            lint_file(path, rule_ids=rule_ids, report_stale=report_stale)
+        )
     return sorted(diagnostics)

@@ -52,7 +52,10 @@ def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
         raise LintError(f"rule {cls.__name__} has no rule_id")
     if cls.rule_id in _REGISTRY:
         raise LintError(f"duplicate rule id {cls.rule_id!r}")
-    _REGISTRY[cls.rule_id] = cls()
+    # Import-time registration: populated once while modules load, then
+    # read-only — duplicate ids raise above, so the result is
+    # import-order-independent.
+    _REGISTRY[cls.rule_id] = cls()  # repro-lint: disable=effect-global-mutation
     return cls
 
 

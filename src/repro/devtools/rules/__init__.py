@@ -11,6 +11,7 @@ engine.
 from repro.devtools.rules.dataclass_rules import FrozenResultRule, MutableDefaultRule
 from repro.devtools.rules.export_rules import ModuleExportsRule
 from repro.devtools.rules.float_rules import FloatEqualityRule
+from repro.devtools.rules.nocatchup_rules import NocatchupMonotonicityRule
 from repro.devtools.rules.profile_rules import ProfileDisciplineRule
 from repro.devtools.rules.rng_rules import RngCoerceRule, RngFactoryRule
 from repro.devtools.rules.time_rules import WallclockDisciplineRule
@@ -21,6 +22,7 @@ __all__ = [
     "MutableDefaultRule",
     "ModuleExportsRule",
     "FloatEqualityRule",
+    "NocatchupMonotonicityRule",
     "ProfileDisciplineRule",
     "RngCoerceRule",
     "RngFactoryRule",

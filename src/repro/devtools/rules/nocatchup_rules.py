@@ -1,0 +1,129 @@
+"""No-Catch-up monotonicity rule.
+
+Lemma 2 (``analysis/nocatchup.py``) is a statement about a *monotone*
+axis: "starting earlier never finishes later" is checked by comparing
+finish positions of adjacent start positions, and that comparison is
+only evidence about the lemma when the starts are sorted.  The runtime
+side of the contract is :func:`repro.analysis.nocatchup.
+require_monotone_starts`; this rule is the static side — it flags call
+sites that hand the No-Catch-up entry points a start sequence that is
+*syntactically guaranteed* to be out of order:
+
+- a ``reversed(...)`` wrapper (the classic way to iterate starts
+  backwards for a "later start first" sweep — the finish comparison
+  then reads the lemma inverted);
+- a list/tuple literal of integer constants that is not nondecreasing.
+
+Anything not provably non-monotone (names, computed sequences,
+``sorted(...)`` results) is left to the runtime contract; the rule
+over-flags nothing it cannot read off the AST.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.context import ModuleContext
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import LintRule, register_rule
+
+__all__ = ["NocatchupMonotonicityRule"]
+
+# entry point name -> (argument keyword, positional index of the start
+# sequence).  Both No-Catch-up entry points take the starts in slot 3.
+_ENTRY_POINTS = {
+    "finish_positions": ("start_positions", 3),
+    "check_no_catchup": ("starts", 3),
+    "require_monotone_starts": ("starts", 0),
+}
+
+
+def _callee_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _starts_argument(
+    node: ast.Call, keyword: str, index: int
+) -> Optional[ast.AST]:
+    for kw in node.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if len(node.args) > index:
+        arg = node.args[index]
+        if isinstance(arg, ast.Starred):
+            return None
+        return arg
+    return None
+
+
+def _literal_inversion(node: ast.AST) -> Optional[tuple[int, int]]:
+    """The first descending adjacent pair in an all-int-constant
+    list/tuple literal, or ``None`` when the literal is nondecreasing
+    or not statically readable."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    values: list[int] = []
+    for elt in node.elts:
+        if not (
+            isinstance(elt, ast.Constant)
+            and isinstance(elt.value, int)
+            and not isinstance(elt.value, bool)
+        ):
+            return None
+        values.append(elt.value)
+    for i in range(len(values) - 1):
+        if values[i] > values[i + 1]:
+            return values[i], values[i + 1]
+    return None
+
+
+@register_rule
+class NocatchupMonotonicityRule(LintRule):
+    """No-Catch-up entry points need monotone nondecreasing starts."""
+
+    rule_id = "nocatchup-monotonicity"
+    summary = (
+        "pass sorted (monotone) start positions to No-Catch-up entry "
+        "points; finish comparisons across unsorted starts invert Lemma 2"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _callee_name(node.func)
+            if name not in _ENTRY_POINTS:
+                continue
+            keyword, index = _ENTRY_POINTS[name]
+            starts = _starts_argument(node, keyword, index)
+            if starts is None:
+                continue
+            if (
+                isinstance(starts, ast.Call)
+                and _callee_name(starts.func) == "reversed"
+            ):
+                yield self.diag(
+                    ctx,
+                    starts,
+                    f"{name}() receives reversed(...) start positions; "
+                    "Lemma 2 comparisons require a monotone nondecreasing "
+                    "start axis — drop the reversed() (or sort and keep "
+                    "finishes paired with the sorted starts)",
+                )
+                continue
+            inversion = _literal_inversion(starts)
+            if inversion is not None:
+                lo, hi = inversion
+                yield self.diag(
+                    ctx,
+                    starts,
+                    f"{name}() receives out-of-order start positions "
+                    f"({lo} precedes {hi}); Lemma 2 comparisons require "
+                    "a monotone nondecreasing start axis — sort the "
+                    "literal (see require_monotone_starts)",
+                )

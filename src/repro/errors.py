@@ -20,6 +20,7 @@ __all__ = [
     "ArtifactError",
     "CacheError",
     "LintError",
+    "AnalysisError",
 ]
 
 
@@ -68,3 +69,9 @@ class CacheError(ReproError):
 
 class LintError(ReproError):
     """Invalid ``repro lint`` invocation (unknown rule, unreadable path)."""
+
+
+class AnalysisError(ReproError):
+    """The deep (interprocedural) analysis could not run: unreadable or
+    unparsable module in the closure, no modules under the given paths,
+    or a missing entry symbol."""

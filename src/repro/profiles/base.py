@@ -12,7 +12,7 @@ augmentation.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -30,7 +30,7 @@ class MemoryProfile:
 
     __slots__ = ("_sizes",)
 
-    def __init__(self, sizes: Iterable[int]):
+    def __init__(self, sizes: Iterable[int]) -> None:
         arr = np.asarray(list(sizes) if not isinstance(sizes, np.ndarray) else sizes)
         if arr.ndim != 1:
             raise ProfileError("memory profile must be one-dimensional")
@@ -52,10 +52,10 @@ class MemoryProfile:
     def __len__(self) -> int:
         return int(self._sizes.size)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self._sizes.tolist())
 
-    def __getitem__(self, idx):
+    def __getitem__(self, idx: int | slice) -> MemoryProfile | int:
         if isinstance(idx, slice):
             return MemoryProfile(self._sizes[idx])
         return int(self._sizes[idx])

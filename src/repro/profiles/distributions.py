@@ -19,7 +19,10 @@ plugged in by discretizing into an :class:`Empirical`.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:
+    from repro.profiles.square import SquareProfile
 
 import numpy as np
 
@@ -50,7 +53,9 @@ class BoxDistribution:
 
     __slots__ = ("_sizes", "_probs", "_cum", "_name")
 
-    def __init__(self, sizes: Iterable[int], probs: Iterable[float], name: str = ""):
+    def __init__(
+        self, sizes: Iterable[int], probs: Iterable[float], name: str = ""
+    ) -> None:
         s = np.asarray(list(sizes) if not isinstance(sizes, np.ndarray) else sizes)
         p = np.asarray(list(probs) if not isinstance(probs, np.ndarray) else probs,
                        dtype=np.float64)
@@ -169,7 +174,7 @@ class BoxDistribution:
             for s in self.sample(batch, gen).tolist():
                 yield int(s)
 
-    def sample_profile(self, k: int, rng: object = None):
+    def sample_profile(self, k: int, rng: object = None) -> SquareProfile:
         """Draw a finite i.i.d. :class:`~repro.profiles.SquareProfile`."""
         from repro.profiles.square import SquareProfile
 
@@ -185,7 +190,7 @@ class PointMass(BoxDistribution):
     """All boxes have the same size ``s`` (the DAM special case: a constant
     memory of ``s`` blocks, chopped into squares)."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         super().__init__([size], [1.0], name=f"point({size})")
 
 
@@ -196,7 +201,7 @@ class UniformPowers(BoxDistribution):
     recursion is equally likely.
     """
 
-    def __init__(self, b: int, lo: int, hi: int):
+    def __init__(self, b: int, lo: int, hi: int) -> None:
         if lo < 0 or hi < lo:
             raise DistributionError(f"need 0 <= lo <= hi, got lo={lo}, hi={hi}")
         sizes = [b**k for k in range(lo, hi + 1)]
@@ -211,7 +216,7 @@ class GeometricPowers(BoxDistribution):
     ``ratio > 1`` biases toward large boxes.
     """
 
-    def __init__(self, b: int, lo: int, hi: int, ratio: float):
+    def __init__(self, b: int, lo: int, hi: int, ratio: float) -> None:
         if lo < 0 or hi < lo:
             raise DistributionError(f"need 0 <= lo <= hi, got lo={lo}, hi={hi}")
         if ratio <= 0:
@@ -231,7 +236,7 @@ class ParetoPowers(BoxDistribution):
     giant box can complete the whole problem).
     """
 
-    def __init__(self, b: int, lo: int, hi: int, alpha: float = 0.5):
+    def __init__(self, b: int, lo: int, hi: int, alpha: float = 0.5) -> None:
         if lo < 0 or hi < lo:
             raise DistributionError(f"need 0 <= lo <= hi, got lo={lo}, hi={hi}")
         if alpha <= 0:
@@ -246,7 +251,7 @@ class ParetoPowers(BoxDistribution):
 class UniformRange(BoxDistribution):
     """Uniform over every integer size in ``[lo, hi]``."""
 
-    def __init__(self, lo: int, hi: int):
+    def __init__(self, lo: int, hi: int) -> None:
         if lo < 1 or hi < lo:
             raise DistributionError(f"need 1 <= lo <= hi, got lo={lo}, hi={hi}")
         if hi - lo + 1 > _MAX_SUPPORT:
@@ -266,7 +271,7 @@ class Empirical(BoxDistribution):
     though the same boxes in adversarial order force the log gap.
     """
 
-    def __init__(self, sizes: Sequence[int] | np.ndarray, name: str = ""):
+    def __init__(self, sizes: Sequence[int] | np.ndarray, name: str = "") -> None:
         arr = np.asarray(sizes, dtype=np.int64)
         if arr.size == 0:
             raise DistributionError("empirical distribution needs >= 1 sample")
@@ -274,7 +279,7 @@ class Empirical(BoxDistribution):
         super().__init__(uniq, counts.astype(np.float64), name=name or "empirical")
 
     @staticmethod
-    def of_profile(profile, name: str = "") -> "Empirical":
+    def of_profile(profile: SquareProfile, name: str = "") -> "Empirical":
         """Empirical distribution of a :class:`SquareProfile`'s boxes."""
         return Empirical(profile.boxes, name=name or "empirical-of-profile")
 
@@ -282,7 +287,9 @@ class Empirical(BoxDistribution):
 class Mixture(BoxDistribution):
     """Finite mixture ``sum_i w_i * D_i`` of box distributions."""
 
-    def __init__(self, components: Sequence[BoxDistribution], weights: Sequence[float]):
+    def __init__(
+        self, components: Sequence[BoxDistribution], weights: Sequence[float]
+    ) -> None:
         if len(components) == 0 or len(components) != len(weights):
             raise DistributionError("need matching non-empty components and weights")
         w = np.asarray(weights, dtype=np.float64)

@@ -19,7 +19,7 @@ close the gap.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -54,7 +54,10 @@ def uniform_multipliers(t: float) -> MultiplierSampler:
     return sample
 
 
-def discrete_multipliers(values, weights=None) -> MultiplierSampler:
+def discrete_multipliers(
+    values: Sequence[float] | np.ndarray,
+    weights: Sequence[float] | np.ndarray | None = None,
+) -> MultiplierSampler:
     """Multipliers drawn from a finite set ``values`` (optionally weighted)."""
     vals = np.asarray(values, dtype=np.float64)
     if vals.ndim != 1 or vals.size == 0:

@@ -18,11 +18,14 @@ ways losslessly.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
 from repro.errors import ProfileError
+
+if TYPE_CHECKING:
+    from repro.profiles.square import SquareProfile
 
 __all__ = ["BoxRuns"]
 
@@ -38,7 +41,7 @@ class BoxRuns:
 
     __slots__ = ("_sizes", "_counts")
 
-    def __init__(self, runs: Iterable[tuple[int, int]]):
+    def __init__(self, runs: Iterable[tuple[int, int]]) -> None:
         pairs = list(runs)
         if pairs:
             arr = np.asarray(pairs)
@@ -142,7 +145,7 @@ class BoxRuns:
         """The flat box sequence as an int64 array."""
         return np.repeat(self._sizes, self._counts)
 
-    def to_profile(self):
+    def to_profile(self) -> SquareProfile:
         """Expand into a :class:`~repro.profiles.square.SquareProfile`."""
         from repro.profiles.square import SquareProfile
 

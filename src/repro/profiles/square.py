@@ -17,12 +17,15 @@ efficiency condition (Inequality 2):
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import ProfileError
 from repro.profiles.base import MemoryProfile
+
+if TYPE_CHECKING:
+    from repro.profiles.runs import BoxRuns
 
 __all__ = ["SquareProfile", "as_box_iter"]
 
@@ -38,7 +41,7 @@ class SquareProfile:
 
     __slots__ = ("_boxes",)
 
-    def __init__(self, boxes: Iterable[int]):
+    def __init__(self, boxes: Iterable[int]) -> None:
         arr = np.asarray(
             list(boxes) if not isinstance(boxes, np.ndarray) else boxes
         )
@@ -65,7 +68,7 @@ class SquareProfile:
     def __iter__(self) -> Iterator[int]:
         return iter(self._boxes.tolist())
 
-    def __getitem__(self, idx):
+    def __getitem__(self, idx: int | slice) -> SquareProfile | int:
         if isinstance(idx, slice):
             return SquareProfile(self._boxes[idx])
         return int(self._boxes[idx])
@@ -167,7 +170,7 @@ class SquareProfile:
         return {int(s): int(c) for s, c in zip(sizes, counts)}
 
     # -- conversions ------------------------------------------------------
-    def runs(self):
+    def runs(self) -> "BoxRuns":
         """Run-length view: this profile as maximal ``(size, count)`` runs.
 
         Returns a :class:`~repro.profiles.runs.BoxRuns` encoding exactly

@@ -25,11 +25,14 @@ arbitrary recursive copy (the paper's third robustness result).
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 import numpy as np
 
 from repro.cache.memo import memoized
+
+if TYPE_CHECKING:
+    from repro.algorithms.spec import RegularSpec
 from repro.errors import ProfileError
 from repro.profiles.square import SquareProfile
 from repro.util.intmath import critical_exponent, ilog, is_power_of
@@ -68,7 +71,9 @@ def _check_params(a: int, b: int, n: int, base_size: int) -> int:
     return ilog(n // base_size, b)
 
 
-def _profile_key(a: int, b: int, n: int, base_size: int = 1):
+def _profile_key(
+    a: int, b: int, n: int, base_size: int = 1
+) -> tuple[int, int, int, int]:
     return (a, b, n, base_size)
 
 
@@ -291,7 +296,7 @@ def order_perturbed_profile(
     return SquareProfile(out)
 
 
-def matched_worst_case_profile(spec, n: int) -> SquareProfile:
+def matched_worst_case_profile(spec: RegularSpec, n: int) -> SquareProfile:
     """Worst-case profile matched to a spec's *scan placement*.
 
     The canonical ``M_{a,b}(n)`` assumes trailing scans (the paper's

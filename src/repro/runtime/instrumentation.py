@@ -75,8 +75,10 @@ def record(name: str, amount: int | float = 1) -> None:
 def collect() -> Iterator[Counters]:
     """Activate a fresh :class:`Counters` for the duration of the block."""
     counters = Counters()
-    _STACK.append(counters)
+    # Scoped push/pop of the collector stack: every append is paired
+    # with the remove in the finally, so nothing leaks across blocks.
+    _STACK.append(counters)  # repro-lint: disable=effect-global-mutation
     try:
         yield counters
     finally:
-        _STACK.remove(counters)
+        _STACK.remove(counters)  # repro-lint: disable=effect-global-mutation

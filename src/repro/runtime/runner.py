@@ -113,9 +113,11 @@ def run_one(
                 )
 
     with instrumentation.collect() as counters:
-        start = time.perf_counter()
+        # Wall-time metadata: recorded on the artifact but excluded
+        # from its bit-identity digest (timing fields are masked).
+        start = time.perf_counter()  # repro-lint: disable=nondet-wallclock
         artifact = exp.runner(quick=quick, seed=seed)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro-lint: disable=nondet-wallclock
     if not isinstance(artifact, RunArtifact):
         raise ExperimentError(
             f"experiment {experiment_id!r} returned "

@@ -22,6 +22,10 @@ longitudinal trend line and a regression check.  The top-level
 weakest link, not the flattering one.
 """
 
+# repro-lint: disable-file=nondet-wallclock -- a benchmark measures wall
+# time by design; timings are reported as evidence, never cached or
+# digested.
+
 from __future__ import annotations
 
 import time

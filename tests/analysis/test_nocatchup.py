@@ -8,6 +8,7 @@ from repro.analysis.nocatchup import (
     NoCatchupReport,
     check_no_catchup,
     finish_positions,
+    require_monotone_starts,
 )
 from repro.profiles.worst_case import worst_case_profile
 
@@ -56,3 +57,35 @@ class TestCheckNoCatchup:
         report = check_no_catchup(MM_SCAN, 16, [4], samples=4, rng=1)
         assert isinstance(report, NoCatchupReport)
         assert len(report.starts) == len(report.finishes)
+
+
+class TestRequireMonotoneStarts:
+    """The runtime half of the nocatchup-monotonicity contract."""
+
+    def test_monotone_passes_and_returns_tuple(self):
+        assert require_monotone_starts([0, 3, 3, 9]) == (0, 3, 3, 9)
+
+    def test_empty_and_singleton_pass(self):
+        assert require_monotone_starts([]) == ()
+        assert require_monotone_starts([5]) == (5,)
+
+    def test_inversion_raises_with_positions(self):
+        with pytest.raises(SimulationError, match="monotone nondecreasing"):
+            require_monotone_starts([0, 9, 4])
+
+    def test_custom_label_in_message(self):
+        with pytest.raises(SimulationError, match="box indices"):
+            require_monotone_starts([2, 1], what="box indices")
+
+    def test_coerces_numpy_integers(self):
+        import numpy as np
+
+        out = require_monotone_starts(np.array([1, 2, 3]))
+        assert out == (1, 2, 3)
+        assert all(isinstance(s, int) for s in out)
+
+    def test_check_no_catchup_routes_through_contract(self):
+        # unsorted explicit starts are sorted (public API contract) and
+        # the guarded tuple is the reported tuple
+        report = check_no_catchup(MM_SCAN, 64, [16, 16], starts=[33, 0, 7])
+        assert report.starts == (0, 7, 33)

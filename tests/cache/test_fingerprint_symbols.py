@@ -1,0 +1,263 @@
+"""Per-symbol fingerprint closure (REPRO_CACHE_FINGERPRINT=symbol).
+
+The acceptance pin for call-graph-powered cache keys: a comment-only
+edit anywhere keeps every cache entry warm, while editing a single
+experiment-private helper invalidates only that experiment's entries —
+the other experiments' keys are untouched.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.cache.fingerprint import (
+    FingerprintError,
+    clear_fingerprint_caches,
+    fingerprint_mode,
+    fingerprint_module,
+    fingerprint_symbols,
+)
+from repro.cache.store import Cache, CacheKey
+from repro.runtime.artifact import RunArtifact
+
+
+def write(path, source: str) -> None:
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """Two experiments: ``exp_a`` has a private helper, both share
+    ``common``."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    write(pkg / "__init__.py", "")
+    write(
+        pkg / "exp_a.py",
+        """
+        from pkg.common import shared
+        from pkg.helper_a import only_a
+
+        EXPERIMENT_ID = "a"
+
+        def run(quick=True, seed=0):
+            return only_a(seed) + shared(seed)
+
+        def scratch(x):
+            return x - 1
+        """,
+    )
+    write(
+        pkg / "exp_b.py",
+        """
+        from pkg.common import shared
+
+        EXPERIMENT_ID = "b"
+
+        def run(quick=True, seed=0):
+            return shared(seed) * 2
+        """,
+    )
+    write(
+        pkg / "helper_a.py",
+        """
+        def only_a(x):
+            return x + 1
+        """,
+    )
+    write(
+        pkg / "common.py",
+        """
+        def shared(x):
+            return x
+        """,
+    )
+    clear_fingerprint_caches()
+    yield tmp_path
+    clear_fingerprint_caches()
+
+
+def fps(tree):
+    clear_fingerprint_caches()
+    return {
+        name: fingerprint_symbols(f"pkg.{name}", root=tree, prefix="pkg")
+        for name in ("exp_a", "exp_b")
+    }
+
+
+class TestInvalidationScope:
+    def test_comment_only_edit_keeps_every_key_warm(self, tree):
+        before = fps(tree)
+        for name in ("helper_a", "common", "exp_a", "exp_b"):
+            path = tree / "pkg" / f"{name}.py"
+            path.write_text(
+                "# a comment, reflowed\n" + path.read_text(encoding="utf-8"),
+                encoding="utf-8",
+            )
+        after = fps(tree)
+        assert after["exp_a"].digest == before["exp_a"].digest
+        assert after["exp_b"].digest == before["exp_b"].digest
+
+    def test_private_helper_edit_invalidates_only_its_experiment(self, tree):
+        before = fps(tree)
+        write(
+            tree / "pkg" / "helper_a.py",
+            """
+            def only_a(x):
+                return x + 2
+            """,
+        )
+        after = fps(tree)
+        assert after["exp_a"].digest != before["exp_a"].digest
+        assert after["exp_b"].digest == before["exp_b"].digest
+
+    def test_shared_helper_edit_invalidates_both(self, tree):
+        before = fps(tree)
+        write(
+            tree / "pkg" / "common.py",
+            """
+            def shared(x):
+                return x + 1
+            """,
+        )
+        after = fps(tree)
+        assert after["exp_a"].digest != before["exp_a"].digest
+        assert after["exp_b"].digest != before["exp_b"].digest
+
+    def test_unreachable_sibling_symbol_edit_keeps_key(self, tree):
+        """Per-symbol granularity *within* a module: ``scratch`` lives in
+        exp_a.py but run() never reaches it."""
+        before = fps(tree)
+        source = (tree / "pkg" / "exp_a.py").read_text(encoding="utf-8")
+        write(
+            tree / "pkg" / "exp_a.py",
+            source.replace("return x - 1", "return x - 2"),
+        )
+        after = fps(tree)
+        assert after["exp_a"].digest == before["exp_a"].digest
+
+    def test_entry_body_edit_invalidates(self, tree):
+        before = fps(tree)
+        source = (tree / "pkg" / "exp_a.py").read_text(encoding="utf-8")
+        write(
+            tree / "pkg" / "exp_a.py",
+            source.replace("+ shared(seed)", "+ shared(seed) + 1"),
+        )
+        after = fps(tree)
+        assert after["exp_a"].digest != before["exp_a"].digest
+
+    def test_import_time_surface_edit_invalidates(self, tree):
+        """Module-level code runs on import, so it is part of every
+        entry key of that module."""
+        before = fps(tree)
+        source = (tree / "pkg" / "common.py").read_text(encoding="utf-8")
+        write(tree / "pkg" / "common.py", source + "\nLIMIT = 7\n")
+        after = fps(tree)
+        assert after["exp_a"].digest != before["exp_a"].digest
+
+    def test_modules_reflect_reachability(self, tree):
+        result = fps(tree)
+        assert "pkg.helper_a" in result["exp_a"].modules
+        assert "pkg.helper_a" not in result["exp_b"].modules
+        assert "pkg.common" in result["exp_b"].modules
+
+    def test_symbol_closure_is_finer_than_module_closure(self, tree):
+        """The whole point: module mode invalidates exp_b on a
+        helper_a-adjacent edit path that symbol mode scopes away."""
+        clear_fingerprint_caches()
+        sym = fingerprint_symbols("pkg.exp_b", root=tree, prefix="pkg")
+        mod = fingerprint_module("pkg.exp_b", root=tree, prefix="pkg")
+        assert set(sym.modules) <= set(mod.modules)
+        assert sym.digest != mod.digest  # different key spaces
+
+
+class TestEdgesAndModes:
+    def test_missing_module_raises(self, tree):
+        with pytest.raises(FingerprintError, match="not found"):
+            fingerprint_symbols("pkg.ghost", root=tree, prefix="pkg")
+
+    def test_missing_entry_falls_back_to_whole_module(self, tree):
+        # helper_a has no `run`: the sound fallback is all its symbols
+        fp = fingerprint_symbols("pkg.helper_a", root=tree, prefix="pkg")
+        assert "pkg.helper_a" in fp.modules
+
+    def test_deterministic_across_calls(self, tree):
+        first = fps(tree)
+        second = fps(tree)
+        assert first["exp_a"].digest == second["exp_a"].digest
+        assert first["exp_b"].digest == second["exp_b"].digest
+
+    def test_mode_default_is_symbol(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_FINGERPRINT", raising=False)
+        assert fingerprint_mode() == "symbol"
+
+    def test_mode_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_FINGERPRINT", "module")
+        assert fingerprint_mode() == "module"
+        monkeypatch.setenv("REPRO_CACHE_FINGERPRINT", " SYMBOL ")
+        assert fingerprint_mode() == "symbol"
+
+    def test_mode_garbage_is_loud(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_FINGERPRINT", "per-function")
+        with pytest.raises(FingerprintError, match="REPRO_CACHE_FINGERPRINT"):
+            fingerprint_mode()
+
+
+def make_artifact(experiment_id: str) -> RunArtifact:
+    return RunArtifact(
+        experiment_id=experiment_id,
+        title="T",
+        claim="C",
+        metrics={"reproduced": True},
+        verdict="REPRODUCED",
+        seed=0,
+        quick=True,
+        wall_time_s=0.25,
+        counters={},
+        repro_version="1.0.0",
+        git_revision="abc1234",
+    )
+
+
+class TestStoreIntegration:
+    """End-to-end: cache entries stay warm/invalid exactly per scope."""
+
+    def keys(self, tree):
+        result = fps(tree)
+        return {
+            name: CacheKey(
+                experiment_id=name,
+                quick=True,
+                seed=0,
+                fingerprint=result[name].digest,
+            )
+            for name in ("exp_a", "exp_b")
+        }
+
+    def test_entries_warm_until_their_code_changes(self, tree, tmp_path):
+        store = Cache(tmp_path / "store")
+        before = self.keys(tree)
+        store.put(before["exp_a"], make_artifact("exp_a"))
+        store.put(before["exp_b"], make_artifact("exp_b"))
+
+        # comment-only sweep: both entries still hit
+        path = tree / "pkg" / "helper_a.py"
+        path.write_text(
+            "# reviewed\n" + path.read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        warm = self.keys(tree)
+        assert store.get(warm["exp_a"]) is not None
+        assert store.get(warm["exp_b"]) is not None
+
+        # semantic edit to exp_a's private helper: only exp_a misses
+        write(
+            tree / "pkg" / "helper_a.py",
+            """
+            def only_a(x):
+                return x * 3
+            """,
+        )
+        after = self.keys(tree)
+        assert store.get(after["exp_a"]) is None
+        assert store.get(after["exp_b"]) is not None

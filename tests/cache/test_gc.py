@@ -524,3 +524,107 @@ class TestConcurrency:
         )
         assert report.surviving_entries == 0
         assert list(iter_debris(store.root)) == []
+
+
+def put_dated(store, seed, created, last_access, size_bytes=None):
+    """Put one entry with independent creation and last-access stamps
+    (lifetime budgets read creation, age budgets read last access)."""
+    key = make_key(seed=seed)
+    path = store.put(key, make_artifact(seed=seed))
+    if size_bytes is None:
+        size_bytes = path.stat().st_size
+    write_access_record(
+        path,
+        AccessRecord(
+            created=created,
+            last_access=last_access,
+            hits=5,
+            size_bytes=size_bytes,
+        ),
+    )
+    return key, path
+
+
+class TestLifetimeBudget:
+    def test_often_hit_ancient_entry_expires(self, tmp_path):
+        """The budget's reason to exist: max_age_days never evicts an
+        entry that keeps hitting, max_lifetime_days does."""
+        store = Cache(tmp_path / "store")
+        ancient, _ = put_dated(
+            store, 0, created=NOW - 10 * 86400.0, last_access=NOW - 60.0
+        )
+        young, _ = put_dated(
+            store, 1, created=NOW - 86400.0, last_access=NOW - 60.0
+        )
+        # age-only budget keeps both: last access is recent
+        report = collect(
+            store, GCBudget(max_bytes=None, max_age_days=7.0), now=NOW
+        )
+        assert report.evicted_entries == 0
+        # lifetime budget evicts by creation time despite the fresh hits
+        report = collect(
+            store, GCBudget(max_bytes=None, max_lifetime_days=7.0), now=NOW
+        )
+        assert report.evicted_entries == 1
+        assert report.evictions[0].reason == "lifetime"
+        assert store.get(ancient) is None
+        assert store.get(young) is not None
+
+    def test_lifetime_step_precedes_age_step(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        both, _ = put_dated(
+            store, 0, created=NOW - 10 * 86400.0, last_access=NOW - 5 * 86400.0
+        )
+        report = collect(
+            store,
+            GCBudget(max_bytes=None, max_age_days=2.0, max_lifetime_days=7.0),
+            now=NOW,
+        )
+        assert [e.reason for e in report.evictions] == ["lifetime"]
+
+    def test_dry_run_counts_without_deleting(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key, path = put_dated(
+            store, 0, created=NOW - 10 * 86400.0, last_access=NOW
+        )
+        report = collect(
+            store,
+            GCBudget(max_bytes=None, max_lifetime_days=7.0),
+            dry_run=True,
+            now=NOW,
+        )
+        assert report.evicted_entries == 1
+        assert path.exists()
+        assert store.get(key) is not None
+
+    def test_env_var_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_LIFETIME_DAYS", "14")
+        assert GCBudget.from_env().max_lifetime_days == 14.0
+        monkeypatch.setenv("REPRO_CACHE_MAX_LIFETIME_DAYS", "0")
+        assert GCBudget.from_env().max_lifetime_days is None
+        monkeypatch.delenv("REPRO_CACHE_MAX_LIFETIME_DAYS")
+        assert GCBudget.from_env().max_lifetime_days is None
+
+    def test_env_garbage_is_loud(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_LIFETIME_DAYS", "fortnight")
+        with pytest.raises(CacheError):
+            GCBudget.from_env()
+
+    def test_cli_flag_overrides(self, tmp_path, capsys):
+        from datetime import datetime, timezone
+
+        from repro.cli import main
+
+        store = Cache(tmp_path / "store")
+        real_now = datetime.now(timezone.utc).timestamp()
+        put_dated(
+            store,
+            0,
+            created=real_now - 30 * 86400.0,
+            last_access=real_now - 60.0,
+        )
+        argv = ["cache", "gc", "--cache-dir", str(store.root)]
+        assert main(argv + ["--max-lifetime-days", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "(lifetime)" in out
+        assert "evicted 1/1" in out

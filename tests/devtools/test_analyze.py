@@ -1,0 +1,324 @@
+"""Deep-analysis fixtures: one seeded-nondeterminism fixture per taint
+source proving detection (with the full call chain to the experiment
+entry), one clean fixture per source proving no false positive, plus
+effect inference, suppression interplay, and the CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.devtools.analyze import (
+    EFFECT_RULES,
+    TAINT_RULES,
+    analyze_paths,
+    render_dot,
+    render_json,
+)
+
+
+def write(path, source: str) -> None:
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def make_tree(tmp_path, helper_source: str):
+    """A synthetic experiment package whose ``run`` reaches the helper
+    under test through one intermediate call."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    write(pkg / "__init__.py", "")
+    write(
+        pkg / "exp_probe.py",
+        """
+        from pkg.middle import middle
+
+        EXPERIMENT_ID = "probe"
+
+        def run(quick=True, seed=0):
+            return middle(seed)
+        """,
+    )
+    write(
+        pkg / "middle.py",
+        """
+        from pkg.helpers import leaf
+
+        def middle(x):
+            return leaf(x)
+        """,
+    )
+    write(pkg / "helpers.py", helper_source)
+    return pkg
+
+
+def analyze(pkg):
+    return analyze_paths([str(pkg)])
+
+
+FULL_CHAIN = (
+    "pkg.exp_probe.run",
+    "pkg.middle.middle",
+    "pkg.helpers.leaf",
+)
+
+#: (rule, tainted helper, sanctioned near-miss helper)
+TAINT_FIXTURES = [
+    (
+        "nondet-wallclock",
+        """
+        import time
+
+        def leaf(x):
+            return time.perf_counter() + x
+        """,
+        """
+        import datetime
+
+        def leaf(x):
+            return datetime.timedelta(seconds=x).total_seconds()
+        """,
+    ),
+    (
+        "nondet-env",
+        """
+        import os
+
+        def leaf(x):
+            return len(os.environ.get("HOME", "")) + x
+        """,
+        """
+        import os
+
+        def leaf(x):
+            return len(os.path.basename("a/b")) + x
+        """,
+    ),
+    (
+        "nondet-rng",
+        """
+        import numpy as np
+
+        def leaf(x):
+            return np.random.rand() + x
+        """,
+        """
+        import numpy as np
+
+        def leaf(x):
+            rng = np.random.default_rng(x)
+            return int(rng.integers(0, 10))
+        """,
+    ),
+    (
+        "nondet-set-order",
+        """
+        def leaf(x):
+            return list({x, x + 1, x + 2})
+        """,
+        """
+        def leaf(x):
+            return sorted({x, x + 1, x + 2})
+        """,
+    ),
+    (
+        "nondet-id",
+        """
+        def leaf(x):
+            return id(x) % 7
+        """,
+        """
+        def leaf(x):
+            return hash(x) % 7
+        """,
+    ),
+    (
+        "nondet-fs-order",
+        """
+        import os
+
+        def leaf(x):
+            return os.listdir(".")[:x]
+        """,
+        """
+        import os
+
+        def leaf(x):
+            return sorted(os.listdir("."))[:x]
+        """,
+    ),
+]
+
+
+class TestTaintFixtures:
+    @pytest.mark.parametrize(
+        "rule,bad,clean", TAINT_FIXTURES, ids=[f[0] for f in TAINT_FIXTURES]
+    )
+    def test_bad_fixture_detected_with_full_chain(
+        self, tmp_path, rule, bad, clean
+    ):
+        report = analyze(make_tree(tmp_path, bad))
+        assert not report.ok
+        assert [f.rule for f in report.findings] == [rule]
+        assert report.findings[0].symbol == ("pkg.helpers", "leaf")
+        (exp,) = report.experiments
+        assert exp.experiment_id == "probe"
+        chains = [c for c in exp.chains if c.rule == rule]
+        assert chains, "taint did not propagate to the experiment"
+        assert chains[0].chain == FULL_CHAIN
+        # the chain is rendered into the diagnostic for humans
+        (diag,) = report.diagnostics
+        assert "poisons: probe" in diag.message
+        assert " -> ".join(FULL_CHAIN) in diag.message
+
+    @pytest.mark.parametrize(
+        "rule,bad,clean", TAINT_FIXTURES, ids=[f[0] for f in TAINT_FIXTURES]
+    )
+    def test_clean_fixture_has_no_findings(self, tmp_path, rule, bad, clean):
+        report = analyze(make_tree(tmp_path, clean))
+        assert report.ok, [f.message for f in report.findings]
+        assert report.findings == []
+        (exp,) = report.experiments
+        assert exp.chains == []
+
+    def test_impurity_classification_covers_the_chain(self, tmp_path):
+        report = analyze(make_tree(tmp_path, TAINT_FIXTURES[0][1]))
+        for module, name in [
+            ("pkg.helpers", "leaf"),
+            ("pkg.middle", "middle"),
+            ("pkg.exp_probe", "run"),
+        ]:
+            assert report.classifications[(module, name)] == "impure"
+
+
+class TestEffectFixtures:
+    def test_global_mutation_detected(self, tmp_path):
+        report = analyze(
+            make_tree(
+                tmp_path,
+                """
+                _MEMO = {}
+
+                def leaf(x):
+                    _MEMO[x] = x
+                    return _MEMO[x]
+                """,
+            )
+        )
+        assert [f.rule for f in report.findings] == ["effect-global-mutation"]
+        (exp,) = report.experiments
+        assert any(c.rule == "effect-global-mutation" for c in exp.chains)
+
+    def test_local_mutation_is_clean(self, tmp_path):
+        report = analyze(
+            make_tree(
+                tmp_path,
+                """
+                def leaf(x):
+                    memo = {}
+                    memo[x] = x
+                    return memo[x]
+                """,
+            )
+        )
+        assert report.findings == []
+
+    def test_mutable_default_detected(self, tmp_path):
+        report = analyze(
+            make_tree(
+                tmp_path,
+                """
+                def leaf(x, acc=[]):
+                    acc.append(x)
+                    return len(acc)
+                """,
+            )
+        )
+        assert "effect-mutable-default" in {f.rule for f in report.findings}
+
+
+class TestSuppressionInterplay:
+    def test_waiver_stops_taint_at_the_source(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            """
+            import time
+
+            def leaf(x):
+                # Timing metadata only; never reaches returned values.
+                return time.perf_counter() + x  # repro-lint: disable=nondet-wallclock
+            """,
+        )
+        report = analyze(pkg)
+        assert report.ok
+        assert report.waived == 1
+        (exp,) = report.experiments
+        assert exp.chains == []
+
+    def test_rule_tables_are_exported(self):
+        assert "nondet-wallclock" in TAINT_RULES
+        assert "effect-global-mutation" in EFFECT_RULES
+
+
+class TestRenderers:
+    def test_render_json_shape(self, tmp_path):
+        report = analyze(make_tree(tmp_path, TAINT_FIXTURES[0][1]))
+        payload = json.loads(render_json(report))
+        assert payload["summary"]["findings"] == 1
+        assert payload["symbols"]["pkg.helpers::leaf"] == "impure"
+        (exp,) = payload["experiments"]
+        assert exp["experiment_id"] == "probe"
+        assert exp["tainted"][0]["chain"] == list(FULL_CHAIN)
+
+    def test_render_dot_marks_impure_nodes(self, tmp_path):
+        report = analyze(make_tree(tmp_path, TAINT_FIXTURES[0][1]))
+        dot = render_dot(report)
+        assert dot.startswith("digraph")
+        assert "lightsalmon" in dot  # the impure chain is colored
+
+
+class TestCliSurface:
+    def test_analyze_bad_tree_exits_one(self, tmp_path, capsys):
+        pkg = make_tree(tmp_path, TAINT_FIXTURES[0][1])
+        assert main(["analyze", str(pkg)]) == 1
+        captured = capsys.readouterr()
+        assert "nondet-wallclock" in captured.out
+        assert "poisons: probe" in captured.out
+
+    def test_analyze_clean_tree_exits_zero(self, tmp_path):
+        pkg = make_tree(tmp_path, TAINT_FIXTURES[0][2])
+        assert main(["analyze", str(pkg)]) == 0
+
+    def test_analyze_json_flag(self, tmp_path, capsys):
+        pkg = make_tree(tmp_path, TAINT_FIXTURES[0][1])
+        assert main(["analyze", str(pkg), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["impure"] >= 3
+
+    def test_analyze_graph_flag_writes_dot(self, tmp_path):
+        pkg = make_tree(tmp_path, TAINT_FIXTURES[0][2])
+        dot_path = tmp_path / "graph.dot"
+        assert main(["analyze", str(pkg), "--graph", str(dot_path)]) == 0
+        assert dot_path.read_text(encoding="utf-8").startswith("digraph")
+
+    def test_lint_deep_merges_analysis_findings(self, tmp_path, capsys):
+        pkg = make_tree(tmp_path, TAINT_FIXTURES[0][1])
+        assert main(["lint", str(pkg)]) == 0  # shallow lint is blind to it
+        assert main(["lint", "--deep", str(pkg)]) == 1
+        assert "nondet-wallclock" in capsys.readouterr().out
+
+
+class TestSelfAnalysis:
+    """The acceptance gate: the repository's own tree analyzes clean."""
+
+    def test_src_is_clean(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2] / "src"
+        report = analyze_paths([str(root)])
+        assert report.ok, "\n".join(d.format() for d in report.diagnostics)
+        # the waiver count is the audit trail; pin that it stays honest
+        assert report.waived > 0

@@ -1,0 +1,71 @@
+"""The ``nocatchup-monotonicity`` lint rule: No-Catch-up entry points
+must receive monotone nondecreasing start positions."""
+
+from __future__ import annotations
+
+from repro.devtools import lint_source
+
+
+def lint(source: str):
+    return lint_source(
+        source, path="benchmarks/x.py", rule_ids=["nocatchup-monotonicity"]
+    )
+
+
+class TestFlagged:
+    def test_reversed_starts(self):
+        diags = lint(
+            "finish_positions(spec, n, boxes, reversed(starts))\n"
+        )
+        assert [d.rule for d in diags] == ["nocatchup-monotonicity"]
+        assert "reversed" in diags[0].message
+
+    def test_descending_literal(self):
+        diags = lint("check_no_catchup(spec, n, boxes, [30, 20, 10])\n")
+        assert [d.rule for d in diags] == ["nocatchup-monotonicity"]
+        assert "30" in diags[0].message and "20" in diags[0].message
+
+    def test_keyword_argument_form(self):
+        diags = lint(
+            "finish_positions(spec, n, boxes, start_positions=(5, 1))\n"
+        )
+        assert len(diags) == 1
+
+    def test_starts_keyword_on_check(self):
+        diags = lint(
+            "check_no_catchup(spec, n, boxes, starts=reversed(starts))\n"
+        )
+        assert len(diags) == 1
+
+    def test_contract_helper_itself_is_checked(self):
+        diags = lint("require_monotone_starts([3, 1])\n")
+        assert len(diags) == 1
+
+    def test_method_call_form(self):
+        diags = lint("nc.finish_positions(spec, n, boxes, [9, 2])\n")
+        assert len(diags) == 1
+
+
+class TestClean:
+    def test_sorted_call_passes(self):
+        assert lint(
+            "finish_positions(spec, n, boxes, sorted(starts))\n"
+        ) == []
+
+    def test_nondecreasing_literal_passes(self):
+        assert lint(
+            "check_no_catchup(spec, n, boxes, [0, 10, 10, 30])\n"
+        ) == []
+
+    def test_opaque_name_passes(self):
+        # not statically readable: the runtime contract owns this case
+        assert lint("finish_positions(spec, n, boxes, starts)\n") == []
+
+    def test_non_constant_literal_passes(self):
+        assert lint("finish_positions(spec, n, boxes, [a, b])\n") == []
+
+    def test_missing_argument_passes(self):
+        assert lint("check_no_catchup(spec, n, boxes)\n") == []
+
+    def test_unrelated_call_passes(self):
+        assert lint("other_function(spec, n, boxes, [9, 2])\n") == []

@@ -50,18 +50,28 @@ class _Frame:
     """One recursion level: node size, its event list, the index of the
     current event, and progress within the current event when it is a
     scan piece.  Events live on the frame (not keyed by size) so that
-    randomized algorithms can lay out each node's scan independently."""
+    randomized algorithms can lay out each node's scan independently.
+    ``node`` is the node's preorder index in the recursion tree — the
+    address randomized placements draw their pieces at."""
 
-    __slots__ = ("size", "events", "event_idx", "scan_done")
+    __slots__ = ("size", "events", "event_idx", "scan_done", "node")
 
-    def __init__(self, size: int, events: list, event_idx: int = 0, scan_done: int = 0):
+    def __init__(
+        self,
+        size: int,
+        events: list,
+        event_idx: int = 0,
+        scan_done: int = 0,
+        node: int = 0,
+    ):
         self.size = size
         self.events = events
         self.event_idx = event_idx
         self.scan_done = scan_done
+        self.node = node
 
     def clone(self) -> "_Frame":
-        return _Frame(self.size, self.events, self.event_idx, self.scan_done)
+        return _Frame(self.size, self.events, self.event_idx, self.scan_done, self.node)
 
 
 # Event encodings: ("child", child_index) | ("scan", length) | ("leaf",)
@@ -79,26 +89,63 @@ class ExecutionCursor:
     :mod:`repro.simulation.symbolic` for the driver.
     """
 
-    def __init__(self, spec: RegularSpec, n: int, scan_randomizer=None):
-        """``scan_randomizer``, when given, is a callable ``(size) ->
-        pieces`` returning ``a + 1`` non-negative ints summing to
-        ``spec.scan_length(size)``; it is consulted once per node as the
-        execution first enters it, which models *randomized* algorithms
-        that decide at runtime where to run each node's scan (the paper's
-        concluding open question).  Without it, the spec's static
-        placement applies."""
+    def __init__(
+        self,
+        spec: RegularSpec,
+        n: int,
+        scan_randomizer=None,
+        warm_from: "Optional[ExecutionCursor]" = None,
+    ):
+        """``scan_randomizer``, when given, is either
+
+        * an *addressable* placement (``addressable = True`` attribute,
+          called as ``(size, node_index) -> pieces``): each node's pieces
+          are a pure function of its preorder index, so replays, resets
+          and chunked closed forms all see the same layout; or
+        * a legacy positional callable ``(size) -> pieces``, consulted
+          once per node as the execution first enters it (draws depend on
+          visit order; scalar path only).
+
+        Either returns ``a + 1`` non-negative ints summing to
+        ``spec.scan_length(size)``, modelling *randomized* algorithms
+        that decide at runtime where to run each node's scan (the
+        paper's concluding open question).  Without it, the spec's
+        static placement applies.
+
+        ``warm_from`` shares the closed-form lookup tables of an
+        existing cursor for the same ``(spec, n, scan_randomizer)`` —
+        resets and repeated Monte-Carlo trials skip the table warm-up.
+        """
         spec.validate_problem_size(n)
         self.spec = spec
         self.n = n
         self._randomizer = scan_randomizer
-        self._events_cache: dict[int, list[tuple]] = {}
-        # Closed-form (feed_*_run) lookup tables; see _outermost_depth,
-        # _child_run_end and _subtree_totals.
-        self._depth_cache: dict[int, Optional[int]] = {}
-        self._child_run_cache: dict[int, list[int]] = {}
-        self._subtree_cache: dict[int, tuple[int, int]] = {}
-        self._suffix_cache: dict[int, tuple[list[int], list[int]]] = {}
-        self._stack: list[_Frame] = [self._make_frame(n)]
+        self._addressable = bool(getattr(scan_randomizer, "addressable", False))
+        if warm_from is not None:
+            if (
+                warm_from.spec != spec
+                or warm_from.n != n
+                or warm_from._randomizer is not scan_randomizer
+            ):
+                raise SimulationError(
+                    "warm_from cursor must share spec, n, and scan_randomizer"
+                )
+            self._events_cache = warm_from._events_cache
+            self._depth_cache = warm_from._depth_cache
+            self._child_run_cache = warm_from._child_run_cache
+            self._subtree_cache = warm_from._subtree_cache
+            self._suffix_cache = warm_from._suffix_cache
+            self._node_count_cache = warm_from._node_count_cache
+        else:
+            self._events_cache: dict[int, list[tuple]] = {}
+            # Closed-form (feed_*_run) lookup tables; see _outermost_depth,
+            # _child_run_end and _subtree_totals.
+            self._depth_cache: dict[int, Optional[int]] = {}
+            self._child_run_cache: dict[int, list[int]] = {}
+            self._subtree_cache: dict[int, tuple[int, int]] = {}
+            self._suffix_cache: dict[int, tuple[list[int], list[int]]] = {}
+            self._node_count_cache: dict[int, int] = {}
+        self._stack: list[_Frame] = [self._make_frame(n, 0)]
         self._normalize()
 
     # -- structural helpers -------------------------------------------------
@@ -112,13 +159,17 @@ class ExecutionCursor:
             ev.append((_SCAN, pieces[self.spec.a]))
         return ev
 
-    def _events_for(self, size: int) -> list[tuple]:
-        """Event list for a fresh node of ``size`` (cached per size for
-        static placements, freshly drawn for randomized ones)."""
+    def _events_for(self, size: int, node: int) -> list[tuple]:
+        """Event list for a fresh node (cached per size for static
+        placements, drawn by node index for addressable placements,
+        freshly drawn in visit order for legacy positional ones)."""
         if size <= self.spec.base_size:
             return _LEAF_EVENTS
         if self._randomizer is not None:
-            pieces = self._randomizer(size)
+            if self._addressable:
+                pieces = self._randomizer(size, node)
+            else:
+                pieces = self._randomizer(size)
             total = self.spec.scan_length(size)
             if len(pieces) != self.spec.a + 1 or sum(pieces) != total or any(
                 p < 0 for p in pieces
@@ -135,8 +186,24 @@ class ExecutionCursor:
             self._events_cache[size] = ev
         return ev
 
-    def _make_frame(self, size: int) -> _Frame:
-        return _Frame(size, self._events_for(size))
+    def _make_frame(self, size: int, node: int) -> _Frame:
+        return _Frame(size, self._events_for(size, node), node=node)
+
+    def _node_count(self, size: int) -> int:
+        """Number of nodes in a size-``size`` subtree — the preorder
+        stride between consecutive siblings."""
+        cnt = self._node_count_cache.get(size)
+        if cnt is None:
+            if size <= self.spec.base_size:
+                cnt = 1
+            else:
+                cnt = 1 + self.spec.a * self._node_count(size // self.spec.b)
+            self._node_count_cache[size] = cnt
+        return cnt
+
+    def _child_node(self, fr: _Frame, child_index: int, child_size: int) -> int:
+        """Preorder index of child ``child_index`` of the frame's node."""
+        return fr.node + 1 + child_index * self._node_count(child_size)
 
     def _normalize(self) -> None:
         """Advance past finished events and descend into pending children
@@ -155,7 +222,10 @@ class ExecutionCursor:
             ev = events[fr.event_idx]
             kind = ev[0]
             if kind == _CHILD:
-                stack.append(self._make_frame(self.spec.child_size(fr.size)))
+                child = self.spec.child_size(fr.size)
+                stack.append(
+                    self._make_frame(child, self._child_node(fr, ev[1], child))
+                )
                 continue
             if kind == _SCAN and fr.scan_done >= ev[1]:
                 fr.event_idx += 1
@@ -223,11 +293,13 @@ class ExecutionCursor:
         dup.spec = self.spec
         dup.n = self.n
         dup._randomizer = self._randomizer
+        dup._addressable = self._addressable
         dup._events_cache = self._events_cache
         dup._depth_cache = self._depth_cache
         dup._child_run_cache = self._child_run_cache
         dup._subtree_cache = self._subtree_cache
         dup._suffix_cache = self._suffix_cache
+        dup._node_count_cache = self._node_count_cache
         dup._stack = [fr.clone() for fr in self._stack]
         return dup
 
@@ -249,7 +321,7 @@ class ExecutionCursor:
         if access_index == total:
             self._stack = []
             return
-        self._stack = [self._make_frame(self.n)]
+        self._stack = [self._make_frame(self.n, 0)]
         remaining = access_index
         while True:
             fr = self._stack[-1]
@@ -267,7 +339,9 @@ class ExecutionCursor:
                         remaining -= cost
                         fr.event_idx += 1
                         continue
-                    self._stack.append(self._make_frame(child))
+                    self._stack.append(
+                        self._make_frame(child, self._child_node(fr, ev[1], child))
+                    )
                     advanced = True
                     break
                 if ev[0] == _SCAN:
@@ -455,7 +529,15 @@ class ExecutionCursor:
     def _child_run_end(self, frame: _Frame) -> int:
         """First event index at or after the frame's current event that is
         not a ``child`` event (cached per node size — event lists are
-        shared per size for static placements)."""
+        shared per size for static placements; addressable placements lay
+        each node out independently, so theirs is scanned per frame)."""
+        if self._addressable:
+            events = frame.events
+            end = len(events)
+            j = frame.event_idx
+            while j < end and events[j][0] == _CHILD:
+                j += 1
+            return j
         tbl = self._child_run_cache.get(frame.size)
         if tbl is None:
             events = frame.events
@@ -514,7 +596,11 @@ class ExecutionCursor:
 
     def _complete_through_cached(self, frame_idx: int) -> tuple[int, int]:
         """:meth:`complete_through` computed with the suffix tables —
-        O(depth) instead of O(depth * events), same result and state."""
+        O(depth) instead of O(depth * events), same result and state.
+        Addressable placements have per-node event lists, so the per-size
+        suffix tables do not apply; the direct walk is used instead."""
+        if self._addressable:
+            return self.complete_through(frame_idx)
         stack = self._stack
         leaves = 0
         scans = 0
@@ -559,14 +645,16 @@ class ExecutionCursor:
         a maximal closed-form prefix: call again with the remaining
         count while the cursor is not done.
 
-        Requires a static scan placement: skipping whole sibling
-        subtrees must not change how many times a randomizer is
-        consulted, so randomized placements stay on the scalar path.
+        Requires a static or *addressable* scan placement.  Batches skip
+        whole sibling subtrees without entering them; a legacy positional
+        randomizer is consulted once per first-entered node, so skipping
+        would desynchronize its stream — an addressable placement draws
+        by node index, so unvisited nodes consume nothing either way.
         """
-        if self._randomizer is not None:
+        if self._randomizer is not None and not self._addressable:
             raise SimulationError(
-                "feed_simplified_run requires a static scan placement; "
-                "randomized placements must step box by box"
+                "feed_simplified_run requires a static or addressable scan "
+                "placement; positional randomizers must step box by box"
             )
         if not self._stack:
             raise SimulationError("execution already complete")
@@ -668,10 +756,10 @@ class ExecutionCursor:
         falls back to a single :meth:`feed_greedy` step otherwise.
         Equivalent to ``consumed`` sequential :meth:`feed_greedy` calls.
         """
-        if self._randomizer is not None:
+        if self._randomizer is not None and not self._addressable:
             raise SimulationError(
-                "feed_greedy_run requires a static scan placement; "
-                "randomized placements must step box by box"
+                "feed_greedy_run requires a static or addressable scan "
+                "placement; positional randomizers must step box by box"
             )
         if not self._stack:
             raise SimulationError("execution already complete")
@@ -698,6 +786,129 @@ class ExecutionCursor:
             return count, 0, 0
         out = self.feed_greedy(s)
         return 1, out.leaves, out.scan_accesses
+
+    def feed_recursive_run(
+        self, s: int, count: int, completion_divisor: int = 1
+    ) -> tuple[int, int, int]:
+        """Consume up to ``count`` identical boxes in closed form under the
+        budgeted-continuation model; returns ``(consumed, leaves,
+        scan_accesses)``.  Equivalent to ``consumed`` sequential
+        :meth:`feed_recursive` calls (asserted differentially in
+        ``tests/simulation/test_replay.py``).
+
+        Three regimes batch; everything else falls back to single scalar
+        steps, so arbitrary box/spec combinations stay exact:
+
+        * a run streaming a scan of a node too large to complete —
+          every fully-absorbed box is one division (the boundary box,
+          which spills its leftover budget past the scan, goes scalar);
+        * boxes whose budget is consumed *exactly* by ``j`` fresh sibling
+          subtrees (``s == j * cost``, ``cost = min(m, subtree
+          accesses)``) — one multiply per batch.  The canonical
+          worst-case profile hits this with ``j = 1`` at every level,
+          which is what makes the recursive model chunkable on the
+          paper's central input;
+        * boxes too small to make any progress — the whole run is
+          consumed at once.
+
+        Requires a static or addressable scan placement, exactly as
+        :meth:`feed_simplified_run` (sibling batches skip subtrees
+        without entering them).
+        """
+        if self._randomizer is not None and not self._addressable:
+            raise SimulationError(
+                "feed_recursive_run requires a static or addressable scan "
+                "placement; positional randomizers must step box by box"
+            )
+        if not self._stack:
+            raise SimulationError("execution already complete")
+        if s < 1:
+            raise SimulationError(f"box size must be >= 1, got {s}")
+        if count < 1:
+            raise SimulationError(f"count must be >= 1, got {count}")
+        if completion_divisor < 1:
+            raise SimulationError(
+                f"completion_divisor must be >= 1, got {completion_divisor}"
+            )
+        base = self.spec.base_size
+        s_eff = s // completion_divisor
+        stack = self._stack
+        leaves = 0
+        scans = 0
+        consumed = 0
+        while True:
+            fr = stack[-1]
+            ev = fr.events[fr.event_idx]
+            if ev[0] == _SCAN and fr.size > s_eff:
+                # scan streaming: boxes with s <= (scan left) are fully
+                # absorbed (budget exhausted inside the piece)
+                rem = ev[1] - fr.scan_done
+                whole = rem // s
+                if whole >= 1:
+                    q = whole if count - consumed >= whole else count - consumed
+                    step = q * s
+                    fr.scan_done += step
+                    if fr.scan_done >= ev[1]:
+                        fr.event_idx += 1
+                        fr.scan_done = 0
+                        self._normalize()
+                    consumed += q
+                    scans += step
+                else:
+                    # boundary box: spills leftover budget past the scan
+                    out = self.feed_recursive(s, completion_divisor)
+                    consumed += 1
+                    leaves += out.leaves
+                    scans += out.scan_accesses
+            else:
+                idx = self._outermost_depth(s_eff)
+                if idx is None:
+                    if ev[0] == _LEAF and s < base:
+                        # no scan, no completable ancestor, cannot afford
+                        # a leaf: the cursor does not move
+                        return count, leaves, scans
+                    out = self.feed_recursive(s, completion_divisor)
+                    consumed += 1
+                    leaves += out.leaves
+                    scans += out.scan_accesses
+                else:
+                    batched = 0
+                    fresh = all(
+                        f.event_idx == 0 and f.scan_done == 0
+                        for f in stack[idx:]
+                    )
+                    if fresh and idx > 0:
+                        sz = stack[idx].size
+                        sub_leaves, sub_scans = self._subtree_totals(sz)
+                        cost = min(sz, sub_leaves * base + sub_scans)
+                        if cost <= s and s % cost == 0:
+                            # each box completes exactly j consecutive
+                            # fresh siblings, budget exhausted with no
+                            # leftover to spill deeper
+                            j = s // cost
+                            parent = stack[idx - 1]
+                            avail = self._child_run_end(parent) - parent.event_idx
+                            q = min(count - consumed, avail // j)
+                            if q >= 1:
+                                total = q * j
+                                leaves += total * sub_leaves
+                                scans += total * sub_scans
+                                del stack[idx:]
+                                parent.event_idx += total
+                                parent.scan_done = 0
+                                self._normalize()
+                                consumed += q
+                                batched = 1
+                    if not batched:
+                        # partially progressed, root-level, or inexact
+                        # budget: one scalar budgeted step
+                        out = self.feed_recursive(s, completion_divisor)
+                        consumed += 1
+                        leaves += out.leaves
+                        scans += out.scan_accesses
+            if consumed >= count or not stack:
+                break
+        return consumed, leaves, scans
 
     def feed_recursive(self, s: int, completion_divisor: int = 1) -> BoxOutcome:
         """Apply one box of size ``s`` under the budgeted-continuation model.

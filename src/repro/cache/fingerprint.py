@@ -299,9 +299,15 @@ def fingerprint_symbols(
     changes nothing; editing a helper only changes keys whose entry can
     reach it.
 
-    Falls back to every symbol of ``module`` as the entry set when
-    ``entry`` is not a top-level symbol there (a dynamically-built
-    runner): over-approximating keeps the key sound.
+    ``entry`` need not be a plain top-level ``def``: a runner built by
+    indirection — ``run = functools.partial(_impl, ...)``, a decorator
+    assignment ``run = wrap(_impl)``, or a re-export ``from .impl
+    import run`` — resolves through the analyzer's binding table to the
+    code that actually defines it (module-level assignments digest
+    through the module body, whose references reach the wrapped
+    callable).  Only when the name is genuinely dynamic (``__getattr__``,
+    ``setattr``) does the entry set fall back to every symbol of
+    ``module``: over-approximating keeps the key sound.
 
     Same caveat as :func:`fingerprint_module`: the memo is not
     stat-validated — call :func:`clear_fingerprint_caches` after editing
@@ -339,12 +345,19 @@ def fingerprint_symbols(
         _GRAPH_BUILDERS[builder_key] = (builder, digests)  # repro-lint: disable=effect-global-mutation
     try:
         graph = builder.build([module])
+        # Follow partial/decorator/re-export indirection: a module-level
+        # ``run = ...`` assignment resolves to the module body, a
+        # re-exported name to its defining symbol.  Resolution may load
+        # new modules; flush their edges before walking reachability.
+        resolved = builder.resolve_symbol(module, entry)
+        if resolved is not None:
+            graph = builder.build([])
     except AnalysisError as exc:
         raise FingerprintError(str(exc)) from None
 
     entries = {(module, MODULE_SYMBOL)}
-    if (module, entry) in graph.symbols:
-        entries.add((module, entry))
+    if resolved is not None:
+        entries.add(resolved)
     else:
         entries.update(
             key for key in graph.symbols if key[0] == module

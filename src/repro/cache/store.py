@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.errors import ArtifactError, CacheError
 from repro.runtime.artifact import SCHEMA_VERSION, RunArtifact
+from repro.util.rng import RNG_SCHEME
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.gc import GCBudget, GCReport
@@ -78,13 +79,19 @@ def environment_tag() -> str:
 
 @dataclass(frozen=True)
 class CacheKey:
-    """Complete identity of one experiment run for caching purposes."""
+    """Complete identity of one experiment run for caching purposes.
+
+    ``rng_scheme`` names the random-number addressing scheme the run's
+    draws came from (:data:`repro.util.rng.RNG_SCHEME`); entries written
+    before the field existed load as ``"positional-v1"``, so they can
+    never satisfy a key built by a counter-addressed build."""
 
     experiment_id: str
     quick: bool
     seed: int
     fingerprint: str
     schema_version: int = SCHEMA_VERSION
+    rng_scheme: str = RNG_SCHEME
     environment: str = field(default_factory=environment_tag)
 
     def to_dict(self) -> dict[str, Any]:
@@ -94,6 +101,7 @@ class CacheKey:
             "seed": self.seed,
             "fingerprint": self.fingerprint,
             "schema_version": self.schema_version,
+            "rng_scheme": self.rng_scheme,
             "environment": self.environment,
         }
 
@@ -106,6 +114,7 @@ class CacheKey:
                 seed=payload["seed"],
                 fingerprint=payload["fingerprint"],
                 schema_version=payload["schema_version"],
+                rng_scheme=payload.get("rng_scheme", "positional-v1"),
                 environment=payload["environment"],
             )
         except (KeyError, TypeError) as exc:
@@ -175,12 +184,17 @@ def cache_key_for(
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
+    # A runner may be wrapped in functools.partial (no __name__ of its
+    # own); the underlying function carries the real identity.
+    import functools
+
+    runner = exp.runner
+    while isinstance(runner, functools.partial):
+        runner = runner.func
     if fingerprint_mode() == "symbol":
-        fp = fingerprint_symbols(
-            exp.runner.__module__, entry=exp.runner.__name__
-        )
+        fp = fingerprint_symbols(runner.__module__, entry=runner.__name__)
     else:
-        fp = fingerprint_module(exp.runner.__module__)
+        fp = fingerprint_module(runner.__module__)
     return CacheKey(
         experiment_id=experiment_id, quick=quick, seed=seed, fingerprint=fp.digest
     )

@@ -18,7 +18,7 @@ from repro.devtools.context import ModuleContext
 from repro.devtools.diagnostics import Diagnostic
 from repro.devtools.registry import LintRule, register_rule
 
-__all__ = ["RngFactoryRule", "RngCoerceRule"]
+__all__ = ["RngFactoryRule", "RngCoerceRule", "RngDisciplineRule"]
 
 # numpy.random attributes that are types/utilities, not entropy sources;
 # referencing them (annotations, isinstance) is fine anywhere.
@@ -191,3 +191,129 @@ class RngCoerceRule(LintRule):
                         f"first (gen = as_generator({func.value.id})) so int seeds, "
                         "SeedSequences, and Generators are all accepted",
                     )
+
+
+# Generator methods that consume stream *position*: each call's value
+# depends on every draw before it, which is exactly what addressed
+# streams exist to avoid.  Inspection-only attributes are not listed.
+_POSITIONAL_DRAWS = {
+    "random",
+    "integers",
+    "uniform",
+    "choice",
+    "shuffle",
+    "permutation",
+    "normal",
+    "standard_normal",
+    "exponential",
+    "bytes",
+}
+
+_ADDRESSED_HINT = (
+    "draw by logical index instead (ReplayableStream.uniforms_at/"
+    "integers_at/generator_at, or BoxDistribution.sample_at) so chunked "
+    "and scalar consumers see identical values; a deliberate legacy "
+    "branch can carry '# repro-lint: disable=rng-discipline'"
+)
+
+
+def _annotation_mentions_stream(annotation: ast.AST | None) -> bool:
+    if annotation is None:
+        return False
+    try:
+        text = ast.unparse(annotation)
+    except Exception:  # pragma: no cover - malformed annotation
+        return False
+    return "ReplayableStream" in text
+
+
+def _stream_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound to a ReplayableStream inside ``fn``: parameters named
+    or annotated as streams, plus locals assigned from a stream
+    constructor or substream derivation."""
+    names: set[str] = set()
+    args = fn.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        ann = arg.annotation
+        if arg.arg == "stream" or (
+            ann is not None
+            and _annotation_mentions_stream(ann)
+            and "Generator" not in (ast.unparse(ann) if ann else "")
+        ):
+            names.add(arg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            chain = _dotted_chain(node.value.func)
+            if chain is None:
+                continue
+            if chain[-1] in ("ReplayableStream", "substream", "for_trial"):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return names
+
+
+def _stream_in_scope(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True when ``fn`` handles a ReplayableStream at all — including
+    union-annotated parameters that might be one."""
+    args = fn.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg == "stream" or _annotation_mentions_stream(arg.annotation):
+            return True
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            chain = _dotted_chain(node.value.func)
+            if chain is not None and chain[-1] in (
+                "ReplayableStream",
+                "substream",
+                "for_trial",
+            ):
+                return True
+    return False
+
+
+@register_rule
+class RngDisciplineRule(LintRule):
+    """In the replay-critical layers, a function that has an addressed
+    stream in scope must not also draw *positionally* from a Generator:
+    mixing the two desynchronizes the chunked and scalar paths the
+    stream was introduced to keep bit-identical."""
+
+    rule_id = "rng-discipline"
+    summary = (
+        "no positional Generator draws where a ReplayableStream is in scope "
+        "(repro.simulation / repro.profiles)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        parts = set(ctx.posix_path.parts)
+        if "repro" not in parts or not ({"simulation", "profiles"} & parts):
+            return
+        seen: set[tuple[int, int]] = set()
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _stream_in_scope(fn):
+                continue
+            streams = _stream_names(fn)
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    not isinstance(func, ast.Attribute)
+                    or func.attr not in _POSITIONAL_DRAWS
+                    or not isinstance(func.value, ast.Name)
+                    or func.value.id in streams
+                ):
+                    continue
+                key = (node.lineno, node.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"positional draw {func.value.id}.{func.attr}(...) in a "
+                    f"function with a ReplayableStream in scope; {_ADDRESSED_HINT}",
+                )

@@ -22,6 +22,7 @@ from typing import Any, Sequence
 
 from repro.runtime.artifact import ResultTable, RunArtifact
 from repro.runtime.provenance import git_revision, repro_version
+from repro.util.rng import RNG_SCHEME
 
 __all__ = ["ResultTable", "ExperimentResult", "RunArtifact"]
 
@@ -77,6 +78,7 @@ class ExperimentResult:  # repro-lint: disable=frozen-dataclass
             notes=self.notes,
             seed=seed,
             quick=quick,
+            rng_scheme=RNG_SCHEME,
             repro_version=repro_version(),
             git_revision=git_revision(),
         )

@@ -27,7 +27,7 @@ if TYPE_CHECKING:
 import numpy as np
 
 from repro.errors import DistributionError
-from repro.util.rng import as_generator
+from repro.util.rng import ReplayableStream, as_generator
 
 __all__ = [
     "BoxDistribution",
@@ -173,6 +173,32 @@ class BoxDistribution:
         while True:
             for s in self.sample(batch, gen).tolist():
                 yield int(s)
+
+    def sample_at(self, lo: int, hi: int, stream: ReplayableStream) -> np.ndarray:
+        """Box sizes at draw indices ``[lo, hi)`` of an addressed stream.
+
+        Box ``i`` is a pure function of ``(stream, i)``: the inverse-CDF
+        transform of ``stream.uniforms_at(i, i+1)``.  Any batching of an
+        index range is bit-identical to per-index draws, which is what
+        lets the chunked simulator and the scalar cursor consume the
+        same boxes regardless of how they window the stream.
+        """
+        u = stream.uniforms_at(lo, hi)
+        idx = np.searchsorted(self._cum, u, side="right")
+        idx = np.minimum(idx, self._sizes.size - 1)
+        return self._sizes[idx]
+
+    def sampler_at(
+        self, stream: ReplayableStream, start: int = 0, batch: int = 4096
+    ) -> Iterator[int]:
+        """Infinite iterator over the addressed box stream, box ``start``
+        first.  Equivalent to ``sample_at(i, i+1, stream)`` per box (the
+        internal batching cannot change any value)."""
+        pos = start
+        while True:
+            for s in self.sample_at(pos, pos + batch, stream).tolist():
+                yield int(s)
+            pos += batch
 
     def sample_profile(self, k: int, rng: object = None) -> SquareProfile:
         """Draw a finite i.i.d. :class:`~repro.profiles.SquareProfile`."""

@@ -12,8 +12,12 @@ re-verified without re-executing anything.
 ``SCHEMA_VERSION`` is bumped whenever the serialized layout changes;
 ``from_dict`` refuses versions it does not understand rather than
 guessing.  Version 2 added the cache bookkeeping fields (``cache_hit``,
-``saved_wall_time_s``) stamped by the :mod:`repro.cache` layer; version-1
-payloads still load (the fields default to ``None``).  The rendered text
+``saved_wall_time_s``) stamped by the :mod:`repro.cache` layer; version 3
+added ``rng_scheme``, the identifier of the random-number addressing
+scheme the run's draws came from (see :mod:`repro.util.rng` — the
+counter-based refactor changed every randomized trial, and the scheme
+field makes that change explicit and diffable).  Older payloads still
+load (missing fields default to ``None``).  The rendered text
 (:meth:`RunArtifact.render`) is the canonical human-readable report and
 is kept byte-compatible with the historical ``ExperimentResult``
 rendering — cache bookkeeping never reaches it.
@@ -32,7 +36,7 @@ from repro.util.tables import format_kv, format_table
 
 __all__ = ["SCHEMA_VERSION", "ResultTable", "RunArtifact"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def _jsonify(value: Any, where: str) -> Any:
@@ -128,6 +132,7 @@ class RunArtifact:
     counters: dict[str, int | float] = field(default_factory=dict)
     cache_hit: bool | None = None
     saved_wall_time_s: float | None = None
+    rng_scheme: str | None = None
     repro_version: str = ""
     git_revision: str | None = None
     schema_version: int = SCHEMA_VERSION
@@ -193,6 +198,7 @@ class RunArtifact:
             "counters": _jsonify(self.counters, "counters"),
             "cache_hit": self.cache_hit,
             "saved_wall_time_s": self.saved_wall_time_s,
+            "rng_scheme": self.rng_scheme,
             "repro_version": self.repro_version,
             "git_revision": self.git_revision,
         }
@@ -225,6 +231,7 @@ class RunArtifact:
                 counters=dict(payload.get("counters", {})),
                 cache_hit=payload.get("cache_hit"),
                 saved_wall_time_s=payload.get("saved_wall_time_s"),
+                rng_scheme=payload.get("rng_scheme"),
                 repro_version=payload.get("repro_version", ""),
                 git_revision=payload.get("git_revision"),
                 schema_version=version,

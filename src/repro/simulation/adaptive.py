@@ -44,7 +44,9 @@ class _OpenNode:
 
     __slots__ = ("size", "unstarted", "unfinished", "scan_left", "parent")
 
-    def __init__(self, size: int, spec: RegularSpec, parent: "Optional[_OpenNode]"):
+    def __init__(
+        self, size: int, spec: RegularSpec, parent: "Optional[_OpenNode]"
+    ) -> None:
         self.size = size
         self.unstarted = spec.a
         self.unfinished = spec.a
@@ -141,13 +143,15 @@ class AdaptiveExecutor:
         return node
 
     # -- scheduling -----------------------------------------------------------
-    def _pick_subtree(self, max_size: int):
-        """Find (parent, size) of the largest unstarted subtree with size
-        <= max_size, or None."""
+    def _pick_subtree(
+        self, max_size: int
+    ) -> tuple[int, Optional[_OpenNode]] | None:
+        """Find (size, parent) of the largest unstarted subtree with size
+        <= max_size, or None.  A ``None`` parent means the root subtree."""
         best: tuple[int, Optional[_OpenNode]] | None = None
         if self._root_pending and self.n <= max_size:
-            best = (self.n, "root")
-        child_best = None
+            best = (self.n, None)
+        child_best: tuple[int, _OpenNode] | None = None
         for node in self._open:
             if node.unstarted > 0:
                 size = self._child_size(node)
@@ -197,7 +201,7 @@ class AdaptiveExecutor:
                 size, parent = pick
                 budget -= self._subtree_cost(size)
                 self.record_subtree(size)
-                if parent == "root":
+                if parent is None:
                     self._root_pending = False
                     self._root_done = True
                 else:

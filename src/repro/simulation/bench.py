@@ -1,7 +1,7 @@
 """Scalar-vs-chunked simulator benchmark: the ``BENCH_sim.json`` producer.
 
 ``repro bench --suite sim`` measures what the chunked fast path
-(:mod:`repro.simulation.fastpath`) buys on the two workload shapes that
+(:mod:`repro.simulation.fastpath`) buys on the workload shapes that
 dominate the registry, and proves the speedup legitimate by asserting
 bit-identical results in the same breath:
 
@@ -9,10 +9,18 @@ bit-identical results in the same breath:
   simulated to completion, scalar loop vs run-length stream.  This is
   the fig1/gap/mmcount shape: Θ(a^D) identical boxes the fast path
   consumes in Θ(D·a) run operations.
+* **adversarial-recursive** — the same profile under the ``recursive``
+  (budgeted-continuation) model, chunkable since the replayable-RNG
+  refactor taught the cursor ``feed_recursive_run``.
+* **randomized-placement** — the adversarial profile against an
+  addressable random-slot scan placement
+  (:func:`~repro.algorithms.randomized.random_slot_placement` with a
+  seed): placements are drawn by node index, so the chunked engine can
+  skip whole sibling subtrees without desynchronizing the randomness.
 * **mc-iid** — :func:`~repro.simulation.montecarlo.estimate_expected_cost`
   over i.i.d. uniform boxes, per-box sampler loop vs batched
-  :func:`~repro.simulation.fastpath.run_sampled`.  Same generator, same
-  draws, identical estimates.
+  :func:`~repro.simulation.fastpath.run_sampled`.  Trial draws are
+  counter-addressed, so the estimates are identical by construction.
 
 The payload mirrors ``BENCH_cache.json`` (schema-versioned, environment
 tagged) and feeds the same history machinery
@@ -33,7 +41,7 @@ from typing import Any
 
 __all__ = ["SIM_BENCH_SCHEMA_VERSION", "SIM_BENCHMARK_NAME", "run_sim_bench"]
 
-SIM_BENCH_SCHEMA_VERSION = 1
+SIM_BENCH_SCHEMA_VERSION = 2
 SIM_BENCHMARK_NAME = "sim-scalar-vs-chunked"
 
 
@@ -54,6 +62,69 @@ def _bench_adversarial(quick: bool, spec, n: int) -> dict[str, Any]:
         "name": "adversarial-worst-case",
         "spec": repr(spec),
         "n": n,
+        "boxes": scalar.boxes_used,
+        "scalar_wall_time_s": scalar_wall,
+        "chunked_wall_time_s": chunked_wall,
+        "speedup": (scalar_wall / chunked_wall) if chunked_wall > 0 else None,
+        "bit_identical": scalar == chunked,
+    }
+
+
+def _bench_recursive(quick: bool, spec, n: int) -> dict[str, Any]:
+    """Worst-case run under the recursive (budgeted) model."""
+    from repro.profiles import worst_case_profile
+    from repro.simulation.symbolic import SymbolicSimulator
+
+    profile = worst_case_profile(spec.a, spec.b, n)
+    runs = profile.runs()
+    start = time.perf_counter()
+    scalar = SymbolicSimulator(spec, n, model="recursive").run(
+        profile, fastpath=False
+    )
+    scalar_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    chunked = SymbolicSimulator(spec, n, model="recursive").run(runs)
+    chunked_wall = time.perf_counter() - start
+    return {
+        "name": "adversarial-recursive",
+        "spec": repr(spec),
+        "n": n,
+        "boxes": scalar.boxes_used,
+        "scalar_wall_time_s": scalar_wall,
+        "chunked_wall_time_s": chunked_wall,
+        "speedup": (scalar_wall / chunked_wall) if chunked_wall > 0 else None,
+        "bit_identical": scalar == chunked,
+    }
+
+
+def _bench_randomized(quick: bool, spec, n: int, seed: int) -> dict[str, Any]:
+    """Worst-case profile against an addressable random-slot placement.
+
+    Each side builds its own placement from the same seed: addressable
+    draws are a pure function of ``(seed, node index)``, so the two
+    randomized executions — and hence the two records — must coincide.
+    """
+    from repro.algorithms.randomized import random_slot_placement
+    from repro.profiles import worst_case_profile
+    from repro.simulation.symbolic import SymbolicSimulator
+
+    profile = worst_case_profile(spec.a, spec.b, n)
+    runs = profile.runs()
+    start = time.perf_counter()
+    scalar = SymbolicSimulator(
+        spec, n, scan_randomizer=random_slot_placement(spec, seed)
+    ).run(profile, fastpath=False)
+    scalar_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    chunked = SymbolicSimulator(
+        spec, n, scan_randomizer=random_slot_placement(spec, seed)
+    ).run(runs)
+    chunked_wall = time.perf_counter() - start
+    return {
+        "name": "randomized-placement",
+        "spec": repr(spec),
+        "n": n,
+        "placement_seed": seed,
         "boxes": scalar.boxes_used,
         "scalar_wall_time_s": scalar_wall,
         "chunked_wall_time_s": chunked_wall,
@@ -96,11 +167,10 @@ def run_sim_bench(quick: bool = True, seed: int = 0) -> dict[str, Any]:
 
     ``quick`` picks CI-sized problems (a few seconds of scalar time);
     ``--full`` is the acceptance configuration the speedup claims in
-    ``docs/PERF.md`` are quoted from.  ``seed`` is recorded for
-    provenance; both workloads are internally seeded (the worst-case
-    profile is deterministic, the MC workload derives its trial streams
-    from a fixed root seed) so the *results* — and the bit-identity
-    verdicts — do not depend on it.
+    ``docs/PERF.md`` are quoted from.  ``seed`` keys the
+    randomized-placement workload (both sides build the same addressable
+    placement from it) and is otherwise recorded for provenance; the
+    bit-identity verdicts never depend on it.
     """
     from repro.algorithms.spec import RegularSpec
     from repro.cache.store import environment_tag
@@ -108,8 +178,10 @@ def run_sim_bench(quick: bool = True, seed: int = 0) -> dict[str, Any]:
 
     spec = RegularSpec(8, 4, 1.0)
     adversarial = _bench_adversarial(quick, spec, 4**5 if quick else 4**7)
+    recursive = _bench_recursive(quick, spec, 4**5 if quick else 4**7)
+    randomized = _bench_randomized(quick, spec, 4**5 if quick else 4**6, seed)
     mc = _bench_mc(quick, spec, 4**6 if quick else 4**7, 40)
-    workloads = [adversarial, mc]
+    workloads = [adversarial, recursive, randomized, mc]
     speedups = [
         w["speedup"] for w in workloads if isinstance(w["speedup"], float)
     ]

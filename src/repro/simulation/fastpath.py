@@ -24,17 +24,22 @@ The fast path is *bit-identical* to the scalar loop — same
 ``np.add.accumulate`` (a strict left fold, same float rounding as the
 scalar ``+=``; ``np.sum``'s pairwise reduction would differ in the last
 ulps).  Equivalence is enforced differentially across specs, models, κ,
-and sources in ``tests/simulation/test_fastpath.py``.
+and sources in ``tests/simulation/test_fastpath.py`` and — for the
+randomized/recursive coverage — ``tests/simulation/test_replay.py``.
 
 Exactness requires box semantics that depend only on the current cursor
-state, so eligibility (:func:`is_chunkable`) is: the ``simplified`` or
-``greedy`` model (the ``recursive`` model's budget can complete many
-subproblems per box and has no per-run closed form), a static scan
-placement (closed forms skip whole sibling subtrees without entering
-them, which must not change how often a randomizer is consulted), and an
-indexable box source (generators may be stateful and must be pulled one
-box at a time).  Everything else falls back to the scalar path; see
-``docs/PERF.md`` for the selection rules and measured speedups.
+state plus randomness that is *addressable* rather than positional, so
+eligibility (:func:`is_chunkable`) is: any of the three models (the
+``recursive`` model batches via
+:meth:`~repro.algorithms.cursor.ExecutionCursor.feed_recursive_run`,
+whose exact-fit sibling regime covers the canonical worst-case profile),
+a static or addressable scan placement (closed forms skip whole sibling
+subtrees without entering them — a legacy positional randomizer would
+desynchronize, while an addressable placement draws by node index and
+cannot), and an indexable box source (generators may be stateful and
+must be pulled one box at a time).  Everything else falls back to the
+scalar path; see ``docs/PERF.md`` for the selection rules and measured
+speedups.
 """
 
 from __future__ import annotations
@@ -48,7 +53,8 @@ from repro.profiles.distributions import BoxDistribution
 from repro.profiles.runs import BoxRuns
 from repro.profiles.square import SquareProfile
 from repro.runtime.instrumentation import record as _record
-from repro.simulation.symbolic import RunRecord, SymbolicSimulator
+from repro.simulation.symbolic import MODELS, RunRecord, SymbolicSimulator
+from repro.util.rng import ReplayableStream
 
 __all__ = [
     "CHUNK",
@@ -58,11 +64,18 @@ __all__ = [
     "run_sampled",
 ]
 
-# Window for vectorized scan streaming; run_sampled draws in the same
-# batches as BoxDistribution.sampler so the RNG stream is identical.
+# Window for vectorized scan streaming; with a positional Generator,
+# run_sampled draws in the same batches as BoxDistribution.sampler so
+# the RNG stream is identical (an addressed ReplayableStream makes the
+# batch size irrelevant by construction).
 CHUNK = 4096
 
-_FAST_MODELS = ("simplified", "greedy")
+_FAST_MODELS = MODELS
+
+
+def _static_or_addressable(sim: SymbolicSimulator) -> bool:
+    r = sim.scan_randomizer
+    return r is None or bool(getattr(r, "addressable", False))
 
 
 def is_chunkable(sim: SymbolicSimulator, boxes: object = None) -> bool:
@@ -71,7 +84,7 @@ def is_chunkable(sim: SymbolicSimulator, boxes: object = None) -> bool:
     With ``boxes=None`` only the simulator is checked (the source is the
     caller's problem, e.g. :func:`run_sampled` draws its own arrays).
     """
-    if sim.model not in _FAST_MODELS or sim.scan_randomizer is not None:
+    if sim.model not in _FAST_MODELS or not _static_or_addressable(sim):
         return False
     if boxes is None or isinstance(boxes, (SquareProfile, BoxRuns)):
         return True
@@ -110,6 +123,7 @@ class _ChunkEngine:
     __slots__ = (
         "sim",
         "greedy",
+        "recursive",
         "kappa",
         "max_boxes",
         "need_potential",
@@ -130,6 +144,7 @@ class _ChunkEngine:
     ):
         self.sim = sim
         self.greedy = sim.model == "greedy"
+        self.recursive = sim.model == "recursive"
         self.kappa = sim.completion_divisor
         self.max_boxes = max_boxes
         self.need_potential = need_potential
@@ -157,6 +172,15 @@ class _ChunkEngine:
         if self.greedy:
             while consumed < count and not cursor.is_done:
                 got, lv, sc = cursor.feed_greedy_run(s, count - consumed)
+                consumed += got
+                self.leaves += lv
+                self.scans += sc
+        elif self.recursive:
+            kappa = self.kappa
+            while consumed < count and not cursor.is_done:
+                got, lv, sc = cursor.feed_recursive_run(
+                    s, count - consumed, kappa
+                )
                 consumed += got
                 self.leaves += lv
                 self.scans += sc
@@ -213,6 +237,25 @@ class _ChunkEngine:
                         self.time_used += total
                         i += k
                         continue
+                elif self.recursive:
+                    # recursive: same streaming condition as simplified
+                    # (the box cannot complete the scanning node), but a
+                    # box is only fully absorbed when its whole budget
+                    # fits the piece; the boundary box spills its
+                    # leftover deeper and goes through the scalar step
+                    limit = cursor.current_node_size() * kappa
+                    big = np.flatnonzero(window >= limit)
+                    stop = int(big[0]) if big.size else int(window.size)
+                    if stop:
+                        csum = np.cumsum(window[:stop])
+                        k = int(np.searchsorted(csum, rem, side="right"))
+                        if k:
+                            total = int(csum[k - 1])
+                            self.scans += cursor.advance_scan(total)
+                            self.boxes_used += k
+                            self.time_used += total
+                            i += k
+                            continue
                 else:
                     # simplified: a box streams this scan iff it cannot
                     # complete the scanning node: s // kappa < F, i.e.
@@ -243,6 +286,8 @@ class _ChunkEngine:
             s = int(arr[i])
             if greedy:
                 _, lv, sc = cursor.feed_greedy_run(s, 1)
+            elif self.recursive:
+                _, lv, sc = cursor.feed_recursive_run(s, 1, kappa)
             else:
                 _, lv, sc = cursor.feed_simplified_run(s, 1, kappa)
             self.leaves += lv
@@ -339,9 +384,9 @@ def run_chunked(
     """
     if not is_chunkable(sim, boxes):
         raise SimulationError(
-            "chunked fast path requires the simplified or greedy model, "
-            "a static scan placement, and an indexable box source "
-            "(SquareProfile, BoxRuns, or 1-d integer ndarray); got "
+            "chunked fast path requires a static or addressable scan "
+            "placement and an indexable box source (SquareProfile, "
+            "BoxRuns, or 1-d integer ndarray); got "
             f"model={sim.model!r}, source={type(boxes).__name__}"
         )
     eng = _ChunkEngine(sim, max_boxes=max_boxes)
@@ -361,29 +406,42 @@ def run_chunked(
 def run_sampled(
     sim: SymbolicSimulator,
     dist: BoxDistribution,
-    gen: np.random.Generator,
+    rng: "np.random.Generator | ReplayableStream",
     max_boxes: Optional[int] = None,
     chunk: int = CHUNK,
 ) -> RunRecord:
-    """Batched equivalent of ``sim.run(dist.sampler(gen))``.
+    """Batched equivalent of running ``sim`` on i.i.d. boxes from ``dist``.
 
-    Draws ``chunk``-sized sample arrays — the same batches, in the same
-    order, as :meth:`BoxDistribution.sampler` draws internally — so the
-    RNG stream and every consumed box are bit-identical to the scalar
-    path; the unread tail of the final batch is discarded exactly as an
+    With an addressed :class:`~repro.util.rng.ReplayableStream`, box
+    ``i`` of the trial is ``dist.sample_at(i, i+1, rng)`` — a pure
+    function of the stream and the index — so this is bit-identical to
+    ``sim.run(dist.sampler_at(rng))`` whatever batch sizes either side
+    uses.  With a positional ``Generator`` (legacy), it draws
+    ``chunk``-sized sample arrays — the same batches, in the same order,
+    as :meth:`BoxDistribution.sampler` draws internally — so the RNG
+    stream and every consumed box are bit-identical to the scalar path;
+    the unread tail of the final batch is discarded exactly as an
     abandoned sampler generator would discard it.
     """
     if not is_chunkable(sim):
         raise SimulationError(
-            "sampled fast path requires the simplified or greedy model "
-            f"and a static scan placement; got model={sim.model!r}"
+            "sampled fast path requires a static or addressable scan "
+            f"placement; got model={sim.model!r}"
         )
     eng = _ChunkEngine(sim, max_boxes=max_boxes)
     cursor = sim.cursor
+    if isinstance(rng, ReplayableStream):
+        pos = 0
+        while not cursor.is_done:
+            if max_boxes is not None and eng.boxes_used >= max_boxes:
+                break
+            eng.feed_array(dist.sample_at(pos, pos + chunk, rng))
+            pos += chunk
+        return eng.finish()
     while not cursor.is_done:
         if max_boxes is not None and eng.boxes_used >= max_boxes:
             break
-        eng.feed_array(dist.sample(chunk, gen))
+        eng.feed_array(dist.sample(chunk, rng))
     return eng.finish()
 
 
@@ -406,8 +464,7 @@ def run_repeated_chunked(
     sim = SymbolicSimulator(spec, n, model=model)
     if not is_chunkable(sim, boxes):
         raise SimulationError(
-            "chunked repeated runs require the simplified or greedy "
-            "model and an indexable box source; got "
+            "chunked repeated runs require an indexable box source; got "
             f"model={model!r}, source={type(boxes).__name__}"
         )
     completions = 0
@@ -426,11 +483,16 @@ def run_repeated_chunked(
             else boxes.runs().iter_runs()
         )
         greedy = model == "greedy"
+        recursive = model == "recursive"
         for s, count in runs:
             remaining = count
             while remaining:
                 if greedy:
                     got, lv, _ = sim.cursor.feed_greedy_run(s, remaining)
+                elif recursive:
+                    got, lv, _ = sim.cursor.feed_recursive_run(
+                        s, remaining, sim.completion_divisor
+                    )
                 else:
                     got, lv, _ = sim.cursor.feed_simplified_run(
                         s, remaining, sim.completion_divisor

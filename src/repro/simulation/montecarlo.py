@@ -7,9 +7,14 @@ the experiments against the exact recurrence solver
 (:mod:`repro.analysis.recurrence`).
 
 Trials are embarrassingly parallel: :func:`estimate_expected_cost` accepts
-``n_jobs`` to fan independent trials out over a process pool (seeds are
-spawned per trial, so results are bit-identical regardless of worker
-count or scheduling).
+``n_jobs`` to fan independent trials out over a process pool.  Trial ``t``
+draws its boxes from the addressed plane ``(root_seed, "mc", t)`` of a
+:class:`~repro.util.rng.ReplayableStream` — a pure function of the seed
+and the trial index — so estimates are bit-identical at *any* worker
+count, including ``n_jobs=1`` (pinned in
+``tests/simulation/test_replay.py``).  Simulators are memoized per
+process and reset between trials, which amortizes the cursor's
+closed-form table warm-up across all trials of one spec.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from repro.profiles.distributions import BoxDistribution
 from repro.runtime.instrumentation import record as _record
 from repro.simulation.fastpath import is_chunkable, run_sampled
 from repro.simulation.symbolic import SymbolicSimulator
-from repro.util.rng import as_generator, fixed_seeds, spawn
+from repro.util.rng import ReplayableStream, as_generator, spawn
 
 __all__ = ["MCEstimate", "estimate", "sample_boxes_to_complete", "estimate_expected_cost"]
 
@@ -90,6 +95,27 @@ def estimate(
     )
 
 
+# One simulator per (spec, n, model), reset between trials: resets share
+# the cursor's closed-form lookup tables, so only the first trial in a
+# process pays the warm-up.  Bounded — estimation sweeps touch a handful
+# of combinations per process.
+_SIM_MEMO: "dict[tuple[RegularSpec, int, str], SymbolicSimulator]" = {}
+_SIM_MEMO_MAX = 32
+
+
+def _sim_for(spec: RegularSpec, n: int, model: str) -> SymbolicSimulator:
+    key = (spec, n, model)
+    sim = _SIM_MEMO.get(key)
+    if sim is None:
+        if len(_SIM_MEMO) >= _SIM_MEMO_MAX:
+            _SIM_MEMO.clear()  # repro-lint: disable=effect-global-mutation
+        sim = SymbolicSimulator(spec, n, model=model)
+        _SIM_MEMO[key] = sim  # repro-lint: disable=effect-global-mutation
+    else:
+        sim.reset()
+    return sim
+
+
 def _trial_record(
     spec: RegularSpec,
     n: int,
@@ -100,15 +126,25 @@ def _trial_record(
 ):
     """One completed run on i.i.d. boxes from ``dist``.
 
-    Routes through :func:`repro.simulation.fastpath.run_sampled` when it
-    is bit-identical to the scalar sampler loop (it draws the same
-    sample batches from the same generator, so the consumed boxes — and
-    therefore the record — are unchanged); ``fastpath=False`` forces the
-    scalar loop, ``True`` requires the batched one.
+    With a :class:`ReplayableStream`, box ``i`` of the trial is addressed
+    at index ``i`` of the stream's plane — the scalar sampler and the
+    chunked :func:`repro.simulation.fastpath.run_sampled` consume
+    *provably* identical boxes, whatever their batching.  With a
+    positional generator (legacy), the fast path draws the same sample
+    batches in the same order as the scalar sampler, which is equivalent
+    only because the batching matches exactly.  ``fastpath=False``
+    forces the scalar loop, ``True`` requires the batched one.
     """
-    sim = SymbolicSimulator(spec, n, model=model)
+    sim = _sim_for(spec, n, model)
     if fastpath is None:
         fastpath = is_chunkable(sim)
+    if isinstance(rng, ReplayableStream):
+        if fastpath:
+            rec = run_sampled(sim, dist, rng)
+            if not rec.completed:
+                raise SimulationError("sampled run did not complete")
+            return rec
+        return sim.run_to_completion(dist.sampler_at(rng))
     if fastpath:
         rec = run_sampled(sim, dist, as_generator(rng))
         if not rec.completed:
@@ -157,8 +193,13 @@ def estimate_expected_cost(
     ``E[sum_{i<=S_n} min(n, |box_i|)**e] / n**e`` —
     the quantity that must stay ``O(1)`` for adaptivity in expectation.
 
-    ``n_jobs > 1`` runs trials in a process pool; requires an int (or
-    None) ``rng`` so per-trial seeds can be derived deterministically.
+    Trial ``t`` draws box ``i`` at index ``i`` of the addressed plane
+    ``(root_seed, "mc", t)`` — a pure function of the seed, the trial,
+    and the box index — so the estimates are **bit-identical at any
+    ``n_jobs``**, serial included (``rng`` as an int seed, a
+    :class:`~repro.util.rng.ReplayableStream`, or None, which means
+    seed 0).  Passing a raw ``numpy`` Generator keeps the legacy
+    positional consumption (serial only).
 
     Trials consume sampled boxes through the chunked fast path whenever
     it is bit-identical to the per-box sampler loop (see
@@ -171,18 +212,34 @@ def estimate_expected_cost(
         raise SimulationError(f"n_jobs must be >= 1, got {n_jobs}")
     boxes = np.empty(trials, dtype=np.float64)
     ratios = np.empty(trials, dtype=np.float64)
-    if n_jobs > 1:
-        if rng is not None and not isinstance(rng, (int, np.integer)):
-            raise SimulationError(
-                "parallel estimation needs an int seed (or None) for rng"
-            )
-        seeds = fixed_seeds(0 if rng is None else int(rng), trials)
-        work = [(spec, n, dist, model, s, fastpath) for s in seeds]
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            for i, (b, r) in enumerate(pool.map(_one_cost_trial, work, chunksize=8)):
-                boxes[i] = b
-                ratios[i] = r
+    if isinstance(rng, ReplayableStream):
+        root = rng
+    elif rng is None or isinstance(rng, (int, np.integer)):
+        root = ReplayableStream(0 if rng is None else int(rng), "mc")
     else:
+        root = None  # legacy positional generator
+    if root is not None:
+        streams = [root.for_trial(t) for t in range(trials)]
+        if n_jobs > 1:
+            work = [(spec, n, dist, model, ts, fastpath) for ts in streams]
+            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                for i, (b, r) in enumerate(
+                    pool.map(_one_cost_trial, work, chunksize=8)
+                ):
+                    boxes[i] = b
+                    ratios[i] = r
+        else:
+            for i, ts in enumerate(streams):
+                rec = _trial_record(spec, n, dist, model, ts, fastpath)
+                boxes[i] = rec.boxes_used
+                ratios[i] = rec.adaptivity_ratio
+    else:
+        if n_jobs > 1:
+            raise SimulationError(
+                "parallel estimation needs an int seed, a ReplayableStream, "
+                "or None for rng (positional generators cannot be "
+                "partitioned deterministically)"
+            )
         gens = spawn(rng, trials)
         for i, gen in enumerate(gens):
             rec = _trial_record(spec, n, dist, model, gen, fastpath)

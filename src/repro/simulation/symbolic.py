@@ -127,10 +127,20 @@ class SymbolicSimulator:
         self._exponent = spec.exponent
 
     def reset(self) -> None:
-        """Rewind to the start of the execution (randomized algorithms
-        re-draw their scan placements)."""
+        """Rewind to the start of the execution.
+
+        Addressable placements draw by node index, so a reset run replays
+        the *same* randomized execution; legacy positional randomizers
+        keep consuming their stream and re-draw fresh placements.  The
+        cursor's closed-form lookup tables are carried over (they depend
+        only on ``(spec, n, placement)``), so repeated runs skip the
+        warm-up — this is what amortizes Monte-Carlo trials of one spec.
+        """
         self.cursor = ExecutionCursor(
-            self.spec, self.n, scan_randomizer=self.scan_randomizer
+            self.spec,
+            self.n,
+            scan_randomizer=self.scan_randomizer,
+            warm_from=self.cursor,
         )
 
     @property
@@ -162,7 +172,7 @@ class SymbolicSimulator:
         ``fastpath`` selects the chunked engine of
         :mod:`repro.simulation.fastpath`: ``None`` (default) uses it
         automatically whenever it is bit-identical to the scalar loop
-        (simplified/greedy model, static scan placement, indexable box
+        (any model, static or addressable scan placement, indexable box
         source, no per-box recording), ``False`` forces the scalar loop,
         and ``True`` requires the fast path (raising if ineligible).
         Either way the returned record is the same field for field.

@@ -171,6 +171,112 @@ class TestInvalidationScope:
         assert sym.digest != mod.digest  # different key spaces
 
 
+class TestEntryIndirection:
+    """Runners built by partial/decorator/re-export resolve to the code
+    that defines them instead of over-approximating to every symbol."""
+
+    def test_partial_entry_tracks_wrapped_impl(self, tree):
+        write(
+            tree / "pkg" / "exp_p.py",
+            """
+            import functools
+
+            from pkg.helper_a import only_a
+
+            def _impl(quick=True, seed=0, variant=0):
+                return only_a(seed) + variant
+
+            def scratch(x):
+                return x - 1
+
+            run = functools.partial(_impl, variant=1)
+            """,
+        )
+        clear_fingerprint_caches()
+        before = fingerprint_symbols("pkg.exp_p", root=tree, prefix="pkg")
+        # edit the wrapped impl's helper: the key must move
+        write(
+            tree / "pkg" / "helper_a.py",
+            """
+            def only_a(x):
+                return x + 9
+            """,
+        )
+        clear_fingerprint_caches()
+        after = fingerprint_symbols("pkg.exp_p", root=tree, prefix="pkg")
+        assert after.digest != before.digest
+
+    def test_decorator_assignment_entry_resolves(self, tree):
+        write(
+            tree / "pkg" / "exp_d.py",
+            """
+            from pkg.common import shared
+
+            def _wrap(fn):
+                return fn
+
+            def _impl(quick=True, seed=0):
+                return shared(seed)
+
+            run = _wrap(_impl)
+            """,
+        )
+        clear_fingerprint_caches()
+        before = fingerprint_symbols("pkg.exp_d", root=tree, prefix="pkg")
+        write(
+            tree / "pkg" / "common.py",
+            """
+            def shared(x):
+                return x - 5
+            """,
+        )
+        clear_fingerprint_caches()
+        after = fingerprint_symbols("pkg.exp_d", root=tree, prefix="pkg")
+        assert after.digest != before.digest
+
+    def test_reexported_entry_resolves_to_defining_symbol(self, tree):
+        write(
+            tree / "pkg" / "exp_r.py",
+            """
+            from pkg.exp_a import run
+            """,
+        )
+        clear_fingerprint_caches()
+        fp = fingerprint_symbols("pkg.exp_r", root=tree, prefix="pkg")
+        # exp_a.run reaches helper_a; the re-exporting key must too
+        assert "pkg.helper_a" in fp.modules
+        before = fp
+        write(
+            tree / "pkg" / "helper_a.py",
+            """
+            def only_a(x):
+                return x * 7
+            """,
+        )
+        clear_fingerprint_caches()
+        after = fingerprint_symbols("pkg.exp_r", root=tree, prefix="pkg")
+        assert after.digest != before.digest
+
+    def test_reexported_entry_ignores_unreachable_sibling(self, tree):
+        write(
+            tree / "pkg" / "exp_r.py",
+            """
+            from pkg.exp_a import run
+            """,
+        )
+        clear_fingerprint_caches()
+        before = fingerprint_symbols("pkg.exp_r", root=tree, prefix="pkg")
+        # exp_a.scratch is unreachable from run: the key must stay put
+        source = (tree / "pkg" / "exp_a.py").read_text(encoding="utf-8")
+        write(
+            tree / "pkg" / "exp_a.py",
+            source.replace("return x - 1", "return x - 3"),
+        )
+        clear_fingerprint_caches()
+        after = fingerprint_symbols("pkg.exp_r", root=tree, prefix="pkg")
+        assert after.digest == before.digest
+
+
 class TestEdgesAndModes:
     def test_missing_module_raises(self, tree):
         with pytest.raises(FingerprintError, match="not found"):

@@ -559,12 +559,123 @@ class TestProfileDiscipline:
         assert rule_ids(diags) == ["profile-discipline"]
 
 
+# ------------------------------------------------------------ rng-discipline
+SIM = "src/repro/simulation/mod.py"  # inside the replay-critical layers
+
+
+class TestRngDiscipline:
+    def test_positional_draw_next_to_stream_param_fires(self):
+        diags = lint(
+            """
+            def sample(stream, gen):
+                u = stream.uniforms_at(0, 4)
+                return gen.random(4)
+            """,
+            path=SIM,
+            rules=["rng-discipline"],
+        )
+        assert rule_ids(diags) == ["rng-discipline"]
+        assert "gen.random" in diags[0].message
+
+    def test_stream_annotation_triggers_scope(self):
+        diags = lint(
+            """
+            def sample(s: ReplayableStream, rng):
+                return rng.integers(0, 8)
+            """,
+            path=SIM,
+            rules=["rng-discipline"],
+        )
+        assert rule_ids(diags) == ["rng-discipline"]
+
+    def test_local_substream_triggers_scope(self):
+        diags = lint(
+            """
+            def trial(root, t, gen):
+                ts = root.for_trial(t)
+                return gen.uniform(0.0, 1.0)
+            """,
+            path=SIM,
+            rules=["rng-discipline"],
+        )
+        assert rule_ids(diags) == ["rng-discipline"]
+
+    def test_addressed_draws_quiet(self):
+        diags = lint(
+            """
+            def sample(stream):
+                u = stream.uniforms_at(0, 4)
+                k = stream.integers_at(0, 4, 1, 9)
+                return u, k
+            """,
+            path=SIM,
+            rules=["rng-discipline"],
+        )
+        assert diags == []
+
+    def test_no_stream_in_scope_quiet(self):
+        # purely positional functions (legacy API) are rng-coerce's
+        # business, not this rule's
+        diags = lint(
+            """
+            def sample(k, gen):
+                return gen.random(k)
+            """,
+            path=SIM,
+            rules=["rng-discipline"],
+        )
+        assert diags == []
+
+    def test_outside_critical_layers_quiet(self):
+        diags = lint(
+            """
+            def sample(stream, gen):
+                u = stream.uniforms_at(0, 4)
+                return gen.random(4)
+            """,
+            path="src/repro/analysis/mod.py",
+            rules=["rng-discipline"],
+        )
+        assert diags == []
+
+    def test_profiles_layer_also_covered(self):
+        diags = lint(
+            """
+            def sample(stream, gen):
+                return gen.choice(gen.permutation(4))
+            """,
+            path="src/repro/profiles/mod.py",
+            rules=["rng-discipline"],
+        )
+        assert rule_ids(diags) == ["rng-discipline", "rng-discipline"]
+
+    def test_line_pragma_suppresses_legacy_branch(self):
+        diags = lint(
+            """
+            def sample(stream, gen, legacy):
+                if legacy:
+                    return gen.random(4)  # repro-lint: disable=rng-discipline
+                return stream.uniforms_at(0, 4)
+            """,
+            path=SIM,
+            rules=["rng-discipline"],
+        )
+        assert diags == []
+
+
 # ------------------------------------------------- each bad fixture, exactly
 # one rule: running the FULL rule set over each snippet must produce only the
 # intended rule id (the acceptance criterion for deliberately-seeded bugs).
 SEEDED_VIOLATIONS = {
     "rng-factory": (SCRIPT, "import numpy as np\n\ngen = np.random.default_rng(0)\n"),
     "rng-coerce": (SCRIPT, "def sample(k, rng=None):\n    return rng.random(k)\n"),
+    "rng-discipline": (
+        SIM,
+        '__all__ = ["sample"]\n\n\n'
+        "def sample(stream, gen):\n"
+        "    u = stream.uniforms_at(0, 4)\n"
+        "    return gen.random(4)\n",
+    ),
     "units-mixing": (SCRIPT, "total = cache_bytes + cache_blocks\n"),
     "float-equality": ("src/repro/analysis/mod.py", "__all__ = []\nok = ratio == 1.5\n"),
     "frozen-dataclass": (

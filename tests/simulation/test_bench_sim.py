@@ -17,7 +17,12 @@ class TestRunSimBench:
         assert payload["benchmark"] == SIM_BENCHMARK_NAME
         assert payload["quick"] is True
         names = [w["name"] for w in payload["workloads"]]
-        assert names == ["adversarial-worst-case", "mc-iid-uniform"]
+        assert names == [
+            "adversarial-worst-case",
+            "adversarial-recursive",
+            "randomized-placement",
+            "mc-iid-uniform",
+        ]
         # the speedup is only evidence because the results are identical
         assert payload["bit_identical"] is True
         for workload in payload["workloads"]:

@@ -158,29 +158,43 @@ class TestSelection:
         assert is_chunkable(SymbolicSimulator(SPECS[0], 64))
         assert is_chunkable(SymbolicSimulator(SPECS[0], 64, model="greedy"))
 
-    def test_recursive_model_falls_back_to_scalar(self):
+    def test_recursive_model_is_chunkable(self):
+        # chunkable since the replayable-RNG refactor (feed_recursive_run)
         sim = SymbolicSimulator(SPECS[0], 64, model="recursive")
-        assert not is_chunkable(sim)
-        record = sim.run(worst_case_profile(8, 4, 64))  # auto-select: scalar
+        assert is_chunkable(sim)
+        record = sim.run(worst_case_profile(8, 4, 64))  # auto-select: fast
         assert record.completed
+        scalar = SymbolicSimulator(SPECS[0], 64, model="recursive").run(
+            worst_case_profile(8, 4, 64), fastpath=False
+        )
+        assert record == scalar
 
-    def test_randomized_placement_falls_back_to_scalar(self):
+    def test_addressable_placement_is_chunkable(self):
+        # seed-built placements draw by node index: chunkable
         sim = SymbolicSimulator(
             SPECS[0], 64, scan_randomizer=random_slot_placement(SPECS[0], 0)
         )
+        assert is_chunkable(sim)
+        record = sim.run(worst_case_profile(8, 4, 64))
+        assert record.completed
+
+    def test_positional_placement_falls_back_to_scalar(self):
+        # a live Generator keeps the legacy positional draws: scalar only
+        legacy = random_slot_placement(SPECS[0], np.random.default_rng(0))
+        sim = SymbolicSimulator(SPECS[0], 64, scan_randomizer=legacy)
         assert not is_chunkable(sim)
         record = sim.run(worst_case_profile(8, 4, 64))
         assert record.completed
 
     def test_forcing_fastpath_on_ineligible_raises(self):
-        sim = SymbolicSimulator(SPECS[0], 64, model="recursive")
+        legacy = random_slot_placement(SPECS[0], np.random.default_rng(0))
+        sim = SymbolicSimulator(SPECS[0], 64, scan_randomizer=legacy)
         with pytest.raises(SimulationError):
             sim.run(worst_case_profile(8, 4, 64), fastpath=True)
 
     def test_run_chunked_rejects_ineligible_simulator(self):
-        sim = SymbolicSimulator(
-            SPECS[0], 64, scan_randomizer=random_slot_placement(SPECS[0], 0)
-        )
+        legacy = random_slot_placement(SPECS[0], np.random.default_rng(0))
+        sim = SymbolicSimulator(SPECS[0], 64, scan_randomizer=legacy)
         with pytest.raises(SimulationError):
             run_chunked(sim, worst_case_profile(8, 4, 64))
 
@@ -195,6 +209,7 @@ class TestSelection:
             )
 
     def test_run_sampled_requires_chunkable(self):
-        sim = SymbolicSimulator(SPECS[0], 64, model="recursive")
+        legacy = random_slot_placement(SPECS[0], np.random.default_rng(0))
+        sim = SymbolicSimulator(SPECS[0], 64, scan_randomizer=legacy)
         with pytest.raises(SimulationError):
             run_sampled(sim, UniformPowers(4, 0, 4), np.random.default_rng(0))

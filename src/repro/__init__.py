@@ -152,8 +152,9 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         from repro import runtime
 
         warnings.warn(
-            "top-level repro.run_one is deprecated; use repro.api.run "
-            "(or repro.runtime.run_one for the low-level path)",
+            "top-level repro.run_one is deprecated; use repro.api.run, or "
+            "repro.api.execute with a repro.api.RunRequest for the typed "
+            "v2 response (docs/API.md)",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -1,7 +1,13 @@
-"""Module entry point: ``python -m repro``."""
+"""Module entry point: ``python -m repro``.
+
+The ``__name__`` guard is load-bearing: spawn-context multiprocessing
+workers (the serve daemon's pool) re-import the parent's main module,
+and must not re-run the CLI when they do.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

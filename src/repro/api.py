@@ -1,21 +1,31 @@
 """``repro.api`` — the blessed programmatic surface.
 
 One import site for the operations every consumer (notebooks, CI
-harnesses, downstream scripts) actually performs, so callers stop
-reaching into submodule internals that are free to move:
+harnesses, downstream scripts, the ``repro serve`` daemon) actually
+performs, so callers stop reaching into submodule internals that are
+free to move.  Since API v2 the execution surface is built around one
+canonical request object:
 
-* :func:`run` / :func:`run_all` — execute registry experiments through
-  the instrumented, cache-aware runtime path (``docs/CACHE.md``);
+* :class:`RunRequest` / :class:`RunResponse` — the typed, frozen
+  request/response pair every execution path shares (CLI ``run``,
+  ``ExperimentRunner``, the serve daemon); their ``to_dict`` forms are
+  the wire schema (``docs/API.md``);
+* :func:`execute` — run one :class:`RunRequest` through the
+  instrumented, cache-aware runtime path and get a typed response;
+* :func:`run` / :func:`run_all` — the convenience spellings over
+  :func:`execute` (``docs/CACHE.md`` for cache semantics);
 * :func:`solve` — the exact Lemma-3 recurrence solver, accepting spec
   names and distribution DSL strings as well as the typed objects;
 * :func:`load_artifact` — read a schema-versioned ``RunArtifact`` JSON
   back into the typed form;
 * :class:`Cache` — the content-addressed artifact store.
 
-These five names are the stability contract (``docs/API.md``); the
-legacy entry points they replace (``repro.experiments.registry.
-run_experiment``, ``repro.experiments.registry.run_all``, top-level
-``repro.run_one``) still work but emit :class:`DeprecationWarning`.
+``__all__`` below is the enumerated stability contract, mirrored (with
+the serve endpoints) in ``docs/API.md``.  The legacy entry points the
+façade replaced (``repro.experiments.registry.run_experiment``,
+``repro.experiments.registry.run_all``, top-level ``repro.run_one``)
+still work but emit :class:`DeprecationWarning` and route through the
+same :class:`RunRequest` path.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.cache.store import Cache
+from repro.runtime.request import WIRE_VERSION, RunRequest, RunResponse
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.algorithms.spec import RegularSpec
@@ -30,7 +41,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.profiles.distributions import BoxDistribution
     from repro.runtime.artifact import RunArtifact
 
-__all__ = ["run", "run_all", "solve", "load_artifact", "Cache"]
+__all__ = [
+    "WIRE_VERSION",
+    "RunRequest",
+    "RunResponse",
+    "execute",
+    "run",
+    "run_all",
+    "solve",
+    "load_artifact",
+    "Cache",
+]
+
+
+def execute(request: RunRequest) -> RunResponse:
+    """Execute one typed :class:`RunRequest` through the instrumented,
+    cache-aware runtime path and return the typed response.
+
+    This is the canonical v2 entry point: the CLI's ``repro run``, the
+    :class:`~repro.runtime.runner.ExperimentRunner` pool, and the
+    ``repro serve`` daemon all reduce to it.  ``response.served_from``
+    distinguishes a warm store read (``"store"``) from a live
+    computation (``"computed"``).
+    """
+    from repro.runtime.runner import execute as _execute
+
+    return _execute(request)
 
 
 def run(
@@ -46,13 +82,17 @@ def run(
     Identical semantics to the CLI's ``repro run``: wall time and
     instrumentation counters attached, artifact store consulted under
     ``cache="auto"`` (pass ``"off"`` to always compute, ``"refresh"`` to
-    recompute and overwrite).
+    recompute and overwrite).  Sugar for ``execute(RunRequest(...))``.
     """
-    from repro.runtime.runner import run_one
-
-    return run_one(
-        experiment_id, quick=quick, seed=seed, cache=cache, cache_dir=cache_dir
-    )
+    return execute(
+        RunRequest(
+            experiment_id=experiment_id,
+            quick=quick,
+            seed=seed,
+            cache=cache,
+            cache_dir=cache_dir,
+        )
+    ).artifact
 
 
 def run_all(
@@ -67,8 +107,9 @@ def run_all(
     """Run experiments (default: the whole registry, in registration
     order) and return ``{experiment_id: artifact}``.
 
-    ``jobs > 1`` fans experiments over a process pool with bit-identical
-    results at any worker count; ``cache`` is forwarded to every run.
+    ``jobs > 1`` fans :class:`RunRequest` submissions over a process
+    pool with bit-identical results at any worker count; ``cache`` is
+    stamped into every request.
     """
     from repro.runtime.runner import ExperimentRunner
 

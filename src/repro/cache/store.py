@@ -10,10 +10,20 @@ seed)`` (the PR-2 determinism contract), two runs with equal keys are
 bit-identical modulo timing, so a warm hit can stand in for live
 recomputation and ``repro cache verify`` can check the substitution.
 
-Layout: ``<root>/<digest[:2]>/<digest>.json``, one JSON document per
-entry, written atomically (temp file + ``os.replace``).  Corrupt or
-unreadable entries are treated as misses, never as errors: a cache must
-degrade to recomputation, not take the run down with it.
+Layout: ``<root>/<digest[:2]>/<digest[2:4]>/<digest>.json``, one JSON
+document per entry, written atomically (temp file + ``os.replace``)
+under a per-entry advisory lock (:mod:`repro.cache.lock`) so the entry
+and its sidecar move together even with many concurrent writers — the
+regime the ``repro serve`` daemon lives in.  The two-level fan-out
+bounds directory width at 256 either level, which keeps shard scans flat
+for stores holding hundreds of thousands of entries.  Entries written by
+older builds into the *legacy* layouts (``<digest[:2]>/<digest>.json``
+or a completely flat ``<digest>.json``) stay readable: ``get`` finds
+them, migrates them into the sharded location on first touch, and
+:meth:`Cache.migrate` relocates a whole store in one pass.
+
+Corrupt or unreadable entries are treated as misses, never as errors: a
+cache must degrade to recomputation, not take the run down with it.
 
 The store is *bounded*: every entry carries a hidden sidecar access
 record (``.meta-<digest>.json``, maintained by :meth:`Cache.get` /
@@ -32,6 +42,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
+from repro.cache.lock import ensure_directory, entry_lock
 from repro.errors import ArtifactError, CacheError
 from repro.runtime.artifact import SCHEMA_VERSION, RunArtifact
 from repro.util.rng import RNG_SCHEME
@@ -148,7 +159,9 @@ class CacheStats:
     ``tmp_files``/``tmp_bytes`` count orphaned ``.tmp-*`` write debris
     (invisible to the entry globs, reaped by :meth:`Cache.gc`); ``gc``
     carries the cumulative collection counters from ``.gc-state.json``,
-    or ``None`` when no collection has ever run on this store."""
+    or ``None`` when no collection has ever run on this store.
+    ``legacy_entries`` counts entries still sitting in a pre-sharding
+    layout (relocated lazily by ``get`` or in bulk by ``migrate``)."""
 
     root: Path
     entries: int
@@ -158,6 +171,7 @@ class CacheStats:
     tmp_files: int = 0
     tmp_bytes: int = 0
     gc: dict[str, Any] | None = None
+    legacy_entries: int = 0
 
 
 def cache_key_for(
@@ -200,11 +214,24 @@ def cache_key_for(
     )
 
 
+def _is_digest_name(name: str) -> bool:
+    """Whether a ``<stem>.json`` file name looks like an entry (64 hex
+    chars), so foreign files dropped into the store are never treated —
+    or discarded — as entries."""
+    stem = name[:-5] if name.endswith(".json") else name
+    if len(stem) != 64:
+        return False
+    return all(c in "0123456789abcdef" for c in stem)
+
+
 class Cache:
     """The content-addressed artifact store (``repro.api.Cache``).
 
     ``root=None`` resolves via :func:`default_cache_dir`.  All methods
     are safe on a store that does not exist yet; ``put`` creates it.
+    Writes (``put``, eviction, migration, corrupt-entry discard) hold
+    the entry's advisory lock so concurrent writers — pool workers, the
+    serve daemon, a GC pass — can share one store (``docs/CACHE.md``).
     """
 
     def __init__(self, root: "str | os.PathLike[str] | None" = None):
@@ -214,17 +241,37 @@ class Cache:
         return f"Cache(root={str(self.root)!r})"
 
     def path_for(self, key: CacheKey) -> Path:
-        digest = key.digest
-        return self.root / digest[:2] / f"{digest}.json"
+        return self.canonical_path(key.digest)
+
+    def canonical_path(self, digest: str) -> Path:
+        """Where ``digest``'s entry lives in the sharded layout:
+        ``<root>/<digest[:2]>/<digest[2:4]>/<digest>.json``."""
+        return self.root / digest[:2] / digest[2:4] / f"{digest}.json"
+
+    def legacy_paths(self, digest: str) -> tuple[Path, ...]:
+        """Where older builds may have written ``digest``: the one-level
+        PR-3 layout, then a completely flat store."""
+        return (
+            self.root / digest[:2] / f"{digest}.json",
+            self.root / f"{digest}.json",
+        )
 
     # -- read ----------------------------------------------------------
     def get(self, key: CacheKey) -> CacheEntry | None:
         """The stored entry for ``key``, or ``None`` on miss.
 
         A corrupt, unparsable, or mismatched entry is a miss (and is
-        unlinked so it cannot shadow a future put)."""
-        path = self.path_for(key)
+        unlinked so it cannot shadow a future put).  An entry found in a
+        legacy (pre-sharding) location is migrated into the sharded
+        layout before being returned."""
+        path = self.canonical_path(key.digest)
         entry = self._load(path)
+        if entry is None:
+            for legacy in self.legacy_paths(key.digest):
+                if legacy.exists():
+                    self._migrate_entry(legacy)
+                    entry = self._load(path)
+                    break
         if entry is None:
             return None
         if entry.key != key:  # hash collision or tampering: distrust it
@@ -262,15 +309,18 @@ class Cache:
             return None
         return CacheEntry(key=key, artifact=artifact, path=path)
 
-    @staticmethod
-    def _discard(path: Path) -> None:
+    def _discard(self, path: Path) -> None:
+        """Remove ``path`` and its sidecar as one locked critical
+        section, so a concurrent put can never interleave into a state
+        where the sidecar survives its entry."""
         from repro.cache.gc import sidecar_path
 
-        for stale in (path, sidecar_path(path)):
-            try:
-                stale.unlink()
-            except OSError:
-                pass
+        with entry_lock(self.canonical_path(path.stem)):
+            for stale in (path, sidecar_path(path)):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
 
     # -- write ---------------------------------------------------------
     def put(self, key: CacheKey, artifact: RunArtifact) -> Path:
@@ -278,7 +328,10 @@ class Cache:
 
         The artifact is stored in canonical live form — cache bookkeeping
         fields cleared — so a future hit compares bit-identically against
-        live recomputation."""
+        live recomputation.  The entry rename, its sidecar stamp, and the
+        removal of any legacy-layout duplicate happen under the entry's
+        advisory lock: concurrent writers serialize per digest, so a
+        racing put/GC pair can no longer orphan a ``.meta-*`` sidecar."""
         canonical = artifact.without_cache_stamp()
         payload = {
             "cache_entry_version": CACHE_ENTRY_VERSION,
@@ -286,46 +339,126 @@ class Cache:
             "artifact": canonical.to_dict(),
         }
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=2)
-                fh.write("\n")
-            os.replace(tmp, path)
-        except Exception as exc:
-            # Cleanup must cover *every* failure: json.dump raising a
-            # non-OSError (e.g. TypeError on an unserializable value)
-            # would otherwise strand the mkstemp file as .tmp-* debris.
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            if isinstance(exc, OSError):
-                raise CacheError(
-                    f"cannot write cache entry {path}: {exc}"
-                ) from None
-            raise
-        from repro.cache.gc import record_put
+        ensure_directory(path.parent)
+        from repro.cache.gc import record_put, sidecar_path
 
-        record_put(path)
+        with entry_lock(path):
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, indent=2)
+                    fh.write("\n")
+                os.replace(tmp, path)
+            except Exception as exc:
+                # Cleanup must cover *every* failure: json.dump raising a
+                # non-OSError (e.g. TypeError on an unserializable value)
+                # would otherwise strand the mkstemp file as .tmp-* debris.
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                if isinstance(exc, OSError):
+                    raise CacheError(
+                        f"cannot write cache entry {path}: {exc}"
+                    ) from None
+                raise
+            record_put(path)
+            # A legacy-layout duplicate would make the digest double-
+            # counted (and resurrectable); the sharded copy wins.
+            for legacy in self.legacy_paths(key.digest):
+                for stale in (legacy, sidecar_path(legacy)):
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
         return path
 
+    # -- layout migration ----------------------------------------------
+    def _migrate_entry(self, legacy: Path) -> None:
+        """Relocate one legacy-layout entry (and its sidecar) into the
+        sharded layout, atomically, under the entry lock.  A concurrent
+        migration or put of the same digest wins harmlessly: the rename
+        simply finds its source gone."""
+        from repro.cache.gc import sidecar_path
+
+        if not _is_digest_name(legacy.name):
+            return
+        target = self.canonical_path(legacy.stem)
+        ensure_directory(target.parent)
+        with entry_lock(target):
+            if target.exists():
+                # Sharded copy already present: drop the stale duplicate.
+                for stale in (legacy, sidecar_path(legacy)):
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
+                return
+            try:
+                os.replace(legacy, target)
+            except OSError:
+                return  # source vanished under a concurrent writer
+            try:
+                os.replace(sidecar_path(legacy), sidecar_path(target))
+            except OSError:
+                pass  # no sidecar to carry over (pre-GC store)
+
+    def migrate(self) -> int:
+        """Relocate every legacy-layout entry into the sharded layout;
+        returns how many entries moved.  Safe to run concurrently with
+        readers and writers (each move holds the entry lock), and
+        idempotent — a second pass finds nothing to do."""
+        moved = 0
+        for legacy in self._iter_legacy_paths():
+            target = self.canonical_path(legacy.stem)
+            self._migrate_entry(legacy)
+            if target.exists() and not legacy.exists():
+                moved += 1
+        # Legacy one-level shard dirs that emptied out can go.
+        for shard in sorted(self.root.glob("*")):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
+        return moved
+
     # -- maintenance ---------------------------------------------------
-    def iter_entry_paths(self) -> Iterator[Path]:
-        """Every entry *file* (``<shard>/<digest>.json``), in stable
-        order, without parsing.  The hidden-file filter is load-bearing:
-        pathlib's ``*``-glob matches dotfiles (unlike the ``glob``
-        module), so without it ``.tmp-*`` write debris and ``.meta-*``
-        sidecars would be picked up and mis-discarded as corrupt
-        entries."""
+    def _iter_legacy_paths(self) -> Iterator[Path]:
+        """Entry files still in a pre-sharding location (one-level
+        ``ab/<digest>.json`` or flat ``<digest>.json``), skipping any
+        digest that already has a sharded copy (the sharded copy wins)."""
         if not self.root.is_dir():
             return
-        for path in sorted(self.root.glob("*/*.json")):
-            if not path.name.startswith("."):
-                yield path
+        for path in sorted(self.root.glob("*/*.json")) + sorted(
+            self.root.glob("*.json")
+        ):
+            if path.name.startswith(".") or not _is_digest_name(path.name):
+                continue
+            if self.canonical_path(path.stem).exists():
+                continue
+            yield path
+
+    def iter_entry_paths(self) -> Iterator[Path]:
+        """Every entry *file*, in stable (digest) order, without
+        parsing: sharded entries (``ab/cd/<digest>.json``) plus any
+        not-yet-migrated legacy entries.  The hidden-file filter is
+        load-bearing: pathlib's ``*``-glob matches dotfiles (unlike the
+        ``glob`` module), so without it ``.tmp-*`` write debris,
+        ``.meta-*`` sidecars, and ``.lock-*`` files would be picked up
+        and mis-discarded as corrupt entries."""
+        if not self.root.is_dir():
+            return
+        seen: dict[str, Path] = {}
+        for path in sorted(self.root.glob("*/*/*.json")):
+            if not path.name.startswith(".") and _is_digest_name(path.name):
+                seen[path.stem] = path
+        for path in self._iter_legacy_paths():
+            seen.setdefault(path.stem, path)
+        for digest in sorted(seen):
+            yield seen[digest]
 
     def iter_entries(self) -> Iterator[CacheEntry]:
         """Every readable entry in the store, in stable (digest) order."""
@@ -358,6 +491,7 @@ class Cache:
             except OSError:
                 continue
             tmp_files += 1
+        legacy = sum(1 for _ in self._iter_legacy_paths())
         return CacheStats(
             root=self.root,
             entries=entries,
@@ -367,6 +501,7 @@ class Cache:
             tmp_files=tmp_files,
             tmp_bytes=tmp_bytes,
             gc=read_gc_state(self.root),
+            legacy_entries=legacy,
         )
 
     def gc(
@@ -387,10 +522,12 @@ class Cache:
         )
 
     def clear(self) -> int:
-        """Remove every entry (plus sidecars and ``.tmp-*`` write
-        debris); returns how many *entries* were removed.  Leaves the
-        root directory (and any foreign files in it) alone."""
-        from repro.cache.gc import iter_debris, sidecar_path
+        """Remove every entry (plus sidecars, ``.tmp-*`` write debris,
+        and unheld ``.lock-*`` files); returns how many *entries* were
+        removed.  Leaves the root directory (and any foreign files in
+        it) alone."""
+        from repro.cache.gc import iter_debris, iter_lock_files, sidecar_path
+        from repro.cache.lock import try_reap_lock
 
         removed = 0
         if not self.root.is_dir():
@@ -410,7 +547,11 @@ class Cache:
                 debris.unlink()
             except OSError:
                 pass
-        for shard in sorted(self.root.glob("*")):
+        for lock_file in iter_lock_files(self.root):
+            try_reap_lock(lock_file)
+        for shard in sorted(
+            self.root.glob("*/*"), reverse=True
+        ) + sorted(self.root.glob("*"), reverse=True):
             if shard.is_dir():
                 try:
                     shard.rmdir()  # only succeeds when empty

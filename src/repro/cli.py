@@ -22,12 +22,18 @@ appears):
   ``point:16``, ``uniform:4:1:5``, ``pareto:4:1:6:0.5``,
   ``worstcase:8:4:256``, ...); ``--quick`` swaps the exact renewal DP
   for the Wald midpoint, ``--json DIR`` writes ``solve.json``;
-* ``cache stats|clear|verify|gc`` — inspect, empty, spot-check, or
-  garbage-collect the artifact store (``verify`` re-runs sampled
-  entries live and diffs against the stored artifacts; ``gc`` reaps
-  ``.tmp-*`` write debris and evicts LRU-first under
-  ``--max-bytes/--max-entries/--max-age-days`` budgets, ``--dry-run``
-  to preview);
+* ``cache stats|clear|migrate|verify|gc`` — inspect, empty, relayout,
+  spot-check, or garbage-collect the artifact store (``migrate`` moves
+  legacy flat/one-level entries into the sharded ``ab/cd/`` layout;
+  ``verify`` re-runs sampled entries live and diffs against the stored
+  artifacts; ``gc`` reaps ``.tmp-*`` write debris and evicts LRU-first
+  under ``--max-bytes/--max-entries/--max-age-days`` budgets,
+  ``--dry-run`` to preview);
+* ``serve`` — the asyncio artifact-serving daemon: answers
+  ``GET /v1/run/{experiment}?quick&seed`` from the store, coalesces
+  identical in-flight misses onto one :class:`RunRequest` computation,
+  applies ``--max-inflight`` backpressure (429), and drains cleanly on
+  SIGTERM (``docs/SERVE.md``);
 * ``bench`` — benchmark suites: ``--suite cache`` (cold-vs-warm over
   the registry; writes ``BENCH_cache.json``) or ``--suite sim``
   (scalar-vs-chunked simulator workloads; writes ``BENCH_sim.json``).
@@ -202,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_dir(stats_p, "cache_stats.json")
     clear_p = cache_sub.add_parser("clear", help="remove every cache entry")
     _add_cache_dir(clear_p)
+    migrate_p = cache_sub.add_parser(
+        "migrate",
+        help="relocate entries from legacy (flat / one-level) layouts "
+        "into the sharded ab/cd/ layout in one pass",
+    )
+    _add_cache_dir(migrate_p)
     gc_p = cache_sub.add_parser(
         "gc",
         help="reap .tmp-* write debris and evict LRU-first under "
@@ -327,6 +339,43 @@ def build_parser() -> argparse.ArgumentParser:
         "trend line, and run the speedup regression check",
     )
     _add_cache_dir(bench_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the artifact-serving daemon: answers "
+        "GET /v1/run/{experiment}?quick&seed from the artifact store, "
+        "coalescing identical in-flight misses onto one computation "
+        "(docs/SERVE.md)",
+    )
+    serve_p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=8023,
+        metavar="N",
+        help="TCP port to listen on (default 8023; 0 picks a free port)",
+    )
+    serve_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cache misses (default 1; 0 computes "
+        "in-process on a thread)",
+    )
+    serve_p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=16,
+        metavar="N",
+        help="most distinct computations in flight before misses are "
+        "answered 429 (default 16; hits are always admitted)",
+    )
+    _add_cache_dir(serve_p)
 
     lint_p = sub.add_parser(
         "lint",
@@ -689,6 +738,39 @@ def _cmd_cache_clear(cache_dir: str | None) -> int:
     return 0
 
 
+def _cmd_cache_migrate(cache_dir: str | None) -> int:
+    from repro.cache.store import Cache
+
+    store = Cache(cache_dir)
+    moved = store.migrate()
+    print(
+        f"migrated {moved} entr{'y' if moved == 1 else 'ies'} into the "
+        f"sharded layout under {store.root}"
+    )
+    return 0
+
+
+def _cmd_serve(
+    host: str,
+    port: int,
+    jobs: int,
+    max_inflight: int,
+    cache_dir: str | None,
+) -> int:
+    import asyncio
+
+    from repro.serve.app import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=host,
+        port=port,
+        jobs=jobs,
+        max_inflight=max_inflight,
+        cache_dir=cache_dir,
+    )
+    return asyncio.run(serve_forever(config))
+
+
 def _cmd_cache_gc(
     cache_dir: str | None,
     max_bytes: int | None,
@@ -1011,6 +1093,8 @@ def main(argv: list[str] | None = None) -> int:
                 return _cmd_cache_stats(args.cache_dir, json_dir=args.json_dir)
             if args.cache_command == "clear":
                 return _cmd_cache_clear(args.cache_dir)
+            if args.cache_command == "migrate":
+                return _cmd_cache_migrate(args.cache_dir)
             if args.cache_command == "gc":
                 return _cmd_cache_gc(
                     args.cache_dir,
@@ -1027,6 +1111,14 @@ def main(argv: list[str] | None = None) -> int:
                 return _cmd_cache_verify(
                     args.cache_dir, args.sample, args.seed, args.jobs
                 )
+        if args.command == "serve":
+            return _cmd_serve(
+                args.host,
+                args.port,
+                args.jobs,
+                args.max_inflight,
+                args.cache_dir,
+            )
         if args.command == "bench":
             return _cmd_bench(
                 args.ids,

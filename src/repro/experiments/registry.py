@@ -93,32 +93,47 @@ def _deprecated_run_experiment(
     experiment_id: str, quick: bool = True, seed: int = 0
 ) -> RunArtifact:
     """Deprecated alias for :func:`repro.api.run` (kept importable so old
-    call sites keep working; runs uncached to preserve the original
-    plain-dispatch semantics)."""
-    from repro.api import run
+    call sites keep working).  Routes through the canonical v2
+    :class:`repro.api.RunRequest` path, uncached (``cache="off"``) to
+    preserve the original plain-dispatch semantics."""
+    from repro.api import RunRequest, execute
 
-    return run(experiment_id, quick=quick, seed=seed, cache="off")
+    return execute(
+        RunRequest(
+            experiment_id=experiment_id, quick=quick, seed=seed, cache="off"
+        )
+    ).artifact
 
 
 def _deprecated_run_all(
     quick: bool = True, seed: int = 0, jobs: int = 1
 ) -> dict[str, RunArtifact]:
-    """Deprecated alias for :func:`repro.api.run_all` (uncached)."""
+    """Deprecated alias for :func:`repro.api.run_all` (uncached; the
+    façade stamps each experiment into its own v2 ``RunRequest``)."""
     from repro.api import run_all
 
     return run_all(quick=quick, seed=seed, jobs=jobs, cache="off")
 
 
 _DEPRECATED = {
-    "run_experiment": (_deprecated_run_experiment, "repro.api.run"),
-    "run_all": (_deprecated_run_all, "repro.api.run_all"),
+    "run_experiment": (
+        _deprecated_run_experiment,
+        "repro.api.run (or repro.api.execute with a repro.api.RunRequest "
+        "for the typed v2 response)",
+    ),
+    "run_all": (
+        _deprecated_run_all,
+        "repro.api.run_all (each experiment becomes one "
+        "repro.api.RunRequest; see docs/API.md)",
+    ),
 }
 
 
 def __getattr__(name: str):
     """PEP 562 shims: the registry's execution entry points moved to the
-    :mod:`repro.api` façade; importing them from here still works but
-    warns."""
+    :mod:`repro.api` façade (API v2: one ``RunRequest`` per run);
+    importing them from here still works but warns with the v2
+    replacement spelled out."""
     if name in _DEPRECATED:
         import warnings
 

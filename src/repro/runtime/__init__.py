@@ -18,11 +18,15 @@ from repro.runtime.artifact import SCHEMA_VERSION, ResultTable, RunArtifact
 from repro.runtime.instrumentation import Counters, collect, record
 from repro.runtime.manifest import ManifestEntry, RunManifest
 from repro.runtime.provenance import git_revision, repro_version
+from repro.runtime.request import WIRE_VERSION, RunRequest, RunResponse
 
 __all__ = [
     "SCHEMA_VERSION",
+    "WIRE_VERSION",
     "ResultTable",
     "RunArtifact",
+    "RunRequest",
+    "RunResponse",
     "ManifestEntry",
     "RunManifest",
     "Counters",
@@ -31,13 +35,15 @@ __all__ = [
     "git_revision",
     "repro_version",
     "ExperimentRunner",
+    "RunnerPool",
+    "execute",
     "run_one",
 ]
 
 
 def __getattr__(name):  # pragma: no cover - thin lazy-import shim
     """Lazily expose the runner to avoid the registry import cycle."""
-    if name in ("ExperimentRunner", "run_one"):
+    if name in ("ExperimentRunner", "RunnerPool", "execute", "run_one"):
         from repro.runtime import runner
 
         return getattr(runner, name)

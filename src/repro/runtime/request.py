@@ -1,0 +1,186 @@
+"""The canonical request/response pair of the execution API (wire v2).
+
+Before this module existed, three consumers each carried their own
+ad-hoc ``(experiment, quick, seed, cache, jobs)`` argument tuple: the
+CLI's ``repro run``, the :class:`~repro.runtime.runner.ExperimentRunner`
+pool submissions, and (new in the same redesign) the ``repro serve``
+daemon's HTTP query strings.  :class:`RunRequest` replaces all three
+with one typed, frozen, picklable object — the *complete* statement of
+"execute this experiment under this configuration" — and
+:class:`RunResponse` is the matching typed result: the finalized
+artifact plus where it came from (``"store"`` or ``"computed"``).
+
+Both ends serialize through ``to_dict``/``from_dict`` under
+``WIRE_VERSION`` — the schema the daemon speaks on the wire and
+``docs/API.md`` documents.  The *artifact* payload inside a response is
+byte-identical to what ``repro run --json`` writes for the same key, so
+a service consumer and an offline run can be diffed directly.
+
+``RunRequest.coalesce_key`` names the pure-computation identity
+``(experiment_id, quick, seed)``: two requests with equal coalesce keys
+must produce bit-identical artifacts (the PR-2 determinism contract),
+which is what makes in-flight deduplication in the daemon sound.  The
+``cache``/``cache_dir`` fields are *transport* configuration — they say
+how to consult the store, never what the result contains — and are
+deliberately excluded from the coalesce key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.errors import ExperimentError
+from repro.runtime.artifact import RunArtifact
+
+__all__ = [
+    "WIRE_VERSION",
+    "CACHE_MODES",
+    "SERVED_FROM",
+    "RunRequest",
+    "RunResponse",
+]
+
+#: Version of the request/response wire schema (``docs/API.md``).
+WIRE_VERSION = 2
+
+#: How a run may consult the artifact store.
+CACHE_MODES = ("off", "auto", "refresh")
+
+#: Where a response's artifact came from.
+SERVED_FROM = ("store", "computed")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One experiment execution, fully specified.
+
+    ``experiment_id``/``quick``/``seed`` identify the pure computation;
+    ``cache`` (``"off"``/``"auto"``/``"refresh"``) and ``cache_dir``
+    configure how the artifact store is consulted.  Validation happens
+    at construction so a malformed request can never travel — the
+    registry lookup itself stays at execution time (the registry is a
+    heavyweight import and unknown ids must fail *there* with the
+    catalogue in hand).
+    """
+
+    experiment_id: str
+    quick: bool = True
+    seed: int = 0
+    cache: str = "auto"
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.experiment_id, str) or not self.experiment_id:
+            raise ExperimentError(
+                f"experiment_id must be a non-empty string, "
+                f"got {self.experiment_id!r}"
+            )
+        if not isinstance(self.quick, bool):
+            raise ExperimentError(f"quick must be a bool, got {self.quick!r}")
+        # bool is an int subclass; refuse it explicitly for seed.
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ExperimentError(f"seed must be an int, got {self.seed!r}")
+        if self.cache not in CACHE_MODES:
+            raise ExperimentError(
+                f"cache mode must be one of {CACHE_MODES}, got {self.cache!r}"
+            )
+        if self.cache_dir is not None and not isinstance(self.cache_dir, str):
+            raise ExperimentError(
+                f"cache_dir must be a string or None, got {self.cache_dir!r}"
+            )
+
+    @property
+    def coalesce_key(self) -> tuple[str, bool, int]:
+        """The pure-computation identity: requests with equal coalesce
+        keys are interchangeable (bit-identical artifacts), regardless
+        of their cache transport configuration."""
+        return (self.experiment_id, self.quick, self.seed)
+
+    def with_cache(
+        self, cache: str, cache_dir: str | None = None
+    ) -> "RunRequest":
+        """A copy with the transport fields replaced (identity kept)."""
+        return replace(self, cache=cache, cache_dir=cache_dir)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The wire form.  ``cache_dir`` is host-local configuration and
+        never travels; the serving side supplies its own store."""
+        return {
+            "experiment_id": self.experiment_id,
+            "quick": self.quick,
+            "seed": self.seed,
+            "cache": self.cache,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunRequest":
+        try:
+            return cls(
+                experiment_id=payload["experiment_id"],
+                quick=payload.get("quick", True),
+                seed=payload.get("seed", 0),
+                cache=payload.get("cache", "auto"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ExperimentError(
+                f"malformed run request payload: {exc}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class RunResponse:
+    """The typed result of executing one :class:`RunRequest`.
+
+    ``artifact`` is the finalized run artifact in exactly the form the
+    requesting path would have produced offline (a store hit carries the
+    warm-read stamp: ``wall_time_s=0.0``, ``cache_hit=True``,
+    ``saved_wall_time_s=<stored compute time>``).  ``served_from`` says
+    which way the result materialized: ``"store"`` (a warm read) or
+    ``"computed"`` (a live execution, stored afterwards unless
+    ``cache="off"``).
+    """
+
+    request: RunRequest
+    artifact: RunArtifact
+    served_from: str = "computed"
+    wire_version: int = field(default=WIRE_VERSION)
+
+    def __post_init__(self) -> None:
+        if self.served_from not in SERVED_FROM:
+            raise ExperimentError(
+                f"served_from must be one of {SERVED_FROM}, "
+                f"got {self.served_from!r}"
+            )
+
+    @property
+    def hit(self) -> bool:
+        """True when the artifact was read from the store."""
+        return self.served_from == "store"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "wire_version": self.wire_version,
+            "request": self.request.to_dict(),
+            "served_from": self.served_from,
+            "artifact": self.artifact.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunResponse":
+        version = payload.get("wire_version")
+        if version != WIRE_VERSION:
+            raise ExperimentError(
+                f"unsupported wire_version {version!r}; "
+                f"this build speaks version {WIRE_VERSION}"
+            )
+        try:
+            return cls(
+                request=RunRequest.from_dict(payload["request"]),
+                artifact=RunArtifact.from_dict(payload["artifact"]),
+                served_from=payload["served_from"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ExperimentError(
+                f"malformed run response payload: {exc}"
+            ) from None

@@ -1,0 +1,32 @@
+"""``repro serve`` — the asyncio artifact-serving daemon.
+
+The daemon answers ``GET /v1/run/{experiment}?quick&seed`` straight from
+the content-addressed artifact store (:mod:`repro.cache`) when the entry
+is warm — zero recomputation — and on a miss coalesces identical
+in-flight keys into **one** computation dispatched to the
+:class:`~repro.runtime.runner.RunnerPool`.  Every response body is the
+exact byte sequence ``repro run --json`` would write for a warm run of
+the same store, so clients cannot tell (and need not care) whether an
+artifact came from disk, a live computation, or another request's
+coattails.
+
+Package layout:
+
+* :mod:`repro.serve.http` — a minimal stdlib-only asyncio HTTP/1.1
+  layer (request parsing, response formatting);
+* :mod:`repro.serve.coalesce` — the in-flight request coalescer;
+* :mod:`repro.serve.stats` — hit/miss/coalesce counters and latency
+  percentiles for ``/v1/stats``;
+* :mod:`repro.serve.app` — the application: routing, admission
+  control, the pool, graceful drain; :func:`serve_forever` is what the
+  CLI's ``repro serve`` runs;
+* :mod:`repro.serve.smoke` — the end-to-end smoke driver CI runs
+  (``python -m repro.serve.smoke``).
+
+Endpoints, backpressure semantics, and deployment knobs are documented
+in ``docs/SERVE.md``; the wire schema in ``docs/API.md``.
+"""
+
+from repro.serve.app import ServeApp, ServeConfig, serve_forever
+
+__all__ = ["ServeApp", "ServeConfig", "serve_forever"]

@@ -1,0 +1,364 @@
+"""The serve daemon application: routing, admission, drain.
+
+One event loop owns everything.  A request for
+``/v1/run/{experiment}`` becomes a typed
+:class:`~repro.runtime.request.RunRequest`; the store is consulted
+first (a warm hit is answered without touching any worker), a miss is
+coalesced per :mod:`repro.serve.coalesce` and dispatched to the
+:class:`~repro.runtime.runner.RunnerPool` — the same ``execute`` path
+the CLI and ``ExperimentRunner`` use, so a served artifact can never
+drift from an offline one.
+
+Every ``/v1/run`` response body is the *warm-read stamped* artifact
+form (``wall_time_s=0.0``, ``cache_hit=true``, ``saved_wall_time_s`` =
+the stored compute time): exactly the bytes a warm ``repro run --json``
+writes against the same store.  Request-level metadata that would break
+that byte-identity (served-from, coalescing, the cache digest) travels
+in ``X-Repro-*`` headers instead of the body.
+
+Admission control: at most ``max_inflight`` *distinct* computations may
+be in flight; a miss that would start one more is answered ``429`` with
+a ``Retry-After`` hint.  A hit is always admitted — it costs one file
+read.  On SIGTERM/SIGINT the daemon stops accepting connections,
+finishes what is in flight, shuts the pool down, and exits 0
+(``docs/SERVE.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+from dataclasses import dataclass, replace
+from typing import Any, Awaitable, Callable
+
+import asyncio
+
+from repro.cache.store import Cache, cache_key_for
+from repro.errors import ExperimentError, ReproError
+from repro.runtime.artifact import RunArtifact
+from repro.runtime.request import WIRE_VERSION, RunRequest, RunResponse
+from repro.serve.coalesce import Coalescer
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    read_request,
+    render_response,
+)
+from repro.serve.stats import ServeStats
+
+__all__ = [
+    "DEFAULT_PORT",
+    "DEFAULT_MAX_INFLIGHT",
+    "ServeConfig",
+    "ServeApp",
+    "serve_forever",
+]
+
+DEFAULT_PORT = 8023
+DEFAULT_MAX_INFLIGHT = 16
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"0", "false", "no", "off"})
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Daemon knobs, as parsed from ``repro serve``'s flags.
+
+    ``jobs=0`` executes cache misses on the event loop's default thread
+    executor instead of a process pool — in-process, so monkeypatched
+    registries stay visible; the mode tests (and tiny deployments) use.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    jobs: int = 1
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ExperimentError(f"serve jobs must be >= 0, got {self.jobs}")
+        if self.max_inflight < 1:
+            raise ExperimentError(
+                f"serve max-inflight must be >= 1, got {self.max_inflight}"
+            )
+
+
+def _json_body(payload: dict[str, Any]) -> bytes:
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _error_response(status: int, detail: str) -> HttpResponse:
+    return HttpResponse(
+        status=status,
+        body=_json_body({"error": {"status": status, "detail": detail}}),
+        headers={"Retry-After": "1"} if status in (429, 503) else {},
+    )
+
+
+def _parse_bool(raw: str, name: str) -> bool:
+    lowered = raw.strip().lower()
+    if lowered in _TRUTHY:
+        return True
+    if lowered in _FALSY:
+        return False
+    raise HttpError(400, f"query parameter {name!r} must be boolean, got {raw!r}")
+
+
+class ServeApp:
+    """Routing and request lifecycle; one instance per daemon."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.stats = ServeStats()
+        self.cache = Cache(config.cache_dir)
+        self.coalescer = Coalescer()
+        self.draining = False
+        self._pool: Any = None  # RunnerPool, created lazily on first miss
+
+    # -- dispatch ------------------------------------------------------
+    def _dispatcher(self) -> Callable[[RunRequest], Awaitable[RunResponse]]:
+        """How a cache miss gets computed: process pool (``jobs >= 1``)
+        or the loop's default thread executor (``jobs == 0``)."""
+        from repro.runtime.runner import RunnerPool, execute
+
+        if self.config.jobs == 0:
+            async def run_inline(request: RunRequest) -> RunResponse:
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(None, execute, request)
+
+            return run_inline
+        if self._pool is None:
+            # spawn, not fork: forked workers would inherit the open
+            # client sockets and keep closed connections from reaching
+            # EOF (see RunnerPool).
+            self._pool = RunnerPool(self.config.jobs, context="spawn")
+
+        pool = self._pool
+
+        async def run_pooled(request: RunRequest) -> RunResponse:
+            return await asyncio.wrap_future(pool.submit(request))
+
+        return run_pooled
+
+    # -- routes --------------------------------------------------------
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        """Route one parsed request; never raises (500 is a response)."""
+        self.stats.requests += 1
+        start = self.stats.start_clock()
+        try:
+            if request.path == "/v1/healthz":
+                response = self._handle_healthz()
+            elif request.path == "/v1/stats":
+                response = self._handle_stats()
+            elif request.path.startswith("/v1/run/"):
+                response = await self._handle_run(request)
+            else:
+                response = _error_response(404, f"no route for {request.path}")
+        except HttpError as exc:
+            response = _error_response(exc.status, exc.detail)
+        except ExperimentError as exc:
+            response = _error_response(404, str(exc))
+        except ReproError as exc:
+            self.stats.errors += 1
+            response = _error_response(500, str(exc))
+        except Exception as exc:  # a bug, not a client error: say so
+            self.stats.errors += 1
+            response = _error_response(
+                500, f"internal error: {type(exc).__name__}: {exc}"
+            )
+        self.stats.observe(start)
+        return response
+
+    def _handle_healthz(self) -> HttpResponse:
+        payload = {
+            "status": "draining" if self.draining else "ok",
+            "wire_version": WIRE_VERSION,
+        }
+        return HttpResponse(status=200, body=_json_body(payload))
+
+    def _handle_stats(self) -> HttpResponse:
+        payload = self.stats.snapshot(
+            inflight=len(self.coalescer),
+            queue_depth=len(self.coalescer),
+            draining=self.draining,
+        )
+        payload["wire_version"] = WIRE_VERSION
+        return HttpResponse(status=200, body=_json_body(payload))
+
+    async def _handle_run(self, request: HttpRequest) -> HttpResponse:
+        if self.draining:
+            return _error_response(503, "daemon is draining")
+        experiment_id = request.path[len("/v1/run/"):]
+        if not experiment_id or "/" in experiment_id:
+            raise HttpError(400, "expected /v1/run/{experiment}")
+        quick = True
+        if "quick" in request.query:
+            quick = _parse_bool(request.query["quick"], "quick")
+        try:
+            seed = int(request.query.get("seed", "0"))
+        except ValueError:
+            raise HttpError(
+                400,
+                f"query parameter 'seed' must be an integer, "
+                f"got {request.query['seed']!r}",
+            ) from None
+        run_request = RunRequest(
+            experiment_id=experiment_id,
+            quick=quick,
+            seed=seed,
+            cache="auto",
+            cache_dir=self.config.cache_dir,
+        )
+        # Fast path: a warm store read answers without any worker.
+        # cache_key_for validates the experiment id (404 via the
+        # ExperimentError handler above) and fingerprints the live code.
+        key = cache_key_for(experiment_id, quick, seed)
+        entry = self.cache.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            artifact = replace(
+                entry.artifact,
+                wall_time_s=0.0,
+                cache_hit=True,
+                saved_wall_time_s=entry.stored_wall_time_s,
+            )
+            return self._artifact_response(
+                artifact, served_from="store", digest=key.digest
+            )
+        # Miss: admit (bounded by distinct in-flight computations),
+        # coalesce, dispatch.
+        if (
+            run_request.coalesce_key not in self.coalescer
+            and len(self.coalescer) >= self.config.max_inflight
+        ):
+            self.stats.rejected += 1
+            return _error_response(
+                429,
+                f"{len(self.coalescer)} computations already in flight "
+                f"(max {self.config.max_inflight}); retry shortly",
+            )
+        dispatch = self._dispatcher()
+        response, coalesced = await self.coalescer.run(
+            run_request.coalesce_key, lambda: dispatch(run_request)
+        )
+        if coalesced:
+            self.stats.coalesced += 1
+        else:
+            self.stats.misses += 1
+        artifact = self._warm_form(response)
+        return self._artifact_response(
+            artifact,
+            served_from="coalesced" if coalesced else response.served_from,
+            digest=key.digest,
+        )
+
+    @staticmethod
+    def _warm_form(response: RunResponse) -> RunArtifact:
+        """The warm-read stamped artifact for ``response`` — identical
+        to what a subsequent warm read of the store would serve, so
+        computed and cached answers are byte-identical."""
+        if response.served_from == "store":
+            return response.artifact  # execute() already stamped it
+        artifact = response.artifact
+        return replace(
+            artifact.without_cache_stamp(),
+            wall_time_s=0.0,
+            cache_hit=True,
+            saved_wall_time_s=artifact.wall_time_s,
+        )
+
+    @staticmethod
+    def _artifact_response(
+        artifact: RunArtifact, served_from: str, digest: str
+    ) -> HttpResponse:
+        # The body is exactly what `repro run --json` writes for a warm
+        # run: metadata goes in headers, never the body.
+        body = (artifact.to_json() + "\n").encode("utf-8")
+        return HttpResponse(
+            status=200,
+            body=body,
+            headers={
+                "X-Repro-Served-From": served_from,
+                "X-Repro-Cache-Digest": digest,
+                "X-Repro-Wire-Version": str(WIRE_VERSION),
+            },
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    async def drain(self) -> None:
+        """Finish in-flight computations, then shut the pool down."""
+        self.draining = True
+        pending = tuple(self.coalescer.pending())
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- connection plumbing -------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One-shot connection handler for ``asyncio.start_server``."""
+        try:
+            try:
+                request = await read_request(reader)
+            except HttpError as exc:
+                writer.write(
+                    render_response(_error_response(exc.status, exc.detail))
+                )
+                return
+            if request is None:
+                return
+            response = await self.handle(request)
+            writer.write(render_response(response))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away mid-write: nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def serve_forever(config: ServeConfig) -> int:
+    """Run the daemon until SIGTERM/SIGINT; the CLI's ``repro serve``.
+
+    Prints one ``listening on http://host:port`` line to stderr once
+    accepting (readiness signal for supervisors and the smoke driver),
+    then serves.  On signal: stop accepting, drain, exit 0."""
+    app = ServeApp(config)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-unix loop
+            pass
+    server = await asyncio.start_server(
+        app.handle_connection, host=config.host, port=config.port
+    )
+    bound = server.sockets[0].getsockname() if server.sockets else (
+        config.host,
+        config.port,
+    )
+    print(
+        f"repro serve: listening on http://{bound[0]}:{bound[1]} "
+        f"(jobs={config.jobs}, max_inflight={config.max_inflight})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await app.drain()
+    print("repro serve: drained, exiting", file=sys.stderr, flush=True)
+    return 0

@@ -1,0 +1,81 @@
+"""In-flight request coalescing for the serve daemon.
+
+When N clients simultaneously miss on the same ``(experiment, quick,
+seed)`` key, computing the artifact N times would waste N-1 workers on
+bit-identical work — experiments are pure functions of their key (the
+determinism contract), so one computation serves everyone.  The
+:class:`Coalescer` maps each in-flight key to one ``asyncio.Future``:
+the first arrival (the *leader*) runs the computation and resolves the
+future; everyone else (the *followers*) awaits it.
+
+The map doubles as the daemon's admission-control queue: its size is the
+number of distinct computations in flight, which the app bounds at
+``--max-inflight`` (excess misses are answered 429 — see
+``docs/SERVE.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Awaitable, Callable, Hashable, Iterator
+
+import asyncio
+
+__all__ = ["Coalescer"]
+
+
+def _retrieve_exception(future: "asyncio.Future[Any]") -> None:
+    # A leader whose computation failed sets the exception even when no
+    # follower exists; retrieving it here keeps asyncio from logging a
+    # "Future exception was never retrieved" warning at GC time.
+    if not future.cancelled():
+        future.exception()
+
+
+class Coalescer:
+    """One future per distinct in-flight key; single event loop only."""
+
+    __slots__ = ("_inflight",)
+
+    def __init__(self) -> None:
+        self._inflight: dict[Hashable, asyncio.Future[Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._inflight
+
+    def pending(self) -> Iterator["asyncio.Future[Any]"]:
+        """The in-flight futures (drain awaits them before exit)."""
+        return iter(tuple(self._inflight.values()))
+
+    async def run(
+        self,
+        key: Hashable,
+        factory: Callable[[], Awaitable[Any]],
+    ) -> tuple[Any, bool]:
+        """Resolve ``key`` to ``factory``'s result, computing it at most
+        once across concurrent callers.
+
+        Returns ``(result, coalesced)``: ``coalesced`` is ``True`` for a
+        follower that rode an already-in-flight computation.  A failing
+        computation raises in the leader *and* every follower — they all
+        asked the same question and deserve the same answer.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            return await asyncio.shield(existing), True
+        future: asyncio.Future[Any] = asyncio.get_running_loop().create_future()
+        future.add_done_callback(_retrieve_exception)
+        self._inflight[key] = future
+        try:
+            result = await factory()
+        except BaseException as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+            raise
+        else:
+            future.set_result(result)
+            return result, False
+        finally:
+            self._inflight.pop(key, None)

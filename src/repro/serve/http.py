@@ -1,0 +1,142 @@
+"""A minimal stdlib-only asyncio HTTP/1.1 layer for the serve daemon.
+
+The container image ships no async HTTP framework, and the daemon's
+needs are narrow — parse a ``GET`` request line plus headers, route on
+the path, write one JSON response, close — so this module implements
+exactly that over ``asyncio.start_server`` streams.  Connections are
+one-shot (``Connection: close``): the daemon's clients are CI smoke
+drivers and batch consumers, not browsers holding keep-alive pools, and
+one-shot connections make drain semantics trivial (no idle sockets to
+track).
+
+Limits are deliberate: request line and headers are capped
+(:data:`MAX_LINE_BYTES`, :data:`MAX_HEADER_LINES`) so a misbehaving
+client cannot balloon the event loop's memory, and request bodies are
+ignored entirely — every endpoint is a ``GET``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+import asyncio
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "MAX_HEADER_LINES",
+    "STATUS_REASONS",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "read_request",
+    "render_response",
+]
+
+#: Longest accepted request/header line, in bytes.
+MAX_LINE_BYTES = 8192
+
+#: Most header lines accepted before the request is rejected.
+MAX_HEADER_LINES = 64
+
+STATUS_REASONS: Mapping[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A malformed or oversized request; carries the status to answer."""
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request: method, decoded path, query, headers."""
+
+    method: str
+    path: str
+    query: Mapping[str, str]
+    headers: Mapping[str, str]
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One response to render: status, raw body, extra headers."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF before any request: client went away
+        raise HttpError(400, "truncated request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line too long") from None
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpError(400, "request line too long")
+    return line[:-2]
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request from ``reader``; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` (status 400/405) on anything malformed;
+    the connection handler turns that into the matching response."""
+    request_line = await _read_line(reader)
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "malformed request line")
+    method, target, _version = parts
+    if method != "GET":
+        raise HttpError(405, f"method {method} not allowed; this is a GET API")
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES):
+        line = await _read_line(reader)
+        if not line:
+            return HttpRequest(
+                method=method,
+                path=unquote(split.path),
+                query=query,
+                headers=headers,
+            )
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    raise HttpError(400, "too many header lines")
+
+
+def render_response(response: HttpResponse) -> bytes:
+    """The full wire form of ``response`` (status line to body)."""
+    reason = STATUS_REASONS.get(response.status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(response.body)}",
+        "Connection: close",
+    ]
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + response.body

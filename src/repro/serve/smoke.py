@@ -1,0 +1,297 @@
+"""End-to-end smoke driver for the serve daemon (CI's ``serve-smoke``).
+
+Run as ``python -m repro.serve.smoke``.  The script:
+
+1. warms a fresh store offline (two ``repro run --json`` passes; the
+   second, warm, pass's artifact file is the byte-identity reference);
+2. boots ``repro serve`` against that store as a subprocess and waits
+   for ``/v1/healthz``;
+3. fires 50 concurrent requests — warm hits, one heavily-duplicated
+   cold key, and a handful of distinct cold keys — and checks every
+   response: status 200, and the body byte-identical to what an offline
+   warm ``repro run --json`` writes for the same key;
+4. asserts the daemon's ``/v1/stats``: every duplicate of the cold key
+   coalesced onto **one** computation (``misses`` counts distinct
+   computations only) and the hit count matches the warm requests;
+5. sends SIGTERM and requires a clean drain (exit code 0).
+
+Exit code 0 on success, 1 with a diagnostic on any failure — CI-ready.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+import asyncio
+
+__all__ = [
+    "HIT_REQUESTS",
+    "DUPLICATE_REQUESTS",
+    "DISTINCT_MISS_SEEDS",
+    "SmokeFailure",
+    "http_get",
+    "run_smoke",
+    "main",
+]
+
+#: Warm-hit requests against the pre-warmed (experiment, quick, seed).
+HIT_REQUESTS = 20
+
+#: Concurrent duplicates of one cold key — must coalesce to 1 computation.
+DUPLICATE_REQUESTS = 25
+
+#: Distinct additional cold seeds (each its own computation).
+DISTINCT_MISS_SEEDS = (2, 3, 4, 5, 6)
+
+_EXPERIMENT = "fig1"
+_WARM_SEED = 0
+_DUPLICATE_SEED = 1
+
+
+class SmokeFailure(Exception):
+    """One failed smoke assertion; the message is the diagnostic."""
+
+
+@dataclass(frozen=True)
+class _HttpReply:
+    status: int
+    headers: Mapping[str, str]
+    body: bytes
+
+
+async def http_get(host: str, port: int, target: str) -> _HttpReply:
+    """One minimal HTTP/1.1 GET against the daemon (connection: close)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {target} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _sep, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        status = int(lines[0].split(" ")[1])
+    except (IndexError, ValueError):
+        raise SmokeFailure(f"malformed response head: {lines[0]!r}") from None
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    return _HttpReply(status=status, headers=headers, body=body)
+
+
+def _repro(*argv: str) -> None:
+    """Run one offline ``repro`` CLI command; raise on failure."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        raise SmokeFailure(
+            f"offline `repro {' '.join(argv)}` failed "
+            f"(rc={result.returncode}):\n{result.stderr}"
+        )
+
+
+def _reference_bytes(cache_dir: str, json_dir: Path, seed: int) -> bytes:
+    """The bytes a warm offline ``repro run --json`` writes for
+    ``(fig1, quick, seed)`` against ``cache_dir`` — the byte-identity
+    oracle every served response is compared against."""
+    out = json_dir / f"seed{seed}"
+    _repro(
+        "run",
+        _EXPERIMENT,
+        "--quick",
+        "--seed",
+        str(seed),
+        "--cache-dir",
+        cache_dir,
+        "--json",
+        str(out),
+    )
+    return (out / f"{_EXPERIMENT}.json").read_bytes()
+
+
+async def _wait_healthy(host: str, port: int, attempts: int = 100) -> None:
+    for _ in range(attempts):
+        try:
+            reply = await http_get(host, port, "/v1/healthz")
+        except (ConnectionError, OSError):
+            await asyncio.sleep(0.1)
+            continue
+        if reply.status == 200:
+            return
+        await asyncio.sleep(0.1)
+    raise SmokeFailure(f"daemon never became healthy on {host}:{port}")
+
+
+def _free_port(host: str) -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return int(sock.getsockname()[1])
+
+
+async def _drive(host: str, port: int) -> dict[str, object]:
+    """Fire the concurrent request mix; return path→body and stats."""
+    await _wait_healthy(host, port)
+    targets = (
+        [f"/v1/run/{_EXPERIMENT}?seed={_WARM_SEED}"] * HIT_REQUESTS
+        + [f"/v1/run/{_EXPERIMENT}?seed={_DUPLICATE_SEED}"] * DUPLICATE_REQUESTS
+        + [f"/v1/run/{_EXPERIMENT}?seed={seed}" for seed in DISTINCT_MISS_SEEDS]
+    )
+    replies = await asyncio.gather(
+        *(http_get(host, port, target) for target in targets)
+    )
+    for target, reply in zip(targets, replies):
+        if reply.status != 200:
+            raise SmokeFailure(
+                f"{target} answered {reply.status}: "
+                f"{reply.body.decode('utf-8', 'replace')[:200]}"
+            )
+    stats_reply = await http_get(host, port, "/v1/stats")
+    if stats_reply.status != 200:
+        raise SmokeFailure(f"/v1/stats answered {stats_reply.status}")
+    bodies: dict[int, set[bytes]] = {}
+    seeds = (
+        [_WARM_SEED] * HIT_REQUESTS
+        + [_DUPLICATE_SEED] * DUPLICATE_REQUESTS
+        + list(DISTINCT_MISS_SEEDS)
+    )
+    for seed, reply in zip(seeds, replies):
+        bodies.setdefault(seed, set()).add(reply.body)
+    return {"bodies": bodies, "stats": json.loads(stats_reply.body)}
+
+
+def run_smoke(host: str = "127.0.0.1", port: int | None = None) -> int:
+    """The whole smoke sequence; returns a process exit code."""
+    port = _free_port(host) if port is None else port
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        cache_dir = os.path.join(tmp, "store")
+        json_dir = Path(tmp) / "json"
+        # 1. warm the store offline; the second pass is the warm oracle.
+        _repro(
+            "run", _EXPERIMENT, "--quick",
+            "--seed", str(_WARM_SEED), "--cache-dir", cache_dir,
+        )
+        warm_reference = _reference_bytes(cache_dir, json_dir, _WARM_SEED)
+        # 2. boot the daemon on the same store.
+        daemon = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--host", host, "--port", str(port),
+                "--jobs", "1", "--cache-dir", cache_dir,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            outcome = asyncio.run(_drive(host, port))
+            # 5. clean SIGTERM drain.
+            daemon.send_signal(signal.SIGTERM)
+            try:
+                _stdout, stderr = daemon.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+                raise SmokeFailure("daemon did not drain within 30s of SIGTERM")
+            if daemon.returncode != 0:
+                raise SmokeFailure(
+                    f"daemon exited {daemon.returncode} after SIGTERM:\n{stderr}"
+                )
+            if "drained" not in stderr:
+                raise SmokeFailure(
+                    f"daemon exited without announcing drain:\n{stderr}"
+                )
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+        bodies = outcome["bodies"]
+        stats = outcome["stats"]
+        assert isinstance(bodies, dict) and isinstance(stats, dict)
+        # 3. byte-identity: every response equals the offline warm JSON.
+        for seed, seen in sorted(bodies.items()):
+            if len(seen) != 1:
+                raise SmokeFailure(
+                    f"seed {seed}: {len(seen)} distinct response bodies "
+                    "(expected exactly one)"
+                )
+            reference = (
+                warm_reference
+                if seed == _WARM_SEED
+                else _reference_bytes(cache_dir, json_dir, seed)
+            )
+            if next(iter(seen)) != reference:
+                raise SmokeFailure(
+                    f"seed {seed}: served body differs from offline "
+                    "`repro run --json` bytes"
+                )
+        # 4. stats: one computation per distinct cold key, no extras.
+        distinct_cold = 1 + len(DISTINCT_MISS_SEEDS)
+        if stats["misses"] != distinct_cold:
+            raise SmokeFailure(
+                f"expected exactly {distinct_cold} computations (one per "
+                f"distinct cold key), stats say misses={stats['misses']}"
+            )
+        if stats["coalesced"] + stats["misses"] + stats["hits"] != (
+            HIT_REQUESTS + DUPLICATE_REQUESTS + len(DISTINCT_MISS_SEEDS)
+        ):
+            raise SmokeFailure(f"request accounting does not add up: {stats}")
+        if stats["coalesced"] < 1:
+            raise SmokeFailure(
+                f"expected coalesced > 0 from {DUPLICATE_REQUESTS} duplicate "
+                f"cold requests, stats say coalesced={stats['coalesced']}"
+            )
+        if stats["hits"] < HIT_REQUESTS:
+            raise SmokeFailure(
+                f"expected >= {HIT_REQUESTS} warm hits, "
+                f"stats say hits={stats['hits']}"
+            )
+        print(
+            f"serve smoke: OK — {stats['hits']} hits, {stats['misses']} "
+            f"computations, {stats['coalesced']} coalesced, byte-identical "
+            "to offline artifacts, clean drain"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.smoke",
+        description="end-to-end smoke test for the repro serve daemon",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=None, help="default: pick a free port"
+    )
+    args = parser.parse_args(argv)
+    try:
+        return run_smoke(host=args.host, port=args.port)
+    except SmokeFailure as exc:
+        print(f"serve smoke: FAIL — {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

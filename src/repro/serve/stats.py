@@ -1,0 +1,91 @@
+"""Request accounting for the serve daemon's ``/v1/stats`` endpoint.
+
+Counters are plain in-process integers — the daemon is one event loop,
+so no locking is needed — plus a bounded ring of recent request
+latencies from which p50/p99 are computed on demand.  Latencies are
+measured with ``perf_counter`` (monotonic, duration-only) and never
+reach any cached payload, so the wallclock discipline is satisfied by
+construction.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any
+
+__all__ = ["LATENCY_WINDOW", "ServeStats"]
+
+#: How many recent request latencies the percentile window keeps.  A
+#: bounded window makes p50/p99 reflect *current* behaviour instead of
+#: averaging over the daemon's whole lifetime.
+LATENCY_WINDOW = 2048
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0 when
+    empty — a daemon that served nothing has no latency to report)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class ServeStats:
+    """Mutable per-daemon counters; one instance per :class:`ServeApp`."""
+
+    __slots__ = (
+        "requests",
+        "hits",
+        "misses",
+        "coalesced",
+        "rejected",
+        "errors",
+        "_latencies",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.errors = 0
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    def start_clock(self) -> float:
+        """An opaque start token for :meth:`observe` (monotonic)."""
+        # Service latency measurement: duration-only, never cached.
+        return time.perf_counter()  # repro-lint: disable=nondet-wallclock
+
+    def observe(self, start: float) -> None:
+        """Record one served request's latency."""
+        # Same discipline as start_clock: a duration, not a timestamp.
+        elapsed = time.perf_counter() - start  # repro-lint: disable=nondet-wallclock
+        self._latencies.append(elapsed)
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """``{"p50_ms": ..., "p99_ms": ...}`` over the recent window."""
+        window = sorted(self._latencies)
+        return {
+            "p50_ms": _percentile(window, 0.50) * 1000.0,
+            "p99_ms": _percentile(window, 0.99) * 1000.0,
+        }
+
+    def snapshot(
+        self, inflight: int, queue_depth: int, draining: bool
+    ) -> dict[str, Any]:
+        """The ``/v1/stats`` payload (gauges passed in by the app)."""
+        payload: dict[str, Any] = {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "inflight": inflight,
+            "queue_depth": queue_depth,
+            "draining": draining,
+        }
+        payload["latency"] = self.latency_percentiles()
+        return payload

@@ -1,0 +1,87 @@
+"""Per-entry advisory locking: naming, exclusion, the reap protocol."""
+
+import os
+from pathlib import Path
+
+from repro.cache.lock import (
+    LOCK_PREFIX,
+    entry_lock,
+    lock_path_for,
+    locking_available,
+    try_reap_lock,
+)
+
+
+def entry(tmp_path) -> Path:
+    return tmp_path / "ab" / "cd" / ("a" * 64 + ".json")
+
+
+class TestLockPaths:
+    def test_lock_sits_next_to_entry(self, tmp_path):
+        path = lock_path_for(entry(tmp_path))
+        assert path.parent == entry(tmp_path).parent
+        assert path.name == f"{LOCK_PREFIX}{'a' * 64}.json"
+
+    def test_hidden_from_entry_globs(self, tmp_path):
+        with entry_lock(entry(tmp_path)):
+            pass
+        visible = [p.name for p in tmp_path.glob("*/*/*") if not p.name.startswith(".")]
+        assert visible == []
+
+
+class TestEntryLock:
+    def test_creates_shard_dirs_and_lock_file(self, tmp_path):
+        with entry_lock(entry(tmp_path)):
+            assert lock_path_for(entry(tmp_path)).exists()
+
+    def test_holder_never_unlinks(self, tmp_path):
+        with entry_lock(entry(tmp_path)):
+            pass
+        assert lock_path_for(entry(tmp_path)).exists()
+
+    def test_reentrant_after_release(self, tmp_path):
+        with entry_lock(entry(tmp_path)):
+            pass
+        with entry_lock(entry(tmp_path)):
+            pass  # second acquisition of the surviving lock file
+
+
+class TestReapProtocol:
+    def test_reap_unheld_lock(self, tmp_path):
+        lock_path = lock_path_for(entry(tmp_path))
+        with entry_lock(entry(tmp_path)):
+            pass
+        assert try_reap_lock(lock_path) is True
+        assert not lock_path.exists()
+
+    def test_reap_missing_lock_is_false(self, tmp_path):
+        assert try_reap_lock(lock_path_for(entry(tmp_path))) is False
+
+    def test_held_lock_not_reaped(self, tmp_path):
+        if not locking_available():  # pragma: no cover - POSIX-only guard
+            return
+        import fcntl
+
+        lock_path = lock_path_for(entry(tmp_path))
+        lock_path.parent.mkdir(parents=True)
+        # A second file description on the same inode: flock exclusion
+        # applies between separate os.open() descriptions even within
+        # one process, so this models a concurrent holder exactly.
+        fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            assert try_reap_lock(lock_path) is False
+            assert lock_path.exists()
+        finally:
+            os.close(fd)
+        assert try_reap_lock(lock_path) is True
+
+    def test_acquire_survives_concurrent_reap(self, tmp_path):
+        # Reap between acquisitions: the next entry_lock must recreate
+        # and re-verify the file rather than locking a dead inode.
+        lock_path = lock_path_for(entry(tmp_path))
+        with entry_lock(entry(tmp_path)):
+            pass
+        assert try_reap_lock(lock_path)
+        with entry_lock(entry(tmp_path)):
+            assert lock_path.exists()

@@ -1,0 +1,170 @@
+"""The sharded ``ab/cd/<digest>`` layout and legacy-store migration."""
+
+import json
+from pathlib import Path
+
+from repro.cache.gc import GCBudget, collect, sidecar_path
+from repro.cache.store import Cache, CacheKey
+from repro.runtime.artifact import RunArtifact
+
+
+def make_artifact(**overrides) -> RunArtifact:
+    base = dict(
+        experiment_id="x",
+        title="T",
+        claim="C",
+        metrics={"reproduced": True},
+        verdict="REPRODUCED",
+        seed=0,
+        quick=True,
+        wall_time_s=0.25,
+        counters={"sim.runs": 1},
+        repro_version="1.0.0",
+        git_revision="abc1234",
+    )
+    base.update(overrides)
+    return RunArtifact(**base)
+
+
+def make_key(**overrides) -> CacheKey:
+    base = dict(experiment_id="x", quick=True, seed=0, fingerprint="f" * 64)
+    base.update(overrides)
+    return CacheKey(**base)
+
+
+def demote_to_one_level(store: Cache, path: Path) -> Path:
+    """Relocate a sharded entry to the legacy one-level layout."""
+    legacy = path.parent.parent / path.name
+    path.rename(legacy)
+    meta = sidecar_path(path)
+    if meta.exists():
+        meta.rename(sidecar_path(legacy))
+    try:
+        path.parent.rmdir()
+    except OSError:
+        pass
+    return legacy
+
+
+def demote_to_flat(store: Cache, path: Path) -> Path:
+    """Relocate a sharded entry to the legacy flat layout."""
+    flat = store.root / path.name
+    path.rename(flat)
+    meta = sidecar_path(path)
+    if meta.exists():
+        meta.rename(sidecar_path(flat))
+    return flat
+
+
+class TestShardedLayout:
+    def test_put_lands_two_levels_deep(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        path = store.put(key, make_artifact())
+        digest = key.digest
+        assert path == store.root / digest[:2] / digest[2:4] / f"{digest}.json"
+        assert path.is_file()
+
+    def test_canonical_and_legacy_paths_disjoint(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        digest = "ab" + "cd" + "e" * 60
+        canonical = store.canonical_path(digest)
+        assert all(p != canonical for p in store.legacy_paths(digest))
+
+
+class TestLazyMigration:
+    def test_get_migrates_one_level_entry(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        canonical = store.put(key, make_artifact())
+        legacy = demote_to_one_level(store, canonical)
+        assert not canonical.exists() and legacy.exists()
+        entry = store.get(key)
+        assert entry is not None and entry.path == canonical
+        assert canonical.exists() and not legacy.exists()
+        # the sidecar moved with its entry
+        assert sidecar_path(canonical).exists()
+        assert not sidecar_path(legacy).exists()
+
+    def test_get_migrates_flat_entry(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        canonical = store.put(key, make_artifact())
+        flat = demote_to_flat(store, canonical)
+        entry = store.get(key)
+        assert entry is not None and canonical.exists() and not flat.exists()
+
+    def test_put_removes_legacy_duplicate(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        legacy = demote_to_one_level(store, store.put(key, make_artifact()))
+        store.put(key, make_artifact(wall_time_s=9.0))
+        assert not legacy.exists()
+        assert store.get(key).stored_wall_time_s == 9.0
+
+    def test_sharded_copy_wins_over_stale_legacy(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        # a stale legacy duplicate next to a live sharded entry
+        legacy = demote_to_one_level(store, store.put(key, make_artifact(wall_time_s=1.0)))
+        store.put(key, make_artifact(wall_time_s=2.0))
+        legacy.write_text(
+            json.dumps({"cache_entry_version": 0}), encoding="utf-8"
+        )
+        assert store.get(key).stored_wall_time_s == 2.0
+        assert store.stats().entries == 1  # never double-counted
+
+
+class TestBulkMigration:
+    def test_migrate_moves_everything(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        legacies = []
+        for seed in range(3):
+            path = store.put(make_key(seed=seed), make_artifact(seed=seed))
+            if seed % 2:
+                legacies.append(demote_to_flat(store, path))
+            else:
+                legacies.append(demote_to_one_level(store, path))
+        assert store.stats().legacy_entries == 3
+        assert store.migrate() == 3
+        assert store.stats().legacy_entries == 0
+        assert store.stats().entries == 3
+        assert all(not legacy.exists() for legacy in legacies)
+
+    def test_migrate_is_idempotent(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        demote_to_flat(store, store.put(make_key(), make_artifact()))
+        assert store.migrate() == 1
+        assert store.migrate() == 0
+
+    def test_cli_cache_migrate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = Cache(tmp_path / "store")
+        demote_to_one_level(store, store.put(make_key(), make_artifact()))
+        rc = main(["cache", "migrate", "--cache-dir", str(store.root)])
+        assert rc == 0
+        assert "migrated 1 entry" in capsys.readouterr().out
+        assert store.stats().legacy_entries == 0
+
+
+class TestLegacyMaintenance:
+    def test_iter_entries_sees_both_layouts(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        demote_to_flat(store, store.put(make_key(seed=0), make_artifact(seed=0)))
+        store.put(make_key(seed=1), make_artifact(seed=1))
+        assert sum(1 for _ in store.iter_entries()) == 2
+
+    def test_gc_evicts_legacy_entries(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        demote_to_flat(store, store.put(make_key(), make_artifact()))
+        report = collect(store, GCBudget(max_bytes=None, max_entries=0))
+        assert report.evicted_entries == 1
+        assert store.stats().entries == 0
+
+    def test_clear_sweeps_legacy_entries(self, tmp_path):
+        store = Cache(tmp_path / "store")
+        demote_to_one_level(store, store.put(make_key(seed=0), make_artifact()))
+        store.put(make_key(seed=1), make_artifact())
+        assert store.clear() == 2
+        assert store.stats().entries == 0

@@ -152,10 +152,11 @@ class TestPutCleanup:
         monkeypatch.setattr("repro.cache.store.json.dump", boom)
         with pytest.raises(TypeError):
             store.put(make_key(), make_artifact())
-        shards = [p for p in store.root.glob("*") if p.is_dir()]
+        # only the (persistent, GC-reaped) lock file may remain
         leftovers = [
-            p for shard in shards for p in shard.iterdir()
-        ] if shards else []
+            p for p in store.root.rglob("*")
+            if p.is_file() and not p.name.startswith(".lock-")
+        ]
         assert leftovers == []
 
     def test_os_failure_raises_cache_error_and_cleans_up(
@@ -172,10 +173,10 @@ class TestPutCleanup:
         with pytest.raises(CacheError):
             store.put(make_key(), make_artifact())
         monkeypatch.undo()
-        shards = [p for p in store.root.glob("*") if p.is_dir()]
         leftovers = [
-            p for shard in shards for p in shard.iterdir()
-        ] if shards else []
+            p for p in store.root.rglob("*")
+            if p.is_file() and not p.name.startswith(".lock-")
+        ]
         assert leftovers == []
 
 

@@ -9,9 +9,20 @@ from repro import api
 
 class TestSurface:
     def test_all_is_the_contract(self):
-        assert api.__all__ == ["run", "run_all", "solve", "load_artifact", "Cache"]
+        assert api.__all__ == [
+            "WIRE_VERSION",
+            "RunRequest",
+            "RunResponse",
+            "execute",
+            "run",
+            "run_all",
+            "solve",
+            "load_artifact",
+            "Cache",
+        ]
         for name in api.__all__:
-            assert callable(getattr(api, name))
+            member = getattr(api, name)
+            assert callable(member) or name == "WIRE_VERSION"
 
     def test_package_attribute_reaches_facade(self):
         import repro

@@ -1,0 +1,87 @@
+"""The typed v2 request/response pair: validation, wire form, identity."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.runtime.request import WIRE_VERSION, RunRequest, RunResponse
+
+
+class TestRunRequestValidation:
+    def test_defaults(self):
+        request = RunRequest(experiment_id="fig1")
+        assert request.quick is True
+        assert request.seed == 0
+        assert request.cache == "auto"
+        assert request.cache_dir is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"experiment_id": ""},
+            {"experiment_id": 7},
+            {"experiment_id": "fig1", "quick": "yes"},
+            {"experiment_id": "fig1", "seed": "0"},
+            {"experiment_id": "fig1", "seed": True},
+            {"experiment_id": "fig1", "cache": "maybe"},
+            {"experiment_id": "fig1", "cache_dir": 5},
+        ],
+    )
+    def test_invalid_fields_raise(self, kwargs):
+        with pytest.raises(ExperimentError):
+            RunRequest(**kwargs)
+
+    def test_frozen(self):
+        request = RunRequest(experiment_id="fig1")
+        with pytest.raises(AttributeError):
+            request.seed = 1
+
+    def test_coalesce_key_excludes_transport(self):
+        a = RunRequest(experiment_id="fig1", cache="auto", cache_dir="/a")
+        b = RunRequest(experiment_id="fig1", cache="off", cache_dir="/b")
+        assert a.coalesce_key == b.coalesce_key == ("fig1", True, 0)
+
+    def test_with_cache(self):
+        request = RunRequest(experiment_id="fig1").with_cache("off")
+        assert request.cache == "off" and request.cache_dir is None
+
+
+class TestRunRequestWire:
+    def test_round_trip(self):
+        request = RunRequest(experiment_id="fig1", quick=False, seed=3)
+        assert RunRequest.from_dict(request.to_dict()) == request
+
+    def test_cache_dir_never_travels(self):
+        request = RunRequest(experiment_id="fig1", cache_dir="/private")
+        assert "cache_dir" not in request.to_dict()
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ExperimentError):
+            RunRequest.from_dict({"seed": 0})
+
+
+class TestRunResponse:
+    def _response(self, served_from="computed"):
+        from repro.api import run
+
+        artifact = run("fig1", cache="off")
+        return RunResponse(
+            request=RunRequest(experiment_id="fig1"),
+            artifact=artifact,
+            served_from=served_from,
+        )
+
+    def test_hit_property(self):
+        assert self._response("store").hit is True
+        assert self._response("computed").hit is False
+
+    def test_wire_round_trip(self):
+        response = self._response()
+        payload = response.to_dict()
+        assert payload["wire_version"] == WIRE_VERSION
+        assert RunResponse.from_dict(payload) == response
+
+    def test_wrong_wire_version_refused(self):
+        payload = self._response().to_dict()
+        payload["wire_version"] = WIRE_VERSION + 1
+        with pytest.raises(ExperimentError):
+            RunResponse.from_dict(payload)

@@ -1,0 +1,140 @@
+"""In-flight coalescing: one computation per key, shared outcomes."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import Coalescer
+
+
+class TestCoalescer:
+    def test_single_caller_is_not_coalesced(self):
+        async def go():
+            coalescer = Coalescer()
+
+            async def factory():
+                return 42
+
+            result, coalesced = await coalescer.run("k", factory)
+            assert (result, coalesced) == (42, False)
+            assert len(coalescer) == 0
+
+        asyncio.run(go())
+
+    def test_followers_ride_the_leader(self):
+        async def go():
+            coalescer = Coalescer()
+            gate = asyncio.Event()
+            calls = 0
+
+            async def factory():
+                nonlocal calls
+                calls += 1
+                await gate.wait()
+                return "artifact"
+
+            tasks = [
+                asyncio.create_task(coalescer.run("k", factory))
+                for _ in range(5)
+            ]
+            while "k" not in coalescer:
+                await asyncio.sleep(0)
+            assert len(coalescer) == 1
+            gate.set()
+            outcomes = await asyncio.gather(*tasks)
+            assert calls == 1
+            assert all(result == "artifact" for result, _ in outcomes)
+            assert sorted(coalesced for _, coalesced in outcomes) == [
+                False,
+                True,
+                True,
+                True,
+                True,
+            ]
+            assert len(coalescer) == 0
+
+        asyncio.run(go())
+
+    def test_distinct_keys_run_independently(self):
+        async def go():
+            coalescer = Coalescer()
+
+            async def make(value):
+                return value
+
+            outcomes = await asyncio.gather(
+                coalescer.run("a", lambda: make(1)),
+                coalescer.run("b", lambda: make(2)),
+            )
+            assert outcomes == [(1, False), (2, False)]
+
+        asyncio.run(go())
+
+    def test_failure_reaches_leader_and_followers(self):
+        async def go():
+            coalescer = Coalescer()
+            gate = asyncio.Event()
+
+            async def factory():
+                await gate.wait()
+                raise ValueError("boom")
+
+            tasks = [
+                asyncio.create_task(coalescer.run("k", factory))
+                for _ in range(3)
+            ]
+            while "k" not in coalescer:
+                await asyncio.sleep(0)
+            gate.set()
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            assert len(outcomes) == 3
+            assert all(isinstance(o, ValueError) for o in outcomes)
+            # a failed key is retryable: the map is clean again
+            assert len(coalescer) == 0
+
+        asyncio.run(go())
+
+    def test_key_is_reusable_after_completion(self):
+        async def go():
+            coalescer = Coalescer()
+
+            async def make(value):
+                return value
+
+            first, _ = await coalescer.run("k", lambda: make(1))
+            second, coalesced = await coalescer.run("k", lambda: make(2))
+            assert (first, second, coalesced) == (1, 2, False)
+
+        asyncio.run(go())
+
+    def test_pending_snapshot_for_drain(self):
+        async def go():
+            coalescer = Coalescer()
+            gate = asyncio.Event()
+
+            async def factory():
+                await gate.wait()
+                return "done"
+
+            task = asyncio.create_task(coalescer.run("k", factory))
+            while "k" not in coalescer:
+                await asyncio.sleep(0)
+            pending = list(coalescer.pending())
+            assert len(pending) == 1
+            gate.set()
+            await task
+            assert await pending[0] == "done"
+
+        asyncio.run(go())
+
+
+def test_run_requires_event_loop():
+    coalescer = Coalescer()
+
+    async def factory():
+        return None
+
+    coroutine = coalescer.run("k", factory)
+    with pytest.raises(RuntimeError):
+        coroutine.send(None)
+    coroutine.close()

@@ -1,0 +1,116 @@
+"""The stdlib HTTP layer: request parsing, limits, response rendering."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    MAX_HEADER_LINES,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes) -> HttpRequest | None:
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = parse(
+            b"GET /v1/run/fig1?quick=true&seed=3 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Accept: application/json\r\n"
+            b"\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/v1/run/fig1"
+        assert request.query == {"quick": "true", "seed": "3"}
+        assert request.headers["host"] == "localhost"
+        assert request.headers["accept"] == "application/json"
+
+    def test_percent_encoded_path_is_decoded(self):
+        request = parse(b"GET /v1/run/fig%311 HTTP/1.1\r\n\r\n")
+        assert request.path == "/v1/run/fig11"
+
+    def test_blank_query_values_kept(self):
+        request = parse(b"GET /v1/run/fig1?quick HTTP/1.1\r\n\r\n")
+        assert request.query == {"quick": ""}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_request_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET /v1/healthz HTTP/1.1\r\nHost: local")
+        assert exc.value.status == 400
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET /v1/healthz\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_non_http_version_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET /v1/healthz GOPHER/7\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_post_is_405(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"POST /v1/run/fig1 HTTP/1.1\r\n\r\n")
+        assert exc.value.status == 405
+
+    def test_header_without_colon_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET / HTTP/1.1\r\nnot-a-header\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_too_many_headers_is_400(self):
+        headers = b"".join(
+            b"X-H%d: v\r\n" % i for i in range(MAX_HEADER_LINES + 1)
+        )
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+        assert exc.value.status == 400
+
+    def test_oversized_request_line_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET /" + b"a" * 9000 + b" HTTP/1.1\r\n\r\n")
+        assert exc.value.status == 400
+
+
+class TestRenderResponse:
+    def test_status_line_and_framing(self):
+        wire = render_response(HttpResponse(status=200, body=b'{"ok": true}\n'))
+        head, _, body = wire.partition(b"\r\n\r\n")
+        lines = head.split(b"\r\n")
+        assert lines[0] == b"HTTP/1.1 200 OK"
+        assert b"Content-Type: application/json" in lines
+        assert b"Content-Length: 13" in lines
+        assert b"Connection: close" in lines
+        assert body == b'{"ok": true}\n'
+
+    def test_extra_headers_rendered(self):
+        wire = render_response(
+            HttpResponse(
+                status=429,
+                body=b"{}",
+                headers={"Retry-After": "1", "X-Repro-Served-From": "store"},
+            )
+        )
+        assert b"HTTP/1.1 429 Too Many Requests\r\n" in wire
+        assert b"Retry-After: 1\r\n" in wire
+        assert b"X-Repro-Served-From: store\r\n" in wire
+
+    def test_unknown_status_still_renders(self):
+        wire = render_response(HttpResponse(status=418, body=b""))
+        assert wire.startswith(b"HTTP/1.1 418 Unknown\r\n")

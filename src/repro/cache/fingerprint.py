@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -168,14 +169,25 @@ _SYMBOL_CACHE: dict[tuple[str, str, str, str], Fingerprint] = {}
 # one tree extend the same graph instead of re-parsing it 20 times.
 _GRAPH_BUILDERS: dict[tuple[str, str], object] = {}
 
+# One lock serializes fingerprint computation across threads.  The memo
+# dicts alone would survive concurrency (GIL-atomic, idempotent writes),
+# but the shared incremental GraphBuilder would not: two threads
+# extending one graph interleave module loads and produce corrupted —
+# nondeterministic — digests, which become wrong cache keys.  The serve
+# daemon fingerprints from executor threads (the store fast path, and
+# every jobs=0 execute), so computation must be single-file; post-warmup
+# lookups only hold the lock for a dict probe.
+_CACHE_LOCK = threading.RLock()
+
 
 def clear_fingerprint_caches() -> None:
     """Drop the per-process digest and closure memos (tests)."""
     # Test-only reset of idempotent memos; see waivers below.
-    _FILE_DIGESTS.clear()  # repro-lint: disable=effect-global-mutation
-    _CLOSURE_CACHE.clear()  # repro-lint: disable=effect-global-mutation
-    _SYMBOL_CACHE.clear()  # repro-lint: disable=effect-global-mutation
-    _GRAPH_BUILDERS.clear()  # repro-lint: disable=effect-global-mutation
+    with _CACHE_LOCK:
+        _FILE_DIGESTS.clear()  # repro-lint: disable=effect-global-mutation
+        _CLOSURE_CACHE.clear()  # repro-lint: disable=effect-global-mutation
+        _SYMBOL_CACHE.clear()  # repro-lint: disable=effect-global-mutation
+        _GRAPH_BUILDERS.clear()  # repro-lint: disable=effect-global-mutation
 
 
 def _file_digest(path: Path) -> str:
@@ -214,46 +226,50 @@ def fingerprint_module(
     # The disk store's correctness does not depend on this cache: it only
     # amortizes repeated fingerprints within one run.
     cache_key = (module, str(root), prefix)
-    cached = _CLOSURE_CACHE.get(cache_key)
-    if cached is not None:
-        return cached
+    with _CACHE_LOCK:
+        cached = _CLOSURE_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
 
-    seen: dict[str, str] = {}
-    stack = [module]
-    while stack:
-        current = stack.pop()
-        if current in seen:
-            continue
-        path = module_path(current, root)
-        if path is None:
-            if current == module:
-                raise FingerprintError(
-                    f"module {current!r} not found under {root}"
-                )
-            continue  # first-party prefix but no file: nothing to hash
-        seen[current] = _file_digest(path)
-        try:
-            tree = ast.parse(path.read_text(encoding="utf-8"))
-        except (OSError, SyntaxError) as exc:
-            raise FingerprintError(f"cannot parse {path}: {exc}") from None
-        for anc in _ancestor_packages(current):
-            if anc == prefix or anc.startswith(prefix + "."):
-                stack.append(anc)
-        for imported in first_party_imports(tree, current, prefix, root):
-            stack.append(imported)
+        seen: dict[str, str] = {}
+        stack = [module]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            path = module_path(current, root)
+            if path is None:
+                if current == module:
+                    raise FingerprintError(
+                        f"module {current!r} not found under {root}"
+                    )
+                continue  # first-party prefix but no file: nothing to hash
+            seen[current] = _file_digest(path)
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"))
+            except (OSError, SyntaxError) as exc:
+                raise FingerprintError(f"cannot parse {path}: {exc}") from None
+            for anc in _ancestor_packages(current):
+                if anc == prefix or anc.startswith(prefix + "."):
+                    stack.append(anc)
+            for imported in first_party_imports(tree, current, prefix, root):
+                stack.append(imported)
 
-    combined = hashlib.sha256()
-    for name in sorted(seen):
-        combined.update(name.encode("utf-8"))
-        combined.update(b"\x00")
-        combined.update(seen[name].encode("utf-8"))
-        combined.update(b"\x00")
-    fp = Fingerprint(
-        module=module, digest=combined.hexdigest(), modules=tuple(sorted(seen))
-    )
-    # Content-keyed memo: idempotent, call-order-free (see _FILE_DIGESTS).
-    _CLOSURE_CACHE[cache_key] = fp  # repro-lint: disable=effect-global-mutation
-    return fp
+        combined = hashlib.sha256()
+        for name in sorted(seen):
+            combined.update(name.encode("utf-8"))
+            combined.update(b"\x00")
+            combined.update(seen[name].encode("utf-8"))
+            combined.update(b"\x00")
+        fp = Fingerprint(
+            module=module,
+            digest=combined.hexdigest(),
+            modules=tuple(sorted(seen)),
+        )
+        # Content-keyed memo: idempotent, call-order-free (see
+        # _FILE_DIGESTS).
+        _CLOSURE_CACHE[cache_key] = fp  # repro-lint: disable=effect-global-mutation
+        return fp
 
 
 def fingerprint_mode() -> str:
@@ -328,63 +344,70 @@ def fingerprint_symbols(
     if prefix is None:
         prefix = module.split(".")[0]
     cache_key = (module, entry, str(root), prefix)
-    cached = _SYMBOL_CACHE.get(cache_key)
-    if cached is not None:
-        return cached
+    # The lock is load-bearing here, not just for the memo dicts: the
+    # shared incremental GraphBuilder mutates under build(), and two
+    # threads extending it concurrently would corrupt the graph and
+    # digest nondeterministically.
+    with _CACHE_LOCK:
+        cached = _SYMBOL_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
 
-    if module_path(module, root) is None:
-        raise FingerprintError(f"module {module!r} not found under {root}")
-    builder_key = (str(root), prefix)
-    shared = _GRAPH_BUILDERS.get(builder_key)
-    if isinstance(shared, tuple) and isinstance(shared[0], GraphBuilder):
-        builder, digests = shared
-    else:
-        builder = GraphBuilder(Project([root], prefixes=[prefix]))
-        digests = {}
-        # Shared content-keyed memo, same contract as _FILE_DIGESTS.
-        _GRAPH_BUILDERS[builder_key] = (builder, digests)  # repro-lint: disable=effect-global-mutation
-    try:
-        graph = builder.build([module])
-        # Follow partial/decorator/re-export indirection: a module-level
-        # ``run = ...`` assignment resolves to the module body, a
-        # re-exported name to its defining symbol.  Resolution may load
-        # new modules; flush their edges before walking reachability.
-        resolved = builder.resolve_symbol(module, entry)
+        if module_path(module, root) is None:
+            raise FingerprintError(f"module {module!r} not found under {root}")
+        builder_key = (str(root), prefix)
+        shared = _GRAPH_BUILDERS.get(builder_key)
+        if isinstance(shared, tuple) and isinstance(shared[0], GraphBuilder):
+            builder, digests = shared
+        else:
+            builder = GraphBuilder(Project([root], prefixes=[prefix]))
+            digests = {}
+            # Shared content-keyed memo, same contract as _FILE_DIGESTS.
+            _GRAPH_BUILDERS[builder_key] = (builder, digests)  # repro-lint: disable=effect-global-mutation
+        try:
+            graph = builder.build([module])
+            # Follow partial/decorator/re-export indirection: a module-
+            # level ``run = ...`` assignment resolves to the module body,
+            # a re-exported name to its defining symbol.  Resolution may
+            # load new modules; flush their edges before walking
+            # reachability.
+            resolved = builder.resolve_symbol(module, entry)
+            if resolved is not None:
+                graph = builder.build([])
+        except AnalysisError as exc:
+            raise FingerprintError(str(exc)) from None
+
+        entries = {(module, MODULE_SYMBOL)}
         if resolved is not None:
-            graph = builder.build([])
-    except AnalysisError as exc:
-        raise FingerprintError(str(exc)) from None
+            entries.add(resolved)
+        else:
+            entries.update(
+                key for key in graph.symbols if key[0] == module
+            )
+        reachable = reachable_from(graph, entries)
 
-    entries = {(module, MODULE_SYMBOL)}
-    if resolved is not None:
-        entries.add(resolved)
-    else:
-        entries.update(
-            key for key in graph.symbols if key[0] == module
+        combined = hashlib.sha256()
+        modules: set[str] = set()
+        for mod, name in sorted(reachable):
+            table = graph.tables[mod]
+            digest = digests.get((mod, name))
+            if digest is None:
+                if name == MODULE_SYMBOL:
+                    digest = import_time_digest(table.info)
+                else:
+                    digest = symbol_digest(table.nodes[name])
+                digests[mod, name] = digest
+            modules.add(mod)
+            combined.update(f"{mod}::{name}".encode("utf-8"))
+            combined.update(b"\x00")
+            combined.update(digest.encode("utf-8"))
+            combined.update(b"\x00")
+        fp = Fingerprint(
+            module=module,
+            digest=combined.hexdigest(),
+            modules=tuple(sorted(modules)),
         )
-    reachable = reachable_from(graph, entries)
-
-    combined = hashlib.sha256()
-    modules: set[str] = set()
-    for mod, name in sorted(reachable):
-        table = graph.tables[mod]
-        digest = digests.get((mod, name))
-        if digest is None:
-            if name == MODULE_SYMBOL:
-                digest = import_time_digest(table.info)
-            else:
-                digest = symbol_digest(table.nodes[name])
-            digests[mod, name] = digest
-        modules.add(mod)
-        combined.update(f"{mod}::{name}".encode("utf-8"))
-        combined.update(b"\x00")
-        combined.update(digest.encode("utf-8"))
-        combined.update(b"\x00")
-    fp = Fingerprint(
-        module=module,
-        digest=combined.hexdigest(),
-        modules=tuple(sorted(modules)),
-    )
-    # Content-keyed memo: idempotent, call-order-free (see _FILE_DIGESTS).
-    _SYMBOL_CACHE[cache_key] = fp  # repro-lint: disable=effect-global-mutation
-    return fp
+        # Content-keyed memo: idempotent, call-order-free (see
+        # _FILE_DIGESTS).
+        _SYMBOL_CACHE[cache_key] = fp  # repro-lint: disable=effect-global-mutation
+        return fp

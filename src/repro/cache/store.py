@@ -263,23 +263,34 @@ class Cache:
         A corrupt, unparsable, or mismatched entry is a miss (and is
         unlinked so it cannot shadow a future put).  An entry found in a
         legacy (pre-sharding) location is migrated into the sharded
-        layout before being returned."""
+        layout before being returned.
+
+        All of that stays true on a store ``get`` cannot write to (a
+        read-only mount, e.g. a shared CI cache): migration and discard
+        are best-effort, and a legacy entry that cannot be relocated is
+        simply served from where it sits — never an error."""
         path = self.canonical_path(key.digest)
         entry = self._load(path)
         if entry is None:
             for legacy in self.legacy_paths(key.digest):
                 if legacy.exists():
-                    self._migrate_entry(legacy)
-                    entry = self._load(path)
+                    try:
+                        self._migrate_entry(legacy)
+                    except OSError:
+                        # Migration needs to create the shard directory
+                        # and a lock file; on a read-only store neither
+                        # is possible.  Read the entry where it lies.
+                        pass
+                    entry = self._load(path) or self._load(legacy)
                     break
         if entry is None:
             return None
         if entry.key != key:  # hash collision or tampering: distrust it
-            self._discard(path)
+            self._discard(entry.path)
             return None
         from repro.cache.gc import record_hit
 
-        record_hit(path)
+        record_hit(entry.path)
         return entry
 
     def _load(self, path: Path) -> CacheEntry | None:
@@ -312,15 +323,22 @@ class Cache:
     def _discard(self, path: Path) -> None:
         """Remove ``path`` and its sidecar as one locked critical
         section, so a concurrent put can never interleave into a state
-        where the sidecar survives its entry."""
+        where the sidecar survives its entry.
+
+        Best-effort end to end: acquiring the lock creates the lock
+        file (and possibly the shard directory), which a read-only
+        store forbids — ``get`` must answer a miss there, not raise."""
         from repro.cache.gc import sidecar_path
 
-        with entry_lock(self.canonical_path(path.stem)):
-            for stale in (path, sidecar_path(path)):
-                try:
-                    stale.unlink()
-                except OSError:
-                    pass
+        try:
+            with entry_lock(self.canonical_path(path.stem)):
+                for stale in (path, sidecar_path(path)):
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
+        except OSError:
+            pass  # cannot lock (read-only store): leave the entry be
 
     # -- write ---------------------------------------------------------
     def put(self, key: CacheKey, artifact: RunArtifact) -> Path:

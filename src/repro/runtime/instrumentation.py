@@ -11,16 +11,22 @@ that the measurement substrates (``simulation.symbolic``,
 is a no-op costing one truthiness check, so library users outside the
 experiment runner pay nothing.
 
-Counters are per-process: trials that an experiment itself fans out to a
-nested process pool (``estimate_expected_cost(..., n_jobs>1)``) are
-counted in the child processes and not surfaced here.  The experiment
-runner collects inside the worker process that executes the experiment,
-so the registry path always sees accurate counts for the default
-in-process configuration.
+Counters are per-*thread* within a process: the active-collector stack
+lives in a ``threading.local``, so concurrent ``execute()`` calls on an
+executor's worker threads (the serve daemon's ``--jobs 0`` mode runs up
+to ``max_inflight`` distinct keys at once) each collect only their own
+work — cross-thread contamination would be written into the store and
+served, breaking the byte-identity contract.  Trials that an experiment
+itself fans out to a nested process pool
+(``estimate_expected_cost(..., n_jobs>1)``) are counted in the child
+processes and not surfaced here.  The experiment runner collects inside
+the worker process/thread that executes the experiment, so the registry
+path always sees accurate counts for the default configuration.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -52,33 +58,54 @@ class Counters:
         return f"Counters({self.as_dict()!r})"
 
 
-# The active collectors, innermost last.  A plain module-level list (not
-# a contextvar): collection is per-process and the runner collects around
-# a synchronous call, so re-entrancy is the only shape that matters.
-_STACK: list[Counters] = []
+# The active collectors, innermost last, held per thread.  A
+# threading.local (not a plain module list): the serve daemon's jobs=0
+# mode runs execute() concurrently on executor threads, and a shared
+# stack would let concurrent runs record into each other's collectors —
+# corrupted counters that land in the persistent store.  Each thread
+# nests its own collect() blocks; record() and collect() always run on
+# the same thread as the experiment, so per-thread scoping loses
+# nothing.  (run_in_executor does not propagate contextvars, so a
+# ContextVar would behave identically here with more machinery.)
+_LOCAL = threading.local()
+
+
+def _stack() -> list[Counters]:
+    """This thread's active-collector stack, created on first use."""
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _LOCAL.stack = stack  # repro-lint: disable=effect-global-mutation
+    return stack
 
 
 def record(name: str, amount: int | float = 1) -> None:
-    """Add ``amount`` to counter ``name`` in every active collector.
+    """Add ``amount`` to counter ``name`` in every collector active on
+    this thread.
 
     No-op when no :func:`collect` context is active.  Recording into all
     stacked collectors lets an outer aggregate (e.g. a whole-suite
     collector) see work counted by inner per-experiment collectors too.
     """
-    if not _STACK:
+    stack = getattr(_LOCAL, "stack", None)
+    if not stack:
         return
-    for counters in _STACK:
+    for counters in stack:
         counters.add(name, amount)
 
 
 @contextmanager
 def collect() -> Iterator[Counters]:
-    """Activate a fresh :class:`Counters` for the duration of the block."""
+    """Activate a fresh :class:`Counters` for the duration of the block.
+
+    Scoped to the calling thread: a collector never sees work recorded
+    by other threads' runs."""
     counters = Counters()
+    stack = _stack()
     # Scoped push/pop of the collector stack: every append is paired
     # with the remove in the finally, so nothing leaks across blocks.
-    _STACK.append(counters)  # repro-lint: disable=effect-global-mutation
+    stack.append(counters)
     try:
         yield counters
     finally:
-        _STACK.remove(counters)  # repro-lint: disable=effect-global-mutation
+        stack.remove(counters)

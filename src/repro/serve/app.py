@@ -40,6 +40,7 @@ from repro.runtime.artifact import RunArtifact
 from repro.runtime.request import WIRE_VERSION, RunRequest, RunResponse
 from repro.serve.coalesce import Coalescer
 from repro.serve.http import (
+    READ_TIMEOUT_S,
     HttpError,
     HttpRequest,
     HttpResponse,
@@ -51,6 +52,7 @@ from repro.serve.stats import ServeStats
 __all__ = [
     "DEFAULT_PORT",
     "DEFAULT_MAX_INFLIGHT",
+    "DRAIN_TIMEOUT_S",
     "ServeConfig",
     "ServeApp",
     "serve_forever",
@@ -58,6 +60,13 @@ __all__ = [
 
 DEFAULT_PORT = 8023
 DEFAULT_MAX_INFLIGHT = 16
+
+#: Upper bound on waiting for open connections to finish their writes
+#: during drain.  Computations are already complete by then (drain
+#: awaits the coalescer first), so this only covers response rendering
+#: and socket flushes; a client too slow to take its bytes within the
+#: bound is cut, not waited on forever.
+DRAIN_TIMEOUT_S = 10.0
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
 _FALSY = frozenset({"0", "false", "no", "off"})
@@ -118,6 +127,10 @@ class ServeApp:
         self.coalescer = Coalescer()
         self.draining = False
         self._pool: Any = None  # RunnerPool, created lazily on first miss
+        # Open connection-handler tasks; drain awaits these (bounded)
+        # after the coalescer so shutdown never truncates a response
+        # that its computation already finished.
+        self._connections: set[asyncio.Task[None]] = set()
 
     # -- dispatch ------------------------------------------------------
     def _dispatcher(self) -> Callable[[RunRequest], Awaitable[RunResponse]]:
@@ -216,8 +229,16 @@ class ServeApp:
         # Fast path: a warm store read answers without any worker.
         # cache_key_for validates the experiment id (404 via the
         # ExperimentError handler above) and fingerprints the live code.
-        key = cache_key_for(experiment_id, quick, seed)
-        entry = self.cache.get(key)
+        # Both run on the default executor, not the event loop: a cold
+        # fingerprint walks and hashes a module closure, and the store
+        # probe does blocking file I/O (entry read + record_hit sidecar
+        # write) — done inline they would stall every connection,
+        # including /v1/healthz, behind one slow disk.
+        loop = asyncio.get_running_loop()
+        key = await loop.run_in_executor(
+            None, cache_key_for, experiment_id, quick, seed
+        )
+        entry = await loop.run_in_executor(None, self.cache.get, key)
         if entry is not None:
             self.stats.hits += 1
             artifact = replace(
@@ -247,6 +268,12 @@ class ServeApp:
         )
         if coalesced:
             self.stats.coalesced += 1
+        elif response.served_from == "store":
+            # Raced a completing computation: our probe missed, but by
+            # dispatch time the store had the entry (execute probes
+            # again under cache=auto).  No computation ran for us, so
+            # count a hit — `misses` stays the number of computations.
+            self.stats.hits += 1
         else:
             self.stats.misses += 1
         artifact = self._warm_form(response)
@@ -290,11 +317,25 @@ class ServeApp:
 
     # -- lifecycle -----------------------------------------------------
     async def drain(self) -> None:
-        """Finish in-flight computations, then shut the pool down."""
+        """Finish in-flight work, then shut the pool down.
+
+        Order matters: awaiting the coalescer futures resolves every
+        computation, then awaiting the open connection tasks (bounded by
+        :data:`DRAIN_TIMEOUT_S`) lets their handlers finish writing the
+        responses those computations produced.  The coalescer futures
+        alone are not enough — they resolve *before* the leader/follower
+        handlers render and flush, and on Python < 3.12
+        ``server.wait_closed()`` does not wait for connection handlers
+        either, so without this step ``asyncio.run`` would cancel
+        handler tasks mid-write and truncate in-flight responses."""
         self.draining = True
         pending = tuple(self.coalescer.pending())
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
+        current = asyncio.current_task()
+        connections = {t for t in self._connections if t is not current}
+        if connections:
+            await asyncio.wait(connections, timeout=DRAIN_TIMEOUT_S)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -304,9 +345,28 @@ class ServeApp:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """One-shot connection handler for ``asyncio.start_server``."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
         try:
             try:
-                request = await read_request(reader)
+                request = await asyncio.wait_for(
+                    read_request(reader), timeout=READ_TIMEOUT_S
+                )
+            except asyncio.TimeoutError:
+                # A connected-but-silent (or dribbling) client: answer
+                # 408 and close rather than parking this handler — and
+                # its socket — in readuntil for the daemon's lifetime.
+                writer.write(
+                    render_response(
+                        _error_response(
+                            408,
+                            "timed out waiting for the request "
+                            f"({READ_TIMEOUT_S:g}s)",
+                        )
+                    )
+                )
+                return
             except HttpError as exc:
                 writer.write(
                     render_response(_error_response(exc.status, exc.detail))
@@ -320,6 +380,8 @@ class ServeApp:
         except (ConnectionError, asyncio.CancelledError):
             pass  # client went away mid-write: nothing to answer
         finally:
+            if task is not None:
+                self._connections.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()

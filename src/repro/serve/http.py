@@ -26,6 +26,7 @@ import asyncio
 __all__ = [
     "MAX_LINE_BYTES",
     "MAX_HEADER_LINES",
+    "READ_TIMEOUT_S",
     "STATUS_REASONS",
     "HttpError",
     "HttpRequest",
@@ -40,11 +41,20 @@ MAX_LINE_BYTES = 8192
 #: Most header lines accepted before the request is rejected.
 MAX_HEADER_LINES = 64
 
+#: How long a connected client gets to deliver its complete request.
+#: Without a bound, a client that connects and goes silent would park
+#: its connection handler in ``readuntil`` forever — one leaked task and
+#: socket per such client for the daemon's lifetime.  Generous compared
+#: to the one-GET-line requests the API takes; on expiry the handler
+#: answers 408 and closes.
+READ_TIMEOUT_S = 10.0
+
 STATUS_REASONS: Mapping[int, str] = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",

@@ -367,3 +367,30 @@ class TestStoreIntegration:
         after = self.keys(tree)
         assert store.get(after["exp_a"]) is None
         assert store.get(after["exp_b"]) is not None
+
+
+class TestThreadSafety:
+    def test_concurrent_fingerprints_are_deterministic(self, tree):
+        # The serve daemon fingerprints from executor threads (the store
+        # fast path; every jobs=0 execute).  The shared incremental
+        # GraphBuilder must not be extended by two threads at once —
+        # unserialized, concurrent builds corrupt the graph and emit
+        # nondeterministic digests, i.e. wrong cache keys.
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        reference = fps(tree)  # sequential oracle
+        clear_fingerprint_caches()
+        barrier = threading.Barrier(8)
+
+        def one(name):
+            barrier.wait()  # maximize overlap on the cold caches
+            return fingerprint_symbols(
+                f"pkg.{name}", root=tree, prefix="pkg"
+            ).digest
+
+        names = ["exp_a", "exp_b"] * 4
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            digests = list(pool.map(one, names))
+        for name, digest in zip(names, digests):
+            assert digest == reference[name].digest

@@ -168,3 +168,57 @@ class TestLegacyMaintenance:
         store.put(make_key(seed=1), make_artifact())
         assert store.clear() == 2
         assert store.stats().entries == 0
+
+
+class TestReadOnlyStore:
+    """``get`` on a store it cannot write to: misses and in-place
+    serves, never errors — a shared read-only CI cache must degrade to
+    recomputation, not take the run down (the documented contract).
+
+    Write denial is simulated by making the entry lock unacquirable
+    (acquiring it creates the lock file, the first write any mutation
+    path needs), which works regardless of the uid tests run under —
+    root would bypass a chmod-based setup entirely.
+    """
+
+    def _lock_out_writes(self, monkeypatch):
+        from contextlib import contextmanager
+
+        @contextmanager
+        def denied(entry_path):
+            raise PermissionError(13, "Read-only file system", str(entry_path))
+            yield  # pragma: no cover
+
+        monkeypatch.setattr("repro.cache.store.entry_lock", denied)
+
+    def test_legacy_entry_served_in_place(self, tmp_path, monkeypatch):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        legacy = demote_to_flat(store, store.put(key, make_artifact()))
+        self._lock_out_writes(monkeypatch)
+        entry = store.get(key)
+        assert entry is not None
+        assert entry.path == legacy  # migration impossible: read as-is
+        assert legacy.exists()
+        assert not store.canonical_path(key.digest).exists()
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path, monkeypatch):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        path = store.put(key, make_artifact())
+        path.write_text("{ not json", encoding="utf-8")
+        self._lock_out_writes(monkeypatch)
+        assert store.get(key) is None
+        assert path.exists()  # discard impossible: left in place
+
+    def test_mismatched_entry_is_a_miss_not_an_error(
+        self, tmp_path, monkeypatch
+    ):
+        store = Cache(tmp_path / "store")
+        key = make_key()
+        path = store.put(key, make_artifact())
+        other = store.canonical_path(make_key(seed=9).digest)
+        other.parent.mkdir(parents=True, exist_ok=True)
+        path.rename(other)  # entry now lives under the wrong digest
+        self._lock_out_writes(monkeypatch)
+        assert store.get(make_key(seed=9)) is None

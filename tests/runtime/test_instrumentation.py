@@ -1,5 +1,8 @@
 """Unit tests for the per-run instrumentation counters."""
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
 from repro.runtime.instrumentation import Counters, collect, record
 
 
@@ -43,6 +46,32 @@ class TestCollect:
             record("a")
         record("a")
         assert counters.get("a") == 1
+
+    def test_threads_collect_in_isolation(self):
+        # The serve daemon's jobs=0 mode runs execute() concurrently on
+        # executor threads; a shared collector stack would let runs
+        # record into each other's counters and the corrupted artifacts
+        # would be cached and served.  Each thread must see exactly its
+        # own work.
+        barrier = threading.Barrier(4)
+
+        def one_run(amount):
+            with collect() as counters:
+                barrier.wait()  # all threads record while all collect
+                for _ in range(50):
+                    record("work", amount)
+            return counters.get("work")
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            totals = list(pool.map(one_run, [1, 10, 100, 1000]))
+        assert totals == [50, 500, 5000, 50000]
+
+    def test_record_on_foreign_thread_is_noop(self):
+        with collect() as counters:
+            thread = threading.Thread(target=record, args=("other", 7))
+            thread.start()
+            thread.join()
+        assert counters.get("other") == 0
 
     def test_simulation_layer_records(self):
         from repro.algorithms.library import MM_SCAN

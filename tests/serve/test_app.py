@@ -164,6 +164,34 @@ def gated_dispatcher(app, gate, calls):
     return base
 
 
+def track_arrivals(app):
+    """Count requests reaching the coalescer: the store probe runs on an
+    executor, so arrival is no longer synchronous with ``handle`` — a
+    test must wait for stragglers before opening the dispatch gate, or a
+    late duplicate would start its own computation instead of riding the
+    leader's."""
+    class CountingCoalescer:
+        def __init__(self, inner):
+            self._inner = inner
+            self.arrivals = []
+
+        def __len__(self):
+            return len(self._inner)
+
+        def __contains__(self, key):
+            return key in self._inner
+
+        def pending(self):
+            return self._inner.pending()
+
+        async def run(self, key, factory):
+            self.arrivals.append(key)
+            return await self._inner.run(key, factory)
+
+    app.coalescer = CountingCoalescer(app.coalescer)
+    return app.coalescer.arrivals
+
+
 class TestCoalescingAndAdmission:
     def test_duplicate_misses_coalesce_to_one_computation(self):
         async def go():
@@ -171,11 +199,12 @@ class TestCoalescingAndAdmission:
             gate = asyncio.Event()
             calls = []
             gated_dispatcher(app, gate, calls)
+            arrivals = track_arrivals(app)
             tasks = [
                 asyncio.create_task(app.handle(get("/v1/run/fig1")))
                 for _ in range(4)
             ]
-            while len(app.coalescer) == 0:
+            while len(arrivals) < 4:
                 await asyncio.sleep(0)
             gate.set()
             responses = await asyncio.gather(*tasks)
@@ -195,10 +224,11 @@ class TestCoalescingAndAdmission:
             gate = asyncio.Event()
             calls = []
             gated_dispatcher(app, gate, calls)
+            arrivals = track_arrivals(app)
             leader = asyncio.create_task(
                 app.handle(get("/v1/run/fig1", {"seed": "1"}))
             )
-            while len(app.coalescer) == 0:
+            while len(arrivals) < 1:
                 await asyncio.sleep(0)
             # a second *distinct* computation would exceed max_inflight
             rejected = await app.handle(get("/v1/run/fig1", {"seed": "2"}))
@@ -209,7 +239,8 @@ class TestCoalescingAndAdmission:
             follower = asyncio.create_task(
                 app.handle(get("/v1/run/fig1", {"seed": "1"}))
             )
-            await asyncio.sleep(0)
+            while len(arrivals) < 2:
+                await asyncio.sleep(0)
             gate.set()
             leader_response, follower_response = await asyncio.gather(
                 leader, follower
@@ -264,6 +295,76 @@ class TestOverSocket:
                 assert int(run.headers["content-length"]) == len(run.body)
                 missing = await http_get("127.0.0.1", port, "/nope")
                 assert missing.status == 404
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_silent_client_answered_408_not_leaked(self, monkeypatch):
+        # A client that connects and sends nothing must not park its
+        # handler in readuntil forever (one leaked task + socket per
+        # such client); the read timeout answers 408 and closes.
+        monkeypatch.setattr("repro.serve.app.READ_TIMEOUT_S", 0.05)
+
+        async def go():
+            app = make_app()
+            server = await asyncio.start_server(
+                app.handle_connection, host="127.0.0.1", port=0
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                # send nothing; the daemon must time the read out
+                raw = await asyncio.wait_for(reader.read(), timeout=5)
+                writer.close()
+                await writer.wait_closed()
+                assert raw.startswith(b"HTTP/1.1 408 Request Timeout")
+                assert app._connections == set()  # handler fully retired
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_drain_lets_inflight_response_finish(self):
+        # The coalescer future resolves before the handler writes the
+        # response; drain must also await the open connection tasks, or
+        # shutdown truncates responses whose computation already ran.
+        async def go():
+            app = make_app()
+            gate = asyncio.Event()
+            calls = []
+            gated_dispatcher(app, gate, calls)
+            server = await asyncio.start_server(
+                app.handle_connection, host="127.0.0.1", port=0
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(b"GET /v1/run/fig1 HTTP/1.1\r\n\r\n")
+                await writer.drain()
+                while len(app.coalescer) == 0:
+                    await asyncio.sleep(0)
+                # stop accepting, but don't wait_closed here: on 3.12+
+                # it waits for handlers, which wait for the gate
+                server.close()
+                drainer = asyncio.create_task(app.drain())
+                await asyncio.sleep(0)
+                gate.set()
+                await drainer
+                # the drained daemon already wrote the complete response
+                raw = await asyncio.wait_for(reader.read(), timeout=5)
+                writer.close()
+                await writer.wait_closed()
+                head, _sep, body = raw.partition(b"\r\n\r\n")
+                assert head.startswith(b"HTTP/1.1 200 OK")
+                length = next(
+                    int(line.split(b":")[1])
+                    for line in head.split(b"\r\n")
+                    if line.lower().startswith(b"content-length:")
+                )
+                assert len(body) == length  # nothing truncated
             finally:
                 server.close()
                 await server.wait_closed()

@@ -39,6 +39,7 @@ __all__ = [
     "fingerprint_symbols",
     "fingerprint_mode",
     "clear_fingerprint_caches",
+    "fingerprint_generation",
 ]
 
 
@@ -179,15 +180,32 @@ _GRAPH_BUILDERS: dict[tuple[str, str], object] = {}
 # lookups only hold the lock for a dict probe.
 _CACHE_LOCK = threading.RLock()
 
+# Bumped by clear_fingerprint_caches().  Consumers that memoize
+# *derived* values (the serve daemon's request-key -> digest hints)
+# watch this to drop their memos in the same breath: within one
+# process, digests only change when these caches are cleared, so the
+# generation is the complete invalidation signal.
+_GENERATION = 0
+
+
+def fingerprint_generation() -> int:
+    """A counter that advances whenever the fingerprint memos are
+    cleared; anything caching digests derived from them should be
+    dropped when it moves."""
+    with _CACHE_LOCK:
+        return _GENERATION
+
 
 def clear_fingerprint_caches() -> None:
     """Drop the per-process digest and closure memos (tests)."""
+    global _GENERATION
     # Test-only reset of idempotent memos; see waivers below.
     with _CACHE_LOCK:
         _FILE_DIGESTS.clear()  # repro-lint: disable=effect-global-mutation
         _CLOSURE_CACHE.clear()  # repro-lint: disable=effect-global-mutation
         _SYMBOL_CACHE.clear()  # repro-lint: disable=effect-global-mutation
         _GRAPH_BUILDERS.clear()  # repro-lint: disable=effect-global-mutation
+        _GENERATION += 1  # repro-lint: disable=effect-global-mutation
 
 
 def _file_digest(path: Path) -> str:

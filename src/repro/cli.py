@@ -375,6 +375,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="most distinct computations in flight before misses are "
         "answered 429 (default 16; hits are always admitted)",
     )
+    serve_p.add_argument(
+        "--max-requests-per-conn",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="requests one keep-alive connection may carry before the "
+        "daemon closes it (default 1000)",
+    )
+    serve_p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long a keep-alive connection may sit idle between "
+        "requests before the daemon closes it (default 30)",
+    )
+    serve_p.add_argument(
+        "--hot-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="hard byte budget for the in-memory hot tier of rendered "
+        "responses (default 64 MiB; 0 disables the tier)",
+    )
     _add_cache_dir(serve_p)
 
     lint_p = sub.add_parser(
@@ -756,10 +780,14 @@ def _cmd_serve(
     jobs: int,
     max_inflight: int,
     cache_dir: str | None,
+    max_requests_per_conn: int = 1000,
+    idle_timeout: float = 30.0,
+    hot_bytes: int | None = None,
 ) -> int:
     import asyncio
 
     from repro.serve.app import ServeConfig, serve_forever
+    from repro.serve.hotcache import DEFAULT_HOT_BYTES
 
     config = ServeConfig(
         host=host,
@@ -767,6 +795,9 @@ def _cmd_serve(
         jobs=jobs,
         max_inflight=max_inflight,
         cache_dir=cache_dir,
+        max_requests_per_conn=max_requests_per_conn,
+        idle_timeout_s=idle_timeout,
+        hot_bytes=DEFAULT_HOT_BYTES if hot_bytes is None else hot_bytes,
     )
     return asyncio.run(serve_forever(config))
 
@@ -1118,6 +1149,9 @@ def main(argv: list[str] | None = None) -> int:
                 args.jobs,
                 args.max_inflight,
                 args.cache_dir,
+                max_requests_per_conn=args.max_requests_per_conn,
+                idle_timeout=args.idle_timeout,
+                hot_bytes=args.hot_bytes,
             )
         if args.command == "bench":
             return _cmd_bench(

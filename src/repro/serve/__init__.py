@@ -1,22 +1,28 @@
 """``repro serve`` — the asyncio artifact-serving daemon.
 
-The daemon answers ``GET /v1/run/{experiment}?quick&seed`` straight from
-the content-addressed artifact store (:mod:`repro.cache`) when the entry
-is warm — zero recomputation — and on a miss coalesces identical
-in-flight keys into **one** computation dispatched to the
-:class:`~repro.runtime.runner.RunnerPool`.  Every response body is the
+The daemon answers ``GET /v1/run/{experiment}?quick&seed`` through a
+three-rung tier ladder — an adaptive in-process **hot tier** of
+rendered response bytes, the content-addressed disk **store**
+(:mod:`repro.cache`), and live **computation** (identical in-flight
+keys coalesced into one dispatch to the
+:class:`~repro.runtime.runner.RunnerPool`).  Every response body is the
 exact byte sequence ``repro run --json`` would write for a warm run of
 the same store, so clients cannot tell (and need not care) whether an
-artifact came from disk, a live computation, or another request's
-coattails.
+artifact came from memory, disk, a live computation, or another
+request's coattails.  Connections are keep-alive; ``/v1/run-all``
+batches the whole registry through the same ladder, and ``/v1/metrics``
+exposes the counters in Prometheus text format.
 
 Package layout:
 
 * :mod:`repro.serve.http` — a minimal stdlib-only asyncio HTTP/1.1
-  layer (request parsing, response formatting);
+  layer (request parsing, keep-alive semantics, response formatting);
+* :mod:`repro.serve.hotcache` — the adaptive in-memory hot tier (LRU
+  main segment + ghost-list-driven byte budget);
 * :mod:`repro.serve.coalesce` — the in-flight request coalescer;
-* :mod:`repro.serve.stats` — hit/miss/coalesce counters and latency
-  percentiles for ``/v1/stats``;
+* :mod:`repro.serve.stats` — hit/miss/coalesce counters, latency
+  percentiles, and the Prometheus renderer for ``/v1/stats`` and
+  ``/v1/metrics``;
 * :mod:`repro.serve.app` — the application: routing, admission
   control, the pool, graceful drain; :func:`serve_forever` is what the
   CLI's ``repro serve`` runs;
@@ -28,5 +34,6 @@ in ``docs/SERVE.md``; the wire schema in ``docs/API.md``.
 """
 
 from repro.serve.app import ServeApp, ServeConfig, serve_forever
+from repro.serve.hotcache import HotCache
 
-__all__ = ["ServeApp", "ServeConfig", "serve_forever"]
+__all__ = ["ServeApp", "ServeConfig", "serve_forever", "HotCache"]

@@ -34,16 +34,23 @@ def _retrieve_exception(future: "asyncio.Future[Any]") -> None:
 class Coalescer:
     """One future per distinct in-flight key; single event loop only."""
 
-    __slots__ = ("_inflight",)
+    __slots__ = ("_inflight", "_waiting")
 
     def __init__(self) -> None:
         self._inflight: dict[Hashable, asyncio.Future[Any]] = {}
+        self._waiting: dict[Hashable, int] = {}
 
     def __len__(self) -> int:
         return len(self._inflight)
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._inflight
+
+    @property
+    def waiting(self) -> int:
+        """Followers currently parked on another request's computation
+        — the daemon's true queue depth (leaders are ``len(self)``)."""
+        return sum(self._waiting.values())
 
     def pending(self) -> Iterator["asyncio.Future[Any]"]:
         """The in-flight futures (drain awaits them before exit)."""
@@ -64,7 +71,15 @@ class Coalescer:
         """
         existing = self._inflight.get(key)
         if existing is not None:
-            return await asyncio.shield(existing), True
+            self._waiting[key] = self._waiting.get(key, 0) + 1
+            try:
+                return await asyncio.shield(existing), True
+            finally:
+                remaining = self._waiting.get(key, 1) - 1
+                if remaining > 0:
+                    self._waiting[key] = remaining
+                else:
+                    self._waiting.pop(key, None)
         future: asyncio.Future[Any] = asyncio.get_running_loop().create_future()
         future.add_done_callback(_retrieve_exception)
         self._inflight[key] = future

@@ -1,0 +1,233 @@
+"""The serve daemon's adaptive in-memory hot tier.
+
+The daemon's store fast path still pays a fingerprint probe, an
+executor hop, and a disk read per warm request.  Under a skewed request
+stream (the regime the source paper's cache-adaptive analysis is
+about), a small set of hot keys dominates — so the daemon keeps the
+*rendered response bytes* of recently served artifacts in process
+memory and answers repeats without touching the fingerprinter, the
+executor, or the disk at all.  The daemon thereby becomes a two-level
+memory hierarchy in its own right: a bounded fast tier (this module)
+in front of the big slow one (the content-addressed disk store).
+
+Design (chameleon-cache style, simplified to what the daemon needs):
+
+* **LRU main segment.**  ``digest → body bytes``, most-recently-used at
+  the tail, bounded by an adaptive byte budget.
+* **Ghost list.**  Keys (never bytes) of recently evicted entries.  A
+  miss that hits the ghost list is a *re-reference shortly after
+  eviction* — direct evidence the main segment is too small for the
+  current working set — so the byte budget **grows** by the
+  re-referenced entry's recorded size.
+* **Adaptive decay.**  Every :data:`ADAPT_INTERVAL` accesses with no
+  ghost hits, the budget decays 10% back toward its floor: capacity
+  lent to a burst is returned once the working set shrinks.  The budget
+  always stays within ``[capacity/8, capacity]`` — ``capacity_bytes``
+  is the hard bound a misbehaving workload can never push past.
+
+Entries are keyed by the store's **content digest**, which already
+encodes the experiment id, ``quick``, ``seed``, schema/RNG versions,
+environment, and the code fingerprint — so a hot entry can never be
+*wrong* for its key: a code edit changes the digest, and requests
+simply stop asking for the old one (stale bytes age out through the
+LRU).  Invalidation therefore reduces to key selection, exactly like
+the disk store.
+
+Like :class:`~repro.serve.stats.ServeStats`, all state is touched only
+from the daemon's single event loop; no locking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+__all__ = [
+    "DEFAULT_HOT_BYTES",
+    "MIN_TARGET_FRACTION",
+    "ADAPT_INTERVAL",
+    "GHOST_ENTRIES",
+    "HotCache",
+]
+
+#: Default hard byte budget for the hot tier (``repro serve
+#: --hot-bytes``).  Artifact bodies are a few KiB to a few hundred KiB,
+#: so the default comfortably holds every experiment in the registry at
+#: several seeds.
+DEFAULT_HOT_BYTES = 64 * 1024 * 1024
+
+#: The adaptive byte budget never decays below this fraction of the
+#: hard capacity: a long quiet stretch must not shrink the tier so far
+#: that the next burst starts from nothing.
+MIN_TARGET_FRACTION = 8
+
+#: Accesses between decay checks.  A window with at least one ghost hit
+#: keeps the grown budget; a window without any returns 10% of it.
+ADAPT_INTERVAL = 512
+
+#: Most evicted keys remembered for re-reference detection.  Keys only
+#: (a digest string and a size), so even the full list is ~100 KiB.
+GHOST_ENTRIES = 1024
+
+
+class HotCache:
+    """A bounded adaptive LRU of rendered response bytes, digest-keyed.
+
+    ``capacity_bytes=0`` disables the tier entirely (every ``get``
+    misses, ``put`` is a no-op) — the ``--hot-bytes 0`` escape hatch.
+    """
+
+    __slots__ = (
+        "capacity_bytes",
+        "target_bytes",
+        "size_bytes",
+        "hits",
+        "misses",
+        "ghost_hits",
+        "evictions",
+        "resizes",
+        "_main",
+        "_ghost",
+        "_window_accesses",
+        "_window_ghost_hits",
+        "_ghost_cap",
+    )
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_HOT_BYTES,
+        *,
+        ghost_entries: int = GHOST_ENTRIES,
+    ):
+        if capacity_bytes < 0:
+            raise ValueError(
+                f"hot cache capacity must be >= 0, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        # Start mid-budget: room to grow on ghost evidence, room to
+        # decay when the working set turns out tiny.
+        self.target_bytes = capacity_bytes // 2
+        self.size_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.ghost_hits = 0
+        self.evictions = 0
+        self.resizes = 0
+        self._main: OrderedDict[str, bytes] = OrderedDict()
+        self._ghost: OrderedDict[str, int] = OrderedDict()
+        self._window_accesses = 0
+        self._window_ghost_hits = 0
+        self._ghost_cap = max(0, ghost_entries)
+
+    def __len__(self) -> int:
+        return len(self._main)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._main
+
+    @property
+    def min_target_bytes(self) -> int:
+        return self.capacity_bytes // MIN_TARGET_FRACTION
+
+    # -- access --------------------------------------------------------
+    def get(self, digest: str) -> bytes | None:
+        """The cached bytes for ``digest``, or ``None`` on miss.
+
+        A miss whose key sits on the ghost list counts a ghost hit and
+        grows the byte budget — the caller is expected to re-``put``
+        the entry after serving it the slow way, completing the
+        promotion."""
+        body = self._main.get(digest)
+        if body is not None:
+            self.hits += 1
+            self._main.move_to_end(digest)
+            self._adapt_tick()
+            return body
+        self.misses += 1
+        ghost_size = self._ghost.pop(digest, None)
+        if ghost_size is not None:
+            self.ghost_hits += 1
+            self._window_ghost_hits += 1
+            self._grow(ghost_size)
+        self._adapt_tick()
+        return None
+
+    def put(self, digest: str, body: bytes) -> None:
+        """Admit ``body`` under ``digest``, evicting LRU entries into
+        the ghost list until the adaptive budget is respected."""
+        if self.capacity_bytes == 0:
+            return
+        if len(body) > self.capacity_bytes:
+            return  # larger than the whole tier: not cacheable
+        previous = self._main.pop(digest, None)
+        if previous is not None:
+            self.size_bytes -= len(previous)
+        self._ghost.pop(digest, None)  # a live entry shadows its ghost
+        self._main[digest] = body
+        self.size_bytes += len(body)
+        budget = max(self.target_bytes, len(body))
+        while self.size_bytes > budget and len(self._main) > 1:
+            self._evict_lru()
+
+    def invalidate(self, digest: str) -> None:
+        """Drop ``digest`` from both segments (no ghost trace: an
+        explicit invalidation is not an eviction-pressure signal)."""
+        body = self._main.pop(digest, None)
+        if body is not None:
+            self.size_bytes -= len(body)
+        self._ghost.pop(digest, None)
+
+    def clear(self) -> None:
+        self._main.clear()
+        self._ghost.clear()
+        self.size_bytes = 0
+
+    # -- adaptation ----------------------------------------------------
+    def _evict_lru(self) -> None:
+        digest, body = self._main.popitem(last=False)
+        self.size_bytes -= len(body)
+        self.evictions += 1
+        self._ghost[digest] = len(body)
+        self._ghost.move_to_end(digest)
+        while len(self._ghost) > self._ghost_cap:
+            self._ghost.popitem(last=False)
+
+    def _grow(self, ghost_size: int) -> None:
+        grown = min(self.capacity_bytes, self.target_bytes + ghost_size)
+        if grown != self.target_bytes:
+            self.target_bytes = grown
+            self.resizes += 1
+
+    def _adapt_tick(self) -> None:
+        self._window_accesses += 1
+        if self._window_accesses < ADAPT_INTERVAL:
+            return
+        if self._window_ghost_hits == 0:
+            decayed = max(
+                self.min_target_bytes, (self.target_bytes * 9) // 10
+            )
+            if decayed != self.target_bytes:
+                self.target_bytes = decayed
+                self.resizes += 1
+                while self.size_bytes > max(self.target_bytes, 1) and len(
+                    self._main
+                ) > 1:
+                    self._evict_lru()
+        self._window_accesses = 0
+        self._window_ghost_hits = 0
+
+    # -- reporting -----------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Counters and gauges for ``/v1/stats`` and ``/v1/metrics``."""
+        return {
+            "entries": len(self._main),
+            "bytes": self.size_bytes,
+            "target_bytes": self.target_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "ghost_entries": len(self._ghost),
+            "hits": self.hits,
+            "misses": self.misses,
+            "ghost_hits": self.ghost_hits,
+            "evictions": self.evictions,
+            "resizes": self.resizes,
+        }

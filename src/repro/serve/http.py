@@ -1,18 +1,26 @@
 """A minimal stdlib-only asyncio HTTP/1.1 layer for the serve daemon.
 
 The container image ships no async HTTP framework, and the daemon's
-needs are narrow — parse a ``GET`` request line plus headers, route on
-the path, write one JSON response, close — so this module implements
-exactly that over ``asyncio.start_server`` streams.  Connections are
-one-shot (``Connection: close``): the daemon's clients are CI smoke
-drivers and batch consumers, not browsers holding keep-alive pools, and
-one-shot connections make drain semantics trivial (no idle sockets to
-track).
+needs are narrow — parse ``GET`` request lines plus headers, route on
+the path, write JSON responses — so this module implements exactly that
+over ``asyncio.start_server`` streams.
 
-Limits are deliberate: request line and headers are capped
-(:data:`MAX_LINE_BYTES`, :data:`MAX_HEADER_LINES`) so a misbehaving
-client cannot balloon the event loop's memory, and request bodies are
-ignored entirely — every endpoint is a ``GET``.
+Connections are **keep-alive by default** (HTTP/1.1 semantics): the
+connection handler in :mod:`repro.serve.app` loops ``read_request`` →
+``render_response`` until the client asks for ``Connection: close``,
+the per-connection request budget is spent, the idle timeout expires,
+or the daemon drains.  Pipelined requests — several requests written
+before the first response is read — are serviced sequentially in
+arrival order, which is exactly what HTTP/1.1 pipelining requires of a
+server.
+
+Limits are deliberate: request line and headers are capped at
+:data:`MAX_LINE_BYTES` *at the stream layer* (the server socket is
+created with ``limit=MAX_LINE_BYTES``, so ``readuntil`` refuses to
+buffer more than the cap while hunting for a terminator — a client
+cannot park 64 KiB per connection in the reader's default buffer),
+header count is capped (:data:`MAX_HEADER_LINES`), and request bodies
+are ignored entirely — every endpoint is a ``GET``.
 """
 
 from __future__ import annotations
@@ -35,7 +43,11 @@ __all__ = [
     "render_response",
 ]
 
-#: Longest accepted request/header line, in bytes.
+#: Longest accepted request/header line, in bytes, *excluding* the
+#: CRLF terminator.  Enforced at the stream layer: pass this as
+#: ``limit=`` to ``asyncio.start_server`` so an unterminated line is
+#: rejected as soon as the cap is exceeded instead of buffering up to
+#: the 64 KiB ``StreamReader`` default first.
 MAX_LINE_BYTES = 8192
 
 #: Most header lines accepted before the request is rejected.
@@ -46,7 +58,9 @@ MAX_HEADER_LINES = 64
 #: its connection handler in ``readuntil`` forever — one leaked task and
 #: socket per such client for the daemon's lifetime.  Generous compared
 #: to the one-GET-line requests the API takes; on expiry the handler
-#: answers 408 and closes.
+#: answers 408 and closes.  (Between requests on a keep-alive
+#: connection the separate — configurable — idle timeout applies; see
+#: ``ServeConfig.idle_timeout_s``.)
 READ_TIMEOUT_S = 10.0
 
 STATUS_REASONS: Mapping[int, str] = {
@@ -78,6 +92,19 @@ class HttpRequest:
     path: str
     query: Mapping[str, str]
     headers: Mapping[str, str]
+    version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client may reuse the connection afterwards.
+
+        HTTP/1.1 defaults to keep-alive unless ``Connection: close``;
+        HTTP/1.0 defaults to close unless ``Connection: keep-alive``.
+        """
+        connection = self.headers.get("connection", "").strip().lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
 
 
 @dataclass(frozen=True)
@@ -97,9 +124,18 @@ async def _read_line(reader: asyncio.StreamReader) -> bytes:
         if not exc.partial:
             return b""  # clean EOF before any request: client went away
         raise HttpError(400, "truncated request") from None
-    except asyncio.LimitOverrunError:
+    except asyncio.LimitOverrunError as exc:
+        # The stream refused to buffer past its limit while hunting for
+        # CRLF.  The offending bytes are *left in the buffer*; consume
+        # them (non-blocking — they are already buffered) so the
+        # transport can flush our 400 cleanly instead of resetting the
+        # connection with unread data pending.
+        await reader.read(exc.consumed + 2)
         raise HttpError(400, "request line too long") from None
-    if len(line) > MAX_LINE_BYTES:
+    if len(line) - 2 > MAX_LINE_BYTES:
+        # Defense in depth for readers created with a larger stream
+        # limit.  The cap is on the line *content*: the CRLF terminator
+        # does not count against MAX_LINE_BYTES.
         raise HttpError(400, "request line too long")
     return line[:-2]
 
@@ -115,7 +151,7 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
     parts = request_line.decode("latin-1").split(" ")
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise HttpError(400, "malformed request line")
-    method, target, _version = parts
+    method, target, version = parts
     if method != "GET":
         raise HttpError(405, f"method {method} not allowed; this is a GET API")
     split = urlsplit(target)
@@ -129,6 +165,7 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
                 path=unquote(split.path),
                 query=query,
                 headers=headers,
+                version=version,
             )
         name, sep, value = line.decode("latin-1").partition(":")
         if not sep:
@@ -137,14 +174,17 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
     raise HttpError(400, "too many header lines")
 
 
-def render_response(response: HttpResponse) -> bytes:
-    """The full wire form of ``response`` (status line to body)."""
+def render_response(response: HttpResponse, *, close: bool = True) -> bytes:
+    """The full wire form of ``response`` (status line to body).
+
+    ``close`` selects the ``Connection`` header: the keep-alive request
+    loop passes ``close=False`` while the connection stays reusable."""
     reason = STATUS_REASONS.get(response.status, "Unknown")
     lines = [
         f"HTTP/1.1 {response.status} {reason}",
         f"Content-Type: {response.content_type}",
         f"Content-Length: {len(response.body)}",
-        "Connection: close",
+        f"Connection: {'close' if close else 'keep-alive'}",
     ]
     for name, value in response.headers.items():
         lines.append(f"{name}: {value}")

@@ -6,14 +6,23 @@ Run as ``python -m repro.serve.smoke``.  The script:
    second, warm, pass's artifact file is the byte-identity reference);
 2. boots ``repro serve`` against that store as a subprocess and waits
    for ``/v1/healthz``;
-3. fires 50 concurrent requests — warm hits, one heavily-duplicated
-   cold key, and a handful of distinct cold keys — and checks every
-   response: status 200, and the body byte-identical to what an offline
-   warm ``repro run --json`` writes for the same key;
-4. asserts the daemon's ``/v1/stats``: every duplicate of the cold key
+3. drives one **keep-alive** connection through multiple sequential
+   requests, checking the repeated warm request is served with
+   ``X-Repro-Served-From: memory`` and that every body is
+   byte-identical to the offline warm ``repro run --json`` bytes;
+4. fires 50 concurrent one-shot requests — warm hits, one
+   heavily-duplicated cold key, and a handful of distinct cold keys —
+   and checks every response: status 200, and the body byte-identical
+   to the offline reference for its key;
+5. hits ``GET /v1/run-all`` and checks the batched artifact equals the
+   offline artifact object;
+6. scrapes ``GET /v1/metrics``, requires it to parse as Prometheus
+   text exposition format with nonzero request and hot-tier counters;
+7. asserts the daemon's ``/v1/stats``: every duplicate of the cold key
    coalesced onto **one** computation (``misses`` counts distinct
-   computations only) and the hit count matches the warm requests;
-5. sends SIGTERM and requires a clean drain (exit code 0).
+   computations only) and the tier accounting sums;
+8. opens an idle keep-alive connection, sends SIGTERM, and requires a
+   clean drain (exit code 0) with the idle connection closed promptly.
 
 Exit code 0 on success, 1 with a diagnostic on any failure — CI-ready.
 """
@@ -22,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import signal
 import subprocess
 import sys
@@ -36,8 +46,11 @@ __all__ = [
     "HIT_REQUESTS",
     "DUPLICATE_REQUESTS",
     "DISTINCT_MISS_SEEDS",
+    "KEEPALIVE_REQUESTS",
     "SmokeFailure",
     "http_get",
+    "read_http_response",
+    "parse_prometheus",
     "run_smoke",
     "main",
 ]
@@ -50,6 +63,9 @@ DUPLICATE_REQUESTS = 25
 
 #: Distinct additional cold seeds (each its own computation).
 DISTINCT_MISS_SEEDS = (2, 3, 4, 5, 6)
+
+#: Sequential requests sent over one keep-alive connection.
+KEEPALIVE_REQUESTS = 3
 
 _EXPERIMENT = "fig1"
 _WARM_SEED = 0
@@ -67,33 +83,84 @@ class _HttpReply:
     body: bytes
 
 
+async def read_http_response(reader: asyncio.StreamReader) -> _HttpReply:
+    """Parse one response frame (status line, headers, Content-Length
+    body) without reading past it — the keep-alive client primitive."""
+    head_lines: list[str] = []
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise SmokeFailure("connection closed mid-response")
+        text = line.decode("latin-1").rstrip("\r\n")
+        if not text:
+            break
+        head_lines.append(text)
+    if not head_lines:
+        raise SmokeFailure("empty response head")
+    try:
+        status = int(head_lines[0].split(" ")[1])
+    except (IndexError, ValueError):
+        raise SmokeFailure(
+            f"malformed response head: {head_lines[0]!r}"
+        ) from None
+    headers: dict[str, str] = {}
+    for text in head_lines[1:]:
+        name, sep, value = text.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers["content-length"])
+    except (KeyError, ValueError):
+        raise SmokeFailure(
+            f"response without a usable Content-Length: {headers!r}"
+        ) from None
+    body = await reader.readexactly(length)
+    return _HttpReply(status=status, headers=headers, body=body)
+
+
 async def http_get(host: str, port: int, target: str) -> _HttpReply:
-    """One minimal HTTP/1.1 GET against the daemon (connection: close)."""
+    """One one-shot HTTP/1.1 GET against the daemon
+    (``Connection: close``)."""
     reader, writer = await asyncio.open_connection(host, port)
     try:
         writer.write(
-            f"GET {target} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode("latin-1")
+            f"GET {target} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n".encode("latin-1")
         )
         await writer.drain()
-        raw = await reader.read()
+        return await read_http_response(reader)
     finally:
         writer.close()
         try:
             await writer.wait_closed()
         except (ConnectionError, OSError):
             pass
-    head, _sep, body = raw.partition(b"\r\n\r\n")
-    lines = head.decode("latin-1").split("\r\n")
-    try:
-        status = int(lines[0].split(" ")[1])
-    except (IndexError, ValueError):
-        raise SmokeFailure(f"malformed response head: {lines[0]!r}") from None
-    headers: dict[str, str] = {}
-    for line in lines[1:]:
-        name, sep, value = line.partition(":")
-        if sep:
-            headers[name.strip().lower()] = value.strip()
-    return _HttpReply(status=status, headers=headers, body=body)
+
+
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})?\s+"
+    r"(-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$"
+)
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse Prometheus text exposition format; raises
+    :class:`SmokeFailure` on any line that is neither a comment nor a
+    well-formed sample.  Returns ``{name_or_labeled_name: value}``."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        if not _PROM_SAMPLE.match(line):
+            raise SmokeFailure(f"unparseable metrics line: {line!r}")
+        name, _, value = line.rpartition(" ")
+        try:
+            samples[name] = float(value)
+        except ValueError:
+            raise SmokeFailure(f"non-numeric sample value: {line!r}") from None
+    if not samples:
+        raise SmokeFailure("metrics body contained no samples")
+    return samples
 
 
 def _repro(*argv: str) -> None:
@@ -150,9 +217,53 @@ def _free_port(host: str) -> int:
         return int(sock.getsockname()[1])
 
 
-async def _drive(host: str, port: int) -> dict[str, object]:
-    """Fire the concurrent request mix; return path→body and stats."""
-    await _wait_healthy(host, port)
+async def _drive_keepalive(
+    host: str, port: int, warm_reference: bytes
+) -> None:
+    """Phase 3: several sequential requests on ONE connection; the
+    repeated warm request must come back from the memory tier with the
+    offline reference bytes."""
+    target = f"/v1/run/{_EXPERIMENT}?seed={_WARM_SEED}"
+    reader, writer = await asyncio.open_connection(host, port)
+    served_from: list[str] = []
+    try:
+        for i in range(KEEPALIVE_REQUESTS):
+            writer.write(
+                f"GET {target} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode(
+                    "latin-1"
+                )
+            )
+            await writer.drain()
+            reply = await asyncio.wait_for(read_http_response(reader), 30)
+            if reply.status != 200:
+                raise SmokeFailure(
+                    f"keep-alive request {i} answered {reply.status}"
+                )
+            if reply.headers.get("connection") != "keep-alive":
+                raise SmokeFailure(
+                    f"keep-alive request {i} answered "
+                    f"Connection: {reply.headers.get('connection')!r}"
+                )
+            if reply.body != warm_reference:
+                raise SmokeFailure(
+                    f"keep-alive request {i}: body differs from the "
+                    "offline warm reference"
+                )
+            served_from.append(reply.headers.get("x-repro-served-from", "?"))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    if "memory" not in served_from[1:]:
+        raise SmokeFailure(
+            f"repeated warm request never hit the memory tier: {served_from}"
+        )
+
+
+async def _drive_concurrent(host: str, port: int) -> dict[str, object]:
+    """Phase 4: the concurrent one-shot request mix."""
     targets = (
         [f"/v1/run/{_EXPERIMENT}?seed={_WARM_SEED}"] * HIT_REQUESTS
         + [f"/v1/run/{_EXPERIMENT}?seed={_DUPLICATE_SEED}"] * DUPLICATE_REQUESTS
@@ -167,9 +278,6 @@ async def _drive(host: str, port: int) -> dict[str, object]:
                 f"{target} answered {reply.status}: "
                 f"{reply.body.decode('utf-8', 'replace')[:200]}"
             )
-    stats_reply = await http_get(host, port, "/v1/stats")
-    if stats_reply.status != 200:
-        raise SmokeFailure(f"/v1/stats answered {stats_reply.status}")
     bodies: dict[int, set[bytes]] = {}
     seeds = (
         [_WARM_SEED] * HIT_REQUESTS
@@ -178,7 +286,109 @@ async def _drive(host: str, port: int) -> dict[str, object]:
     )
     for seed, reply in zip(seeds, replies):
         bodies.setdefault(seed, set()).add(reply.body)
-    return {"bodies": bodies, "stats": json.loads(stats_reply.body)}
+    return {"bodies": bodies}
+
+
+async def _drive_batch(host: str, port: int, warm_reference: bytes) -> None:
+    """Phase 5: the batch endpoint serves the same artifact object."""
+    reply = await http_get(
+        host,
+        port,
+        f"/v1/run-all?experiments={_EXPERIMENT}&seed={_WARM_SEED}",
+    )
+    if reply.status != 200:
+        raise SmokeFailure(f"/v1/run-all answered {reply.status}")
+    payload = json.loads(reply.body)
+    if payload.get("errors"):
+        raise SmokeFailure(f"/v1/run-all reported errors: {payload['errors']}")
+    artifact = payload.get("artifacts", {}).get(_EXPERIMENT)
+    if artifact != json.loads(warm_reference):
+        raise SmokeFailure(
+            "/v1/run-all artifact differs from the offline reference"
+        )
+    source = payload.get("served_from", {}).get(_EXPERIMENT)
+    if source not in ("memory", "store"):
+        raise SmokeFailure(
+            f"/v1/run-all warm leg served from {source!r}, "
+            "expected memory or store"
+        )
+
+
+async def _drive_metrics(host: str, port: int) -> None:
+    """Phase 6: /v1/metrics parses as Prometheus text, counters move."""
+    reply = await http_get(host, port, "/v1/metrics")
+    if reply.status != 200:
+        raise SmokeFailure(f"/v1/metrics answered {reply.status}")
+    if not reply.headers.get("content-type", "").startswith("text/plain"):
+        raise SmokeFailure(
+            f"/v1/metrics content-type {reply.headers.get('content-type')!r}"
+        )
+    samples = parse_prometheus(reply.body.decode("utf-8"))
+    for name in (
+        "repro_serve_requests_total",
+        "repro_serve_memory_hits_total",
+        "repro_serve_hot_hits_total",
+        "repro_serve_misses_total",
+        "repro_serve_keepalive_reuses_total",
+    ):
+        if samples.get(name, 0) <= 0:
+            raise SmokeFailure(
+                f"expected nonzero {name} in /v1/metrics, "
+                f"got {samples.get(name)!r}"
+            )
+
+
+async def _fetch_stats(host: str, port: int) -> dict[str, object]:
+    reply = await http_get(host, port, "/v1/stats")
+    if reply.status != 200:
+        raise SmokeFailure(f"/v1/stats answered {reply.status}")
+    return dict(json.loads(reply.body))
+
+
+async def _drive(
+    host: str, port: int, warm_reference: bytes
+) -> dict[str, object]:
+    await _wait_healthy(host, port)
+    await _drive_keepalive(host, port, warm_reference)
+    outcome = await _drive_concurrent(host, port)
+    await _drive_batch(host, port, warm_reference)
+    await _drive_metrics(host, port)
+    outcome["stats"] = await _fetch_stats(host, port)
+    # Leave one keep-alive connection open and idle: phase 8 checks the
+    # SIGTERM drain closes it promptly instead of waiting out its idle
+    # timeout.
+    idle_reader, idle_writer = await asyncio.open_connection(host, port)
+    idle_writer.write(
+        f"GET /v1/healthz HTTP/1.1\r\nHost: {host}\r\n\r\n".encode("latin-1")
+    )
+    await idle_writer.drain()
+    await read_http_response(idle_reader)
+    outcome["idle_connection"] = (idle_reader, idle_writer)
+    return outcome
+
+
+async def _expect_idle_close(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """The drained daemon must have closed the idle keep-alive
+    connection (EOF), well before its 30 s idle timeout."""
+    try:
+        trailing = await asyncio.wait_for(reader.read(), timeout=5)
+    except asyncio.TimeoutError:
+        raise SmokeFailure(
+            "idle keep-alive connection still open 5s after drain"
+        ) from None
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    if trailing:
+        raise SmokeFailure(
+            f"idle connection received unexpected bytes at drain: "
+            f"{trailing[:80]!r}"
+        )
 
 
 def run_smoke(host: str = "127.0.0.1", port: int | None = None) -> int:
@@ -205,22 +415,7 @@ def run_smoke(host: str = "127.0.0.1", port: int | None = None) -> int:
             text=True,
         )
         try:
-            outcome = asyncio.run(_drive(host, port))
-            # 5. clean SIGTERM drain.
-            daemon.send_signal(signal.SIGTERM)
-            try:
-                _stdout, stderr = daemon.communicate(timeout=30)
-            except subprocess.TimeoutExpired:
-                daemon.kill()
-                raise SmokeFailure("daemon did not drain within 30s of SIGTERM")
-            if daemon.returncode != 0:
-                raise SmokeFailure(
-                    f"daemon exited {daemon.returncode} after SIGTERM:\n{stderr}"
-                )
-            if "drained" not in stderr:
-                raise SmokeFailure(
-                    f"daemon exited without announcing drain:\n{stderr}"
-                )
+            outcome = asyncio.run(_drive_and_drain(host, port, warm_reference, daemon))
         finally:
             if daemon.poll() is None:
                 daemon.kill()
@@ -228,7 +423,7 @@ def run_smoke(host: str = "127.0.0.1", port: int | None = None) -> int:
         bodies = outcome["bodies"]
         stats = outcome["stats"]
         assert isinstance(bodies, dict) and isinstance(stats, dict)
-        # 3. byte-identity: every response equals the offline warm JSON.
+        # Byte-identity: every response equals the offline warm JSON.
         for seed, seen in sorted(bodies.items()):
             if len(seen) != 1:
                 raise SmokeFailure(
@@ -245,33 +440,93 @@ def run_smoke(host: str = "127.0.0.1", port: int | None = None) -> int:
                     f"seed {seed}: served body differs from offline "
                     "`repro run --json` bytes"
                 )
-        # 4. stats: one computation per distinct cold key, no extras.
+        # Stats: one computation per distinct cold key, no extras, and
+        # the four serving tiers account for every run leg.
         distinct_cold = 1 + len(DISTINCT_MISS_SEEDS)
         if stats["misses"] != distinct_cold:
             raise SmokeFailure(
                 f"expected exactly {distinct_cold} computations (one per "
                 f"distinct cold key), stats say misses={stats['misses']}"
             )
-        if stats["coalesced"] + stats["misses"] + stats["hits"] != (
-            HIT_REQUESTS + DUPLICATE_REQUESTS + len(DISTINCT_MISS_SEEDS)
-        ):
-            raise SmokeFailure(f"request accounting does not add up: {stats}")
+        run_legs = (
+            KEEPALIVE_REQUESTS
+            + HIT_REQUESTS
+            + DUPLICATE_REQUESTS
+            + len(DISTINCT_MISS_SEEDS)
+            + 1  # the /v1/run-all leg
+        )
+        served = (
+            stats["hits"]
+            + stats["memory_hits"]
+            + stats["misses"]
+            + stats["coalesced"]
+        )
+        if served != run_legs:
+            raise SmokeFailure(
+                f"tier accounting does not add up: {served} served != "
+                f"{run_legs} run legs ({stats})"
+            )
         if stats["coalesced"] < 1:
             raise SmokeFailure(
                 f"expected coalesced > 0 from {DUPLICATE_REQUESTS} duplicate "
                 f"cold requests, stats say coalesced={stats['coalesced']}"
             )
-        if stats["hits"] < HIT_REQUESTS:
+        if stats["memory_hits"] < 1:
             raise SmokeFailure(
-                f"expected >= {HIT_REQUESTS} warm hits, "
-                f"stats say hits={stats['hits']}"
+                f"expected memory-tier hits, stats say "
+                f"memory_hits={stats['memory_hits']}"
             )
+        if stats["hits"] + stats["memory_hits"] < HIT_REQUESTS:
+            raise SmokeFailure(
+                f"expected >= {HIT_REQUESTS} warm hits across tiers, "
+                f"stats say hits={stats['hits']} "
+                f"memory_hits={stats['memory_hits']}"
+            )
+        hot = stats.get("hot")
+        if not isinstance(hot, dict) or hot.get("hits", 0) < 1:
+            raise SmokeFailure(f"expected hot-tier hits in stats, got {hot}")
         print(
-            f"serve smoke: OK — {stats['hits']} hits, {stats['misses']} "
-            f"computations, {stats['coalesced']} coalesced, byte-identical "
-            "to offline artifacts, clean drain"
+            f"serve smoke: OK — {stats['hits']} store hits, "
+            f"{stats['memory_hits']} memory hits, {stats['misses']} "
+            f"computations, {stats['coalesced']} coalesced, keep-alive + "
+            "run-all + metrics verified, byte-identical to offline "
+            "artifacts, clean drain with an idle connection open"
         )
     return 0
+
+
+async def _drive_and_drain(
+    host: str,
+    port: int,
+    warm_reference: bytes,
+    daemon: "subprocess.Popen[str]",
+) -> dict[str, object]:
+    """Drive every request phase, then SIGTERM with an idle keep-alive
+    connection still open and verify the clean drain."""
+    outcome = await _drive(host, port, warm_reference)
+    idle_reader, idle_writer = outcome.pop("idle_connection")  # type: ignore[misc]
+    daemon.send_signal(signal.SIGTERM)
+    loop = asyncio.get_running_loop()
+    try:
+        _stdout, stderr = await asyncio.wait_for(
+            loop.run_in_executor(None, daemon.communicate), timeout=30
+        )
+    except asyncio.TimeoutError:
+        daemon.kill()
+        raise SmokeFailure(
+            "daemon did not drain within 30s of SIGTERM "
+            "(an idle keep-alive connection was open)"
+        ) from None
+    if daemon.returncode != 0:
+        raise SmokeFailure(
+            f"daemon exited {daemon.returncode} after SIGTERM:\n{stderr}"
+        )
+    if "drained" not in stderr:
+        raise SmokeFailure(
+            f"daemon exited without announcing drain:\n{stderr}"
+        )
+    await _expect_idle_close(idle_reader, idle_writer)
+    return outcome
 
 
 def main(argv: list[str] | None = None) -> int:

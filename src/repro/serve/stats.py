@@ -1,25 +1,44 @@
-"""Request accounting for the serve daemon's ``/v1/stats`` endpoint.
+"""Request accounting for ``/v1/stats`` and ``/v1/metrics``.
 
 Counters are plain in-process integers — the daemon is one event loop,
 so no locking is needed — plus a bounded ring of recent request
-latencies from which p50/p99 are computed on demand.  Latencies are
+latencies from which quantiles are computed on demand.  Latencies are
 measured with ``perf_counter`` (monotonic, duration-only) and never
 reach any cached payload, so the wallclock discipline is satisfied by
 construction.
+
+Two families of failure are counted separately:
+
+* ``errors`` — requests that *reached the router* and blew up there
+  (the 500 family).
+* ``malformed`` / ``timeouts`` — requests that never parsed: bad
+  request lines, oversized lines, header junk (``malformed``, the
+  parse-level 400/405 family) and clients that went silent before
+  delivering a request (``timeouts``, the 408s).  Both are folded into
+  ``requests`` so the top-line counter reflects every request the
+  daemon answered, not only the well-formed ones.
+
+:meth:`ServeStats.render_prometheus` renders the same counters (plus
+gauges and the hot-tier snapshot handed in by the app) in Prometheus
+text exposition format — ``# TYPE`` comments, one ``name{labels} value``
+sample per line — for ``GET /v1/metrics``.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Any
+from typing import Any, Mapping
 
-__all__ = ["LATENCY_WINDOW", "ServeStats"]
+__all__ = ["LATENCY_WINDOW", "LATENCY_QUANTILES", "ServeStats"]
 
 #: How many recent request latencies the percentile window keeps.  A
-#: bounded window makes p50/p99 reflect *current* behaviour instead of
-#: averaging over the daemon's whole lifetime.
+#: bounded window makes the quantiles reflect *current* behaviour
+#: instead of averaging over the daemon's whole lifetime.
 LATENCY_WINDOW = 2048
+
+#: The latency quantiles exposed on ``/v1/stats`` and ``/v1/metrics``.
+LATENCY_QUANTILES = (0.50, 0.99)
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -37,20 +56,30 @@ class ServeStats:
     __slots__ = (
         "requests",
         "hits",
+        "memory_hits",
         "misses",
         "coalesced",
         "rejected",
         "errors",
+        "malformed",
+        "timeouts",
+        "connections_opened",
+        "keepalive_reuses",
         "_latencies",
     )
 
     def __init__(self) -> None:
         self.requests = 0
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # served from the disk store
+        self.memory_hits = 0  # served from the in-process hot tier
+        self.misses = 0  # distinct computations
         self.coalesced = 0
         self.rejected = 0
         self.errors = 0
+        self.malformed = 0  # parse-level 400/405: never reached a route
+        self.timeouts = 0  # 408: client never delivered a request
+        self.connections_opened = 0
+        self.keepalive_reuses = 0  # requests after the first on one conn
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
 
     def start_clock(self) -> float:
@@ -64,28 +93,173 @@ class ServeStats:
         elapsed = time.perf_counter() - start  # repro-lint: disable=nondet-wallclock
         self._latencies.append(elapsed)
 
+    def record_parse_failure(self, status: int) -> None:
+        """Count a request that failed before routing (``docs/SERVE.md``):
+        408 under ``timeouts``, everything else under ``malformed``.
+        Both count as requests — the daemon answered them."""
+        self.requests += 1
+        if status == 408:
+            self.timeouts += 1
+        else:
+            self.malformed += 1
+
+    def latency_quantiles_s(self) -> dict[float, float]:
+        """``{quantile: seconds}`` over the recent window."""
+        window = sorted(self._latencies)
+        return {q: _percentile(window, q) for q in LATENCY_QUANTILES}
+
     def latency_percentiles(self) -> dict[str, float]:
         """``{"p50_ms": ..., "p99_ms": ...}`` over the recent window."""
-        window = sorted(self._latencies)
         return {
-            "p50_ms": _percentile(window, 0.50) * 1000.0,
-            "p99_ms": _percentile(window, 0.99) * 1000.0,
+            f"p{int(q * 100)}_ms": seconds * 1000.0
+            for q, seconds in self.latency_quantiles_s().items()
         }
 
     def snapshot(
-        self, inflight: int, queue_depth: int, draining: bool
+        self,
+        inflight: int,
+        queue_depth: int,
+        draining: bool,
+        connections: Mapping[str, int] | None = None,
+        hot: Mapping[str, Any] | None = None,
     ) -> dict[str, Any]:
-        """The ``/v1/stats`` payload (gauges passed in by the app)."""
+        """The ``/v1/stats`` payload (gauges passed in by the app).
+
+        ``inflight`` is the number of distinct computations running;
+        ``queue_depth`` the number of follower requests waiting on one
+        of them (not a duplicate of ``inflight``)."""
         payload: dict[str, Any] = {
             "requests": self.requests,
             "hits": self.hits,
+            "memory_hits": self.memory_hits,
             "misses": self.misses,
             "coalesced": self.coalesced,
             "rejected": self.rejected,
             "errors": self.errors,
+            "malformed": self.malformed,
+            "timeouts": self.timeouts,
             "inflight": inflight,
             "queue_depth": queue_depth,
             "draining": draining,
         }
+        if connections is not None:
+            payload["connections"] = dict(connections)
+        if hot is not None:
+            payload["hot"] = dict(hot)
         payload["latency"] = self.latency_percentiles()
         return payload
+
+    def render_prometheus(
+        self,
+        inflight: int,
+        queue_depth: int,
+        draining: bool,
+        connections: Mapping[str, int] | None = None,
+        hot: Mapping[str, Any] | None = None,
+    ) -> str:
+        """The ``/v1/metrics`` body: Prometheus text exposition format."""
+        lines: list[str] = []
+
+        def sample(
+            name: str, kind: str, help_text: str, value: float | int
+        ) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {value}")
+
+        sample(
+            "repro_serve_requests_total",
+            "counter",
+            "Requests answered, including parse failures.",
+            self.requests,
+        )
+        for field, help_text in (
+            ("hits", "Requests served from the disk store."),
+            ("memory_hits", "Requests served from the in-memory hot tier."),
+            ("misses", "Distinct computations dispatched."),
+            ("coalesced", "Requests that rode another request's computation."),
+            ("rejected", "Requests answered 429 by admission control."),
+            ("errors", "Requests that failed with a 500-family error."),
+            ("malformed", "Requests rejected before routing (400/405)."),
+            ("timeouts", "Connections that never delivered a request (408)."),
+        ):
+            sample(
+                f"repro_serve_{field}_total",
+                "counter",
+                help_text,
+                getattr(self, field),
+            )
+        sample(
+            "repro_serve_connections_opened_total",
+            "counter",
+            "TCP connections accepted.",
+            self.connections_opened,
+        )
+        sample(
+            "repro_serve_keepalive_reuses_total",
+            "counter",
+            "Requests served on an already-used keep-alive connection.",
+            self.keepalive_reuses,
+        )
+        sample(
+            "repro_serve_inflight",
+            "gauge",
+            "Distinct computations currently running.",
+            inflight,
+        )
+        sample(
+            "repro_serve_queue_depth",
+            "gauge",
+            "Follower requests waiting on an in-flight computation.",
+            queue_depth,
+        )
+        sample(
+            "repro_serve_draining",
+            "gauge",
+            "1 while the daemon is draining, else 0.",
+            int(draining),
+        )
+        if connections is not None:
+            for state, value in sorted(connections.items()):
+                name = f"repro_serve_connections_{state}"
+                sample(
+                    name,
+                    "gauge",
+                    f"Connections currently {state}.",
+                    value,
+                )
+        if hot is not None:
+            for field in ("hits", "misses", "ghost_hits", "evictions", "resizes"):
+                if field in hot:
+                    sample(
+                        f"repro_serve_hot_{field}_total",
+                        "counter",
+                        f"Hot-tier {field.replace('_', ' ')}.",
+                        hot[field],
+                    )
+            for field in (
+                "entries",
+                "bytes",
+                "target_bytes",
+                "capacity_bytes",
+                "ghost_entries",
+            ):
+                if field in hot:
+                    sample(
+                        f"repro_serve_hot_{field}",
+                        "gauge",
+                        f"Hot-tier {field.replace('_', ' ')}.",
+                        hot[field],
+                    )
+        quantiles = self.latency_quantiles_s()
+        name = "repro_serve_latency_seconds"
+        lines.append(
+            f"# HELP {name} Recent request latency quantiles "
+            f"(window of {LATENCY_WINDOW})."
+        )
+        lines.append(f"# TYPE {name} summary")
+        for q, seconds in quantiles.items():
+            lines.append(f'{name}{{quantile="{q:g}"}} {seconds:.6f}')
+        lines.append(f"{name}_sum {sum(self._latencies):.6f}")
+        lines.append(f"{name}_count {len(self._latencies)}")
+        return "\n".join(lines) + "\n"

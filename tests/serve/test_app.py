@@ -64,17 +64,24 @@ class TestRoutes:
         for field in (
             "requests",
             "hits",
+            "memory_hits",
             "misses",
             "coalesced",
             "rejected",
             "errors",
+            "malformed",
+            "timeouts",
             "inflight",
             "queue_depth",
             "draining",
+            "connections",
+            "hot",
         ):
             assert field in payload
         assert payload["wire_version"] == WIRE_VERSION
         assert set(payload["latency"]) == {"p50_ms", "p99_ms"}
+        for field in ("hits", "misses", "ghost_hits", "resizes", "bytes"):
+            assert field in payload["hot"]
         # the stats request itself was counted
         assert payload["requests"] == 2 or payload["requests"] == 1
 
@@ -120,16 +127,26 @@ class TestRunByteIdentity:
         assert response.headers["X-Repro-Wire-Version"] == str(WIRE_VERSION)
         assert app.stats.hits == 1 and app.stats.misses == 0
 
-    def test_cold_miss_computes_then_hits(self):
+    def test_cold_miss_computes_then_memory_hits(self):
         app = make_app()
         first = handle(app, get("/v1/run/fig1"))
         second = handle(app, get("/v1/run/fig1"))
         assert first.status == second.status == 200
         assert first.headers["X-Repro-Served-From"] == "computed"
-        assert second.headers["X-Repro-Served-From"] == "store"
-        # computed and warm responses are byte-identical by construction
+        # the computed response was admitted to the hot tier: the
+        # repeat is a memory hit, byte-identical by construction
+        assert second.headers["X-Repro-Served-From"] == "memory"
         assert first.body == second.body
-        assert app.stats.misses == 1 and app.stats.hits == 1
+        assert app.stats.misses == 1 and app.stats.memory_hits == 1
+
+    def test_hot_tier_disabled_serves_from_store(self):
+        app = make_app(hot_bytes=0)
+        first = handle(app, get("/v1/run/fig1"))
+        second = handle(app, get("/v1/run/fig1"))
+        assert first.headers["X-Repro-Served-From"] == "computed"
+        assert second.headers["X-Repro-Served-From"] == "store"
+        assert first.body == second.body
+        assert app.stats.memory_hits == 0 and app.stats.hits == 1
 
     def test_served_body_matches_offline_warm_read(self):
         app = make_app()
@@ -281,9 +298,7 @@ class TestOverSocket:
     def test_connection_handler_end_to_end(self):
         async def go():
             app = make_app()
-            server = await asyncio.start_server(
-                app.handle_connection, host="127.0.0.1", port=0
-            )
+            server = await app.start_server("127.0.0.1", 0)
             port = server.sockets[0].getsockname()[1]
             try:
                 healthz = await http_get("127.0.0.1", port, "/v1/healthz")
@@ -309,9 +324,7 @@ class TestOverSocket:
 
         async def go():
             app = make_app()
-            server = await asyncio.start_server(
-                app.handle_connection, host="127.0.0.1", port=0
-            )
+            server = await app.start_server("127.0.0.1", 0)
             port = server.sockets[0].getsockname()[1]
             try:
                 reader, writer = await asyncio.open_connection("127.0.0.1", port)
@@ -336,9 +349,7 @@ class TestOverSocket:
             gate = asyncio.Event()
             calls = []
             gated_dispatcher(app, gate, calls)
-            server = await asyncio.start_server(
-                app.handle_connection, host="127.0.0.1", port=0
-            )
+            server = await app.start_server("127.0.0.1", 0)
             port = server.sockets[0].getsockname()[1]
             try:
                 reader, writer = await asyncio.open_connection("127.0.0.1", port)
@@ -374,9 +385,7 @@ class TestOverSocket:
     def test_malformed_request_answered_400_over_socket(self):
         async def go():
             app = make_app()
-            server = await asyncio.start_server(
-                app.handle_connection, host="127.0.0.1", port=0
-            )
+            server = await app.start_server("127.0.0.1", 0)
             port = server.sockets[0].getsockname()[1]
             try:
                 reader, writer = await asyncio.open_connection("127.0.0.1", port)

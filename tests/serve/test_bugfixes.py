@@ -1,0 +1,209 @@
+"""Regression pins for the PR-9 serve-layer bugfix sweep.
+
+Each test here fails against the pre-PR serve code:
+
+* an unterminated oversized request line used to buffer up to the
+  64 KiB ``StreamReader`` default and park until the 10 s read timeout
+  instead of answering 400 promptly (``limit=`` was never passed to
+  ``asyncio.start_server``);
+* the 408 and parse-error response paths wrote the error body and
+  closed without ``await writer.drain()``, so a slow reader could get a
+  reset instead of the response;
+* parse-level failures never reached ``ServeStats`` (the counters only
+  saw requests that parsed), and ``queue_depth`` was a constant
+  duplicate of ``inflight`` rather than the number of waiting
+  followers.
+"""
+
+import asyncio
+import json
+
+from repro.serve.app import ServeApp, ServeConfig
+from repro.serve.http import MAX_LINE_BYTES, HttpRequest
+from repro.serve.smoke import read_http_response
+
+
+def make_app(**overrides):
+    config = dict(jobs=0, max_inflight=16)
+    config.update(overrides)
+    return ServeApp(ServeConfig(**config))
+
+
+async def serving(app):
+    server = await app.start_server("127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    return server, port
+
+
+class RecordingWriter:
+    """A StreamWriter stand-in that records the call sequence, so a test
+    can assert the transport was drained between write and close."""
+
+    def __init__(self):
+        self.events = []
+        self.data = b""
+
+    def write(self, data):
+        self.events.append("write")
+        self.data += data
+
+    async def drain(self):
+        self.events.append("drain")
+
+    def close(self):
+        self.events.append("close")
+
+    async def wait_closed(self):
+        self.events.append("wait_closed")
+
+
+class TestStreamLayerLimit:
+    def test_oversized_line_answered_400_promptly(self):
+        # Pre-PR the daemon's reader happily buffered this (it is under
+        # the 64 KiB stream default) and sat in readuntil until the 10 s
+        # read timeout; with limit=MAX_LINE_BYTES on the server socket
+        # the 400 arrives as soon as the cap is crossed.
+        async def go():
+            app = make_app()
+            server, port = await serving(app)
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(b"A" * (MAX_LINE_BYTES + 1024))  # no CRLF ever
+                await writer.drain()
+                reply = await asyncio.wait_for(
+                    read_http_response(reader), timeout=5
+                )
+                assert reply.status == 400
+                assert "too long" in json.loads(reply.body)["error"]["detail"]
+                assert reply.headers["connection"] == "close"
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
+
+
+class TestErrorPathsDrain:
+    def test_parse_error_response_drained_before_close(self):
+        async def go():
+            app = make_app()
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"BREW / HTTP/1.1\r\n\r\n")
+            reader.feed_eof()
+            writer = RecordingWriter()
+            await app.handle_connection(reader, writer)
+            assert writer.data.startswith(b"HTTP/1.1 405 ")
+            assert "drain" in writer.events
+            assert writer.events.index("drain") > writer.events.index("write")
+            assert writer.events.index("drain") < writer.events.index("close")
+
+        asyncio.run(go())
+
+    def test_408_response_drained_before_close(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.app.READ_TIMEOUT_S", 0.05)
+
+        async def go():
+            app = make_app()
+            reader = asyncio.StreamReader()  # never fed: a silent client
+            writer = RecordingWriter()
+            await app.handle_connection(reader, writer)
+            assert writer.data.startswith(b"HTTP/1.1 408 ")
+            assert "drain" in writer.events
+            assert writer.events.index("drain") > writer.events.index("write")
+            assert writer.events.index("drain") < writer.events.index("close")
+
+        asyncio.run(go())
+
+
+class TestParseFailureStats:
+    def test_malformed_request_counted(self):
+        async def go():
+            app = make_app()
+            server, port = await serving(app)
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(b"nonsense\r\n\r\n")
+                await writer.drain()
+                reply = await read_http_response(reader)
+                assert reply.status == 400
+                writer.close()
+                await writer.wait_closed()
+                # pre-PR: requests == malformed == 0 — the failure never
+                # reached the stats at all
+                assert app.stats.requests == 1
+                assert app.stats.malformed == 1
+                assert app.stats.timeouts == 0
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_read_timeout_counted(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.app.READ_TIMEOUT_S", 0.05)
+
+        async def go():
+            app = make_app()
+            server, port = await serving(app)
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                reply = await asyncio.wait_for(
+                    read_http_response(reader), timeout=5
+                )
+                assert reply.status == 408
+                writer.close()
+                await writer.wait_closed()
+                assert app.stats.requests == 1
+                assert app.stats.timeouts == 1
+                assert app.stats.malformed == 0
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
+
+
+class TestQueueDepth:
+    def test_queue_depth_is_waiting_followers_not_inflight(self):
+        # pre-PR /v1/stats reported queue_depth == inflight always; the
+        # gauge must count followers parked on a leader's computation.
+        async def go():
+            from repro.runtime.request import RunRequest, RunResponse
+            from repro.runtime.runner import execute
+
+            app = make_app()
+            gate = asyncio.Event()
+            base = execute(RunRequest(experiment_id="fig1", cache="off"))
+
+            async def dispatch(request):
+                await gate.wait()
+                return RunResponse(
+                    request=request,
+                    artifact=base.artifact,
+                    served_from="computed",
+                )
+
+            app._dispatcher = lambda: dispatch
+
+            def get(path):
+                return HttpRequest(method="GET", path=path, query={}, headers={})
+
+            tasks = [
+                asyncio.create_task(app.handle(get("/v1/run/fig1")))
+                for _ in range(3)
+            ]
+            while app.coalescer.waiting < 2:
+                await asyncio.sleep(0)
+            payload = json.loads(app._handle_stats().body)
+            assert payload["inflight"] == 1  # one distinct computation
+            assert payload["queue_depth"] == 2  # two parked followers
+            gate.set()
+            responses = await asyncio.gather(*tasks)
+            assert all(r.status == 200 for r in responses)
+            # queue drained with the computation
+            payload = json.loads(app._handle_stats().body)
+            assert payload["inflight"] == 0 and payload["queue_depth"] == 0
+
+        asyncio.run(go())

@@ -6,6 +6,7 @@ import pytest
 
 from repro.serve.http import (
     MAX_HEADER_LINES,
+    MAX_LINE_BYTES,
     HttpError,
     HttpRequest,
     HttpResponse,
@@ -14,9 +15,12 @@ from repro.serve.http import (
 )
 
 
-def parse(raw: bytes) -> HttpRequest | None:
+def parse(raw: bytes, limit: int | None = None) -> HttpRequest | None:
     async def go():
-        reader = asyncio.StreamReader()
+        reader = (
+            asyncio.StreamReader() if limit is None
+            else asyncio.StreamReader(limit=limit)
+        )
         reader.feed_data(raw)
         reader.feed_eof()
         return await read_request(reader)
@@ -87,6 +91,67 @@ class TestReadRequest:
             parse(b"GET /" + b"a" * 9000 + b" HTTP/1.1\r\n\r\n")
         assert exc.value.status == 400
 
+    def line_of_content_length(self, content_len: int) -> bytes:
+        prefix, suffix = b"GET /v1/run/", b" HTTP/1.1"
+        pad = content_len - len(prefix) - len(suffix)
+        assert pad > 0
+        return prefix + b"a" * pad + suffix
+
+    def test_line_content_exactly_at_cap_accepted(self):
+        # The cap is on line *content*: the CRLF terminator must not
+        # count against it (the pre-fix check charged it 2 bytes).
+        line = self.line_of_content_length(MAX_LINE_BYTES)
+        request = parse(line + b"\r\n\r\n")
+        assert request is not None
+        assert request.path.startswith("/v1/run/aaa")
+
+    def test_line_content_one_past_cap_is_400(self):
+        line = self.line_of_content_length(MAX_LINE_BYTES + 1)
+        with pytest.raises(HttpError) as exc:
+            parse(line + b"\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_at_cap_accepted_under_stream_layer_limit(self):
+        # Same boundary through a reader configured like the daemon's
+        # listening socket (limit=MAX_LINE_BYTES): readuntil tolerates a
+        # separator found exactly at the limit.
+        line = self.line_of_content_length(MAX_LINE_BYTES)
+        request = parse(line + b"\r\n\r\n", limit=MAX_LINE_BYTES)
+        assert request is not None
+
+    def test_stream_layer_limit_rejects_unterminated_line(self):
+        # No CRLF anywhere: with the daemon's stream limit the reader
+        # refuses to buffer past the cap and the parse fails fast with a
+        # 400 instead of waiting for a terminator that never comes.
+        with pytest.raises(HttpError) as exc:
+            parse(b"A" * (MAX_LINE_BYTES + 1024), limit=MAX_LINE_BYTES)
+        assert exc.value.status == 400
+
+
+class TestHttpRequestKeepAlive:
+    def req(self, version="HTTP/1.1", connection=None):
+        headers = {} if connection is None else {"connection": connection}
+        return HttpRequest(
+            method="GET", path="/", query={}, headers=headers, version=version
+        )
+
+    def test_http11_defaults_to_keep_alive(self):
+        assert self.req().keep_alive
+
+    def test_http11_connection_close(self):
+        assert not self.req(connection="close").keep_alive
+        assert not self.req(connection=" Close ").keep_alive
+
+    def test_http10_defaults_to_close(self):
+        assert not self.req(version="HTTP/1.0").keep_alive
+
+    def test_http10_explicit_keep_alive(self):
+        assert self.req(version="HTTP/1.0", connection="keep-alive").keep_alive
+
+    def test_version_parsed_from_request_line(self):
+        assert parse(b"GET / HTTP/1.0\r\n\r\n").version == "HTTP/1.0"
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").version == "HTTP/1.1"
+
 
 class TestRenderResponse:
     def test_status_line_and_framing(self):
@@ -114,3 +179,10 @@ class TestRenderResponse:
     def test_unknown_status_still_renders(self):
         wire = render_response(HttpResponse(status=418, body=b""))
         assert wire.startswith(b"HTTP/1.1 418 Unknown\r\n")
+
+    def test_keep_alive_connection_header(self):
+        wire = render_response(
+            HttpResponse(status=200, body=b"{}"), close=False
+        )
+        assert b"Connection: keep-alive\r\n" in wire
+        assert b"Connection: close" not in wire

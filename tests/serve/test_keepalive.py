@@ -1,0 +1,213 @@
+"""Keep-alive connections: reuse, pipelining, idle timeout, drain."""
+
+import asyncio
+import json
+
+from repro.serve.app import ServeApp, ServeConfig
+from repro.serve.smoke import read_http_response
+
+
+def make_app(**overrides):
+    config = dict(jobs=0, max_inflight=16)
+    config.update(overrides)
+    return ServeApp(ServeConfig(**config))
+
+
+def request_bytes(target, *, close=False, version="1.1", extra=()):
+    lines = [f"GET {target} HTTP/{version}", "Host: t"]
+    if close:
+        lines.append("Connection: close")
+    lines.extend(extra)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def serving(app):
+    server = await app.start_server("127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    return server, port
+
+
+class TestKeepAlive:
+    def test_many_requests_over_one_connection(self):
+        async def go():
+            app = make_app()
+            server, port = await serving(app)
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                for i in range(5):
+                    writer.write(request_bytes("/v1/healthz"))
+                    await writer.drain()
+                    reply = await read_http_response(reader)
+                    assert reply.status == 200
+                    assert reply.headers["connection"] == "keep-alive"
+                    assert json.loads(reply.body)["status"] == "ok"
+                writer.close()
+                await writer.wait_closed()
+                assert app.stats.connections_opened == 1
+                assert app.stats.keepalive_reuses == 4
+                assert app.stats.requests == 5
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_pipelined_requests_answered_in_order(self):
+        async def go():
+            app = make_app()
+            server, port = await serving(app)
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                # both requests on the wire before any response is read
+                writer.write(
+                    request_bytes("/v1/healthz") + request_bytes("/v1/stats")
+                )
+                await writer.drain()
+                first = await read_http_response(reader)
+                second = await read_http_response(reader)
+                writer.close()
+                await writer.wait_closed()
+                assert first.status == second.status == 200
+                assert "status" in json.loads(first.body)  # healthz
+                assert "requests" in json.loads(second.body)  # stats
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_connection_close_honored(self):
+        async def go():
+            app = make_app()
+            server, port = await serving(app)
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(request_bytes("/v1/healthz", close=True))
+                await writer.drain()
+                reply = await read_http_response(reader)
+                assert reply.headers["connection"] == "close"
+                assert await reader.read() == b""  # daemon closed
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_http_10_defaults_to_close(self):
+        async def go():
+            app = make_app()
+            server, port = await serving(app)
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(request_bytes("/v1/healthz", version="1.0"))
+                await writer.drain()
+                reply = await read_http_response(reader)
+                assert reply.headers["connection"] == "close"
+                assert await reader.read() == b""
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_max_requests_per_conn_closes_after_budget(self):
+        async def go():
+            app = make_app(max_requests_per_conn=2)
+            server, port = await serving(app)
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(request_bytes("/v1/healthz"))
+                await writer.drain()
+                first = await read_http_response(reader)
+                assert first.headers["connection"] == "keep-alive"
+                writer.write(request_bytes("/v1/healthz"))
+                await writer.drain()
+                second = await read_http_response(reader)
+                # budget exhausted: the daemon says so and closes
+                assert second.headers["connection"] == "close"
+                assert await reader.read() == b""
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_idle_connection_closed_after_idle_timeout(self):
+        async def go():
+            app = make_app(idle_timeout_s=0.05)
+            server, port = await serving(app)
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(request_bytes("/v1/healthz"))
+                await writer.drain()
+                reply = await read_http_response(reader)
+                assert reply.headers["connection"] == "keep-alive"
+                # now sit idle: the daemon closes silently (no 408 — the
+                # connection already carried a complete exchange)
+                raw = await asyncio.wait_for(reader.read(), timeout=5)
+                assert raw == b""
+                assert app.stats.timeouts == 0
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_drain_closes_idle_keepalive_connection_immediately(self):
+        async def go():
+            app = make_app()  # default 30s idle timeout: drain must not wait it
+            server, port = await serving(app)
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(request_bytes("/v1/healthz"))
+                await writer.drain()
+                await read_http_response(reader)
+                # parked idle between requests
+                while not app._idle:
+                    await asyncio.sleep(0)
+                server.close()
+                await asyncio.wait_for(app.drain(), timeout=5)
+                raw = await asyncio.wait_for(reader.read(), timeout=5)
+                assert raw == b""  # closed by drain, well before idle timeout
+                assert app._connections == set()
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_keepalive_run_responses_byte_identical(self):
+        async def go():
+            app = make_app()
+            server, port = await serving(app)
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                bodies = []
+                tiers = []
+                for _ in range(3):
+                    writer.write(request_bytes("/v1/run/fig1?seed=0"))
+                    await writer.drain()
+                    reply = await read_http_response(reader)
+                    assert reply.status == 200
+                    bodies.append(reply.body)
+                    tiers.append(reply.headers["x-repro-served-from"])
+                writer.close()
+                await writer.wait_closed()
+                assert len(set(bodies)) == 1
+                assert tiers[0] == "computed"
+                assert tiers[1] == tiers[2] == "memory"
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())

@@ -44,6 +44,15 @@ from repro.algorithms.scan_hiding import (
 )
 from repro.algorithms.sorting import SortRun, merge_sort
 from repro.algorithms.spec import RegularSpec, ScanPlacement
+from repro.algorithms.trace_store import (
+    TRACE_FORMAT_VERSION,
+    load_stored_trace,
+    load_trace,
+    save_trace,
+    store_trace,
+    stored_trace_path,
+    trace_digest,
+)
 from repro.algorithms.traces import Trace, TraceRecorder, synthetic_trace
 
 __all__ = [
@@ -90,4 +99,11 @@ __all__ = [
     "Trace",
     "TraceRecorder",
     "synthetic_trace",
+    "TRACE_FORMAT_VERSION",
+    "trace_digest",
+    "save_trace",
+    "load_trace",
+    "store_trace",
+    "stored_trace_path",
+    "load_stored_trace",
 ]

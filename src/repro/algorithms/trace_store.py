@@ -1,0 +1,158 @@
+"""Compressed on-disk traces: digest-keyed ``.npz`` save/load.
+
+Traces from :mod:`repro.algorithms.traces` are deterministic functions of
+their spec, so the in-process memo already deduplicates them within a
+run.  This module is the durable counterpart — a compressed archive
+format for shipping traces between processes and, per the ROADMAP, the
+seed of the real-block-trace loader: a measured workload trace saved
+once can be replayed through :func:`repro.machine.simulate_ca` forever.
+
+Format: a ``numpy.savez_compressed`` archive holding the ``blocks`` and
+``leaf_spans`` arrays plus scalar metadata (``block_size``, ``label``,
+``format_version``) and the content digest of everything else.  Loads
+never unpickle (``allow_pickle=False``) and verify the digest, so a
+truncated or tampered file fails loudly instead of feeding the machines
+a silently corrupt trace.  :func:`store_trace` /
+:func:`load_stored_trace` layer a content-addressed ``<digest>.npz``
+naming scheme on top, mirroring the artifact store's digest-keyed
+layout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.algorithms.traces import Trace
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "trace_digest",
+    "save_trace",
+    "load_trace",
+    "stored_trace_path",
+    "store_trace",
+    "load_stored_trace",
+]
+
+TRACE_FORMAT_VERSION = 1
+
+
+def trace_digest(trace: Trace) -> str:
+    """Content digest of a trace (sha256 hex).
+
+    Covers the arrays byte-for-byte plus ``block_size`` and ``label`` —
+    two traces share a digest iff they are equal as traces.  The format
+    version is salted in so a future layout change re-keys the store.
+    """
+    h = hashlib.sha256()
+    h.update(f"repro-trace-v{TRACE_FORMAT_VERSION}".encode())
+    h.update(str(trace.block_size).encode())
+    h.update(b"\x00")
+    h.update(trace.label.encode())
+    h.update(b"\x00")
+    h.update(str(trace.leaf_spans.shape[0]).encode())
+    h.update(b"\x00")
+    h.update(np.ascontiguousarray(trace.blocks).tobytes())
+    h.update(np.ascontiguousarray(trace.leaf_spans).tobytes())
+    return h.hexdigest()
+
+
+def save_trace(path: str | Path, trace: Trace) -> str:
+    """Write ``trace`` to ``path`` as a compressed archive; returns its
+    digest.  The write is atomic (temp file + rename) so a crashed save
+    never leaves a half-written archive under the final name."""
+    path = Path(path)
+    digest = trace_digest(trace)
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                format_version=np.int64(TRACE_FORMAT_VERSION),
+                blocks=trace.blocks,
+                leaf_spans=trace.leaf_spans,
+                block_size=np.int64(trace.block_size),
+                label=np.array(trace.label),
+                digest=np.array(digest),
+            )
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            tmp.unlink()
+    return digest
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace archive written by :func:`save_trace`.
+
+    Raises :class:`~repro.errors.TraceError` on unknown format versions,
+    missing fields, or a digest mismatch (corruption/tampering).
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            try:
+                version = int(archive["format_version"])
+                blocks = np.asarray(archive["blocks"], dtype=np.int64)
+                spans = np.asarray(archive["leaf_spans"], dtype=np.int64)
+                block_size = int(archive["block_size"])
+                label = str(archive["label"])
+                digest = str(archive["digest"])
+            except KeyError as exc:
+                raise TraceError(
+                    f"trace archive {path} is missing field {exc}"
+                ) from exc
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        raise TraceError(f"cannot read trace archive {path}: {exc}") from exc
+    if version != TRACE_FORMAT_VERSION:
+        raise TraceError(
+            f"trace archive {path} has format version {version}, "
+            f"expected {TRACE_FORMAT_VERSION}"
+        )
+    trace = Trace(blocks, spans, block_size=block_size, label=label)
+    actual = trace_digest(trace)
+    if actual != digest:
+        raise TraceError(
+            f"trace archive {path} failed digest verification "
+            f"(stored {digest[:12]}…, recomputed {actual[:12]}…)"
+        )
+    return trace
+
+
+def stored_trace_path(directory: str | Path, digest: str) -> Path:
+    """Canonical path of a digest-keyed trace inside ``directory``."""
+    return Path(directory) / f"{digest}.npz"
+
+
+def store_trace(directory: str | Path, trace: Trace) -> Path:
+    """Save ``trace`` under its content digest in ``directory``.
+
+    Idempotent: an archive already present under the digest is trusted
+    (content-addressing makes the name a proof of the content) and not
+    rewritten.  Returns the archive path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = stored_trace_path(directory, trace_digest(trace))
+    if not path.exists():
+        save_trace(path, trace)
+    return path
+
+
+def load_stored_trace(directory: str | Path, digest: str) -> Trace | None:
+    """Load the trace stored under ``digest``, or ``None`` if absent."""
+    path = stored_trace_path(directory, digest)
+    if not path.exists():
+        return None
+    trace = load_trace(path)
+    if trace_digest(trace) != digest:
+        raise TraceError(
+            f"trace archive {path} does not match its digest key"
+        )
+    return trace

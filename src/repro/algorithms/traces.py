@@ -17,13 +17,13 @@ arbitrary ``(a, b, c)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import TraceError
 from repro.algorithms.spec import RegularSpec
+from repro.cache.memo import memoized
 
 __all__ = ["Trace", "TraceRecorder", "synthetic_trace"]
 
@@ -167,8 +167,16 @@ class TraceRecorder:
         return Trace(blocks, spans, block_size=self.block_size, label=self.label)
 
 
+@memoized(maxsize=32, key=lambda spec, n, label="": (spec, n, label))
 def synthetic_trace(spec: RegularSpec, n: int, label: str = "") -> Trace:
     """Generate the canonical trace of an ``(a,b,c)``-regular execution.
+
+    Memoized in-process (:func:`repro.cache.memo.memoized`): the trace is
+    a pure function of ``(spec, n, label)`` and :class:`Trace` is
+    immutable, so experiments and benches sweeping many profiles over the
+    same trace share one array — which also lets the trace machines'
+    per-trace stack-distance cache (:mod:`repro.machine.fastpath`) hit
+    across calls.
 
     The size-``n`` root owns block region ``[0, n)``.  A size-``m`` node
     with region ``[lo, lo+m)`` gives child ``i`` the sub-region

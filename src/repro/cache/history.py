@@ -173,6 +173,9 @@ _TREND_COLUMNS = {
     "sim-scalar-vs-chunked": (
         "scalar_wall_time_s", "chunked_wall_time_s", "scalar(s)", "chunked(s)"
     ),
+    "machine-scalar-vs-kernel": (
+        "scalar_wall_time_s", "chunked_wall_time_s", "scalar(s)", "kernel(s)"
+    ),
 }
 
 

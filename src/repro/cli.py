@@ -35,10 +35,12 @@ appears):
   applies ``--max-inflight`` backpressure (429), and drains cleanly on
   SIGTERM (``docs/SERVE.md``);
 * ``bench`` — benchmark suites: ``--suite cache`` (cold-vs-warm over
-  the registry; writes ``BENCH_cache.json``) or ``--suite sim``
-  (scalar-vs-chunked simulator workloads; writes ``BENCH_sim.json``).
-  With ``--history``, appends a record to the suite's longitudinal
-  trend line and runs (and fails on) the speedup regression check;
+  the registry; writes ``BENCH_cache.json``), ``--suite sim``
+  (scalar-vs-chunked simulator workloads; writes ``BENCH_sim.json``),
+  or ``--suite machine`` (scalar-vs-kernel trace-machine replays;
+  writes ``BENCH_machine.json``).  With ``--history``, appends a record
+  to the suite's longitudinal trend line and runs (and fails on) the
+  speedup regression check;
 * ``lint`` — run the repo's AST-based invariant linter (RNG/units/
   float-equality/frozen-artifact/exports/profile discipline) over
   source trees; exit 1 on findings, for CI.  See ``docs/DEVTOOLS.md``.
@@ -298,8 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p = sub.add_parser(
         "bench",
         help="benchmark suites: cache (cold-vs-warm over the registry, "
-        "writes BENCH_cache.json) or sim (scalar-vs-chunked simulator, "
-        "writes BENCH_sim.json)",
+        "writes BENCH_cache.json), sim (scalar-vs-chunked simulator, "
+        "writes BENCH_sim.json), or machine (scalar-vs-kernel trace "
+        "replays, writes BENCH_machine.json)",
     )
     bench_p.add_argument(
         "ids",
@@ -310,10 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "--suite",
-        choices=("cache", "sim"),
+        choices=("cache", "sim", "machine"),
         default="cache",
-        help="which benchmark to run: the cache cold-vs-warm suite or "
-        "the simulator scalar-vs-chunked suite (default cache)",
+        help="which benchmark to run: the cache cold-vs-warm suite, the "
+        "simulator scalar-vs-chunked suite, or the trace-machine "
+        "scalar-vs-kernel suite (default cache)",
     )
     _add_quick_full(bench_p, default_quick=True, what="small sweeps")
     _add_seed(bench_p)
@@ -328,8 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
         "-o",
         "--output",
         default=None,
-        help="where to write the benchmark report "
-        "(default BENCH_cache.json / BENCH_sim.json per suite)",
+        help="where to write the benchmark report (default "
+        "BENCH_cache.json / BENCH_sim.json / BENCH_machine.json "
+        "per suite)",
     )
     bench_p.add_argument(
         "--history",
@@ -932,6 +937,22 @@ def _cmd_bench(
         payload = run_sim_bench(quick=quick, seed=seed)
         benchmark = SIM_BENCHMARK_NAME
         output = output or "BENCH_sim.json"
+    elif suite == "machine":
+        from repro.machine.bench import (
+            MACHINE_BENCHMARK_NAME,
+            run_machine_bench,
+        )
+
+        if ids:
+            print(
+                "error: the machine suite benchmarks fixed trace-machine "
+                "workloads, not registry ids",
+                file=sys.stderr,
+            )
+            return 2
+        payload = run_machine_bench(quick=quick, seed=seed)
+        benchmark = MACHINE_BENCHMARK_NAME
+        output = output or "BENCH_machine.json"
     else:
         from repro.cache.bench import run_cache_bench
 
@@ -975,10 +996,11 @@ def _cmd_bench(
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
     speedup = payload["speedup"]
-    if suite == "sim":
+    if suite in ("sim", "machine"):
+        fast_name = "chunked" if suite == "sim" else "kernel"
         print(
-            f"sim bench: scalar {payload['scalar_wall_time_s']:.2f}s, "
-            f"chunked {payload['chunked_wall_time_s']:.2f}s"
+            f"{suite} bench: scalar {payload['scalar_wall_time_s']:.2f}s, "
+            f"{fast_name} {payload['chunked_wall_time_s']:.2f}s"
             + (f", min speedup {speedup:.1f}x" if speedup else "")
         )
         for workload in payload["workloads"]:

@@ -22,8 +22,10 @@ from repro.algorithms.mm import mm_inplace, mm_scan
 from repro.algorithms.spec import RegularSpec
 from repro.algorithms.traces import synthetic_trace
 from repro.experiments.common import ExperimentResult, RunArtifact
+from repro.machine.ca_machine import simulate_ca
 from repro.machine.dam import simulate_dam
 from repro.machine.square_machine import run_trace_on_boxes
+from repro.profiles.base import MemoryProfile
 from repro.profiles.worst_case import worst_case_profile
 from repro.simulation.symbolic import SymbolicSimulator
 from repro.util.rng import as_generator
@@ -110,6 +112,15 @@ def run(quick: bool = True, seed: int = 0) -> RunArtifact:
         r = simulate_dam(scan_trace, mem, policy="lru")
         ios.append(r.io_count)
         dam_rows.append((mem, r.io_count, r.miss_rate))
+        # Consistency of the two machines (and of the stack-distance
+        # fast path both LRU replays auto-select): the general CA
+        # machine on a constant profile long enough to never exhaust
+        # must complete with exactly the DAM's I/O count.
+        ca = simulate_ca(
+            scan_trace, MemoryProfile.constant(mem, len(scan_trace)),
+            policy="lru",
+        )
+        ok &= ca.completed and ca.io_count == r.io_count
     # doubling M should reduce I/Os by about sqrt(2) (within tolerance;
     # small matrices carry sizeable constants)
     shrink1 = ios[0] / ios[1]

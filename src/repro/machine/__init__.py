@@ -1,9 +1,21 @@
 """Trace-level machine simulators: the classic DAM (fixed memory), the
 square-profile machine (the paper's box semantics made literal), and the
-general per-I/O cache-adaptive machine, with LRU/FIFO/OPT replacement."""
+general per-I/O cache-adaptive machine, with LRU/FIFO/OPT replacement.
+
+LRU replays take a vectorized Mattson stack-distance fast path
+(:mod:`repro.machine.fastpath`), auto-selected where provably exact and
+bit-identical to the scalar machines."""
 
 from repro.machine.ca_machine import CAResult, simulate_ca
 from repro.machine.dam import DAMResult, simulate_dam
+from repro.machine.fastpath import (
+    COLD,
+    eval_lru_fixed,
+    eval_lru_profile,
+    lru_thresholds,
+    stack_distances,
+    trace_distances,
+)
 from repro.machine.replacement import (
     FIFO,
     LRU,
@@ -23,6 +35,12 @@ __all__ = [
     "simulate_ca",
     "DAMResult",
     "simulate_dam",
+    "COLD",
+    "stack_distances",
+    "trace_distances",
+    "lru_thresholds",
+    "eval_lru_profile",
+    "eval_lru_fixed",
     "FIFO",
     "LRU",
     "OPT",

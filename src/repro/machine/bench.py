@@ -1,0 +1,265 @@
+"""Scalar-vs-kernel trace-machine benchmark: the ``BENCH_machine.json``
+producer.
+
+``repro bench --suite machine`` measures what the stack-distance fast
+path (:mod:`repro.machine.fastpath`) buys on the trace-replay shapes the
+experiments actually run, and proves the speedup legitimate by asserting
+bit-identical results in the same breath.  Each workload opposes the two
+ends of the pipeline the fast path optimizes:
+
+* the **scalar side** builds its trace cold (bypassing the
+  :func:`~repro.algorithms.traces.synthetic_trace` memo) and replays it
+  reference-by-reference through the dict-based policy machines with
+  ``fastpath=False`` — the pre-fast-path cost of a profile sweep;
+* the **kernel side** takes the memoized trace, pays the Mattson
+  stack-distance pass once, and evaluates every profile as vectorized
+  work over the shared array with ``fastpath=True``.
+
+Workloads:
+
+* **multiprofile-lru-crosscheck** — the ``exp_trace_crosscheck`` shape:
+  one MM-SCAN trace swept by a ladder of constant-capacity LRU profiles
+  (every capacity is answered by the same distance array).
+* **realistic-squarified** — the ``exp_realistic_profiles`` shape: the
+  same trace under squarified winner-take-all and random-walk profiles
+  expanded to per-I/O steps (time-varying thresholds, run-length
+  evaluated).
+* **dam-capacity-sweep** — the DAM I/O law sweep: fixed-memory LRU
+  replays across a capacity ladder, ``io = #{i : d_i > M}`` per rung.
+
+The payload mirrors ``BENCH_sim.json`` (schema-versioned, environment
+tagged, per-workload ``bit_identical``) and feeds the same history
+machinery (:mod:`repro.cache.history`), so ``--history`` gives the trace
+machine a longitudinal trend line and the ≥2-priors regression check.
+The top-level ``speedup`` is the *minimum* across workloads.
+"""
+
+# repro-lint: disable-file=nondet-wallclock -- a benchmark measures wall
+# time by design; timings are reported as evidence, never cached or
+# digested.
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "MACHINE_BENCH_SCHEMA_VERSION",
+    "MACHINE_BENCHMARK_NAME",
+    "run_machine_bench",
+]
+
+MACHINE_BENCH_SCHEMA_VERSION = 1
+MACHINE_BENCHMARK_NAME = "machine-scalar-vs-kernel"
+
+
+def _capacity_ladder(n: int) -> list[int]:
+    """Capacities 4, 6, 8, 12, 16, 24, ... up to ``n`` (powers of two
+    and their midpoints — the denser the ladder, the more the one-time
+    stack-distance pass is amortized, which is the sweep shape the fast
+    path exists for)."""
+    ladder = []
+    m = 4
+    while m <= n:
+        ladder.append(m)
+        if 3 * m // 2 <= n:
+            ladder.append(3 * m // 2)
+        m *= 2
+    return ladder
+
+
+def _bench_multiprofile(quick: bool, spec: Any, n: int) -> dict[str, Any]:
+    """Constant-capacity LRU profile ladder over one MM-SCAN trace."""
+    from repro.algorithms.traces import synthetic_trace
+    from repro.machine.ca_machine import simulate_ca
+    from repro.profiles.base import MemoryProfile
+
+    trace_warm = synthetic_trace(spec, n)  # prime the trace memo
+    profiles = [
+        MemoryProfile.constant(m, len(trace_warm))
+        for m in _capacity_ladder(n)
+    ]
+
+    build_cold = synthetic_trace.__wrapped__  # type: ignore[attr-defined]
+    start = time.perf_counter()
+    trace_cold = build_cold(spec, n)
+    scalar = [
+        simulate_ca(trace_cold, p, policy="lru", fastpath=False)
+        for p in profiles
+    ]
+    scalar_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    trace = synthetic_trace(spec, n)
+    kernel = [
+        simulate_ca(trace, p, policy="lru", fastpath=True) for p in profiles
+    ]
+    kernel_wall = time.perf_counter() - start
+
+    return {
+        "name": "multiprofile-lru-crosscheck",
+        "spec": repr(spec),
+        "n": n,
+        "references": len(trace),
+        "profiles": len(profiles),
+        "scalar_wall_time_s": scalar_wall,
+        "chunked_wall_time_s": kernel_wall,
+        "speedup": (scalar_wall / kernel_wall) if kernel_wall > 0 else None,
+        "bit_identical": scalar == kernel,
+    }
+
+
+def _bench_realistic(quick: bool, spec: Any, n: int, seed: int) -> dict[str, Any]:
+    """Squarified realistic profiles expanded to per-I/O steps."""
+    from repro.algorithms.traces import synthetic_trace
+    from repro.machine.ca_machine import simulate_ca
+    from repro.profiles.base import MemoryProfile
+    from repro.profiles.generators import (
+        random_walk_profile,
+        winner_take_all_profile,
+    )
+    from repro.profiles.reduction import squarify
+
+    trace_warm = synthetic_trace(spec, n)
+    refs = len(trace_warm)
+
+    def expand(boxes: Any) -> MemoryProfile:
+        steps = np.repeat(boxes.boxes, boxes.boxes)
+        reps = -(-refs // int(steps.size))
+        return MemoryProfile(np.tile(steps, reps))
+
+    profiles = [
+        expand(
+            squarify(
+                winner_take_all_profile(
+                    max_size=n, flush_floor=max(2, n // 64), cycles=16
+                )
+            )
+        ),
+        expand(
+            squarify(
+                random_walk_profile(
+                    start=max(4, n // 8),
+                    steps=10 * n,
+                    min_size=2,
+                    max_size=n,
+                    up_probability=0.55,
+                    crash_probability=0.003,
+                    crash_factor=0.25,
+                    rng=seed,
+                )
+            )
+        ),
+    ]
+
+    build_cold = synthetic_trace.__wrapped__  # type: ignore[attr-defined]
+    start = time.perf_counter()
+    trace_cold = build_cold(spec, n)
+    scalar = [
+        simulate_ca(trace_cold, p, policy="lru", fastpath=False)
+        for p in profiles
+    ]
+    scalar_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    trace = synthetic_trace(spec, n)
+    kernel = [
+        simulate_ca(trace, p, policy="lru", fastpath=True) for p in profiles
+    ]
+    kernel_wall = time.perf_counter() - start
+
+    return {
+        "name": "realistic-squarified",
+        "spec": repr(spec),
+        "n": n,
+        "references": refs,
+        "profiles": len(profiles),
+        "scalar_wall_time_s": scalar_wall,
+        "chunked_wall_time_s": kernel_wall,
+        "speedup": (scalar_wall / kernel_wall) if kernel_wall > 0 else None,
+        "bit_identical": scalar == kernel,
+    }
+
+
+def _bench_dam(quick: bool, spec: Any, n: int) -> dict[str, Any]:
+    """Fixed-memory LRU capacity ladder (the DAM I/O-law sweep)."""
+    from repro.algorithms.traces import synthetic_trace
+    from repro.machine.dam import simulate_dam
+
+    trace_warm = synthetic_trace(spec, n)
+    ladder = _capacity_ladder(2 * n)
+
+    build_cold = synthetic_trace.__wrapped__  # type: ignore[attr-defined]
+    start = time.perf_counter()
+    trace_cold = build_cold(spec, n)
+    scalar = [
+        simulate_dam(trace_cold, m, policy="lru", fastpath=False)
+        for m in ladder
+    ]
+    scalar_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    trace = synthetic_trace(spec, n)
+    kernel = [
+        simulate_dam(trace, m, policy="lru", fastpath=True) for m in ladder
+    ]
+    kernel_wall = time.perf_counter() - start
+
+    return {
+        "name": "dam-capacity-sweep",
+        "spec": repr(spec),
+        "n": n,
+        "references": len(trace_warm),
+        "capacities": len(ladder),
+        "scalar_wall_time_s": scalar_wall,
+        "chunked_wall_time_s": kernel_wall,
+        "speedup": (scalar_wall / kernel_wall) if kernel_wall > 0 else None,
+        "bit_identical": scalar == kernel,
+    }
+
+
+def run_machine_bench(quick: bool = True, seed: int = 0) -> dict[str, Any]:
+    """Run all workloads and return the BENCH_machine payload.
+
+    ``quick`` picks CI-sized traces (a few seconds of scalar time);
+    ``--full`` is the acceptance configuration the speedup claims in
+    ``docs/PERF.md`` are quoted from.  ``seed`` keys the random-walk
+    profile (recorded for provenance); the bit-identity verdicts never
+    depend on it.
+    """
+    from repro.algorithms.library import MM_SCAN
+    from repro.cache.store import environment_tag
+    from repro.machine.fastpath import distance_cache_clear
+    from repro.runtime.provenance import git_revision, repro_version
+
+    # Start from a cold distance cache so the kernel pass is timed, not
+    # inherited from earlier callers in the same process.
+    distance_cache_clear()
+    spec = MM_SCAN
+    n = 4**4 if quick else 4**5
+    workloads = [
+        _bench_multiprofile(quick, spec, n),
+        _bench_realistic(quick, spec, n, seed),
+        _bench_dam(quick, spec, n),
+    ]
+    speedups = [
+        w["speedup"] for w in workloads if isinstance(w["speedup"], float)
+    ]
+    return {
+        "bench_schema_version": MACHINE_BENCH_SCHEMA_VERSION,
+        "benchmark": MACHINE_BENCHMARK_NAME,
+        "quick": quick,
+        "seed": seed,
+        "workloads": workloads,
+        "scalar_wall_time_s": sum(w["scalar_wall_time_s"] for w in workloads),
+        "chunked_wall_time_s": sum(
+            w["chunked_wall_time_s"] for w in workloads
+        ),
+        "speedup": min(speedups) if speedups else None,
+        "bit_identical": all(w["bit_identical"] for w in workloads),
+        "environment": environment_tag(),
+        "repro_version": repro_version(),
+        "git_revision": git_revision(),
+    }

@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import MachineError
 from repro.algorithms.traces import Trace
 from repro.machine.replacement import make_policy
@@ -42,17 +40,60 @@ def simulate_ca(
     trace: Trace,
     profile: MemoryProfile,
     policy: str = "lru",
+    fastpath: bool | None = None,
 ) -> CAResult:
     """Replay ``trace`` under the time-varying capacity ``profile``.
 
     The run stops when the trace completes or the profile is exhausted
     (``completed`` records which).  The capacity before the first I/O is
     ``profile[0]``; after the t-th I/O it is ``profile[t]``.
+
+    ``fastpath`` follows the PR 5 contract: ``None`` (default)
+    auto-selects the vectorized stack-distance evaluator
+    (:mod:`repro.machine.fastpath`) exactly where it is provably exact —
+    LRU, the only stack policy here — and silently keeps the scalar
+    replay otherwise (FIFO/OPT).  ``True`` forces the fast path (raising
+    :class:`~repro.errors.MachineError` when no exact kernel exists for
+    ``policy``), ``False`` forces the scalar replay.  Either way the
+    result is bit-identical.
     """
     if len(profile) == 0:
         raise MachineError("profile must have at least one step")
     blocks = trace.blocks
     sizes = profile.sizes
+    # Validate up front: a zero/negative capacity step would make the
+    # evict-down loop below pop from an already-empty policy (KeyError
+    # deep inside the replay) instead of failing clearly.  MemoryProfile
+    # enforces this too, but hand-built or corrupted profiles must not
+    # bypass it.
+    if int(sizes.min()) < 1:
+        raise MachineError(
+            f"profile sizes must be >= 1 block, got min {int(sizes.min())}"
+        )
+    from repro.machine import fastpath as _fp
+
+    if fastpath is None:
+        use_fast = _fp.is_exact(policy)
+    elif fastpath:
+        if not _fp.is_exact(policy):
+            raise MachineError(
+                f"no exact fast path for policy {policy!r} "
+                "(only 'lru' is a recency-stack policy); "
+                "pass fastpath=None to fall back to the scalar machine"
+            )
+        use_fast = True
+    else:
+        use_fast = False
+    if use_fast:
+        dist = _fp.trace_distances(trace)
+        io_count, refs_done, completed = _fp.eval_lru_profile(dist, sizes)
+        return CAResult(
+            io_count=io_count,
+            references_completed=refs_done,
+            references=int(blocks.size),
+            completed=completed,
+            policy=policy,
+        )
     pol = make_policy(policy, blocks)
     t_io = 0  # number of I/Os performed so far
     capacity = int(sizes[0])

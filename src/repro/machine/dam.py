@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import MachineError
 from repro.algorithms.traces import Trace
 from repro.machine.replacement import make_policy
@@ -35,15 +33,48 @@ class DAMResult:
         return self.io_count / self.references if self.references else 0.0
 
 
-def simulate_dam(trace: Trace, cache_size: int, policy: str = "lru") -> DAMResult:
+def simulate_dam(
+    trace: Trace,
+    cache_size: int,
+    policy: str = "lru",
+    fastpath: bool | None = None,
+) -> DAMResult:
     """Replay ``trace`` with a fixed cache of ``cache_size`` blocks.
 
     Every cold or capacity miss costs one I/O.  Policies: ``lru``,
     ``fifo``, ``opt`` (Belady, offline).
+
+    ``fastpath`` follows the PR 5 contract (see
+    :func:`repro.machine.ca_machine.simulate_ca`): ``None`` auto-selects
+    the Mattson stack-distance kernel for LRU — a fixed capacity is the
+    textbook case, ``io_count = #{i : d[i] > M}`` — and silently keeps
+    the scalar replay for FIFO/OPT; ``True``/``False`` force.
     """
     if cache_size < 1:
         raise MachineError(f"cache_size must be >= 1, got {cache_size}")
     blocks = trace.blocks
+    from repro.machine import fastpath as _fp
+
+    if fastpath is None:
+        use_fast = _fp.is_exact(policy)
+    elif fastpath:
+        if not _fp.is_exact(policy):
+            raise MachineError(
+                f"no exact fast path for policy {policy!r} "
+                "(only 'lru' is a recency-stack policy); "
+                "pass fastpath=None to fall back to the scalar machine"
+            )
+        use_fast = True
+    else:
+        use_fast = False
+    if use_fast:
+        dist = _fp.trace_distances(trace)
+        return DAMResult(
+            io_count=_fp.eval_lru_fixed(dist, cache_size),
+            references=int(blocks.size),
+            cache_size=cache_size,
+            policy=policy,
+        )
     pol = make_policy(policy, blocks)
     misses = 0
     for t in range(blocks.size):

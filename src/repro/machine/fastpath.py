@@ -1,0 +1,325 @@
+"""Vectorized fast path for the trace-level machines: Mattson stack
+distances plus an exact LRU profile evaluator.
+
+The scalar machines (:mod:`repro.machine.ca_machine`,
+:mod:`repro.machine.dam`) replay every memory reference through a Python
+loop over dict-based policy objects.  For LRU — a *stack algorithm* in
+Mattson's sense — the whole replay collapses into one trace-level
+preprocessing pass plus O(n) vectorized work per profile:
+
+1.  **Stack distances.**  ``d[i]`` is the number of distinct blocks
+    touched since the previous reference to ``blocks[i]`` (inclusive of
+    the block itself), or :data:`COLD` for a first touch.  Under LRU
+    with a *fixed* capacity ``M``, reference ``i`` hits iff ``d[i] <=
+    M`` — one array answers every capacity at once.  The kernel here is
+    an O(n log^2 n) fully vectorized mergesort-tree range count over the
+    ``last_occurrence`` array (no Python-level per-access loop), and the
+    array is cached per trace, so sweeping many profiles over one trace
+    amortizes the pass.
+
+2.  **Time-varying capacities.**  The cache-adaptive machine changes
+    capacity per I/O, yet LRU keeps an exact invariant: after ``t`` paid
+    I/Os the resident set is always the ``r_t`` most-recently-used
+    distinct blocks, where ``r_t`` depends on the *profile only*::
+
+        r_0 = 0,   r_t = min(r_{t-1} + 1, m(t-1), m(t))
+
+    (one admission per I/O, evict-down before the admission at capacity
+    ``m(t-1)``, evict-down after it at capacity ``m(t)``).  Hits do not
+    change the resident set, so reference ``i`` hits iff ``d[i] <=
+    r_t`` for the current I/O count ``t`` — hit/miss per reference never
+    depends on which references before it hit.  The recurrence has the
+    closed form ``r_t = min(m(t), t, t - 1 + min_{s<t}(m(s) - s))``,
+    computed for the whole profile with one ``np.minimum.accumulate``.
+    The evaluator then walks the run-length encoding of the threshold
+    sequence, consuming misses (``d > r``) in geometrically growing
+    vectorized scans, and reproduces ``io_count`` /
+    ``references_completed`` / ``completed`` bit-identically to the
+    scalar machine.
+
+FIFO and OPT are **not** stack algorithms in this sense (FIFO lacks the
+inclusion property; OPT's stack ordering is not recency), so they have
+no exact kernel here and callers fall back to the scalar machines —
+:func:`repro.machine.ca_machine.simulate_ca` auto-selects per the PR 5
+fastpath contract (exactness proven, silence otherwise).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.machine.square_machine import last_occurrence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.algorithms.traces import Trace
+
+__all__ = [
+    "COLD",
+    "stack_distances",
+    "trace_distances",
+    "distance_cache_size",
+    "distance_cache_clear",
+    "lru_thresholds",
+    "eval_lru_profile",
+    "eval_lru_fixed",
+    "is_exact",
+]
+
+#: Stack distance reported for a cold (first) reference to a block.  A
+#: sentinel strictly larger than any possible capacity — ``n + 1`` would
+#: be wrong because a DAM cache may be larger than the trace's footprint.
+COLD: int = int(np.iinfo(np.int64).max)
+
+# Initial / maximum window for the evaluator's forward miss scans.  Small
+# enough that a dense-miss region costs little more than the numpy call
+# overhead per miss; growth is geometric so sparse-miss regions still
+# finish in O(n) total scanned elements.
+_SCAN_WINDOW0 = 1 << 6
+_SCAN_WINDOW_MAX = 1 << 17
+
+
+def stack_distances(blocks: np.ndarray) -> np.ndarray:
+    """Per-reference LRU stack distances of a block trace.
+
+    ``out[i]`` is the number of distinct blocks in
+    ``blocks[last_occ[i] : i]`` (the reuse window, inclusive of the block
+    itself) when ``blocks[i]`` was seen before, else :data:`COLD`.
+
+    Distinct blocks in the window are exactly the positions ``j`` in
+    ``[p, i)`` whose own previous occurrence lies before ``p = last_occ
+    [i]`` — a 2-D dominance count answered level by level on an implicit
+    mergesort tree over ``last_occ``: each query decomposes into
+    canonical nodes, and at every level all active node counts are
+    answered with a single batched ``searchsorted`` over the
+    concatenation of the level's sorted segments.  O(n log^2 n) time,
+    O(n) extra memory, no Python-level per-access loop.
+    """
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    n = int(blocks.size)
+    out = np.full(n, COLD, dtype=np.int64)
+    if n == 0:
+        return out
+    last = last_occurrence(blocks)
+    queries = np.flatnonzero(last >= 0)
+    if queries.size == 0:
+        return out
+    # Query q: count entries < thresh[q] in last[lo[q] : hi[q]).
+    lo = last[queries].copy()
+    hi = queries.copy()
+    thresh = last[queries] + 1  # searchsorted 'left' on value t counts < t
+    acc = np.zeros(queries.size, dtype=np.int64)
+
+    # Pad to a power of two so every level is a clean reshape.  The pad
+    # value n is >= every threshold (thresholds are <= n - 1 + 1 = n...
+    # strictly: thresh <= n - 1, compared via mapped key below), so pads
+    # are never counted.
+    size_pow2 = 1 << (n - 1).bit_length()
+    level = np.full(size_pow2, n, dtype=np.int64)
+    level[:n] = last
+    # Per-level flattening: block k's values v (in [-1, n]) map to
+    # k * offset + (v + 1), keeping the concatenation of sorted blocks
+    # globally sorted with disjoint per-block ranges.
+    offset = np.int64(n + 2)
+
+    seg = 1
+    while seg <= size_pow2:
+        active = lo < hi
+        if not active.any():
+            break
+        sorted_level = np.sort(level.reshape(-1, seg), axis=1)
+        flat = (
+            np.arange(sorted_level.shape[0], dtype=np.int64)[:, None] * offset
+            + sorted_level
+            + 1
+        ).ravel()
+        # Canonical decomposition step (bottom-up segment tree): an odd
+        # lo node and/or an odd-adjacent hi node belong to the query.
+        take_lo = active & ((lo & 1) == 1)
+        if take_lo.any():
+            ks = lo[take_lo]
+            pos = np.searchsorted(flat, ks * offset + thresh[take_lo] + 1)
+            acc[take_lo] += pos - ks * seg
+            lo[take_lo] += 1
+        take_hi = active & ((hi & 1) == 1)
+        if take_hi.any():
+            hi[take_hi] -= 1
+            ks = hi[take_hi]
+            pos = np.searchsorted(flat, ks * offset + thresh[take_hi] + 1)
+            acc[take_hi] += pos - ks * seg
+        lo >>= 1
+        hi >>= 1
+        seg <<= 1
+    out[queries] = acc
+    return out
+
+
+# -- per-trace distance cache --------------------------------------------
+#
+# Traces are immutable but not hashable (ndarray fields), so the cache is
+# keyed by id() with a weakref guard: an entry is valid only while its
+# weakref still points at the keyed trace, and a finalizer drops the
+# entry when the trace is collected (checking liveness so a recycled id
+# never evicts a newer entry).
+
+_dist_lock = threading.Lock()
+_dist_cache: dict[int, tuple[weakref.ref, np.ndarray]] = {}
+
+
+def _make_evict(key: int) -> Callable[[weakref.ref], None]:
+    def evict(_ref: weakref.ref) -> None:
+        with _dist_lock:
+            entry = _dist_cache.get(key)
+            if entry is not None and entry[0]() is None:
+                del _dist_cache[key]
+
+    return evict
+
+
+def trace_distances(trace: "Trace") -> np.ndarray:
+    """Stack distances of ``trace.blocks``, cached per trace object.
+
+    The returned array is read-only and shared: repeated profile
+    evaluations over one trace pay the O(n log^2 n) kernel once.
+    """
+    # id() is only a cache key here, validated by the weakref identity
+    # check above reuse — the returned distances are a pure function of
+    # the trace, so results never depend on identity.
+    key = id(trace)  # repro-lint: disable=nondet-id
+    with _dist_lock:
+        entry = _dist_cache.get(key)
+        if entry is not None and entry[0]() is trace:
+            return entry[1]
+    dist = stack_distances(trace.blocks)
+    dist.setflags(write=False)
+    with _dist_lock:
+        # Idempotent memo write (same trace -> same distances).
+        _dist_cache[key] = (  # repro-lint: disable=effect-global-mutation
+            weakref.ref(trace, _make_evict(key)),
+            dist,
+        )
+    return dist
+
+
+def distance_cache_size() -> int:
+    """Number of live per-trace distance arrays (observability hook)."""
+    with _dist_lock:
+        return len(_dist_cache)
+
+
+def distance_cache_clear() -> None:
+    """Drop all cached distance arrays (tests / memory pressure)."""
+    with _dist_lock:
+        # Test-only reset of an idempotent memo.
+        _dist_cache.clear()  # repro-lint: disable=effect-global-mutation
+
+
+# -- LRU evaluators ------------------------------------------------------
+
+
+def is_exact(policy: str) -> bool:
+    """Whether the fast path is provably exact for ``policy``.
+
+    Only LRU: its resident set under any capacity schedule is a recency-
+    stack prefix, which is what reduces hit/miss to a stack-distance
+    comparison.  FIFO and OPT are not recency-stack algorithms, so they
+    take the scalar machines unchanged.
+    """
+    return policy.lower() == "lru"
+
+
+def lru_thresholds(sizes: np.ndarray) -> np.ndarray:
+    """Resident-set sizes ``r_0 .. r_T`` implied by a capacity profile.
+
+    ``r_t`` is the number of blocks resident immediately before the
+    ``(t+1)``-th paid I/O (``t`` of them already paid); the final entry
+    ``r_T`` is the resident bound while the profile is exhausted (no
+    further I/O is possible, so no capacity constrains it beyond the
+    one-admission-per-I/O growth).  Vectorized closed form of
+    ``r_t = min(r_{t-1} + 1, m(t-1), m(t))``.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    steps = sizes.size
+    thresholds = np.empty(steps + 1, dtype=np.int64)
+    thresholds[0] = 0
+    if steps == 0:
+        return thresholds
+    t = np.arange(1, steps + 1, dtype=np.int64)
+    # min over s < t of (m(s) - s), prefix-accumulated.
+    slack = np.minimum.accumulate(sizes - np.arange(steps, dtype=np.int64))
+    thresholds[1:] = np.minimum(t, t - 1 + slack)
+    if steps > 1:
+        thresholds[1:steps] = np.minimum(thresholds[1:steps], sizes[1:steps])
+    return thresholds
+
+
+def _scan_misses(
+    dist: np.ndarray, start: int, threshold: int, want: int
+) -> tuple[int, int]:
+    """Find up to ``want`` misses (``dist > threshold``) from ``start``.
+
+    Returns ``(found, end)`` where ``end`` is one past the ``want``-th
+    miss when all were found, else ``dist.size``.  Windows grow
+    geometrically and never rescan, so a full evaluation touches each
+    element O(1) times.
+    """
+    n = dist.size
+    pos = start
+    need = want
+    window = _SCAN_WINDOW0
+    while pos < n:
+        hi = min(pos + window, n)
+        idx = np.flatnonzero(dist[pos:hi] > threshold)
+        if idx.size >= need:
+            return want, pos + int(idx[need - 1]) + 1
+        need -= int(idx.size)
+        pos = hi
+        window = min(window << 1, _SCAN_WINDOW_MAX)
+    return want - need, n
+
+
+def eval_lru_profile(
+    dist: np.ndarray, sizes: np.ndarray
+) -> tuple[int, int, bool]:
+    """Exact LRU cache-adaptive replay over precomputed stack distances.
+
+    Returns ``(io_count, references_completed, completed)`` bit-identical
+    to the scalar :func:`repro.machine.ca_machine.simulate_ca` run with
+    ``policy="lru"`` on the same trace and profile.
+    """
+    n = int(dist.size)
+    steps = int(sizes.size)
+    if n == 0:
+        return 0, 0, True
+    thresholds = lru_thresholds(sizes)
+    # Run-length encode the threshold sequence: within a run the hit
+    # predicate is fixed, so misses can be consumed in bulk.
+    change = np.flatnonzero(np.diff(thresholds)) + 1
+    run_starts = np.concatenate((np.zeros(1, dtype=np.int64), change))
+    run_ends = np.concatenate((change, np.asarray([steps + 1], dtype=np.int64)))
+    pos = 0
+    for run_start, run_end in zip(run_starts.tolist(), run_ends.tolist()):
+        threshold = int(thresholds[run_start])
+        # Epochs t in [run_start, min(run_end, steps)) can still pay an
+        # I/O; epoch `steps` (present only in the final run) cannot.
+        payable = min(run_end, steps) - run_start
+        if payable > 0:
+            found, pos = _scan_misses(dist, pos, threshold, payable)
+            if found < payable:
+                # Trace exhausted with profile budget to spare.
+                return run_start + found, n, True
+        if run_end == steps + 1:
+            # Terminal epoch: one more miss would exceed the profile.
+            found, end = _scan_misses(dist, pos, threshold, 1)
+            if found:
+                return steps, end - 1, False
+            return steps, n, True
+    raise AssertionError("unreachable: terminal epoch handles every exit")
+
+
+def eval_lru_fixed(dist: np.ndarray, cache_size: int) -> int:
+    """Exact LRU DAM miss count: ``#{i : d[i] > M}`` (colds included)."""
+    return int(np.count_nonzero(dist > np.int64(cache_size)))

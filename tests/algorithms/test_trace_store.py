@@ -1,0 +1,165 @@
+"""Tests for the compressed digest-keyed ``.npz`` trace store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.algorithms.library import MM_SCAN
+from repro.algorithms.trace_store import (
+    TRACE_FORMAT_VERSION,
+    load_stored_trace,
+    load_trace,
+    save_trace,
+    store_trace,
+    stored_trace_path,
+    trace_digest,
+)
+from repro.algorithms.traces import Trace, synthetic_trace
+
+
+def _trace(blocks, label="t", block_size=1):
+    spans = np.asarray([[0, len(blocks)]], dtype=np.int64)
+    return Trace(
+        np.asarray(blocks, dtype=np.int64),
+        spans,
+        block_size=block_size,
+        label=label,
+    )
+
+
+class TestRoundTrip:
+    def test_synthetic_trace_round_trips(self, tmp_path):
+        t = synthetic_trace(MM_SCAN, 64)
+        path = tmp_path / "mm.npz"
+        digest = save_trace(path, t)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.blocks, t.blocks)
+        assert np.array_equal(loaded.leaf_spans, t.leaf_spans)
+        assert loaded.block_size == t.block_size
+        assert loaded.label == t.label
+        assert trace_digest(loaded) == digest
+
+    def test_round_trip_preserves_machine_results(self, tmp_path):
+        from repro.machine.dam import simulate_dam
+
+        t = synthetic_trace(MM_SCAN, 64)
+        path = tmp_path / "mm.npz"
+        save_trace(path, t)
+        loaded = load_trace(path)
+        for m in (4, 16):
+            assert simulate_dam(loaded, m) == simulate_dam(t, m)
+
+    def test_compression_actually_compresses(self, tmp_path):
+        t = _trace([5] * 50_000)
+        path = tmp_path / "flat.npz"
+        save_trace(path, t)
+        assert path.stat().st_size < t.blocks.nbytes // 10
+
+
+class TestDigest:
+    def test_digest_is_content_addressed(self):
+        a = _trace([1, 2, 3])
+        b = _trace([1, 2, 3])
+        assert trace_digest(a) == trace_digest(b)
+
+    def test_digest_sensitive_to_every_field(self):
+        base = _trace([1, 2, 3])
+        assert trace_digest(base) != trace_digest(_trace([1, 2, 4]))
+        assert trace_digest(base) != trace_digest(
+            _trace([1, 2, 3], label="other")
+        )
+        assert trace_digest(base) != trace_digest(
+            _trace([1, 2, 3], block_size=2)
+        )
+        no_spans = Trace(
+            np.asarray([1, 2, 3], dtype=np.int64),
+            np.empty((0, 2)),
+            label="t",
+        )
+        assert trace_digest(base) != trace_digest(no_spans)
+
+
+class TestCorruption:
+    def test_digest_mismatch_detected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        t = _trace([1, 2, 3])
+        with open(path, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                format_version=np.int64(TRACE_FORMAT_VERSION),
+                blocks=t.blocks,
+                leaf_spans=t.leaf_spans,
+                block_size=np.int64(1),
+                label=np.array("t"),
+                digest=np.array("0" * 64),
+            )
+        with pytest.raises(TraceError, match="digest"):
+            load_trace(path)
+
+    def test_unknown_format_version_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        t = _trace([1])
+        with open(path, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                format_version=np.int64(TRACE_FORMAT_VERSION + 1),
+                blocks=t.blocks,
+                leaf_spans=t.leaf_spans,
+                block_size=np.int64(1),
+                label=np.array("t"),
+                digest=np.array(trace_digest(t)),
+            )
+        with pytest.raises(TraceError, match="format version"):
+            load_trace(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "trunc.npz"
+        save_trace(path, _trace([1, 2, 3]))
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+
+class TestDigestKeyedStore:
+    def test_store_and_load_by_digest(self, tmp_path):
+        t = synthetic_trace(MM_SCAN, 64)
+        path = store_trace(tmp_path / "traces", t)
+        digest = trace_digest(t)
+        assert path == stored_trace_path(tmp_path / "traces", digest)
+        loaded = load_stored_trace(tmp_path / "traces", digest)
+        assert loaded is not None
+        assert np.array_equal(loaded.blocks, t.blocks)
+
+    def test_store_is_idempotent(self, tmp_path):
+        t = _trace([1, 2, 3])
+        p1 = store_trace(tmp_path, t)
+        mtime = p1.stat().st_mtime_ns
+        p2 = store_trace(tmp_path, t)
+        assert p1 == p2
+        assert p2.stat().st_mtime_ns == mtime
+
+    def test_missing_digest_returns_none(self, tmp_path):
+        assert load_stored_trace(tmp_path, "f" * 64) is None
+
+
+class TestMemoizedSyntheticTrace:
+    def test_same_spec_shares_one_trace(self):
+        a = synthetic_trace(MM_SCAN, 64)
+        b = synthetic_trace(MM_SCAN, 64)
+        assert a is b
+
+    def test_distinct_keys_distinct_traces(self):
+        a = synthetic_trace(MM_SCAN, 64)
+        b = synthetic_trace(MM_SCAN, 64, label="other")
+        assert a is not b
+        assert np.array_equal(a.blocks, b.blocks)
+
+    def test_memo_exposes_counters(self):
+        info = synthetic_trace.cache_info()
+        assert info.maxsize >= 1

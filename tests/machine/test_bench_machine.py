@@ -1,0 +1,78 @@
+"""Unit tests for the trace-machine bench suite (repro.machine.bench)."""
+
+import json
+
+from repro.cli import main
+from repro.machine.bench import (
+    MACHINE_BENCH_SCHEMA_VERSION,
+    MACHINE_BENCHMARK_NAME,
+    run_machine_bench,
+)
+
+
+class TestRunMachineBench:
+    def test_quick_payload_shape_and_identity(self):
+        payload = run_machine_bench(quick=True, seed=0)
+        assert payload["bench_schema_version"] == MACHINE_BENCH_SCHEMA_VERSION
+        assert payload["benchmark"] == MACHINE_BENCHMARK_NAME
+        assert payload["quick"] is True
+        names = [w["name"] for w in payload["workloads"]]
+        assert names == [
+            "multiprofile-lru-crosscheck",
+            "realistic-squarified",
+            "dam-capacity-sweep",
+        ]
+        # the speedup is only evidence because the results are identical
+        assert payload["bit_identical"] is True
+        for workload in payload["workloads"]:
+            assert workload["bit_identical"] is True
+            assert workload["scalar_wall_time_s"] > 0
+            assert workload["chunked_wall_time_s"] > 0
+            assert workload["references"] > 0
+        # top-level speedup = the weakest workload, not the flattering one
+        per_workload = [w["speedup"] for w in payload["workloads"]]
+        assert payload["speedup"] == min(per_workload)
+
+    def test_payload_is_json_serializable_and_tagged(self):
+        payload = run_machine_bench(quick=True, seed=3)
+        text = json.dumps(payload)
+        assert "environment" in payload and "git_revision" in payload
+        assert json.loads(text)["seed"] == 3
+
+
+class TestCliSuite:
+    def test_bench_suite_machine_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_machine.json"
+        code = main(["bench", "--suite", "machine", "-o", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["benchmark"] == MACHINE_BENCHMARK_NAME
+        captured = capsys.readouterr().out
+        assert "machine bench:" in captured
+        assert "kernel" in captured
+
+    def test_bench_suite_machine_history_appends(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_machine.json"
+        args = ["bench", "--suite", "machine", "-o", str(out), "--history"]
+        assert main(args) == 0
+        assert main(args) == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["benchmark"] == MACHINE_BENCHMARK_NAME
+        assert len(doc["records"]) == 2
+        captured = capsys.readouterr().out
+        assert "machine-scalar-vs-kernel" in captured
+        assert "kernel(s)" in captured
+        assert "regression check" in captured
+
+    def test_bench_suite_machine_rejects_ids(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--suite",
+                "machine",
+                "fig1",
+                "-o",
+                str(tmp_path / "b.json"),
+            ]
+        )
+        assert code == 2

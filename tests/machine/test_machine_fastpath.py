@@ -1,0 +1,278 @@
+"""Tests for the trace-machine fast path: the stack-distance kernel, the
+per-trace distance cache, and the differential sweep pinning the LRU
+evaluators bit-identical to the scalar machines."""
+
+import gc
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.algorithms.library import MERGE_SORT, MM_SCAN
+from repro.algorithms.scan_hiding import transform as scan_hiding_transform
+from repro.algorithms.traces import Trace, synthetic_trace
+from repro.machine.ca_machine import simulate_ca
+from repro.machine.dam import simulate_dam
+from repro.machine.fastpath import (
+    COLD,
+    distance_cache_clear,
+    distance_cache_size,
+    eval_lru_fixed,
+    is_exact,
+    lru_thresholds,
+    stack_distances,
+    trace_distances,
+)
+from repro.profiles.base import MemoryProfile
+from repro.profiles.generators import (
+    random_walk_profile,
+    winner_take_all_profile,
+)
+from repro.profiles.reduction import squarify
+from repro.profiles.worst_case import worst_case_profile
+
+
+def _trace(blocks):
+    return Trace(np.asarray(blocks, dtype=np.int64), np.empty((0, 2)))
+
+
+def _mattson_reference(blocks):
+    """Textbook O(n^2) LRU stack maintenance."""
+    stack = OrderedDict()
+    out = []
+    for b in blocks:
+        if b in stack:
+            order = list(stack)
+            out.append(len(order) - order.index(b))
+            del stack[b]
+        else:
+            out.append(COLD)
+        stack[b] = True
+    return np.asarray(out, dtype=np.int64)
+
+
+class TestStackDistanceKernel:
+    def test_textbook_example(self):
+        # a b c b a: distances 3 and 5... no — b reuses over {b, c},
+        # a reuses over {a, b, c}.
+        got = stack_distances(np.asarray([1, 2, 3, 2, 1], dtype=np.int64))
+        assert got.tolist() == [COLD, COLD, COLD, 2, 3]
+
+    def test_matches_reference_on_random_traces(self, rng):
+        for _ in range(60):
+            n = int(rng.integers(0, 300))
+            alphabet = int(rng.integers(1, 40))
+            blocks = rng.integers(0, alphabet, n).astype(np.int64)
+            got = stack_distances(blocks)
+            assert np.array_equal(got, _mattson_reference(blocks))
+
+    @pytest.mark.parametrize(
+        "blocks",
+        [
+            [],
+            [7],
+            [3, 3, 3, 3, 3],
+            list(range(64)),  # all cold, power-of-two length
+            list(range(65)),  # crosses the padding boundary
+            [0, 1] * 50,
+        ],
+    )
+    def test_edge_shapes(self, blocks):
+        arr = np.asarray(blocks, dtype=np.int64)
+        assert np.array_equal(stack_distances(arr), _mattson_reference(arr))
+
+    def test_cold_sentinel_exceeds_any_capacity(self):
+        # The sentinel must stay a miss even for caches far larger than
+        # the trace footprint (n + 1 would misclassify those).
+        d = stack_distances(np.asarray([1, 2, 3], dtype=np.int64))
+        assert eval_lru_fixed(d, 10**12) == 3
+
+    def test_distance_cache_shares_one_array(self):
+        distance_cache_clear()
+        t = _trace([1, 2, 1, 3, 2])
+        d1 = trace_distances(t)
+        d2 = trace_distances(t)
+        assert d1 is d2
+        assert not d1.flags.writeable
+        assert distance_cache_size() == 1
+
+    def test_distance_cache_evicts_dead_traces(self):
+        distance_cache_clear()
+        t = _trace([1, 2, 3])
+        trace_distances(t)
+        assert distance_cache_size() == 1
+        del t
+        gc.collect()
+        assert distance_cache_size() == 0
+
+
+class TestThresholds:
+    def test_recurrence_against_direct_simulation(self, rng):
+        for _ in range(40):
+            steps = int(rng.integers(1, 50))
+            sizes = rng.integers(1, 20, steps).astype(np.int64)
+            got = lru_thresholds(sizes)
+            r = 0
+            want = [0]
+            for t in range(1, steps + 1):
+                r = min(r + 1, int(sizes[t - 1]))
+                if t < steps:
+                    r = min(r, int(sizes[t]))
+                want.append(r)
+            assert got.tolist() == want
+
+
+def _profile_families(n_refs, seed):
+    """The ISSUE's profile families, as per-I/O step profiles."""
+    yield "constant-ample", MemoryProfile.constant(8, n_refs + 1)
+    yield "constant-tight", MemoryProfile.constant(2, n_refs + 1)
+    wc = worst_case_profile(8, 4, 64).boxes
+    reps = -(-n_refs // int(wc.sum())) + 1
+    yield "worst-case", MemoryProfile(np.tile(np.repeat(wc, wc), reps))
+    sq = squarify(winner_take_all_profile(32, 2, 8)).boxes
+    reps = -(-n_refs // int(sq.sum())) + 1
+    yield "square", MemoryProfile(np.tile(np.repeat(sq, sq), reps))
+    yield "perturbed", random_walk_profile(
+        start=8,
+        steps=n_refs + 1,
+        min_size=1,
+        max_size=64,
+        up_probability=0.55,
+        crash_probability=0.01,
+        crash_factor=0.5,
+        rng=seed,
+    )
+    # Early exhaustion: profiles far shorter than the trace.
+    yield "exhaust-1", MemoryProfile([3])
+    yield "exhaust-short", MemoryProfile.constant(4, max(1, n_refs // 7))
+    yield "exhaust-shrink", MemoryProfile(
+        np.maximum(np.arange(max(2, n_refs // 5), 0, -1), 1)
+    )
+
+
+def _trace_shapes(rng):
+    """The ISSUE's trace shapes: mm, sorting, scan hiding, randomized."""
+    yield "mm", synthetic_trace(MM_SCAN, 64)
+    yield "sorting", synthetic_trace(MERGE_SORT, 64)
+    yield "scan-hiding", synthetic_trace(scan_hiding_transform(MM_SCAN), 64)
+    yield "randomized", _trace(rng.integers(0, 24, 700))
+
+
+class TestDifferentialSweep:
+    def test_lru_fastpath_bit_identical_across_sweep(self, rng):
+        for _tname, trace in _trace_shapes(rng):
+            for _pname, profile in _profile_families(len(trace), seed=7):
+                fast = simulate_ca(trace, profile, "lru", fastpath=True)
+                slow = simulate_ca(trace, profile, "lru", fastpath=False)
+                auto = simulate_ca(trace, profile, "lru")
+                assert fast == slow == auto, (_tname, _pname)
+
+    def test_non_stack_policies_identical_under_auto(self, rng):
+        # FIFO/OPT have no kernel: auto must give exactly the scalar run.
+        for _tname, trace in _trace_shapes(rng):
+            for policy in ("fifo", "opt"):
+                for _pname, profile in [
+                    ("constant", MemoryProfile.constant(6, len(trace) + 1)),
+                    ("exhaust", MemoryProfile.constant(6, len(trace) // 9 + 1)),
+                ]:
+                    auto = simulate_ca(trace, profile, policy)
+                    slow = simulate_ca(trace, profile, policy, fastpath=False)
+                    assert auto == slow, (_tname, policy, _pname)
+
+    def test_dam_fastpath_bit_identical(self, rng):
+        for _tname, trace in _trace_shapes(rng):
+            for m in (1, 2, 3, 8, 64, 10**6):
+                fast = simulate_dam(trace, m, "lru", fastpath=True)
+                slow = simulate_dam(trace, m, "lru", fastpath=False)
+                auto = simulate_dam(trace, m, "lru")
+                assert fast == slow == auto, (_tname, m)
+
+    def test_random_traces_random_profiles(self, rng):
+        for _ in range(120):
+            n = int(rng.integers(1, 120))
+            blocks = rng.integers(0, int(rng.integers(1, 30)), n)
+            trace = _trace(blocks)
+            steps = int(rng.integers(1, 2 * n + 2))
+            profile = MemoryProfile(rng.integers(1, 30, steps))
+            fast = simulate_ca(trace, profile, "lru", fastpath=True)
+            slow = simulate_ca(trace, profile, "lru", fastpath=False)
+            assert fast == slow
+
+
+class TestSelection:
+    def test_is_exact_only_for_lru(self):
+        assert is_exact("lru") and is_exact("LRU")
+        assert not is_exact("fifo") and not is_exact("opt")
+
+    def test_force_fastpath_rejects_non_stack_policies(self):
+        t = _trace([1, 2, 3])
+        profile = MemoryProfile.constant(2, 10)
+        for policy in ("fifo", "opt"):
+            with pytest.raises(MachineError):
+                simulate_ca(t, profile, policy, fastpath=True)
+            with pytest.raises(MachineError):
+                simulate_dam(t, 2, policy, fastpath=True)
+
+    def test_fallback_leaves_scalar_path_untouched(self, monkeypatch):
+        # The silent FIFO/OPT fallback must not even consult the kernel.
+        import repro.machine.fastpath as fp
+
+        def boom(_trace):
+            raise AssertionError("kernel touched on a non-stack policy")
+
+        monkeypatch.setattr(fp, "trace_distances", boom)
+        t = _trace([1, 2, 1, 3, 2, 1])
+        r = simulate_ca(t, MemoryProfile.constant(2, 100), "fifo")
+        assert r.completed
+        d = simulate_dam(t, 2, "opt")
+        assert d.io_count > 0
+
+    def test_force_scalar_for_lru(self, monkeypatch):
+        import repro.machine.fastpath as fp
+
+        def boom(_trace):
+            raise AssertionError("kernel touched with fastpath=False")
+
+        monkeypatch.setattr(fp, "trace_distances", boom)
+        t = _trace([1, 2, 1])
+        r = simulate_ca(t, MemoryProfile.constant(2, 10), "lru", fastpath=False)
+        assert r.completed
+
+    def test_policy_string_case_preserved(self):
+        t = _trace([1, 2, 1])
+        r = simulate_ca(t, MemoryProfile.constant(2, 10), "LRU")
+        assert r.policy == "LRU"
+
+
+class TestZeroCapacityBugfix:
+    def test_malformed_profile_raises_machine_error(self):
+        # MemoryProfile validates sizes >= 1, so forge one that bypasses
+        # validation the way a corrupted deserialization would; the old
+        # evict-down loop died with a KeyError from inside the policy.
+        profile = MemoryProfile.constant(2, 4)
+        forged = MemoryProfile.__new__(MemoryProfile)
+        sizes = np.asarray([2, 0, 2, 2], dtype=np.int64)
+        forged._sizes = sizes
+        t = _trace([1, 2, 3, 4, 5])
+        with pytest.raises(MachineError, match="must be >= 1"):
+            simulate_ca(t, forged, "lru", fastpath=False)
+        with pytest.raises(MachineError, match="must be >= 1"):
+            simulate_ca(t, forged, "lru")
+        # sane profiles still work
+        assert simulate_ca(t, profile, "lru").io_count > 0
+
+    def test_empty_trace_fastpath(self):
+        r = simulate_ca(_trace([]), MemoryProfile.constant(2, 2), "lru")
+        assert r.completed and r.io_count == 0
+
+    def test_profile_exhaustion_mid_run_matches_scalar(self):
+        # the terminal epoch: the next miss is unpayable; the run stops
+        # at the exact reference index the scalar machine stops at.
+        t = _trace([1, 2, 3, 1, 2, 3, 4])
+        profile = MemoryProfile([2, 2, 2])
+        fast = simulate_ca(t, profile, "lru", fastpath=True)
+        slow = simulate_ca(t, profile, "lru", fastpath=False)
+        assert fast == slow
+        assert not fast.completed
+        assert fast.io_count == 3

@@ -86,10 +86,14 @@ class TestRunAll:
         response = handle(app, get("/v1/run-all"))
         assert response.status == 503
 
-    def test_batch_shares_admission_control(self):
+    def test_batch_shares_admission_control(self, tmp_path):
         # max_inflight=1: a batch of two cold keys cannot jump the
         # queue — one leg computes, the other surfaces as a 429 entry.
-        app = make_app(max_inflight=1, hot_bytes=0)
+        # The store must be empty or warm hits bypass admission control
+        # (by design), so point the app at a fresh cache dir.
+        app = make_app(
+            max_inflight=1, hot_bytes=0, cache_dir=str(tmp_path / "store")
+        )
 
         async def go():
             gate = asyncio.Event()
